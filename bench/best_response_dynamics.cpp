@@ -1,0 +1,72 @@
+// E23 (extension): do boundedly-rational agents *find* the truthful
+// equilibrium? Best-response dynamics from random starting profiles.
+//
+// Because DLS-BL is strategyproof (truth is dominant, Theorem 5.2), the
+// best response never depends on the others' bids: every trajectory must
+// jump to the all-truthful profile in a single update round and stay
+// there. Contrast: under the obedient baseline the liar's best response is
+// a persistent overbid.
+#include "baseline/obedient.hpp"
+#include "bench/common.hpp"
+#include "mech/dynamics.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace dlsbl;
+
+int main() {
+    bench::Report report("E23 (extension): best-response dynamics converge to truth");
+
+    util::Xoshiro256 rng{606};
+    const std::vector<double> w{1.0, 2.0, 1.5, 0.8};
+
+    report.section("sample trajectory (NCP-FE, start = random factors)");
+    {
+        const auto result = mech::run_best_response_dynamics(
+            dlt::NetworkKind::kNcpFE, 0.25, w, {3.0, 0.25, 5.0, 0.4});
+        util::Table table({"round", "P1 factor", "P2 factor", "P3 factor", "P4 factor"});
+        table.set_precision(3);
+        for (std::size_t r = 0; r < result.factor_history.size(); ++r) {
+            const auto& profile = result.factor_history[r];
+            table.add_numeric_row({static_cast<double>(r), profile[0], profile[1],
+                                   profile[2], profile[3]});
+        }
+        report.text(table.render());
+    }
+
+    report.section("convergence statistics over random starts");
+    std::size_t truthful_endings = 0;
+    std::size_t one_round = 0;
+    const int kTrials = 60;
+    for (int trial = 0; trial < kTrials; ++trial) {
+        const auto kind = (trial % 3 == 0)   ? dlt::NetworkKind::kCP
+                          : (trial % 3 == 1) ? dlt::NetworkKind::kNcpFE
+                                             : dlt::NetworkKind::kNcpNFE;
+        std::vector<double> start(w.size());
+        for (double& f : start) f = rng.uniform(0.25, 5.0);
+        const auto result =
+            mech::run_best_response_dynamics(kind, 0.2, w, std::move(start));
+        if (result.truthful_fixed_point) ++truthful_endings;
+        if (result.converged && result.rounds_to_converge <= 1) ++one_round;
+    }
+    report.line(std::to_string(truthful_endings) + "/" + std::to_string(kTrials) +
+                " trajectories end at the all-truthful profile; " +
+                std::to_string(one_round) + " converge within one update round");
+
+    report.section("contrast: the obedient baseline's best response is a lie");
+    const auto gain = baseline::best_manipulation(dlt::NetworkKind::kNcpFE, 0.25, w, 1,
+                                                  {0.5, 1.0, 1.5, 2.0, 3.0, 5.0});
+    report.line("baseline best response of P2: bid factor " +
+                util::Table::format_double(gain.best_factor, 3) + " (profit " +
+                util::Table::format_double(gain.deviant_profit, 4) + " vs honest " +
+                util::Table::format_double(gain.honest_profit, 4) + ")");
+
+    report.section("verdicts");
+    report.verdict(truthful_endings == kTrials,
+                   "every trajectory reaches the truthful profile");
+    report.verdict(one_round == kTrials,
+                   "dominance makes convergence one-shot (bid-independent best response)");
+    report.verdict(gain.best_factor > 1.0,
+                   "the obedient baseline's best response stays a lie");
+    return report.exit_code();
+}

@@ -1,0 +1,93 @@
+// E19 (extension): monitoring incentives under collusion.
+//
+// The mechanism relies on processors policing each other ("processors are
+// paid to fink", §1). This bench probes the monitoring fabric: a deviant
+// plus k colluding observers who stay silent. Detection survives as long
+// as a single honest monitor remains; only total silence lets the
+// deviation slip — and silent colluders forfeit the informer reward, so a
+// would-be deviant must buy *every* other processor's silence.
+#include "agents/zoo.hpp"
+#include "bench/common.hpp"
+#include "protocol/runner.hpp"
+#include "util/table.hpp"
+
+using namespace dlsbl;
+
+int main() {
+    bench::Report report("E19 (extension): monitoring under collusion");
+
+    const std::size_t m = 6;
+    report.section("one double-bidder + k silent colluders (NCP-FE, m = 6)");
+    util::Table table({"silent observers k", "deviant fined?", "deviant U",
+                       "honest monitor reward", "colluder reward"});
+    table.set_precision(5);
+
+    bool detection_with_any_monitor = true;
+    bool slips_only_with_total_silence = true;
+    bool silence_forfeits_nothing_extra = true;
+
+    for (std::size_t k = 0; k <= m - 2; ++k) {
+        protocol::ProtocolConfig config;
+        config.kind = dlt::NetworkKind::kNcpFE;
+        config.z = 0.2;
+        config.true_w = {1.0, 1.4, 1.8, 2.2, 1.1, 0.9};
+        config.block_count = 1200;
+        config.signature_algorithm = crypto::SignatureAlgorithm::kFast;
+        config.strategies.assign(m, agents::truthful());
+        config.strategies[2] = agents::inconsistent_bidder();
+        // Colluders: the k highest-indexed non-deviant processors.
+        std::size_t silenced = 0;
+        for (std::size_t i = m; i-- > 0 && silenced < k;) {
+            if (i == 2) continue;
+            config.strategies[i] = agents::silent_observer();
+            ++silenced;
+        }
+        const auto outcome = protocol::run_protocol(config);
+        const bool fined = outcome.processor("P3").fined;
+        if (k < m - 1 && !fined) detection_with_any_monitor = false;
+
+        double honest_reward = 0.0, colluder_reward = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+            if (i == 2) continue;
+            if (config.strategies[i].report_deviations) {
+                honest_reward = outcome.processors[i].rewards;
+            } else {
+                colluder_reward = outcome.processors[i].rewards;
+            }
+        }
+        table.add_row({std::to_string(k), fined ? "yes" : "NO",
+                       util::Table::format_double(outcome.processor("P3").utility(), 5),
+                       util::Table::format_double(honest_reward, 5),
+                       util::Table::format_double(colluder_reward, 5)});
+    }
+
+    // Total silence: every observer colludes.
+    {
+        protocol::ProtocolConfig config;
+        config.kind = dlt::NetworkKind::kNcpFE;
+        config.z = 0.2;
+        config.true_w = {1.0, 1.4, 1.8, 2.2, 1.1, 0.9};
+        config.block_count = 1200;
+        config.signature_algorithm = crypto::SignatureAlgorithm::kFast;
+        config.strategies.assign(m, agents::silent_observer());
+        config.strategies[2] = agents::inconsistent_bidder();
+        const auto outcome = protocol::run_protocol(config);
+        if (outcome.processor("P3").fined) slips_only_with_total_silence = false;
+        table.add_row({"all (m-1)", outcome.processor("P3").fined ? "yes" : "NO",
+                       util::Table::format_double(outcome.processor("P3").utility(), 5),
+                       "-", "0"});
+        for (const auto& p : outcome.processors) {
+            if (p.rewards != 0.0) silence_forfeits_nothing_extra = false;
+        }
+    }
+    report.text(table.render());
+
+    report.section("verdicts");
+    report.verdict(detection_with_any_monitor,
+                   "a single honest monitor suffices: deviant fined for every k < m-1");
+    report.verdict(slips_only_with_total_silence,
+                   "the deviation slips only when every observer colludes");
+    report.verdict(silence_forfeits_nothing_extra,
+                   "total silence pays the colluders nothing (no fine pool exists)");
+    return report.exit_code();
+}

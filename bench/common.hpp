@@ -1,0 +1,51 @@
+// Shared helpers for the experiment harness.
+//
+// Every experiment binary prints a titled report (tables / ASCII charts)
+// followed by explicit PASS/FAIL verdict lines for its shape criteria, and
+// exits non-zero if any verdict failed — so `for b in build/bench/*; do $b;
+// done` doubles as an experiment regression suite.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace dlsbl::bench {
+
+class Report {
+ public:
+    explicit Report(std::string title) {
+        std::printf("\n==============================================================\n");
+        std::printf("%s\n", title.c_str());
+        std::printf("==============================================================\n");
+    }
+
+    void section(const std::string& heading) { std::printf("\n--- %s ---\n", heading.c_str()); }
+
+    void text(const std::string& body) { std::printf("%s", body.c_str()); }
+    void line(const std::string& body) { std::printf("%s\n", body.c_str()); }
+
+    // A shape criterion: prints PASS/FAIL and accumulates the exit status.
+    void verdict(bool ok, const std::string& what) {
+        std::printf("[%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+        if (!ok) failed_ = true;
+    }
+
+    [[nodiscard]] int exit_code() const noexcept { return failed_ ? 1 : 0; }
+
+ private:
+    bool failed_ = false;
+};
+
+inline std::string fmt(const char* format, double a) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), format, a);
+    return buf;
+}
+
+inline std::string fmt2(const char* format, double a, double b) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), format, a, b);
+    return buf;
+}
+
+}  // namespace dlsbl::bench

@@ -1,0 +1,6 @@
+// E1: Figure 1 — bus network with control processor (CP).
+#include "bench/figure_common.hpp"
+
+int main() {
+    return dlsbl::bench::run_figure_bench(dlsbl::dlt::NetworkKind::kCP, "Figure 1");
+}

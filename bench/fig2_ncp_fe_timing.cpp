@@ -1,0 +1,6 @@
+// E2: Figure 2 — bus network without control processor, LO with front end.
+#include "bench/figure_common.hpp"
+
+int main() {
+    return dlsbl::bench::run_figure_bench(dlsbl::dlt::NetworkKind::kNcpFE, "Figure 2");
+}

@@ -1,0 +1,91 @@
+// E9: Lemma 5.2 / Corollary 5.1 — fines hit only deviants, honest
+// processors are never fined (no framing), and nobody collects a reward
+// unless somebody actually cheated.
+#include "agents/zoo.hpp"
+#include "bench/common.hpp"
+#include "protocol/runner.hpp"
+#include "util/table.hpp"
+
+using namespace dlsbl;
+
+int main() {
+    bench::Report report("E9: Lemma 5.2 / Corollary 5.1 — fine and reward incidence");
+
+    protocol::ProtocolConfig base;
+    base.kind = dlt::NetworkKind::kNcpFE;
+    base.z = 0.25;
+    base.true_w = {1.0, 2.0, 1.5, 0.8};
+    base.block_count = 2400;
+    base.signature_algorithm = crypto::SignatureAlgorithm::kFast;
+    base.strategies.assign(4, agents::truthful());
+
+    report.section("incidence matrix: which processor pays the fine");
+    util::Table table({"scenario", "P1", "P2", "P3", "P4", "rewards to honest?"});
+    bool only_deviants_fined = true;
+    bool rewards_only_with_cheater = true;
+
+    auto run_case = [&](const std::string& label, protocol::ProtocolConfig config,
+                        std::optional<std::size_t> deviant_slot) {
+        const auto outcome = protocol::run_protocol(config);
+        std::vector<std::string> row{label};
+        bool any_reward = false;
+        for (std::size_t i = 0; i < 4; ++i) {
+            const auto& p = outcome.processors[i];
+            row.push_back(p.fined ? "FINED" : "-");
+            if (p.rewards > 0.0) any_reward = true;
+            const bool is_deviant = deviant_slot && *deviant_slot == i;
+            if (p.fined && !is_deviant) only_deviants_fined = false;
+            if (!p.fined && is_deviant) only_deviants_fined = false;
+        }
+        if (!deviant_slot && any_reward) rewards_only_with_cheater = false;
+        row.push_back(any_reward ? "yes" : "no");
+        table.add_row(std::move(row));
+    };
+
+    run_case("all honest", base, std::nullopt);
+
+    {
+        auto config = base;
+        config.strategies[2] = agents::inconsistent_bidder();
+        run_case("P3 double-bids", config, 2);
+    }
+    {
+        auto config = base;
+        config.strategies[0] = agents::short_shipping_lo();
+        run_case("LO short-ships", config, 0);
+    }
+    {
+        auto config = base;
+        config.strategies[1] = agents::false_accuser();
+        run_case("P2 falsely accuses", config, 1);
+    }
+    {
+        auto config = base;
+        config.strategies[3] = agents::payment_cheater();
+        run_case("P4 corrupts payments", config, 3);
+    }
+    {
+        auto config = base;
+        config.strategies[2] = agents::false_short_claimer();
+        run_case("P3 fakes shortage", config, 2);
+    }
+    report.text(table.render());
+
+    report.section("framing attempt (forged signatures fail verification)");
+    // A false accusation is the framing vector: the accused must walk free.
+    auto framing = base;
+    framing.strategies[1] = agents::false_accuser();
+    const auto framed = protocol::run_protocol(framing);
+    const bool victim_safe = !framed.processors[0].fined && framed.processors[1].fined;
+    report.line(std::string("accuser fined: ") +
+                (framed.processors[1].fined ? "yes" : "no") + ", victim fined: " +
+                (framed.processors[0].fined ? "yes" : "no"));
+
+    report.section("verdicts");
+    report.verdict(only_deviants_fined,
+                   "fines land on exactly the deviating processor in every scenario");
+    report.verdict(rewards_only_with_cheater,
+                   "no rewards distributed when nobody cheated (Corollary 5.1)");
+    report.verdict(victim_safe, "framing fails: forged evidence fines the accuser");
+    return report.exit_code();
+}

@@ -1,0 +1,120 @@
+// E16: classic DLT scaling study — optimal makespan vs processor count for
+// several communication/computation ratios, all three network classes.
+// Expected shape: speedup saturates as z grows (the bus becomes the
+// bottleneck); the FE class beats CP (its LO computes for free); with z -> 0
+// the makespan approaches the perfect-sharing limit.
+#include <cmath>
+
+#include "bench/common.hpp"
+#include "dlt/analysis.hpp"
+#include "dlt/closed_form.hpp"
+#include "dlt/finish_time.hpp"
+#include "util/chart.hpp"
+#include "util/table.hpp"
+
+using namespace dlsbl;
+
+int main() {
+    bench::Report report("E16: makespan scaling vs m and z (all network classes)");
+
+    const std::vector<std::size_t> sizes{1, 2, 4, 8, 16, 32, 64};
+    const std::vector<double> zs{0.0, 0.05, 0.2, 0.5, 1.0};
+    const double w = 1.0;  // homogeneous processors
+
+    bool fe_beats_cp = true;
+    bool saturation_shape = true;
+    bool zero_z_perfect = true;
+
+    for (auto kind : {dlt::NetworkKind::kCP, dlt::NetworkKind::kNcpFE,
+                      dlt::NetworkKind::kNcpNFE}) {
+        report.section(std::string(dlt::to_string(kind)) +
+                       ": optimal makespan (homogeneous w = 1)");
+        util::Table table({"m", "z=0", "z=0.05", "z=0.2", "z=0.5", "z=1.0"});
+        table.set_precision(5);
+        for (std::size_t m : sizes) {
+            // NFE needs m >= 1; with z > w the NFE regime breaks, so skip
+            // z=1.0 > w? z == w is the boundary; stay at z <= w.
+            std::vector<double> row{static_cast<double>(m)};
+            for (double z : zs) {
+                dlt::ProblemInstance instance;
+                instance.kind = kind;
+                instance.z = z;
+                instance.w.assign(m, w);
+                const double t = dlt::optimal_makespan(instance);
+                row.push_back(t);
+                if (z == 0.0 && std::abs(t - w / static_cast<double>(m)) > 1e-9) {
+                    zero_z_perfect = false;
+                }
+            }
+            table.add_numeric_row(row);
+        }
+        report.text(table.render());
+    }
+
+    report.section("speedup curves (z = 0.2): T(1)/T(m)");
+    std::vector<util::Series> series;
+    for (auto kind : {dlt::NetworkKind::kCP, dlt::NetworkKind::kNcpFE,
+                      dlt::NetworkKind::kNcpNFE}) {
+        util::Series s{dlt::to_string(kind), {}, {}};
+        double t1 = 0.0;
+        for (std::size_t m : sizes) {
+            dlt::ProblemInstance instance;
+            instance.kind = kind;
+            instance.z = 0.2;
+            instance.w.assign(m, w);
+            const double t = dlt::optimal_makespan(instance);
+            if (m == 1) t1 = t;
+            s.xs.push_back(static_cast<double>(m));
+            s.ys.push_back(t1 / t);
+        }
+        // Saturation: the speedup gained from 32 -> 64 must be much smaller
+        // than from 1 -> 2.
+        const double early = s.ys[1] - s.ys[0];
+        const double late = s.ys.back() - s.ys[s.ys.size() - 2];
+        if (late > 0.5 * early) saturation_shape = false;
+        series.push_back(std::move(s));
+    }
+    util::ChartOptions chart;
+    chart.x_label = "m (processors)";
+    chart.y_label = "speedup";
+    report.text(util::render_scatter(series, chart));
+
+    // FE vs CP at every (m >= 2, z > 0): the FE load origin never pays the
+    // bus for its own share, so FE strictly wins.
+    for (std::size_t m : {2u, 8u, 32u}) {
+        for (double z : {0.05, 0.2, 0.5}) {
+            dlt::ProblemInstance cp{dlt::NetworkKind::kCP, z, std::vector<double>(m, w)};
+            dlt::ProblemInstance fe{dlt::NetworkKind::kNcpFE, z,
+                                    std::vector<double>(m, w)};
+            if (dlt::optimal_makespan(fe) >= dlt::optimal_makespan(cp)) {
+                fe_beats_cp = false;
+            }
+        }
+    }
+
+    report.section("asymptotes and saturation (closed-form m -> infinity limits)");
+    util::Table asym({"kind", "z", "T(64)", "T(inf)", "procs to reach 5% of limit"});
+    asym.set_precision(5);
+    bool converging = true;
+    for (auto kind : {dlt::NetworkKind::kCP, dlt::NetworkKind::kNcpFE,
+                      dlt::NetworkKind::kNcpNFE}) {
+        for (double z : {0.1, 0.5}) {
+            dlt::ProblemInstance big{kind, z, std::vector<double>(64, w)};
+            const double t64 = dlt::optimal_makespan(big);
+            const double limit = dlt::asymptotic_makespan(kind, z, w);
+            if (t64 < limit - 1e-9) converging = false;
+            asym.add_row({dlt::to_string(kind), util::Table::format_double(z, 3),
+                          util::Table::format_double(t64, 5),
+                          util::Table::format_double(limit, 5),
+                          std::to_string(dlt::saturation_size(kind, z, w))});
+        }
+    }
+    report.text(asym.render());
+
+    report.section("verdicts");
+    report.verdict(zero_z_perfect, "z = 0 reaches the perfect-sharing limit w/m");
+    report.verdict(converging, "makespans approach the analytic asymptote from above");
+    report.verdict(saturation_shape, "speedup saturates as m grows (bus bottleneck)");
+    report.verdict(fe_beats_cp, "NCP-FE strictly beats CP (front-end LO computes for free)");
+    return report.exit_code();
+}

@@ -1,0 +1,71 @@
+// E11: payment structure of the DLS-BL rule (the [9] heritage experiment):
+// compensation, bonus, payment and utility per processor, and the identity
+// bonus == marginal makespan contribution.
+#include "bench/common.hpp"
+#include "mech/dls_bl.hpp"
+#include "util/table.hpp"
+
+using namespace dlsbl;
+
+int main() {
+    bench::Report report("E11: DLS-BL payment structure (compensation + bonus)");
+
+    const std::vector<double> w{0.8, 1.2, 1.6, 2.0, 2.4, 3.0};
+    const double z = 0.3;
+
+    bool bonus_nonneg = true;
+    bool bonus_is_marginal = true;
+    bool payment_decomposes = true;
+
+    for (auto kind : {dlt::NetworkKind::kCP, dlt::NetworkKind::kNcpFE,
+                      dlt::NetworkKind::kNcpNFE}) {
+        const mech::DlsBl mechanism(kind, z, w);
+        const auto breakdown = mechanism.payments(std::span<const double>(w));
+        const double full = mechanism.bid_makespan();
+
+        report.section(std::string(dlt::to_string(kind)) +
+                       " (truthful, w = {0.8..3.0}, z = 0.3)");
+        util::Table table({"proc", "w_i", "alpha_i", "C_i", "B_i", "Q_i", "U_i",
+                           "T(-i) - T"});
+        table.set_precision(5);
+        for (std::size_t i = 0; i < w.size(); ++i) {
+            const double marginal = mechanism.exclusion_makespan(i) - full;
+            table.add_numeric_row({static_cast<double>(i + 1), w[i],
+                                   mechanism.allocation()[i], breakdown.compensation[i],
+                                   breakdown.bonus[i], breakdown.payment[i],
+                                   breakdown.utility[i], marginal});
+            if (breakdown.bonus[i] < -1e-12) bonus_nonneg = false;
+            if (std::abs(breakdown.bonus[i] - marginal) > 1e-9) bonus_is_marginal = false;
+            if (std::abs(breakdown.payment[i] -
+                         (breakdown.compensation[i] + breakdown.bonus[i])) > 1e-12) {
+                payment_decomposes = false;
+            }
+        }
+        report.text(table.render());
+    }
+
+    report.section("slow execution shrinks the bonus (verification at work)");
+    const mech::DlsBl mechanism(dlt::NetworkKind::kNcpFE, z, w);
+    util::Table slow_table({"exec factor (P3)", "B_3", "Q_3", "U_3"});
+    slow_table.set_precision(5);
+    bool monotone = true;
+    double previous = 1e18;
+    for (double factor : {1.0, 1.25, 1.5, 2.0, 3.0}) {
+        auto exec = w;
+        exec[2] *= factor;
+        const auto breakdown = mechanism.payments(std::span<const double>(exec));
+        slow_table.add_numeric_row(
+            {factor, breakdown.bonus[2], breakdown.payment[2], breakdown.utility[2]});
+        if (breakdown.utility[2] > previous + 1e-12) monotone = false;
+        previous = breakdown.utility[2];
+    }
+    report.text(slow_table.render());
+
+    report.section("verdicts");
+    report.verdict(bonus_nonneg, "truthful bonuses non-negative (voluntary participation)");
+    report.verdict(bonus_is_marginal,
+                   "bonus equals the marginal makespan contribution T(-i) - T");
+    report.verdict(payment_decomposes, "Q_i = C_i + B_i exactly");
+    report.verdict(monotone, "utility monotonically falls as execution slows");
+    return report.exit_code();
+}

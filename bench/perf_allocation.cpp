@@ -1,0 +1,83 @@
+// E14: engineering microbenchmarks for the scheduling substrate —
+// closed-form O(m) allocation vs the O(m³) Gaussian-elimination
+// cross-check, finishing-time evaluation, and the exact-rational path.
+#include <benchmark/benchmark.h>
+
+#include "dlt/closed_form.hpp"
+#include "dlt/finish_time.hpp"
+#include "dlt/linear_solver.hpp"
+#include "dlt/sequencing.hpp"
+#include "util/rational.hpp"
+
+using namespace dlsbl;
+
+namespace {
+
+dlt::ProblemInstance make_instance(std::size_t m, dlt::NetworkKind kind) {
+    dlt::ProblemInstance instance;
+    instance.kind = kind;
+    instance.z = 0.2;
+    instance.w.resize(m);
+    for (std::size_t i = 0; i < m; ++i) {
+        instance.w[i] = 0.7 + 0.31 * static_cast<double>((i * 7) % 11);
+    }
+    return instance;
+}
+
+void BM_ClosedFormAllocation(benchmark::State& state) {
+    const auto instance =
+        make_instance(static_cast<std::size_t>(state.range(0)), dlt::NetworkKind::kNcpFE);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dlt::optimal_allocation(instance));
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ClosedFormAllocation)->RangeMultiplier(4)->Range(4, 1024)->Complexity();
+
+void BM_GaussianSolverAllocation(benchmark::State& state) {
+    const auto instance =
+        make_instance(static_cast<std::size_t>(state.range(0)), dlt::NetworkKind::kNcpFE);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dlt::optimal_allocation_by_solver(instance));
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GaussianSolverAllocation)->RangeMultiplier(4)->Range(4, 256)->Complexity();
+
+void BM_FinishingTimes(benchmark::State& state) {
+    const auto instance =
+        make_instance(static_cast<std::size_t>(state.range(0)), dlt::NetworkKind::kNcpNFE);
+    const auto alpha = dlt::optimal_allocation(instance);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dlt::finishing_times(instance, alpha));
+    }
+}
+BENCHMARK(BM_FinishingTimes)->RangeMultiplier(4)->Range(4, 1024);
+
+void BM_LeaveOneOutMakespan(benchmark::State& state) {
+    const auto instance =
+        make_instance(static_cast<std::size_t>(state.range(0)), dlt::NetworkKind::kNcpFE);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dlt::leave_one_out_makespan(instance, 1));
+    }
+}
+BENCHMARK(BM_LeaveOneOutMakespan)->RangeMultiplier(4)->Range(4, 256);
+
+void BM_ExactRationalAllocation(benchmark::State& state) {
+    const std::size_t m = static_cast<std::size_t>(state.range(0));
+    std::vector<util::Rational> w;
+    for (std::size_t i = 1; i <= m; ++i) {
+        w.emplace_back(util::BigInt{static_cast<std::int64_t>(2 * i + 1)},
+                       util::BigInt{static_cast<std::int64_t>(i + 1)});
+    }
+    const util::Rational z = util::Rational::parse("1/5");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dlt::optimal_allocation_generic<util::Rational>(
+            dlt::NetworkKind::kNcpFE, std::span<const util::Rational>(w), z));
+    }
+}
+BENCHMARK(BM_ExactRationalAllocation)->RangeMultiplier(2)->Range(2, 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,142 @@
+// E15: engineering microbenchmarks for the cryptographic substrate —
+// SHA-256 throughput, HMAC, Lamport and Merkle signature operations, and
+// full protocol-message signing.
+#include <benchmark/benchmark.h>
+
+#include "crypto/hmac.hpp"
+#include "crypto/lamport.hpp"
+#include "crypto/mss.hpp"
+#include "crypto/pki.hpp"
+#include "crypto/wots.hpp"
+
+using namespace dlsbl;
+
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+    const util::Bytes data(static_cast<std::size_t>(state.range(0)), 0xa5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->RangeMultiplier(8)->Range(64, 262144);
+
+void BM_HmacSha256(benchmark::State& state) {
+    const util::Bytes key(32, 0x42);
+    const util::Bytes message(static_cast<std::size_t>(state.range(0)), 0x17);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::hmac_sha256(key, message));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Range(64, 16384);
+
+void BM_LamportKeygen(benchmark::State& state) {
+    const crypto::Digest seed = crypto::Sha256::hash("bench-seed");
+    for (auto _ : state) {
+        crypto::LamportKeyPair key(seed);
+        benchmark::DoNotOptimize(key.public_key());
+    }
+}
+BENCHMARK(BM_LamportKeygen);
+
+void BM_LamportSign(benchmark::State& state) {
+    const crypto::LamportKeyPair key(crypto::Sha256::hash("bench-seed"));
+    const util::Bytes message = util::to_bytes("bid: 1.25 from P3");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(key.sign(message));
+    }
+}
+BENCHMARK(BM_LamportSign);
+
+void BM_LamportVerify(benchmark::State& state) {
+    const crypto::LamportKeyPair key(crypto::Sha256::hash("bench-seed"));
+    const util::Bytes message = util::to_bytes("bid: 1.25 from P3");
+    const auto signature = key.sign(message);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            crypto::LamportKeyPair::verify(key.public_key(), message, signature));
+    }
+}
+BENCHMARK(BM_LamportVerify);
+
+void BM_WotsKeygen(benchmark::State& state) {
+    const crypto::Digest seed = crypto::Sha256::hash("wots-bench");
+    for (auto _ : state) {
+        crypto::WotsKeyPair key(seed);
+        benchmark::DoNotOptimize(key.public_key());
+    }
+}
+BENCHMARK(BM_WotsKeygen);
+
+void BM_WotsSign(benchmark::State& state) {
+    const crypto::WotsKeyPair key(crypto::Sha256::hash("wots-bench"));
+    const util::Bytes message = util::to_bytes("bid: 1.25 from P3");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(key.sign(message));
+    }
+}
+BENCHMARK(BM_WotsSign);
+
+void BM_WotsVerify(benchmark::State& state) {
+    const crypto::WotsKeyPair key(crypto::Sha256::hash("wots-bench"));
+    const util::Bytes message = util::to_bytes("bid: 1.25 from P3");
+    const auto signature = key.sign(message);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            crypto::WotsKeyPair::verify(key.public_key(), message, signature));
+    }
+}
+BENCHMARK(BM_WotsVerify);
+
+void BM_MssKeygen(benchmark::State& state) {
+    const crypto::Digest seed = crypto::Sha256::hash("mss-bench");
+    const auto height = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        crypto::MssKeyPair key(seed, height);
+        benchmark::DoNotOptimize(key.public_key());
+    }
+}
+BENCHMARK(BM_MssKeygen)->DenseRange(1, 5, 2);
+
+void BM_MssSignVerify(benchmark::State& state) {
+    const util::Bytes message = util::to_bytes("payment vector");
+    for (auto _ : state) {
+        state.PauseTiming();
+        crypto::MssKeyPair key(crypto::Sha256::hash("mss-bench"), 2);
+        state.ResumeTiming();
+        const auto signature = key.sign(message);
+        benchmark::DoNotOptimize(
+            crypto::MssKeyPair::verify(key.public_key(), message, signature));
+    }
+}
+BENCHMARK(BM_MssSignVerify);
+
+void BM_MerkleTreeBuild(benchmark::State& state) {
+    std::vector<crypto::Digest> leaves;
+    for (int i = 0; i < state.range(0); ++i) {
+        leaves.push_back(crypto::Sha256::hash("leaf" + std::to_string(i)));
+    }
+    for (auto _ : state) {
+        crypto::MerkleTree tree(leaves);
+        benchmark::DoNotOptimize(tree.root());
+    }
+}
+BENCHMARK(BM_MerkleTreeBuild)->RangeMultiplier(4)->Range(16, 4096);
+
+void BM_SignedEnvelopeFast(benchmark::State& state) {
+    crypto::Pki pki;
+    auto signer =
+        crypto::make_registered_signer(pki, "P1", 7, crypto::SignatureAlgorithm::kFast);
+    const util::Bytes payload = util::to_bytes("bid body bytes");
+    for (auto _ : state) {
+        auto msg = crypto::sign_message(*signer, "P1", payload);
+        benchmark::DoNotOptimize(msg.verify(pki));
+    }
+}
+BENCHMARK(BM_SignedEnvelopeFast);
+
+}  // namespace
+
+BENCHMARK_MAIN();

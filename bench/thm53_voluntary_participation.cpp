@@ -1,0 +1,74 @@
+// E7: Theorems 3.2 / 5.3 — voluntary participation: truthful processors
+// never end a run with negative utility.
+#include "bench/common.hpp"
+#include "mech/properties.hpp"
+#include "protocol/runner.hpp"
+#include "util/statistics.hpp"
+#include "util/table.hpp"
+
+using namespace dlsbl;
+
+int main() {
+    bench::Report report("E7: Theorems 3.2/5.3 — voluntary participation");
+
+    report.section("mechanism level: truthful utilities over random instances");
+    util::Xoshiro256 rng{7};
+    util::Table table({"kind", "instances", "agents", "min U", "median U", "violations"});
+    table.set_precision(5);
+    std::size_t violations = 0;
+    for (auto kind : {dlt::NetworkKind::kCP, dlt::NetworkKind::kNcpFE,
+                      dlt::NetworkKind::kNcpNFE}) {
+        std::vector<double> utilities;
+        std::size_t kind_violations = 0;
+        for (int trial = 0; trial < 400; ++trial) {
+            const std::size_t m = static_cast<std::size_t>(rng.uniform_int(2, 10));
+            const auto instance = mech::random_instance(kind, m, rng);
+            const mech::DlsBl mechanism(kind, instance.z, instance.w);
+            const auto breakdown =
+                mechanism.payments(std::span<const double>(instance.w));
+            for (double u : breakdown.utility) {
+                utilities.push_back(u);
+                if (u < -1e-9) ++kind_violations;
+            }
+        }
+        violations += kind_violations;
+        const auto stats = util::summarize(utilities);
+        table.add_row({dlt::to_string(kind), "400", std::to_string(stats.count),
+                       util::Table::format_double(stats.min, 5),
+                       util::Table::format_double(stats.median, 5),
+                       std::to_string(kind_violations)});
+    }
+    report.text(table.render());
+
+    report.section("protocol level: realized utilities in honest full runs");
+    std::size_t protocol_violations = 0;
+    double protocol_min = 1e18;
+    util::Xoshiro256 prng{11};
+    for (auto kind : {dlt::NetworkKind::kNcpFE, dlt::NetworkKind::kNcpNFE}) {
+        for (int trial = 0; trial < 25; ++trial) {
+            const std::size_t m = static_cast<std::size_t>(prng.uniform_int(2, 8));
+            const auto instance = mech::random_instance(kind, m, prng);
+            protocol::ProtocolConfig config;
+            config.kind = kind;
+            config.z = instance.z;
+            config.true_w = instance.w;
+            config.block_count = 3000;
+            config.signature_algorithm = crypto::SignatureAlgorithm::kFast;
+            config.seed = 100 + static_cast<std::uint64_t>(trial);
+            const auto outcome = protocol::run_protocol(config);
+            for (const auto& p : outcome.processors) {
+                protocol_min = std::min(protocol_min, p.utility());
+                // Tolerance absorbs block-rounding noise.
+                if (p.utility() < -2e-3) ++protocol_violations;
+            }
+        }
+    }
+    report.line("minimum realized utility across 50 honest protocol runs: " +
+                util::Table::format_double(protocol_min, 6));
+
+    report.section("verdicts");
+    report.verdict(violations == 0, "mechanism level: zero negative truthful utilities");
+    report.verdict(protocol_violations == 0,
+                   "protocol level: zero negative truthful utilities (rounding tol.)");
+    return report.exit_code();
+}

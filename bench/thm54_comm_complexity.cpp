@@ -1,0 +1,93 @@
+// E10: Theorem 5.4 — the communication complexity of DLS-BL-NCP is Θ(m²),
+// dominated by the Computing Payments phase.
+//
+// Measures control messages and bytes of honest protocol runs as m grows,
+// fits a power law in log-log space, and breaks bytes down by phase.
+#include <vector>
+
+#include "bench/common.hpp"
+#include "protocol/runner.hpp"
+#include "util/statistics.hpp"
+#include "util/table.hpp"
+
+using namespace dlsbl;
+
+int main() {
+    bench::Report report("E10: Theorem 5.4 — communication complexity Θ(m²)");
+
+    const std::vector<std::size_t> sizes{4, 8, 16, 32, 64, 128, 256, 512};
+    // The power-law fit uses only m >= 64: below that the constant envelope
+    // overhead per message (signature, names) dilutes the quadratic term.
+    const std::size_t fit_from = 64;
+    std::vector<double> ms, bytes, messages;
+    util::Table table({"m", "control messages", "control bytes", "bytes in Bidding",
+                       "bytes in ComputingPayments", "payments share"});
+
+    for (std::size_t m : sizes) {
+        protocol::ProtocolConfig config;
+        config.kind = dlt::NetworkKind::kNcpFE;
+        config.z = 0.2;
+        config.true_w.resize(m);
+        for (std::size_t i = 0; i < m; ++i) {
+            config.true_w[i] = 1.0 + 0.05 * static_cast<double>(i % 13);
+        }
+        config.block_count = 4 * m;
+        config.signature_algorithm = crypto::SignatureAlgorithm::kFast;
+        const auto outcome = protocol::run_protocol(config);
+
+        std::uint64_t bidding = 0, payments = 0, total = 0;
+        for (const auto& [phase, b] : outcome.bytes_by_phase) {
+            total += b;
+            if (phase == "Bidding") bidding += b;
+            if (phase == "ComputingPayments") payments += b;
+        }
+        if (m >= fit_from) {
+            ms.push_back(static_cast<double>(m));
+            bytes.push_back(static_cast<double>(outcome.control_bytes));
+            messages.push_back(static_cast<double>(outcome.control_messages));
+        }
+        table.add_row({std::to_string(m), std::to_string(outcome.control_messages),
+                       std::to_string(outcome.control_bytes), std::to_string(bidding),
+                       std::to_string(payments),
+                       util::Table::format_double(
+                           static_cast<double>(payments) / static_cast<double>(total), 3)});
+    }
+    report.section("measured traffic of honest runs (load transfers excluded)");
+    report.text(table.render());
+
+    const auto byte_fit = util::power_law_fit(ms, bytes);
+    const auto msg_fit = util::power_law_fit(ms, messages);
+    report.section("power-law fits (log-log least squares)");
+    report.line("control bytes    ~ m^" + util::Table::format_double(byte_fit.slope, 4) +
+                "   (R² = " + util::Table::format_double(byte_fit.r_squared, 4) + ")");
+    report.line("control messages ~ m^" + util::Table::format_double(msg_fit.slope, 4) +
+                "   (R² = " + util::Table::format_double(msg_fit.r_squared, 4) + ")");
+
+    // Final-row payment share.
+    double payments_share = 0.0;
+    {
+        protocol::ProtocolConfig config;
+        config.kind = dlt::NetworkKind::kNcpFE;
+        config.z = 0.2;
+        config.true_w.assign(sizes.back(), 1.0);
+        config.block_count = 4 * sizes.back();
+        config.signature_algorithm = crypto::SignatureAlgorithm::kFast;
+        const auto outcome = protocol::run_protocol(config);
+        std::uint64_t payments = 0, total = 0;
+        for (const auto& [phase, b] : outcome.bytes_by_phase) {
+            total += b;
+            if (phase == "ComputingPayments") payments += b;
+        }
+        payments_share = static_cast<double>(payments) / static_cast<double>(total);
+    }
+
+    report.section("verdicts");
+    report.verdict(byte_fit.slope > 1.8 && byte_fit.slope < 2.2,
+                   "bytes scale as m^2 (fitted exponent in [1.8, 2.2])");
+    report.verdict(msg_fit.slope > 0.8 && msg_fit.slope < 1.2,
+                   "message count scales as m (the m x m cost is in the vector sizes)");
+    report.verdict(payments_share > 0.5,
+                   "Computing Payments dominates the traffic (paper: \"the communication "
+                   "cost is dominated by the Computing Payment phase\")");
+    return report.exit_code();
+}

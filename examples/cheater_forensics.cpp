@@ -1,0 +1,68 @@
+// Cheater forensics: runs one protocol execution per deviant strategy and
+// prints the referee's case file — the accusation, the evidence checks, the
+// verdict, and where the money went — by replaying the signed-message trace.
+#include <cstdio>
+
+#include "agents/zoo.hpp"
+#include "protocol/runner.hpp"
+#include "util/table.hpp"
+
+using namespace dlsbl;
+
+namespace {
+
+void investigate(const protocol::Strategy& strategy, std::size_t slot,
+                 dlt::NetworkKind kind) {
+    protocol::ProtocolConfig config;
+    config.kind = kind;
+    config.z = 0.25;
+    config.true_w = {1.0, 2.0, 1.5, 0.8};
+    config.block_count = 1200;
+    config.signature_algorithm = crypto::SignatureAlgorithm::kFast;
+    config.strategies.assign(4, agents::truthful());
+    config.strategies[slot] = strategy;
+
+    std::printf("\n=== case: %s (as P%zu, %s) ===\n", strategy.name.c_str(), slot + 1,
+                dlt::to_string(kind));
+
+    const auto outcome = protocol::run_protocol(config, [](const auto& internals) {
+        // Replay the referee's verdict lines from the network trace.
+        for (const auto& event :
+             internals.context.network().trace().filter(sim::TraceKind::kVerdict)) {
+            std::printf("  t=%.6f  referee: %s\n", event.time, event.detail.c_str());
+        }
+        // And the money movements.
+        for (const auto& entry : internals.context.ledger().history()) {
+            if (entry.memo.rfind("payment", 0) == 0) continue;  // routine settlements
+            std::printf("  ledger: %-10s -> %-10s %9.4f  (%s)\n", entry.from.c_str(),
+                        entry.to.c_str(), entry.amount, entry.memo.c_str());
+        }
+    });
+
+    std::printf("  outcome: %s%s\n",
+                outcome.terminated_early ? "protocol TERMINATED — " : "settled — ",
+                outcome.termination_reason.empty() ? "no incident"
+                                                   : outcome.termination_reason.c_str());
+    for (const auto& p : outcome.processors) {
+        std::printf("  %-3s utility %+9.4f %s\n", p.name.c_str(), p.utility(),
+                    p.fined ? "[FINED]" : "");
+    }
+}
+
+}  // namespace
+
+int main() {
+    std::printf("DLS-BL-NCP forensics: one run per deviant strategy.\n");
+    std::printf("Honest control run first:\n");
+    investigate(agents::truthful(), 2, dlt::NetworkKind::kNcpFE);
+
+    for (const auto& strategy : agents::worker_deviants()) {
+        investigate(strategy, 2, dlt::NetworkKind::kNcpFE);
+    }
+    for (const auto& strategy : agents::lo_deviants()) {
+        investigate(strategy, 0, dlt::NetworkKind::kNcpFE);  // P1 is the NCP-FE LO
+    }
+    // The NFE class puts the load origin last: replay one LO case there too.
+    investigate(agents::short_shipping_lo(), 3, dlt::NetworkKind::kNcpNFE);
+    return 0;
+}

@@ -1,0 +1,182 @@
+// dlsbl_cli: run one DLS-BL-NCP protocol execution from the command line.
+//
+// Usage:
+//   dlsbl_cli [--kind fe|nfe] [--z <double>] [--w <w1,w2,...>]
+//             [--strategy <index>:<name>]... [--blocks N] [--latency L]
+//             [--fine F] [--seed S] [--trace]
+//
+// Strategy names: truthful, underbidder, overbidder, slow_executor,
+// masked_overbidder, inconsistent_bidder, short_shipping_lo,
+// over_shipping_lo, corrupting_lo, refusing_lo, payment_cheater,
+// contradictory_payer, bid_vector_tamperer, false_accuser,
+// false_short_claimer, silent_observer.
+//
+// Example:
+//   dlsbl_cli --kind nfe --z 0.3 --w 1.0,2.0,1.5 --strategy 1:payment_cheater
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "agents/zoo.hpp"
+#include "protocol/runner.hpp"
+#include "util/table.hpp"
+
+using namespace dlsbl;
+
+namespace {
+
+protocol::Strategy strategy_by_name(const std::string& name) {
+    static const std::map<std::string, protocol::Strategy (*)()> kZoo{
+        {"truthful", agents::truthful},
+        {"underbidder", agents::underbidder},
+        {"overbidder", agents::overbidder},
+        {"inconsistent_bidder", [] { return agents::inconsistent_bidder(); }},
+        {"short_shipping_lo", [] { return agents::short_shipping_lo(); }},
+        {"over_shipping_lo", [] { return agents::over_shipping_lo(); }},
+        {"corrupting_lo", agents::corrupting_lo},
+        {"refusing_lo", agents::refusing_lo},
+        {"payment_cheater", agents::payment_cheater},
+        {"contradictory_payer", agents::contradictory_payer},
+        {"bid_vector_tamperer", agents::bid_vector_tamperer},
+        {"false_accuser", agents::false_accuser},
+        {"false_short_claimer", agents::false_short_claimer},
+        {"silent_observer", agents::silent_observer},
+        {"slow_executor", [] { return agents::slow_executor(); }},
+        {"masked_overbidder", [] { return agents::masked_overbidder(); }},
+    };
+    const auto it = kZoo.find(name);
+    if (it == kZoo.end()) {
+        std::fprintf(stderr, "unknown strategy '%s'\n", name.c_str());
+        std::exit(2);
+    }
+    return it->second();
+}
+
+std::vector<double> parse_doubles(const std::string& csv) {
+    std::vector<double> out;
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        const std::size_t comma = csv.find(',', start);
+        const std::string token =
+            csv.substr(start, comma == std::string::npos ? csv.size() - start
+                                                         : comma - start);
+        if (!token.empty()) out.push_back(std::strtod(token.c_str(), nullptr));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+[[noreturn]] void usage() {
+    std::fprintf(
+        stderr,
+        "usage: dlsbl_cli [--kind fe|nfe] [--z Z] [--w w1,w2,...]\n"
+        "                 [--strategy i:name]... [--blocks N] [--latency L]\n"
+        "                 [--fine F] [--seed S] [--trace]\n");
+    std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    protocol::ProtocolConfig config;
+    config.kind = dlt::NetworkKind::kNcpFE;
+    config.z = 0.25;
+    config.true_w = {1.0, 2.0, 1.5, 0.8};
+    config.block_count = 1200;
+    config.signature_algorithm = crypto::SignatureAlgorithm::kFast;
+    bool show_trace = false;
+    std::vector<std::pair<std::size_t, std::string>> strategy_args;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) usage();
+            return argv[++i];
+        };
+        if (arg == "--kind") {
+            const std::string kind = next();
+            if (kind == "fe") {
+                config.kind = dlt::NetworkKind::kNcpFE;
+            } else if (kind == "nfe") {
+                config.kind = dlt::NetworkKind::kNcpNFE;
+            } else {
+                usage();
+            }
+        } else if (arg == "--z") {
+            config.z = std::strtod(next().c_str(), nullptr);
+        } else if (arg == "--w") {
+            config.true_w = parse_doubles(next());
+        } else if (arg == "--strategy") {
+            const std::string spec = next();
+            const std::size_t colon = spec.find(':');
+            if (colon == std::string::npos) usage();
+            strategy_args.emplace_back(
+                static_cast<std::size_t>(std::strtoul(spec.c_str(), nullptr, 10)),
+                spec.substr(colon + 1));
+        } else if (arg == "--blocks") {
+            config.block_count =
+                static_cast<std::size_t>(std::strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--latency") {
+            config.control_latency = std::strtod(next().c_str(), nullptr);
+        } else if (arg == "--fine") {
+            config.fine_policy.fixed_fine = std::strtod(next().c_str(), nullptr);
+        } else if (arg == "--seed") {
+            config.seed = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--trace") {
+            show_trace = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+            usage();
+        }
+    }
+
+    config.strategies.assign(config.true_w.size(), agents::truthful());
+    for (const auto& [index, name] : strategy_args) {
+        if (index >= config.strategies.size()) {
+            std::fprintf(stderr, "strategy index %zu out of range\n", index);
+            return 2;
+        }
+        config.strategies[index] = strategy_by_name(name);
+    }
+
+    std::string trace_dump;
+    const auto outcome =
+        protocol::run_protocol(config, [&](const protocol::RunInternals& internals) {
+            if (show_trace) trace_dump = internals.context.network().trace().render();
+        });
+
+    std::printf("kind=%s z=%.4g m=%zu blocks=%zu F=%.4g\n", dlt::to_string(config.kind),
+                config.z, config.true_w.size(), config.block_count,
+                outcome.fine_amount);
+    std::printf("result: %s  makespan=%.6f  user_paid=%.6f  messages=%llu bytes=%llu\n",
+                outcome.terminated_early
+                    ? ("TERMINATED (" + outcome.termination_reason + ")").c_str()
+                    : "settled",
+                outcome.makespan, outcome.user_paid,
+                static_cast<unsigned long long>(outcome.control_messages),
+                static_cast<unsigned long long>(outcome.control_bytes));
+
+    util::Table table({"proc", "strategy", "true w", "bid", "alpha", "payment",
+                       "fines", "rewards", "utility"});
+    table.set_precision(4);
+    for (std::size_t i = 0; i < outcome.processors.size(); ++i) {
+        const auto& p = outcome.processors[i];
+        table.add_row({p.name, config.strategies[i].name,
+                       util::Table::format_double(p.true_w, 4),
+                       util::Table::format_double(p.bid, 4),
+                       util::Table::format_double(p.alpha, 4),
+                       util::Table::format_double(p.payment, 4),
+                       util::Table::format_double(p.fines, 4),
+                       util::Table::format_double(p.rewards, 4),
+                       util::Table::format_double(p.utility(), 4)});
+    }
+    std::printf("%s", table.render().c_str());
+    if (show_trace) std::printf("\n--- event trace ---\n%s", trace_dump.c_str());
+    return 0;
+}

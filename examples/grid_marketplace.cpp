@@ -1,0 +1,56 @@
+// Grid marketplace: a long-running compute market built on DLS-BL-NCP.
+//
+// A stream of jobs is auctioned to a pool of processors owned by different
+// organizations (protocol::run_marketplace). Some owners configure their
+// agents to lie or cheat; the report shows the market outcome the paper
+// predicts: nobody beats its own honest counterfactual on the same jobs,
+// and protocol cheaters bleed fines.
+#include <cstdio>
+
+#include "agents/zoo.hpp"
+#include "protocol/marketplace.hpp"
+#include "util/table.hpp"
+
+using namespace dlsbl;
+
+int main() {
+    protocol::MarketConfig config;
+    config.owners = {
+        {"HonestCo", agents::truthful()},
+        {"AlsoHonest", agents::truthful()},
+        {"Slowball (overbids 1.5x)", agents::misreporter(1.5)},
+        {"BraggartNode (underbids 0.7x)", agents::misreporter(0.7)},
+        {"ShadyGrid (fakes shortages)", agents::false_short_claimer()},
+    };
+    config.jobs = 40;
+    config.seed = 2026;
+
+    std::printf("Auctioning %zu divisible-load jobs to %zu processor owners...\n\n",
+                config.jobs, config.owners.size());
+    const auto report = protocol::run_marketplace(config);
+
+    util::Table table({"owner", "jobs", "times fined", "total utility",
+                       "honest counterfactual", "gain from strategy"});
+    table.set_precision(4);
+    for (const auto& account : report.accounts) {
+        table.add_row({account.label, std::to_string(account.jobs),
+                       std::to_string(account.times_fined),
+                       util::Table::format_double(account.total_utility, 4),
+                       util::Table::format_double(account.honest_counterfactual, 4),
+                       util::Table::format_double(account.gain_from_strategy(), 4)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("jobs settled: %zu/%zu, total user spend on settled jobs: %.3f\n\n",
+                report.jobs_run - report.jobs_terminated, report.jobs_run,
+                report.total_user_spend);
+
+    std::printf(
+        "Reading the market: the honest owners collect the bonus (their marginal\n"
+        "contribution to the makespan) on every job. The misreporters are not\n"
+        "fined — lying about speed is legal — but the \"gain from strategy\"\n"
+        "column shows the payment rule left them no better than honest bidding\n"
+        "on the very same jobs (Theorem 5.2). The protocol cheater is caught and\n"
+        "fined every single time it deviates (Theorem 5.1), turning its balance\n"
+        "deeply negative.\n");
+    return 0;
+}

@@ -1,0 +1,144 @@
+#include "agents/zoo.hpp"
+
+namespace dlsbl::agents {
+
+Strategy truthful() {
+    Strategy s;
+    s.name = "truthful";
+    return s;
+}
+
+Strategy misreporter(double bid_factor) {
+    Strategy s;
+    s.name = bid_factor < 1.0 ? "underbidder" : "overbidder";
+    s.bid_factor = bid_factor;
+    return s;
+}
+
+Strategy underbidder() { return misreporter(0.5); }
+
+Strategy overbidder() { return misreporter(2.0); }
+
+Strategy slow_executor(double exec_factor) {
+    Strategy s;
+    s.name = "slow_executor";
+    s.exec_factor = exec_factor;
+    return s;
+}
+
+Strategy masked_overbidder(double factor) {
+    Strategy s;
+    s.name = "masked_overbidder";
+    s.bid_factor = factor;
+    s.exec_factor = factor;  // runs exactly as slowly as it claimed
+    return s;
+}
+
+Strategy inconsistent_bidder(double first_factor, double second_factor) {
+    Strategy s;
+    s.name = "inconsistent_bidder";
+    s.bid_factor = first_factor;
+    s.second_bid_factor = second_factor;
+    return s;
+}
+
+Strategy short_shipping_lo(double ship_factor) {
+    Strategy s;
+    s.name = "short_shipping_lo";
+    s.lo_ship_factor = ship_factor;
+    return s;
+}
+
+Strategy over_shipping_lo(double ship_factor) {
+    Strategy s;
+    s.name = "over_shipping_lo";
+    s.lo_ship_factor = ship_factor;
+    return s;
+}
+
+Strategy corrupting_lo() {
+    Strategy s;
+    s.name = "corrupting_lo";
+    s.lo_corrupt_blocks = true;
+    return s;
+}
+
+Strategy refusing_lo() {
+    Strategy s;
+    s.name = "refusing_lo";
+    s.lo_ship_factor = 0.6;
+    s.lo_refuse_mediation = true;
+    return s;
+}
+
+Strategy payment_cheater() {
+    Strategy s;
+    s.name = "payment_cheater";
+    s.corrupt_payment_vector = true;
+    return s;
+}
+
+Strategy contradictory_payer() {
+    Strategy s;
+    s.name = "contradictory_payer";
+    s.contradictory_payment_vectors = true;
+    return s;
+}
+
+Strategy bid_vector_tamperer() {
+    Strategy s;
+    s.name = "bid_vector_tamperer";
+    // The referee only requests bid vectors during a dispute, so this
+    // deviant provokes one with a false shortage claim and then submits a
+    // tampered vector (offense iv on top of offense v).
+    s.false_short_claim = true;
+    s.tamper_bid_vector = true;
+    return s;
+}
+
+Strategy false_accuser() {
+    Strategy s;
+    s.name = "false_accuser";
+    s.false_accuse = true;
+    return s;
+}
+
+Strategy false_short_claimer() {
+    Strategy s;
+    s.name = "false_short_claimer";
+    s.false_short_claim = true;
+    return s;
+}
+
+Strategy silent_observer() {
+    Strategy s;
+    s.name = "silent_observer";
+    s.report_deviations = false;
+    return s;
+}
+
+std::vector<Strategy> worker_deviants() {
+    return {
+        inconsistent_bidder(), payment_cheater(),     contradictory_payer(),
+        false_accuser(),       false_short_claimer(), bid_vector_tamperer(),
+    };
+}
+
+std::vector<Strategy> lo_deviants() {
+    return {
+        inconsistent_bidder(), short_shipping_lo(), over_shipping_lo(),
+        corrupting_lo(),       refusing_lo(),       payment_cheater(),
+        contradictory_payer(),
+    };
+}
+
+std::vector<Strategy> all_deviants() {
+    auto out = worker_deviants();
+    out.push_back(short_shipping_lo());
+    out.push_back(over_shipping_lo());
+    out.push_back(corrupting_lo());
+    out.push_back(refusing_lo());
+    return out;
+}
+
+}  // namespace dlsbl::agents

@@ -1,0 +1,60 @@
+// The strategy zoo: named agent behaviours covering every manipulation the
+// paper discusses.
+//
+// Valuation manipulations (handled by DLS-BL's payment structure):
+//   truthful, underbidder, overbidder, slow_executor, masked_overbidder
+// Protocol deviations (§4 offenses (i)-(v), handled by monitoring + fines):
+//   inconsistent_bidder, short_shipping_lo, over_shipping_lo,
+//   corrupting_lo, refusing_lo, payment_cheater, contradictory_payer,
+//   bid_vector_tamperer, false_accuser, false_short_claimer
+// Monitoring variants:
+//   silent_observer (honest work, never reports — forfeits rewards)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "protocol/strategy.hpp"
+
+namespace dlsbl::agents {
+
+using protocol::Strategy;
+
+// --- honest -----------------------------------------------------------------
+Strategy truthful();
+
+// --- valuation manipulation ---------------------------------------------------
+// Bids factor * w (factor < 1 claims to be faster, > 1 slower).
+Strategy misreporter(double bid_factor);
+Strategy underbidder();                 // factor 0.5
+Strategy overbidder();                  // factor 2.0
+// Bids truthfully but deliberately executes at exec_factor * w (>1).
+Strategy slow_executor(double exec_factor = 1.5);
+// Overbids and also runs slowly so the observed rate matches the lie.
+Strategy masked_overbidder(double factor = 2.0);
+
+// --- protocol deviations ------------------------------------------------------
+Strategy inconsistent_bidder(double first_factor = 0.8, double second_factor = 1.6);
+Strategy short_shipping_lo(double ship_factor = 0.6);
+Strategy over_shipping_lo(double ship_factor = 1.5);
+Strategy corrupting_lo();               // ships blocks failing the integrity check
+Strategy refusing_lo();                 // short-ships, then refuses mediation
+Strategy payment_cheater();             // inflates its own Q entry
+Strategy contradictory_payer();         // two different signed payment vectors
+Strategy bid_vector_tamperer();         // re-signs its own altered bid entry
+Strategy false_accuser();               // fabricated double-bid evidence
+Strategy false_short_claimer();         // lies about missing load units
+
+// --- monitoring variants --------------------------------------------------------
+Strategy silent_observer();             // honest but never reports deviations
+
+// Every deviant strategy in one list (for the compliance benches).
+std::vector<Strategy> all_deviants();
+
+// Deviants exercisable by a non-LO processor (LO-specific ones excluded).
+std::vector<Strategy> worker_deviants();
+
+// Deviants only meaningful for the load-originating processor.
+std::vector<Strategy> lo_deviants();
+
+}  // namespace dlsbl::agents

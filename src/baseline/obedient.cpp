@@ -1,0 +1,61 @@
+#include "baseline/obedient.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dlt/closed_form.hpp"
+#include "dlt/finish_time.hpp"
+
+namespace dlsbl::baseline {
+
+ObedientOutcome run_obedient(dlt::NetworkKind kind, double z,
+                             const std::vector<double>& true_w,
+                             const std::vector<double>& bids) {
+    if (true_w.size() != bids.size()) {
+        throw std::invalid_argument("run_obedient: size mismatch");
+    }
+    dlt::ProblemInstance reported{kind, z, bids};
+    ObedientOutcome out;
+    out.alpha = dlt::optimal_allocation(reported);
+    out.scheduled_makespan = dlt::makespan(reported, out.alpha);
+    // The schedule runs with the processors' *true* speeds.
+    out.realized_makespan = dlt::makespan_generic<double>(
+        kind, std::span<const double>(out.alpha), std::span<const double>(true_w), z);
+    const std::size_t m = bids.size();
+    out.paid.resize(m);
+    out.true_cost.resize(m);
+    out.profit.resize(m);
+    for (std::size_t i = 0; i < m; ++i) {
+        out.paid[i] = out.alpha[i] * bids[i];
+        out.true_cost[i] = out.alpha[i] * true_w[i];
+        out.profit[i] = out.paid[i] - out.true_cost[i];
+    }
+    return out;
+}
+
+ManipulationGain best_manipulation(dlt::NetworkKind kind, double z,
+                                   const std::vector<double>& true_w, std::size_t i,
+                                   const std::vector<double>& factors) {
+    if (i >= true_w.size()) throw std::out_of_range("best_manipulation: bad index");
+    ManipulationGain gain;
+    const auto honest = run_obedient(kind, z, true_w, true_w);
+    gain.honest_profit = honest.profit[i];
+    gain.deviant_profit = honest.profit[i];
+
+    dlt::ProblemInstance true_instance{kind, z, true_w};
+    const double true_optimal = dlt::optimal_makespan(true_instance);
+
+    for (double factor : factors) {
+        auto bids = true_w;
+        bids[i] = factor * true_w[i];
+        const auto outcome = run_obedient(kind, z, true_w, bids);
+        if (outcome.profit[i] > gain.deviant_profit) {
+            gain.deviant_profit = outcome.profit[i];
+            gain.best_factor = factor;
+            gain.makespan_inflation = outcome.realized_makespan / true_optimal - 1.0;
+        }
+    }
+    return gain;
+}
+
+}  // namespace dlsbl::baseline

@@ -1,0 +1,53 @@
+// The classical-DLT baseline: scheduling with the obedience assumption the
+// paper argues against (§1).
+//
+// A naive scheduler trusts reported w values, computes the BUS-LINEAR
+// allocation, and pays each processor its reported cost α_i(b)·b_i (cost
+// reimbursement at the claimed rate — the natural contract when processors
+// are assumed honest). No verification, no bonus, no fines.
+//
+// Under strategic agents this is manipulable in two ways that bench E13
+// quantifies against DLS-BL-NCP:
+//   * profit manipulation — overbid: you receive a smaller share but are
+//     paid above your true cost for every unit, netting a pure profit on
+//     the lie (and you can idle to mask it, since nothing is verified);
+//   * makespan damage — the schedule is optimal for the *reported* values,
+//     so every lie inflates the real finishing time relative to the
+//     schedule computed from true values.
+#pragma once
+
+#include <vector>
+
+#include "dlt/types.hpp"
+
+namespace dlsbl::baseline {
+
+struct ObedientOutcome {
+    dlt::LoadAllocation alpha;        // allocation computed from the reports
+    std::vector<double> paid;          // α_i(b) · b_i
+    std::vector<double> true_cost;     // α_i(b) · w_i (agents run at capacity)
+    std::vector<double> profit;        // paid - true_cost
+    double scheduled_makespan = 0.0;   // what the naive scheduler believes
+    double realized_makespan = 0.0;    // with true execution rates
+};
+
+// Runs the naive trusted scheduler on reported values `bids` for a system
+// whose true per-unit times are `true_w`.
+ObedientOutcome run_obedient(dlt::NetworkKind kind, double z,
+                             const std::vector<double>& true_w,
+                             const std::vector<double>& bids);
+
+struct ManipulationGain {
+    double honest_profit = 0.0;    // agent's profit when everyone is truthful
+    double deviant_profit = 0.0;   // its best profit over the bid-factor sweep
+    double best_factor = 1.0;      // the factor achieving it
+    double makespan_inflation = 0.0;  // realized/true-optimal makespan - 1 at that lie
+};
+
+// Sweeps bid factors for agent `i` (others truthful) and reports the most
+// profitable manipulation under the obedient baseline.
+ManipulationGain best_manipulation(dlt::NetworkKind kind, double z,
+                                   const std::vector<double>& true_w, std::size_t i,
+                                   const std::vector<double>& factors);
+
+}  // namespace dlsbl::baseline

@@ -1,0 +1,36 @@
+#include "crypto/hmac.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace dlsbl::crypto {
+
+Digest hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8_t> message) {
+    constexpr std::size_t kBlock = 64;
+    std::array<std::uint8_t, kBlock> key_block{};
+    if (key.size() > kBlock) {
+        const Digest kd = Sha256::hash(key);
+        std::memcpy(key_block.data(), kd.data(), kd.size());
+    } else {
+        std::memcpy(key_block.data(), key.data(), key.size());
+    }
+
+    std::array<std::uint8_t, kBlock> ipad{};
+    std::array<std::uint8_t, kBlock> opad{};
+    for (std::size_t i = 0; i < kBlock; ++i) {
+        ipad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x36);
+        opad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x5c);
+    }
+
+    Sha256 inner;
+    inner.update(std::span<const std::uint8_t>(ipad.data(), ipad.size()));
+    inner.update(message);
+    const Digest inner_digest = inner.finalize();
+
+    Sha256 outer;
+    outer.update(std::span<const std::uint8_t>(opad.data(), opad.size()));
+    outer.update(std::span<const std::uint8_t>(inner_digest.data(), inner_digest.size()));
+    return outer.finalize();
+}
+
+}  // namespace dlsbl::crypto

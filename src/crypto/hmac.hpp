@@ -1,0 +1,15 @@
+// HMAC-SHA256 (RFC 2104), verified against the RFC 4231 test vectors.
+//
+// Used to derive the deterministic per-index Lamport secret keys of the
+// Merkle signature scheme from a single master seed.
+#pragma once
+
+#include <span>
+
+#include "crypto/sha256.hpp"
+
+namespace dlsbl::crypto {
+
+Digest hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8_t> message);
+
+}  // namespace dlsbl::crypto

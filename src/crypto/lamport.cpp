@@ -1,0 +1,92 @@
+#include "crypto/lamport.hpp"
+
+#include "crypto/hmac.hpp"
+
+namespace dlsbl::crypto {
+
+namespace {
+
+// Bit i (0 = MSB of byte 0) of a digest.
+int digest_bit(const Digest& d, std::size_t i) {
+    return (d[i / 8] >> (7 - i % 8)) & 1;
+}
+
+}  // namespace
+
+util::Bytes LamportSignature::serialize() const {
+    util::Bytes out;
+    out.reserve(2 * 256 * 32);
+    for (const auto& d : revealed) out.insert(out.end(), d.begin(), d.end());
+    for (const auto& d : counterpart) out.insert(out.end(), d.begin(), d.end());
+    return out;
+}
+
+std::optional<LamportSignature> LamportSignature::deserialize(
+    std::span<const std::uint8_t> data) {
+    if (data.size() != 2 * 256 * 32) return std::nullopt;
+    LamportSignature sig;
+    std::size_t pos = 0;
+    for (auto& d : sig.revealed) {
+        std::copy(data.begin() + static_cast<std::ptrdiff_t>(pos),
+                  data.begin() + static_cast<std::ptrdiff_t>(pos + 32), d.begin());
+        pos += 32;
+    }
+    for (auto& d : sig.counterpart) {
+        std::copy(data.begin() + static_cast<std::ptrdiff_t>(pos),
+                  data.begin() + static_cast<std::ptrdiff_t>(pos + 32), d.begin());
+        pos += 32;
+    }
+    return sig;
+}
+
+LamportKeyPair::LamportKeyPair(const Digest& seed) : seed_(seed) {
+    // pk = H( H(sk[0][0]) || H(sk[0][1]) || ... || H(sk[255][1]) )
+    Sha256 acc;
+    for (std::size_t i = 0; i < 256; ++i) {
+        for (int b = 0; b < 2; ++b) {
+            const Digest h = Sha256::hash(
+                std::span<const std::uint8_t>(secret(i, b).data(), 32));
+            acc.update(std::span<const std::uint8_t>(h.data(), h.size()));
+        }
+    }
+    public_key_ = acc.finalize();
+}
+
+Digest LamportKeyPair::secret(std::size_t index, int bit) const {
+    util::ByteWriter w;
+    w.u64(index);
+    w.u8(static_cast<std::uint8_t>(bit));
+    return hmac_sha256(std::span<const std::uint8_t>(seed_.data(), seed_.size()),
+                       std::span<const std::uint8_t>(w.data().data(), w.data().size()));
+}
+
+LamportSignature LamportKeyPair::sign(std::span<const std::uint8_t> message) const {
+    const Digest md = Sha256::hash(message);
+    LamportSignature sig;
+    for (std::size_t i = 0; i < 256; ++i) {
+        const int bit = digest_bit(md, i);
+        sig.revealed[i] = secret(i, bit);
+        sig.counterpart[i] = Sha256::hash(
+            std::span<const std::uint8_t>(secret(i, 1 - bit).data(), 32));
+    }
+    return sig;
+}
+
+bool LamportKeyPair::verify(const Digest& public_key, std::span<const std::uint8_t> message,
+                            const LamportSignature& signature) {
+    const Digest md = Sha256::hash(message);
+    Sha256 acc;
+    for (std::size_t i = 0; i < 256; ++i) {
+        const int bit = digest_bit(md, i);
+        const Digest revealed_hash = Sha256::hash(
+            std::span<const std::uint8_t>(signature.revealed[i].data(), 32));
+        // Rebuild the (H(sk[i][0]), H(sk[i][1])) pair in canonical order.
+        const Digest& h0 = (bit == 0) ? revealed_hash : signature.counterpart[i];
+        const Digest& h1 = (bit == 0) ? signature.counterpart[i] : revealed_hash;
+        acc.update(std::span<const std::uint8_t>(h0.data(), h0.size()));
+        acc.update(std::span<const std::uint8_t>(h1.data(), h1.size()));
+    }
+    return acc.finalize() == public_key;
+}
+
+}  // namespace dlsbl::crypto

@@ -1,0 +1,56 @@
+// Lamport one-time signatures over SHA-256.
+//
+// The paper requires unforgeable, *publicly verifiable* digital signatures
+// ("SIG_β(m)"), but explicitly does not dictate a cryptosystem. Hash-based
+// Lamport signatures provide exactly this with no external dependencies:
+// a key pair signs one message; crypto/mss.hpp extends them to many-time
+// keys through a Merkle tree.
+//
+// Scheme:
+//   sk      = 256 x 2 secret 32-byte values, derived from a seed via
+//             HMAC(seed, index || bit) so keys are deterministic.
+//   pk      = SHA256 over the 512 hashes H(sk[i][b]) (32-byte compact key).
+//   sig(m)  : let d = H(m). For each bit i of d reveal sk[i][d_i]; also
+//             include H(sk[i][1 - d_i]) so the verifier can rebuild pk.
+//   verify  : hash the revealed values, interleave with the included
+//             counterpart hashes, hash the sequence, compare with pk.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace dlsbl::crypto {
+
+struct LamportSignature {
+    // revealed[i] is the preimage for bit i of H(m); counterpart[i] is the
+    // hash of the unrevealed secret for that bit position.
+    std::array<Digest, 256> revealed;
+    std::array<Digest, 256> counterpart;
+
+    [[nodiscard]] util::Bytes serialize() const;
+    static std::optional<LamportSignature> deserialize(std::span<const std::uint8_t> data);
+};
+
+class LamportKeyPair {
+ public:
+    // Deterministically derives the key pair from a 32-byte seed.
+    explicit LamportKeyPair(const Digest& seed);
+
+    [[nodiscard]] const Digest& public_key() const noexcept { return public_key_; }
+
+    [[nodiscard]] LamportSignature sign(std::span<const std::uint8_t> message) const;
+
+    static bool verify(const Digest& public_key, std::span<const std::uint8_t> message,
+                       const LamportSignature& signature);
+
+ private:
+    Digest secret(std::size_t index, int bit) const;
+
+    Digest seed_{};
+    Digest public_key_{};
+};
+
+}  // namespace dlsbl::crypto

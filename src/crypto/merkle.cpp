@@ -1,0 +1,73 @@
+#include "crypto/merkle.hpp"
+
+#include <stdexcept>
+
+namespace dlsbl::crypto {
+
+util::Bytes MerkleProof::serialize() const {
+    util::ByteWriter w;
+    w.u64(leaf_index);
+    w.u64(siblings.size());
+    for (const auto& d : siblings) w.raw(std::span<const std::uint8_t>(d.data(), d.size()));
+    return w.take();
+}
+
+std::optional<MerkleProof> MerkleProof::deserialize(std::span<const std::uint8_t> data) {
+    try {
+        util::ByteReader r(data);
+        MerkleProof proof;
+        proof.leaf_index = r.u64();
+        const std::uint64_t n = r.u64();
+        if (n > 64 || r.remaining() != n * 32) return std::nullopt;
+        proof.siblings.resize(n);
+        for (auto& d : proof.siblings) {
+            for (auto& byte : d) byte = r.u8();
+        }
+        return proof;
+    } catch (const std::out_of_range&) {
+        return std::nullopt;
+    }
+}
+
+MerkleTree::MerkleTree(std::vector<Digest> leaves) : leaf_count_(leaves.size()) {
+    if (leaves.empty()) throw std::invalid_argument("MerkleTree: no leaves");
+    // Pad to a power of two by repeating the final leaf.
+    std::size_t padded = 1;
+    while (padded < leaves.size()) padded *= 2;
+    leaves.resize(padded, leaves.back());
+
+    levels_.push_back(std::move(leaves));
+    while (levels_.back().size() > 1) {
+        const auto& below = levels_.back();
+        std::vector<Digest> level(below.size() / 2);
+        for (std::size_t i = 0; i < level.size(); ++i) {
+            level[i] = Sha256::hash_pair(below[2 * i], below[2 * i + 1]);
+        }
+        levels_.push_back(std::move(level));
+    }
+}
+
+MerkleProof MerkleTree::prove(std::size_t leaf_index) const {
+    if (leaf_index >= leaf_count_) throw std::out_of_range("MerkleTree: bad leaf index");
+    MerkleProof proof;
+    proof.leaf_index = leaf_index;
+    std::size_t index = leaf_index;
+    for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+        proof.siblings.push_back(levels_[lvl][index ^ 1]);
+        index /= 2;
+    }
+    return proof;
+}
+
+bool MerkleTree::verify(const Digest& root, const Digest& leaf, const MerkleProof& proof) {
+    Digest node = leaf;
+    std::size_t index = proof.leaf_index;
+    for (const Digest& sibling : proof.siblings) {
+        node = (index % 2 == 0) ? Sha256::hash_pair(node, sibling)
+                                : Sha256::hash_pair(sibling, node);
+        index /= 2;
+    }
+    return node == root;
+}
+
+}  // namespace dlsbl::crypto

@@ -1,0 +1,45 @@
+// Merkle hash tree over SHA-256.
+//
+// Two uses in the repository:
+//   * crypto/mss.hpp authenticates one-time Lamport public keys under a
+//     single root, turning them into a many-time signature key;
+//   * protocol/blocks.hpp commits the user's data blocks so the referee can
+//     check block integrity during load-allocation disputes (§4 "Allocating
+//     Load": the referee "verifies their integrity").
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace dlsbl::crypto {
+
+struct MerkleProof {
+    std::size_t leaf_index = 0;
+    std::vector<Digest> siblings;  // bottom-up
+
+    [[nodiscard]] util::Bytes serialize() const;
+    static std::optional<MerkleProof> deserialize(std::span<const std::uint8_t> data);
+};
+
+class MerkleTree {
+ public:
+    // Builds a tree over the given leaf digests. A non-power-of-two leaf
+    // count is padded by duplicating the last leaf digest.
+    explicit MerkleTree(std::vector<Digest> leaves);
+
+    [[nodiscard]] const Digest& root() const noexcept { return levels_.back()[0]; }
+    [[nodiscard]] std::size_t leaf_count() const noexcept { return leaf_count_; }
+
+    [[nodiscard]] MerkleProof prove(std::size_t leaf_index) const;
+
+    static bool verify(const Digest& root, const Digest& leaf, const MerkleProof& proof);
+
+ private:
+    std::size_t leaf_count_ = 0;
+    std::vector<std::vector<Digest>> levels_;  // levels_[0] = padded leaves
+};
+
+}  // namespace dlsbl::crypto

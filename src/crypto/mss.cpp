@@ -1,0 +1,105 @@
+#include "crypto/mss.hpp"
+
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+
+namespace dlsbl::crypto {
+
+util::Bytes MssSignature::serialize() const {
+    util::ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(scheme));
+    w.u64(leaf_index);
+    w.raw(std::span<const std::uint8_t>(one_time_public_key.data(), one_time_public_key.size()));
+    w.bytes(ots);
+    w.bytes(auth_path.serialize());
+    return w.take();
+}
+
+std::optional<MssSignature> MssSignature::deserialize(std::span<const std::uint8_t> data) {
+    try {
+        util::ByteReader r(data);
+        MssSignature sig;
+        const std::uint8_t scheme = r.u8();
+        if (scheme != static_cast<std::uint8_t>(OtsScheme::kLamport) &&
+            scheme != static_cast<std::uint8_t>(OtsScheme::kWots)) {
+            return std::nullopt;
+        }
+        sig.scheme = static_cast<OtsScheme>(scheme);
+        sig.leaf_index = r.u64();
+        for (auto& b : sig.one_time_public_key) b = r.u8();
+        sig.ots = r.bytes();
+        const util::Bytes path_bytes = r.bytes();
+        auto path = MerkleProof::deserialize(path_bytes);
+        if (!path || !r.exhausted()) return std::nullopt;
+        sig.auth_path = *path;
+        return sig;
+    } catch (const std::out_of_range&) {
+        return std::nullopt;
+    }
+}
+
+Digest MssKeyPair::leaf_seed(std::size_t index) const {
+    util::ByteWriter w;
+    w.str("mss-leaf");
+    w.u8(static_cast<std::uint8_t>(scheme_));  // scheme-separated key derivation
+    w.u64(index);
+    return hmac_sha256(std::span<const std::uint8_t>(seed_.data(), seed_.size()),
+                       std::span<const std::uint8_t>(w.data().data(), w.data().size()));
+}
+
+MssKeyPair::MssKeyPair(const Digest& seed, unsigned height, OtsScheme scheme)
+    : seed_(seed), scheme_(scheme) {
+    if (height > 16) throw std::invalid_argument("MssKeyPair: height too large");
+    leaf_count_ = std::size_t{1} << height;
+    std::vector<Digest> leaf_digests;
+    leaf_digests.reserve(leaf_count_);
+    for (std::size_t i = 0; i < leaf_count_; ++i) {
+        if (scheme_ == OtsScheme::kLamport) {
+            lamport_keys_.emplace_back(leaf_seed(i));
+            leaf_digests.push_back(lamport_keys_.back().public_key());
+        } else {
+            wots_keys_.emplace_back(leaf_seed(i));
+            leaf_digests.push_back(wots_keys_.back().public_key());
+        }
+    }
+    tree_ = std::make_unique<MerkleTree>(std::move(leaf_digests));
+}
+
+MssSignature MssKeyPair::sign(std::span<const std::uint8_t> message) {
+    if (next_leaf_ >= leaf_count_) {
+        throw std::length_error("MssKeyPair: one-time keys exhausted");
+    }
+    MssSignature sig;
+    sig.scheme = scheme_;
+    sig.leaf_index = next_leaf_;
+    if (scheme_ == OtsScheme::kLamport) {
+        sig.one_time_public_key = lamport_keys_[next_leaf_].public_key();
+        sig.ots = lamport_keys_[next_leaf_].sign(message).serialize();
+    } else {
+        sig.one_time_public_key = wots_keys_[next_leaf_].public_key();
+        sig.ots = wots_keys_[next_leaf_].sign(message).serialize();
+    }
+    sig.auth_path = tree_->prove(next_leaf_);
+    ++next_leaf_;
+    return sig;
+}
+
+bool MssKeyPair::verify(const Digest& public_key, std::span<const std::uint8_t> message,
+                        const MssSignature& signature) {
+    bool ots_ok = false;
+    if (signature.scheme == OtsScheme::kLamport) {
+        const auto ots = LamportSignature::deserialize(signature.ots);
+        ots_ok = ots && LamportKeyPair::verify(signature.one_time_public_key, message,
+                                               *ots);
+    } else {
+        const auto ots = WotsKeyPair::Signature::deserialize(signature.ots);
+        ots_ok = ots && WotsKeyPair::verify(signature.one_time_public_key, message, *ots);
+    }
+    if (!ots_ok) return false;
+    if (signature.auth_path.leaf_index != signature.leaf_index) return false;
+    return MerkleTree::verify(public_key, signature.one_time_public_key,
+                              signature.auth_path);
+}
+
+}  // namespace dlsbl::crypto

@@ -1,0 +1,144 @@
+#include "crypto/pki.hpp"
+
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+
+namespace dlsbl::crypto {
+
+void Pki::register_identity(const Identity& id, Digest public_key, VerifyFn verifier) {
+    if (entries_.contains(id)) {
+        throw std::invalid_argument("Pki: identity already registered: " + id);
+    }
+    entries_.emplace(id, Entry{public_key, std::move(verifier)});
+}
+
+bool Pki::is_registered(const Identity& id) const { return entries_.contains(id); }
+
+const Digest& Pki::public_key_of(const Identity& id) const {
+    auto it = entries_.find(id);
+    if (it == entries_.end()) throw std::out_of_range("Pki: unknown identity: " + id);
+    return it->second.public_key;
+}
+
+bool Pki::verify(const Identity& id, std::span<const std::uint8_t> message,
+                 std::span<const std::uint8_t> signature) const {
+    auto it = entries_.find(id);
+    if (it == entries_.end()) return false;
+    return it->second.verifier(message, signature);
+}
+
+namespace {
+
+Digest seed_digest(const Identity& id, std::uint64_t seed) {
+    util::ByteWriter w;
+    w.str(id);
+    w.u64(seed);
+    return Sha256::hash(std::span<const std::uint8_t>(w.data().data(), w.data().size()));
+}
+
+class MssSigner final : public Signer {
+ public:
+    MssSigner(const Digest& seed, unsigned height, OtsScheme scheme)
+        : key_(seed, height, scheme) {}
+
+    util::Bytes sign(std::span<const std::uint8_t> message) override {
+        return key_.sign(message).serialize();
+    }
+
+    [[nodiscard]] Digest public_key() const override { return key_.public_key(); }
+
+    [[nodiscard]] MssKeyPair& key() { return key_; }
+
+ private:
+    MssKeyPair key_;
+};
+
+class FastSigner final : public Signer {
+ public:
+    explicit FastSigner(const Digest& seed) : seed_(seed) {
+        // "Public key" is the hash of the secret; verification is done by
+        // the registry closure that re-derives the MAC.
+        public_key_ = Sha256::hash(std::span<const std::uint8_t>(seed_.data(), seed_.size()));
+    }
+
+    util::Bytes sign(std::span<const std::uint8_t> message) override {
+        const Digest mac = hmac_sha256(
+            std::span<const std::uint8_t>(seed_.data(), seed_.size()), message);
+        return util::Bytes(mac.begin(), mac.end());
+    }
+
+    [[nodiscard]] Digest public_key() const override { return public_key_; }
+
+    [[nodiscard]] const Digest& seed() const { return seed_; }
+
+ private:
+    Digest seed_{};
+    Digest public_key_{};
+};
+
+}  // namespace
+
+std::unique_ptr<Signer> make_registered_signer(Pki& pki, const Identity& id,
+                                               std::uint64_t seed,
+                                               SignatureAlgorithm algorithm,
+                                               unsigned mss_height) {
+    const Digest sd = seed_digest(id, seed);
+    if (algorithm == SignatureAlgorithm::kMerkle ||
+        algorithm == SignatureAlgorithm::kMerkleWots) {
+        const OtsScheme scheme = algorithm == SignatureAlgorithm::kMerkle
+                                     ? OtsScheme::kLamport
+                                     : OtsScheme::kWots;
+        auto signer = std::make_unique<MssSigner>(sd, mss_height, scheme);
+        const Digest pk = signer->public_key();
+        pki.register_identity(id, pk,
+                              [pk](std::span<const std::uint8_t> message,
+                                   std::span<const std::uint8_t> signature) {
+                                  auto sig = MssSignature::deserialize(signature);
+                                  return sig && MssKeyPair::verify(pk, message, *sig);
+                              });
+        return signer;
+    }
+    auto signer = std::make_unique<FastSigner>(sd);
+    pki.register_identity(id, signer->public_key(),
+                          [sd](std::span<const std::uint8_t> message,
+                               std::span<const std::uint8_t> signature) {
+                              const Digest mac = hmac_sha256(
+                                  std::span<const std::uint8_t>(sd.data(), sd.size()), message);
+                              return signature.size() == mac.size() &&
+                                     std::equal(mac.begin(), mac.end(), signature.begin());
+                          });
+    return signer;
+}
+
+util::Bytes SignedMessage::serialize() const {
+    util::ByteWriter w;
+    w.str(signer);
+    w.bytes(payload);
+    w.bytes(signature);
+    return w.take();
+}
+
+std::optional<SignedMessage> SignedMessage::deserialize(std::span<const std::uint8_t> data) {
+    try {
+        util::ByteReader r(data);
+        SignedMessage msg;
+        msg.signer = r.str();
+        msg.payload = r.bytes();
+        msg.signature = r.bytes();
+        if (!r.exhausted()) return std::nullopt;
+        return msg;
+    } catch (const std::out_of_range&) {
+        return std::nullopt;
+    }
+}
+
+SignedMessage sign_message(Signer& signer, const Identity& id, util::Bytes payload) {
+    SignedMessage msg;
+    msg.signer = id;
+    msg.signature = signer.sign(payload);
+    msg.payload = std::move(payload);
+    return msg;
+}
+
+}  // namespace dlsbl::crypto

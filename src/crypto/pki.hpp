@@ -1,0 +1,93 @@
+// Public-key infrastructure and signed-message envelopes.
+//
+// §4 Initialization: "Each participant has a public cryptographic key set
+// ... The public key is registered under the participant's identity with
+// the aforementioned PKI." This module provides exactly that registry plus
+// the signed envelope S_β(m) = (m, SIG_β(m)).
+//
+// Two interchangeable signature algorithms implement the Signer interface:
+//   * MssSigner  — the real hash-based Merkle signature scheme (default).
+//   * FastSigner — HMAC-SHA256 with registry-held verification keys. It is
+//     *not* publicly verifiable cryptography; it models an unforgeable
+//     signing oracle and exists so the Θ(m²) communication bench can sweep
+//     to hundreds of processors without paying Lamport keygen. Protocol
+//     logic and message layouts are identical under both.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "crypto/mss.hpp"
+
+namespace dlsbl::crypto {
+
+using Identity = std::string;
+
+// A participant's signing capability. Verification goes through the Pki so
+// no caller ever touches another participant's private key.
+class Signer {
+ public:
+    virtual ~Signer() = default;
+    [[nodiscard]] virtual util::Bytes sign(std::span<const std::uint8_t> message) = 0;
+    [[nodiscard]] virtual Digest public_key() const = 0;
+};
+
+class Pki {
+ public:
+    using VerifyFn =
+        std::function<bool(std::span<const std::uint8_t> message,
+                           std::span<const std::uint8_t> signature)>;
+
+    // Registers an identity. Re-registering an identity is a protocol
+    // violation and throws.
+    void register_identity(const Identity& id, Digest public_key, VerifyFn verifier);
+
+    [[nodiscard]] bool is_registered(const Identity& id) const;
+    [[nodiscard]] const Digest& public_key_of(const Identity& id) const;
+
+    [[nodiscard]] bool verify(const Identity& id, std::span<const std::uint8_t> message,
+                              std::span<const std::uint8_t> signature) const;
+
+    [[nodiscard]] std::size_t participant_count() const noexcept { return entries_.size(); }
+
+ private:
+    struct Entry {
+        Digest public_key{};
+        VerifyFn verifier;
+    };
+    std::map<Identity, Entry> entries_;
+};
+
+enum class SignatureAlgorithm {
+    kMerkle,      // real hash-based signatures (Lamport OTS + Merkle tree)
+    kMerkleWots,  // real hash-based signatures (Winternitz OTS, ~8x smaller)
+    kFast,        // HMAC oracle; registry-verified, used for large-scale benches
+};
+
+// Creates a signer for `id`, derived deterministically from `seed`, and
+// registers its verification key with `pki`.
+std::unique_ptr<Signer> make_registered_signer(Pki& pki, const Identity& id,
+                                               std::uint64_t seed,
+                                               SignatureAlgorithm algorithm,
+                                               unsigned mss_height = 4);
+
+// A message plus its signature: S_β(m) in the paper's notation.
+struct SignedMessage {
+    Identity signer;
+    util::Bytes payload;
+    util::Bytes signature;
+
+    [[nodiscard]] bool verify(const Pki& pki) const {
+        return pki.is_registered(signer) && pki.verify(signer, payload, signature);
+    }
+
+    [[nodiscard]] util::Bytes serialize() const;
+    static std::optional<SignedMessage> deserialize(std::span<const std::uint8_t> data);
+};
+
+SignedMessage sign_message(Signer& signer, const Identity& id, util::Bytes payload);
+
+}  // namespace dlsbl::crypto

@@ -1,0 +1,49 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// The only cryptographic primitive in the repository; the Lamport/Merkle
+// signature stack (crypto/lamport.hpp, crypto/mss.hpp) and HMAC are built
+// exclusively on top of it. Verified against the NIST example vectors in
+// tests/test_sha256.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace dlsbl::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+    Sha256() noexcept { reset(); }
+
+    void reset() noexcept;
+    void update(std::span<const std::uint8_t> data) noexcept;
+    void update(std::string_view text) noexcept {
+        update(std::span<const std::uint8_t>(
+            reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+    }
+    // Finalizes and returns the digest; the object must be reset() before reuse.
+    [[nodiscard]] Digest finalize() noexcept;
+
+    static Digest hash(std::span<const std::uint8_t> data) noexcept;
+    static Digest hash(std::string_view text) noexcept;
+    // H(a || b) — the Merkle tree node combiner.
+    static Digest hash_pair(const Digest& a, const Digest& b) noexcept;
+
+ private:
+    void process_block(const std::uint8_t* block) noexcept;
+
+    std::array<std::uint32_t, 8> state_{};
+    std::array<std::uint8_t, 64> buffer_{};
+    std::size_t buffered_ = 0;
+    std::uint64_t total_bytes_ = 0;
+};
+
+util::Bytes digest_to_bytes(const Digest& d);
+
+}  // namespace dlsbl::crypto

@@ -1,0 +1,88 @@
+#include "crypto/wots.hpp"
+
+#include "crypto/hmac.hpp"
+
+namespace dlsbl::crypto {
+
+util::Bytes WotsKeyPair::Signature::serialize() const {
+    util::Bytes out;
+    out.reserve(kChains * 32);
+    for (const auto& d : values) out.insert(out.end(), d.begin(), d.end());
+    return out;
+}
+
+std::optional<WotsKeyPair::Signature> WotsKeyPair::Signature::deserialize(
+    std::span<const std::uint8_t> data) {
+    if (data.size() != kChains * 32) return std::nullopt;
+    Signature sig;
+    for (std::size_t i = 0; i < kChains; ++i) {
+        std::copy(data.begin() + static_cast<std::ptrdiff_t>(i * 32),
+                  data.begin() + static_cast<std::ptrdiff_t>((i + 1) * 32),
+                  sig.values[i].begin());
+    }
+    return sig;
+}
+
+Digest WotsKeyPair::chain(Digest value, unsigned steps) {
+    for (unsigned k = 0; k < steps; ++k) {
+        value = Sha256::hash(std::span<const std::uint8_t>(value.data(), value.size()));
+    }
+    return value;
+}
+
+Digest WotsKeyPair::secret(std::size_t index) const {
+    util::ByteWriter w;
+    w.str("wots-chain");
+    w.u64(index);
+    return hmac_sha256(std::span<const std::uint8_t>(seed_.data(), seed_.size()),
+                       std::span<const std::uint8_t>(w.data().data(), w.data().size()));
+}
+
+WotsKeyPair::WotsKeyPair(const Digest& seed) : seed_(seed) {
+    Sha256 acc;
+    for (std::size_t i = 0; i < kChains; ++i) {
+        const Digest end = chain(secret(i), kChainLength);
+        acc.update(std::span<const std::uint8_t>(end.data(), end.size()));
+    }
+    public_key_ = acc.finalize();
+}
+
+std::array<unsigned, WotsKeyPair::kChains> WotsKeyPair::digits_for(
+    std::span<const std::uint8_t> message) {
+    const Digest md = Sha256::hash(message);
+    std::array<unsigned, kChains> digits{};
+    unsigned checksum = 0;
+    for (std::size_t i = 0; i < kDigits; ++i) {
+        const std::uint8_t byte = md[i / 2];
+        const unsigned digit = (i % 2 == 0) ? (byte >> 4) : (byte & 0x0f);
+        digits[i] = digit;
+        checksum += kChainLength - digit;
+    }
+    // Base-16 big-endian checksum in the final three chains.
+    digits[kDigits] = (checksum >> 8) & 0x0f;
+    digits[kDigits + 1] = (checksum >> 4) & 0x0f;
+    digits[kDigits + 2] = checksum & 0x0f;
+    return digits;
+}
+
+WotsKeyPair::Signature WotsKeyPair::sign(std::span<const std::uint8_t> message) const {
+    const auto digits = digits_for(message);
+    Signature sig;
+    for (std::size_t i = 0; i < kChains; ++i) {
+        sig.values[i] = chain(secret(i), digits[i]);
+    }
+    return sig;
+}
+
+bool WotsKeyPair::verify(const Digest& public_key, std::span<const std::uint8_t> message,
+                         const Signature& signature) {
+    const auto digits = digits_for(message);
+    Sha256 acc;
+    for (std::size_t i = 0; i < kChains; ++i) {
+        const Digest end = chain(signature.values[i], kChainLength - digits[i]);
+        acc.update(std::span<const std::uint8_t>(end.data(), end.size()));
+    }
+    return acc.finalize() == public_key;
+}
+
+}  // namespace dlsbl::crypto

@@ -1,0 +1,66 @@
+#include "dlt/analysis.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dlt/closed_form.hpp"
+#include "dlt/finish_time.hpp"
+
+namespace dlsbl::dlt {
+
+double single_processor_time(const ProblemInstance& instance) {
+    instance.validate();
+    const double best_w = *std::min_element(instance.w.begin(), instance.w.end());
+    switch (instance.kind) {
+        case NetworkKind::kCP:
+            // P0 must ship the whole unit load before/while the worker runs;
+            // with one worker the finishing time is z + w (eq 1, m = 1).
+            return instance.z + best_w;
+        case NetworkKind::kNcpFE:
+        case NetworkKind::kNcpNFE:
+            // The load origin can process everything in place.
+            return best_w;
+    }
+    throw std::invalid_argument("single_processor_time: bad kind");
+}
+
+double speedup(const ProblemInstance& instance) {
+    return single_processor_time(instance) / optimal_makespan(instance);
+}
+
+double efficiency(const ProblemInstance& instance) {
+    return speedup(instance) / static_cast<double>(instance.processor_count());
+}
+
+double asymptotic_makespan(NetworkKind kind, double z, double w) {
+    if (!(w > 0.0) || !(z >= 0.0)) {
+        throw std::invalid_argument("asymptotic_makespan: bad parameters");
+    }
+    if (z == 0.0) return 0.0;  // perfect sharing: T = w/m -> 0
+    switch (kind) {
+        case NetworkKind::kCP:
+            return z;
+        case NetworkKind::kNcpFE:
+            return z * w / (z + w);
+        case NetworkKind::kNcpNFE:
+            if (z > w) {
+                throw std::domain_error(
+                    "asymptotic_makespan: NCP-NFE requires z <= w (full participation)");
+            }
+            return z;
+    }
+    throw std::invalid_argument("asymptotic_makespan: bad kind");
+}
+
+std::size_t saturation_size(NetworkKind kind, double z, double w, double slack,
+                            std::size_t max_m) {
+    const double limit = asymptotic_makespan(kind, z, w);
+    if (limit == 0.0) return max_m;  // z = 0 never saturates
+    for (std::size_t m = 1; m <= max_m; ++m) {
+        ProblemInstance instance{kind, z, std::vector<double>(m, w)};
+        if (optimal_makespan(instance) <= limit * (1.0 + slack)) return m;
+    }
+    return max_m;
+}
+
+}  // namespace dlsbl::dlt

@@ -1,0 +1,37 @@
+// Performance analysis of bus-network DLT schedules: speedup, efficiency
+// and closed-form asymptotes.
+//
+// For a homogeneous fleet (w_i = w) the closed forms have clean m -> ∞
+// limits: the recurrence ratio k = w/(z+w) < 1 makes the unnormalized
+// shares geometric, so Σ c_i -> 1/(1-k) = (z+w)/z and
+//   CP      : T∞ = α_1 (z+w) -> z            (the bus must carry all load)
+//   NCP-FE  : T∞ = α_1 w     -> z·w/(z+w)    (the LO's share rides free)
+//   NCP-NFE : T∞ -> z                        (valid in the z <= w regime)
+// These are the saturation ceilings behind the E16 speedup curves.
+#pragma once
+
+#include "dlt/types.hpp"
+
+namespace dlsbl::dlt {
+
+// Time the job takes on the best single processor of the instance,
+// including any communication that processor cannot avoid (CP: the control
+// processor must still ship the whole load to it).
+double single_processor_time(const ProblemInstance& instance);
+
+// speedup = single-processor time / optimal makespan; efficiency = speedup/m.
+double speedup(const ProblemInstance& instance);
+double efficiency(const ProblemInstance& instance);
+
+// The m -> ∞ optimal-makespan limit for a homogeneous fleet (w_i = w).
+// Throws for kNcpNFE when z > w (outside the full-participation regime the
+// closed form does not converge to an optimum).
+double asymptotic_makespan(NetworkKind kind, double z, double w);
+
+// Upper bound on useful fleet size: the smallest m at which the optimal
+// makespan is within `slack` (relative) of the asymptote. Homogeneous
+// fleets; linear scan capped at `max_m`.
+std::size_t saturation_size(NetworkKind kind, double z, double w, double slack = 0.05,
+                            std::size_t max_m = 4096);
+
+}  // namespace dlsbl::dlt

@@ -1,0 +1,11 @@
+#include "dlt/closed_form.hpp"
+
+namespace dlsbl::dlt {
+
+LoadAllocation optimal_allocation(const ProblemInstance& instance) {
+    instance.validate();
+    return optimal_allocation_generic<double>(
+        instance.kind, std::span<const double>(instance.w), instance.z);
+}
+
+}  // namespace dlsbl::dlt

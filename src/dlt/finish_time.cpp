@@ -1,0 +1,22 @@
+#include "dlt/finish_time.hpp"
+
+#include "dlt/closed_form.hpp"
+
+namespace dlsbl::dlt {
+
+std::vector<double> finishing_times(const ProblemInstance& instance,
+                                    const LoadAllocation& alpha) {
+    return finishing_times_generic<double>(instance.kind, std::span<const double>(alpha),
+                                           std::span<const double>(instance.w), instance.z);
+}
+
+double makespan(const ProblemInstance& instance, const LoadAllocation& alpha) {
+    return makespan_generic<double>(instance.kind, std::span<const double>(alpha),
+                                    std::span<const double>(instance.w), instance.z);
+}
+
+double optimal_makespan(const ProblemInstance& instance) {
+    return makespan(instance, optimal_allocation(instance));
+}
+
+}  // namespace dlsbl::dlt

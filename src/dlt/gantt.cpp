@@ -1,0 +1,85 @@
+#include "dlt/gantt.hpp"
+
+#include <stdexcept>
+
+namespace dlsbl::dlt {
+
+std::vector<ProcessorTimeline> build_timelines(const ProblemInstance& instance,
+                                               const LoadAllocation& alpha) {
+    instance.validate();
+    const std::size_t m = instance.processor_count();
+    if (alpha.size() != m) throw std::invalid_argument("build_timelines: size mismatch");
+
+    // Processor names are 1-based like the paper (P1..Pm); the CP system's
+    // control processor P0 owns no compute bar and is omitted.
+    std::vector<ProcessorTimeline> timelines(m);
+    for (std::size_t i = 0; i < m; ++i) timelines[i].name = "P" + std::to_string(i + 1);
+
+    double bus = 0.0;
+    switch (instance.kind) {
+        case NetworkKind::kCP:
+            for (std::size_t i = 0; i < m; ++i) {
+                auto& tl = timelines[i];
+                tl.comm_start = bus;
+                bus += instance.z * alpha[i];
+                tl.comm_end = bus;
+                tl.compute_start = tl.comm_end;
+                tl.compute_end = tl.compute_start + alpha[i] * instance.w[i];
+            }
+            break;
+        case NetworkKind::kNcpFE:
+            // P1 holds the data: no communication, computes from t = 0.
+            timelines[0].compute_start = 0.0;
+            timelines[0].compute_end = alpha[0] * instance.w[0];
+            for (std::size_t i = 1; i < m; ++i) {
+                auto& tl = timelines[i];
+                tl.comm_start = bus;
+                bus += instance.z * alpha[i];
+                tl.comm_end = bus;
+                tl.compute_start = tl.comm_end;
+                tl.compute_end = tl.compute_start + alpha[i] * instance.w[i];
+            }
+            break;
+        case NetworkKind::kNcpNFE:
+            for (std::size_t i = 0; i + 1 < m; ++i) {
+                auto& tl = timelines[i];
+                tl.comm_start = bus;
+                bus += instance.z * alpha[i];
+                tl.comm_end = bus;
+                tl.compute_start = tl.comm_end;
+                tl.compute_end = tl.compute_start + alpha[i] * instance.w[i];
+            }
+            // The LO P_m has no front end: computation starts only after the
+            // last transfer leaves the machine.
+            timelines[m - 1].comm_start = bus;
+            timelines[m - 1].comm_end = bus;
+            timelines[m - 1].compute_start = bus;
+            timelines[m - 1].compute_end = bus + alpha[m - 1] * instance.w[m - 1];
+            break;
+    }
+    return timelines;
+}
+
+std::string render_figure(const ProblemInstance& instance, const LoadAllocation& alpha,
+                          int width) {
+    const auto timelines = build_timelines(instance, alpha);
+    std::vector<util::GanttBar> bars;
+    // Shared bus lane first, like the "Communication" row of Figures 1-3.
+    for (const auto& tl : timelines) {
+        if (tl.comm_end > tl.comm_start) {
+            bars.push_back({"BUS", tl.comm_start, tl.comm_end, '-'});
+        }
+    }
+    for (const auto& tl : timelines) {
+        if (tl.comm_end > tl.comm_start) {
+            bars.push_back({tl.name, tl.comm_start, tl.comm_end, '-'});
+        }
+        bars.push_back({tl.name, tl.compute_start, tl.compute_end, '#'});
+    }
+    util::GanttOptions options;
+    options.width = width;
+    options.time_label = "time";
+    return util::render_gantt(bars, options);
+}
+
+}  // namespace dlsbl::dlt

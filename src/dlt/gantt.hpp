@@ -1,0 +1,35 @@
+// Gantt (timing-diagram) extraction — the data behind Figures 1, 2 and 3.
+//
+// For a given instance and allocation this computes, per processor, the
+// bus-communication interval during which its load arrives and the
+// computation interval, following the one-port model of §2: the LO
+// transmits α_i z to each processor in index order, and each processor
+// starts computing the moment its transfer completes (the LO per its own
+// rule: immediately for a front end, after all transfers without one).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dlt/types.hpp"
+#include "util/chart.hpp"
+
+namespace dlsbl::dlt {
+
+struct ProcessorTimeline {
+    std::string name;        // "P0", "P1", ...
+    double comm_start = 0.0;  // 0-length interval for processors receiving no data
+    double comm_end = 0.0;
+    double compute_start = 0.0;
+    double compute_end = 0.0;
+};
+
+std::vector<ProcessorTimeline> build_timelines(const ProblemInstance& instance,
+                                               const LoadAllocation& alpha);
+
+// Renders the timelines in the style of the paper's figures:
+// '-' = receiving on the bus, '#' = computing.
+std::string render_figure(const ProblemInstance& instance, const LoadAllocation& alpha,
+                          int width = 72);
+
+}  // namespace dlsbl::dlt

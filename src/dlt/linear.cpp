@@ -1,0 +1,53 @@
+#include "dlt/linear.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dlsbl::dlt {
+
+const char* to_string(LinearKind kind) noexcept {
+    switch (kind) {
+        case LinearKind::kLinearFE: return "LINEAR-FE";
+        case LinearKind::kLinearNFE: return "LINEAR-NFE";
+    }
+    return "?";
+}
+
+void LinearInstance::validate() const {
+    if (w.empty()) throw std::invalid_argument("LinearInstance: need >= 1 processor");
+    if (!(z >= 0.0) || !std::isfinite(z)) {
+        throw std::invalid_argument("LinearInstance: z must be finite and >= 0");
+    }
+    for (double wi : w) {
+        if (!(wi > 0.0) || !std::isfinite(wi)) {
+            throw std::invalid_argument("LinearInstance: w_i must be finite and > 0");
+        }
+    }
+}
+
+LoadAllocation linear_optimal_allocation(const LinearInstance& instance) {
+    instance.validate();
+    return linear_optimal_allocation_generic<double>(
+        instance.kind, std::span<const double>(instance.w), instance.z);
+}
+
+std::vector<double> linear_finishing_times(const LinearInstance& instance,
+                                           const LoadAllocation& alpha) {
+    instance.validate();
+    return linear_finishing_times_generic<double>(instance.kind,
+                                                  std::span<const double>(alpha),
+                                                  std::span<const double>(instance.w),
+                                                  instance.z);
+}
+
+double linear_makespan(const LinearInstance& instance, const LoadAllocation& alpha) {
+    const auto t = linear_finishing_times(instance, alpha);
+    return *std::max_element(t.begin(), t.end());
+}
+
+double linear_optimal_makespan(const LinearInstance& instance) {
+    return linear_makespan(instance, linear_optimal_allocation(instance));
+}
+
+}  // namespace dlsbl::dlt

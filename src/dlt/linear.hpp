@@ -1,0 +1,115 @@
+// Linear (daisy-chain) network DLT — the third classic architecture from
+// the DLT literature ([3], ch. on linear networks), rounding out the
+// paper's "other network architectures" future work next to the bus and
+// the star.
+//
+// Model: processors P_1 .. P_m form a chain; P_1 holds the load. Each P_i
+// keeps its share α_i and forwards the remainder L_{i+1} = Σ_{j>i} α_j to
+// P_{i+1} over its outbound link (unit-comm time z), store-and-forward:
+// forwarding starts once P_i holds the data. Two variants:
+//   * with front ends (kLinearFE): P_i computes while it forwards, so its
+//     computation starts the moment its inbound transfer completes;
+//   * without front ends (kLinearNFE): P_i's CPU handles the forwarding,
+//     so computation starts only after the outbound transfer finishes.
+//
+// Equal-finish recurrences (derived in linear.cpp):
+//   FE : α_i w_i = z·s_{i+1} + α_{i+1} w_{i+1}
+//   NFE: α_i w_i + z·s_{i+1} (own forward) on the left timeline — see code
+// with s_i = Σ_{j>=i} α_j; both solve by backward recursion + normalization.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "dlt/types.hpp"
+
+namespace dlsbl::dlt {
+
+enum class LinearKind {
+    kLinearFE,   // compute overlaps forwarding
+    kLinearNFE,  // compute only after forwarding
+};
+
+// Generic (double / util::Rational) closed form: backward recursion on the
+// equal-finish recurrences with suffix sums s_i = Σ_{j>=i} α_j.
+template <typename Scalar>
+std::vector<Scalar> linear_optimal_allocation_generic(LinearKind kind,
+                                                      std::span<const Scalar> w,
+                                                      const Scalar& z) {
+    const std::size_t m = w.size();
+    if (m == 0) throw std::invalid_argument("linear_optimal_allocation: empty");
+    std::vector<Scalar> alpha(m, Scalar{0});
+    std::vector<Scalar> suffix(m + 1, Scalar{0});
+    alpha[m - 1] = Scalar{1};
+    suffix[m - 1] = Scalar{1};
+    if (m >= 2) {
+        if (kind == LinearKind::kLinearFE) {
+            for (std::size_t i = m - 1; i-- > 0;) {
+                alpha[i] = (z * suffix[i + 1] + alpha[i + 1] * w[i + 1]) / w[i];
+                suffix[i] = suffix[i + 1] + alpha[i];
+            }
+        } else {
+            alpha[m - 2] = alpha[m - 1] * w[m - 1] / w[m - 2];
+            suffix[m - 2] = suffix[m - 1] + alpha[m - 2];
+            for (std::size_t i = m - 2; i-- > 0;) {
+                alpha[i] = (z * suffix[i + 2] + alpha[i + 1] * w[i + 1]) / w[i];
+                suffix[i] = suffix[i + 1] + alpha[i];
+            }
+        }
+    }
+    Scalar total{0};
+    for (const Scalar& a : alpha) total = total + a;
+    for (Scalar& a : alpha) a = a / total;
+    return alpha;
+}
+
+template <typename Scalar>
+std::vector<Scalar> linear_finishing_times_generic(LinearKind kind,
+                                                   std::span<const Scalar> alpha,
+                                                   std::span<const Scalar> w,
+                                                   const Scalar& z) {
+    const std::size_t m = w.size();
+    if (alpha.size() != m || m == 0) {
+        throw std::invalid_argument("linear_finishing_times: bad sizes");
+    }
+    std::vector<Scalar> t(m);
+    Scalar arrival{0};
+    Scalar remaining{0};
+    for (const Scalar& a : alpha) remaining = remaining + a;
+    for (std::size_t i = 0; i < m; ++i) {
+        remaining = remaining - alpha[i];
+        const Scalar forward_time = z * remaining;
+        if (kind == LinearKind::kLinearFE || i + 1 == m) {
+            t[i] = arrival + alpha[i] * w[i];
+        } else {
+            t[i] = arrival + forward_time + alpha[i] * w[i];
+        }
+        arrival = arrival + forward_time;
+    }
+    return t;
+}
+
+const char* to_string(LinearKind kind) noexcept;
+
+struct LinearInstance {
+    LinearKind kind = LinearKind::kLinearFE;
+    double z = 0.0;          // unit-comm time of every chain link
+    std::vector<double> w;   // per-unit processing times, chain order
+
+    [[nodiscard]] std::size_t processor_count() const noexcept { return w.size(); }
+    void validate() const;
+};
+
+// Optimal (equal-finish) allocation for the chain order as given.
+LoadAllocation linear_optimal_allocation(const LinearInstance& instance);
+
+// Finishing times T_i(α) for an arbitrary allocation.
+std::vector<double> linear_finishing_times(const LinearInstance& instance,
+                                           const LoadAllocation& alpha);
+
+double linear_makespan(const LinearInstance& instance, const LoadAllocation& alpha);
+
+double linear_optimal_makespan(const LinearInstance& instance);
+
+}  // namespace dlsbl::dlt

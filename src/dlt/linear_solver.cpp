@@ -1,0 +1,90 @@
+#include "dlt/linear_solver.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dlsbl::dlt {
+
+std::vector<double> solve_linear_system(std::vector<double> a, std::vector<double> b,
+                                        std::size_t n) {
+    if (a.size() != n * n || b.size() != n) {
+        throw std::invalid_argument("solve_linear_system: dimension mismatch");
+    }
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivoting.
+        std::size_t pivot = col;
+        for (std::size_t row = col + 1; row < n; ++row) {
+            if (std::abs(a[row * n + col]) > std::abs(a[pivot * n + col])) pivot = row;
+        }
+        if (std::abs(a[pivot * n + col]) < 1e-14) {
+            throw std::domain_error("solve_linear_system: singular matrix");
+        }
+        if (pivot != col) {
+            for (std::size_t k = 0; k < n; ++k) std::swap(a[col * n + k], a[pivot * n + k]);
+            std::swap(b[col], b[pivot]);
+        }
+        for (std::size_t row = col + 1; row < n; ++row) {
+            const double factor = a[row * n + col] / a[col * n + col];
+            if (factor == 0.0) continue;
+            for (std::size_t k = col; k < n; ++k) a[row * n + k] -= factor * a[col * n + k];
+            b[row] -= factor * b[col];
+        }
+    }
+    std::vector<double> x(n);
+    for (std::size_t row = n; row-- > 0;) {
+        double acc = b[row];
+        for (std::size_t k = row + 1; k < n; ++k) acc -= a[row * n + k] * x[k];
+        x[row] = acc / a[row * n + row];
+    }
+    return x;
+}
+
+LoadAllocation optimal_allocation_by_solver(const ProblemInstance& instance) {
+    instance.validate();
+    const std::size_t m = instance.processor_count();
+    if (m == 1) return {1.0};
+    const double z = instance.z;
+    const auto& w = instance.w;
+
+    // Row-major coefficients of T_i(α) as linear functions of α.
+    // coeff[i][j] = ∂T_i/∂α_j, assembled directly from eqs (1)-(3).
+    std::vector<double> coeff(m * m, 0.0);
+    switch (instance.kind) {
+        case NetworkKind::kCP:
+            for (std::size_t i = 0; i < m; ++i) {
+                for (std::size_t j = 0; j <= i; ++j) coeff[i * m + j] = z;
+                coeff[i * m + i] += w[i];
+            }
+            break;
+        case NetworkKind::kNcpFE:
+            coeff[0] = w[0];
+            for (std::size_t i = 1; i < m; ++i) {
+                for (std::size_t j = 1; j <= i; ++j) coeff[i * m + j] = z;
+                coeff[i * m + i] += w[i];
+            }
+            break;
+        case NetworkKind::kNcpNFE:
+            for (std::size_t i = 0; i + 1 < m; ++i) {
+                for (std::size_t j = 0; j <= i; ++j) coeff[i * m + j] = z;
+                coeff[i * m + i] += w[i];
+            }
+            for (std::size_t j = 0; j + 1 < m; ++j) coeff[(m - 1) * m + j] = z;
+            coeff[(m - 1) * m + (m - 1)] += w[m - 1];
+            break;
+    }
+
+    // System: rows 0..m-2 encode T_i - T_{i+1} = 0; row m-1 encodes Σ α = 1.
+    std::vector<double> a(m * m, 0.0);
+    std::vector<double> b(m, 0.0);
+    for (std::size_t i = 0; i + 1 < m; ++i) {
+        for (std::size_t j = 0; j < m; ++j) {
+            a[i * m + j] = coeff[i * m + j] - coeff[(i + 1) * m + j];
+        }
+    }
+    for (std::size_t j = 0; j < m; ++j) a[(m - 1) * m + j] = 1.0;
+    b[m - 1] = 1.0;
+
+    return solve_linear_system(std::move(a), std::move(b), m);
+}
+
+}  // namespace dlsbl::dlt

@@ -1,0 +1,26 @@
+// Independent derivation of the optimal allocation by direct linear solve.
+//
+// Theorem 2.1 says the optimum is the unique allocation with
+// T_1(α) = T_2(α) = ... = T_m(α) and Σ α_i = 1. This module assembles that
+// m x m linear system straight from the finishing-time definitions (eqs
+// 1-3) and solves it by Gaussian elimination with partial pivoting. It
+// shares no code with the closed forms in closed_form.hpp, so agreement
+// between the two is a meaningful cross-check (exercised by tests and the
+// E4 bench).
+#pragma once
+
+#include <vector>
+
+#include "dlt/types.hpp"
+
+namespace dlsbl::dlt {
+
+// Dense Gaussian elimination with partial pivoting.
+// a is row-major n x n; returns x with a·x = b. Throws on singularity.
+std::vector<double> solve_linear_system(std::vector<double> a, std::vector<double> b,
+                                        std::size_t n);
+
+// Optimal allocation via the equal-finish-time linear system.
+LoadAllocation optimal_allocation_by_solver(const ProblemInstance& instance);
+
+}  // namespace dlsbl::dlt

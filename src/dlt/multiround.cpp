@@ -1,0 +1,115 @@
+#include "dlt/multiround.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "dlt/closed_form.hpp"
+
+namespace dlsbl::dlt {
+
+namespace {
+
+// Core evaluator: round r ships the fraction weights[r] of each worker's
+// share. weights must sum to 1.
+double multiround_weighted_makespan(const ProblemInstance& instance,
+                                    const LoadAllocation& alpha,
+                                    const std::vector<double>& weights) {
+    instance.validate();
+    const std::size_t m = instance.processor_count();
+    if (alpha.size() != m) throw std::invalid_argument("multiround: size mismatch");
+    if (weights.empty()) throw std::invalid_argument("multiround: rounds must be >= 1");
+
+    const std::size_t lo =
+        (instance.kind == NetworkKind::kCP) ? m : load_origin_index(instance.kind, m);
+
+    // Deal chunks round-robin on the one-port bus; track each worker's
+    // compute progress as chunks arrive.
+    std::vector<double> compute_done(m, 0.0);  // when processor i finishes work so far
+    double bus = 0.0;
+    for (double weight : weights) {
+        for (std::size_t i = 0; i < m; ++i) {
+            if (i == lo) continue;  // the origin's own share never crosses the bus
+            const double chunk = alpha[i] * weight;
+            if (chunk <= 0.0) continue;
+            bus += chunk * instance.z;           // transfer occupies the bus
+            const double start = std::max(compute_done[i], bus);
+            compute_done[i] = start + chunk * instance.w[i];
+        }
+    }
+
+    // Load-origin behaviour per class.
+    if (instance.kind == NetworkKind::kNcpFE) {
+        compute_done[lo] = alpha[lo] * instance.w[lo];  // front end: from t = 0
+    } else if (instance.kind == NetworkKind::kNcpNFE) {
+        compute_done[lo] = bus + alpha[lo] * instance.w[lo];  // after all transfers
+    }
+
+    return *std::max_element(compute_done.begin(), compute_done.end());
+}
+
+}  // namespace
+
+double multiround_makespan(const ProblemInstance& instance, const LoadAllocation& alpha,
+                           std::size_t rounds) {
+    if (rounds == 0) throw std::invalid_argument("multiround: rounds must be >= 1");
+    const std::vector<double> weights(rounds, 1.0 / static_cast<double>(rounds));
+    return multiround_weighted_makespan(instance, alpha, weights);
+}
+
+double multiround_makespan(const ProblemInstance& instance, std::size_t rounds) {
+    return multiround_makespan(instance, optimal_allocation(instance), rounds);
+}
+
+double multiround_geometric_makespan(const ProblemInstance& instance,
+                                     const LoadAllocation& alpha, std::size_t rounds,
+                                     double ratio) {
+    if (rounds == 0) throw std::invalid_argument("multiround: rounds must be >= 1");
+    if (!(ratio > 0.0)) throw std::invalid_argument("multiround: ratio must be > 0");
+    std::vector<double> weights(rounds);
+    double acc = 1.0;
+    double total = 0.0;
+    for (std::size_t r = 0; r < rounds; ++r) {
+        weights[r] = acc;
+        total += acc;
+        acc *= ratio;
+    }
+    for (double& weight : weights) weight /= total;
+    return multiround_weighted_makespan(instance, alpha, weights);
+}
+
+GeometricTuning multiround_tune_ratio(const ProblemInstance& instance,
+                                      std::size_t rounds) {
+    const LoadAllocation alpha = optimal_allocation(instance);
+    GeometricTuning tuning;
+    tuning.uniform_makespan = multiround_geometric_makespan(instance, alpha, rounds, 1.0);
+    tuning.best_makespan = tuning.uniform_makespan;
+    for (double ratio = 0.5; ratio <= 3.0 + 1e-12; ratio += 0.05) {
+        const double t = multiround_geometric_makespan(instance, alpha, rounds, ratio);
+        if (t < tuning.best_makespan) {
+            tuning.best_makespan = t;
+            tuning.best_ratio = ratio;
+        }
+    }
+    return tuning;
+}
+
+MultiroundStudy multiround_study(const ProblemInstance& instance, std::size_t max_rounds) {
+    if (max_rounds == 0) throw std::invalid_argument("multiround_study: max_rounds >= 1");
+    const LoadAllocation alpha = optimal_allocation(instance);
+    MultiroundStudy study;
+    study.best_makespan = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 1; r <= max_rounds; ++r) {
+        const double t = multiround_makespan(instance, alpha, r);
+        study.makespans.push_back(t);
+        if (t < study.best_makespan) {
+            study.best_makespan = t;
+            study.best_rounds = r;
+        }
+    }
+    study.single_round_makespan = study.makespans.front();
+    return study;
+}
+
+}  // namespace dlsbl::dlt

@@ -1,0 +1,65 @@
+#include "dlt/optimality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dlt/closed_form.hpp"
+#include "dlt/finish_time.hpp"
+
+namespace dlsbl::dlt {
+
+bool full_participation_optimal(const ProblemInstance& instance) {
+    instance.validate();
+    if (instance.kind != NetworkKind::kNcpNFE) return true;
+    return instance.z <= instance.w.back();
+}
+
+double equal_finish_residual(const ProblemInstance& instance, const LoadAllocation& alpha) {
+    const auto t = finishing_times(instance, alpha);
+    const auto [lo, hi] = std::minmax_element(t.begin(), t.end());
+    return *hi - *lo;
+}
+
+DominanceReport perturbation_dominance(const ProblemInstance& instance, std::size_t trials,
+                                       util::Xoshiro256& rng, double tolerance) {
+    const LoadAllocation opt = optimal_allocation(instance);
+    const double opt_makespan = makespan(instance, opt);
+    const std::size_t m = opt.size();
+
+    DominanceReport report;
+    report.optimal_makespan = opt_makespan;
+
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+        // Random zero-sum direction, so Σ α stays 1.
+        std::vector<double> dir(m);
+        double mean = 0.0;
+        for (double& d : dir) {
+            d = rng.normal();
+            mean += d;
+        }
+        mean /= static_cast<double>(m);
+        for (double& d : dir) d -= mean;
+
+        // Largest step keeping all α_i >= 0.
+        double max_step = 1.0;
+        for (std::size_t i = 0; i < m; ++i) {
+            if (dir[i] < 0.0) max_step = std::min(max_step, -opt[i] / dir[i]);
+        }
+        const double step = rng.uniform(0.0, max_step);
+
+        LoadAllocation perturbed(m);
+        for (std::size_t i = 0; i < m; ++i) {
+            perturbed[i] = std::max(0.0, opt[i] + step * dir[i]);
+        }
+        const double t = makespan(instance, perturbed);
+        const double margin = t - opt_makespan;
+        ++report.trials;
+        if (margin < -tolerance) {
+            ++report.violations;
+            report.worst_margin = std::min(report.worst_margin, margin);
+        }
+    }
+    return report;
+}
+
+}  // namespace dlsbl::dlt

@@ -1,0 +1,43 @@
+// Numerical certificates for Theorems 2.1 and 2.2.
+//
+// Theorem 2.1: the optimal solution has all processors participating and
+// finishing simultaneously. equal_finish_residual() measures how far an
+// allocation is from that condition; perturbation_dominance() verifies that
+// feasible perturbations of the closed-form allocation never beat it.
+#pragma once
+
+#include <cstdint>
+
+#include "dlt/types.hpp"
+#include "util/rng.hpp"
+
+namespace dlsbl::dlt {
+
+// max_i T_i - min_i T_i for the given allocation (0 at the optimum).
+double equal_finish_residual(const ProblemInstance& instance, const LoadAllocation& alpha);
+
+// Participation condition for Theorem 2.1. For kCP and kNcpFE the
+// equal-finish allocation is optimal for every z. For kNcpNFE it is optimal
+// iff z <= w_m: the front-end-less LO computes only after all transfers, so
+// when communicating a unit (z) costs more than the LO processing it (w_m),
+// moving load back to the LO shrinks every finishing time and full
+// participation stops being optimal. The paper (and the DLS-BL-NCP
+// mechanism's voluntary-participation guarantee) implicitly assume this
+// regime; mech::random_instance() draws inside it.
+bool full_participation_optimal(const ProblemInstance& instance);
+
+struct DominanceReport {
+    std::size_t trials = 0;
+    std::size_t violations = 0;       // perturbed allocations strictly better
+    double worst_margin = 0.0;        // most negative (makespan_perturbed - makespan_opt)
+    double optimal_makespan = 0.0;
+};
+
+// Samples `trials` random feasible perturbations of the optimal allocation
+// (random direction in the Σ=0 hyperplane, several magnitudes) and checks
+// that none achieves a smaller makespan than the closed form (beyond
+// `tolerance`, which absorbs floating-point noise).
+DominanceReport perturbation_dominance(const ProblemInstance& instance, std::size_t trials,
+                                       util::Xoshiro256& rng, double tolerance = 1e-9);
+
+}  // namespace dlsbl::dlt

@@ -1,0 +1,77 @@
+#include "dlt/sequencing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dlt/closed_form.hpp"
+#include "dlt/finish_time.hpp"
+#include "util/rng.hpp"
+
+namespace dlsbl::dlt {
+
+ProblemInstance remove_processor(const ProblemInstance& instance, std::size_t removed) {
+    if (instance.processor_count() < 2) {
+        throw std::invalid_argument("remove_processor: need at least two processors");
+    }
+    if (removed >= instance.processor_count()) {
+        throw std::out_of_range("remove_processor: bad index");
+    }
+    ProblemInstance reduced = instance;
+    reduced.w.erase(reduced.w.begin() + static_cast<std::ptrdiff_t>(removed));
+    // Removing the load-originating processor removes the computing role of
+    // the data-holding machine but not its distributing role: the reduced
+    // system behaves as a bus with a control processor.
+    if (instance.kind != NetworkKind::kCP &&
+        removed == load_origin_index(instance.kind, instance.processor_count())) {
+        reduced.kind = NetworkKind::kCP;
+    }
+    return reduced;
+}
+
+double leave_one_out_makespan(const ProblemInstance& instance, std::size_t removed) {
+    return optimal_makespan(remove_processor(instance, removed));
+}
+
+PermutationStudy makespan_over_permutations(const ProblemInstance& instance,
+                                            std::size_t samples, std::uint64_t seed) {
+    instance.validate();
+    const std::size_t m = instance.processor_count();
+    // The transmission order may be permuted; the load-originating machine
+    // keeps its role (it physically holds the data), so for the NCP kinds we
+    // permute only the non-LO processors.
+    std::size_t fixed = m;  // index pinned in place; m = none
+    if (instance.kind != NetworkKind::kCP) fixed = load_origin_index(instance.kind, m);
+
+    util::Xoshiro256 rng{seed};
+    PermutationStudy study;
+    std::vector<std::size_t> order(m);
+    for (std::size_t i = 0; i < m; ++i) order[i] = i;
+
+    auto evaluate = [&](const std::vector<std::size_t>& perm) {
+        ProblemInstance permuted = instance;
+        for (std::size_t i = 0; i < m; ++i) permuted.w[i] = instance.w[perm[i]];
+        study.makespans.push_back(optimal_makespan(permuted));
+    };
+
+    evaluate(order);
+    std::vector<std::size_t> movable;
+    for (std::size_t i = 0; i < m; ++i) {
+        if (i != fixed) movable.push_back(i);
+    }
+    for (std::size_t s = 1; s < samples; ++s) {
+        rng.shuffle(movable);
+        std::vector<std::size_t> perm(m);
+        std::size_t next = 0;
+        for (std::size_t i = 0; i < m; ++i) {
+            perm[i] = (i == fixed) ? fixed : movable[next++];
+        }
+        evaluate(perm);
+    }
+
+    const auto [lo, hi] = std::minmax_element(study.makespans.begin(), study.makespans.end());
+    study.min = *lo;
+    study.max = *hi;
+    return study;
+}
+
+}  // namespace dlsbl::dlt

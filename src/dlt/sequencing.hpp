@@ -1,0 +1,38 @@
+// Participation and sequencing analysis.
+//
+// * leave_one_out(): optimal makespan of the system without processor i —
+//   the T(α(b_{-i}), b_{-i}) term of the DLS-BL bonus (paper §3). When the
+//   removed processor is the load-originating one, the machine holding the
+//   data still distributes but no longer computes, which is exactly the
+//   BUS-LINEAR-CP configuration over the remaining processors; we therefore
+//   re-solve the reduced system as kCP in that case (design decision
+//   documented in DESIGN.md).
+// * makespan_over_permutations(): evidence for Theorem 2.2 — every load
+//   allocation order achieves the same optimal makespan.
+#pragma once
+
+#include <vector>
+
+#include "dlt/types.hpp"
+
+namespace dlsbl::dlt {
+
+// The reduced instance obtained by deleting processor `removed` (0-based).
+// Throws if the instance has fewer than two processors.
+ProblemInstance remove_processor(const ProblemInstance& instance, std::size_t removed);
+
+// Optimal makespan of the system excluding processor `removed`.
+double leave_one_out_makespan(const ProblemInstance& instance, std::size_t removed);
+
+struct PermutationStudy {
+    std::vector<double> makespans;  // optimal makespan per sampled processor order
+    double min = 0.0;
+    double max = 0.0;
+};
+
+// Optimal makespan for `samples` random processor orders (plus the identity
+// order first). Theorem 2.2 predicts identical values for all of them.
+PermutationStudy makespan_over_permutations(const ProblemInstance& instance,
+                                            std::size_t samples, std::uint64_t seed);
+
+}  // namespace dlsbl::dlt

@@ -1,0 +1,105 @@
+#include "dlt/star.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace dlsbl::dlt {
+
+void StarInstance::validate() const {
+    if (w.empty()) throw std::invalid_argument("StarInstance: need >= 1 processor");
+    if (z.size() != w.size()) throw std::invalid_argument("StarInstance: z/w size mismatch");
+    for (double zi : z) {
+        if (!(zi >= 0.0) || !std::isfinite(zi)) {
+            throw std::invalid_argument("StarInstance: z_i must be finite and >= 0");
+        }
+    }
+    for (double wi : w) {
+        if (!(wi > 0.0) || !std::isfinite(wi)) {
+            throw std::invalid_argument("StarInstance: w_i must be finite and > 0");
+        }
+    }
+}
+
+ProblemInstance StarInstance::as_bus(NetworkKind kind) const {
+    validate();
+    for (double zi : z) {
+        if (zi != z[0]) {
+            throw std::invalid_argument("StarInstance: heterogeneous links, not a bus");
+        }
+    }
+    return ProblemInstance{kind, z[0], w};
+}
+
+LoadAllocation star_optimal_allocation(const StarInstance& instance) {
+    instance.validate();
+    return star_optimal_allocation_generic<double>(std::span<const double>(instance.z),
+                                                   std::span<const double>(instance.w));
+}
+
+std::vector<double> star_finishing_times(const StarInstance& instance,
+                                         const LoadAllocation& alpha) {
+    instance.validate();
+    return star_finishing_times_generic<double>(std::span<const double>(alpha),
+                                                std::span<const double>(instance.z),
+                                                std::span<const double>(instance.w));
+}
+
+double star_makespan(const StarInstance& instance, const LoadAllocation& alpha) {
+    const auto t = star_finishing_times(instance, alpha);
+    return *std::max_element(t.begin(), t.end());
+}
+
+double star_optimal_makespan(const StarInstance& instance) {
+    return star_makespan(instance, star_optimal_allocation(instance));
+}
+
+std::vector<std::size_t> star_bandwidth_order(const StarInstance& instance) {
+    instance.validate();
+    std::vector<std::size_t> order(instance.processor_count());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return instance.z[a] < instance.z[b];
+    });
+    return order;
+}
+
+StarInstance star_reorder(const StarInstance& instance,
+                          const std::vector<std::size_t>& order) {
+    if (order.size() != instance.processor_count()) {
+        throw std::invalid_argument("star_reorder: order size mismatch");
+    }
+    StarInstance out;
+    out.z.reserve(order.size());
+    out.w.reserve(order.size());
+    for (std::size_t original : order) {
+        out.z.push_back(instance.z.at(original));
+        out.w.push_back(instance.w.at(original));
+    }
+    return out;
+}
+
+StarOrderSearch star_search_orders(const StarInstance& instance) {
+    instance.validate();
+    const std::size_t m = instance.processor_count();
+    if (m > 8) throw std::invalid_argument("star_search_orders: m too large for m!");
+    std::vector<std::size_t> order(m);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+
+    StarOrderSearch result;
+    result.best_makespan = std::numeric_limits<double>::infinity();
+    result.worst_makespan = -std::numeric_limits<double>::infinity();
+    do {
+        const double t = star_optimal_makespan(star_reorder(instance, order));
+        if (t < result.best_makespan) {
+            result.best_makespan = t;
+            result.best_order = order;
+        }
+        result.worst_makespan = std::max(result.worst_makespan, t);
+    } while (std::next_permutation(order.begin(), order.end()));
+    return result;
+}
+
+}  // namespace dlsbl::dlt

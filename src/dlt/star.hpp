@@ -1,0 +1,106 @@
+// Star-network DLT: the paper's stated future work ("we are planning to
+// investigate other network architectures").
+//
+// A star (single-level tree) generalizes the bus: worker P_i hangs off the
+// load origin over its *own* link with unit-communication time z_i; the
+// origin is one-port, so transfers still serialize, but links are no longer
+// interchangeable. The bus is the special case z_1 = ... = z_m = z.
+//
+// Two classical facts (Bharadwaj et al. [3]; Beaumont et al. [2]) are
+// implemented and verified:
+//   * given a fixed activation order, the optimum again has all activated
+//     processors finishing simultaneously, with recurrence
+//     α_i w_i = α_{i+1} (z_{i+1} + w_{i+1})  (CP timing; per-link z);
+//   * unlike the bus (Theorem 2.2), the *order matters*: the optimal
+//     activation order serves links by nondecreasing z_i (fastest links
+//     first), independent of the w_i.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "dlt/types.hpp"
+
+namespace dlsbl::dlt {
+
+// Generic (double / util::Rational) closed form for a fixed activation
+// order: equal-finish recurrence α_i w_i = α_{i+1} (z_{i+1} + w_{i+1}).
+template <typename Scalar>
+std::vector<Scalar> star_optimal_allocation_generic(std::span<const Scalar> z,
+                                                    std::span<const Scalar> w) {
+    const std::size_t m = w.size();
+    if (m == 0 || z.size() != m) {
+        throw std::invalid_argument("star_optimal_allocation: bad sizes");
+    }
+    std::vector<Scalar> c(m, Scalar{1});
+    for (std::size_t i = 0; i + 1 < m; ++i) {
+        c[i + 1] = c[i] * (w[i] / (z[i + 1] + w[i + 1]));
+    }
+    Scalar total{0};
+    for (const Scalar& ci : c) total = total + ci;
+    std::vector<Scalar> alpha(m);
+    for (std::size_t i = 0; i < m; ++i) alpha[i] = c[i] / total;
+    return alpha;
+}
+
+template <typename Scalar>
+std::vector<Scalar> star_finishing_times_generic(std::span<const Scalar> alpha,
+                                                 std::span<const Scalar> z,
+                                                 std::span<const Scalar> w) {
+    const std::size_t m = w.size();
+    if (alpha.size() != m || z.size() != m) {
+        throw std::invalid_argument("star_finishing_times: bad sizes");
+    }
+    std::vector<Scalar> t(m);
+    Scalar comm{0};
+    for (std::size_t i = 0; i < m; ++i) {
+        comm = comm + z[i] * alpha[i];
+        t[i] = comm + alpha[i] * w[i];
+    }
+    return t;
+}
+
+struct StarInstance {
+    std::vector<double> z;  // z[i]: unit-comm time of P_{i+1}'s link
+    std::vector<double> w;  // w[i]: unit-processing time of P_{i+1}
+
+    [[nodiscard]] std::size_t processor_count() const noexcept { return w.size(); }
+    void validate() const;
+
+    // The equivalent bus instance when all links are equal (throws if not).
+    [[nodiscard]] ProblemInstance as_bus(NetworkKind kind) const;
+};
+
+// Optimal allocation for the *given* activation order (processors are
+// served 0, 1, ..., m-1 as listed). CP-style timing: the origin holds the
+// data and does not compute; T_i = Σ_{j<=i} α_j z_j + α_i w_i.
+LoadAllocation star_optimal_allocation(const StarInstance& instance);
+
+std::vector<double> star_finishing_times(const StarInstance& instance,
+                                         const LoadAllocation& alpha);
+
+double star_makespan(const StarInstance& instance, const LoadAllocation& alpha);
+
+// Optimal makespan of the given order (closed form + equal finish).
+double star_optimal_makespan(const StarInstance& instance);
+
+// Reorders processors by nondecreasing link time z_i (ties by index): the
+// provably optimal activation order for linear-cost star networks.
+// Returns the permutation applied (new position -> original index).
+std::vector<std::size_t> star_bandwidth_order(const StarInstance& instance);
+
+StarInstance star_reorder(const StarInstance& instance,
+                          const std::vector<std::size_t>& order);
+
+// Exhaustive search over all m! activation orders (m <= 8): the minimum
+// makespan and the order achieving it. Used to verify the bandwidth rule.
+struct StarOrderSearch {
+    double best_makespan = 0.0;
+    double worst_makespan = 0.0;
+    std::vector<std::size_t> best_order;
+};
+StarOrderSearch star_search_orders(const StarInstance& instance);
+
+}  // namespace dlsbl::dlt

@@ -1,0 +1,47 @@
+// Core types for Divisible Load Theory on bus networks (paper §2).
+//
+// A problem instance is (m processors with unit-processing times w_i, a bus
+// with unit-communication time z, a network class). The load is normalized
+// to 1 (eq 6) and an allocation is the fraction vector α with α_i >= 0 and
+// Σ α_i = 1 (eqs 5-6).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dlsbl::dlt {
+
+// The three system classes of §2 and Figures 1-3.
+enum class NetworkKind {
+    kCP,      // bus with a dedicated control processor P_0 (Figure 1)
+    kNcpFE,   // no control processor; LO = P_1 has a front end (Figure 2)
+    kNcpNFE,  // no control processor; LO = P_m has no front end (Figure 3)
+};
+
+const char* to_string(NetworkKind kind) noexcept;
+
+// Index (0-based) of the load-originating processor for a given kind and
+// processor count. For kCP the load originates at the control processor P_0,
+// which is not part of the processor vector; this returns the first worker
+// by convention (callers handling kCP specially should not rely on it).
+std::size_t load_origin_index(NetworkKind kind, std::size_t processor_count);
+
+struct ProblemInstance {
+    NetworkKind kind = NetworkKind::kNcpFE;
+    double z = 0.0;               // time to communicate a unit load over the bus
+    std::vector<double> w;        // w[i]: time for P_{i+1} to process a unit load
+
+    [[nodiscard]] std::size_t processor_count() const noexcept { return w.size(); }
+
+    // Throws std::invalid_argument unless m >= 1, z >= 0, and all w_i > 0.
+    void validate() const;
+};
+
+using LoadAllocation = std::vector<double>;
+
+// Σ α_i == 1 and α_i >= 0, within tolerance.
+bool is_feasible_allocation(const LoadAllocation& alpha, double tolerance = 1e-9);
+
+}  // namespace dlsbl::dlt

@@ -1,0 +1,31 @@
+#include "mech/cp_auction.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dlsbl::mech {
+
+CpAuctionOutcome run_cp_auction(double z, const std::vector<CpAgent>& agents) {
+    if (agents.size() < 2) {
+        throw std::invalid_argument("run_cp_auction: need at least two agents");
+    }
+    CpAuctionOutcome outcome;
+    outcome.bids.reserve(agents.size());
+    outcome.exec_values.reserve(agents.size());
+    for (const auto& agent : agents) {
+        outcome.bids.push_back(agent.bid_factor * agent.true_w);
+        // Verification: the meter observes the true execution rate; agents
+        // cannot run faster than their hardware.
+        outcome.exec_values.push_back(
+            std::max(agent.true_w, agent.exec_factor * agent.true_w));
+    }
+    const DlsBl mechanism(dlt::NetworkKind::kCP, z, outcome.bids);
+    outcome.alpha = mechanism.allocation();
+    outcome.breakdown = mechanism.payments(std::span<const double>(outcome.exec_values));
+    outcome.makespan =
+        mechanism.realized_makespan(std::span<const double>(outcome.exec_values));
+    for (double q : outcome.breakdown.payment) outcome.user_paid += q;
+    return outcome;
+}
+
+}  // namespace dlsbl::mech

@@ -1,0 +1,43 @@
+// Centralized DLS-BL execution for the CP system (the paper's predecessor
+// mechanism, [9]): a *trusted* control processor P_0 collects bids,
+// computes the BUS-LINEAR-CP allocation, distributes the load, observes
+// execution, and pays Q = C + B.
+//
+// This runner complements protocol/runner.hpp (the distributed,
+// referee-arbitrated NCP protocol): it needs no signatures, no monitoring
+// and no fines, because P_0 is assumed obedient — exactly the assumption
+// DLS-BL-NCP removes. Tests use it to check that the two runners produce
+// identical economics when fed the same reports.
+#pragma once
+
+#include <vector>
+
+#include "mech/dls_bl.hpp"
+
+namespace dlsbl::mech {
+
+struct CpAgent {
+    double true_w = 1.0;     // private type
+    double bid_factor = 1.0; // report b = factor * w
+    double exec_factor = 1.0; // run at w̃ = max(w, factor * w)
+};
+
+struct CpAuctionOutcome {
+    std::vector<double> bids;
+    std::vector<double> exec_values;   // observed w̃
+    dlt::LoadAllocation alpha;
+    PaymentBreakdown breakdown;
+    double makespan = 0.0;             // realized: T(α(b), w̃)
+    double user_paid = 0.0;            // Σ Q_i
+
+    // Agent utility U_i = Q_i - α_i w̃_i (the agent's real cost is its time).
+    [[nodiscard]] double utility(std::size_t i) const {
+        return breakdown.payment[i] - alpha[i] * exec_values[i];
+    }
+};
+
+// Runs one CP auction: collects reports, allocates, "executes" (analytic
+// timing — the CP system needs no distributed simulation), pays.
+CpAuctionOutcome run_cp_auction(double z, const std::vector<CpAgent>& agents);
+
+}  // namespace dlsbl::mech

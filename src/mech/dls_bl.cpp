@@ -1,0 +1,75 @@
+#include "mech/dls_bl.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dlsbl::mech {
+
+DlsBl::DlsBl(dlt::NetworkKind kind, double z, std::vector<double> bids) {
+    if (bids.size() < 2) {
+        throw std::invalid_argument("DlsBl: mechanism needs at least two processors");
+    }
+    instance_.kind = kind;
+    instance_.z = z;
+    instance_.w = std::move(bids);
+    instance_.validate();
+    alpha_ = dlt::optimal_allocation(instance_);
+    exclusion_cache_.assign(instance_.processor_count(),
+                            std::numeric_limits<double>::quiet_NaN());
+}
+
+double DlsBl::bid_makespan() const { return dlt::makespan(instance_, alpha_); }
+
+double DlsBl::realized_makespan(std::span<const double> exec_values) const {
+    if (exec_values.size() != instance_.processor_count()) {
+        throw std::invalid_argument("DlsBl: execution vector size mismatch");
+    }
+    return dlt::makespan_generic<double>(instance_.kind, std::span<const double>(alpha_),
+                                         exec_values, instance_.z);
+}
+
+double DlsBl::exclusion_makespan(std::size_t i) const {
+    if (i >= instance_.processor_count()) throw std::out_of_range("DlsBl: bad index");
+    if (std::isnan(exclusion_cache_[i])) {
+        exclusion_cache_[i] = dlt::leave_one_out_makespan(instance_, i);
+    }
+    return exclusion_cache_[i];
+}
+
+double DlsBl::bonus_of(std::size_t i, double exec_value) const {
+    // T(α(b), (b_-i, w̃_i)): the bid-derived allocation evaluated with P_i
+    // at its observed speed and everyone else at their bid.
+    std::vector<double> mixed = instance_.w;
+    mixed[i] = exec_value;
+    const double realized = dlt::makespan_generic<double>(
+        instance_.kind, std::span<const double>(alpha_), std::span<const double>(mixed),
+        instance_.z);
+    return exclusion_makespan(i) - realized;
+}
+
+double DlsBl::utility_of(std::size_t i, double exec_value) const {
+    // U_i = Q_i + V_i = (C_i + B_i) - α_i w̃_i = B_i.
+    return bonus_of(i, exec_value);
+}
+
+PaymentBreakdown DlsBl::payments(std::span<const double> exec_values) const {
+    const std::size_t m = instance_.processor_count();
+    if (exec_values.size() != m) {
+        throw std::invalid_argument("DlsBl: execution vector size mismatch");
+    }
+    PaymentBreakdown out;
+    out.compensation.resize(m);
+    out.bonus.resize(m);
+    out.payment.resize(m);
+    out.utility.resize(m);
+    for (std::size_t i = 0; i < m; ++i) {
+        out.compensation[i] = alpha_[i] * exec_values[i];
+        out.bonus[i] = bonus_of(i, exec_values[i]);
+        out.payment[i] = out.compensation[i] + out.bonus[i];
+        out.utility[i] = out.payment[i] - alpha_[i] * exec_values[i];
+    }
+    return out;
+}
+
+}  // namespace dlsbl::mech

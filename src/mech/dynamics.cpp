@@ -1,0 +1,86 @@
+#include "mech/dynamics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dlsbl::mech {
+
+double best_response_factor(dlt::NetworkKind kind, double z,
+                            const std::vector<double>& true_w,
+                            const std::vector<double>& current_bids, std::size_t i,
+                            const BestResponseOptions& options) {
+    if (true_w.size() != current_bids.size()) {
+        throw std::invalid_argument("best_response_factor: size mismatch");
+    }
+    if (i >= true_w.size()) throw std::out_of_range("best_response_factor: bad index");
+
+    double best_factor = 1.0;
+    double best_utility = -std::numeric_limits<double>::infinity();
+    for (double factor : options.factor_grid) {
+        std::vector<double> bids = current_bids;
+        bids[i] = factor * true_w[i];
+        const DlsBl mechanism(kind, z, bids);
+        // The agent may also pick its execution value in [w, max(w, b)].
+        const double hi = std::max(true_w[i], bids[i]);
+        double utility = -std::numeric_limits<double>::infinity();
+        const std::size_t grid = std::max<std::size_t>(options.exec_grid, 2);
+        for (std::size_t g = 0; g < grid; ++g) {
+            const double frac = static_cast<double>(g) / static_cast<double>(grid - 1);
+            utility = std::max(utility,
+                               mechanism.utility_of(i, true_w[i] + frac * (hi - true_w[i])));
+        }
+        // Ties break toward truthfulness (factor 1.0), then toward the
+        // earlier candidate for determinism.
+        const bool better = utility > best_utility + 1e-12;
+        const bool tie_prefers = std::abs(utility - best_utility) <= 1e-12 &&
+                                 std::abs(factor - 1.0) < std::abs(best_factor - 1.0);
+        if (better || tie_prefers) {
+            best_utility = utility;
+            best_factor = factor;
+        }
+    }
+    return best_factor;
+}
+
+DynamicsResult run_best_response_dynamics(dlt::NetworkKind kind, double z,
+                                          const std::vector<double>& true_w,
+                                          std::vector<double> initial_factors,
+                                          const BestResponseOptions& options) {
+    if (initial_factors.size() != true_w.size()) {
+        throw std::invalid_argument("run_best_response_dynamics: size mismatch");
+    }
+    DynamicsResult result;
+    std::vector<double> factors = std::move(initial_factors);
+    result.factor_history.push_back(factors);
+
+    for (std::size_t round = 1; round <= options.max_rounds; ++round) {
+        std::vector<double> bids(true_w.size());
+        for (std::size_t i = 0; i < true_w.size(); ++i) bids[i] = factors[i] * true_w[i];
+
+        std::vector<double> next(true_w.size());
+        for (std::size_t i = 0; i < true_w.size(); ++i) {
+            next[i] = best_response_factor(kind, z, true_w, bids, i, options);
+        }
+        result.factor_history.push_back(next);
+        if (next == factors) {
+            result.converged = true;
+            result.rounds_to_converge = round - 1;
+            break;
+        }
+        factors = std::move(next);
+    }
+    if (!result.converged && result.factor_history.size() >= 2 &&
+        result.factor_history.back() ==
+            result.factor_history[result.factor_history.size() - 2]) {
+        result.converged = true;
+    }
+    const auto& final_profile = result.factor_history.back();
+    result.truthful_fixed_point =
+        std::all_of(final_profile.begin(), final_profile.end(),
+                    [](double f) { return f == 1.0; });
+    return result;
+}
+
+}  // namespace dlsbl::mech

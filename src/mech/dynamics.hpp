@@ -1,0 +1,50 @@
+// Best-response dynamics: does a population of boundedly-rational agents
+// *find* the truthful equilibrium?
+//
+// Strategyproofness (Theorem 5.2) says truth-telling is a dominant
+// strategy, so best-response dynamics should converge to the truthful
+// profile from any start — in fact in one round, since each agent's best
+// response is independent of the others' bids. This module makes that
+// testable: agents start from arbitrary bid factors and repeatedly play a
+// (grid-quantized) best response against the current profile.
+#pragma once
+
+#include <vector>
+
+#include "dlt/types.hpp"
+#include "mech/dls_bl.hpp"
+
+namespace dlsbl::mech {
+
+struct BestResponseOptions {
+    // Candidate bid factors an agent considers (relative to its true w).
+    std::vector<double> factor_grid = {0.25, 0.4, 0.55, 0.7, 0.85, 1.0,
+                                       1.2,  1.5, 2.0,  3.0, 5.0};
+    // Execution-value choices per bid (fractions of the way from w to
+    // max(w, b)).
+    std::size_t exec_grid = 9;
+    std::size_t max_rounds = 20;
+};
+
+// The factor in `options.factor_grid` maximizing agent i's utility given
+// the others' current bids (ties resolved toward 1.0).
+double best_response_factor(dlt::NetworkKind kind, double z,
+                            const std::vector<double>& true_w,
+                            const std::vector<double>& current_bids, std::size_t i,
+                            const BestResponseOptions& options = {});
+
+struct DynamicsResult {
+    std::vector<std::vector<double>> factor_history;  // per round, per agent
+    std::size_t rounds_to_converge = 0;               // 0 = started converged
+    bool converged = false;
+    bool truthful_fixed_point = false;  // final profile all factors == 1.0
+};
+
+// Runs simultaneous best-response dynamics from `initial_factors` until the
+// profile stops changing or max_rounds is hit.
+DynamicsResult run_best_response_dynamics(dlt::NetworkKind kind, double z,
+                                          const std::vector<double>& true_w,
+                                          std::vector<double> initial_factors,
+                                          const BestResponseOptions& options = {});
+
+}  // namespace dlsbl::mech

@@ -1,0 +1,104 @@
+#include "mech/properties.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dlsbl::mech {
+
+dlt::ProblemInstance random_instance(dlt::NetworkKind kind, std::size_t m,
+                                     util::Xoshiro256& rng) {
+    dlt::ProblemInstance instance;
+    instance.kind = kind;
+    instance.w.resize(m);
+    double min_w = std::numeric_limits<double>::infinity();
+    for (double& wi : instance.w) {
+        wi = std::exp(rng.uniform(std::log(0.5), std::log(8.0)));
+        min_w = std::min(min_w, wi);
+    }
+    // Stay inside the full-participation regime (dlt::full_participation_
+    // optimal): communication strictly cheaper than any processor's compute.
+    const double z_hi = std::min(2.0, 0.9 * min_w);
+    instance.z = std::exp(rng.uniform(std::log(0.05), std::log(z_hi)));
+    return instance;
+}
+
+std::vector<DeviationPoint> utility_vs_bid(dlt::NetworkKind kind, double z,
+                                           const std::vector<double>& true_values,
+                                           std::size_t i,
+                                           const std::vector<double>& bid_factors,
+                                           std::size_t exec_grid) {
+    std::vector<DeviationPoint> curve;
+    curve.reserve(bid_factors.size());
+    const double w_i = true_values[i];
+    for (double factor : bid_factors) {
+        std::vector<double> bids = true_values;
+        bids[i] = factor * w_i;
+        const DlsBl mechanism(kind, z, bids);
+        // Mechanism with verification: w̃_i >= w_i. Executing slower than
+        // max(w_i, b_i) never helps, so the grid covers [w_i, max(w_i, b_i)].
+        const double hi = std::max(w_i, bids[i]);
+        double best = -std::numeric_limits<double>::infinity();
+        for (std::size_t g = 0; g < std::max<std::size_t>(exec_grid, 2); ++g) {
+            const double frac =
+                static_cast<double>(g) / static_cast<double>(exec_grid - 1);
+            const double exec = w_i + frac * (hi - w_i);
+            best = std::max(best, mechanism.utility_of(i, exec));
+        }
+        curve.push_back({factor, best});
+    }
+    return curve;
+}
+
+StrategyproofnessReport check_strategyproofness(dlt::NetworkKind kind,
+                                                std::size_t instances, std::size_t max_m,
+                                                util::Xoshiro256& rng, double tolerance) {
+    static const std::vector<double> kFactors = {0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 1.05,
+                                                 1.1, 1.25, 1.5, 2.0, 3.0, 5.0};
+    StrategyproofnessReport report;
+    for (std::size_t trial = 0; trial < instances; ++trial) {
+        const std::size_t m = static_cast<std::size_t>(rng.uniform_int(2, max_m));
+        const dlt::ProblemInstance instance = random_instance(kind, m, rng);
+        for (std::size_t i = 0; i < m; ++i) {
+            const DlsBl truthful(kind, instance.z, instance.w);
+            const double truthful_utility = truthful.utility_of(i, instance.w[i]);
+            const auto curve =
+                utility_vs_bid(kind, instance.z, instance.w, i, kFactors);
+            ++report.agent_sweeps;
+            for (const auto& point : curve) {
+                const double gain = point.best_utility - truthful_utility;
+                if (gain > tolerance) {
+                    ++report.violations;
+                    report.worst_gain = std::max(report.worst_gain, gain);
+                }
+            }
+        }
+        ++report.instances;
+    }
+    return report;
+}
+
+VoluntaryParticipationReport check_voluntary_participation(dlt::NetworkKind kind,
+                                                           std::size_t instances,
+                                                           std::size_t max_m,
+                                                           util::Xoshiro256& rng,
+                                                           double tolerance) {
+    VoluntaryParticipationReport report;
+    report.min_utility = std::numeric_limits<double>::infinity();
+    for (std::size_t trial = 0; trial < instances; ++trial) {
+        const std::size_t m = static_cast<std::size_t>(rng.uniform_int(2, max_m));
+        const dlt::ProblemInstance instance = random_instance(kind, m, rng);
+        const DlsBl mechanism(kind, instance.z, instance.w);
+        const auto breakdown = mechanism.payments(std::span<const double>(instance.w));
+        for (double u : breakdown.utility) {
+            ++report.agents;
+            report.min_utility = std::min(report.min_utility, u);
+            if (u < -tolerance) ++report.violations;
+        }
+        ++report.instances;
+    }
+    if (report.agents == 0) report.min_utility = 0.0;
+    return report;
+}
+
+}  // namespace dlsbl::mech

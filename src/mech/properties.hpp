@@ -1,0 +1,71 @@
+// Numerical certificates for the mechanism-design properties.
+//
+//   * Definition 3.2 / Theorems 3.1, 5.2 — strategyproofness: an agent's
+//     utility is maximized by bidding its true value, for any bids of the
+//     others. check_strategyproofness() sweeps multiplicative bid
+//     deviations and lets the deviator pick its best execution value.
+//   * Definition 3.3 / Theorems 3.2, 5.3 — voluntary participation:
+//     truthful agents never get negative utility.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dlt/types.hpp"
+#include "mech/dls_bl.hpp"
+#include "util/rng.hpp"
+
+namespace dlsbl::mech {
+
+struct DeviationPoint {
+    double bid_factor = 1.0;   // θ, with b_i = θ * w_i
+    double best_utility = 0.0; // max over admissible execution values w̃_i
+};
+
+// Utility curve of agent `i` across bid factors, others bidding truthfully.
+// For each deviated bid, the agent is allowed to pick the execution value
+// w̃_i in [w_i, max(w_i, b_i)] that maximizes its utility (mechanism with
+// verification: it can't run faster than its capacity, but may run slower,
+// e.g. to mask an overbid).
+std::vector<DeviationPoint> utility_vs_bid(dlt::NetworkKind kind, double z,
+                                           const std::vector<double>& true_values,
+                                           std::size_t i,
+                                           const std::vector<double>& bid_factors,
+                                           std::size_t exec_grid = 17);
+
+struct StrategyproofnessReport {
+    std::size_t instances = 0;
+    std::size_t agent_sweeps = 0;
+    std::size_t violations = 0;       // deviations strictly beating truthfulness
+    double worst_gain = 0.0;          // max (deviant utility - truthful utility)
+};
+
+// Random instances: m ∈ [2, max_m], z and w log-uniform; every agent sweeps
+// the given bid factors. A violation is a deviant utility exceeding the
+// truthful utility by more than `tolerance`.
+StrategyproofnessReport check_strategyproofness(dlt::NetworkKind kind,
+                                                std::size_t instances, std::size_t max_m,
+                                                util::Xoshiro256& rng,
+                                                double tolerance = 1e-9);
+
+struct VoluntaryParticipationReport {
+    std::size_t instances = 0;
+    std::size_t agents = 0;
+    std::size_t violations = 0;  // truthful agents with utility < -tolerance
+    double min_utility = 0.0;
+};
+
+VoluntaryParticipationReport check_voluntary_participation(dlt::NetworkKind kind,
+                                                           std::size_t instances,
+                                                           std::size_t max_m,
+                                                           util::Xoshiro256& rng,
+                                                           double tolerance = 1e-9);
+
+// Draws a random instance: m processors, w_i ∈ [0.5, 8] log-uniform, and
+// z log-uniform in [0.05, min(2, 0.9·min_i w_i)] so the instance satisfies
+// dlt::full_participation_optimal() — the regime the paper's theorems
+// assume. Used by both checkers and several benches.
+dlt::ProblemInstance random_instance(dlt::NetworkKind kind, std::size_t m,
+                                     util::Xoshiro256& rng);
+
+}  // namespace dlsbl::mech

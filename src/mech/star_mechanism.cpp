@@ -1,0 +1,106 @@
+#include "mech/star_mechanism.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dlsbl::mech {
+
+namespace {
+
+dlt::StarInstance ordered_instance(const std::vector<double>& links,
+                                   const std::vector<double>& speeds,
+                                   const std::vector<std::size_t>& order) {
+    dlt::StarInstance instance;
+    instance.z.reserve(order.size());
+    instance.w.reserve(order.size());
+    for (std::size_t original : order) {
+        instance.z.push_back(links[original]);
+        instance.w.push_back(speeds[original]);
+    }
+    return instance;
+}
+
+}  // namespace
+
+StarMechanism::StarMechanism(std::vector<double> links, std::vector<double> bids)
+    : links_(std::move(links)), bids_(std::move(bids)) {
+    if (bids_.size() < 2) {
+        throw std::invalid_argument("StarMechanism: need at least two workers");
+    }
+    if (links_.size() != bids_.size()) {
+        throw std::invalid_argument("StarMechanism: links/bids size mismatch");
+    }
+    dlt::StarInstance raw{links_, bids_};
+    raw.validate();
+
+    order_ = dlt::star_bandwidth_order(raw);
+    position_of_.resize(order_.size());
+    for (std::size_t pos = 0; pos < order_.size(); ++pos) {
+        position_of_[order_[pos]] = pos;
+    }
+
+    const auto instance = ordered_instance(links_, bids_, order_);
+    const auto ordered_alpha = dlt::star_optimal_allocation(instance);
+    alpha_.resize(bids_.size());
+    for (std::size_t pos = 0; pos < order_.size(); ++pos) {
+        alpha_[order_[pos]] = ordered_alpha[pos];
+    }
+    bid_makespan_ = dlt::star_makespan(instance, ordered_alpha);
+    exclusion_cache_.assign(bids_.size(), std::numeric_limits<double>::quiet_NaN());
+}
+
+double StarMechanism::realized_makespan_with(std::size_t i, double exec) const {
+    std::vector<double> speeds = bids_;
+    speeds[i] = exec;
+    const auto instance = ordered_instance(links_, speeds, order_);
+    dlt::LoadAllocation ordered_alpha(alpha_.size());
+    for (std::size_t pos = 0; pos < order_.size(); ++pos) {
+        ordered_alpha[pos] = alpha_[order_[pos]];
+    }
+    return dlt::star_makespan(instance, ordered_alpha);
+}
+
+double StarMechanism::exclusion_makespan(std::size_t i) const {
+    if (i >= bids_.size()) throw std::out_of_range("StarMechanism: bad index");
+    if (std::isnan(exclusion_cache_[i])) {
+        std::vector<double> links;
+        std::vector<double> speeds;
+        for (std::size_t j = 0; j < bids_.size(); ++j) {
+            if (j == i) continue;
+            links.push_back(links_[j]);
+            speeds.push_back(bids_[j]);
+        }
+        dlt::StarInstance reduced{std::move(links), std::move(speeds)};
+        const auto order = dlt::star_bandwidth_order(reduced);
+        exclusion_cache_[i] =
+            dlt::star_optimal_makespan(dlt::star_reorder(reduced, order));
+    }
+    return exclusion_cache_[i];
+}
+
+double StarMechanism::utility_of(std::size_t i, double exec_value) const {
+    // U_i = Q_i + V_i = B_i, as in DLS-BL.
+    return exclusion_makespan(i) - realized_makespan_with(i, exec_value);
+}
+
+PaymentBreakdown StarMechanism::payments(std::span<const double> exec_values) const {
+    if (exec_values.size() != bids_.size()) {
+        throw std::invalid_argument("StarMechanism: execution vector size mismatch");
+    }
+    PaymentBreakdown out;
+    const std::size_t m = bids_.size();
+    out.compensation.resize(m);
+    out.bonus.resize(m);
+    out.payment.resize(m);
+    out.utility.resize(m);
+    for (std::size_t i = 0; i < m; ++i) {
+        out.compensation[i] = alpha_[i] * exec_values[i];
+        out.bonus[i] = exclusion_makespan(i) - realized_makespan_with(i, exec_values[i]);
+        out.payment[i] = out.compensation[i] + out.bonus[i];
+        out.utility[i] = out.bonus[i];
+    }
+    return out;
+}
+
+}  // namespace dlsbl::mech

@@ -1,0 +1,58 @@
+// Strategyproof scheduling on STAR networks — the paper's future work
+// ("we are planning to investigate other network architectures"),
+// implemented as the natural extension of DLS-BL.
+//
+// Setting: workers hang off the load origin over private links z_i (public,
+// a property of the wire) and private compute speeds w_i (the reported
+// type, as in DLS-BL). The mechanism:
+//   * fixes the activation order by the public link speeds — fastest links
+//     first, which is makespan-optimal regardless of the reported w
+//     (dlt/star.hpp), so bids cannot game the ordering;
+//   * allocates by the equal-finish closed form on the ordered system;
+//   * pays Q_i = C_i + B_i with the same compensation-and-bonus structure,
+//     B_i = T(α(b₋ᵢ), b₋ᵢ) − T(α(b), (b₋ᵢ, w̃_i)).
+//
+// Strategyproofness follows the same argument as DLS-BL: given the (bid-
+// independent) order, α(b) minimizes the makespan for the reported types,
+// so under-/over-reporting can only raise the realized makespan term of the
+// bonus. tests/test_mech_star.cpp certifies this numerically.
+#pragma once
+
+#include <vector>
+
+#include "dlt/star.hpp"
+#include "mech/dls_bl.hpp"
+
+namespace dlsbl::mech {
+
+class StarMechanism {
+ public:
+    // links: public z_i per worker; bids: reported w_i. Requires >= 2
+    // workers. The mechanism internally reorders by bandwidth; all inputs
+    // and outputs stay in the caller's original indexing.
+    StarMechanism(std::vector<double> links, std::vector<double> bids);
+
+    [[nodiscard]] const dlt::LoadAllocation& allocation() const noexcept {
+        return alpha_;
+    }
+    [[nodiscard]] double bid_makespan() const noexcept { return bid_makespan_; }
+
+    [[nodiscard]] PaymentBreakdown payments(std::span<const double> exec_values) const;
+    [[nodiscard]] double utility_of(std::size_t i, double exec_value) const;
+    [[nodiscard]] double exclusion_makespan(std::size_t i) const;
+
+ private:
+    // Makespan with allocation α(b) (in original indexing) and processor i
+    // executing at `exec`, everyone else at its bid.
+    [[nodiscard]] double realized_makespan_with(std::size_t i, double exec) const;
+
+    std::vector<double> links_;
+    std::vector<double> bids_;
+    std::vector<std::size_t> order_;        // activation order (position -> original)
+    std::vector<std::size_t> position_of_;  // original -> position
+    dlt::LoadAllocation alpha_;             // original indexing
+    double bid_makespan_ = 0.0;
+    mutable std::vector<double> exclusion_cache_;
+};
+
+}  // namespace dlsbl::mech

@@ -1,0 +1,141 @@
+#include "protocol/context.hpp"
+
+#include <stdexcept>
+
+#include "protocol/referee.hpp"
+
+namespace dlsbl::protocol {
+
+const char* to_string(Phase phase) noexcept {
+    switch (phase) {
+        case Phase::kInit: return "Initialization";
+        case Phase::kBidding: return "Bidding";
+        case Phase::kAllocating: return "AllocatingLoad";
+        case Phase::kProcessing: return "ProcessingLoad";
+        case Phase::kPayments: return "ComputingPayments";
+        case Phase::kDone: return "Done";
+    }
+    return "?";
+}
+
+void ProtocolConfig::validate() const {
+    if (kind == dlt::NetworkKind::kCP) {
+        throw std::invalid_argument(
+            "ProtocolConfig: DLS-BL-NCP covers the no-control-processor systems; "
+            "use mech::DlsBl directly for the CP system");
+    }
+    if (true_w.size() < 2) {
+        throw std::invalid_argument("ProtocolConfig: need at least two processors");
+    }
+    if (!strategies.empty() && strategies.size() != true_w.size()) {
+        throw std::invalid_argument("ProtocolConfig: strategy count mismatch");
+    }
+    dlt::ProblemInstance instance{kind, z, true_w};
+    instance.validate();
+    if (block_count == 0) throw std::invalid_argument("ProtocolConfig: block_count == 0");
+    if (control_latency < 0.0) {
+        throw std::invalid_argument("ProtocolConfig: negative control latency");
+    }
+}
+
+RunContext::RunContext(sim::Simulator& simulator, sim::Network& network,
+                       ProtocolConfig config)
+    : simulator_(simulator),
+      network_(network),
+      config_(std::move(config)),
+      dataset_(config_.seed, config_.block_count),
+      job_id_(config_.seed) {
+    config_.validate();
+    names_.reserve(config_.true_w.size());
+    for (std::size_t i = 0; i < config_.true_w.size(); ++i) {
+        names_.push_back("P" + std::to_string(i + 1));
+    }
+    lo_name_ = names_[dlt::load_origin_index(config_.kind, names_.size())];
+    ledger_.open_account(user_name_);
+    ledger_.open_account(referee_name_);
+    for (const auto& name : names_) ledger_.open_account(name);
+}
+
+std::size_t RunContext::index_of(const std::string& name) const {
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+        if (names_[i] == name) return i;
+    }
+    throw std::out_of_range("RunContext: unknown processor " + name);
+}
+
+void RunContext::set_phase(Phase phase) {
+    phase_ = phase;
+    network_.metrics().set_phase(to_string(phase));
+    network_.trace().record(simulator_.now(), sim::TraceKind::kPhaseChange, "protocol",
+                            to_string(phase));
+}
+
+void RunContext::mark_terminated(const std::string& reason) {
+    if (terminated_) return;
+    terminated_ = true;
+    termination_reason_ = reason;
+}
+
+void RunContext::post_fine(double predicted_compensation_sum) {
+    if (fine_posted_) return;
+    fine_posted_ = true;
+    fine_amount_ = config_.fine_policy.fine_for(predicted_compensation_sum);
+}
+
+void RunContext::ship_load(const std::string& from, const std::string& to,
+                           LoadBatch batch) {
+    // The bus witness: record exactly what crosses the shared medium.
+    auto& record = shipped_[to];
+    for (const auto& block : batch.blocks) {
+        if (DataSet::verify_block(dataset_.root(), block)) {
+            ++record.valid_blocks;
+        } else {
+            ++record.invalid_blocks;
+        }
+        record.block_ids.push_back(block.id);
+    }
+    const double units =
+        static_cast<double>(batch.blocks.size()) / static_cast<double>(config_.block_count);
+    network_.transfer_load(from, to, units, to_wire(MsgType::kLoadDelivery),
+                           batch.serialize());
+}
+
+const ShippedRecord* RunContext::shipped_to(const std::string& to) const {
+    const auto it = shipped_.find(to);
+    return it == shipped_.end() ? nullptr : &it->second;
+}
+
+double RunContext::clamp_rate(const std::string& who, double requested) const {
+    const double true_w = config_.true_w[index_of(who)];
+    return std::max(true_w, requested);
+}
+
+void RunContext::execute_load(const std::string& who, std::size_t block_count, double rate,
+                              std::function<void()> done) {
+    const double clamped = clamp_rate(who, rate);
+    const double units =
+        static_cast<double>(block_count) / static_cast<double>(config_.block_count);
+    const double duration = units * clamped;
+    meters_.start(who, simulator_.now());
+    network_.trace().record(simulator_.now(), sim::TraceKind::kComputeStart, who,
+                            "blocks=" + std::to_string(block_count) +
+                                " rate=" + std::to_string(clamped));
+    simulator_.schedule_after(duration, [this, who, done = std::move(done)] {
+        meters_.stop(who, simulator_.now());
+        last_compute_end_ = std::max(last_compute_end_, simulator_.now());
+        network_.trace().record(simulator_.now(), sim::TraceKind::kComputeEnd, who, "");
+        if (done) done();
+        ++finished_workers_;
+        if (referee_ == nullptr) return;
+        if (terminated_) {
+            // A terminating verdict may be waiting on this meter for the
+            // α_i w̃_i compensation payout.
+            referee_->on_meter_stopped(who);
+        } else if (expected_workers_ > 0 && finished_workers_ == expected_workers_) {
+            Referee* referee = referee_;
+            simulator_.schedule_after(0.0, [referee] { referee->on_all_meters_done(); });
+        }
+    });
+}
+
+}  // namespace dlsbl::protocol

@@ -1,0 +1,132 @@
+// Shared run state wired between the runner, the processor nodes and the
+// referee.
+//
+// The context also models the two "physical" trust anchors of the paper:
+//   * the tamper-proof meter bank (§4 Processing Load) — execute_load() is
+//     the only way a node can run its assignment, and it is the kernel, not
+//     the agent, that writes the meter;
+//   * the shared-bus witness — on a bus every station physically observes
+//     every transfer, so the referee can consult the record of what the LO
+//     actually shipped (ship_load() writes it). This implements the paper's
+//     assumption that "the network and communication protocols are
+//     tamper-proof" and lets the referee resolve the α̃_i < α_i cases of §4.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/pki.hpp"
+#include "protocol/blocks.hpp"
+#include "protocol/config.hpp"
+#include "protocol/ledger.hpp"
+#include "protocol/messages.hpp"
+#include "protocol/meter.hpp"
+#include "protocol/outcome.hpp"
+#include "sim/network.hpp"
+
+namespace dlsbl::protocol {
+
+class Referee;
+
+struct ShippedRecord {
+    std::size_t valid_blocks = 0;    // authentic blocks observed on the bus
+    std::size_t invalid_blocks = 0;  // blocks failing the integrity check
+    std::vector<std::uint64_t> block_ids;
+};
+
+class RunContext {
+ public:
+    RunContext(sim::Simulator& simulator, sim::Network& network, ProtocolConfig config);
+
+    // --- identity / configuration -----------------------------------------
+    [[nodiscard]] const ProtocolConfig& config() const noexcept { return config_; }
+    [[nodiscard]] std::size_t processor_count() const noexcept {
+        return config_.true_w.size();
+    }
+    [[nodiscard]] const std::vector<std::string>& processor_names() const noexcept {
+        return names_;
+    }
+    [[nodiscard]] const std::string& referee_name() const noexcept { return referee_name_; }
+    [[nodiscard]] const std::string& load_origin() const noexcept { return lo_name_; }
+    [[nodiscard]] std::uint64_t job_id() const noexcept { return job_id_; }
+    [[nodiscard]] std::size_t index_of(const std::string& name) const;
+
+    // --- subsystems ---------------------------------------------------------
+    [[nodiscard]] sim::Simulator& simulator() noexcept { return simulator_; }
+    [[nodiscard]] sim::Network& network() noexcept { return network_; }
+    [[nodiscard]] crypto::Pki& pki() noexcept { return pki_; }
+    [[nodiscard]] const DataSet& dataset() const noexcept { return dataset_; }
+    [[nodiscard]] Ledger& ledger() noexcept { return ledger_; }
+    [[nodiscard]] MeterBank& meters() noexcept { return meters_; }
+
+    // --- phase & termination -------------------------------------------------
+    [[nodiscard]] Phase phase() const noexcept { return phase_; }
+    void set_phase(Phase phase);
+    [[nodiscard]] bool terminated() const noexcept { return terminated_; }
+    void mark_terminated(const std::string& reason);
+    [[nodiscard]] const std::string& termination_reason() const noexcept {
+        return termination_reason_;
+    }
+
+    // --- fine F (posted once bids are public; §4 Bidding) --------------------
+    // First caller wins; computed as fine_policy.fine_for(Σ α_j(b) b_j).
+    void post_fine(double predicted_compensation_sum);
+    [[nodiscard]] bool fine_posted() const noexcept { return fine_posted_; }
+    [[nodiscard]] double fine_amount() const noexcept { return fine_amount_; }
+
+    // --- tamper-proof load path ----------------------------------------------
+    // The LO ships blocks to `to` through the one-port bus; the bus witness
+    // records counts and integrity.
+    void ship_load(const std::string& from, const std::string& to, LoadBatch batch);
+    [[nodiscard]] const ShippedRecord* shipped_to(const std::string& to) const;
+
+    // Runs `block_count` blocks at per-unit time `rate` on behalf of `who`;
+    // rate is clamped to >= the processor's true w (you cannot compute
+    // faster than your hardware). Fires `done` when execution completes and
+    // the meter has been stopped.
+    void execute_load(const std::string& who, std::size_t block_count, double rate,
+                      std::function<void()> done);
+    [[nodiscard]] double clamp_rate(const std::string& who, double requested) const;
+
+    // Called by execute_load completion; when every expected processor has
+    // finished, notifies the referee (meter collection, §4).
+    void set_referee(Referee& referee) { referee_ = &referee; }
+    void set_expected_workers(std::size_t count) { expected_workers_ = count; }
+
+    [[nodiscard]] double last_compute_end() const noexcept { return last_compute_end_; }
+
+ private:
+    sim::Simulator& simulator_;
+    sim::Network& network_;
+    ProtocolConfig config_;
+    crypto::Pki pki_;
+    DataSet dataset_;
+    Ledger ledger_;
+    MeterBank meters_;
+
+    std::vector<std::string> names_;
+    std::string referee_name_ = "referee";
+    std::string user_name_ = "user";
+    std::string lo_name_;
+    std::uint64_t job_id_;
+
+    Phase phase_ = Phase::kInit;
+    bool terminated_ = false;
+    std::string termination_reason_;
+    bool fine_posted_ = false;
+    double fine_amount_ = 0.0;
+
+    std::map<std::string, ShippedRecord> shipped_;
+    Referee* referee_ = nullptr;
+    std::size_t expected_workers_ = 0;
+    std::size_t finished_workers_ = 0;
+    double last_compute_end_ = 0.0;
+
+ public:
+    [[nodiscard]] const std::string& user_name() const noexcept { return user_name_; }
+};
+
+}  // namespace dlsbl::protocol

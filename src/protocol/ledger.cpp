@@ -1,0 +1,39 @@
+#include "protocol/ledger.hpp"
+
+#include <stdexcept>
+
+namespace dlsbl::protocol {
+
+void Ledger::open_account(const std::string& id) {
+    if (!balances_.emplace(id, 0.0).second) {
+        throw std::invalid_argument("Ledger: duplicate account: " + id);
+    }
+}
+
+bool Ledger::has_account(const std::string& id) const { return balances_.contains(id); }
+
+double Ledger::balance(const std::string& id) const {
+    const auto it = balances_.find(id);
+    if (it == balances_.end()) throw std::out_of_range("Ledger: unknown account: " + id);
+    return it->second;
+}
+
+void Ledger::transfer(const std::string& from, const std::string& to, double amount,
+                      const std::string& memo) {
+    auto from_it = balances_.find(from);
+    auto to_it = balances_.find(to);
+    if (from_it == balances_.end() || to_it == balances_.end()) {
+        throw std::out_of_range("Ledger: transfer between unknown accounts");
+    }
+    from_it->second -= amount;
+    to_it->second += amount;
+    history_.push_back(Entry{from, to, amount, memo});
+}
+
+double Ledger::total() const {
+    double sum = 0.0;
+    for (const auto& [id, balance] : balances_) sum += balance;
+    return sum;
+}
+
+}  // namespace dlsbl::protocol

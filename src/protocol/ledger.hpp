@@ -1,0 +1,41 @@
+// In-simulation payment infrastructure (§4 assumes one exists).
+//
+// Tracks monetary balances of every participant (processors, user, referee
+// escrow). All movements go through transfer(), so Σ balances is invariant
+// (zero-sum) — asserted by tests as a conservation law: fines collected
+// equal rewards distributed, and the user's outflow equals the processors'
+// payment inflow.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dlsbl::protocol {
+
+class Ledger {
+ public:
+    void open_account(const std::string& id);
+    [[nodiscard]] bool has_account(const std::string& id) const;
+    [[nodiscard]] double balance(const std::string& id) const;
+
+    // Moves amount (may be any sign; negative reverses direction).
+    void transfer(const std::string& from, const std::string& to, double amount,
+                  const std::string& memo = "");
+
+    [[nodiscard]] double total() const;  // must stay ~0
+
+    struct Entry {
+        std::string from;
+        std::string to;
+        double amount;
+        std::string memo;
+    };
+    [[nodiscard]] const std::vector<Entry>& history() const noexcept { return history_; }
+
+ private:
+    std::map<std::string, double> balances_;
+    std::vector<Entry> history_;
+};
+
+}  // namespace dlsbl::protocol

@@ -1,0 +1,90 @@
+#include "protocol/marketplace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dlsbl::protocol {
+
+void MarketConfig::validate() const {
+    if (owners.size() < 2) {
+        throw std::invalid_argument("MarketConfig: need at least two owners");
+    }
+    if (jobs == 0) throw std::invalid_argument("MarketConfig: need at least one job");
+    if (!(w_lo > 0.0) || !(w_hi >= w_lo)) {
+        throw std::invalid_argument("MarketConfig: bad machine-profile range");
+    }
+    if (!(fixed_fine > 0.0)) {
+        throw std::invalid_argument("MarketConfig: fixed fine must be positive");
+    }
+}
+
+const OwnerAccount& MarketReport::account(const std::string& label) const {
+    for (const auto& acct : accounts) {
+        if (acct.label == label) return acct;
+    }
+    throw std::out_of_range("MarketReport: unknown owner " + label);
+}
+
+MarketReport run_marketplace(const MarketConfig& config) {
+    config.validate();
+    util::Xoshiro256 rng{config.seed};
+
+    MarketReport report;
+    report.accounts.reserve(config.owners.size());
+    for (const auto& owner : config.owners) {
+        OwnerAccount account;
+        account.label = owner.label;
+        account.strategy_name = owner.strategy.name;
+        report.accounts.push_back(std::move(account));
+    }
+
+    for (std::size_t job = 0; job < config.jobs; ++job) {
+        ProtocolConfig run;
+        run.kind = (job % 2 == 0) ? dlt::NetworkKind::kNcpFE
+                                  : dlt::NetworkKind::kNcpNFE;
+        run.seed = config.seed * 100'000 + job;
+        run.block_count = config.block_count;
+        run.signature_algorithm = config.signature_algorithm;
+        run.fine_policy.fixed_fine = config.fixed_fine;
+
+        double min_w = std::numeric_limits<double>::infinity();
+        for (const auto& owner : config.owners) {
+            const double w =
+                std::exp(rng.uniform(std::log(config.w_lo), std::log(config.w_hi)));
+            run.true_w.push_back(w);
+            run.strategies.push_back(owner.strategy);
+            min_w = std::min(min_w, w);
+        }
+        // Stay in the full-participation regime for the NFE jobs.
+        run.z = rng.uniform(0.05, 0.8 * min_w);
+
+        const auto outcome = run_protocol(run);
+        ++report.jobs_run;
+        if (outcome.terminated_early) ++report.jobs_terminated;
+        report.total_user_spend += outcome.user_paid;
+        for (std::size_t i = 0; i < config.owners.size(); ++i) {
+            auto& account = report.accounts[i];
+            account.jobs += 1;
+            account.total_utility += outcome.processors[i].utility();
+            account.times_fined += outcome.processors[i].fined ? 1 : 0;
+        }
+
+        for (std::size_t i = 0; i < config.owners.size(); ++i) {
+            auto& account = report.accounts[i];
+            if (!config.with_counterfactual ||
+                config.owners[i].strategy.name == "truthful") {
+                account.honest_counterfactual += outcome.processors[i].utility();
+                continue;
+            }
+            auto replay = run;
+            replay.strategies[i] = Strategy{};
+            account.honest_counterfactual +=
+                run_protocol(replay).processors[i].utility();
+        }
+    }
+    return report;
+}
+
+}  // namespace dlsbl::protocol

@@ -1,0 +1,68 @@
+// A long-running divisible-load market built on repeated DLS-BL-NCP runs.
+//
+// Models the paper's deployment story: a stream of jobs auctioned to a
+// fixed pool of processor owners with persistent balances. Each job draws
+// fresh machine profiles, alternates network classes, and settles through
+// the protocol; per-owner accounting accumulates utilities, fines, and —
+// for strategic owners — the counterfactual earnings of honest play on the
+// very same jobs (the empirical Theorem 5.2 yardstick).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "protocol/runner.hpp"
+#include "util/rng.hpp"
+
+namespace dlsbl::protocol {
+
+struct MarketOwner {
+    std::string label;
+    Strategy strategy;
+};
+
+struct MarketConfig {
+    std::vector<MarketOwner> owners;
+    std::size_t jobs = 20;
+    std::uint64_t seed = 1;
+    std::size_t block_count = 1500;
+    // Per-job machine profile draw (log-uniform) and comm-time policy.
+    double w_lo = 0.8;
+    double w_hi = 3.0;
+    // The user posts a fixed fine with every job (closes the bid-derived
+    // fine's off-equilibrium reward channel; see EXPERIMENTS.md finding 2).
+    double fixed_fine = 10.0;
+    crypto::SignatureAlgorithm signature_algorithm = crypto::SignatureAlgorithm::kFast;
+    // Compute the honest counterfactual for non-truthful owners (doubles
+    // the number of protocol runs for those owners).
+    bool with_counterfactual = true;
+
+    void validate() const;
+};
+
+struct OwnerAccount {
+    std::string label;
+    std::string strategy_name;
+    std::size_t jobs = 0;
+    std::size_t times_fined = 0;
+    double total_utility = 0.0;
+    double honest_counterfactual = 0.0;
+
+    [[nodiscard]] double gain_from_strategy() const noexcept {
+        return total_utility - honest_counterfactual;
+    }
+};
+
+struct MarketReport {
+    std::vector<OwnerAccount> accounts;
+    std::size_t jobs_run = 0;
+    std::size_t jobs_terminated = 0;
+    double total_user_spend = 0.0;
+
+    [[nodiscard]] const OwnerAccount& account(const std::string& label) const;
+};
+
+// Runs the market to completion. Deterministic for a given config.
+MarketReport run_marketplace(const MarketConfig& config);
+
+}  // namespace dlsbl::protocol

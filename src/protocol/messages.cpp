@@ -1,0 +1,270 @@
+#include "protocol/messages.hpp"
+
+#include <stdexcept>
+
+namespace dlsbl::protocol {
+
+namespace {
+
+// Shared guard: every deserializer catches reader underflow and returns
+// nullopt so malformed wire bytes can never throw into protocol logic.
+template <typename Fn>
+auto parse_guard(Fn&& fn) -> decltype(fn()) {
+    try {
+        return fn();
+    } catch (const std::out_of_range&) {
+        return std::nullopt;
+    }
+}
+
+void write_blocks(util::ByteWriter& w, const std::vector<Block>& blocks) {
+    w.u64(blocks.size());
+    for (const auto& block : blocks) w.bytes(block.serialize());
+}
+
+std::optional<std::vector<Block>> read_blocks(util::ByteReader& r,
+                                              std::uint64_t sanity_cap = 1 << 20) {
+    const std::uint64_t n = r.u64();
+    if (n > sanity_cap) return std::nullopt;
+    std::vector<Block> blocks;
+    blocks.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        auto block = Block::deserialize(r.bytes());
+        if (!block) return std::nullopt;
+        blocks.push_back(std::move(*block));
+    }
+    return blocks;
+}
+
+void write_signed(util::ByteWriter& w, const crypto::SignedMessage& msg) {
+    w.bytes(msg.serialize());
+}
+
+std::optional<crypto::SignedMessage> read_signed(util::ByteReader& r) {
+    return crypto::SignedMessage::deserialize(r.bytes());
+}
+
+}  // namespace
+
+util::Bytes BidBody::serialize() const {
+    util::ByteWriter w;
+    w.str("bid");
+    w.u64(job_id);
+    w.str(processor);
+    w.f64(bid);
+    return w.take();
+}
+
+std::optional<BidBody> BidBody::deserialize(std::span<const std::uint8_t> data) {
+    return parse_guard([&]() -> std::optional<BidBody> {
+        util::ByteReader r(data);
+        if (r.str() != "bid") return std::nullopt;
+        BidBody body;
+        body.job_id = r.u64();
+        body.processor = r.str();
+        body.bid = r.f64();
+        if (!r.exhausted()) return std::nullopt;
+        return body;
+    });
+}
+
+util::Bytes LoadBatch::serialize() const {
+    util::ByteWriter w;
+    w.str(origin);
+    write_blocks(w, blocks);
+    return w.take();
+}
+
+std::optional<LoadBatch> LoadBatch::deserialize(std::span<const std::uint8_t> data) {
+    return parse_guard([&]() -> std::optional<LoadBatch> {
+        util::ByteReader r(data);
+        LoadBatch batch;
+        batch.origin = r.str();
+        auto blocks = read_blocks(r);
+        if (!blocks || !r.exhausted()) return std::nullopt;
+        batch.blocks = std::move(*blocks);
+        return batch;
+    });
+}
+
+util::Bytes DoubleBidEvidence::serialize() const {
+    util::ByteWriter w;
+    w.str(accused);
+    write_signed(w, first);
+    write_signed(w, second);
+    return w.take();
+}
+
+std::optional<DoubleBidEvidence> DoubleBidEvidence::deserialize(
+    std::span<const std::uint8_t> data) {
+    return parse_guard([&]() -> std::optional<DoubleBidEvidence> {
+        util::ByteReader r(data);
+        DoubleBidEvidence evidence;
+        evidence.accused = r.str();
+        auto first = read_signed(r);
+        auto second = read_signed(r);
+        if (!first || !second || !r.exhausted()) return std::nullopt;
+        evidence.first = std::move(*first);
+        evidence.second = std::move(*second);
+        return evidence;
+    });
+}
+
+util::Bytes AllocComplaintBody::serialize() const {
+    util::ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(kind));
+    w.str(complainant);
+    w.u64(expected_blocks);
+    w.u64(received_blocks);
+    write_blocks(w, held_blocks);
+    return w.take();
+}
+
+std::optional<AllocComplaintBody> AllocComplaintBody::deserialize(
+    std::span<const std::uint8_t> data) {
+    return parse_guard([&]() -> std::optional<AllocComplaintBody> {
+        util::ByteReader r(data);
+        AllocComplaintBody body;
+        const std::uint8_t kind = r.u8();
+        if (kind < 1 || kind > 3) return std::nullopt;
+        body.kind = static_cast<AllocComplaintKind>(kind);
+        body.complainant = r.str();
+        body.expected_blocks = r.u64();
+        body.received_blocks = r.u64();
+        auto blocks = read_blocks(r);
+        if (!blocks || !r.exhausted()) return std::nullopt;
+        body.held_blocks = std::move(*blocks);
+        return body;
+    });
+}
+
+util::Bytes BidVectorBody::serialize() const {
+    util::ByteWriter w;
+    w.str(submitter);
+    w.u64(bids.size());
+    for (const auto& bid : bids) write_signed(w, bid);
+    return w.take();
+}
+
+std::optional<BidVectorBody> BidVectorBody::deserialize(std::span<const std::uint8_t> data) {
+    return parse_guard([&]() -> std::optional<BidVectorBody> {
+        util::ByteReader r(data);
+        BidVectorBody body;
+        body.submitter = r.str();
+        const std::uint64_t n = r.u64();
+        if (n > 1 << 20) return std::nullopt;
+        body.bids.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            auto bid = read_signed(r);
+            if (!bid) return std::nullopt;
+            body.bids.push_back(std::move(*bid));
+        }
+        if (!r.exhausted()) return std::nullopt;
+        return body;
+    });
+}
+
+util::Bytes MediateRequestBody::serialize() const {
+    util::ByteWriter w;
+    w.str(beneficiary);
+    w.u64(block_ids.size());
+    for (std::uint64_t id : block_ids) w.u64(id);
+    return w.take();
+}
+
+std::optional<MediateRequestBody> MediateRequestBody::deserialize(
+    std::span<const std::uint8_t> data) {
+    return parse_guard([&]() -> std::optional<MediateRequestBody> {
+        util::ByteReader r(data);
+        MediateRequestBody body;
+        body.beneficiary = r.str();
+        const std::uint64_t n = r.u64();
+        if (n > 1 << 20) return std::nullopt;
+        body.block_ids.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i) body.block_ids.push_back(r.u64());
+        if (!r.exhausted()) return std::nullopt;
+        return body;
+    });
+}
+
+util::Bytes MeterVectorBody::serialize() const {
+    util::ByteWriter w;
+    w.str("meters");
+    w.u64(job_id);
+    w.u64(phis.size());
+    for (const auto& [processor, phi] : phis) {
+        w.str(processor);
+        w.f64(phi);
+    }
+    return w.take();
+}
+
+std::optional<MeterVectorBody> MeterVectorBody::deserialize(
+    std::span<const std::uint8_t> data) {
+    return parse_guard([&]() -> std::optional<MeterVectorBody> {
+        util::ByteReader r(data);
+        if (r.str() != "meters") return std::nullopt;
+        MeterVectorBody body;
+        body.job_id = r.u64();
+        const std::uint64_t n = r.u64();
+        if (n > 1 << 20) return std::nullopt;
+        body.phis.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            std::string processor = r.str();
+            const double phi = r.f64();
+            body.phis.emplace_back(std::move(processor), phi);
+        }
+        if (!r.exhausted()) return std::nullopt;
+        return body;
+    });
+}
+
+util::Bytes PaymentBody::serialize() const {
+    util::ByteWriter w;
+    w.str("payments");
+    w.u64(job_id);
+    w.str(processor);
+    w.u64(payments.size());
+    for (double q : payments) w.f64(q);
+    return w.take();
+}
+
+std::optional<PaymentBody> PaymentBody::deserialize(std::span<const std::uint8_t> data) {
+    return parse_guard([&]() -> std::optional<PaymentBody> {
+        util::ByteReader r(data);
+        if (r.str() != "payments") return std::nullopt;
+        PaymentBody body;
+        body.job_id = r.u64();
+        body.processor = r.str();
+        const std::uint64_t n = r.u64();
+        if (n > 1 << 20) return std::nullopt;
+        body.payments.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i) body.payments.push_back(r.f64());
+        if (!r.exhausted()) return std::nullopt;
+        return body;
+    });
+}
+
+util::Bytes TerminateBody::serialize() const {
+    util::ByteWriter w;
+    w.str(reason);
+    w.u64(fined.size());
+    for (const auto& id : fined) w.str(id);
+    return w.take();
+}
+
+std::optional<TerminateBody> TerminateBody::deserialize(std::span<const std::uint8_t> data) {
+    return parse_guard([&]() -> std::optional<TerminateBody> {
+        util::ByteReader r(data);
+        TerminateBody body;
+        body.reason = r.str();
+        const std::uint64_t n = r.u64();
+        if (n > 1 << 20) return std::nullopt;
+        body.fined.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i) body.fined.push_back(r.str());
+        if (!r.exhausted()) return std::nullopt;
+        return body;
+    });
+}
+
+}  // namespace dlsbl::protocol

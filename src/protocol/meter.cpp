@@ -1,0 +1,48 @@
+#include "protocol/meter.hpp"
+
+namespace dlsbl::protocol {
+
+void MeterBank::start(const std::string& processor, double time) {
+    auto& span = spans_[processor];
+    if (span.running || span.done) {
+        throw std::logic_error("MeterBank: double start for " + processor);
+    }
+    span.start = time;
+    span.running = true;
+}
+
+void MeterBank::stop(const std::string& processor, double time) {
+    auto it = spans_.find(processor);
+    if (it == spans_.end() || !it->second.running) {
+        throw std::logic_error("MeterBank: stop without start for " + processor);
+    }
+    it->second.stop = time;
+    it->second.running = false;
+    it->second.done = true;
+    ++finished_;
+}
+
+bool MeterBank::started(const std::string& processor) const {
+    return spans_.contains(processor);
+}
+
+bool MeterBank::finished(const std::string& processor) const {
+    const auto it = spans_.find(processor);
+    return it != spans_.end() && it->second.done;
+}
+
+double MeterBank::elapsed(const std::string& processor) const {
+    const auto it = spans_.find(processor);
+    if (it == spans_.end() || !it->second.done) {
+        throw std::logic_error("MeterBank: no finished span for " + processor);
+    }
+    return it->second.stop - it->second.start;
+}
+
+double MeterBank::started_at(const std::string& processor) const {
+    const auto it = spans_.find(processor);
+    if (it == spans_.end()) throw std::logic_error("MeterBank: no span for " + processor);
+    return it->second.start;
+}
+
+}  // namespace dlsbl::protocol

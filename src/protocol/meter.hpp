@@ -1,0 +1,45 @@
+// Tamper-proof execution meters (§4 Processing Load).
+//
+// "We assume that the processors are augmented with a tamper-proof meter
+// that reports the time executing the assigned load. The referee has
+// access to the meters and records φ_i."
+//
+// Tamper-proofness is modelled by ownership: the meter bank is written by
+// the simulation kernel (the runner's compute-completion events), never by
+// the agent code, so a strategic processor cannot misreport φ_i — it can
+// only *actually* run slower, which the meter then faithfully records.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dlsbl::protocol {
+
+class MeterBank {
+ public:
+    void start(const std::string& processor, double time);
+    void stop(const std::string& processor, double time);
+
+    [[nodiscard]] bool started(const std::string& processor) const;
+    [[nodiscard]] bool finished(const std::string& processor) const;
+    [[nodiscard]] std::size_t finished_count() const noexcept { return finished_; }
+
+    // φ_i: total time spent executing the assigned load.
+    [[nodiscard]] double elapsed(const std::string& processor) const;
+
+    [[nodiscard]] double started_at(const std::string& processor) const;
+
+ private:
+    struct Span {
+        double start = 0.0;
+        double stop = 0.0;
+        bool running = false;
+        bool done = false;
+    };
+    std::map<std::string, Span> spans_;
+    std::size_t finished_ = 0;
+};
+
+}  // namespace dlsbl::protocol

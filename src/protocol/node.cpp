@@ -1,0 +1,374 @@
+#include "protocol/node.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dlt/closed_form.hpp"
+#include "mech/dls_bl.hpp"
+#include "util/logging.hpp"
+
+namespace dlsbl::protocol {
+
+ProcessorNode::ProcessorNode(RunContext& context, std::size_t index,
+                             std::unique_ptr<crypto::Signer> signer, Strategy strategy)
+    : Process(context.processor_names()[index]),
+      ctx_(context),
+      index_(index),
+      true_w_(context.config().true_w[index]),
+      strategy_(std::move(strategy)),
+      signer_(std::move(signer)) {
+    bid_ = strategy_.bid_factor * true_w_;
+    // Physical constraint enforced again by the context at execution time.
+    exec_rate_ = std::max(true_w_, strategy_.exec_factor * true_w_);
+}
+
+bool ProcessorNode::is_load_origin() const { return name() == ctx_.load_origin(); }
+
+void ProcessorNode::on_start() {
+    if (ctx_.phase() == Phase::kInit) ctx_.set_phase(Phase::kBidding);
+    broadcast_bid(bid_);
+    if (strategy_.second_bid_factor.has_value()) {
+        // Offense (i): a second, different signed bid. Under the atomic
+        // broadcast assumption everyone receives both.
+        broadcast_bid(*strategy_.second_bid_factor * true_w_);
+    }
+}
+
+void ProcessorNode::broadcast_bid(double value) {
+    BidBody body;
+    body.job_id = ctx_.job_id();
+    body.processor = name();
+    body.bid = value;
+    const auto signed_msg = crypto::sign_message(*signer_, name(), body.serialize());
+    // The node records its own (first) bid the same way it records peers'.
+    if (!first_bids_.contains(name())) {
+        first_bids_.emplace(name(), signed_msg);
+        bid_values_[name()] = value;
+        maybe_finish_bidding();
+    }
+    ctx_.network().broadcast(name(), to_wire(MsgType::kBid), signed_msg.serialize());
+}
+
+void ProcessorNode::on_message(const sim::Envelope& envelope) {
+    if (ctx_.terminated() && envelope.type != to_wire(MsgType::kTerminate)) return;
+    switch (static_cast<MsgType>(envelope.type)) {
+        case MsgType::kBid:
+            handle_bid(envelope);
+            break;
+        case MsgType::kLoadDelivery:
+            handle_load_delivery(envelope);
+            break;
+        case MsgType::kMeterBroadcast:
+            handle_meter_broadcast(envelope);
+            break;
+        case MsgType::kBidVectorRequest:
+            handle_bid_vector_request();
+            break;
+        case MsgType::kMediateRequest:
+            handle_mediate_request(envelope);
+            break;
+        case MsgType::kTerminate:
+            // Referee verdict: stop participating.
+            break;
+        case MsgType::kSettled:
+            settled_ = true;
+            break;
+        default:
+            break;  // processor ignores referee-bound message kinds
+    }
+}
+
+void ProcessorNode::handle_bid(const sim::Envelope& envelope) {
+    const auto signed_msg = crypto::SignedMessage::deserialize(envelope.payload);
+    if (!signed_msg) return;  // malformed: discarded (§4 Bidding)
+    if (signed_msg->signer != envelope.from) return;
+    if (!signed_msg->verify(ctx_.pki())) return;  // fails verification: discarded
+    const auto body = BidBody::deserialize(signed_msg->payload);
+    if (!body || body->processor != envelope.from || body->job_id != ctx_.job_id()) return;
+
+    const auto existing = first_bids_.find(envelope.from);
+    if (existing != first_bids_.end()) {
+        if (existing->second.payload == signed_msg->payload) return;  // duplicate copy
+        // Offense (i): two authenticated, different bids from one sender.
+        if (strategy_.report_deviations && !accused_double_bid_) {
+            accused_double_bid_ = true;
+            DoubleBidEvidence evidence;
+            evidence.accused = envelope.from;
+            evidence.first = existing->second;
+            evidence.second = *signed_msg;
+            ctx_.network().send(name(), ctx_.referee_name(),
+                                to_wire(MsgType::kAccuseDoubleBid), evidence.serialize());
+        }
+        return;
+    }
+    first_bids_.emplace(envelope.from, *signed_msg);
+    bid_values_[envelope.from] = body->bid;
+    maybe_false_accuse(*signed_msg);
+    maybe_finish_bidding();
+}
+
+void ProcessorNode::maybe_false_accuse(const crypto::SignedMessage& genuine) {
+    if (!strategy_.false_accuse || false_accused_) return;
+    false_accused_ = true;
+    // Offense (v): fabricate a "second bid" by mutating the genuine payload.
+    // The signature no longer matches, so the referee will find the claim
+    // unfounded and fine the accuser.
+    crypto::SignedMessage forged = genuine;
+    auto body = BidBody::deserialize(forged.payload);
+    if (!body) return;
+    body->bid += 1.0;
+    forged.payload = body->serialize();
+    DoubleBidEvidence evidence;
+    evidence.accused = genuine.signer;
+    evidence.first = genuine;
+    evidence.second = forged;
+    ctx_.network().send(name(), ctx_.referee_name(), to_wire(MsgType::kAccuseDoubleBid),
+                        evidence.serialize());
+}
+
+void ProcessorNode::maybe_finish_bidding() {
+    if (bidding_finished_ || bid_values_.size() != ctx_.processor_count()) return;
+    bidding_finished_ = true;
+
+    // Everyone computes the allocation locally (Algorithm 2.1 or 2.2).
+    std::vector<double> bids(ctx_.processor_count());
+    for (std::size_t i = 0; i < bids.size(); ++i) {
+        bids[i] = bid_values_.at(ctx_.processor_names()[i]);
+    }
+    dlt::ProblemInstance instance{ctx_.config().kind, ctx_.config().z, bids};
+    alpha_ = dlt::optimal_allocation(instance);
+    block_counts_ = DataSet::blocks_for_allocation(ctx_.config().block_count, alpha_);
+    blocks_assigned_ = block_counts_[index_];
+
+    // F becomes public the moment bids are public (§4: "All parties are
+    // aware of the magnitude of F").
+    double predicted_compensation = 0.0;
+    for (std::size_t i = 0; i < bids.size(); ++i) predicted_compensation += alpha_[i] * bids[i];
+    ctx_.post_fine(predicted_compensation);
+
+    if (ctx_.phase() == Phase::kBidding) ctx_.set_phase(Phase::kAllocating);
+
+    if (is_load_origin()) {
+        ship_loads();
+    } else if (blocks_assigned_ == 0) {
+        // Degenerate share: nothing will arrive on the bus; "process" the
+        // empty assignment so the meter set stays complete.
+        begin_processing(0);
+    }
+}
+
+void ProcessorNode::ship_loads() {
+    // Assignment of concrete block ids: contiguous ranges in processor
+    // order — deterministic, so every party can reconstruct it.
+    std::vector<std::size_t> start(ctx_.processor_count(), 0);
+    for (std::size_t i = 1; i < block_counts_.size(); ++i) {
+        start[i] = start[i - 1] + block_counts_[i - 1];
+    }
+    for (std::size_t i = 0; i < ctx_.processor_count(); ++i) {
+        if (i == index_) continue;
+        std::size_t count = block_counts_[i];
+        // Offense (ii): mis-sized assignments.
+        if (strategy_.lo_ship_factor != 1.0) {
+            count = static_cast<std::size_t>(
+                std::floor(static_cast<double>(count) * strategy_.lo_ship_factor));
+        }
+        if (count == 0 && block_counts_[i] == 0) continue;
+        LoadBatch batch;
+        batch.origin = name();
+        batch.blocks.reserve(count);
+        for (std::size_t k = 0; k < count; ++k) {
+            // Over-shipping runs past the intended range into the LO's own
+            // blocks, so every extra block is still authentic.
+            const std::uint64_t id =
+                (start[i] + k) % ctx_.config().block_count;
+            Block block = ctx_.dataset().block(id);
+            if (strategy_.lo_corrupt_blocks) block.payload_digest[0] ^= 0xff;
+            batch.blocks.push_back(std::move(block));
+        }
+        ctx_.ship_load(name(), ctx_.processor_names()[i], std::move(batch));
+    }
+
+    // The LO's own share never crosses the bus.
+    if (ctx_.config().kind == dlt::NetworkKind::kNcpFE) {
+        // Front end: compute concurrently with the outgoing transfers.
+        begin_processing(block_counts_[index_]);
+    } else {
+        // No front end (Figure 3): computation starts only after the last
+        // outbound transfer releases the one-port bus.
+        const double free_at = ctx_.network().bus_free_at();
+        ctx_.simulator().schedule_at(free_at, [this] {
+            if (!ctx_.terminated()) begin_processing(block_counts_[index_]);
+        });
+    }
+}
+
+void ProcessorNode::handle_load_delivery(const sim::Envelope& envelope) {
+    const auto batch = LoadBatch::deserialize(envelope.payload);
+    if (!batch) return;
+    std::size_t valid = 0;
+    std::size_t invalid = 0;
+    for (const auto& block : batch->blocks) {
+        if (DataSet::verify_block(ctx_.dataset().root(), block)) {
+            ++valid;
+            held_blocks_.push_back(block);
+        } else {
+            ++invalid;
+        }
+    }
+    valid_received_ += valid;
+
+    const std::size_t expected = blocks_assigned_;
+    if (strategy_.false_short_claim && !complaint_filed_) {
+        // Offense (v)/(ii-d): pretend half the assignment never arrived.
+        file_complaint(AllocComplaintKind::kShortShipped, expected, expected / 2, {});
+        return;
+    }
+    if (invalid > 0) {
+        if (strategy_.report_deviations) {
+            file_complaint(AllocComplaintKind::kBadIntegrity, expected, valid_received_,
+                           held_blocks_);
+            return;
+        }
+    }
+    if (valid_received_ < expected) {
+        if (strategy_.report_deviations) {
+            file_complaint(AllocComplaintKind::kShortShipped, expected, valid_received_, {});
+            return;
+        }
+    } else if (valid_received_ > expected) {
+        if (strategy_.report_deviations) {
+            file_complaint(AllocComplaintKind::kOverShipped, expected, valid_received_,
+                           held_blocks_);
+            return;
+        }
+    }
+    // A silent (non-reporting) node just processes whatever it holds.
+    if (!processing_started_ && valid_received_ >= expected) {
+        begin_processing(valid_received_);
+    } else if (!processing_started_ && !strategy_.report_deviations) {
+        begin_processing(valid_received_);
+    }
+}
+
+void ProcessorNode::file_complaint(AllocComplaintKind kind, std::size_t expected,
+                                   std::size_t received, std::vector<Block> held) {
+    if (complaint_filed_) return;
+    complaint_filed_ = true;
+    AllocComplaintBody body;
+    body.kind = kind;
+    body.complainant = name();
+    body.expected_blocks = expected;
+    body.received_blocks = received;
+    body.held_blocks = std::move(held);
+    ctx_.network().send(name(), ctx_.referee_name(), to_wire(MsgType::kAllocComplaint),
+                        body.serialize());
+}
+
+void ProcessorNode::begin_processing(std::size_t blocks) {
+    if (processing_started_ || ctx_.terminated()) return;
+    processing_started_ = true;
+    if (ctx_.phase() == Phase::kAllocating) ctx_.set_phase(Phase::kProcessing);
+    ctx_.execute_load(name(), blocks, exec_rate_, [] {});
+}
+
+void ProcessorNode::handle_meter_broadcast(const sim::Envelope& envelope) {
+    const auto body = MeterVectorBody::deserialize(envelope.payload);
+    if (!body || envelope.from != ctx_.referee_name()) return;
+
+    // w̃_j = φ_j / α_j (§4 Computing Payments) — with block-granular loads,
+    // α_j is the fraction actually assigned, blocks_j / block_count.
+    const std::size_t m = ctx_.processor_count();
+    std::vector<double> exec(m);
+    std::map<std::string, double> phi;
+    for (const auto& [processor, value] : body->phis) phi[processor] = value;
+    for (std::size_t j = 0; j < m; ++j) {
+        const auto& pname = ctx_.processor_names()[j];
+        const double fraction = static_cast<double>(block_counts_[j]) /
+                                static_cast<double>(ctx_.config().block_count);
+        if (fraction > 0.0 && phi.contains(pname)) {
+            exec[j] = phi[pname] / fraction;
+        } else {
+            // Zero-block degenerate share: fall back to the bid.
+            exec[j] = bid_values_.at(pname);
+        }
+    }
+
+    std::vector<double> bids(m);
+    for (std::size_t j = 0; j < m; ++j) bids[j] = bid_values_.at(ctx_.processor_names()[j]);
+    const mech::DlsBl mechanism(ctx_.config().kind, ctx_.config().z, bids);
+    const auto breakdown = mechanism.payments(std::span<const double>(exec));
+    payment_vector_ = breakdown.payment;
+
+    auto submit = [&](std::vector<double> q) {
+        PaymentBody body_out;
+        body_out.job_id = ctx_.job_id();
+        body_out.processor = name();
+        body_out.payments = std::move(q);
+        const auto signed_msg = crypto::sign_message(*signer_, name(), body_out.serialize());
+        ctx_.network().send(name(), ctx_.referee_name(), to_wire(MsgType::kPaymentVector),
+                            signed_msg.serialize());
+    };
+
+    if (strategy_.contradictory_payment_vectors) {
+        // Offense (iii): multiple contradictory messages.
+        submit(payment_vector_);
+        auto inflated = payment_vector_;
+        inflated[index_] += 1.0;
+        submit(inflated);
+        return;
+    }
+    if (strategy_.corrupt_payment_vector) {
+        // Offense (iii): incorrect payment computation in its own favor.
+        auto inflated = payment_vector_;
+        inflated[index_] = inflated[index_] * 2.0 + 1.0;
+        submit(inflated);
+        return;
+    }
+    submit(payment_vector_);
+}
+
+void ProcessorNode::handle_bid_vector_request() {
+    BidVectorBody body;
+    body.submitter = name();
+    for (const auto& pname : ctx_.processor_names()) {
+        auto it = first_bids_.find(pname);
+        if (it == first_bids_.end()) continue;
+        crypto::SignedMessage entry = it->second;
+        if (strategy_.tamper_bid_vector && pname == name()) {
+            // Offense (iv): alter own bid and re-sign — a *valid* signature
+            // over a value inconsistent with what everyone else holds,
+            // which the referee exposes as double-signing.
+            auto bid = BidBody::deserialize(entry.payload);
+            if (bid) {
+                bid->bid *= 0.5;
+                entry = crypto::sign_message(*signer_, name(), bid->serialize());
+            }
+        }
+        body.bids.push_back(std::move(entry));
+    }
+    ctx_.network().send(name(), ctx_.referee_name(), to_wire(MsgType::kBidVectorResponse),
+                        body.serialize());
+}
+
+void ProcessorNode::handle_mediate_request(const sim::Envelope& envelope) {
+    const auto request = MediateRequestBody::deserialize(envelope.payload);
+    if (!request || !is_load_origin()) return;
+    if (strategy_.lo_refuse_mediation) {
+        util::ByteWriter w;
+        w.str(name());
+        ctx_.network().send(name(), ctx_.referee_name(), to_wire(MsgType::kMediateRefuse),
+                            w.take());
+        return;
+    }
+    LoadBatch batch;
+    batch.origin = name();
+    for (std::uint64_t id : request->block_ids) {
+        Block block = ctx_.dataset().block(id % ctx_.config().block_count);
+        if (strategy_.lo_corrupt_blocks) block.payload_digest[0] ^= 0xff;
+        batch.blocks.push_back(std::move(block));
+    }
+    ctx_.network().send(name(), ctx_.referee_name(), to_wire(MsgType::kMediateBlocks),
+                        batch.serialize());
+}
+
+}  // namespace dlsbl::protocol

@@ -1,0 +1,87 @@
+// A strategic processor participating in DLS-BL-NCP.
+//
+// Implements the processor side of all five protocol stages (§4):
+// bidding (all-to-all signed broadcast), local allocation computation,
+// load shipping / receipt with integrity checks, metered processing, and
+// payment-vector computation. Every prescribed step has a deviation hook
+// driven by the node's Strategy (see protocol/strategy.hpp); the honest
+// strategy follows the mechanism exactly.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "protocol/context.hpp"
+#include "sim/network.hpp"
+
+namespace dlsbl::protocol {
+
+class ProcessorNode final : public sim::Process {
+ public:
+    ProcessorNode(RunContext& context, std::size_t index,
+                  std::unique_ptr<crypto::Signer> signer, Strategy strategy);
+
+    void on_start() override;
+    void on_message(const sim::Envelope& envelope) override;
+
+    // --- inspection (used by the runner's outcome extraction) ---------------
+    [[nodiscard]] const Strategy& strategy() const noexcept { return strategy_; }
+    [[nodiscard]] double bid_value() const noexcept { return bid_; }
+    [[nodiscard]] double exec_rate() const noexcept { return exec_rate_; }
+    [[nodiscard]] std::size_t blocks_assigned() const noexcept { return blocks_assigned_; }
+    [[nodiscard]] std::size_t blocks_received() const noexcept { return valid_received_; }
+    [[nodiscard]] const std::vector<double>& allocation() const noexcept { return alpha_; }
+    [[nodiscard]] const std::vector<double>& payment_vector() const noexcept {
+        return payment_vector_;
+    }
+    [[nodiscard]] bool settled() const noexcept { return settled_; }
+
+ private:
+    [[nodiscard]] bool is_load_origin() const;
+    void broadcast_bid(double value);
+    void handle_bid(const sim::Envelope& envelope);
+    void maybe_finish_bidding();
+    void ship_loads();
+    void handle_load_delivery(const sim::Envelope& envelope);
+    void begin_processing(std::size_t blocks);
+    void handle_meter_broadcast(const sim::Envelope& envelope);
+    void handle_bid_vector_request();
+    void handle_mediate_request(const sim::Envelope& envelope);
+    void file_complaint(AllocComplaintKind kind, std::size_t expected, std::size_t received,
+                        std::vector<Block> held);
+    void maybe_false_accuse(const crypto::SignedMessage& genuine);
+
+    RunContext& ctx_;
+    std::size_t index_;
+    double true_w_;
+    Strategy strategy_;
+    std::unique_ptr<crypto::Signer> signer_;
+
+    double bid_ = 0.0;
+    double exec_rate_ = 0.0;
+
+    // First valid signed bid per sender, in arrival order; a second,
+    // different valid bid from the same sender is offense (i) evidence.
+    std::map<std::string, crypto::SignedMessage> first_bids_;
+    std::map<std::string, double> bid_values_;
+    bool accused_double_bid_ = false;
+    bool false_accused_ = false;
+    bool bidding_finished_ = false;
+
+    std::vector<double> alpha_;               // closed-form allocation from bids
+    std::vector<std::size_t> block_counts_;   // block-rounded assignment
+    std::size_t blocks_assigned_ = 0;
+    std::size_t valid_received_ = 0;
+    std::vector<Block> held_blocks_;
+    bool processing_started_ = false;
+    bool complaint_filed_ = false;
+
+    std::vector<double> payment_vector_;
+    bool settled_ = false;
+};
+
+}  // namespace dlsbl::protocol

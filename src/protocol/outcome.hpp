@@ -1,0 +1,76 @@
+// Result of one DLS-BL-NCP protocol execution.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dlsbl::protocol {
+
+enum class Phase : std::uint8_t {
+    kInit = 0,
+    kBidding,
+    kAllocating,
+    kProcessing,
+    kPayments,
+    kDone,
+};
+
+const char* to_string(Phase phase) noexcept;
+
+struct ProcessorOutcome {
+    std::string name;
+    double true_w = 0.0;
+    double bid = 0.0;
+    double exec_rate = 0.0;       // w̃: realized per-unit processing time
+    double alpha = 0.0;           // closed-form fraction from the bid vector
+    std::size_t blocks_assigned = 0;
+    std::size_t blocks_received = 0;
+    double phi = 0.0;             // meter reading (0 if never ran)
+    bool commenced_work = false;
+
+    // Money, all from the ledger:
+    double compensation = 0.0;    // C_i
+    double bonus = 0.0;           // B_i
+    double payment = 0.0;         // Q_i actually settled
+    double fines = 0.0;           // total F paid (0 or F)
+    double rewards = 0.0;         // informer/redistribution income
+    bool fined = false;
+
+    double work_cost = 0.0;       // actual cost: (blocks_received/total)·w̃
+
+    // U_i = payment + rewards - fines - work_cost.
+    [[nodiscard]] double utility() const noexcept {
+        return payment + rewards - fines - work_cost;
+    }
+};
+
+struct ProtocolOutcome {
+    bool terminated_early = false;
+    std::string termination_reason;
+    Phase ended_in = Phase::kDone;
+    double fine_amount = 0.0;     // the F in force for this run
+    double makespan = 0.0;        // simulated time of the last compute end
+    double user_paid = 0.0;       // Σ settled Q_i
+    std::vector<ProcessorOutcome> processors;
+
+    // Communication totals (Theorem 5.4 accounting).
+    std::uint64_t control_messages = 0;
+    std::uint64_t control_bytes = 0;
+    std::vector<std::pair<std::string, std::uint64_t>> bytes_by_phase;
+
+    [[nodiscard]] const ProcessorOutcome& processor(const std::string& name) const {
+        for (const auto& p : processors) {
+            if (p.name == name) return p;
+        }
+        throw std::out_of_range("ProtocolOutcome: unknown processor " + name);
+    }
+    [[nodiscard]] std::size_t fined_count() const noexcept {
+        std::size_t n = 0;
+        for (const auto& p : processors) n += p.fined ? 1 : 0;
+        return n;
+    }
+};
+
+}  // namespace dlsbl::protocol

@@ -1,0 +1,506 @@
+#include "protocol/referee.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dlt/closed_form.hpp"
+#include "mech/dls_bl.hpp"
+
+namespace dlsbl::protocol {
+
+Referee::Referee(RunContext& context) : Process(context.referee_name()), ctx_(context) {}
+
+void Referee::on_message(const sim::Envelope& envelope) {
+    if (ctx_.terminated()) return;
+    switch (static_cast<MsgType>(envelope.type)) {
+        case MsgType::kBid:
+            // On a shared bus the referee physically receives broadcasts,
+            // but it stays passive: bids are neither stored nor used unless
+            // a dispute later delivers them as signed evidence.
+            break;
+        case MsgType::kAccuseDoubleBid:
+            handle_double_bid_accusation(envelope);
+            break;
+        case MsgType::kAllocComplaint:
+            handle_alloc_complaint(envelope);
+            break;
+        case MsgType::kBidVectorResponse:
+            handle_bid_vector_response(envelope);
+            break;
+        case MsgType::kMediateBlocks:
+            handle_mediate_blocks(envelope);
+            break;
+        case MsgType::kMediateRefuse:
+            handle_mediate_refuse(envelope);
+            break;
+        case MsgType::kPaymentVector:
+            handle_payment_vector(envelope);
+            break;
+        default:
+            break;
+    }
+}
+
+// ---- offense (i): inconsistent bids ---------------------------------------
+
+void Referee::handle_double_bid_accusation(const sim::Envelope& envelope) {
+    if (verdict_issued_) return;
+    const auto evidence = DoubleBidEvidence::deserialize(envelope.payload);
+    if (!evidence) return;
+    const std::string& accuser = envelope.from;
+    const std::string& accused = evidence->accused;
+
+    // Substantiated iff: both messages carry valid signatures of `accused`,
+    // both parse as bids of `accused`, and the payloads differ.
+    const bool both_signed = evidence->first.signer == accused &&
+                             evidence->second.signer == accused &&
+                             evidence->first.verify(ctx_.pki()) &&
+                             evidence->second.verify(ctx_.pki());
+    bool substantiated = false;
+    if (both_signed && evidence->first.payload != evidence->second.payload) {
+        const auto first = BidBody::deserialize(evidence->first.payload);
+        const auto second = BidBody::deserialize(evidence->second.payload);
+        substantiated = first && second && first->processor == accused &&
+                        second->processor == accused;
+    }
+    if (substantiated) {
+        issue_verdict({accused}, "double-bid by " + accused, /*terminate=*/true);
+    } else {
+        // "If the concerns are unfounded, P_j is penalized F." (§4 Bidding)
+        issue_verdict({accuser}, "unfounded double-bid accusation by " + accuser,
+                      /*terminate=*/true);
+    }
+}
+
+// ---- offense (ii): incorrect load assignments ------------------------------
+
+void Referee::handle_alloc_complaint(const sim::Envelope& envelope) {
+    if (verdict_issued_ || stage_ != DisputeStage::kNone) return;
+    auto complaint = AllocComplaintBody::deserialize(envelope.payload);
+    if (!complaint || complaint->complainant != envelope.from) return;
+    if (envelope.from == ctx_.load_origin()) return;  // the LO cannot complain about itself
+
+    open_complaint_ = std::move(*complaint);
+    stage_ = DisputeStage::kAllocAwaitingBidVectors;
+    bid_vector_responses_.clear();
+    bid_vector_expected_ = {ctx_.load_origin(), open_complaint_->complainant};
+    // "Processors P_lo and P_i submit their vector of bids" (§4).
+    for (const auto& target : bid_vector_expected_) {
+        ctx_.network().send(name(), target, to_wire(MsgType::kBidVectorRequest), {});
+    }
+}
+
+void Referee::handle_bid_vector_response(const sim::Envelope& envelope) {
+    if (stage_ != DisputeStage::kAllocAwaitingBidVectors &&
+        stage_ != DisputeStage::kPaymentAwaitingBidVectors) {
+        return;
+    }
+    auto body = BidVectorBody::deserialize(envelope.payload);
+    if (!body || body->submitter != envelope.from) return;
+    if (!bid_vector_expected_.contains(envelope.from)) return;
+    bid_vector_responses_[envelope.from] = std::move(*body);
+    if (bid_vector_responses_.size() != bid_vector_expected_.size()) return;
+
+    const std::set<std::string> deviants = validate_bid_vectors();
+    if (!deviants.empty()) {
+        std::string who;
+        for (const auto& d : deviants) who += (who.empty() ? "" : ",") + d;
+        issue_verdict(deviants, "manipulated bid vector(s): " + who, /*terminate=*/true);
+        return;
+    }
+    if (stage_ == DisputeStage::kAllocAwaitingBidVectors) {
+        adjudicate_alloc_complaint();
+    } else {
+        recompute_and_settle();
+    }
+}
+
+std::set<std::string> Referee::validate_bid_vectors() {
+    std::set<std::string> deviants;
+    // value_of[processor] -> (payload bytes, bid) from the first valid entry.
+    std::map<std::string, std::pair<util::Bytes, double>> canonical;
+    for (const auto& [submitter, body] : bid_vector_responses_) {
+        for (const auto& entry : body.bids) {
+            const auto bid = BidBody::deserialize(entry.payload);
+            const bool valid = bid && entry.signer == bid->processor &&
+                               bid->job_id == ctx_.job_id() && entry.verify(ctx_.pki());
+            if (!valid) {
+                // Offense (iv): an entry that "fails authentication" —
+                // the submitter altered someone's signed bid.
+                deviants.insert(submitter);
+                continue;
+            }
+            auto it = canonical.find(bid->processor);
+            if (it == canonical.end()) {
+                canonical.emplace(bid->processor,
+                                  std::make_pair(entry.payload, bid->bid));
+            } else if (it->second.first != entry.payload) {
+                // Two *valid* signatures by the same processor over different
+                // bids: that processor double-signed (covers a submitter
+                // re-signing its own altered entry).
+                deviants.insert(bid->processor);
+            }
+        }
+    }
+    if (deviants.empty()) {
+        // A submission must cover every processor to be usable.
+        for (const auto& [submitter, body] : bid_vector_responses_) {
+            if (body.bids.size() != ctx_.processor_count()) deviants.insert(submitter);
+        }
+    }
+    if (deviants.empty()) {
+        verified_bids_.clear();
+        for (const auto& [processor, entry] : canonical) {
+            verified_bids_[processor] = entry.second;
+        }
+        if (verified_bids_.size() != ctx_.processor_count()) {
+            // Some processor's bid is missing entirely; blame submitters.
+            for (const auto& name : bid_vector_expected_) deviants.insert(name);
+        }
+    }
+    return deviants;
+}
+
+void Referee::adjudicate_alloc_complaint() {
+    const auto& complaint = *open_complaint_;
+    const std::string& lo = ctx_.load_origin();
+    const std::string& complainant = complaint.complainant;
+
+    // Reconstruct the prescribed assignment from the verified bids.
+    std::vector<double> bids(ctx_.processor_count());
+    for (std::size_t i = 0; i < bids.size(); ++i) {
+        bids[i] = verified_bids_.at(ctx_.processor_names()[i]);
+    }
+    dlt::ProblemInstance instance{ctx_.config().kind, ctx_.config().z, bids};
+    const auto alpha = dlt::optimal_allocation(instance);
+    const auto counts = DataSet::blocks_for_allocation(ctx_.config().block_count, alpha);
+    const std::size_t expected = counts[ctx_.index_of(complainant)];
+
+    // The shared bus is the witness (tamper-proof network, §4): what did the
+    // LO actually put on the wire for the complainant?
+    const ShippedRecord* shipped = ctx_.shipped_to(complainant);
+    const std::size_t valid = shipped ? shipped->valid_blocks : 0;
+    const std::size_t invalid = shipped ? shipped->invalid_blocks : 0;
+
+    if (invalid > 0) {
+        // "the load unit integrity check failed" -> P_lo fined.
+        issue_verdict({lo}, "load-unit integrity failure by " + lo, /*terminate=*/true);
+        return;
+    }
+    if (valid > expected) {
+        // α̃_i > α_i, substantiated by the complainant's authentic surplus
+        // blocks (checked against the user's commitment) and the bus record.
+        std::size_t authentic_held = 0;
+        for (const auto& block : complaint.held_blocks) {
+            if (DataSet::verify_block(ctx_.dataset().root(), block)) ++authentic_held;
+        }
+        if (authentic_held > expected) {
+            issue_verdict({lo}, "over-shipment by " + lo, /*terminate=*/true);
+        } else {
+            issue_verdict({complainant},
+                          "unsubstantiated over-shipment claim by " + complainant,
+                          /*terminate=*/true);
+        }
+        return;
+    }
+    if (valid < expected) {
+        // α̃_i < α_i: mediate — request the missing units through us.
+        stage_ = DisputeStage::kAllocAwaitingMediation;
+        MediateRequestBody request;
+        request.beneficiary = complainant;
+        const std::size_t lo_index = ctx_.index_of(complainant);
+        std::size_t start = 0;
+        for (std::size_t i = 0; i < lo_index; ++i) start += counts[i];
+        for (std::size_t k = valid; k < expected; ++k) {
+            request.block_ids.push_back((start + k) % ctx_.config().block_count);
+        }
+        ctx_.network().send(name(), ctx_.load_origin(), to_wire(MsgType::kMediateRequest),
+                            request.serialize());
+        return;
+    }
+    // valid == expected: the bus shows a correct assignment; the claim is
+    // unfounded -> complainant fined.
+    issue_verdict({complainant}, "unfounded allocation complaint by " + complainant,
+                  /*terminate=*/true);
+}
+
+void Referee::handle_mediate_blocks(const sim::Envelope& envelope) {
+    if (stage_ != DisputeStage::kAllocAwaitingMediation) return;
+    if (envelope.from != ctx_.load_origin()) return;
+    const auto batch = LoadBatch::deserialize(envelope.payload);
+    const std::string& lo = ctx_.load_origin();
+    if (!batch) {
+        issue_verdict({lo}, "malformed mediation response by " + lo, /*terminate=*/true);
+        return;
+    }
+    for (const auto& block : batch->blocks) {
+        if (!DataSet::verify_block(ctx_.dataset().root(), block)) {
+            // "load unit integrity fails, P_lo is fined"
+            issue_verdict({lo}, "mediated block integrity failure by " + lo,
+                          /*terminate=*/true);
+            return;
+        }
+    }
+    // The LO produced authentic blocks it had verifiably not shipped (bus
+    // record): the short assignment is substantiated.
+    issue_verdict({lo}, "short-shipment by " + lo, /*terminate=*/true);
+}
+
+void Referee::handle_mediate_refuse(const sim::Envelope& envelope) {
+    if (stage_ != DisputeStage::kAllocAwaitingMediation) return;
+    if (envelope.from != ctx_.load_origin()) return;
+    // "If P_lo refuses to transmit the correct number of load units ...
+    // P_lo is fined."
+    issue_verdict({ctx_.load_origin()}, "mediation refused by " + ctx_.load_origin(),
+                  /*terminate=*/true);
+}
+
+// ---- meters and payments ----------------------------------------------------
+
+void Referee::on_all_meters_done() {
+    if (ctx_.terminated() || meters_broadcast_) return;
+    meters_broadcast_ = true;
+    ctx_.set_phase(Phase::kPayments);
+    MeterVectorBody body;
+    body.job_id = ctx_.job_id();
+    for (const auto& processor : ctx_.processor_names()) {
+        if (ctx_.meters().finished(processor)) {
+            body.phis.emplace_back(processor, ctx_.meters().elapsed(processor));
+        }
+    }
+    ctx_.network().broadcast(name(), to_wire(MsgType::kMeterBroadcast), body.serialize());
+}
+
+void Referee::handle_payment_vector(const sim::Envelope& envelope) {
+    if (settled_ || verdict_issued_) return;
+    const auto signed_msg = crypto::SignedMessage::deserialize(envelope.payload);
+    if (!signed_msg || signed_msg->signer != envelope.from ||
+        !signed_msg->verify(ctx_.pki())) {
+        return;  // unauthenticated submissions are discarded
+    }
+    const auto body = PaymentBody::deserialize(signed_msg->payload);
+    if (!body || body->processor != envelope.from || body->job_id != ctx_.job_id()) return;
+    if (body->payments.size() != ctx_.processor_count()) return;
+
+    payment_payloads_[envelope.from].push_back(signed_msg->payload);
+    payment_values_[envelope.from] = body->payments;
+
+    if (payment_payloads_.size() == ctx_.processor_count() &&
+        !payment_evaluation_scheduled_) {
+        // Defer one event so same-timestamp contradictory submissions are
+        // all in before judging.
+        payment_evaluation_scheduled_ = true;
+        ctx_.simulator().schedule_after(0.0, [this] { evaluate_payments(); });
+    }
+}
+
+void Referee::evaluate_payments() {
+    if (settled_ || verdict_issued_ || ctx_.terminated()) return;
+
+    // Contradictory submissions (§4: "If there are multiple contradictory
+    // messages from P_i, the referee fines it").
+    std::set<std::string> contradictory;
+    for (const auto& [submitter, payloads] : payment_payloads_) {
+        for (std::size_t i = 1; i < payloads.size(); ++i) {
+            if (payloads[i] != payloads[0]) contradictory.insert(submitter);
+        }
+    }
+
+    // Equality check across submitters.
+    bool all_equal = contradictory.empty();
+    if (all_equal) {
+        const auto& reference = payment_values_.begin()->second;
+        for (const auto& [submitter, values] : payment_values_) {
+            if (values != reference) {
+                all_equal = false;
+                break;
+            }
+        }
+    }
+    if (all_equal) {
+        settle(payment_values_.begin()->second);
+        return;
+    }
+
+    // "If there is inequality among the vectors, the bids are provided to
+    // the referee which computes the payments."
+    if (!contradictory.empty() && contradictory.size() == ctx_.processor_count()) {
+        // Degenerate: nobody is trustworthy; fine everyone and stop.
+        issue_verdict(contradictory, "all payment vectors contradictory",
+                      /*terminate=*/true);
+        return;
+    }
+    stage_ = DisputeStage::kPaymentAwaitingBidVectors;
+    bid_vector_responses_.clear();
+    bid_vector_expected_.clear();
+    for (const auto& processor : ctx_.processor_names()) {
+        bid_vector_expected_.insert(processor);
+        ctx_.network().send(name(), processor, to_wire(MsgType::kBidVectorRequest), {});
+    }
+}
+
+std::vector<double> Referee::execution_values() const {
+    const std::size_t m = ctx_.processor_count();
+    std::vector<double> bids(m);
+    for (std::size_t i = 0; i < m; ++i) {
+        bids[i] = verified_bids_.at(ctx_.processor_names()[i]);
+    }
+    dlt::ProblemInstance instance{ctx_.config().kind, ctx_.config().z, bids};
+    const auto alpha = dlt::optimal_allocation(instance);
+    const auto counts = DataSet::blocks_for_allocation(ctx_.config().block_count, alpha);
+    std::vector<double> exec(m);
+    for (std::size_t i = 0; i < m; ++i) {
+        const auto& processor = ctx_.processor_names()[i];
+        const double fraction = static_cast<double>(counts[i]) /
+                                static_cast<double>(ctx_.config().block_count);
+        if (fraction > 0.0 && ctx_.meters().finished(processor)) {
+            exec[i] = ctx_.meters().elapsed(processor) / fraction;
+        } else {
+            exec[i] = bids[i];
+        }
+    }
+    return exec;
+}
+
+void Referee::recompute_and_settle() {
+    const std::size_t m = ctx_.processor_count();
+    std::vector<double> bids(m);
+    for (std::size_t i = 0; i < m; ++i) {
+        bids[i] = verified_bids_.at(ctx_.processor_names()[i]);
+    }
+    const mech::DlsBl mechanism(ctx_.config().kind, ctx_.config().z, bids);
+    const auto exec = execution_values();
+    const auto breakdown = mechanism.payments(std::span<const double>(exec));
+
+    std::set<std::string> wrong;
+    for (const auto& [submitter, payloads] : payment_payloads_) {
+        bool contradictory = false;
+        for (std::size_t i = 1; i < payloads.size(); ++i) {
+            if (payloads[i] != payloads[0]) contradictory = true;
+        }
+        if (contradictory || payment_values_.at(submitter) != breakdown.payment) {
+            wrong.insert(submitter);
+        }
+    }
+    if (!wrong.empty()) {
+        // "The referee fines F to the x processors who incorrectly computed
+        // the payments ... distributes xF/(m-x) to each of the m-x correct
+        // processors." The protocol is not aborted: work is done, payments
+        // still settle.
+        issue_verdict(wrong, "incorrect payment vector(s)", /*terminate=*/false);
+    }
+    settle(breakdown.payment);
+}
+
+void Referee::settle(const std::vector<double>& payments) {
+    settled_ = true;
+    settled_payments_ = payments;
+    ctx_.set_phase(Phase::kDone);
+    for (std::size_t i = 0; i < payments.size(); ++i) {
+        ctx_.ledger().transfer(ctx_.user_name(), ctx_.processor_names()[i], payments[i],
+                               "payment Q_" + std::to_string(i + 1));
+        user_paid_ += payments[i];
+    }
+    util::ByteWriter w;
+    w.str("settled");
+    ctx_.network().broadcast(name(), to_wire(MsgType::kSettled), w.take());
+}
+
+// ---- fines -----------------------------------------------------------------
+
+void Referee::issue_verdict(const std::set<std::string>& deviants,
+                            const std::string& reason, bool terminate) {
+    if (deviants.empty()) throw std::logic_error("Referee: verdict without deviants");
+    if (!ctx_.fine_posted()) {
+        throw std::logic_error("Referee: verdict before the fine F was posted");
+    }
+    if (terminate) verdict_issued_ = true;
+    const double fine = ctx_.fine_amount();
+    ctx_.network().trace().record(ctx_.simulator().now(), sim::TraceKind::kVerdict, name(),
+                                  reason + " fine=" + std::to_string(fine));
+
+    double pool = 0.0;
+    for (const auto& deviant : deviants) {
+        ctx_.ledger().transfer(deviant, name(), fine, "fine: " + reason);
+        fines_[deviant] += fine;
+        pool += fine;
+    }
+
+    std::vector<std::string> honest;
+    for (const auto& processor : ctx_.processor_names()) {
+        if (!deviants.contains(processor)) honest.push_back(processor);
+    }
+
+    if (!terminate) {
+        // Payment-phase verdict: work is done; split xF/(m-x) and continue.
+        if (!honest.empty() && pool > 0.0) {
+            const double share = pool / static_cast<double>(honest.size());
+            for (const auto& processor : honest) {
+                ctx_.ledger().transfer(name(), processor, share, "informer reward");
+                rewards_[processor] += share;
+            }
+        }
+        return;
+    }
+
+    ctx_.mark_terminated(reason);
+    TerminateBody body;
+    body.reason = reason;
+    body.fined.assign(deviants.begin(), deviants.end());
+    ctx_.network().broadcast(name(), to_wire(MsgType::kTerminate), body.serialize());
+
+    // Terminating verdict: §4 pays α_i w̃_i — the metered execution time
+    // φ_i — to every non-deviant that commenced work, then splits the
+    // remainder. φ_i is known only once those meters stop, so the payout is
+    // deferred until the in-flight executions finish (their events are
+    // already scheduled and the meter is tamper-proof).
+    PendingTermination pending;
+    pending.deviants = deviants;
+    pending.pool = pool;
+    for (const auto& processor : honest) {
+        if (ctx_.meters().started(processor)) {
+            pending.commenced.push_back(processor);
+            if (!ctx_.meters().finished(processor)) pending.awaiting.insert(processor);
+        }
+    }
+    pending_termination_ = std::move(pending);
+    if (pending_termination_->awaiting.empty()) finalize_termination_payouts();
+}
+
+void Referee::on_meter_stopped(const std::string& processor) {
+    if (!pending_termination_) return;
+    pending_termination_->awaiting.erase(processor);
+    if (pending_termination_->awaiting.empty()) finalize_termination_payouts();
+}
+
+void Referee::finalize_termination_payouts() {
+    PendingTermination pending = std::move(*pending_termination_);
+    pending_termination_.reset();
+
+    double pool = pending.pool;
+    // Compensation α_i w̃_i == φ_i, paid while the pool lasts (the paper's
+    // F >= Σ_j α_j w̃_j bound guarantees it always does; E12 probes below).
+    for (const auto& processor : pending.commenced) {
+        const double comp = ctx_.meters().elapsed(processor);
+        if (comp <= pool) {
+            ctx_.ledger().transfer(name(), processor, comp, "termination comp");
+            compensations_[processor] += comp;
+            pool -= comp;
+        }
+    }
+    // "The remainder is evenly distributed among the m - x non-deviating
+    // processors."
+    std::vector<std::string> honest;
+    for (const auto& processor : ctx_.processor_names()) {
+        if (!pending.deviants.contains(processor)) honest.push_back(processor);
+    }
+    if (!honest.empty() && pool > 0.0) {
+        const double share = pool / static_cast<double>(honest.size());
+        for (const auto& processor : honest) {
+            ctx_.ledger().transfer(name(), processor, share, "informer reward");
+            rewards_[processor] += share;
+        }
+    }
+}
+
+}  // namespace dlsbl::protocol

@@ -1,0 +1,125 @@
+// The referee (§4): a minimally-trusted third party that stays passive
+// until a processor signals presumed cheating, verifies the evidence,
+// levies fines F, and redistributes the collected sum.
+//
+// Unlike DLS-BL's control processor, the referee computes no allocations
+// and holds no processor parameters in conflict-free runs; everything it
+// learns during a dispute arrives as signed evidence that it verifies
+// against the PKI. Its only unconditional roles are relaying the
+// tamper-proof meter readings (φ_1..φ_m) and forwarding the agreed payment
+// vector to the payment infrastructure.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "protocol/context.hpp"
+#include "sim/network.hpp"
+
+namespace dlsbl::protocol {
+
+class Referee final : public sim::Process {
+ public:
+    explicit Referee(RunContext& context);
+
+    void on_message(const sim::Envelope& envelope) override;
+
+    // Invoked by the context when every processor's meter has stopped.
+    void on_all_meters_done();
+
+    // Invoked by the context for each meter that stops after a terminating
+    // verdict: the §4 termination rule pays commenced processors α_i w̃_i,
+    // which is exactly the metered time φ_i — known only once they finish.
+    void on_meter_stopped(const std::string& processor);
+
+    // --- inspection ----------------------------------------------------------
+    [[nodiscard]] const std::map<std::string, double>& fines() const noexcept {
+        return fines_;
+    }
+    [[nodiscard]] const std::map<std::string, double>& rewards() const noexcept {
+        return rewards_;
+    }
+    [[nodiscard]] const std::map<std::string, double>& compensations() const noexcept {
+        return compensations_;
+    }
+    [[nodiscard]] bool settled() const noexcept { return settled_; }
+    [[nodiscard]] const std::vector<double>& settled_payments() const noexcept {
+        return settled_payments_;
+    }
+    [[nodiscard]] double user_paid() const noexcept { return user_paid_; }
+    // Bids the referee ended up learning (empty unless a dispute forced
+    // disclosure) — lets tests assert referee passivity in honest runs.
+    [[nodiscard]] const std::map<std::string, double>& learned_bids() const noexcept {
+        return verified_bids_;
+    }
+
+ private:
+    enum class DisputeStage {
+        kNone,
+        kAllocAwaitingBidVectors,
+        kAllocAwaitingMediation,
+        kPaymentAwaitingBidVectors,
+    };
+
+    void handle_double_bid_accusation(const sim::Envelope& envelope);
+    void handle_alloc_complaint(const sim::Envelope& envelope);
+    void handle_bid_vector_response(const sim::Envelope& envelope);
+    void handle_mediate_blocks(const sim::Envelope& envelope);
+    void handle_mediate_refuse(const sim::Envelope& envelope);
+    void handle_payment_vector(const sim::Envelope& envelope);
+
+    // Validates collected bid vectors: flags entries with bad signatures
+    // (offense iv) and double-signed bids; fills verified_bids_ on success.
+    // Returns deviants found (empty = clean).
+    std::set<std::string> validate_bid_vectors();
+    void adjudicate_alloc_complaint();
+    void evaluate_payments();
+    void recompute_and_settle();
+    void settle(const std::vector<double>& payments);
+
+    // Levies F on each deviant, distributes per the phase's rule, and (for
+    // pre-payment phases) terminates the protocol.
+    void issue_verdict(const std::set<std::string>& deviants, const std::string& reason,
+                       bool terminate);
+    // Pays α_i w̃_i (= φ_i) to the commenced non-deviants, splits the
+    // remaining pool, once every commenced meter has stopped.
+    void finalize_termination_payouts();
+
+    [[nodiscard]] std::vector<double> execution_values() const;
+
+    RunContext& ctx_;
+
+    bool verdict_issued_ = false;
+    std::map<std::string, double> fines_;
+    std::map<std::string, double> rewards_;
+    std::map<std::string, double> compensations_;
+
+    DisputeStage stage_ = DisputeStage::kNone;
+    std::optional<AllocComplaintBody> open_complaint_;
+    std::map<std::string, BidVectorBody> bid_vector_responses_;
+    std::set<std::string> bid_vector_expected_;
+    std::map<std::string, double> verified_bids_;
+
+    // payment phase
+    bool meters_broadcast_ = false;
+    std::map<std::string, std::vector<util::Bytes>> payment_payloads_;
+    std::map<std::string, std::vector<double>> payment_values_;
+    bool payment_evaluation_scheduled_ = false;
+    bool settled_ = false;
+    std::vector<double> settled_payments_;
+    double user_paid_ = 0.0;
+
+    // Terminating-verdict payout state.
+    struct PendingTermination {
+        std::set<std::string> deviants;
+        double pool = 0.0;
+        std::vector<std::string> commenced;  // non-deviants owed φ_i
+        std::set<std::string> awaiting;      // commenced meters still running
+    };
+    std::optional<PendingTermination> pending_termination_;
+};
+
+}  // namespace dlsbl::protocol

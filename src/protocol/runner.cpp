@@ -1,0 +1,112 @@
+#include "protocol/runner.hpp"
+
+#include <memory>
+
+namespace dlsbl::protocol {
+
+ProtocolOutcome run_protocol(const ProtocolConfig& config, const RunObserver& observer) {
+    ProtocolConfig cfg = config;
+    cfg.validate();
+    if (cfg.strategies.empty()) cfg.strategies.assign(cfg.true_w.size(), Strategy{});
+
+    sim::Simulator simulator;
+    sim::Network network(simulator, cfg.z, cfg.control_latency,
+                         cfg.control_seconds_per_byte);
+    RunContext context(simulator, network, cfg);
+
+    // Initialization (§4): every participant registers a key with the PKI.
+    // The user also registers (it signs the data-set commitment).
+    std::vector<std::unique_ptr<crypto::Signer>> signers;
+    for (std::size_t i = 0; i < context.processor_count(); ++i) {
+        signers.push_back(crypto::make_registered_signer(
+            context.pki(), context.processor_names()[i], cfg.seed * 1000 + i,
+            cfg.signature_algorithm, cfg.mss_height));
+    }
+    auto user_signer = crypto::make_registered_signer(
+        context.pki(), context.user_name(), cfg.seed * 1000 + 999,
+        cfg.signature_algorithm, cfg.mss_height);
+
+    Referee referee(context);
+    network.attach(referee);
+    context.set_referee(referee);
+    context.set_expected_workers(context.processor_count());
+
+    std::vector<std::unique_ptr<ProcessorNode>> nodes;
+    for (std::size_t i = 0; i < context.processor_count(); ++i) {
+        nodes.push_back(std::make_unique<ProcessorNode>(
+            context, i, std::move(signers[i]), cfg.strategies[i]));
+        network.attach(*nodes.back());
+    }
+
+    network.start();
+    simulator.run();
+
+    // ---- outcome extraction -------------------------------------------------
+    ProtocolOutcome outcome;
+    outcome.terminated_early = context.terminated();
+    outcome.termination_reason = context.termination_reason();
+    outcome.ended_in = context.terminated() ? context.phase() : Phase::kDone;
+    outcome.fine_amount = context.fine_amount();
+    outcome.makespan = context.last_compute_end();
+    outcome.user_paid = referee.user_paid();
+    outcome.control_messages = network.metrics().control_messages();
+    outcome.control_bytes = network.metrics().control_bytes();
+    for (const auto& [phase, counters] : network.metrics().by_phase()) {
+        outcome.bytes_by_phase.emplace_back(phase, counters.bytes);
+    }
+
+    const auto& settled = referee.settled_payments();
+    for (std::size_t i = 0; i < context.processor_count(); ++i) {
+        const auto& name = context.processor_names()[i];
+        const ProcessorNode& node = *nodes[i];
+        ProcessorOutcome p;
+        p.name = name;
+        p.true_w = cfg.true_w[i];
+        p.bid = node.bid_value();
+        p.exec_rate = context.clamp_rate(name, node.exec_rate());
+        p.blocks_assigned = node.blocks_assigned();
+        p.blocks_received =
+            (name == context.load_origin()) ? node.blocks_assigned() : node.blocks_received();
+        if (!node.allocation().empty()) p.alpha = node.allocation()[i];
+        p.commenced_work = context.meters().started(name);
+        if (context.meters().finished(name)) p.phi = context.meters().elapsed(name);
+
+        if (referee.settled() && i < settled.size()) p.payment = settled[i];
+        if (auto it = referee.fines().find(name); it != referee.fines().end()) {
+            p.fines = it->second;
+            p.fined = true;
+        }
+        if (auto it = referee.rewards().find(name); it != referee.rewards().end()) {
+            p.rewards = it->second;
+        }
+        if (auto it = referee.compensations().find(name);
+            it != referee.compensations().end()) {
+            p.rewards += it->second;  // termination compensation is income too
+        }
+        // Actual cost: the fraction of the unit load this node really ran,
+        // at its realized rate (only if it ran).
+        if (p.commenced_work) {
+            const std::size_t executed =
+                (name == context.load_origin()) ? node.blocks_assigned()
+                                                : node.blocks_received();
+            p.work_cost = (static_cast<double>(executed) /
+                           static_cast<double>(cfg.block_count)) *
+                          p.exec_rate;
+        }
+        // Decompose the settled payment for reporting (C_i at the realized
+        // rate; bonus is the remainder).
+        if (referee.settled() && i < settled.size()) {
+            p.compensation = p.alpha * p.exec_rate;
+            p.bonus = p.payment - p.compensation;
+        }
+        outcome.processors.push_back(std::move(p));
+    }
+
+    if (observer) {
+        RunInternals internals{context, referee, nodes};
+        observer(internals);
+    }
+    return outcome;
+}
+
+}  // namespace dlsbl::protocol

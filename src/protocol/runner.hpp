@@ -1,0 +1,35 @@
+// End-to-end execution of DLS-BL-NCP: the library's primary entry point.
+//
+//   ProtocolConfig config;
+//   config.kind = dlt::NetworkKind::kNcpFE;
+//   config.z = 0.2;
+//   config.true_w = {1.0, 2.0, 1.5};
+//   ProtocolOutcome outcome = run_protocol(config);
+//
+// Builds the simulator, network, PKI, user data set, processor nodes and
+// referee, runs the event loop to quiescence, and extracts the outcome
+// (allocations, payments, fines, utilities, communication metrics).
+#pragma once
+
+#include <functional>
+
+#include "protocol/context.hpp"
+#include "protocol/node.hpp"
+#include "protocol/outcome.hpp"
+#include "protocol/referee.hpp"
+
+namespace dlsbl::protocol {
+
+// Optional observer invoked after the run with full access to the wired-up
+// internals (trace, ledger history, referee state) before they are torn
+// down. Used by tests and the forensics example.
+struct RunInternals {
+    RunContext& context;
+    Referee& referee;
+    const std::vector<std::unique_ptr<ProcessorNode>>& nodes;
+};
+using RunObserver = std::function<void(const RunInternals&)>;
+
+ProtocolOutcome run_protocol(const ProtocolConfig& config, const RunObserver& observer = {});
+
+}  // namespace dlsbl::protocol

@@ -1,0 +1,71 @@
+// Behaviour knobs for a strategic processor in DLS-BL-NCP.
+//
+// The mechanism's whole point (§1) is that processors are rational agents
+// that "will implement their own algorithm if it is beneficial to do so".
+// A Strategy describes exactly how a processor's implementation deviates
+// from the prescribed one. The honest processor is Strategy{} — all knobs
+// at their defaults. The agents library (src/agents) provides a named zoo
+// covering every offense enumerated at the end of §4:
+//   (i)   multiple, inconsistent bids in the Bidding phase
+//   (ii)  incorrect load assignments in the Allocating Load phase
+//   (iii) incorrect payment computation in the Computing Payments phase
+//   (iv)  manipulated bid vectors transmitted to the referee
+//   (v)   unsubstantiated claims
+// plus the two manipulations DLS-BL itself handles (misreporting w_i and
+// executing slower than bid).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace dlsbl::protocol {
+
+struct Strategy {
+    std::string name = "truthful";
+
+    // --- valuation manipulation (handled by the mechanism's payments) ---
+    // b_i = bid_factor * w_i. 1.0 = truthful.
+    double bid_factor = 1.0;
+    // w̃_i = max(w_i, exec_factor * w_i): a processor can't run faster than
+    // its capacity but may deliberately run slower.
+    double exec_factor = 1.0;
+
+    // --- protocol deviations (handled by monitoring + fines) ---
+    // (i) broadcast a second, different signed bid (factor on w_i).
+    std::optional<double> second_bid_factor;
+    // (ii-a) as load origin: scale the load shipped to each other processor
+    // (<1 short-ships, >1 over-ships). 1.0 = correct assignment.
+    double lo_ship_factor = 1.0;
+    // (ii-b) as load origin: refuse to cooperate when the referee mediates a
+    // short-shipment claim.
+    bool lo_refuse_mediation = false;
+    // (ii-c) as load origin: ship corrupted blocks (integrity check fails).
+    bool lo_corrupt_blocks = false;
+    // (iii) submit a payment vector inflated in this processor's favor.
+    bool corrupt_payment_vector = false;
+    // (iii) submit two contradictory signed payment vectors.
+    bool contradictory_payment_vectors = false;
+    // (iv) when the referee requests the bid vector during a dispute,
+    // substitute this processor's own bid entry (breaks the bid's signature).
+    bool tamper_bid_vector = false;
+    // (v) accuse an innocent processor of double-bidding with fabricated
+    // evidence.
+    bool false_accuse = false;
+    // (ii-d) as a worker: falsely claim the load origin short-shipped.
+    bool false_short_claim = false;
+
+    // Monitoring behaviour: an agent may choose not to report deviations it
+    // observes (the mechanism rewards reporting; this knob lets benches show
+    // that silence forfeits the reward).
+    bool report_deviations = true;
+
+    [[nodiscard]] bool deviates_from_protocol() const noexcept {
+        return second_bid_factor.has_value() || lo_ship_factor != 1.0 ||
+               lo_refuse_mediation || lo_corrupt_blocks || corrupt_payment_vector ||
+               contradictory_payment_vectors || tamper_bid_vector || false_accuse ||
+               false_short_claim;
+    }
+};
+
+}  // namespace dlsbl::protocol

@@ -1,0 +1,35 @@
+#include "sim/kernel.hpp"
+
+#include <cmath>
+
+namespace dlsbl::sim {
+
+void Simulator::schedule_at(double time, Callback fn) {
+    if (!std::isfinite(time)) throw std::invalid_argument("Simulator: non-finite time");
+    if (time < now_) throw std::invalid_argument("Simulator: scheduling into the past");
+    if (!fn) throw std::invalid_argument("Simulator: empty callback");
+    queue_.push(Event{time, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+    if (queue_.empty()) return false;
+    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+    // so copy the callback handle (shared state stays cheap via std::function
+    // small-object or ref-counted captures).
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    ++fired_;
+    event.fn();
+    return true;
+}
+
+void Simulator::run(std::uint64_t max_events) {
+    while (step()) {
+        if (fired_ > max_events) {
+            throw std::runtime_error("Simulator: event budget exceeded (runaway run?)");
+        }
+    }
+}
+
+}  // namespace dlsbl::sim

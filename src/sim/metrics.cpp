@@ -1,0 +1,18 @@
+#include "sim/metrics.hpp"
+
+namespace dlsbl::sim {
+
+void NetworkMetrics::count_control(std::size_t bytes) {
+    ++messages_;
+    bytes_ += bytes;
+    auto& phase = by_phase_[phase_];
+    ++phase.messages;
+    phase.bytes += bytes;
+}
+
+void NetworkMetrics::count_load_transfer(double units) {
+    ++transfers_;
+    units_ += units;
+}
+
+}  // namespace dlsbl::sim

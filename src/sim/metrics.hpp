@@ -1,0 +1,53 @@
+// Communication accounting for the Θ(m²) experiment (Theorem 5.4).
+//
+// The paper defines communication cost as (number of messages) × (message
+// size) and excludes load-unit transfers, so control messages and load
+// transfers are tracked separately. Messages are attributed to the protocol
+// phase active when they were sent, giving the per-phase breakdown that
+// shows Computing Payments dominating.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace dlsbl::sim {
+
+struct PhaseCounters {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+};
+
+class NetworkMetrics {
+ public:
+    void set_phase(std::string phase) { phase_ = std::move(phase); }
+    [[nodiscard]] const std::string& phase() const noexcept { return phase_; }
+
+    // A control message (bid, accusation, payment vector, ...). Broadcasts
+    // count once per transmission, matching the paper's atomic-broadcast
+    // cost model.
+    void count_control(std::size_t bytes);
+
+    // A load transfer of `units` load occupying the bus; excluded from the
+    // communication-complexity totals per Theorem 5.4's definition.
+    void count_load_transfer(double units);
+
+    [[nodiscard]] std::uint64_t control_messages() const noexcept { return messages_; }
+    [[nodiscard]] std::uint64_t control_bytes() const noexcept { return bytes_; }
+    [[nodiscard]] std::uint64_t load_transfers() const noexcept { return transfers_; }
+    [[nodiscard]] double load_units_moved() const noexcept { return units_; }
+
+    [[nodiscard]] const std::map<std::string, PhaseCounters>& by_phase() const noexcept {
+        return by_phase_;
+    }
+
+ private:
+    std::string phase_ = "init";
+    std::uint64_t messages_ = 0;
+    std::uint64_t bytes_ = 0;
+    std::uint64_t transfers_ = 0;
+    double units_ = 0.0;
+    std::map<std::string, PhaseCounters> by_phase_;
+};
+
+}  // namespace dlsbl::sim

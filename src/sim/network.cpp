@@ -1,0 +1,117 @@
+#include "sim/network.hpp"
+
+#include <stdexcept>
+
+namespace dlsbl::sim {
+
+Network::Network(Simulator& simulator, double unit_comm_time, double control_latency,
+                 double control_seconds_per_byte)
+    : simulator_(simulator),
+      z_(unit_comm_time),
+      control_latency_(control_latency),
+      control_seconds_per_byte_(control_seconds_per_byte) {
+    if (unit_comm_time < 0.0 || control_latency < 0.0 || control_seconds_per_byte < 0.0) {
+        throw std::invalid_argument("Network: negative timing parameter");
+    }
+}
+
+double Network::dispatch_control(Envelope envelope) {
+    const double occupancy = control_occupancy(envelope.payload.size());
+    double deliver_at = simulator_.now() + control_latency_;
+    if (occupancy > 0.0) {
+        // Bandwidth-charged: the message holds the one-port bus like a load
+        // transfer does.
+        const double start = std::max(simulator_.now(), bus_busy_until_);
+        bus_busy_until_ = start + occupancy;
+        deliver_at = bus_busy_until_ + control_latency_;
+    }
+    simulator_.schedule_at(deliver_at,
+                           [this, e = std::move(envelope)]() mutable { deliver(std::move(e)); });
+    return deliver_at;
+}
+
+void Network::attach(Process& process) {
+    const auto [it, inserted] = processes_.emplace(process.name(), &process);
+    (void)it;
+    if (!inserted) {
+        throw std::invalid_argument("Network: duplicate process name: " + process.name());
+    }
+}
+
+bool Network::has_process(const std::string& name) const {
+    return processes_.contains(name);
+}
+
+void Network::start() {
+    for (auto& [name, process] : processes_) {
+        Process* p = process;
+        simulator_.schedule_after(0.0, [p] { p->on_start(); });
+    }
+}
+
+void Network::deliver(Envelope envelope) {
+    const auto it = processes_.find(envelope.to);
+    if (it == processes_.end()) {
+        throw std::logic_error("Network: message to unknown process: " + envelope.to);
+    }
+    trace_.record(simulator_.now(), TraceKind::kMessageDelivered, envelope.to,
+                  "from=" + envelope.from + " type=" + std::to_string(envelope.type));
+    it->second->on_message(envelope);
+}
+
+void Network::send(const std::string& from, const std::string& to, std::uint32_t type,
+                   util::Bytes payload) {
+    if (!processes_.contains(to)) {
+        throw std::logic_error("Network: unknown recipient: " + to);
+    }
+    metrics_.count_control(payload.size());
+    trace_.record(simulator_.now(), TraceKind::kMessageSent, from,
+                  "to=" + to + " type=" + std::to_string(type) +
+                      " bytes=" + std::to_string(payload.size()));
+    Envelope envelope{from, to, type, std::move(payload), simulator_.now()};
+    dispatch_control(std::move(envelope));
+}
+
+void Network::broadcast(const std::string& from, std::uint32_t type, util::Bytes payload) {
+    metrics_.count_control(payload.size());
+    trace_.record(simulator_.now(), TraceKind::kMessageSent, from,
+                  "to=* type=" + std::to_string(type) +
+                      " bytes=" + std::to_string(payload.size()));
+    // Atomic broadcast: one bus transmission, simultaneous delivery to all.
+    const double occupancy = control_occupancy(payload.size());
+    double deliver_at = simulator_.now() + control_latency_;
+    if (occupancy > 0.0) {
+        const double start = std::max(simulator_.now(), bus_busy_until_);
+        bus_busy_until_ = start + occupancy;
+        deliver_at = bus_busy_until_ + control_latency_;
+    }
+    for (const auto& [name, process] : processes_) {
+        if (name == from) continue;
+        Envelope envelope{from, name, type, payload, simulator_.now()};
+        simulator_.schedule_at(
+            deliver_at, [this, e = std::move(envelope)]() mutable { deliver(std::move(e)); });
+    }
+}
+
+void Network::transfer_load(const std::string& from, const std::string& to, double units,
+                            std::uint32_t type, util::Bytes payload) {
+    if (!processes_.contains(to)) {
+        throw std::logic_error("Network: unknown recipient: " + to);
+    }
+    if (units < 0.0) throw std::invalid_argument("Network: negative load transfer");
+    const double start = std::max(simulator_.now(), bus_busy_until_);
+    const double end = start + units * z_;
+    bus_busy_until_ = end;
+    metrics_.count_load_transfer(units);
+    trace_.record(start, TraceKind::kLoadTransferStart, from,
+                  "to=" + to + " units=" + std::to_string(units));
+    Envelope envelope{from, to, type, std::move(payload), simulator_.now()};
+    simulator_.schedule_at(end, [this, to_name = to, from_name = from, units,
+                                 e = std::move(envelope)]() mutable {
+        trace_.record(simulator_.now(), TraceKind::kLoadTransferEnd, from_name,
+                      "to=" + to_name + " units=" + std::to_string(units));
+        deliver(std::move(e));
+    });
+}
+
+}  // namespace dlsbl::sim

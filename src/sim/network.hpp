@@ -1,0 +1,112 @@
+// One-port bus network model (§2 of the paper).
+//
+// Two traffic classes:
+//   * control messages — bids, accusations, payment vectors. Delivered after
+//     a configurable constant latency (default 0: the paper's timing model
+//     charges only load movement). Broadcast is atomic and reliable, per the
+//     paper's assumption ("the network has a reliable, atomic mechanism for
+//     broadcasting information").
+//   * load transfers — occupy the shared bus exclusively (one-port model):
+//     a transfer of α units takes α·z bus seconds and transfers queue FIFO.
+//
+// The network is protocol-agnostic: payloads are opaque bytes and message
+// types are small integers owned by the protocol layer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/kernel.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
+#include "util/bytes.hpp"
+
+namespace dlsbl::sim {
+
+struct Envelope {
+    std::string from;
+    std::string to;            // empty for broadcast
+    std::uint32_t type = 0;    // protocol-defined discriminator
+    util::Bytes payload;
+    double sent_at = 0.0;
+};
+
+class Process {
+ public:
+    virtual ~Process() = default;
+    // Called once after every process is attached, before any message flows.
+    virtual void on_start() {}
+    virtual void on_message(const Envelope& envelope) = 0;
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ protected:
+    explicit Process(std::string name) : name_(std::move(name)) {}
+
+ private:
+    std::string name_;
+};
+
+class Network {
+ public:
+    // control_seconds_per_byte: when > 0, control messages are charged for
+    // bandwidth and occupy the shared bus like load transfers do (the
+    // paper's complexity model counts their bytes; this knob makes those
+    // bytes cost wall-clock time so the mechanism's Θ(m²) overhead becomes
+    // measurable — bench E22). 0 keeps the paper's timing model, where only
+    // load movement takes time.
+    Network(Simulator& simulator, double unit_comm_time, double control_latency = 0.0,
+            double control_seconds_per_byte = 0.0);
+
+    // Processes are owned by the caller and must outlive the network.
+    void attach(Process& process);
+    [[nodiscard]] bool has_process(const std::string& name) const;
+    [[nodiscard]] std::size_t process_count() const noexcept { return processes_.size(); }
+
+    // Fires every process's on_start() at the current simulated time.
+    void start();
+
+    // Reliable unicast; counted in the communication-complexity metrics.
+    void send(const std::string& from, const std::string& to, std::uint32_t type,
+              util::Bytes payload);
+
+    // Atomic reliable broadcast: every process except the sender receives
+    // the identical payload. Counted once (one bus transmission).
+    void broadcast(const std::string& from, std::uint32_t type, util::Bytes payload);
+
+    // A load transfer of `units` load: waits for the bus, holds it for
+    // units * z, then delivers the payload (the block batch) to `to`.
+    void transfer_load(const std::string& from, const std::string& to, double units,
+                       std::uint32_t type, util::Bytes payload);
+
+    // Simulated time at which the bus next becomes free.
+    [[nodiscard]] double bus_free_at() const noexcept { return bus_busy_until_; }
+
+    [[nodiscard]] Simulator& simulator() noexcept { return simulator_; }
+    [[nodiscard]] NetworkMetrics& metrics() noexcept { return metrics_; }
+    [[nodiscard]] TraceRecorder& trace() noexcept { return trace_; }
+    [[nodiscard]] double unit_comm_time() const noexcept { return z_; }
+
+ private:
+    void deliver(Envelope envelope);
+    // Time the bus is held for a control message of `bytes` (0 when the
+    // bandwidth model is off).
+    [[nodiscard]] double control_occupancy(std::size_t bytes) const noexcept {
+        return control_seconds_per_byte_ * static_cast<double>(bytes);
+    }
+    // Schedules delivery honoring bandwidth occupancy + latency; returns
+    // the delivery time.
+    double dispatch_control(Envelope envelope);
+
+    Simulator& simulator_;
+    double z_;
+    double control_latency_;
+    double control_seconds_per_byte_;
+    double bus_busy_until_ = 0.0;
+    std::map<std::string, Process*> processes_;
+    NetworkMetrics metrics_;
+    TraceRecorder trace_;
+};
+
+}  // namespace dlsbl::sim

@@ -1,0 +1,95 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+
+namespace dlsbl::sim {
+
+const char* to_string(TraceKind kind) noexcept {
+    switch (kind) {
+        case TraceKind::kMessageSent: return "msg-sent";
+        case TraceKind::kMessageDelivered: return "msg-delivered";
+        case TraceKind::kLoadTransferStart: return "load-start";
+        case TraceKind::kLoadTransferEnd: return "load-end";
+        case TraceKind::kComputeStart: return "compute-start";
+        case TraceKind::kComputeEnd: return "compute-end";
+        case TraceKind::kPhaseChange: return "phase";
+        case TraceKind::kVerdict: return "verdict";
+        case TraceKind::kNote: return "note";
+    }
+    return "?";
+}
+
+void TraceRecorder::record(double time, TraceKind kind, std::string actor,
+                           std::string detail) {
+    events_.push_back(TraceEvent{time, kind, std::move(actor), std::move(detail)});
+}
+
+std::vector<TraceEvent> TraceRecorder::filter(TraceKind kind) const {
+    std::vector<TraceEvent> out;
+    for (const auto& event : events_) {
+        if (event.kind == kind) out.push_back(event);
+    }
+    return out;
+}
+
+std::vector<TraceEvent> TraceRecorder::filter_actor(const std::string& actor) const {
+    std::vector<TraceEvent> out;
+    for (const auto& event : events_) {
+        if (event.actor == actor) out.push_back(event);
+    }
+    return out;
+}
+
+std::vector<util::GanttBar> gantt_from_trace(const TraceRecorder& trace) {
+    std::vector<util::GanttBar> bars;
+    // Load transfers: match start/end FIFO (the bus is one-port, so
+    // transfers never interleave).
+    std::vector<const TraceEvent*> open_transfers;
+    std::vector<std::pair<std::string, double>> open_computes;  // actor -> start
+    for (const auto& event : trace.events()) {
+        switch (event.kind) {
+            case TraceKind::kLoadTransferStart:
+                open_transfers.push_back(&event);
+                break;
+            case TraceKind::kLoadTransferEnd: {
+                if (!open_transfers.empty()) {
+                    bars.push_back(util::GanttBar{"BUS", open_transfers.front()->time,
+                                                  event.time, '-'});
+                    open_transfers.erase(open_transfers.begin());
+                }
+                break;
+            }
+            case TraceKind::kComputeStart:
+                open_computes.emplace_back(event.actor, event.time);
+                break;
+            case TraceKind::kComputeEnd: {
+                for (auto it = open_computes.begin(); it != open_computes.end(); ++it) {
+                    if (it->first == event.actor) {
+                        bars.push_back(
+                            util::GanttBar{event.actor, it->second, event.time, '#'});
+                        open_computes.erase(it);
+                        break;
+                    }
+                }
+                break;
+            }
+            default:
+                break;
+        }
+    }
+    return bars;
+}
+
+std::string TraceRecorder::render() const {
+    std::string out;
+    char buf[64];
+    for (const auto& event : events_) {
+        std::snprintf(buf, sizeof(buf), "%12.6f  %-14s ", event.time,
+                      to_string(event.kind));
+        out += buf;
+        out += event.actor + "  " + event.detail + "\n";
+    }
+    return out;
+}
+
+}  // namespace dlsbl::sim

@@ -1,0 +1,62 @@
+// Event trace: an append-only record of everything observable in a run.
+//
+// Used by tests to assert protocol choreography (who messaged whom, when
+// computation started/ended) and by the figure benches to rebuild Gantt
+// timelines from the *simulated* execution rather than from the analytic
+// model — agreement between the two is itself a test.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/chart.hpp"
+
+namespace dlsbl::sim {
+
+enum class TraceKind {
+    kMessageSent,
+    kMessageDelivered,
+    kLoadTransferStart,
+    kLoadTransferEnd,
+    kComputeStart,
+    kComputeEnd,
+    kPhaseChange,
+    kVerdict,      // referee decisions: fines, rewards, terminations
+    kNote,
+};
+
+const char* to_string(TraceKind kind) noexcept;
+
+struct TraceEvent {
+    double time = 0.0;
+    TraceKind kind = TraceKind::kNote;
+    std::string actor;    // process name
+    std::string detail;   // free-form, machine-greppable "key=value ..." text
+};
+
+class TraceRecorder {
+ public:
+    void record(double time, TraceKind kind, std::string actor, std::string detail);
+
+    [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept { return events_; }
+
+    [[nodiscard]] std::vector<TraceEvent> filter(TraceKind kind) const;
+    [[nodiscard]] std::vector<TraceEvent> filter_actor(const std::string& actor) const;
+
+    // Human-readable dump (one line per event).
+    [[nodiscard]] std::string render() const;
+
+    void clear() { events_.clear(); }
+
+ private:
+    std::vector<TraceEvent> events_;
+};
+
+// Rebuilds a Gantt timeline from a recorded trace: one "BUS" lane carrying
+// the load transfers ('-') plus one lane per computing actor ('#'). Pairs
+// kLoadTransferStart/kLoadTransferEnd (matched FIFO per sender, consistent
+// with the one-port bus) and kComputeStart/kComputeEnd. Lets callers draw
+// the *simulated* execution next to the analytic diagram.
+std::vector<util::GanttBar> gantt_from_trace(const TraceRecorder& trace);
+
+}  // namespace dlsbl::sim

@@ -1,0 +1,304 @@
+#include "util/bigint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dlsbl::util {
+
+namespace {
+constexpr std::uint64_t kBase = 1ull << 32;
+}  // namespace
+
+BigInt::BigInt(std::int64_t v) { set_from_int64(v); }
+
+void BigInt::set_from_int64(std::int64_t v) {
+    negative_ = v < 0;
+    limbs_.clear();
+    // Avoid UB on INT64_MIN: widen through unsigned.
+    std::uint64_t mag = negative_ ? (~static_cast<std::uint64_t>(v) + 1ull)
+                                  : static_cast<std::uint64_t>(v);
+    while (mag != 0) {
+        limbs_.push_back(static_cast<std::uint32_t>(mag & 0xffffffffull));
+        mag >>= 32;
+    }
+    if (limbs_.empty()) negative_ = false;
+}
+
+BigInt::BigInt(std::string_view decimal) { *this = from_decimal(decimal); }
+
+BigInt BigInt::from_decimal(std::string_view s) {
+    if (s.empty()) throw std::invalid_argument("BigInt: empty decimal string");
+    bool neg = false;
+    std::size_t i = 0;
+    if (s[0] == '+' || s[0] == '-') {
+        neg = s[0] == '-';
+        i = 1;
+    }
+    if (i == s.size()) throw std::invalid_argument("BigInt: sign without digits");
+    BigInt result;
+    const BigInt ten{10};
+    for (; i < s.size(); ++i) {
+        char c = s[i];
+        if (c < '0' || c > '9') throw std::invalid_argument("BigInt: invalid digit");
+        result *= ten;
+        result += BigInt{c - '0'};
+    }
+    if (neg && !result.is_zero()) result.negative_ = true;
+    return result;
+}
+
+void BigInt::trim() noexcept {
+    while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+    if (limbs_.empty()) negative_ = false;
+}
+
+BigInt BigInt::abs() const {
+    BigInt r = *this;
+    r.negative_ = false;
+    return r;
+}
+
+BigInt BigInt::negated() const {
+    BigInt r = *this;
+    if (!r.is_zero()) r.negative_ = !r.negative_;
+    return r;
+}
+
+int BigInt::compare_magnitude(const std::vector<std::uint32_t>& a,
+                              const std::vector<std::uint32_t>& b) noexcept {
+    if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+    for (std::size_t i = a.size(); i-- > 0;) {
+        if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+std::vector<std::uint32_t> BigInt::add_magnitude(const std::vector<std::uint32_t>& a,
+                                                 const std::vector<std::uint32_t>& b) {
+    std::vector<std::uint32_t> out;
+    out.reserve(std::max(a.size(), b.size()) + 1);
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < std::max(a.size(), b.size()); ++i) {
+        std::uint64_t sum = carry;
+        if (i < a.size()) sum += a[i];
+        if (i < b.size()) sum += b[i];
+        out.push_back(static_cast<std::uint32_t>(sum & 0xffffffffull));
+        carry = sum >> 32;
+    }
+    if (carry != 0) out.push_back(static_cast<std::uint32_t>(carry));
+    return out;
+}
+
+std::vector<std::uint32_t> BigInt::sub_magnitude(const std::vector<std::uint32_t>& a,
+                                                 const std::vector<std::uint32_t>& b) {
+    std::vector<std::uint32_t> out;
+    out.reserve(a.size());
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow -
+                            (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
+        if (diff < 0) {
+            diff += static_cast<std::int64_t>(kBase);
+            borrow = 1;
+        } else {
+            borrow = 0;
+        }
+        out.push_back(static_cast<std::uint32_t>(diff));
+    }
+    while (!out.empty() && out.back() == 0) out.pop_back();
+    return out;
+}
+
+std::vector<std::uint32_t> BigInt::mul_magnitude(const std::vector<std::uint32_t>& a,
+                                                 const std::vector<std::uint32_t>& b) {
+    if (a.empty() || b.empty()) return {};
+    std::vector<std::uint32_t> out(a.size() + b.size(), 0);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        std::uint64_t carry = 0;
+        for (std::size_t j = 0; j < b.size(); ++j) {
+            std::uint64_t cur = static_cast<std::uint64_t>(a[i]) * b[j] + out[i + j] + carry;
+            out[i + j] = static_cast<std::uint32_t>(cur & 0xffffffffull);
+            carry = cur >> 32;
+        }
+        std::size_t k = i + b.size();
+        while (carry != 0) {
+            std::uint64_t cur = out[k] + carry;
+            out[k] = static_cast<std::uint32_t>(cur & 0xffffffffull);
+            carry = cur >> 32;
+            ++k;
+        }
+    }
+    while (!out.empty() && out.back() == 0) out.pop_back();
+    return out;
+}
+
+BigInt& BigInt::operator+=(const BigInt& rhs) {
+    if (negative_ == rhs.negative_) {
+        limbs_ = add_magnitude(limbs_, rhs.limbs_);
+    } else {
+        int cmp = compare_magnitude(limbs_, rhs.limbs_);
+        if (cmp == 0) {
+            limbs_.clear();
+            negative_ = false;
+        } else if (cmp > 0) {
+            limbs_ = sub_magnitude(limbs_, rhs.limbs_);
+        } else {
+            limbs_ = sub_magnitude(rhs.limbs_, limbs_);
+            negative_ = rhs.negative_;
+        }
+    }
+    trim();
+    return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& rhs) { return *this += rhs.negated(); }
+
+BigInt& BigInt::operator*=(const BigInt& rhs) {
+    bool neg = negative_ != rhs.negative_;
+    limbs_ = mul_magnitude(limbs_, rhs.limbs_);
+    negative_ = !limbs_.empty() && neg;
+    return *this;
+}
+
+void BigInt::div_mod(const BigInt& num, const BigInt& den, BigInt& quot, BigInt& rem) {
+    if (den.is_zero()) throw std::domain_error("BigInt: division by zero");
+    // Magnitude long division, bit by bit (simple and adequate: operands in
+    // the exact-verification path stay small, a few thousand bits at most).
+    const std::size_t nbits = num.bit_length();
+    BigInt q, r;
+    q.limbs_.assign((nbits + 31) / 32, 0);
+    for (std::size_t i = nbits; i-- > 0;) {
+        // r = (r << 1) | bit_i(num)
+        std::uint32_t carry = 0;
+        for (auto& limb : r.limbs_) {
+            std::uint32_t next = limb >> 31;
+            limb = (limb << 1) | carry;
+            carry = next;
+        }
+        if (carry != 0) r.limbs_.push_back(carry);
+        const std::uint32_t bit = (num.limbs_[i / 32] >> (i % 32)) & 1u;
+        if (bit != 0) {
+            if (r.limbs_.empty()) r.limbs_.push_back(0);
+            r.limbs_[0] |= 1u;
+        }
+        if (compare_magnitude(r.limbs_, den.limbs_) >= 0) {
+            r.limbs_ = sub_magnitude(r.limbs_, den.limbs_);
+            q.limbs_[i / 32] |= (1u << (i % 32));
+        }
+    }
+    q.trim();
+    r.trim();
+    q.negative_ = !q.limbs_.empty() && (num.negative_ != den.negative_);
+    r.negative_ = !r.limbs_.empty() && num.negative_;
+    quot = std::move(q);
+    rem = std::move(r);
+}
+
+BigInt& BigInt::operator/=(const BigInt& rhs) {
+    BigInt q, r;
+    div_mod(*this, rhs, q, r);
+    *this = std::move(q);
+    return *this;
+}
+
+BigInt& BigInt::operator%=(const BigInt& rhs) {
+    BigInt q, r;
+    div_mod(*this, rhs, q, r);
+    *this = std::move(r);
+    return *this;
+}
+
+std::strong_ordering operator<=>(const BigInt& a, const BigInt& b) noexcept {
+    if (a.negative_ != b.negative_) {
+        return a.negative_ ? std::strong_ordering::less : std::strong_ordering::greater;
+    }
+    int cmp = BigInt::compare_magnitude(a.limbs_, b.limbs_);
+    if (a.negative_) cmp = -cmp;
+    if (cmp < 0) return std::strong_ordering::less;
+    if (cmp > 0) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+    a.negative_ = false;
+    b.negative_ = false;
+    while (!b.is_zero()) {
+        BigInt q, r;
+        div_mod(a, b, q, r);
+        a = std::move(b);
+        b = std::move(r);
+    }
+    return a;
+}
+
+BigInt BigInt::pow(const BigInt& base, std::uint64_t exp) {
+    BigInt result{1};
+    BigInt acc = base;
+    while (exp != 0) {
+        if (exp & 1ull) result *= acc;
+        exp >>= 1;
+        if (exp != 0) acc *= acc;
+    }
+    return result;
+}
+
+std::size_t BigInt::bit_length() const noexcept {
+    if (limbs_.empty()) return 0;
+    std::uint32_t top = limbs_.back();
+    std::size_t bits = (limbs_.size() - 1) * 32;
+    while (top != 0) {
+        ++bits;
+        top >>= 1;
+    }
+    return bits;
+}
+
+bool BigInt::fits_int64() const noexcept {
+    const std::size_t n = bit_length();
+    if (n < 64) return true;
+    if (n > 64) return false;
+    // Exactly 64 bits of magnitude: only INT64_MIN fits.
+    return negative_ && limbs_.size() == 2 && limbs_[0] == 0 && limbs_[1] == 0x80000000u;
+}
+
+std::int64_t BigInt::to_int64() const {
+    std::uint64_t mag = 0;
+    if (!limbs_.empty()) mag = limbs_[0];
+    if (limbs_.size() > 1) mag |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+    return negative_ ? -static_cast<std::int64_t>(mag) : static_cast<std::int64_t>(mag);
+}
+
+std::string BigInt::to_string() const {
+    if (is_zero()) return "0";
+    // Repeated division by 10^9 for decimal conversion.
+    std::vector<std::uint32_t> mag = limbs_;
+    std::string digits;
+    while (!mag.empty()) {
+        std::uint64_t rem = 0;
+        for (std::size_t i = mag.size(); i-- > 0;) {
+            std::uint64_t cur = (rem << 32) | mag[i];
+            mag[i] = static_cast<std::uint32_t>(cur / 1000000000ull);
+            rem = cur % 1000000000ull;
+        }
+        while (!mag.empty() && mag.back() == 0) mag.pop_back();
+        for (int d = 0; d < 9; ++d) {
+            digits.push_back(static_cast<char>('0' + rem % 10));
+            rem /= 10;
+        }
+    }
+    while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+    if (negative_) digits.push_back('-');
+    std::reverse(digits.begin(), digits.end());
+    return digits;
+}
+
+double BigInt::to_double() const {
+    double value = 0.0;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+        value = value * 4294967296.0 + static_cast<double>(limbs_[i]);
+    }
+    return negative_ ? -value : value;
+}
+
+}  // namespace dlsbl::util

@@ -1,0 +1,92 @@
+// Arbitrary-precision signed integer arithmetic.
+//
+// The DLT closed forms (Algorithms 2.1 / 2.2 of the paper) are rational
+// functions of the inputs (w_1..w_m, z). To verify Theorem 2.1 *exactly*
+// (all processors finish at the same instant under the optimal allocation),
+// the test suite evaluates them over exact rationals. BigInt is the
+// magnitude type backing util::Rational.
+//
+// Representation: sign + little-endian vector of 32-bit limbs, no leading
+// zero limbs, zero is canonical (empty limb vector, non-negative sign).
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dlsbl::util {
+
+class BigInt {
+ public:
+    BigInt() = default;
+    BigInt(std::int64_t v);  // NOLINT(google-explicit-constructor) intentional implicit
+    explicit BigInt(std::string_view decimal);
+
+    static BigInt from_decimal(std::string_view decimal);
+
+    [[nodiscard]] bool is_zero() const noexcept { return limbs_.empty(); }
+    [[nodiscard]] bool is_negative() const noexcept { return negative_; }
+    [[nodiscard]] int sign() const noexcept {
+        return is_zero() ? 0 : (negative_ ? -1 : 1);
+    }
+
+    [[nodiscard]] BigInt abs() const;
+    [[nodiscard]] BigInt negated() const;
+
+    BigInt& operator+=(const BigInt& rhs);
+    BigInt& operator-=(const BigInt& rhs);
+    BigInt& operator*=(const BigInt& rhs);
+    BigInt& operator/=(const BigInt& rhs);  // truncating division (C++ semantics)
+    BigInt& operator%=(const BigInt& rhs);  // remainder with sign of dividend
+
+    friend BigInt operator+(BigInt lhs, const BigInt& rhs) { return lhs += rhs; }
+    friend BigInt operator-(BigInt lhs, const BigInt& rhs) { return lhs -= rhs; }
+    friend BigInt operator*(BigInt lhs, const BigInt& rhs) { return lhs *= rhs; }
+    friend BigInt operator/(BigInt lhs, const BigInt& rhs) { return lhs /= rhs; }
+    friend BigInt operator%(BigInt lhs, const BigInt& rhs) { return lhs %= rhs; }
+    BigInt operator-() const { return negated(); }
+
+    friend bool operator==(const BigInt& a, const BigInt& b) noexcept {
+        return a.negative_ == b.negative_ && a.limbs_ == b.limbs_;
+    }
+    friend std::strong_ordering operator<=>(const BigInt& a, const BigInt& b) noexcept;
+
+    // Quotient and remainder in one pass; remainder has the dividend's sign.
+    static void div_mod(const BigInt& num, const BigInt& den, BigInt& quot, BigInt& rem);
+
+    static BigInt gcd(BigInt a, BigInt b);
+    static BigInt pow(const BigInt& base, std::uint64_t exp);
+
+    [[nodiscard]] std::string to_string() const;
+
+    // Lossy conversion for reporting; exact when the value fits a double.
+    [[nodiscard]] double to_double() const;
+
+    // Number of significant bits of the magnitude (0 for zero).
+    [[nodiscard]] std::size_t bit_length() const noexcept;
+
+    // Fits in an int64_t?
+    [[nodiscard]] bool fits_int64() const noexcept;
+    [[nodiscard]] std::int64_t to_int64() const;  // precondition: fits_int64()
+
+ private:
+    // |a| vs |b|
+    static int compare_magnitude(const std::vector<std::uint32_t>& a,
+                                 const std::vector<std::uint32_t>& b) noexcept;
+    static std::vector<std::uint32_t> add_magnitude(const std::vector<std::uint32_t>& a,
+                                                    const std::vector<std::uint32_t>& b);
+    // precondition |a| >= |b|
+    static std::vector<std::uint32_t> sub_magnitude(const std::vector<std::uint32_t>& a,
+                                                    const std::vector<std::uint32_t>& b);
+    static std::vector<std::uint32_t> mul_magnitude(const std::vector<std::uint32_t>& a,
+                                                    const std::vector<std::uint32_t>& b);
+    void trim() noexcept;
+    void set_from_int64(std::int64_t v);
+
+    bool negative_ = false;
+    std::vector<std::uint32_t> limbs_;  // little-endian base 2^32
+};
+
+}  // namespace dlsbl::util

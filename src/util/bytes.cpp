@@ -1,0 +1,53 @@
+#include "util/bytes.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace dlsbl::util {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    throw std::invalid_argument("from_hex: invalid hex digit");
+}
+}  // namespace
+
+std::string to_hex(std::span<const std::uint8_t> data) {
+    std::string out;
+    out.reserve(data.size() * 2);
+    for (std::uint8_t b : data) {
+        out.push_back(kHexDigits[b >> 4]);
+        out.push_back(kHexDigits[b & 0x0f]);
+    }
+    return out;
+}
+
+Bytes from_hex(std::string_view hex) {
+    if (hex.size() % 2 != 0) throw std::invalid_argument("from_hex: odd length");
+    Bytes out;
+    out.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        out.push_back(static_cast<std::uint8_t>(hex_value(hex[i]) * 16 + hex_value(hex[i + 1])));
+    }
+    return out;
+}
+
+void ByteWriter::f64(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+}
+
+double ByteReader::f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+}  // namespace dlsbl::util

@@ -1,0 +1,105 @@
+#include "util/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+
+namespace dlsbl::util {
+
+namespace {
+constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@'};
+
+std::string format_tick(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+    return buf;
+}
+}  // namespace
+
+std::string render_scatter(const std::vector<Series>& series, const ChartOptions& options) {
+    double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+    double ymin = xmin, ymax = -xmin;
+    bool any = false;
+    for (const auto& s : series) {
+        for (std::size_t i = 0; i < s.xs.size(); ++i) {
+            xmin = std::min(xmin, s.xs[i]);
+            xmax = std::max(xmax, s.xs[i]);
+            ymin = std::min(ymin, s.ys[i]);
+            ymax = std::max(ymax, s.ys[i]);
+            any = true;
+        }
+    }
+    if (!any) return "(empty chart)\n";
+    if (xmax == xmin) xmax = xmin + 1.0;
+    if (ymax == ymin) ymax = ymin + 1.0;
+
+    const int w = std::max(options.width, 8);
+    const int h = std::max(options.height, 4);
+    std::vector<std::string> grid(static_cast<std::size_t>(h), std::string(static_cast<std::size_t>(w), ' '));
+
+    for (std::size_t si = 0; si < series.size(); ++si) {
+        const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+        const auto& s = series[si];
+        for (std::size_t i = 0; i < s.xs.size(); ++i) {
+            int cx = static_cast<int>(std::lround((s.xs[i] - xmin) / (xmax - xmin) * (w - 1)));
+            int cy = static_cast<int>(std::lround((s.ys[i] - ymin) / (ymax - ymin) * (h - 1)));
+            cx = std::clamp(cx, 0, w - 1);
+            cy = std::clamp(cy, 0, h - 1);
+            grid[static_cast<std::size_t>(h - 1 - cy)][static_cast<std::size_t>(cx)] = glyph;
+        }
+    }
+
+    std::string out;
+    out += options.y_label + " (" + format_tick(ymin) + " .. " + format_tick(ymax) + ")\n";
+    for (const auto& row : grid) out += "  |" + row + "\n";
+    out += "  +" + std::string(static_cast<std::size_t>(w), '-') + "\n";
+    out += "   " + options.x_label + ": " + format_tick(xmin) + " .. " + format_tick(xmax) + "\n";
+    for (std::size_t si = 0; si < series.size(); ++si) {
+        out += "   ";
+        out += kGlyphs[si % sizeof(kGlyphs)];
+        out += " = " + series[si].name + "\n";
+    }
+    return out;
+}
+
+std::string render_gantt(const std::vector<GanttBar>& bars, const GanttOptions& options) {
+    if (bars.empty()) return "(empty gantt)\n";
+    double tmax = 0.0;
+    std::size_t lane_width = 0;
+    // Preserve first-appearance lane order.
+    std::vector<std::string> lane_order;
+    std::map<std::string, std::size_t> lane_index;
+    for (const auto& b : bars) {
+        tmax = std::max(tmax, b.end);
+        lane_width = std::max(lane_width, b.lane.size());
+        if (lane_index.find(b.lane) == lane_index.end()) {
+            lane_index[b.lane] = lane_order.size();
+            lane_order.push_back(b.lane);
+        }
+    }
+    if (tmax <= 0.0) tmax = 1.0;
+
+    const int w = std::max(options.width, 10);
+    std::vector<std::string> lanes(lane_order.size(), std::string(static_cast<std::size_t>(w), '.'));
+    for (const auto& b : bars) {
+        int c0 = static_cast<int>(std::floor(b.start / tmax * (w - 1)));
+        int c1 = static_cast<int>(std::ceil(b.end / tmax * (w - 1)));
+        c0 = std::clamp(c0, 0, w - 1);
+        c1 = std::clamp(c1, c0, w - 1);
+        auto& row = lanes[lane_index[b.lane]];
+        for (int c = c0; c <= c1; ++c) row[static_cast<std::size_t>(c)] = b.glyph;
+    }
+
+    std::string out;
+    for (std::size_t i = 0; i < lane_order.size(); ++i) {
+        const auto& name = lane_order[i];
+        out += name + std::string(lane_width - name.size(), ' ') + " |" + lanes[i] + "|\n";
+    }
+    out += std::string(lane_width, ' ') + " 0" + std::string(static_cast<std::size_t>(w - 1), ' ') +
+           format_tick(tmax) + " (" + options.time_label + ")\n";
+    return out;
+}
+
+}  // namespace dlsbl::util

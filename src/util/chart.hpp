@@ -1,0 +1,47 @@
+// ASCII charts: line/scatter plots and Gantt timelines.
+//
+// The Gantt renderer reproduces the paper's Figures 1-3 (bus-network timing
+// diagrams) directly in bench output; the scatter plot renders utility-vs-bid
+// curves for the strategyproofness experiment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dlsbl::util {
+
+// A named series of (x, y) points.
+struct Series {
+    std::string name;
+    std::vector<double> xs;
+    std::vector<double> ys;
+};
+
+struct ChartOptions {
+    int width = 72;    // plot columns
+    int height = 20;   // plot rows
+    std::string x_label = "x";
+    std::string y_label = "y";
+};
+
+// Renders one or more series on shared axes. Each series gets a distinct
+// glyph (* + o x # @ in order). Points outside the common range are clamped.
+std::string render_scatter(const std::vector<Series>& series, const ChartOptions& options);
+
+// One horizontal bar per activity; activities on the same row label are
+// rendered in the same lane (used for a processor's comm + compute phases).
+struct GanttBar {
+    std::string lane;   // e.g. "P3"
+    double start = 0.0;
+    double end = 0.0;
+    char glyph = '=';   // '-' for communication, '#' for computation, ...
+};
+
+struct GanttOptions {
+    int width = 72;
+    std::string time_label = "time";
+};
+
+std::string render_gantt(const std::vector<GanttBar>& bars, const GanttOptions& options);
+
+}  // namespace dlsbl::util

@@ -1,0 +1,60 @@
+// Minimal leveled logger.
+//
+// The protocol runner logs phase transitions and referee verdicts at Debug;
+// benches run with the logger silenced (Level::Off) so their stdout is the
+// experiment artifact and nothing else.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace dlsbl::util {
+
+enum class LogLevel { Off = 0, Error = 1, Warn = 2, Info = 3, Debug = 4 };
+
+class Logger {
+ public:
+    static Logger& instance() {
+        static Logger logger;
+        return logger;
+    }
+
+    void set_level(LogLevel level) noexcept { level_ = level; }
+    [[nodiscard]] LogLevel level() const noexcept { return level_; }
+
+    void log(LogLevel level, std::string_view component, std::string_view message) const {
+        if (static_cast<int>(level) > static_cast<int>(level_)) return;
+        std::fprintf(stderr, "[%s] %.*s: %.*s\n", name(level),
+                     static_cast<int>(component.size()), component.data(),
+                     static_cast<int>(message.size()), message.data());
+    }
+
+ private:
+    static const char* name(LogLevel level) noexcept {
+        switch (level) {
+            case LogLevel::Error: return "ERROR";
+            case LogLevel::Warn: return "WARN ";
+            case LogLevel::Info: return "INFO ";
+            case LogLevel::Debug: return "DEBUG";
+            default: return "?";
+        }
+    }
+
+    LogLevel level_ = LogLevel::Warn;
+};
+
+inline void log_error(std::string_view component, std::string_view message) {
+    Logger::instance().log(LogLevel::Error, component, message);
+}
+inline void log_warn(std::string_view component, std::string_view message) {
+    Logger::instance().log(LogLevel::Warn, component, message);
+}
+inline void log_info(std::string_view component, std::string_view message) {
+    Logger::instance().log(LogLevel::Info, component, message);
+}
+inline void log_debug(std::string_view component, std::string_view message) {
+    Logger::instance().log(LogLevel::Debug, component, message);
+}
+
+}  // namespace dlsbl::util

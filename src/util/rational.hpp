@@ -1,0 +1,64 @@
+// Exact rational arithmetic over BigInt.
+//
+// Used by the test suite and the optimality bench to evaluate the DLT
+// closed forms (Algorithms 2.1 / 2.2) without floating-point error, so
+// Theorem 2.1's equal-finish-time condition can be checked with ==.
+//
+// Invariant: denominator > 0, gcd(|num|, den) == 1, zero is 0/1.
+#pragma once
+
+#include <compare>
+#include <string>
+
+#include "util/bigint.hpp"
+
+namespace dlsbl::util {
+
+class Rational {
+ public:
+    Rational() : num_(0), den_(1) {}
+    Rational(std::int64_t v) : num_(v), den_(1) {}  // NOLINT implicit by design
+    Rational(BigInt numerator, BigInt denominator);
+
+    // Parse "a/b" or "a".
+    static Rational parse(std::string_view text);
+
+    // Exact conversion of a double (every finite double is a rational with a
+    // power-of-two denominator).
+    static Rational from_double(double value);
+
+    [[nodiscard]] const BigInt& numerator() const noexcept { return num_; }
+    [[nodiscard]] const BigInt& denominator() const noexcept { return den_; }
+    [[nodiscard]] bool is_zero() const noexcept { return num_.is_zero(); }
+    [[nodiscard]] int sign() const noexcept { return num_.sign(); }
+
+    Rational& operator+=(const Rational& rhs);
+    Rational& operator-=(const Rational& rhs);
+    Rational& operator*=(const Rational& rhs);
+    Rational& operator/=(const Rational& rhs);
+
+    friend Rational operator+(Rational lhs, const Rational& rhs) { return lhs += rhs; }
+    friend Rational operator-(Rational lhs, const Rational& rhs) { return lhs -= rhs; }
+    friend Rational operator*(Rational lhs, const Rational& rhs) { return lhs *= rhs; }
+    friend Rational operator/(Rational lhs, const Rational& rhs) { return lhs /= rhs; }
+    Rational operator-() const;
+
+    [[nodiscard]] Rational reciprocal() const;
+    [[nodiscard]] Rational abs() const;
+
+    friend bool operator==(const Rational& a, const Rational& b) noexcept {
+        return a.num_ == b.num_ && a.den_ == b.den_;
+    }
+    friend std::strong_ordering operator<=>(const Rational& a, const Rational& b);
+
+    [[nodiscard]] std::string to_string() const;
+    [[nodiscard]] double to_double() const;
+
+ private:
+    void normalize();
+
+    BigInt num_;
+    BigInt den_;
+};
+
+}  // namespace dlsbl::util

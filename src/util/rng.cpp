@@ -1,0 +1,19 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace dlsbl::util {
+
+double Xoshiro256::normal(double mean, double stddev) noexcept {
+    // Marsaglia polar method; the spare variate is intentionally discarded to
+    // keep the generator's consumption pattern simple and reproducible.
+    double u, v, s;
+    do {
+        u = uniform(-1.0, 1.0);
+        v = uniform(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    return mean + stddev * u * std::sqrt(-2.0 * std::log(s) / s);
+}
+
+}  // namespace dlsbl::util

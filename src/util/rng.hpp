@@ -1,0 +1,94 @@
+// Deterministic pseudo-random number generation for experiments.
+//
+// xoshiro256** (Blackman & Vigna) seeded through splitmix64 — fast, high
+// quality, and fully reproducible across platforms, which matters because
+// every experiment in EXPERIMENTS.md is keyed by its seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace dlsbl::util {
+
+// splitmix64: used to expand a single 64-bit seed into xoshiro state; also a
+// fine standalone generator for hashing-style mixing.
+constexpr std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+class Xoshiro256 {
+ public:
+    using result_type = std::uint64_t;
+
+    explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bull) noexcept {
+        std::uint64_t sm = seed;
+        for (auto& word : state_) word = splitmix64_next(sm);
+    }
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    result_type operator()() noexcept {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    // Uniform double in [0, 1): 53 random mantissa bits.
+    double uniform() noexcept {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    // Uniform double in [lo, hi).
+    double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+    // Uniform integer in [lo, hi] (inclusive), unbiased via rejection.
+    std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) noexcept {
+        const std::uint64_t range = hi - lo + 1;
+        if (range == 0) return (*this)();  // full 64-bit range
+        const std::uint64_t limit = max() - max() % range;
+        std::uint64_t draw;
+        do {
+            draw = (*this)();
+        } while (draw >= limit);
+        return lo + draw % range;
+    }
+
+    // Marsaglia polar method.
+    double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+
+    // Fisher-Yates shuffle.
+    template <typename T>
+    void shuffle(std::vector<T>& values) noexcept {
+        for (std::size_t i = values.size(); i > 1; --i) {
+            const std::size_t j = static_cast<std::size_t>(uniform_int(0, i - 1));
+            using std::swap;
+            swap(values[i - 1], values[j]);
+        }
+    }
+
+    // Derive an independent child stream (for per-agent randomness).
+    Xoshiro256 split() noexcept { return Xoshiro256{(*this)()}; }
+
+ private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4]{};
+};
+
+}  // namespace dlsbl::util

@@ -1,0 +1,91 @@
+#include "util/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dlsbl::util {
+
+double percentile(std::span<const double> values, double q) {
+    if (values.empty()) return 0.0;
+    std::vector<double> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+    q = std::clamp(q, 0.0, 1.0);
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> values) {
+    Summary s;
+    s.count = values.size();
+    if (values.empty()) return s;
+    s.min = *std::min_element(values.begin(), values.end());
+    s.max = *std::max_element(values.begin(), values.end());
+    double sum = 0.0;
+    for (double v : values) sum += v;
+    s.mean = sum / static_cast<double>(values.size());
+    if (values.size() > 1) {
+        double ss = 0.0;
+        for (double v : values) ss += (v - s.mean) * (v - s.mean);
+        s.stddev = std::sqrt(ss / static_cast<double>(values.size() - 1));
+    }
+    s.median = percentile(values, 0.5);
+    s.p05 = percentile(values, 0.05);
+    s.p95 = percentile(values, 0.95);
+    return s;
+}
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+    if (xs.size() != ys.size()) throw std::invalid_argument("linear_fit: size mismatch");
+    if (xs.size() < 2) throw std::invalid_argument("linear_fit: need >= 2 points");
+    const auto n = static_cast<double>(xs.size());
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+        syy += ys[i] * ys[i];
+    }
+    const double denom = n * sxx - sx * sx;
+    LinearFit fit;
+    if (denom == 0.0) throw std::invalid_argument("linear_fit: degenerate x values");
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+    const double ss_tot = syy - sy * sy / n;
+    if (ss_tot <= 0.0) {
+        fit.r_squared = 1.0;  // constant y, perfectly explained
+    } else {
+        double ss_res = 0.0;
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+            const double r = ys[i] - (fit.slope * xs[i] + fit.intercept);
+            ss_res += r * r;
+        }
+        fit.r_squared = 1.0 - ss_res / ss_tot;
+    }
+    return fit;
+}
+
+LinearFit power_law_fit(std::span<const double> xs, std::span<const double> ys) {
+    std::vector<double> lx(xs.size()), ly(ys.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (xs[i] <= 0.0 || ys[i] <= 0.0) {
+            throw std::invalid_argument("power_law_fit: inputs must be positive");
+        }
+        lx[i] = std::log(xs[i]);
+        ly[i] = std::log(ys[i]);
+    }
+    return linear_fit(lx, ly);
+}
+
+double relative_spread(std::span<const double> values) {
+    if (values.size() < 2) return 0.0;
+    const Summary s = summarize(values);
+    if (s.mean == 0.0) return 0.0;
+    return (s.max - s.min) / std::abs(s.mean);
+}
+
+}  // namespace dlsbl::util

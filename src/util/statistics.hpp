@@ -1,0 +1,47 @@
+// Summary statistics and least-squares regression for the bench harness.
+//
+// The communication-complexity experiment (Theorem 5.4) fits a power law
+// messages(m) = c * m^k by ordinary least squares in log-log space and
+// checks k ≈ 2; other benches report mean / stddev / percentiles.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dlsbl::util {
+
+struct Summary {
+    std::size_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double stddev = 0.0;  // sample standard deviation (n-1)
+    double median = 0.0;
+    double p05 = 0.0;
+    double p95 = 0.0;
+};
+
+// Summary of a sample; count==0 yields all-zero fields.
+Summary summarize(std::span<const double> values);
+
+// Linear interpolation percentile, q in [0, 1]. Empty input yields 0.
+double percentile(std::span<const double> values, double q);
+
+struct LinearFit {
+    double slope = 0.0;
+    double intercept = 0.0;
+    double r_squared = 0.0;
+};
+
+// Ordinary least squares y = slope*x + intercept. Requires xs.size() == ys.size().
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+// Fit y = c * x^k by regressing log y on log x. All inputs must be > 0.
+// Returns {slope=k, intercept=log(c), r_squared}.
+LinearFit power_law_fit(std::span<const double> xs, std::span<const double> ys);
+
+// Relative spread (max-min)/|mean|; 0 for fewer than two values or zero mean.
+double relative_spread(std::span<const double> values);
+
+}  // namespace dlsbl::util

@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace dlsbl::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    if (headers_.empty()) throw std::invalid_argument("Table: need at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+    if (cells.size() != headers_.size()) {
+        throw std::invalid_argument("Table: row width mismatch");
+    }
+    rows_.push_back(std::move(cells));
+}
+
+std::string Table::format_double(double v, int precision) {
+    char buf[64];
+    if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    }
+    return buf;
+}
+
+void Table::add_numeric_row(const std::vector<double>& cells) {
+    std::vector<std::string> row;
+    row.reserve(cells.size());
+    for (double v : cells) row.push_back(format_double(v, precision_));
+    add_row(std::move(row));
+}
+
+std::string Table::render() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    auto render_line = [&](const std::vector<std::string>& cells) {
+        std::string line = "|";
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            line += " " + cells[c] + std::string(widths[c] - cells[c].size(), ' ') + " |";
+        }
+        return line + "\n";
+    };
+
+    std::string sep = "+";
+    for (std::size_t w : widths) sep += std::string(w + 2, '-') + "+";
+    sep += "\n";
+
+    std::string out = sep + render_line(headers_) + sep;
+    for (const auto& row : rows_) out += render_line(row);
+    out += sep;
+    return out;
+}
+
+}  // namespace dlsbl::util

@@ -1,0 +1,36 @@
+// Plain-text table rendering for the bench harness.
+//
+// Every experiment binary prints its result as an aligned ASCII table so the
+// bench output files are directly comparable with the paper's artifacts.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dlsbl::util {
+
+class Table {
+ public:
+    explicit Table(std::vector<std::string> headers);
+
+    // Number formatting precision for add_row(double) cells.
+    void set_precision(int digits) noexcept { precision_ = digits; }
+
+    void add_row(std::vector<std::string> cells);
+    // Convenience: formats doubles with the configured precision.
+    void add_numeric_row(const std::vector<double>& cells);
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+    [[nodiscard]] std::string render() const;
+
+    static std::string format_double(double v, int precision);
+
+ private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+    int precision_ = 4;
+};
+
+}  // namespace dlsbl::util

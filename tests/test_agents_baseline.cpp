@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "agents/zoo.hpp"
+#include "baseline/obedient.hpp"
+#include "dlt/finish_time.hpp"
+
+namespace dlsbl {
+namespace {
+
+// ---- agents zoo ----------------------------------------------------------------
+
+TEST(AgentZoo, TruthfulIsCompliant) {
+    const auto s = agents::truthful();
+    EXPECT_FALSE(s.deviates_from_protocol());
+    EXPECT_DOUBLE_EQ(s.bid_factor, 1.0);
+    EXPECT_DOUBLE_EQ(s.exec_factor, 1.0);
+    EXPECT_TRUE(s.report_deviations);
+}
+
+TEST(AgentZoo, MisreportersAreNotProtocolDeviants) {
+    // Lying about w is handled by the payment rule, not by fines.
+    EXPECT_FALSE(agents::underbidder().deviates_from_protocol());
+    EXPECT_FALSE(agents::overbidder().deviates_from_protocol());
+    EXPECT_FALSE(agents::slow_executor().deviates_from_protocol());
+    EXPECT_FALSE(agents::masked_overbidder().deviates_from_protocol());
+}
+
+TEST(AgentZoo, AllListedDeviantsDeviate) {
+    for (const auto& s : agents::all_deviants()) {
+        EXPECT_TRUE(s.deviates_from_protocol()) << s.name;
+    }
+}
+
+TEST(AgentZoo, SilentObserverCompliantButMute) {
+    const auto s = agents::silent_observer();
+    EXPECT_FALSE(s.deviates_from_protocol());
+    EXPECT_FALSE(s.report_deviations);
+}
+
+TEST(AgentZoo, NamesAreUnique) {
+    std::set<std::string> names;
+    for (const auto& s : agents::all_deviants()) names.insert(s.name);
+    EXPECT_EQ(names.size(), agents::all_deviants().size());
+}
+
+TEST(AgentZoo, MaskedOverbidderExecutesAsBid) {
+    const auto s = agents::masked_overbidder(2.0);
+    EXPECT_DOUBLE_EQ(s.bid_factor, 2.0);
+    EXPECT_DOUBLE_EQ(s.exec_factor, 2.0);
+}
+
+// ---- obedient baseline -----------------------------------------------------------
+
+TEST(Baseline, TruthfulReportsGiveZeroProfitAndOptimalMakespan) {
+    const std::vector<double> w{1.0, 2.0, 1.5};
+    const auto outcome =
+        baseline::run_obedient(dlt::NetworkKind::kNcpFE, 0.25, w, w);
+    for (double profit : outcome.profit) EXPECT_NEAR(profit, 0.0, 1e-12);
+    EXPECT_NEAR(outcome.scheduled_makespan, outcome.realized_makespan, 1e-12);
+}
+
+TEST(Baseline, OverbiddingIsProfitableWithoutAMechanism) {
+    // The headline motivation (§1): under the obedience assumption a liar
+    // profits.
+    const std::vector<double> w{1.0, 2.0, 1.5};
+    const auto gain = baseline::best_manipulation(
+        dlt::NetworkKind::kNcpFE, 0.25, w, 1, {0.5, 0.8, 1.2, 1.5, 2.0, 3.0});
+    EXPECT_GT(gain.deviant_profit, gain.honest_profit + 1e-6);
+    EXPECT_GT(gain.best_factor, 1.0);  // overbidding is the profitable lie
+}
+
+TEST(Baseline, LiesInflateRealizedMakespan) {
+    const std::vector<double> w{1.0, 2.0, 1.5};
+    std::vector<double> bids = w;
+    bids[0] = 3.0;  // P1 claims to be slow
+    const auto outcome =
+        baseline::run_obedient(dlt::NetworkKind::kNcpNFE, 0.25, w, bids);
+    dlt::ProblemInstance true_instance{dlt::NetworkKind::kNcpNFE, 0.25, w};
+    EXPECT_GT(outcome.scheduled_makespan,
+              dlt::optimal_makespan(true_instance) - 1e-12);
+}
+
+TEST(Baseline, UnderbiddingUnprofitableEvenHere) {
+    // Claiming to be faster means being paid below cost — the lie that even
+    // a naive scheduler punishes.
+    const std::vector<double> w{1.0, 2.0, 1.5};
+    auto bids = w;
+    bids[1] = 1.0;
+    const auto outcome =
+        baseline::run_obedient(dlt::NetworkKind::kNcpFE, 0.25, w, bids);
+    EXPECT_LT(outcome.profit[1], 0.0);
+}
+
+TEST(Baseline, InputValidation) {
+    EXPECT_THROW(baseline::run_obedient(dlt::NetworkKind::kNcpFE, 0.25, {1.0},
+                                        {1.0, 2.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(baseline::best_manipulation(dlt::NetworkKind::kNcpFE, 0.25,
+                                             {1.0, 2.0}, 5, {1.0}),
+                 std::out_of_range);
+}
+
+TEST(Baseline, ProfitDecomposition) {
+    const std::vector<double> w{1.0, 2.0};
+    std::vector<double> bids{1.0, 4.0};
+    const auto outcome =
+        baseline::run_obedient(dlt::NetworkKind::kNcpFE, 0.5, w, bids);
+    for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_NEAR(outcome.profit[i], outcome.paid[i] - outcome.true_cost[i], 1e-12);
+        EXPECT_NEAR(outcome.paid[i], outcome.alpha[i] * bids[i], 1e-12);
+    }
+}
+
+}  // namespace
+}  // namespace dlsbl

@@ -1,0 +1,157 @@
+#include "util/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+namespace dlsbl::util {
+namespace {
+
+TEST(BigInt, DefaultIsZero) {
+    BigInt z;
+    EXPECT_TRUE(z.is_zero());
+    EXPECT_EQ(z.sign(), 0);
+    EXPECT_EQ(z.to_string(), "0");
+}
+
+TEST(BigInt, Int64RoundTrip) {
+    for (std::int64_t v : {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1},
+                           std::int64_t{42}, std::int64_t{-123456789},
+                           std::int64_t{1} << 40, INT64_MAX, INT64_MIN}) {
+        BigInt b{v};
+        ASSERT_TRUE(b.fits_int64()) << v;
+        EXPECT_EQ(b.to_int64(), v);
+        EXPECT_EQ(b.to_string(), std::to_string(v));
+    }
+}
+
+TEST(BigInt, DecimalParseRoundTrip) {
+    const std::string digits = "123456789012345678901234567890123456789";
+    BigInt b{digits};
+    EXPECT_EQ(b.to_string(), digits);
+    BigInt neg{"-" + digits};
+    EXPECT_EQ(neg.to_string(), "-" + digits);
+}
+
+TEST(BigInt, ParseRejectsGarbage) {
+    EXPECT_THROW(BigInt::from_decimal(""), std::invalid_argument);
+    EXPECT_THROW(BigInt::from_decimal("-"), std::invalid_argument);
+    EXPECT_THROW(BigInt::from_decimal("12a3"), std::invalid_argument);
+}
+
+TEST(BigInt, AdditionCarries) {
+    BigInt a{"99999999999999999999999999"};
+    BigInt one{1};
+    EXPECT_EQ((a + one).to_string(), "100000000000000000000000000");
+}
+
+TEST(BigInt, SignedAddition) {
+    EXPECT_EQ((BigInt{5} + BigInt{-7}).to_int64(), -2);
+    EXPECT_EQ((BigInt{-5} + BigInt{7}).to_int64(), 2);
+    EXPECT_EQ((BigInt{-5} + BigInt{-7}).to_int64(), -12);
+    EXPECT_EQ((BigInt{5} + BigInt{-5}).sign(), 0);
+}
+
+TEST(BigInt, Subtraction) {
+    BigInt a{"1000000000000000000000"};
+    BigInt b{"999999999999999999999"};
+    EXPECT_EQ((a - b).to_string(), "1");
+    EXPECT_EQ((b - a).to_string(), "-1");
+}
+
+TEST(BigInt, Multiplication) {
+    BigInt a{"123456789123456789"};
+    BigInt b{"987654321987654321"};
+    EXPECT_EQ((a * b).to_string(), "121932631356500531347203169112635269");
+    EXPECT_EQ((a * BigInt{0}).sign(), 0);
+    EXPECT_EQ((a * BigInt{-1}).to_string(), "-123456789123456789");
+}
+
+TEST(BigInt, DivModTruncatesTowardZero) {
+    // C++ semantics: (-7)/2 == -3, (-7)%2 == -1.
+    BigInt q, r;
+    BigInt::div_mod(BigInt{-7}, BigInt{2}, q, r);
+    EXPECT_EQ(q.to_int64(), -3);
+    EXPECT_EQ(r.to_int64(), -1);
+    BigInt::div_mod(BigInt{7}, BigInt{-2}, q, r);
+    EXPECT_EQ(q.to_int64(), -3);
+    EXPECT_EQ(r.to_int64(), 1);
+}
+
+TEST(BigInt, DivisionByZeroThrows) {
+    EXPECT_THROW(BigInt{1} / BigInt{0}, std::domain_error);
+    EXPECT_THROW(BigInt{1} % BigInt{0}, std::domain_error);
+}
+
+TEST(BigInt, LargeDivision) {
+    BigInt a{"121932631356500531347203169112635269"};
+    BigInt b{"123456789123456789"};
+    EXPECT_EQ((a / b).to_string(), "987654321987654321");
+    EXPECT_EQ((a % b).sign(), 0);
+}
+
+TEST(BigInt, DivModAgreesWithInt64) {
+    std::mt19937_64 gen(7);
+    for (int trial = 0; trial < 500; ++trial) {
+        const auto a = static_cast<std::int64_t>(gen() % 2000001) - 1000000;
+        auto b = static_cast<std::int64_t>(gen() % 2001) - 1000;
+        if (b == 0) b = 17;
+        BigInt q, r;
+        BigInt::div_mod(BigInt{a}, BigInt{b}, q, r);
+        EXPECT_EQ(q.to_int64(), a / b) << a << "/" << b;
+        EXPECT_EQ(r.to_int64(), a % b) << a << "%" << b;
+    }
+}
+
+TEST(BigInt, Comparisons) {
+    EXPECT_LT(BigInt{-2}, BigInt{1});
+    EXPECT_LT(BigInt{1}, BigInt{2});
+    EXPECT_LT(BigInt{-3}, BigInt{-2});
+    EXPECT_EQ(BigInt{5}, BigInt{"5"});
+    EXPECT_GT(BigInt{"100000000000000000000"}, BigInt{INT64_MAX});
+}
+
+TEST(BigInt, Gcd) {
+    EXPECT_EQ(BigInt::gcd(BigInt{12}, BigInt{18}).to_int64(), 6);
+    EXPECT_EQ(BigInt::gcd(BigInt{-12}, BigInt{18}).to_int64(), 6);
+    EXPECT_EQ(BigInt::gcd(BigInt{0}, BigInt{5}).to_int64(), 5);
+    EXPECT_EQ(BigInt::gcd(BigInt{7}, BigInt{13}).to_int64(), 1);
+}
+
+TEST(BigInt, Pow) {
+    EXPECT_EQ(BigInt::pow(BigInt{2}, 10).to_int64(), 1024);
+    EXPECT_EQ(BigInt::pow(BigInt{10}, 30).to_string(),
+              "1000000000000000000000000000000");
+    EXPECT_EQ(BigInt::pow(BigInt{5}, 0).to_int64(), 1);
+}
+
+TEST(BigInt, ToDouble) {
+    EXPECT_DOUBLE_EQ(BigInt{1000}.to_double(), 1000.0);
+    EXPECT_DOUBLE_EQ(BigInt{-1000}.to_double(), -1000.0);
+    EXPECT_NEAR(BigInt{"1000000000000000000000"}.to_double(), 1e21, 1e6);
+}
+
+TEST(BigInt, BitLength) {
+    EXPECT_EQ(BigInt{0}.bit_length(), 0u);
+    EXPECT_EQ(BigInt{1}.bit_length(), 1u);
+    EXPECT_EQ(BigInt{255}.bit_length(), 8u);
+    EXPECT_EQ(BigInt{256}.bit_length(), 9u);
+    EXPECT_EQ(BigInt::pow(BigInt{2}, 100).bit_length(), 101u);
+}
+
+TEST(BigInt, ArithmeticIdentitiesRandomized) {
+    std::mt19937_64 gen(42);
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto a = static_cast<std::int64_t>(gen() % 2000001) - 1000000;
+        const auto b = static_cast<std::int64_t>(gen() % 2000001) - 1000000;
+        BigInt A{a}, B{b};
+        EXPECT_EQ((A + B).to_int64(), a + b);
+        EXPECT_EQ((A - B).to_int64(), a - b);
+        EXPECT_EQ((A * B).to_int64(), a * b);
+        EXPECT_EQ(((A + B) - B), A);
+    }
+}
+
+}  // namespace
+}  // namespace dlsbl::util

@@ -1,0 +1,87 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dlsbl::util {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+    const Bytes data{0x00, 0x01, 0xab, 0xff, 0x10};
+    EXPECT_EQ(to_hex(data), "0001abff10");
+    EXPECT_EQ(from_hex("0001abff10"), data);
+    EXPECT_EQ(from_hex("0001ABFF10"), data);
+}
+
+TEST(Bytes, HexRejectsInvalid) {
+    EXPECT_THROW(from_hex("abc"), std::invalid_argument);   // odd length
+    EXPECT_THROW(from_hex("zz"), std::invalid_argument);    // bad digit
+}
+
+TEST(Bytes, WriterReaderRoundTrip) {
+    ByteWriter w;
+    w.u8(7);
+    w.u32(0xdeadbeefu);
+    w.u64(0x0123456789abcdefull);
+    w.i64(-42);
+    w.f64(3.14159);
+    w.str("hello world");
+    w.bytes(Bytes{1, 2, 3});
+
+    ByteReader r(w.data());
+    EXPECT_EQ(r.u8(), 7);
+    EXPECT_EQ(r.u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+    EXPECT_EQ(r.i64(), -42);
+    EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+    EXPECT_EQ(r.str(), "hello world");
+    EXPECT_EQ(r.bytes(), (Bytes{1, 2, 3}));
+    EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, ReaderUnderflowThrows) {
+    ByteWriter w;
+    w.u8(1);
+    ByteReader r(w.data());
+    r.u8();
+    EXPECT_THROW(r.u32(), std::out_of_range);
+}
+
+TEST(Bytes, EmptyStringAndBytes) {
+    ByteWriter w;
+    w.str("");
+    w.bytes(Bytes{});
+    ByteReader r(w.data());
+    EXPECT_EQ(r.str(), "");
+    EXPECT_EQ(r.bytes(), Bytes{});
+    EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, F64PreservesBitPatterns) {
+    ByteWriter w;
+    w.f64(0.0);
+    w.f64(-0.0);
+    w.f64(1e308);
+    ByteReader r(w.data());
+    EXPECT_EQ(r.f64(), 0.0);
+    const double negzero = r.f64();
+    EXPECT_EQ(negzero, 0.0);
+    EXPECT_TRUE(std::signbit(negzero));
+    EXPECT_DOUBLE_EQ(r.f64(), 1e308);
+}
+
+TEST(Bytes, CanonicalEncodingIsDeterministic) {
+    // Two writers encoding the same logical content must produce identical
+    // byte sequences (signatures depend on this).
+    ByteWriter a, b;
+    for (ByteWriter* w : {&a, &b}) {
+        w->str("bid");
+        w->f64(1.25);
+        w->u64(9);
+    }
+    EXPECT_EQ(a.data(), b.data());
+}
+
+}  // namespace
+}  // namespace dlsbl::util

@@ -1,0 +1,141 @@
+// Speedup/efficiency/asymptote analysis + exact-rational certificates for
+// the star and linear closed forms.
+#include <gtest/gtest.h>
+
+#include "dlt/analysis.hpp"
+#include "dlt/closed_form.hpp"
+#include "dlt/finish_time.hpp"
+#include "dlt/linear.hpp"
+#include "dlt/star.hpp"
+#include "util/rational.hpp"
+
+namespace dlsbl::dlt {
+namespace {
+
+using util::Rational;
+
+TEST(Analysis, SingleProcessorTime) {
+    ProblemInstance cp{NetworkKind::kCP, 0.5, {2.0, 1.0, 3.0}};
+    EXPECT_DOUBLE_EQ(single_processor_time(cp), 0.5 + 1.0);
+    ProblemInstance fe{NetworkKind::kNcpFE, 0.5, {2.0, 1.0, 3.0}};
+    EXPECT_DOUBLE_EQ(single_processor_time(fe), 1.0);
+}
+
+TEST(Analysis, SpeedupBounds) {
+    for (auto kind : {NetworkKind::kCP, NetworkKind::kNcpFE, NetworkKind::kNcpNFE}) {
+        for (std::size_t m : {1u, 2u, 4u, 16u}) {
+            ProblemInstance instance{kind, 0.2, std::vector<double>(m, 1.0)};
+            const double s = speedup(instance);
+            EXPECT_GE(s, 1.0 - 1e-12) << to_string(kind) << " m=" << m;
+            EXPECT_LE(s, static_cast<double>(m) + 1e-9) << to_string(kind);
+        }
+    }
+}
+
+TEST(Analysis, EfficiencyDecreasesWithM) {
+    double previous = 2.0;
+    for (std::size_t m : {2u, 4u, 8u, 16u, 32u}) {
+        ProblemInstance instance{NetworkKind::kNcpFE, 0.2, std::vector<double>(m, 1.0)};
+        const double e = efficiency(instance);
+        EXPECT_LT(e, previous);
+        previous = e;
+    }
+}
+
+TEST(Analysis, AsymptoteFormulae) {
+    EXPECT_DOUBLE_EQ(asymptotic_makespan(NetworkKind::kCP, 0.5, 1.0), 0.5);
+    EXPECT_DOUBLE_EQ(asymptotic_makespan(NetworkKind::kNcpFE, 0.5, 1.0),
+                     0.5 * 1.0 / 1.5);
+    EXPECT_DOUBLE_EQ(asymptotic_makespan(NetworkKind::kNcpNFE, 0.5, 1.0), 0.5);
+    EXPECT_DOUBLE_EQ(asymptotic_makespan(NetworkKind::kCP, 0.0, 1.0), 0.0);
+    EXPECT_THROW(asymptotic_makespan(NetworkKind::kNcpNFE, 2.0, 1.0),
+                 std::domain_error);
+    EXPECT_THROW(asymptotic_makespan(NetworkKind::kCP, 0.5, 0.0),
+                 std::invalid_argument);
+}
+
+TEST(Analysis, MakespanConvergesToAsymptote) {
+    for (auto kind : {NetworkKind::kCP, NetworkKind::kNcpFE, NetworkKind::kNcpNFE}) {
+        const double limit = asymptotic_makespan(kind, 0.3, 1.0);
+        double previous_gap = 1e18;
+        for (std::size_t m : {2u, 8u, 32u, 128u}) {
+            ProblemInstance instance{kind, 0.3, std::vector<double>(m, 1.0)};
+            const double gap = optimal_makespan(instance) - limit;
+            EXPECT_GE(gap, -1e-9) << to_string(kind) << " m=" << m;
+            EXPECT_LT(gap, previous_gap) << to_string(kind) << " m=" << m;
+            previous_gap = gap;
+        }
+        EXPECT_LT(previous_gap, 0.02);  // within 2% by m = 128
+    }
+}
+
+TEST(Analysis, SaturationSizeOrdering) {
+    // Cheaper communication -> more processors remain useful.
+    const auto fast = saturation_size(NetworkKind::kNcpFE, 0.05, 1.0);
+    const auto slow = saturation_size(NetworkKind::kNcpFE, 0.5, 1.0);
+    EXPECT_GT(fast, slow);
+    EXPECT_GE(slow, 1u);
+}
+
+// ---- exact-rational star and linear closed forms ------------------------------
+
+TEST(ExactExtensions, StarEqualFinishExact) {
+    const std::vector<Rational> z{Rational::parse("1/10"), Rational::parse("2/5"),
+                                  Rational::parse("3/10"), Rational::parse("1/5")};
+    const std::vector<Rational> w{Rational::parse("1"), Rational::parse("2"),
+                                  Rational::parse("3/2"), Rational::parse("4/5")};
+    const auto alpha = star_optimal_allocation_generic<Rational>(
+        std::span<const Rational>(z), std::span<const Rational>(w));
+    Rational sum;
+    for (const auto& a : alpha) sum += a;
+    EXPECT_EQ(sum, Rational{1});
+    const auto t = star_finishing_times_generic<Rational>(
+        std::span<const Rational>(alpha), std::span<const Rational>(z),
+        std::span<const Rational>(w));
+    for (std::size_t i = 1; i < t.size(); ++i) EXPECT_EQ(t[i], t[0]) << i;
+}
+
+TEST(ExactExtensions, StarExactMatchesDouble) {
+    const std::vector<Rational> z{Rational::parse("1/10"), Rational::parse("2/5")};
+    const std::vector<Rational> w{Rational::parse("1"), Rational::parse("2")};
+    const auto exact = star_optimal_allocation_generic<Rational>(
+        std::span<const Rational>(z), std::span<const Rational>(w));
+    StarInstance instance{{0.1, 0.4}, {1.0, 2.0}};
+    const auto approx = star_optimal_allocation(instance);
+    for (std::size_t i = 0; i < approx.size(); ++i) {
+        EXPECT_NEAR(approx[i], exact[i].to_double(), 1e-14);
+    }
+}
+
+TEST(ExactExtensions, LinearEqualFinishExactBothKinds) {
+    const std::vector<Rational> w{Rational::parse("1"), Rational::parse("2"),
+                                  Rational::parse("7/5"), Rational::parse("9/10")};
+    const Rational z = Rational::parse("1/5");
+    for (auto kind : {LinearKind::kLinearFE, LinearKind::kLinearNFE}) {
+        const auto alpha = linear_optimal_allocation_generic<Rational>(
+            kind, std::span<const Rational>(w), z);
+        Rational sum;
+        for (const auto& a : alpha) sum += a;
+        EXPECT_EQ(sum, Rational{1});
+        const auto t = linear_finishing_times_generic<Rational>(
+            kind, std::span<const Rational>(alpha), std::span<const Rational>(w), z);
+        for (std::size_t i = 1; i < t.size(); ++i) {
+            EXPECT_EQ(t[i], t[0]) << to_string(kind) << " i=" << i;
+        }
+    }
+}
+
+TEST(ExactExtensions, LinearExactMatchesDouble) {
+    const std::vector<Rational> w{Rational::parse("1"), Rational::parse("2"),
+                                  Rational::parse("3/2")};
+    const auto exact = linear_optimal_allocation_generic<Rational>(
+        LinearKind::kLinearFE, std::span<const Rational>(w), Rational::parse("1/4"));
+    const LinearInstance instance{LinearKind::kLinearFE, 0.25, {1.0, 2.0, 1.5}};
+    const auto approx = linear_optimal_allocation(instance);
+    for (std::size_t i = 0; i < approx.size(); ++i) {
+        EXPECT_NEAR(approx[i], exact[i].to_double(), 1e-14);
+    }
+}
+
+}  // namespace
+}  // namespace dlsbl::dlt

@@ -1,0 +1,170 @@
+#include "dlt/closed_form.hpp"
+#include "dlt/finish_time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+namespace dlsbl::dlt {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+ProblemInstance make(NetworkKind kind, double z, std::vector<double> w) {
+    ProblemInstance instance;
+    instance.kind = kind;
+    instance.z = z;
+    instance.w = std::move(w);
+    return instance;
+}
+
+TEST(ClosedForm, SingleProcessorGetsEverything) {
+    for (NetworkKind kind :
+         {NetworkKind::kCP, NetworkKind::kNcpFE, NetworkKind::kNcpNFE}) {
+        const auto alpha = optimal_allocation(make(kind, 0.5, {2.0}));
+        ASSERT_EQ(alpha.size(), 1u);
+        EXPECT_DOUBLE_EQ(alpha[0], 1.0);
+    }
+}
+
+TEST(ClosedForm, TwoProcessorCpKnownFormula) {
+    // m=2 CP: α_1 = (z + w_2) / (z + w_1 + w_2) from recurrence (7).
+    const double z = 0.5, w1 = 2.0, w2 = 3.0;
+    const auto alpha = optimal_allocation(make(NetworkKind::kCP, z, {w1, w2}));
+    EXPECT_NEAR(alpha[0], (z + w2) / (z + w1 + w2), kTol);
+    EXPECT_NEAR(alpha[1], w1 / (z + w1 + w2), kTol);
+}
+
+TEST(ClosedForm, TwoProcessorNfeKnownFormula) {
+    // m=2 NCP-NFE: α_1 w_1 = α_2 w_2 (recurrence 9), so α_1 = w_2/(w_1+w_2).
+    const double w1 = 2.0, w2 = 3.0;
+    const auto alpha = optimal_allocation(make(NetworkKind::kNcpNFE, 0.7, {w1, w2}));
+    EXPECT_NEAR(alpha[0], w2 / (w1 + w2), kTol);
+    EXPECT_NEAR(alpha[1], w1 / (w1 + w2), kTol);
+}
+
+TEST(ClosedForm, CpAndNcpFeShareAllocations) {
+    // Recurrence (7) governs both kinds, so allocations agree even though
+    // finishing times differ.
+    const std::vector<double> w{1.0, 2.5, 0.7, 3.2};
+    const auto cp = optimal_allocation(make(NetworkKind::kCP, 0.4, w));
+    const auto fe = optimal_allocation(make(NetworkKind::kNcpFE, 0.4, w));
+    ASSERT_EQ(cp.size(), fe.size());
+    for (std::size_t i = 0; i < cp.size(); ++i) EXPECT_NEAR(cp[i], fe[i], kTol);
+}
+
+TEST(ClosedForm, AllocationIsFeasible) {
+    for (NetworkKind kind :
+         {NetworkKind::kCP, NetworkKind::kNcpFE, NetworkKind::kNcpNFE}) {
+        const auto alpha =
+            optimal_allocation(make(kind, 0.3, {1.0, 2.0, 3.0, 4.0, 5.0}));
+        EXPECT_TRUE(is_feasible_allocation(alpha));
+        for (double a : alpha) EXPECT_GT(a, 0.0);  // Theorem 2.1: all participate
+    }
+}
+
+TEST(ClosedForm, RecurrenceSatisfiedNcpFe) {
+    // α_i w_i = α_{i+1} z + α_{i+1} w_{i+1} for i = 1..m-1  (eq 7).
+    const double z = 0.6;
+    const std::vector<double> w{1.5, 2.0, 0.9, 4.0};
+    const auto alpha = optimal_allocation(make(NetworkKind::kNcpFE, z, w));
+    for (std::size_t i = 0; i + 1 < w.size(); ++i) {
+        EXPECT_NEAR(alpha[i] * w[i], alpha[i + 1] * (z + w[i + 1]), 1e-12) << i;
+    }
+}
+
+TEST(ClosedForm, RecurrencesSatisfiedNcpNfe) {
+    // eq (8) for i = 1..m-2 and eq (9) for the last pair.
+    const double z = 0.6;
+    const std::vector<double> w{1.5, 2.0, 0.9, 4.0};
+    const auto alpha = optimal_allocation(make(NetworkKind::kNcpNFE, z, w));
+    const std::size_t m = w.size();
+    for (std::size_t i = 0; i + 2 < m; ++i) {
+        EXPECT_NEAR(alpha[i] * w[i], alpha[i + 1] * (z + w[i + 1]), 1e-12) << i;
+    }
+    EXPECT_NEAR(alpha[m - 2] * w[m - 2], alpha[m - 1] * w[m - 1], 1e-12);
+}
+
+TEST(ClosedForm, EqualFinishTimes) {
+    // Theorem 2.1: all processors finish simultaneously at the optimum.
+    const std::vector<double> w{3.0, 1.0, 2.0, 5.0, 0.8, 1.7};
+    for (NetworkKind kind :
+         {NetworkKind::kCP, NetworkKind::kNcpFE, NetworkKind::kNcpNFE}) {
+        const auto instance = make(kind, 0.25, w);
+        const auto alpha = optimal_allocation(instance);
+        const auto t = finishing_times(instance, alpha);
+        for (std::size_t i = 1; i < t.size(); ++i) {
+            EXPECT_NEAR(t[i], t[0], 1e-10) << to_string(kind) << " i=" << i;
+        }
+    }
+}
+
+TEST(ClosedForm, ZeroCommunicationEqualsProportionalSplit) {
+    // With z = 0, all kinds reduce to the classic "speed-proportional" rule
+    // α_i ∝ 1/w_i.
+    const std::vector<double> w{1.0, 2.0, 4.0};
+    for (NetworkKind kind :
+         {NetworkKind::kCP, NetworkKind::kNcpFE, NetworkKind::kNcpNFE}) {
+        const auto alpha = optimal_allocation(make(kind, 0.0, w));
+        const double scale = alpha[0] * w[0];
+        for (std::size_t i = 0; i < w.size(); ++i) {
+            EXPECT_NEAR(alpha[i] * w[i], scale, kTol) << to_string(kind);
+        }
+    }
+}
+
+TEST(ClosedForm, FasterProcessorGetsMoreLoadUnderEqualPosition) {
+    // Homogeneous system except one fast processor: it must receive more.
+    auto instance = make(NetworkKind::kNcpFE, 0.2, {2.0, 2.0, 1.0, 2.0});
+    const auto alpha = optimal_allocation(instance);
+    EXPECT_GT(alpha[2], alpha[3]);
+}
+
+TEST(ClosedForm, HomogeneousCpDecreasingShares) {
+    // Identical w: earlier processors wait less on the bus so they get more.
+    const auto alpha =
+        optimal_allocation(make(NetworkKind::kCP, 0.5, {2.0, 2.0, 2.0, 2.0}));
+    for (std::size_t i = 0; i + 1 < alpha.size(); ++i) {
+        EXPECT_GT(alpha[i], alpha[i + 1]) << i;
+    }
+}
+
+TEST(ClosedForm, ValidatesInput) {
+    EXPECT_THROW(optimal_allocation(make(NetworkKind::kCP, 0.5, {})),
+                 std::invalid_argument);
+    EXPECT_THROW(optimal_allocation(make(NetworkKind::kCP, -1.0, {1.0})),
+                 std::invalid_argument);
+    EXPECT_THROW(optimal_allocation(make(NetworkKind::kCP, 0.5, {0.0})),
+                 std::invalid_argument);
+    EXPECT_THROW(optimal_allocation(make(NetworkKind::kCP, 0.5, {1.0, -2.0})),
+                 std::invalid_argument);
+}
+
+// Parameterized equal-finish sweep across kinds and sizes.
+class ClosedFormSweep
+    : public ::testing::TestWithParam<std::tuple<NetworkKind, int, double>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsSizesComm, ClosedFormSweep,
+    ::testing::Combine(::testing::Values(NetworkKind::kCP, NetworkKind::kNcpFE,
+                                         NetworkKind::kNcpNFE),
+                       ::testing::Values(2, 3, 5, 8, 16, 33),
+                       ::testing::Values(0.0, 0.1, 1.0, 5.0)));
+
+TEST_P(ClosedFormSweep, EqualFinishAndFeasible) {
+    const auto [kind, m, z] = GetParam();
+    std::vector<double> w(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i) {
+        w[static_cast<std::size_t>(i)] = 0.5 + 0.37 * i + 0.11 * ((i * 7) % 5);
+    }
+    const auto instance = make(kind, z, w);
+    const auto alpha = optimal_allocation(instance);
+    EXPECT_TRUE(is_feasible_allocation(alpha));
+    const auto t = finishing_times(instance, alpha);
+    const double t0 = t[0];
+    for (double ti : t) EXPECT_NEAR(ti, t0, 1e-9 * std::max(1.0, t0));
+}
+
+}  // namespace
+}  // namespace dlsbl::dlt

@@ -1,0 +1,113 @@
+// Exact-rational verification of the DLT closed forms: Theorem 2.1 checked
+// with equality, not tolerances.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dlt/closed_form.hpp"
+#include "dlt/finish_time.hpp"
+#include "util/rational.hpp"
+
+namespace dlsbl::dlt {
+namespace {
+
+using util::Rational;
+
+std::vector<Rational> rationals(std::initializer_list<const char*> texts) {
+    std::vector<Rational> out;
+    for (const char* t : texts) out.push_back(Rational::parse(t));
+    return out;
+}
+
+void expect_exact_equal_finish(NetworkKind kind, const std::vector<Rational>& w,
+                               const Rational& z) {
+    const auto alpha = optimal_allocation_generic<Rational>(
+        kind, std::span<const Rational>(w), z);
+    // Allocation sums exactly to 1.
+    Rational sum;
+    for (const auto& a : alpha) {
+        sum += a;
+        EXPECT_GT(a, Rational{0});
+    }
+    EXPECT_EQ(sum, Rational{1});
+    // All finishing times are *exactly* equal (Theorem 2.1).
+    const auto t = finishing_times_generic<Rational>(kind, std::span<const Rational>(alpha),
+                                                     std::span<const Rational>(w), z);
+    for (std::size_t i = 1; i < t.size(); ++i) {
+        EXPECT_EQ(t[i], t[0]) << to_string(kind) << " i=" << i;
+    }
+}
+
+TEST(DltExact, EqualFinishExactCp) {
+    expect_exact_equal_finish(NetworkKind::kCP,
+                              rationals({"3/2", "2", "7/3", "5/4", "9/5"}),
+                              Rational::parse("2/5"));
+}
+
+TEST(DltExact, EqualFinishExactNcpFe) {
+    expect_exact_equal_finish(NetworkKind::kNcpFE,
+                              rationals({"3/2", "2", "7/3", "5/4", "9/5"}),
+                              Rational::parse("2/5"));
+}
+
+TEST(DltExact, EqualFinishExactNcpNfe) {
+    expect_exact_equal_finish(NetworkKind::kNcpNFE,
+                              rationals({"3/2", "2", "7/3", "5/4", "9/5"}),
+                              Rational::parse("2/5"));
+}
+
+TEST(DltExact, ZeroCommunication) {
+    for (NetworkKind kind :
+         {NetworkKind::kCP, NetworkKind::kNcpFE, NetworkKind::kNcpNFE}) {
+        expect_exact_equal_finish(kind, rationals({"1", "2", "4", "8"}), Rational{0});
+    }
+}
+
+TEST(DltExact, TwoProcessors) {
+    for (NetworkKind kind :
+         {NetworkKind::kCP, NetworkKind::kNcpFE, NetworkKind::kNcpNFE}) {
+        expect_exact_equal_finish(kind, rationals({"5/3", "7/2"}),
+                                  Rational::parse("1/3"));
+    }
+}
+
+TEST(DltExact, LargerSystemExact) {
+    std::vector<Rational> w;
+    for (int i = 1; i <= 10; ++i) {
+        w.push_back(Rational{util::BigInt{2 * i + 1}, util::BigInt{i + 1}});
+    }
+    for (NetworkKind kind :
+         {NetworkKind::kCP, NetworkKind::kNcpFE, NetworkKind::kNcpNFE}) {
+        expect_exact_equal_finish(kind, w, Rational::parse("3/7"));
+    }
+}
+
+TEST(DltExact, MatchesDoublePath) {
+    const auto w_exact = rationals({"3/2", "2", "7/3"});
+    const Rational z_exact = Rational::parse("2/5");
+    const auto alpha_exact = optimal_allocation_generic<Rational>(
+        NetworkKind::kNcpFE, std::span<const Rational>(w_exact), z_exact);
+
+    ProblemInstance instance;
+    instance.kind = NetworkKind::kNcpFE;
+    instance.z = 0.4;
+    instance.w = {1.5, 2.0, 7.0 / 3.0};
+    const auto alpha_double = optimal_allocation(instance);
+
+    for (std::size_t i = 0; i < alpha_double.size(); ++i) {
+        EXPECT_NEAR(alpha_double[i], alpha_exact[i].to_double(), 1e-12);
+    }
+}
+
+TEST(DltExact, CpEqualsNcpFeAllocationExactly) {
+    const auto w = rationals({"3/2", "2", "7/3", "5/4"});
+    const Rational z = Rational::parse("2/5");
+    const auto cp = optimal_allocation_generic<Rational>(NetworkKind::kCP,
+                                                         std::span<const Rational>(w), z);
+    const auto fe = optimal_allocation_generic<Rational>(NetworkKind::kNcpFE,
+                                                         std::span<const Rational>(w), z);
+    for (std::size_t i = 0; i < cp.size(); ++i) EXPECT_EQ(cp[i], fe[i]);
+}
+
+}  // namespace
+}  // namespace dlsbl::dlt

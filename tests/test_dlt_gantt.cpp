@@ -1,0 +1,94 @@
+#include "dlt/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dlt/closed_form.hpp"
+#include "dlt/finish_time.hpp"
+
+namespace dlsbl::dlt {
+namespace {
+
+ProblemInstance make(NetworkKind kind, double z, std::vector<double> w) {
+    ProblemInstance instance;
+    instance.kind = kind;
+    instance.z = z;
+    instance.w = std::move(w);
+    return instance;
+}
+
+TEST(Gantt, CpTimelinesMatchEquationOne) {
+    const auto instance = make(NetworkKind::kCP, 0.5, {1.0, 2.0, 3.0});
+    const LoadAllocation alpha{0.5, 0.3, 0.2};
+    const auto timelines = build_timelines(instance, alpha);
+    ASSERT_EQ(timelines.size(), 3u);
+    // Bus is serial and starts at t=0 (one-port model).
+    double bus = 0.0;
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_DOUBLE_EQ(timelines[i].comm_start, bus);
+        bus += instance.z * alpha[i];
+        EXPECT_DOUBLE_EQ(timelines[i].comm_end, bus);
+        EXPECT_DOUBLE_EQ(timelines[i].compute_start, timelines[i].comm_end);
+        EXPECT_DOUBLE_EQ(timelines[i].compute_end,
+                         timelines[i].compute_start + alpha[i] * instance.w[i]);
+    }
+    // compute_end must equal T_i from eq (1).
+    const auto t = finishing_times(instance, alpha);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_DOUBLE_EQ(timelines[i].compute_end, t[i]);
+    }
+}
+
+TEST(Gantt, NcpFeLoadOriginComputesFromZero) {
+    const auto instance = make(NetworkKind::kNcpFE, 0.5, {1.0, 2.0, 3.0});
+    const auto alpha = optimal_allocation(instance);
+    const auto timelines = build_timelines(instance, alpha);
+    EXPECT_DOUBLE_EQ(timelines[0].comm_start, timelines[0].comm_end);  // no comm
+    EXPECT_DOUBLE_EQ(timelines[0].compute_start, 0.0);                  // Figure 2
+    // Bus carries only α_2 z onward.
+    EXPECT_DOUBLE_EQ(timelines[1].comm_start, 0.0);
+    EXPECT_NEAR(timelines[1].comm_end, instance.z * alpha[1], 1e-15);
+    const auto t = finishing_times(instance, alpha);
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(timelines[i].compute_end, t[i], 1e-12);
+}
+
+TEST(Gantt, NcpNfeLoadOriginComputesLast) {
+    const auto instance = make(NetworkKind::kNcpNFE, 0.5, {1.0, 2.0, 3.0});
+    const auto alpha = optimal_allocation(instance);
+    const auto timelines = build_timelines(instance, alpha);
+    const double all_comm = instance.z * (alpha[0] + alpha[1]);
+    EXPECT_NEAR(timelines[2].compute_start, all_comm, 1e-15);  // Figure 3
+    const auto t = finishing_times(instance, alpha);
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(timelines[i].compute_end, t[i], 1e-12);
+}
+
+TEST(Gantt, OptimalTimelinesEndTogether) {
+    for (NetworkKind kind :
+         {NetworkKind::kCP, NetworkKind::kNcpFE, NetworkKind::kNcpNFE}) {
+        const auto instance = make(kind, 0.3, {1.0, 2.0, 1.5, 0.8});
+        const auto alpha = optimal_allocation(instance);
+        const auto timelines = build_timelines(instance, alpha);
+        for (std::size_t i = 1; i < timelines.size(); ++i) {
+            EXPECT_NEAR(timelines[i].compute_end, timelines[0].compute_end, 1e-10)
+                << to_string(kind);
+        }
+    }
+}
+
+TEST(Gantt, RenderContainsBusAndProcessors) {
+    const auto instance = make(NetworkKind::kCP, 0.5, {1.0, 2.0});
+    const auto alpha = optimal_allocation(instance);
+    const std::string fig = render_figure(instance, alpha);
+    EXPECT_NE(fig.find("BUS"), std::string::npos);
+    EXPECT_NE(fig.find("P1"), std::string::npos);
+    EXPECT_NE(fig.find("P2"), std::string::npos);
+    EXPECT_NE(fig.find('#'), std::string::npos);
+    EXPECT_NE(fig.find('-'), std::string::npos);
+}
+
+TEST(Gantt, SizeMismatchThrows) {
+    const auto instance = make(NetworkKind::kCP, 0.5, {1.0, 2.0});
+    EXPECT_THROW(build_timelines(instance, {1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dlsbl::dlt

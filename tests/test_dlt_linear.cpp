@@ -1,0 +1,133 @@
+// Linear (daisy-chain) network extension.
+#include "dlt/linear.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace dlsbl::dlt {
+namespace {
+
+LinearInstance make(LinearKind kind, double z, std::vector<double> w) {
+    return LinearInstance{kind, z, std::move(w)};
+}
+
+TEST(Linear, Validation) {
+    EXPECT_THROW(make(LinearKind::kLinearFE, 0.1, {}).validate(),
+                 std::invalid_argument);
+    EXPECT_THROW(make(LinearKind::kLinearFE, -0.1, {1.0}).validate(),
+                 std::invalid_argument);
+    EXPECT_THROW(make(LinearKind::kLinearFE, 0.1, {0.0}).validate(),
+                 std::invalid_argument);
+    EXPECT_THROW(linear_finishing_times(make(LinearKind::kLinearFE, 0.1, {1.0, 2.0}),
+                                        {1.0}),
+                 std::invalid_argument);
+}
+
+TEST(Linear, SingleProcessor) {
+    for (auto kind : {LinearKind::kLinearFE, LinearKind::kLinearNFE}) {
+        const auto instance = make(kind, 0.5, {2.0});
+        const auto alpha = linear_optimal_allocation(instance);
+        EXPECT_DOUBLE_EQ(alpha[0], 1.0);
+        EXPECT_DOUBLE_EQ(linear_optimal_makespan(instance), 2.0);
+    }
+}
+
+TEST(Linear, TwoProcessorsFeKnownFormula) {
+    // FE chain, m=2: α_1 w_1 = z α_2 + α_2 w_2 — identical to the bus pair.
+    const double z = 0.5, w1 = 2.0, w2 = 3.0;
+    const auto alpha =
+        linear_optimal_allocation(make(LinearKind::kLinearFE, z, {w1, w2}));
+    EXPECT_NEAR(alpha[0] * w1, alpha[1] * (z + w2), 1e-12);
+    EXPECT_NEAR(alpha[0] + alpha[1], 1.0, 1e-12);
+}
+
+TEST(Linear, TwoProcessorsNfeLastPairRule) {
+    // NFE chain, m=2: neither forwards after P_1's transfer, so
+    // α_1 w_1 = α_2 w_2.
+    const auto alpha =
+        linear_optimal_allocation(make(LinearKind::kLinearNFE, 0.7, {2.0, 3.0}));
+    EXPECT_NEAR(alpha[0] * 2.0, alpha[1] * 3.0, 1e-12);
+}
+
+TEST(Linear, EqualFinishAtOptimum) {
+    for (auto kind : {LinearKind::kLinearFE, LinearKind::kLinearNFE}) {
+        const auto instance = make(kind, 0.2, {1.0, 2.0, 1.4, 0.9, 1.7});
+        const auto alpha = linear_optimal_allocation(instance);
+        const auto t = linear_finishing_times(instance, alpha);
+        for (std::size_t i = 1; i < t.size(); ++i) {
+            EXPECT_NEAR(t[i], t[0], 1e-12) << to_string(kind) << " i=" << i;
+        }
+        double sum = 0.0;
+        for (double a : alpha) {
+            EXPECT_GT(a, 0.0);
+            sum += a;
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-12);
+    }
+}
+
+TEST(Linear, ZeroCommReducesToProportional) {
+    for (auto kind : {LinearKind::kLinearFE, LinearKind::kLinearNFE}) {
+        const auto instance = make(kind, 0.0, {1.0, 2.0, 4.0});
+        const auto alpha = linear_optimal_allocation(instance);
+        const double scale = alpha[0] * 1.0;
+        EXPECT_NEAR(alpha[1] * 2.0, scale, 1e-12);
+        EXPECT_NEAR(alpha[2] * 4.0, scale, 1e-12);
+    }
+}
+
+TEST(Linear, FeBeatsNfe) {
+    // Overlapping compute with forwarding can only help.
+    const std::vector<double> w{1.0, 1.3, 0.8, 1.6};
+    for (double z : {0.05, 0.2, 0.4}) {
+        const double fe = linear_optimal_makespan(make(LinearKind::kLinearFE, z, w));
+        const double nfe = linear_optimal_makespan(make(LinearKind::kLinearNFE, z, w));
+        EXPECT_LT(fe, nfe + 1e-12) << z;
+    }
+}
+
+TEST(Linear, PerturbationsNeverBeatClosedFormModerateZ) {
+    util::Xoshiro256 rng{88};
+    for (auto kind : {LinearKind::kLinearFE, LinearKind::kLinearNFE}) {
+        const auto instance = make(kind, 0.15, {1.0, 2.0, 1.4, 0.9});
+        const auto opt = linear_optimal_allocation(instance);
+        const double best = linear_makespan(instance, opt);
+        for (int trial = 0; trial < 2000; ++trial) {
+            LoadAllocation alpha(4);
+            double sum = 0.0;
+            for (std::size_t i = 0; i < alpha.size(); ++i) {
+                alpha[i] = opt[i] * std::exp(rng.uniform(-0.25, 0.25));
+                sum += alpha[i];
+            }
+            for (double& a : alpha) a /= sum;
+            EXPECT_GE(linear_makespan(instance, alpha), best - 1e-9)
+                << to_string(kind) << " trial " << trial;
+        }
+    }
+}
+
+TEST(Linear, ChainPositionPenalty) {
+    // Homogeneous chain: downstream processors wait longer for data, so the
+    // optimum gives them less load (FE variant).
+    const auto alpha = linear_optimal_allocation(
+        make(LinearKind::kLinearFE, 0.3, {1.0, 1.0, 1.0, 1.0}));
+    for (std::size_t i = 0; i + 1 < alpha.size(); ++i) {
+        EXPECT_GT(alpha[i], alpha[i + 1]) << i;
+    }
+}
+
+TEST(Linear, ArrivalTimesMonotone) {
+    const auto instance = make(LinearKind::kLinearFE, 0.3, {1.0, 1.0, 1.0});
+    const LoadAllocation alpha{0.5, 0.3, 0.2};
+    const auto t = linear_finishing_times(instance, alpha);
+    // P3's data travels two hops: T_3 >= z*(α2+α3) + z*α3 + α3 w3.
+    const double expected_min =
+        0.3 * (0.3 + 0.2) + 0.3 * 0.2 + 0.2 * 1.0;
+    EXPECT_NEAR(t[2], expected_min, 1e-12);
+}
+
+}  // namespace
+}  // namespace dlsbl::dlt

@@ -1,0 +1,137 @@
+// Multiround (multi-installment) scheduling extension.
+#include "dlt/multiround.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dlt/closed_form.hpp"
+#include "dlt/finish_time.hpp"
+
+namespace dlsbl::dlt {
+namespace {
+
+ProblemInstance make(NetworkKind kind, double z, std::vector<double> w) {
+    return ProblemInstance{kind, z, std::move(w)};
+}
+
+TEST(Multiround, SingleRoundMatchesClosedForm) {
+    // R = 1 must reproduce the eqs (1)-(3) finishing-time model exactly.
+    for (NetworkKind kind :
+         {NetworkKind::kCP, NetworkKind::kNcpFE, NetworkKind::kNcpNFE}) {
+        const auto instance = make(kind, 0.4, {1.0, 2.0, 1.4, 0.9});
+        const auto alpha = optimal_allocation(instance);
+        EXPECT_NEAR(multiround_makespan(instance, alpha, 1),
+                    makespan(instance, alpha), 1e-12)
+            << to_string(kind);
+    }
+}
+
+TEST(Multiround, MoreRoundsNeverHurtMuchAndHelpWithBigZ) {
+    // With substantial communication cost, even 2 rounds beat 1.
+    const auto instance = make(NetworkKind::kCP, 0.6, {1.0, 1.0, 1.0, 1.0});
+    const double one = multiround_makespan(instance, 1);
+    const double two = multiround_makespan(instance, 2);
+    const double eight = multiround_makespan(instance, 8);
+    EXPECT_LT(two, one);
+    EXPECT_LT(eight, two);
+}
+
+TEST(Multiround, DiminishingReturns) {
+    const auto instance = make(NetworkKind::kCP, 0.5, {1.0, 1.5, 2.0});
+    const auto study = multiround_study(instance, 32);
+    ASSERT_EQ(study.makespans.size(), 32u);
+    const double gain_first = study.makespans[0] - study.makespans[1];
+    const double gain_late = study.makespans[16] - study.makespans[31];
+    EXPECT_GT(gain_first, gain_late);
+    EXPECT_LE(study.best_makespan, study.single_round_makespan);
+}
+
+TEST(Multiround, ZeroCommMakesRoundsIrrelevant) {
+    const auto instance = make(NetworkKind::kCP, 0.0, {1.0, 2.0, 4.0});
+    const double one = multiround_makespan(instance, 1);
+    for (std::size_t r : {2u, 5u, 16u}) {
+        EXPECT_NEAR(multiround_makespan(instance, r), one, 1e-12) << r;
+    }
+}
+
+TEST(Multiround, NfeLoStillWaitsForBus) {
+    // The front-end-less LO cannot benefit from chunking its own share.
+    const auto instance = make(NetworkKind::kNcpNFE, 0.4, {1.0, 1.0, 2.0});
+    const auto alpha = optimal_allocation(instance);
+    const double total_comm = instance.z * (alpha[0] + alpha[1]);
+    for (std::size_t r : {1u, 4u}) {
+        const double t = multiround_makespan(instance, alpha, r);
+        EXPECT_GE(t, total_comm + alpha[2] * instance.w[2] - 1e-12) << r;
+    }
+}
+
+TEST(Multiround, FeLoUnaffectedByRounds) {
+    // The FE LO's own completion time is α_1 w_1 regardless of R; rounds
+    // only help the workers.
+    const auto instance = make(NetworkKind::kNcpFE, 0.5, {1.0, 1.0});
+    const auto alpha = optimal_allocation(instance);
+    // With m=2 the single worker receives everything in order; chunking
+    // lets it start earlier.
+    const double r1 = multiround_makespan(instance, alpha, 1);
+    const double r4 = multiround_makespan(instance, alpha, 4);
+    EXPECT_LE(r4, r1 + 1e-12);
+}
+
+TEST(Multiround, GeometricRatioOneIsUniform) {
+    const auto instance = make(NetworkKind::kCP, 0.4, {1.0, 2.0, 1.5});
+    const auto alpha = optimal_allocation(instance);
+    for (std::size_t r : {1u, 4u, 9u}) {
+        EXPECT_NEAR(multiround_geometric_makespan(instance, alpha, r, 1.0),
+                    multiround_makespan(instance, alpha, r), 1e-12)
+            << r;
+    }
+}
+
+TEST(Multiround, TunedGeometricBeatsUniform) {
+    // With no per-round overhead, *shrinking* rounds win: a small final
+    // chunk shortens the compute tail after the last transfer (the growing
+    // rounds of UMR-style schemes pay off only when each round carries a
+    // fixed latency overhead, which this model deliberately omits).
+    const auto instance = make(NetworkKind::kCP, 0.5, {1.0, 1.0, 1.0, 1.0});
+    const auto tuning = multiround_tune_ratio(instance, 8);
+    EXPECT_LT(tuning.best_makespan, tuning.uniform_makespan - 1e-9);
+    EXPECT_LT(tuning.best_ratio, 1.0);
+}
+
+TEST(Multiround, GeometricValidation) {
+    const auto instance = make(NetworkKind::kCP, 0.4, {1.0, 2.0});
+    const auto alpha = optimal_allocation(instance);
+    EXPECT_THROW(multiround_geometric_makespan(instance, alpha, 0, 1.0),
+                 std::invalid_argument);
+    EXPECT_THROW(multiround_geometric_makespan(instance, alpha, 4, 0.0),
+                 std::invalid_argument);
+    EXPECT_THROW(multiround_geometric_makespan(instance, alpha, 4, -1.0),
+                 std::invalid_argument);
+}
+
+TEST(Multiround, Validation) {
+    const auto instance = make(NetworkKind::kCP, 0.4, {1.0, 2.0});
+    EXPECT_THROW(multiround_makespan(instance, {1.0}, 2), std::invalid_argument);
+    EXPECT_THROW(multiround_makespan(instance, 0), std::invalid_argument);
+    EXPECT_THROW(multiround_study(instance, 0), std::invalid_argument);
+}
+
+TEST(Multiround, GainIsPeakShapedInCommunicationCost) {
+    // The relative multiround win grows from z = 0 (nothing to overlap) to a
+    // peak at moderate z, then shrinks again once the bus itself becomes the
+    // bottleneck (total transfer time is irreducible by chunking).
+    auto gain_at = [&](double z) {
+        const auto instance = make(NetworkKind::kCP, z, {1.0, 1.0, 1.0, 1.0});
+        const double one = multiround_makespan(instance, 1);
+        const double best = multiround_study(instance, 16).best_makespan;
+        return (one - best) / one;
+    };
+    const double low = gain_at(0.05);
+    const double mid = gain_at(0.3);
+    const double high = gain_at(2.0);
+    EXPECT_GT(low, 0.0);
+    EXPECT_GT(mid, low);
+    EXPECT_LT(high, mid);
+}
+
+}  // namespace
+}  // namespace dlsbl::dlt

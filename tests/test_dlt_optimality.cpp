@@ -1,0 +1,137 @@
+#include "dlt/optimality.hpp"
+#include "dlt/sequencing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dlt/closed_form.hpp"
+#include "dlt/finish_time.hpp"
+
+namespace dlsbl::dlt {
+namespace {
+
+ProblemInstance make(NetworkKind kind, double z, std::vector<double> w) {
+    ProblemInstance instance;
+    instance.kind = kind;
+    instance.z = z;
+    instance.w = std::move(w);
+    return instance;
+}
+
+TEST(Optimality, ResidualZeroAtOptimum) {
+    const auto instance = make(NetworkKind::kNcpFE, 0.4, {1.0, 2.0, 3.0});
+    EXPECT_NEAR(equal_finish_residual(instance, optimal_allocation(instance)), 0.0,
+                1e-12);
+}
+
+TEST(Optimality, ResidualPositiveOffOptimum) {
+    const auto instance = make(NetworkKind::kNcpFE, 0.4, {1.0, 2.0, 3.0});
+    EXPECT_GT(equal_finish_residual(instance, {0.5, 0.3, 0.2}), 1e-3);
+}
+
+TEST(Optimality, PerturbationsNeverBeatClosedForm) {
+    util::Xoshiro256 rng{7};
+    for (NetworkKind kind :
+         {NetworkKind::kCP, NetworkKind::kNcpFE, NetworkKind::kNcpNFE}) {
+        const auto instance = make(kind, 0.35, {1.0, 2.7, 0.6, 3.3, 1.4});
+        const auto report = perturbation_dominance(instance, 2000, rng);
+        EXPECT_EQ(report.violations, 0u) << to_string(kind)
+                                         << " worst=" << report.worst_margin;
+        EXPECT_EQ(report.trials, 2000u);
+    }
+}
+
+TEST(Optimality, PerturbationDominanceAcrossCommRange) {
+    // For NCP-NFE, equal-finish is optimal exactly in the full-participation
+    // regime z <= w_m (here w_m = 3). Outside it, moving load back to the
+    // front-end-less LO beats the closed form — the condition the paper's
+    // Theorem 2.1 implicitly assumes.
+    util::Xoshiro256 rng{13};
+    for (double z : {0.0, 0.05, 0.5, 2.0, 10.0}) {
+        const auto instance = make(NetworkKind::kNcpNFE, z, {2.0, 1.0, 1.5, 3.0});
+        const auto report = perturbation_dominance(instance, 500, rng);
+        if (full_participation_optimal(instance)) {
+            EXPECT_EQ(report.violations, 0u) << "z=" << z;
+        } else {
+            EXPECT_GT(report.violations, 0u) << "z=" << z;
+        }
+    }
+}
+
+TEST(Optimality, FullParticipationCondition) {
+    // CP and NCP-FE: optimal for every z.
+    EXPECT_TRUE(full_participation_optimal(make(NetworkKind::kCP, 100.0, {1.0, 2.0})));
+    EXPECT_TRUE(
+        full_participation_optimal(make(NetworkKind::kNcpFE, 100.0, {1.0, 2.0})));
+    // NCP-NFE: z <= w_m.
+    EXPECT_TRUE(
+        full_participation_optimal(make(NetworkKind::kNcpNFE, 2.0, {1.0, 3.0})));
+    EXPECT_TRUE(
+        full_participation_optimal(make(NetworkKind::kNcpNFE, 3.0, {1.0, 3.0})));
+    EXPECT_FALSE(
+        full_participation_optimal(make(NetworkKind::kNcpNFE, 3.1, {1.0, 3.0})));
+}
+
+TEST(Optimality, NfeOutsideRegimeLoBeatsClosedForm) {
+    // Direct witness: with z > w_m, giving everything to the LO beats the
+    // equal-finish allocation.
+    const auto instance = make(NetworkKind::kNcpNFE, 10.0, {1.0, 1.0});
+    const double closed = optimal_makespan(instance);
+    const double lo_only = makespan(instance, {0.0, 1.0});
+    EXPECT_LT(lo_only, closed);
+}
+
+TEST(Sequencing, RemoveProcessorShrinksSystem) {
+    const auto instance = make(NetworkKind::kNcpFE, 0.4, {1.0, 2.0, 3.0});
+    const auto reduced = remove_processor(instance, 1);
+    ASSERT_EQ(reduced.w.size(), 2u);
+    EXPECT_DOUBLE_EQ(reduced.w[0], 1.0);
+    EXPECT_DOUBLE_EQ(reduced.w[1], 3.0);
+    EXPECT_EQ(reduced.kind, NetworkKind::kNcpFE);
+}
+
+TEST(Sequencing, RemovingLoadOriginBecomesCp) {
+    // NCP-FE: LO is P_1; removing it leaves the data holder as distributor
+    // only, which is the CP configuration.
+    const auto fe = make(NetworkKind::kNcpFE, 0.4, {1.0, 2.0, 3.0});
+    EXPECT_EQ(remove_processor(fe, 0).kind, NetworkKind::kCP);
+    // NCP-NFE: LO is P_m.
+    const auto nfe = make(NetworkKind::kNcpNFE, 0.4, {1.0, 2.0, 3.0});
+    EXPECT_EQ(remove_processor(nfe, 2).kind, NetworkKind::kCP);
+    EXPECT_EQ(remove_processor(nfe, 0).kind, NetworkKind::kNcpNFE);
+}
+
+TEST(Sequencing, RemoveValidation) {
+    const auto instance = make(NetworkKind::kCP, 0.4, {1.0});
+    EXPECT_THROW(remove_processor(instance, 0), std::invalid_argument);
+    const auto two = make(NetworkKind::kCP, 0.4, {1.0, 2.0});
+    EXPECT_THROW(remove_processor(two, 2), std::out_of_range);
+}
+
+TEST(Sequencing, LeaveOneOutIncreasesMakespan) {
+    // Theorem 2.1 says all processors participate at the optimum, so
+    // removing any one must not help.
+    const auto instance = make(NetworkKind::kNcpFE, 0.3, {1.0, 2.0, 1.5, 2.5});
+    const double full = optimal_makespan(instance);
+    for (std::size_t i = 0; i < instance.w.size(); ++i) {
+        EXPECT_GE(leave_one_out_makespan(instance, i), full - 1e-12) << i;
+    }
+}
+
+TEST(Sequencing, PermutationInvarianceTheorem22) {
+    for (NetworkKind kind :
+         {NetworkKind::kCP, NetworkKind::kNcpFE, NetworkKind::kNcpNFE}) {
+        const auto instance = make(kind, 0.45, {1.0, 2.0, 0.5, 3.0, 1.2});
+        const auto study = makespan_over_permutations(instance, 40, 99);
+        EXPECT_EQ(study.makespans.size(), 40u);
+        EXPECT_NEAR(study.max, study.min, 1e-10 * study.max) << to_string(kind);
+    }
+}
+
+TEST(Sequencing, PermutationStudyKeepsOptimal) {
+    const auto instance = make(NetworkKind::kCP, 0.45, {1.0, 2.0, 3.0});
+    const auto study = makespan_over_permutations(instance, 10, 1);
+    EXPECT_NEAR(study.makespans[0], optimal_makespan(instance), 1e-12);
+}
+
+}  // namespace
+}  // namespace dlsbl::dlt

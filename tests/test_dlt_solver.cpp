@@ -1,0 +1,94 @@
+#include "dlt/linear_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "dlt/closed_form.hpp"
+#include "dlt/finish_time.hpp"
+#include "util/rng.hpp"
+
+namespace dlsbl::dlt {
+namespace {
+
+TEST(LinearSolver, SolvesKnownSystem) {
+    // [2 1; 1 3] x = [5; 10]  =>  x = [1, 3]
+    const auto x = solve_linear_system({2.0, 1.0, 1.0, 3.0}, {5.0, 10.0}, 2);
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LinearSolver, PivotingHandlesZeroDiagonal) {
+    // [0 1; 1 0] x = [2; 3]  =>  x = [3, 2]
+    const auto x = solve_linear_system({0.0, 1.0, 1.0, 0.0}, {2.0, 3.0}, 2);
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(LinearSolver, SingularThrows) {
+    EXPECT_THROW(solve_linear_system({1.0, 2.0, 2.0, 4.0}, {1.0, 2.0}, 2),
+                 std::domain_error);
+}
+
+TEST(LinearSolver, DimensionMismatchThrows) {
+    EXPECT_THROW(solve_linear_system({1.0, 2.0}, {1.0}, 2), std::invalid_argument);
+    EXPECT_THROW(solve_linear_system({1.0}, {1.0, 2.0}, 1), std::invalid_argument);
+}
+
+TEST(LinearSolver, RandomSystemsRoundTrip) {
+    util::Xoshiro256 rng{2024};
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t n = 1 + trial % 8;
+        std::vector<double> a(n * n), x_true(n), b(n, 0.0);
+        for (auto& v : a) v = rng.uniform(-2.0, 2.0);
+        for (auto& v : x_true) v = rng.uniform(-5.0, 5.0);
+        for (std::size_t i = 0; i < n; ++i) {
+            a[i * n + i] += 4.0;  // diagonally dominant => nonsingular
+            for (std::size_t j = 0; j < n; ++j) b[i] += a[i * n + j] * x_true[j];
+        }
+        const auto x = solve_linear_system(a, b, n);
+        for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+    }
+}
+
+class SolverVsClosedForm
+    : public ::testing::TestWithParam<std::tuple<NetworkKind, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(AllKindsAndSizes, SolverVsClosedForm,
+                         ::testing::Combine(::testing::Values(NetworkKind::kCP,
+                                                              NetworkKind::kNcpFE,
+                                                              NetworkKind::kNcpNFE),
+                                            ::testing::Values(1, 2, 3, 4, 7, 12, 25)));
+
+TEST_P(SolverVsClosedForm, IndependentDerivationsAgree) {
+    const auto [kind, m] = GetParam();
+    util::Xoshiro256 rng{static_cast<std::uint64_t>(m) * 31 +
+                         static_cast<std::uint64_t>(kind)};
+    for (int trial = 0; trial < 20; ++trial) {
+        ProblemInstance instance;
+        instance.kind = kind;
+        instance.z = rng.uniform(0.01, 3.0);
+        instance.w.resize(static_cast<std::size_t>(m));
+        for (double& wi : instance.w) wi = rng.uniform(0.2, 9.0);
+
+        const auto closed = optimal_allocation(instance);
+        const auto solved = optimal_allocation_by_solver(instance);
+        ASSERT_EQ(closed.size(), solved.size());
+        for (std::size_t i = 0; i < closed.size(); ++i) {
+            EXPECT_NEAR(closed[i], solved[i], 1e-9) << "i=" << i;
+        }
+    }
+}
+
+TEST(SolverOptimal, EqualFinishHolds) {
+    ProblemInstance instance;
+    instance.kind = NetworkKind::kNcpNFE;
+    instance.z = 0.8;
+    instance.w = {2.0, 1.0, 3.0, 1.5, 2.5};
+    const auto alpha = optimal_allocation_by_solver(instance);
+    const auto t = finishing_times(instance, alpha);
+    for (double ti : t) EXPECT_NEAR(ti, t[0], 1e-10);
+}
+
+}  // namespace
+}  // namespace dlsbl::dlt

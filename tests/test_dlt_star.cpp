@@ -1,0 +1,127 @@
+// Star-network extension: heterogeneous links, where — unlike the bus
+// (Theorem 2.2) — the activation order matters and the optimal order serves
+// the fastest links first.
+#include "dlt/star.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dlt/closed_form.hpp"
+#include "dlt/finish_time.hpp"
+#include "util/rng.hpp"
+
+namespace dlsbl::dlt {
+namespace {
+
+TEST(Star, Validation) {
+    StarInstance bad;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+    bad.w = {1.0, 2.0};
+    bad.z = {0.1};
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+    bad.z = {0.1, -0.2};
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+    bad.z = {0.1, 0.2};
+    bad.w = {1.0, 0.0};
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(Star, HomogeneousLinksReduceToBus) {
+    StarInstance star{{0.4, 0.4, 0.4}, {1.0, 2.0, 3.0}};
+    const auto bus = star.as_bus(NetworkKind::kCP);
+    const auto star_alpha = star_optimal_allocation(star);
+    const auto bus_alpha = optimal_allocation(bus);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_NEAR(star_alpha[i], bus_alpha[i], 1e-12);
+    }
+    EXPECT_NEAR(star_optimal_makespan(star), optimal_makespan(bus), 1e-12);
+}
+
+TEST(Star, AsBusRejectsHeterogeneous) {
+    StarInstance star{{0.4, 0.5}, {1.0, 2.0}};
+    EXPECT_THROW(star.as_bus(NetworkKind::kCP), std::invalid_argument);
+}
+
+TEST(Star, EqualFinishAtOptimum) {
+    StarInstance star{{0.1, 0.5, 0.3, 0.2}, {1.0, 2.0, 1.5, 0.8}};
+    const auto alpha = star_optimal_allocation(star);
+    const auto t = star_finishing_times(star, alpha);
+    for (std::size_t i = 1; i < t.size(); ++i) EXPECT_NEAR(t[i], t[0], 1e-12);
+    double sum = 0.0;
+    for (double a : alpha) {
+        EXPECT_GT(a, 0.0);
+        sum += a;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Star, RecurrenceHolds) {
+    StarInstance star{{0.1, 0.5, 0.3}, {1.0, 2.0, 1.5}};
+    const auto alpha = star_optimal_allocation(star);
+    for (std::size_t i = 0; i + 1 < 3; ++i) {
+        EXPECT_NEAR(alpha[i] * star.w[i], alpha[i + 1] * (star.z[i + 1] + star.w[i + 1]),
+                    1e-12);
+    }
+}
+
+TEST(Star, OrderMattersWithHeterogeneousLinks) {
+    // Contrast with Theorem 2.2: permuting processors changes the makespan.
+    StarInstance star{{0.05, 0.8, 0.3}, {1.0, 1.0, 1.0}};
+    const auto search = star_search_orders(star);
+    EXPECT_GT(search.worst_makespan, search.best_makespan + 1e-6);
+}
+
+TEST(Star, BandwidthOrderIsOptimal) {
+    // Fastest-link-first matches exhaustive search across random instances.
+    util::Xoshiro256 rng{31};
+    for (int trial = 0; trial < 40; ++trial) {
+        const std::size_t m = 2 + trial % 5;  // up to 6 -> 720 permutations
+        StarInstance star;
+        star.z.resize(m);
+        star.w.resize(m);
+        for (std::size_t i = 0; i < m; ++i) {
+            star.z[i] = rng.uniform(0.05, 1.0);
+            star.w[i] = rng.uniform(0.5, 4.0);
+        }
+        const auto order = star_bandwidth_order(star);
+        const double bandwidth_makespan =
+            star_optimal_makespan(star_reorder(star, order));
+        const auto search = star_search_orders(star);
+        EXPECT_NEAR(bandwidth_makespan, search.best_makespan,
+                    1e-9 * search.best_makespan)
+            << "trial " << trial;
+    }
+}
+
+TEST(Star, BandwidthOrderIndependentOfW) {
+    StarInstance star{{0.5, 0.1, 0.3}, {0.1, 10.0, 1.0}};
+    const auto order = star_bandwidth_order(star);
+    EXPECT_EQ(order, (std::vector<std::size_t>{1, 2, 0}));
+}
+
+TEST(Star, ReorderValidation) {
+    StarInstance star{{0.1, 0.2}, {1.0, 2.0}};
+    EXPECT_THROW(star_reorder(star, {0}), std::invalid_argument);
+    StarInstance big;
+    big.z.assign(9, 0.1);
+    big.w.assign(9, 1.0);
+    EXPECT_THROW(star_search_orders(big), std::invalid_argument);
+}
+
+TEST(Star, SingleProcessor) {
+    StarInstance star{{0.4}, {2.0}};
+    const auto alpha = star_optimal_allocation(star);
+    EXPECT_DOUBLE_EQ(alpha[0], 1.0);
+    EXPECT_DOUBLE_EQ(star_optimal_makespan(star), 0.4 + 2.0);
+}
+
+TEST(Star, FasterLinkEarlierGetsMoreLoad) {
+    // With equal compute speeds, the first-served (fastest link) processor
+    // carries the largest share.
+    StarInstance star{{0.05, 0.2, 0.6}, {1.0, 1.0, 1.0}};
+    const auto alpha = star_optimal_allocation(star);
+    EXPECT_GT(alpha[0], alpha[1]);
+    EXPECT_GT(alpha[1], alpha[2]);
+}
+
+}  // namespace
+}  // namespace dlsbl::dlt

@@ -1,0 +1,154 @@
+// Best-response dynamics (mech) + the repeated-job marketplace (protocol).
+#include <gtest/gtest.h>
+
+#include "agents/zoo.hpp"
+#include "mech/dynamics.hpp"
+#include "protocol/marketplace.hpp"
+#include "util/rng.hpp"
+
+namespace dlsbl {
+namespace {
+
+// ---- best-response dynamics --------------------------------------------------
+
+TEST(Dynamics, BestResponseToAnyProfileIsTruthful) {
+    // Dominant strategy: the best response is factor 1.0 regardless of what
+    // the others currently bid.
+    const std::vector<double> w{1.0, 2.0, 1.5, 0.8};
+    util::Xoshiro256 rng{14};
+    for (auto kind : {dlt::NetworkKind::kCP, dlt::NetworkKind::kNcpFE,
+                      dlt::NetworkKind::kNcpNFE}) {
+        for (int trial = 0; trial < 10; ++trial) {
+            std::vector<double> bids(w.size());
+            for (std::size_t i = 0; i < w.size(); ++i) {
+                bids[i] = w[i] * rng.uniform(0.3, 3.0);
+            }
+            for (std::size_t i = 0; i < w.size(); ++i) {
+                EXPECT_DOUBLE_EQ(
+                    mech::best_response_factor(kind, 0.25, w, bids, i), 1.0)
+                    << dlt::to_string(kind) << " agent " << i;
+            }
+        }
+    }
+}
+
+TEST(Dynamics, ConvergesToTruthInOneRound) {
+    const std::vector<double> w{1.0, 2.0, 1.5};
+    const auto result = mech::run_best_response_dynamics(
+        dlt::NetworkKind::kNcpFE, 0.25, w, {0.4, 2.5, 5.0});
+    EXPECT_TRUE(result.converged);
+    EXPECT_TRUE(result.truthful_fixed_point);
+    // Dominance makes convergence immediate: one update round.
+    EXPECT_LE(result.rounds_to_converge, 1u);
+}
+
+TEST(Dynamics, TruthfulProfileIsFixedPoint) {
+    const std::vector<double> w{1.0, 2.0, 1.5};
+    const auto result = mech::run_best_response_dynamics(
+        dlt::NetworkKind::kNcpNFE, 0.25, w, {1.0, 1.0, 1.0});
+    EXPECT_TRUE(result.converged);
+    EXPECT_EQ(result.rounds_to_converge, 0u);
+    EXPECT_TRUE(result.truthful_fixed_point);
+}
+
+TEST(Dynamics, HistoryRecordsTrajectory) {
+    const std::vector<double> w{1.0, 2.0};
+    const auto result = mech::run_best_response_dynamics(
+        dlt::NetworkKind::kNcpFE, 0.2, w, {3.0, 0.25});
+    ASSERT_GE(result.factor_history.size(), 2u);
+    EXPECT_EQ(result.factor_history.front(), (std::vector<double>{3.0, 0.25}));
+    EXPECT_EQ(result.factor_history.back(), (std::vector<double>{1.0, 1.0}));
+}
+
+TEST(Dynamics, Validation) {
+    const std::vector<double> w{1.0, 2.0};
+    EXPECT_THROW(
+        mech::best_response_factor(dlt::NetworkKind::kCP, 0.2, w, {1.0}, 0),
+        std::invalid_argument);
+    EXPECT_THROW(
+        mech::best_response_factor(dlt::NetworkKind::kCP, 0.2, w, {1.0, 2.0}, 5),
+        std::out_of_range);
+    EXPECT_THROW(mech::run_best_response_dynamics(dlt::NetworkKind::kCP, 0.2, w,
+                                                  {1.0}),
+                 std::invalid_argument);
+}
+
+// ---- marketplace -----------------------------------------------------------------
+
+protocol::MarketConfig small_market() {
+    protocol::MarketConfig config;
+    config.owners = {
+        {"honest-a", agents::truthful()},
+        {"honest-b", agents::truthful()},
+        {"liar", agents::misreporter(1.5)},
+        {"cheat", agents::false_short_claimer()},
+    };
+    config.jobs = 8;
+    config.seed = 9;
+    config.block_count = 900;
+    return config;
+}
+
+TEST(Marketplace, Validation) {
+    protocol::MarketConfig config;
+    EXPECT_THROW(protocol::run_marketplace(config), std::invalid_argument);
+    config = small_market();
+    config.jobs = 0;
+    EXPECT_THROW(protocol::run_marketplace(config), std::invalid_argument);
+    config = small_market();
+    config.fixed_fine = 0.0;
+    EXPECT_THROW(protocol::run_marketplace(config), std::invalid_argument);
+}
+
+TEST(Marketplace, HonestOwnersNeverFinedNeverLose) {
+    const auto report = protocol::run_marketplace(small_market());
+    EXPECT_EQ(report.jobs_run, 8u);
+    for (const char* label : {"honest-a", "honest-b"}) {
+        const auto& account = report.account(label);
+        EXPECT_EQ(account.times_fined, 0u) << label;
+        EXPECT_GT(account.total_utility, 0.0) << label;
+        EXPECT_DOUBLE_EQ(account.gain_from_strategy(), 0.0) << label;
+    }
+}
+
+TEST(Marketplace, NoStrategyBeatsItsHonestCounterfactual) {
+    const auto report = protocol::run_marketplace(small_market());
+    for (const auto& account : report.accounts) {
+        // Block-rounding tolerance per job.
+        EXPECT_LE(account.gain_from_strategy(), 8 * 2e-3) << account.label;
+    }
+}
+
+TEST(Marketplace, CheaterFinedOnFeJobs) {
+    // The fake-shortage deviation only fires when the cheater *receives*
+    // load (on NFE jobs its slot may be the LO); it must be fined on every
+    // job where it deviates and end deeply negative.
+    const auto report = protocol::run_marketplace(small_market());
+    const auto& cheat = report.account("cheat");
+    EXPECT_GT(cheat.times_fined, 0u);
+    EXPECT_LT(cheat.total_utility, 0.0);
+    EXPECT_EQ(report.jobs_terminated, cheat.times_fined);
+}
+
+TEST(Marketplace, DeterministicForSeed) {
+    const auto a = protocol::run_marketplace(small_market());
+    const auto b = protocol::run_marketplace(small_market());
+    for (std::size_t i = 0; i < a.accounts.size(); ++i) {
+        EXPECT_EQ(a.accounts[i].total_utility, b.accounts[i].total_utility);
+    }
+    EXPECT_EQ(a.total_user_spend, b.total_user_spend);
+}
+
+TEST(Marketplace, CounterfactualCanBeDisabled) {
+    auto config = small_market();
+    config.with_counterfactual = false;
+    const auto report = protocol::run_marketplace(config);
+    // Without replays the counterfactual column mirrors actuals (gain 0).
+    for (const auto& account : report.accounts) {
+        EXPECT_DOUBLE_EQ(account.gain_from_strategy(), 0.0) << account.label;
+    }
+    EXPECT_THROW((void)report.account("nobody"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace dlsbl

@@ -1,0 +1,77 @@
+// Exact-rational certificate for the DLS-BL bonus identity: for a truthful
+// profile, B_i = T(α(b₋ᵢ), b₋ᵢ) − T(α(b), b), computed with *no* floating
+// point, must match the double-path mechanism to near machine precision.
+#include <gtest/gtest.h>
+
+#include "dlt/closed_form.hpp"
+#include "dlt/finish_time.hpp"
+#include "mech/dls_bl.hpp"
+#include "util/rational.hpp"
+
+namespace dlsbl::mech {
+namespace {
+
+using util::Rational;
+
+Rational exact_makespan(dlt::NetworkKind kind, const std::vector<Rational>& w,
+                        const Rational& z) {
+    const auto alpha = dlt::optimal_allocation_generic<Rational>(
+        kind, std::span<const Rational>(w), z);
+    const auto t = dlt::finishing_times_generic<Rational>(
+        kind, std::span<const Rational>(alpha), std::span<const Rational>(w), z);
+    Rational best = t[0];
+    for (const auto& ti : t) {
+        if (ti > best) best = ti;
+    }
+    return best;
+}
+
+TEST(ExactMechanism, BonusIdentityExactVsDouble) {
+    // w = {3/2, 2, 5/4, 9/5}, z = 1/4 — all exactly representable.
+    const std::vector<Rational> w_exact{Rational::parse("3/2"), Rational::parse("2"),
+                                        Rational::parse("5/4"), Rational::parse("9/5")};
+    const Rational z_exact = Rational::parse("1/4");
+    const std::vector<double> w{1.5, 2.0, 1.25, 1.8};
+    const double z = 0.25;
+
+    for (auto kind : {dlt::NetworkKind::kCP, dlt::NetworkKind::kNcpFE,
+                      dlt::NetworkKind::kNcpNFE}) {
+        const DlsBl mechanism(kind, z, w);
+        const Rational t_full = exact_makespan(kind, w_exact, z_exact);
+
+        for (std::size_t i = 0; i < w.size(); ++i) {
+            // Leave-one-out system, honoring the LO-removal rule: removing
+            // the load origin of an NCP system leaves a CP system.
+            std::vector<Rational> reduced = w_exact;
+            reduced.erase(reduced.begin() + static_cast<std::ptrdiff_t>(i));
+            dlt::NetworkKind reduced_kind = kind;
+            if (kind != dlt::NetworkKind::kCP &&
+                i == dlt::load_origin_index(kind, w.size())) {
+                reduced_kind = dlt::NetworkKind::kCP;
+            }
+            const Rational t_excl = exact_makespan(reduced_kind, reduced, z_exact);
+            const Rational bonus_exact = t_excl - t_full;
+            EXPECT_NEAR(mechanism.bonus_of(i, w[i]), bonus_exact.to_double(), 1e-12)
+                << dlt::to_string(kind) << " i=" << i;
+            // Voluntary participation, proven exactly: B_i >= 0.
+            EXPECT_GE(bonus_exact, Rational{0}) << dlt::to_string(kind) << " i=" << i;
+        }
+    }
+}
+
+TEST(ExactMechanism, ExactAllocationSumsToOneAllKinds) {
+    const std::vector<Rational> w{Rational::parse("7/3"), Rational::parse("11/4"),
+                                  Rational::parse("5/2")};
+    const Rational z = Rational::parse("3/7");
+    for (auto kind : {dlt::NetworkKind::kCP, dlt::NetworkKind::kNcpFE,
+                      dlt::NetworkKind::kNcpNFE}) {
+        const auto alpha = dlt::optimal_allocation_generic<Rational>(
+            kind, std::span<const Rational>(w), z);
+        Rational sum;
+        for (const auto& a : alpha) sum += a;
+        EXPECT_EQ(sum, Rational{1}) << dlt::to_string(kind);
+    }
+}
+
+}  // namespace
+}  // namespace dlsbl::mech

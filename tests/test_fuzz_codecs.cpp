@@ -1,0 +1,121 @@
+// Adversarial-input robustness: every wire decoder must survive arbitrary
+// bytes (returning nullopt, never crashing or throwing) — a processor can
+// feed the referee or its peers anything at all.
+#include <gtest/gtest.h>
+
+#include "crypto/lamport.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/mss.hpp"
+#include "crypto/pki.hpp"
+#include "protocol/blocks.hpp"
+#include "protocol/messages.hpp"
+#include "util/rng.hpp"
+
+namespace dlsbl {
+namespace {
+
+util::Bytes random_bytes(util::Xoshiro256& rng, std::size_t max_len) {
+    util::Bytes out(static_cast<std::size_t>(rng.uniform_int(0, max_len)));
+    for (auto& b : out) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    return out;
+}
+
+template <typename T>
+void fuzz_decoder(std::uint64_t seed, std::size_t iterations, std::size_t max_len) {
+    util::Xoshiro256 rng{seed};
+    for (std::size_t i = 0; i < iterations; ++i) {
+        const util::Bytes data = random_bytes(rng, max_len);
+        // Must not throw; any parse success must at least round-trip without
+        // crashing.
+        const auto parsed = T::deserialize(data);
+        if (parsed.has_value()) {
+            (void)parsed->serialize();
+        }
+    }
+}
+
+TEST(FuzzCodecs, BidBody) { fuzz_decoder<protocol::BidBody>(1, 3000, 128); }
+TEST(FuzzCodecs, LoadBatch) { fuzz_decoder<protocol::LoadBatch>(2, 2000, 512); }
+TEST(FuzzCodecs, DoubleBidEvidence) {
+    fuzz_decoder<protocol::DoubleBidEvidence>(3, 2000, 512);
+}
+TEST(FuzzCodecs, AllocComplaint) {
+    fuzz_decoder<protocol::AllocComplaintBody>(4, 2000, 512);
+}
+TEST(FuzzCodecs, BidVector) { fuzz_decoder<protocol::BidVectorBody>(5, 2000, 512); }
+TEST(FuzzCodecs, MediateRequest) {
+    fuzz_decoder<protocol::MediateRequestBody>(6, 3000, 256);
+}
+TEST(FuzzCodecs, MeterVector) { fuzz_decoder<protocol::MeterVectorBody>(7, 3000, 256); }
+TEST(FuzzCodecs, PaymentBody) { fuzz_decoder<protocol::PaymentBody>(8, 3000, 256); }
+TEST(FuzzCodecs, TerminateBody) { fuzz_decoder<protocol::TerminateBody>(9, 3000, 256); }
+TEST(FuzzCodecs, Block) { fuzz_decoder<protocol::Block>(10, 2000, 512); }
+TEST(FuzzCodecs, SignedMessage) { fuzz_decoder<crypto::SignedMessage>(11, 3000, 512); }
+TEST(FuzzCodecs, MerkleProof) { fuzz_decoder<crypto::MerkleProof>(12, 3000, 512); }
+TEST(FuzzCodecs, MssSignature) { fuzz_decoder<crypto::MssSignature>(13, 500, 20000); }
+TEST(FuzzCodecs, LamportSignature) {
+    fuzz_decoder<crypto::LamportSignature>(14, 200, 20000);
+}
+
+// Mutation fuzzing: take a VALID encoding, flip random bytes, and require
+// graceful handling — and, for signed content, rejection by verification.
+TEST(FuzzCodecs, MutatedSignedMessagesNeverVerify) {
+    crypto::Pki pki;
+    auto signer =
+        crypto::make_registered_signer(pki, "P1", 7, crypto::SignatureAlgorithm::kFast);
+    protocol::BidBody bid{1, "P1", 1.5};
+    const auto msg = crypto::sign_message(*signer, "P1", bid.serialize());
+    const util::Bytes wire = msg.serialize();
+
+    util::Xoshiro256 rng{99};
+    int accepted_mutants = 0;
+    for (int trial = 0; trial < 2000; ++trial) {
+        util::Bytes mutated = wire;
+        const std::size_t flips = 1 + rng.uniform_int(0, 3);
+        for (std::size_t f = 0; f < flips; ++f) {
+            const std::size_t pos =
+                static_cast<std::size_t>(rng.uniform_int(0, mutated.size() - 1));
+            mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.uniform_int(0, 254));
+        }
+        if (mutated == wire) continue;
+        const auto parsed = crypto::SignedMessage::deserialize(mutated);
+        if (parsed && parsed->verify(pki) && parsed->payload == msg.payload &&
+            parsed->signer == msg.signer) {
+            ++accepted_mutants;  // only possible if mutation hit redundant bytes
+        }
+    }
+    EXPECT_EQ(accepted_mutants, 0);
+}
+
+TEST(FuzzCodecs, TruncatedValidEncodingsRejected) {
+    protocol::MeterVectorBody body;
+    body.job_id = 5;
+    body.phis = {{"P1", 0.25}, {"P2", 0.5}, {"P3", 0.75}};
+    const util::Bytes wire = body.serialize();
+    for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+        const auto parsed = protocol::MeterVectorBody::deserialize(
+            std::span<const std::uint8_t>(wire.data(), cut));
+        EXPECT_FALSE(parsed.has_value()) << "cut at " << cut;
+    }
+}
+
+TEST(FuzzCodecs, BlockMutationsFailIntegrity) {
+    protocol::DataSet data(3, 16);
+    const protocol::Block block = data.block(7);
+    const util::Bytes wire = block.serialize();
+    util::Xoshiro256 rng{5};
+    for (int trial = 0; trial < 500; ++trial) {
+        util::Bytes mutated = wire;
+        const std::size_t pos =
+            static_cast<std::size_t>(rng.uniform_int(0, mutated.size() - 1));
+        mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.uniform_int(0, 254));
+        const auto parsed = protocol::Block::deserialize(mutated);
+        if (parsed.has_value()) {
+            EXPECT_FALSE(protocol::DataSet::verify_block(data.root(), *parsed))
+                << "mutation at " << pos;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace dlsbl

@@ -1,0 +1,62 @@
+#include "crypto/hmac.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+
+namespace dlsbl::crypto {
+namespace {
+
+std::string mac_hex(const util::Bytes& key, const util::Bytes& msg) {
+    const Digest d = hmac_sha256(key, msg);
+    return util::to_hex(std::span<const std::uint8_t>(d.data(), d.size()));
+}
+
+// RFC 4231 test vectors for HMAC-SHA-256.
+TEST(Hmac, Rfc4231Case1) {
+    const util::Bytes key(20, 0x0b);
+    EXPECT_EQ(mac_hex(key, util::to_bytes("Hi There")),
+              "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+    EXPECT_EQ(mac_hex(util::to_bytes("Jefe"),
+                      util::to_bytes("what do ya want for nothing?")),
+              "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+    const util::Bytes key(20, 0xaa);
+    const util::Bytes msg(50, 0xdd);
+    EXPECT_EQ(mac_hex(key, msg),
+              "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+    const util::Bytes key(131, 0xaa);
+    EXPECT_EQ(mac_hex(key, util::to_bytes(
+                               "Test Using Larger Than Block-Size Key - Hash Key First")),
+              "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, KeySensitivity) {
+    const util::Bytes msg = util::to_bytes("message");
+    const Digest a = hmac_sha256(util::to_bytes("key-a"), msg);
+    const Digest b = hmac_sha256(util::to_bytes("key-b"), msg);
+    EXPECT_NE(a, b);
+}
+
+TEST(Hmac, MessageSensitivity) {
+    const util::Bytes key = util::to_bytes("key");
+    EXPECT_NE(hmac_sha256(key, util::to_bytes("m1")),
+              hmac_sha256(key, util::to_bytes("m2")));
+}
+
+TEST(Hmac, EmptyKeyAndMessageDefined) {
+    const Digest d = hmac_sha256(util::Bytes{}, util::Bytes{});
+    EXPECT_EQ(util::to_hex(std::span<const std::uint8_t>(d.data(), d.size())),
+              "b613679a0814d9ec772f95d778c35fc5ff1697c493715653c6c712144292c5ad");
+}
+
+}  // namespace
+}  // namespace dlsbl::crypto

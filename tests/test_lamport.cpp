@@ -1,0 +1,88 @@
+#include "crypto/lamport.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+
+namespace dlsbl::crypto {
+namespace {
+
+Digest seed(int n) {
+    return Sha256::hash("lamport-test-seed-" + std::to_string(n));
+}
+
+TEST(Lamport, SignVerifyRoundTrip) {
+    LamportKeyPair key(seed(1));
+    const util::Bytes msg = util::to_bytes("bid: 1.25 from P3");
+    const LamportSignature sig = key.sign(msg);
+    EXPECT_TRUE(LamportKeyPair::verify(key.public_key(), msg, sig));
+}
+
+TEST(Lamport, RejectsTamperedMessage) {
+    LamportKeyPair key(seed(2));
+    const util::Bytes msg = util::to_bytes("bid: 1.25 from P3");
+    const LamportSignature sig = key.sign(msg);
+    util::Bytes tampered = msg;
+    tampered[5] ^= 0x01;
+    EXPECT_FALSE(LamportKeyPair::verify(key.public_key(), tampered, sig));
+}
+
+TEST(Lamport, RejectsWrongKey) {
+    LamportKeyPair alice(seed(3));
+    LamportKeyPair bob(seed(4));
+    const util::Bytes msg = util::to_bytes("payment vector");
+    const LamportSignature sig = alice.sign(msg);
+    EXPECT_FALSE(LamportKeyPair::verify(bob.public_key(), msg, sig));
+}
+
+TEST(Lamport, RejectsTamperedSignature) {
+    LamportKeyPair key(seed(5));
+    const util::Bytes msg = util::to_bytes("allocation");
+    LamportSignature sig = key.sign(msg);
+    sig.revealed[17][0] ^= 0xff;
+    EXPECT_FALSE(LamportKeyPair::verify(key.public_key(), msg, sig));
+    LamportSignature sig2 = key.sign(msg);
+    sig2.counterpart[200][31] ^= 0x80;
+    EXPECT_FALSE(LamportKeyPair::verify(key.public_key(), msg, sig2));
+}
+
+TEST(Lamport, DeterministicKeyFromSeed) {
+    LamportKeyPair a(seed(6));
+    LamportKeyPair b(seed(6));
+    EXPECT_EQ(a.public_key(), b.public_key());
+    LamportKeyPair c(seed(7));
+    EXPECT_NE(a.public_key(), c.public_key());
+}
+
+TEST(Lamport, SerializationRoundTrip) {
+    LamportKeyPair key(seed(8));
+    const util::Bytes msg = util::to_bytes("serialize me");
+    const LamportSignature sig = key.sign(msg);
+    const util::Bytes wire = sig.serialize();
+    EXPECT_EQ(wire.size(), 2u * 256u * 32u);
+    const auto parsed = LamportSignature::deserialize(wire);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(LamportKeyPair::verify(key.public_key(), msg, *parsed));
+}
+
+TEST(Lamport, DeserializeRejectsBadLength) {
+    EXPECT_FALSE(LamportSignature::deserialize(util::Bytes(100, 0)).has_value());
+    EXPECT_FALSE(LamportSignature::deserialize(util::Bytes{}).has_value());
+}
+
+TEST(Lamport, SignatureDependsOnMessage) {
+    LamportKeyPair key(seed(9));
+    const LamportSignature s1 = key.sign(util::to_bytes("m1"));
+    const LamportSignature s2 = key.sign(util::to_bytes("m2"));
+    EXPECT_NE(s1.serialize(), s2.serialize());
+}
+
+TEST(Lamport, EmptyMessageSigns) {
+    LamportKeyPair key(seed(10));
+    const util::Bytes empty;
+    const LamportSignature sig = key.sign(empty);
+    EXPECT_TRUE(LamportKeyPair::verify(key.public_key(), empty, sig));
+}
+
+}  // namespace
+}  // namespace dlsbl::crypto

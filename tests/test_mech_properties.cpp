@@ -1,0 +1,106 @@
+#include "mech/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dlsbl::mech {
+namespace {
+
+class MechPropertyTest : public ::testing::TestWithParam<dlt::NetworkKind> {};
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, MechPropertyTest,
+                         ::testing::Values(dlt::NetworkKind::kCP,
+                                           dlt::NetworkKind::kNcpFE,
+                                           dlt::NetworkKind::kNcpNFE),
+                         [](const auto& param_info) -> std::string {
+                             switch (param_info.param) {
+                                 case dlt::NetworkKind::kCP: return "CP";
+                                 case dlt::NetworkKind::kNcpFE: return "NcpFE";
+                                 default: return "NcpNFE";
+                             }
+                         });
+
+TEST_P(MechPropertyTest, StrategyproofnessHoldsOnRandomInstances) {
+    util::Xoshiro256 rng{2026};
+    const auto report = check_strategyproofness(GetParam(), 40, 6, rng);
+    EXPECT_EQ(report.violations, 0u) << "worst gain " << report.worst_gain;
+    EXPECT_EQ(report.instances, 40u);
+    EXPECT_GT(report.agent_sweeps, 0u);
+}
+
+TEST_P(MechPropertyTest, VoluntaryParticipationHolds) {
+    util::Xoshiro256 rng{77};
+    const auto report = check_voluntary_participation(GetParam(), 200, 8, rng);
+    EXPECT_EQ(report.violations, 0u);
+    EXPECT_GE(report.min_utility, -1e-9);
+    EXPECT_GT(report.agents, 0u);
+}
+
+TEST_P(MechPropertyTest, UtilityCurvePeaksAtTruthfulBid) {
+    util::Xoshiro256 rng{11};
+    const auto instance = random_instance(GetParam(), 4, rng);
+    const std::vector<double> factors{0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0};
+    for (std::size_t i = 0; i < instance.w.size(); ++i) {
+        const auto curve =
+            utility_vs_bid(GetParam(), instance.z, instance.w, i, factors);
+        ASSERT_EQ(curve.size(), factors.size());
+        const auto best = std::max_element(
+            curve.begin(), curve.end(),
+            [](const auto& a, const auto& b) { return a.best_utility < b.best_utility; });
+        EXPECT_DOUBLE_EQ(best->bid_factor, 1.0) << "agent " << i;
+    }
+}
+
+TEST(MechProperties, RandomInstanceRespectsBounds) {
+    util::Xoshiro256 rng{5};
+    for (int trial = 0; trial < 100; ++trial) {
+        const auto instance = random_instance(dlt::NetworkKind::kNcpFE, 5, rng);
+        EXPECT_EQ(instance.w.size(), 5u);
+        EXPECT_GE(instance.z, 0.05);
+        EXPECT_LE(instance.z, 2.0);
+        for (double wi : instance.w) {
+            EXPECT_GE(wi, 0.5);
+            EXPECT_LE(wi, 8.0);
+        }
+    }
+}
+
+TEST(MechProperties, UnderbidWithForcedTrueExecutionLoses) {
+    // The classic manipulation: claim to be faster to grab more load. With
+    // verification the agent still runs at its true speed, so the realized
+    // makespan grows and the bonus shrinks.
+    const std::vector<double> w{2.0, 2.0, 2.0};
+    const double z = 0.5;
+    for (auto kind : {dlt::NetworkKind::kCP, dlt::NetworkKind::kNcpFE,
+                      dlt::NetworkKind::kNcpNFE}) {
+        const DlsBl truthful(kind, z, w);
+        const double honest_u = truthful.utility_of(0, w[0]);
+        std::vector<double> lie = w;
+        lie[0] = 1.0;  // claims twice the speed
+        const DlsBl lying(kind, z, lie);
+        const double liar_u = lying.utility_of(0, w[0]);
+        EXPECT_LT(liar_u, honest_u + 1e-12) << dlt::to_string(kind);
+    }
+}
+
+TEST(MechProperties, OverbidLosesLoadAndUtility) {
+    const std::vector<double> w{2.0, 2.0, 2.0};
+    const double z = 0.5;
+    for (auto kind : {dlt::NetworkKind::kCP, dlt::NetworkKind::kNcpFE,
+                      dlt::NetworkKind::kNcpNFE}) {
+        const DlsBl truthful(kind, z, w);
+        const double honest_u = truthful.utility_of(1, w[1]);
+        std::vector<double> lie = w;
+        lie[1] = 4.0;
+        const DlsBl lying(kind, z, lie);
+        // The overbidder may execute anywhere in [w, b]; neither helps.
+        for (double exec : {2.0, 3.0, 4.0}) {
+            EXPECT_LT(lying.utility_of(1, exec), honest_u + 1e-12)
+                << dlt::to_string(kind) << " exec=" << exec;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace dlsbl::mech

@@ -1,0 +1,159 @@
+// The star-network mechanism (the paper's future work) must inherit the
+// DLS-BL properties: strategyproofness and voluntary participation, with a
+// bid-independent activation order.
+#include "mech/star_mechanism.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mech/cp_auction.hpp"
+#include "mech/dls_bl.hpp"
+#include "util/rng.hpp"
+
+namespace dlsbl::mech {
+namespace {
+
+TEST(StarMechanism, Validation) {
+    EXPECT_THROW(StarMechanism({0.1}, {1.0}), std::invalid_argument);
+    EXPECT_THROW(StarMechanism({0.1}, {1.0, 2.0}), std::invalid_argument);
+    EXPECT_THROW(StarMechanism({0.1, -0.1}, {1.0, 2.0}), std::invalid_argument);
+    const StarMechanism mechanism({0.1, 0.2}, {1.0, 2.0});
+    EXPECT_THROW((void)mechanism.exclusion_makespan(2), std::out_of_range);
+    const std::vector<double> wrong{1.0};
+    EXPECT_THROW((void)mechanism.payments(std::span<const double>(wrong)),
+                 std::invalid_argument);
+}
+
+TEST(StarMechanism, HomogeneousLinksMatchBusDlsBl) {
+    // Equal links: the star mechanism must reproduce DLS-BL on the CP bus.
+    const std::vector<double> links(4, 0.3);
+    const std::vector<double> bids{1.0, 2.0, 1.5, 0.8};
+    const StarMechanism star(links, bids);
+    const DlsBl bus(dlt::NetworkKind::kCP, 0.3, bids);
+    // Same allocation — up to the bandwidth reorder, which is the identity
+    // for equal links (stable sort).
+    for (std::size_t i = 0; i < bids.size(); ++i) {
+        EXPECT_NEAR(star.allocation()[i], bus.allocation()[i], 1e-12);
+    }
+    const auto star_pay = star.payments(std::span<const double>(bids));
+    const auto bus_pay = bus.payments(std::span<const double>(bids));
+    for (std::size_t i = 0; i < bids.size(); ++i) {
+        EXPECT_NEAR(star_pay.payment[i], bus_pay.payment[i], 1e-9) << i;
+    }
+}
+
+TEST(StarMechanism, TruthfulBonusesNonNegative) {
+    util::Xoshiro256 rng{21};
+    for (int trial = 0; trial < 100; ++trial) {
+        const std::size_t m = 2 + trial % 5;
+        std::vector<double> links(m), w(m);
+        for (std::size_t i = 0; i < m; ++i) {
+            links[i] = rng.uniform(0.05, 0.8);
+            w[i] = rng.uniform(0.8, 5.0);
+        }
+        const StarMechanism mechanism(links, w);
+        const auto breakdown = mechanism.payments(std::span<const double>(w));
+        for (double u : breakdown.utility) {
+            EXPECT_GE(u, -1e-9) << "trial " << trial;
+        }
+    }
+}
+
+TEST(StarMechanism, StrategyproofOnRandomInstances) {
+    util::Xoshiro256 rng{77};
+    const std::vector<double> factors{0.25, 0.5, 0.75, 0.9, 1.1, 1.5, 2.0, 4.0};
+    std::size_t violations = 0;
+    for (int trial = 0; trial < 60; ++trial) {
+        const std::size_t m = 2 + trial % 5;
+        std::vector<double> links(m), w(m);
+        for (std::size_t i = 0; i < m; ++i) {
+            links[i] = rng.uniform(0.05, 0.8);
+            w[i] = rng.uniform(0.8, 5.0);
+        }
+        for (std::size_t agent = 0; agent < m; ++agent) {
+            const StarMechanism truthful(links, w);
+            const double honest = truthful.utility_of(agent, w[agent]);
+            for (double factor : factors) {
+                auto bids = w;
+                bids[agent] = factor * w[agent];
+                const StarMechanism lying(links, bids);
+                // Deviator picks its best execution value in [w, max(w, b)].
+                const double hi = std::max(w[agent], bids[agent]);
+                for (int g = 0; g <= 8; ++g) {
+                    const double exec = w[agent] + (hi - w[agent]) * g / 8.0;
+                    if (lying.utility_of(agent, exec) > honest + 1e-9) ++violations;
+                }
+            }
+        }
+    }
+    EXPECT_EQ(violations, 0u);
+}
+
+TEST(StarMechanism, OrderIsBidIndependent) {
+    // Reporting a wildly different speed must not change the activation
+    // order (it is fixed by the public link speeds), so the allocation
+    // ordering cannot be gamed.
+    const std::vector<double> links{0.5, 0.1, 0.3};
+    const StarMechanism honest(links, {1.0, 1.0, 1.0});
+    const StarMechanism skewed(links, {100.0, 1.0, 1.0});
+    // P2 (fastest link) gets the largest share in both cases.
+    EXPECT_GT(honest.allocation()[1], honest.allocation()[0]);
+    EXPECT_GT(skewed.allocation()[1], skewed.allocation()[0]);
+}
+
+TEST(StarMechanism, SlowExecutionShrinksUtility) {
+    const StarMechanism mechanism({0.1, 0.4, 0.2}, {1.0, 2.0, 1.5});
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_LT(mechanism.utility_of(i, 3.0), mechanism.utility_of(i, 1.0) + 1e-12);
+    }
+}
+
+TEST(StarMechanism, PaymentDecomposition) {
+    const std::vector<double> bids{1.2, 0.9, 2.0};
+    const StarMechanism mechanism({0.2, 0.15, 0.35}, bids);
+    const auto breakdown = mechanism.payments(std::span<const double>(bids));
+    for (std::size_t i = 0; i < bids.size(); ++i) {
+        EXPECT_NEAR(breakdown.payment[i],
+                    breakdown.compensation[i] + breakdown.bonus[i], 1e-12);
+        EXPECT_NEAR(breakdown.compensation[i], mechanism.allocation()[i] * bids[i],
+                    1e-12);
+    }
+}
+
+// CP auction runner sanity (the [9] mechanism, trusted control processor).
+TEST(CpAuction, TruthfulRunMatchesDlsBl) {
+    std::vector<CpAgent> agents{{1.0, 1.0, 1.0}, {2.0, 1.0, 1.0}, {1.5, 1.0, 1.0}};
+    const auto outcome = run_cp_auction(0.4, agents);
+    const DlsBl mechanism(dlt::NetworkKind::kCP, 0.4, {1.0, 2.0, 1.5});
+    const std::vector<double> w{1.0, 2.0, 1.5};
+    const auto expected = mechanism.payments(std::span<const double>(w));
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_NEAR(outcome.breakdown.payment[i], expected.payment[i], 1e-12);
+        EXPECT_GE(outcome.utility(i), -1e-12);
+    }
+    EXPECT_NEAR(outcome.makespan, mechanism.bid_makespan(), 1e-12);
+}
+
+TEST(CpAuction, CheatersCannotRunFasterThanHardware) {
+    std::vector<CpAgent> agents{{1.0, 1.0, 0.1}, {2.0, 1.0, 1.0}};
+    const auto outcome = run_cp_auction(0.4, agents);
+    EXPECT_DOUBLE_EQ(outcome.exec_values[0], 1.0);  // clamped to true w
+}
+
+TEST(CpAuction, MisreportingUnprofitable) {
+    for (double factor : {0.5, 1.5, 3.0}) {
+        std::vector<CpAgent> honest{{1.0, 1.0, 1.0}, {2.0, 1.0, 1.0}, {1.5, 1.0, 1.0}};
+        std::vector<CpAgent> lying = honest;
+        lying[1].bid_factor = factor;
+        const auto honest_outcome = run_cp_auction(0.4, honest);
+        const auto lying_outcome = run_cp_auction(0.4, lying);
+        EXPECT_LE(lying_outcome.utility(1), honest_outcome.utility(1) + 1e-12)
+            << factor;
+    }
+}
+
+TEST(CpAuction, RejectsTooFewAgents) {
+    EXPECT_THROW(run_cp_auction(0.4, {CpAgent{}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dlsbl::mech

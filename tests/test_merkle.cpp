@@ -1,0 +1,119 @@
+#include "crypto/merkle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dlsbl::crypto {
+namespace {
+
+std::vector<Digest> make_leaves(std::size_t n) {
+    std::vector<Digest> leaves;
+    leaves.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        leaves.push_back(Sha256::hash("leaf-" + std::to_string(i)));
+    }
+    return leaves;
+}
+
+TEST(Merkle, SingleLeafRootIsLeaf) {
+    const auto leaves = make_leaves(1);
+    MerkleTree tree(leaves);
+    EXPECT_EQ(tree.root(), leaves[0]);
+    const MerkleProof proof = tree.prove(0);
+    EXPECT_TRUE(proof.siblings.empty());
+    EXPECT_TRUE(MerkleTree::verify(tree.root(), leaves[0], proof));
+}
+
+TEST(Merkle, TwoLeaves) {
+    const auto leaves = make_leaves(2);
+    MerkleTree tree(leaves);
+    EXPECT_EQ(tree.root(), Sha256::hash_pair(leaves[0], leaves[1]));
+    for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_TRUE(MerkleTree::verify(tree.root(), leaves[i], tree.prove(i)));
+    }
+}
+
+TEST(Merkle, AllProofsVerifyPowerOfTwo) {
+    const auto leaves = make_leaves(16);
+    MerkleTree tree(leaves);
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+        const MerkleProof proof = tree.prove(i);
+        EXPECT_EQ(proof.siblings.size(), 4u);
+        EXPECT_TRUE(MerkleTree::verify(tree.root(), leaves[i], proof));
+    }
+}
+
+TEST(Merkle, NonPowerOfTwoPadding) {
+    for (std::size_t n : {3u, 5u, 6u, 7u, 11u, 13u}) {
+        const auto leaves = make_leaves(n);
+        MerkleTree tree(leaves);
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_TRUE(MerkleTree::verify(tree.root(), leaves[i], tree.prove(i)))
+                << "n=" << n << " i=" << i;
+        }
+    }
+}
+
+TEST(Merkle, WrongLeafFailsVerification) {
+    const auto leaves = make_leaves(8);
+    MerkleTree tree(leaves);
+    const MerkleProof proof = tree.prove(3);
+    EXPECT_FALSE(MerkleTree::verify(tree.root(), leaves[4], proof));
+}
+
+TEST(Merkle, TamperedProofFails) {
+    const auto leaves = make_leaves(8);
+    MerkleTree tree(leaves);
+    MerkleProof proof = tree.prove(2);
+    proof.siblings[1][0] ^= 0x01;
+    EXPECT_FALSE(MerkleTree::verify(tree.root(), leaves[2], proof));
+}
+
+TEST(Merkle, WrongIndexFails) {
+    const auto leaves = make_leaves(8);
+    MerkleTree tree(leaves);
+    MerkleProof proof = tree.prove(2);
+    proof.leaf_index = 3;
+    EXPECT_FALSE(MerkleTree::verify(tree.root(), leaves[2], proof));
+}
+
+TEST(Merkle, EmptyThrows) {
+    EXPECT_THROW(MerkleTree(std::vector<Digest>{}), std::invalid_argument);
+}
+
+TEST(Merkle, ProveOutOfRangeThrows) {
+    MerkleTree tree(make_leaves(4));
+    EXPECT_THROW(tree.prove(4), std::out_of_range);
+}
+
+TEST(Merkle, ProofSerializationRoundTrip) {
+    const auto leaves = make_leaves(8);
+    MerkleTree tree(leaves);
+    const MerkleProof proof = tree.prove(5);
+    const auto parsed = MerkleProof::deserialize(proof.serialize());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->leaf_index, 5u);
+    EXPECT_TRUE(MerkleTree::verify(tree.root(), leaves[5], *parsed));
+}
+
+TEST(Merkle, DeserializeRejectsTruncated) {
+    const auto leaves = make_leaves(8);
+    MerkleTree tree(leaves);
+    util::Bytes wire = tree.prove(1).serialize();
+    wire.pop_back();
+    EXPECT_FALSE(MerkleProof::deserialize(wire).has_value());
+}
+
+TEST(Merkle, RootChangesWithAnyLeaf) {
+    auto leaves = make_leaves(8);
+    const Digest original = MerkleTree(leaves).root();
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+        auto mutated = leaves;
+        mutated[i][0] ^= 0x01;
+        EXPECT_NE(MerkleTree(mutated).root(), original) << i;
+    }
+}
+
+}  // namespace
+}  // namespace dlsbl::crypto

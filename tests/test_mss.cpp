@@ -1,0 +1,166 @@
+#include "crypto/mss.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+
+namespace dlsbl::crypto {
+namespace {
+
+Digest seed(int n) { return Sha256::hash("mss-test-seed-" + std::to_string(n)); }
+
+TEST(Mss, SignVerifyAllLeaves) {
+    MssKeyPair key(seed(1), 3);  // 8 signatures
+    EXPECT_EQ(key.capacity(), 8u);
+    for (int i = 0; i < 8; ++i) {
+        const util::Bytes msg = util::to_bytes("message-" + std::to_string(i));
+        const MssSignature sig = key.sign(msg);
+        EXPECT_EQ(sig.leaf_index, static_cast<std::uint64_t>(i));
+        EXPECT_TRUE(MssKeyPair::verify(key.public_key(), msg, sig)) << i;
+    }
+    EXPECT_EQ(key.signatures_used(), 8u);
+}
+
+TEST(Mss, ExhaustionThrows) {
+    MssKeyPair key(seed(2), 1);  // 2 signatures
+    const util::Bytes msg = util::to_bytes("x");
+    (void)key.sign(msg);
+    (void)key.sign(msg);
+    EXPECT_THROW(key.sign(msg), std::length_error);
+}
+
+TEST(Mss, RejectsTamperedMessage) {
+    MssKeyPair key(seed(3), 2);
+    const util::Bytes msg = util::to_bytes("the bid vector");
+    const MssSignature sig = key.sign(msg);
+    util::Bytes tampered = msg;
+    tampered[0] ^= 0x01;
+    EXPECT_FALSE(MssKeyPair::verify(key.public_key(), tampered, sig));
+}
+
+TEST(Mss, RejectsWrongRoot) {
+    MssKeyPair alice(seed(4), 2);
+    MssKeyPair bob(seed(5), 2);
+    const util::Bytes msg = util::to_bytes("m");
+    const MssSignature sig = alice.sign(msg);
+    EXPECT_FALSE(MssKeyPair::verify(bob.public_key(), msg, sig));
+}
+
+TEST(Mss, RejectsLeafIndexMismatch) {
+    MssKeyPair key(seed(6), 2);
+    const util::Bytes msg = util::to_bytes("m");
+    MssSignature sig = key.sign(msg);
+    sig.leaf_index = 2;  // auth path still says 0
+    EXPECT_FALSE(MssKeyPair::verify(key.public_key(), msg, sig));
+}
+
+TEST(Mss, RejectsSubstitutedOneTimeKey) {
+    // An attacker cannot swap in its own OTS key: the Merkle path won't bind.
+    MssKeyPair victim(seed(7), 2);
+    MssKeyPair attacker(seed(8), 2);
+    const util::Bytes msg = util::to_bytes("pay me everything");
+    MssSignature forged = attacker.sign(msg);
+    // Keep the attacker's valid OTS but claim the victim's tree.
+    EXPECT_FALSE(MssKeyPair::verify(victim.public_key(), msg, forged));
+}
+
+TEST(Mss, SerializationRoundTrip) {
+    MssKeyPair key(seed(9), 3);
+    const util::Bytes msg = util::to_bytes("wire format");
+    (void)key.sign(msg);  // burn leaf 0 so index is non-trivial
+    const MssSignature sig = key.sign(msg);
+    const auto parsed = MssSignature::deserialize(sig.serialize());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->leaf_index, 1u);
+    EXPECT_TRUE(MssKeyPair::verify(key.public_key(), msg, *parsed));
+}
+
+TEST(Mss, DeserializeRejectsGarbage) {
+    EXPECT_FALSE(MssSignature::deserialize(util::Bytes{}).has_value());
+    EXPECT_FALSE(MssSignature::deserialize(util::Bytes(64, 0xab)).has_value());
+    MssKeyPair key(seed(10), 1);
+    util::Bytes wire = key.sign(util::to_bytes("m")).serialize();
+    wire.resize(wire.size() / 2);
+    EXPECT_FALSE(MssSignature::deserialize(wire).has_value());
+}
+
+TEST(Mss, DeterministicPublicKey) {
+    MssKeyPair a(seed(11), 2);
+    MssKeyPair b(seed(11), 2);
+    EXPECT_EQ(a.public_key(), b.public_key());
+}
+
+TEST(Mss, HeightZeroSingleSignature) {
+    MssKeyPair key(seed(12), 0);
+    EXPECT_EQ(key.capacity(), 1u);
+    const util::Bytes msg = util::to_bytes("only one");
+    const MssSignature sig = key.sign(msg);
+    EXPECT_TRUE(MssKeyPair::verify(key.public_key(), msg, sig));
+    EXPECT_THROW(key.sign(msg), std::length_error);
+}
+
+TEST(Mss, ExcessiveHeightRejected) {
+    EXPECT_THROW(MssKeyPair(seed(13), 17), std::invalid_argument);
+}
+
+// ---- Winternitz-backed MSS ----------------------------------------------------
+
+TEST(MssWots, SignVerifyAllLeaves) {
+    MssKeyPair key(seed(20), 2, OtsScheme::kWots);
+    EXPECT_EQ(key.scheme(), OtsScheme::kWots);
+    for (int i = 0; i < 4; ++i) {
+        const util::Bytes msg = util::to_bytes("wots-msg-" + std::to_string(i));
+        const MssSignature sig = key.sign(msg);
+        EXPECT_EQ(sig.scheme, OtsScheme::kWots);
+        EXPECT_TRUE(MssKeyPair::verify(key.public_key(), msg, sig)) << i;
+    }
+    EXPECT_THROW(key.sign(util::to_bytes("x")), std::length_error);
+}
+
+TEST(MssWots, SignaturesMuchSmallerThanLamport) {
+    MssKeyPair lamport(seed(21), 1, OtsScheme::kLamport);
+    MssKeyPair wots(seed(21), 1, OtsScheme::kWots);
+    const util::Bytes msg = util::to_bytes("size comparison");
+    const auto ls = lamport.sign(msg).serialize();
+    const auto ws = wots.sign(msg).serialize();
+    EXPECT_LT(ws.size() * 5, ls.size());
+}
+
+TEST(MssWots, SchemesAreNotInterchangeable) {
+    // Same seed, different scheme: different roots, and a signature from
+    // one never verifies under the other's public key.
+    MssKeyPair lamport(seed(22), 2, OtsScheme::kLamport);
+    MssKeyPair wots(seed(22), 2, OtsScheme::kWots);
+    EXPECT_NE(lamport.public_key(), wots.public_key());
+    const util::Bytes msg = util::to_bytes("m");
+    EXPECT_FALSE(MssKeyPair::verify(wots.public_key(), msg, lamport.sign(msg)));
+    EXPECT_FALSE(MssKeyPair::verify(lamport.public_key(), msg, wots.sign(msg)));
+}
+
+TEST(MssWots, SchemeTagTamperingFails) {
+    MssKeyPair key(seed(23), 1, OtsScheme::kWots);
+    const util::Bytes msg = util::to_bytes("m");
+    MssSignature sig = key.sign(msg);
+    sig.scheme = OtsScheme::kLamport;  // mismatched tag: OTS bytes won't parse
+    EXPECT_FALSE(MssKeyPair::verify(key.public_key(), msg, sig));
+}
+
+TEST(MssWots, SerializationRoundTrip) {
+    MssKeyPair key(seed(24), 2, OtsScheme::kWots);
+    const util::Bytes msg = util::to_bytes("wire");
+    const MssSignature sig = key.sign(msg);
+    const auto parsed = MssSignature::deserialize(sig.serialize());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->scheme, OtsScheme::kWots);
+    EXPECT_TRUE(MssKeyPair::verify(key.public_key(), msg, *parsed));
+}
+
+TEST(MssWots, DeserializeRejectsBadSchemeTag) {
+    MssKeyPair key(seed(25), 1, OtsScheme::kWots);
+    util::Bytes wire = key.sign(util::to_bytes("m")).serialize();
+    wire[0] = 0x7f;  // invalid scheme byte
+    EXPECT_FALSE(MssSignature::deserialize(wire).has_value());
+}
+
+}  // namespace
+}  // namespace dlsbl::crypto

@@ -1,0 +1,138 @@
+// Degenerate and boundary protocol scenarios.
+#include <gtest/gtest.h>
+
+#include "agents/zoo.hpp"
+#include "dlt/finish_time.hpp"
+#include "protocol/runner.hpp"
+
+namespace dlsbl::protocol {
+namespace {
+
+ProtocolConfig base(dlt::NetworkKind kind, std::vector<double> w,
+                    std::size_t blocks = 1200) {
+    ProtocolConfig config;
+    config.kind = kind;
+    config.z = 0.05;
+    config.true_w = std::move(w);
+    config.block_count = blocks;
+    config.signature_algorithm = crypto::SignatureAlgorithm::kFast;
+    return config;
+}
+
+TEST(EdgeCases, ExtremeHeterogeneityZeroBlockProcessor) {
+    // P2 is ~500x slower: with only 10 blocks its share rounds to zero.
+    // The run must still settle (the zero-share processor "executes" an
+    // empty assignment and its w̃ falls back to its bid).
+    auto config = base(dlt::NetworkKind::kNcpFE, {0.1, 50.0}, 10);
+    const auto outcome = run_protocol(config);
+    EXPECT_FALSE(outcome.terminated_early) << outcome.termination_reason;
+    EXPECT_EQ(outcome.fined_count(), 0u);
+    EXPECT_EQ(outcome.processors[0].blocks_assigned +
+                  outcome.processors[1].blocks_assigned,
+              10u);
+    // Settled payments exist and the zero/near-zero processor didn't lose.
+    for (const auto& p : outcome.processors) EXPECT_GE(p.utility(), -1e-6) << p.name;
+}
+
+TEST(EdgeCases, TwoProcessorDeviantsBothKinds) {
+    for (auto kind : {dlt::NetworkKind::kNcpFE, dlt::NetworkKind::kNcpNFE}) {
+        const std::size_t lo = dlt::load_origin_index(kind, 2);
+        const std::size_t worker = 1 - lo;
+        {
+            auto config = base(kind, {1.0, 1.5});
+            config.strategies.assign(2, agents::truthful());
+            config.strategies[worker] = agents::false_short_claimer();
+            const auto outcome = run_protocol(config);
+            EXPECT_TRUE(outcome.processors[worker].fined) << dlt::to_string(kind);
+        }
+        {
+            auto config = base(kind, {1.0, 1.5});
+            config.strategies.assign(2, agents::truthful());
+            config.strategies[lo] = agents::short_shipping_lo(0.5);
+            const auto outcome = run_protocol(config);
+            EXPECT_TRUE(outcome.processors[lo].fined) << dlt::to_string(kind);
+        }
+    }
+}
+
+TEST(EdgeCases, VerySmallCommunicationTime) {
+    auto config = base(dlt::NetworkKind::kNcpNFE, {1.0, 1.2, 0.9});
+    config.z = 1e-9;
+    const auto outcome = run_protocol(config);
+    EXPECT_FALSE(outcome.terminated_early);
+    // With z -> 0 the optimum approaches proportional sharing.
+    dlt::ProblemInstance instance{config.kind, config.z, config.true_w};
+    EXPECT_NEAR(outcome.makespan, dlt::optimal_makespan(instance), 5e-3);
+}
+
+TEST(EdgeCases, SingleBlock) {
+    // One block: everything lands on the processor with the largest share.
+    auto config = base(dlt::NetworkKind::kNcpFE, {1.0, 2.0}, 1);
+    const auto outcome = run_protocol(config);
+    EXPECT_FALSE(outcome.terminated_early);
+    EXPECT_EQ(outcome.processors[0].blocks_assigned, 1u);
+    EXPECT_EQ(outcome.processors[1].blocks_assigned, 0u);
+}
+
+TEST(EdgeCases, ManyProcessorsSmoke) {
+    std::vector<double> w(48);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        w[i] = 1.0 + 0.02 * static_cast<double>(i % 11);
+    }
+    auto config = base(dlt::NetworkKind::kNcpFE, std::move(w), 48 * 8);
+    const auto outcome = run_protocol(config);
+    EXPECT_FALSE(outcome.terminated_early);
+    EXPECT_EQ(outcome.control_messages, 2u * 48 + 2);
+}
+
+TEST(EdgeCases, IdenticalProcessorsPositionOrdering) {
+    // Identical machines are NOT symmetric: bus position matters. Earlier
+    // NFE workers wait less for data, carry more load, and earn more.
+    auto config = base(dlt::NetworkKind::kNcpNFE, {1.5, 1.5, 1.5, 1.5}, 4000);
+    const auto outcome = run_protocol(config);
+    ASSERT_FALSE(outcome.terminated_early);
+    EXPECT_GT(outcome.processors[0].alpha, outcome.processors[1].alpha);
+    EXPECT_GT(outcome.processors[1].alpha, outcome.processors[2].alpha);
+    EXPECT_GT(outcome.processors[0].payment, outcome.processors[1].payment);
+    for (const auto& p : outcome.processors) EXPECT_GT(p.payment, 0.0) << p.name;
+}
+
+TEST(EdgeCases, DeviantWithMinimalFine) {
+    // Even a tiny (but positive) fine plus the lost payment keeps deviation
+    // unprofitable for protocol cheats caught before payment.
+    auto config = base(dlt::NetworkKind::kNcpFE, {1.0, 2.0, 1.5});
+    config.fine_policy.safety_factor = 0.01;
+    config.strategies.assign(3, agents::truthful());
+    config.strategies[2] = agents::false_short_claimer();
+    const auto outcome = run_protocol(config);
+    EXPECT_TRUE(outcome.processors[2].fined);
+    auto honest = config;
+    honest.strategies[2] = agents::truthful();
+    const auto honest_outcome = run_protocol(honest);
+    EXPECT_LT(outcome.processors[2].utility(),
+              honest_outcome.processors[2].utility());
+}
+
+TEST(EdgeCases, BothLatencyAndBandwidth) {
+    auto config = base(dlt::NetworkKind::kNcpFE, {1.0, 2.0, 1.5});
+    config.control_latency = 0.01;
+    config.control_seconds_per_byte = 1e-6;
+    const auto outcome = run_protocol(config);
+    EXPECT_FALSE(outcome.terminated_early) << outcome.termination_reason;
+    EXPECT_EQ(outcome.fined_count(), 0u);
+}
+
+TEST(EdgeCases, SlowExecutorExtremeStillSettles) {
+    auto config = base(dlt::NetworkKind::kNcpFE, {1.0, 2.0, 1.5});
+    config.strategies.assign(3, agents::truthful());
+    config.strategies[1] = agents::slow_executor(10.0);
+    const auto outcome = run_protocol(config);
+    EXPECT_FALSE(outcome.terminated_early);
+    EXPECT_EQ(outcome.fined_count(), 0u);
+    // The crawler's bonus collapses; its utility goes deeply negative
+    // through the payment rule alone (no fine needed).
+    EXPECT_LT(outcome.processors[1].utility(), 0.0);
+}
+
+}  // namespace
+}  // namespace dlsbl::protocol

@@ -1,0 +1,113 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace dlsbl::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+    Xoshiro256 a{12345}, b{12345};
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Xoshiro256 a{1}, b{2};
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a() == b()) ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+    Xoshiro256 rng{7};
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform(2.0, 5.0);
+        EXPECT_GE(u, 2.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformMeanApproximatesHalf) {
+    Xoshiro256 rng{99};
+    double sum = 0.0;
+    constexpr int kN = 100000;
+    for (int i = 0; i < kN; ++i) sum += rng.uniform();
+    EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusively) {
+    Xoshiro256 rng{3};
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng.uniform_int(2, 6);
+        EXPECT_GE(v, 2u);
+        EXPECT_LE(v, 6u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);  // all of 2..6 hit in 1000 draws
+}
+
+TEST(Rng, NormalMoments) {
+    Xoshiro256 rng{11};
+    constexpr int kN = 100000;
+    double sum = 0.0, sumsq = 0.0;
+    for (int i = 0; i < kN; ++i) {
+        const double x = rng.normal(3.0, 2.0);
+        sum += x;
+        sumsq += x * x;
+    }
+    const double mean = sum / kN;
+    const double var = sumsq / kN - mean * mean;
+    EXPECT_NEAR(mean, 3.0, 0.05);
+    EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+    Xoshiro256 rng{5};
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<int> original = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, original);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+    Xoshiro256 rng{5};
+    std::vector<int> v(64);
+    for (int i = 0; i < 64; ++i) v[static_cast<std::size_t>(i)] = i;
+    const auto original = v;
+    rng.shuffle(v);
+    EXPECT_NE(v, original);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+    Xoshiro256 parent{17};
+    Xoshiro256 child = parent.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (parent() == child()) ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitMix64KnownSequence) {
+    // Reference values from the splitmix64 reference implementation with
+    // seed 0 (first three outputs).
+    std::uint64_t state = 0;
+    EXPECT_EQ(splitmix64_next(state), 0xe220a8397b1dcdafull);
+    EXPECT_EQ(splitmix64_next(state), 0x6e789e6aa1b965f4ull);
+    EXPECT_EQ(splitmix64_next(state), 0x06c45d188009454full);
+}
+
+}  // namespace
+}  // namespace dlsbl::util

@@ -1,0 +1,100 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace dlsbl::crypto {
+namespace {
+
+std::string hash_hex(std::string_view text) {
+    const Digest d = Sha256::hash(text);
+    return util::to_hex(std::span<const std::uint8_t>(d.data(), d.size()));
+}
+
+// FIPS 180-4 / NIST example vectors.
+TEST(Sha256, EmptyString) {
+    EXPECT_EQ(hash_hex(""),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+    EXPECT_EQ(hash_hex("abc"),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+    EXPECT_EQ(hash_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+    Sha256 h;
+    const std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i) h.update(chunk);
+    const Digest d = h.finalize();
+    EXPECT_EQ(util::to_hex(std::span<const std::uint8_t>(d.data(), d.size())),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+    const std::string msg = "the quick brown fox jumps over the lazy dog";
+    for (std::size_t split = 0; split <= msg.size(); ++split) {
+        Sha256 h;
+        h.update(std::string_view(msg).substr(0, split));
+        h.update(std::string_view(msg).substr(split));
+        EXPECT_EQ(h.finalize(), Sha256::hash(msg)) << "split at " << split;
+    }
+}
+
+TEST(Sha256, BoundaryLengths) {
+    // Messages straddling the 55/56/64-byte padding boundaries.
+    for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+        const std::string msg(len, 'x');
+        Sha256 incremental;
+        for (char c : msg) {
+            incremental.update(std::string_view(&c, 1));
+        }
+        EXPECT_EQ(incremental.finalize(), Sha256::hash(msg)) << "len " << len;
+    }
+}
+
+TEST(Sha256, ResetAllowsReuse) {
+    Sha256 h;
+    h.update("garbage");
+    (void)h.finalize();
+    h.reset();
+    h.update("abc");
+    EXPECT_EQ(h.finalize(), Sha256::hash("abc"));
+}
+
+TEST(Sha256, HashPairIsConcatenation) {
+    const Digest a = Sha256::hash("left");
+    const Digest b = Sha256::hash("right");
+    Sha256 manual;
+    manual.update(std::span<const std::uint8_t>(a.data(), a.size()));
+    manual.update(std::span<const std::uint8_t>(b.data(), b.size()));
+    EXPECT_EQ(Sha256::hash_pair(a, b), manual.finalize());
+    EXPECT_NE(Sha256::hash_pair(a, b), Sha256::hash_pair(b, a));
+}
+
+TEST(Sha256, AvalancheOnSingleBitFlip) {
+    util::Bytes msg = util::to_bytes("divisible load scheduling");
+    const Digest base = Sha256::hash(msg);
+    msg[0] ^= 0x01;
+    const Digest flipped = Sha256::hash(msg);
+    int differing_bits = 0;
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        std::uint8_t x = base[i] ^ flipped[i];
+        while (x != 0) {
+            differing_bits += x & 1;
+            x >>= 1;
+        }
+    }
+    EXPECT_GT(differing_bits, 80);  // ~128 expected for 256 bits
+}
+
+}  // namespace
+}  // namespace dlsbl::crypto

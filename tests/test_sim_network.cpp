@@ -1,0 +1,157 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace dlsbl::sim {
+namespace {
+
+class Recorder final : public Process {
+ public:
+    explicit Recorder(std::string name) : Process(std::move(name)) {}
+
+    void on_start() override { started = true; }
+    void on_message(const Envelope& envelope) override { inbox.push_back(envelope); }
+
+    bool started = false;
+    std::vector<Envelope> inbox;
+};
+
+struct Fixture {
+    Simulator sim;
+    Network net{sim, 0.5};  // z = 0.5
+    Recorder a{"A"}, b{"B"}, c{"C"};
+
+    Fixture() {
+        net.attach(a);
+        net.attach(b);
+        net.attach(c);
+    }
+};
+
+TEST(Network, StartInvokesAllProcesses) {
+    Fixture f;
+    f.net.start();
+    f.sim.run();
+    EXPECT_TRUE(f.a.started);
+    EXPECT_TRUE(f.b.started);
+    EXPECT_TRUE(f.c.started);
+}
+
+TEST(Network, UnicastDeliversToRecipientOnly) {
+    Fixture f;
+    f.net.send("A", "B", 7, util::to_bytes("hello"));
+    f.sim.run();
+    ASSERT_EQ(f.b.inbox.size(), 1u);
+    EXPECT_EQ(f.b.inbox[0].from, "A");
+    EXPECT_EQ(f.b.inbox[0].type, 7u);
+    EXPECT_EQ(f.b.inbox[0].payload, util::to_bytes("hello"));
+    EXPECT_TRUE(f.a.inbox.empty());
+    EXPECT_TRUE(f.c.inbox.empty());
+}
+
+TEST(Network, BroadcastReachesAllButSender) {
+    Fixture f;
+    f.net.broadcast("A", 9, util::to_bytes("bid"));
+    f.sim.run();
+    EXPECT_TRUE(f.a.inbox.empty());
+    ASSERT_EQ(f.b.inbox.size(), 1u);
+    ASSERT_EQ(f.c.inbox.size(), 1u);
+    EXPECT_EQ(f.b.inbox[0].payload, f.c.inbox[0].payload);  // atomic: same bytes
+}
+
+TEST(Network, BroadcastCountedOnce) {
+    Fixture f;
+    f.net.broadcast("A", 9, util::to_bytes("xyz"));
+    f.sim.run();
+    EXPECT_EQ(f.net.metrics().control_messages(), 1u);
+    EXPECT_EQ(f.net.metrics().control_bytes(), 3u);
+}
+
+TEST(Network, UnknownRecipientThrows) {
+    Fixture f;
+    EXPECT_THROW(f.net.send("A", "nobody", 1, {}), std::logic_error);
+    EXPECT_THROW(f.net.transfer_load("A", "nobody", 1.0, 1, {}), std::logic_error);
+}
+
+TEST(Network, DuplicateAttachThrows) {
+    Fixture f;
+    Recorder dup{"A"};
+    EXPECT_THROW(f.net.attach(dup), std::invalid_argument);
+}
+
+TEST(Network, LoadTransferTakesUnitsTimesZ) {
+    Fixture f;
+    f.net.transfer_load("A", "B", 0.4, 2, util::to_bytes("blocks"));
+    f.sim.run();
+    ASSERT_EQ(f.b.inbox.size(), 1u);
+    EXPECT_DOUBLE_EQ(f.sim.now(), 0.4 * 0.5);
+}
+
+TEST(Network, OnePortSerializesTransfers) {
+    // Two transfers queued at t=0 must occupy the bus back to back.
+    Fixture f;
+    std::vector<double> arrivals;
+    f.net.transfer_load("A", "B", 0.4, 2, {});
+    f.net.transfer_load("A", "C", 0.6, 2, {});
+    EXPECT_DOUBLE_EQ(f.net.bus_free_at(), (0.4 + 0.6) * 0.5);
+    f.sim.run();
+    EXPECT_DOUBLE_EQ(f.sim.now(), 0.5);
+}
+
+TEST(Network, LoadTransfersExcludedFromControlMetrics) {
+    Fixture f;
+    f.net.transfer_load("A", "B", 0.4, 2, util::to_bytes("payload"));
+    f.sim.run();
+    EXPECT_EQ(f.net.metrics().control_messages(), 0u);
+    EXPECT_EQ(f.net.metrics().load_transfers(), 1u);
+    EXPECT_DOUBLE_EQ(f.net.metrics().load_units_moved(), 0.4);
+}
+
+TEST(Network, ControlLatencyDelaysDelivery) {
+    Simulator sim;
+    Network net(sim, 0.5, 0.25);
+    Recorder a{"A"}, b{"B"};
+    net.attach(a);
+    net.attach(b);
+    net.send("A", "B", 1, {});
+    sim.run();
+    EXPECT_DOUBLE_EQ(sim.now(), 0.25);
+}
+
+TEST(Network, PerPhaseAttribution) {
+    Fixture f;
+    f.net.metrics().set_phase("Bidding");
+    f.net.broadcast("A", 1, util::to_bytes("ab"));
+    f.net.metrics().set_phase("ComputingPayments");
+    f.net.send("A", "B", 2, util::to_bytes("abcd"));
+    f.sim.run();
+    const auto& phases = f.net.metrics().by_phase();
+    EXPECT_EQ(phases.at("Bidding").bytes, 2u);
+    EXPECT_EQ(phases.at("ComputingPayments").bytes, 4u);
+}
+
+TEST(Network, TraceRecordsSendAndDeliver) {
+    Fixture f;
+    f.net.send("A", "B", 1, {});
+    f.sim.run();
+    EXPECT_EQ(f.net.trace().filter(TraceKind::kMessageSent).size(), 1u);
+    EXPECT_EQ(f.net.trace().filter(TraceKind::kMessageDelivered).size(), 1u);
+    EXPECT_EQ(f.net.trace().filter_actor("B").size(), 1u);
+}
+
+TEST(Network, NegativeParametersRejected) {
+    Simulator sim;
+    EXPECT_THROW(Network(sim, -1.0), std::invalid_argument);
+    EXPECT_THROW(Network(sim, 1.0, -0.1), std::invalid_argument);
+    Network net(sim, 1.0);
+    Recorder a{"A"}, b{"B"};
+    net.attach(a);
+    net.attach(b);
+    EXPECT_THROW(net.transfer_load("A", "B", -0.5, 1, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dlsbl::sim

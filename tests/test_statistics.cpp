@@ -1,0 +1,98 @@
+#include "util/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dlsbl::util {
+namespace {
+
+TEST(Statistics, SummaryOfKnownSample) {
+    const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    const Summary s = summarize(v);
+    EXPECT_EQ(s.count, 8u);
+    EXPECT_DOUBLE_EQ(s.min, 2.0);
+    EXPECT_DOUBLE_EQ(s.max, 9.0);
+    EXPECT_DOUBLE_EQ(s.mean, 5.0);
+    EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(s.median, 4.5);
+}
+
+TEST(Statistics, SummaryEmpty) {
+    const Summary s = summarize(std::vector<double>{});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Statistics, SummarySingleValue) {
+    const Summary s = summarize(std::vector<double>{3.5});
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_DOUBLE_EQ(s.mean, 3.5);
+    EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+    EXPECT_DOUBLE_EQ(s.median, 3.5);
+}
+
+TEST(Statistics, PercentileInterpolates) {
+    const std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 1.0), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 0.5), 25.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 1.0 / 3.0), 20.0);
+}
+
+TEST(Statistics, LinearFitExactLine) {
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    std::vector<double> ys;
+    for (double x : xs) ys.push_back(2.5 * x - 1.0);
+    const LinearFit fit = linear_fit(xs, ys);
+    EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+    EXPECT_NEAR(fit.intercept, -1.0, 1e-12);
+    EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Statistics, LinearFitNoisy) {
+    const std::vector<double> xs{0.0, 1.0, 2.0, 3.0, 4.0, 5.0};
+    const std::vector<double> ys{0.1, 0.9, 2.2, 2.8, 4.1, 4.9};
+    const LinearFit fit = linear_fit(xs, ys);
+    EXPECT_NEAR(fit.slope, 1.0, 0.05);
+    EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(Statistics, LinearFitRejectsDegenerate) {
+    EXPECT_THROW(linear_fit(std::vector<double>{1.0}, std::vector<double>{1.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(linear_fit(std::vector<double>{1.0, 1.0}, std::vector<double>{1.0, 2.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(linear_fit(std::vector<double>{1.0, 2.0}, std::vector<double>{1.0}),
+                 std::invalid_argument);
+}
+
+TEST(Statistics, PowerLawFitRecoversExponent) {
+    std::vector<double> xs, ys;
+    for (double x : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+        xs.push_back(x);
+        ys.push_back(3.0 * x * x);  // y = 3 x^2
+    }
+    const LinearFit fit = power_law_fit(xs, ys);
+    EXPECT_NEAR(fit.slope, 2.0, 1e-10);
+    EXPECT_NEAR(std::exp(fit.intercept), 3.0, 1e-9);
+}
+
+TEST(Statistics, PowerLawFitRejectsNonPositive) {
+    EXPECT_THROW(power_law_fit(std::vector<double>{1.0, -2.0},
+                               std::vector<double>{1.0, 2.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(power_law_fit(std::vector<double>{1.0, 2.0},
+                               std::vector<double>{0.0, 2.0}),
+                 std::invalid_argument);
+}
+
+TEST(Statistics, RelativeSpread) {
+    EXPECT_DOUBLE_EQ(relative_spread(std::vector<double>{5.0, 5.0, 5.0}), 0.0);
+    EXPECT_DOUBLE_EQ(relative_spread(std::vector<double>{4.0, 6.0}), 0.4);
+    EXPECT_DOUBLE_EQ(relative_spread(std::vector<double>{1.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace dlsbl::util

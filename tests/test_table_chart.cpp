@@ -1,0 +1,97 @@
+#include "util/chart.hpp"
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dlsbl::util {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+    Table t({"name", "value"});
+    t.add_row({"alpha", "1"});
+    t.add_row({"a-much-longer-name", "2.5"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| name"), std::string::npos);
+    EXPECT_NE(out.find("a-much-longer-name"), std::string::npos);
+    // Every rendered line has equal width.
+    std::size_t width = 0;
+    std::size_t start = 0;
+    while (start < out.size()) {
+        const std::size_t end = out.find('\n', start);
+        const std::size_t len = end - start;
+        if (width == 0) width = len;
+        EXPECT_EQ(len, width);
+        start = end + 1;
+    }
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+    Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeadersThrow) {
+    EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, NumericRowFormatting) {
+    Table t({"x", "y"});
+    t.set_precision(3);
+    t.add_numeric_row({1.0, 0.333333333});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| 1 "), std::string::npos);
+    EXPECT_NE(out.find("0.333"), std::string::npos);
+}
+
+TEST(Table, FormatDoubleIntegers) {
+    EXPECT_EQ(Table::format_double(42.0, 4), "42");
+    EXPECT_EQ(Table::format_double(-3.0, 4), "-3");
+    EXPECT_EQ(Table::format_double(0.5, 4), "0.5");
+}
+
+TEST(Chart, ScatterContainsGlyphsAndLegend) {
+    Series s1{"alpha", {0.0, 1.0, 2.0}, {0.0, 1.0, 4.0}};
+    Series s2{"beta", {0.0, 1.0, 2.0}, {4.0, 1.0, 0.0}};
+    ChartOptions options;
+    options.x_label = "bid";
+    options.y_label = "utility";
+    const std::string out = render_scatter({s1, s2}, options);
+    EXPECT_NE(out.find('*'), std::string::npos);
+    EXPECT_NE(out.find('+'), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("beta"), std::string::npos);
+    EXPECT_NE(out.find("utility"), std::string::npos);
+}
+
+TEST(Chart, EmptyScatter) {
+    EXPECT_EQ(render_scatter({}, {}), "(empty chart)\n");
+}
+
+TEST(Chart, ConstantSeriesDoesNotCrash) {
+    Series s{"flat", {1.0, 2.0, 3.0}, {5.0, 5.0, 5.0}};
+    const std::string out = render_scatter({s}, {});
+    EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(Chart, GanttLanesInFirstAppearanceOrder) {
+    std::vector<GanttBar> bars{
+        {"BUS", 0.0, 1.0, '-'},
+        {"P1", 1.0, 3.0, '#'},
+        {"P2", 2.0, 4.0, '#'},
+    };
+    const std::string out = render_gantt(bars, {});
+    const auto bus = out.find("BUS");
+    const auto p1 = out.find("P1");
+    const auto p2 = out.find("P2");
+    EXPECT_LT(bus, p1);
+    EXPECT_LT(p1, p2);
+    EXPECT_NE(out.find('#'), std::string::npos);
+    EXPECT_NE(out.find('-'), std::string::npos);
+}
+
+TEST(Chart, GanttEmpty) {
+    EXPECT_EQ(render_gantt({}, {}), "(empty gantt)\n");
+}
+
+}  // namespace
+}  // namespace dlsbl::util
