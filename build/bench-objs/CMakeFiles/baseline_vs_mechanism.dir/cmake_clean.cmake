@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/baseline_vs_mechanism"
+  "../bench/baseline_vs_mechanism.pdb"
+  "CMakeFiles/baseline_vs_mechanism.dir/baseline_vs_mechanism.cpp.o"
+  "CMakeFiles/baseline_vs_mechanism.dir/baseline_vs_mechanism.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_vs_mechanism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

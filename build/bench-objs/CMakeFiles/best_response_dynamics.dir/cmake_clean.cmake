@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/best_response_dynamics"
+  "../bench/best_response_dynamics.pdb"
+  "CMakeFiles/best_response_dynamics.dir/best_response_dynamics.cpp.o"
+  "CMakeFiles/best_response_dynamics.dir/best_response_dynamics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/best_response_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

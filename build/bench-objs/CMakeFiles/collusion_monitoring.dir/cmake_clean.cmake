@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/collusion_monitoring"
+  "../bench/collusion_monitoring.pdb"
+  "CMakeFiles/collusion_monitoring.dir/collusion_monitoring.cpp.o"
+  "CMakeFiles/collusion_monitoring.dir/collusion_monitoring.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collusion_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

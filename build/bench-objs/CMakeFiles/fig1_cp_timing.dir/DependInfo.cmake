@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig1_cp_timing.cpp" "bench-objs/CMakeFiles/fig1_cp_timing.dir/fig1_cp_timing.cpp.o" "gcc" "bench-objs/CMakeFiles/fig1_cp_timing.dir/fig1_cp_timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dlt/CMakeFiles/dlsbl_dlt.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/dlsbl_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlsbl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mech/CMakeFiles/dlsbl_mech.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dlsbl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dlsbl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_cp_timing"
+  "../bench/fig1_cp_timing.pdb"
+  "CMakeFiles/fig1_cp_timing.dir/fig1_cp_timing.cpp.o"
+  "CMakeFiles/fig1_cp_timing.dir/fig1_cp_timing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_cp_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

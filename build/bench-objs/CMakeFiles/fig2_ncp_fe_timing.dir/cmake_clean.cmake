@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_ncp_fe_timing"
+  "../bench/fig2_ncp_fe_timing.pdb"
+  "CMakeFiles/fig2_ncp_fe_timing.dir/fig2_ncp_fe_timing.cpp.o"
+  "CMakeFiles/fig2_ncp_fe_timing.dir/fig2_ncp_fe_timing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_ncp_fe_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

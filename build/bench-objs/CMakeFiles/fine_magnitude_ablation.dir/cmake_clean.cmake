@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fine_magnitude_ablation"
+  "../bench/fine_magnitude_ablation.pdb"
+  "CMakeFiles/fine_magnitude_ablation.dir/fine_magnitude_ablation.cpp.o"
+  "CMakeFiles/fine_magnitude_ablation.dir/fine_magnitude_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fine_magnitude_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/lemma52_fines"
+  "../bench/lemma52_fines.pdb"
+  "CMakeFiles/lemma52_fines.dir/lemma52_fines.cpp.o"
+  "CMakeFiles/lemma52_fines.dir/lemma52_fines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma52_fines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lemma52_fines.
+# This may be replaced when dependencies are built.

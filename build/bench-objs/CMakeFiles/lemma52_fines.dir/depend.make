@@ -1,0 +1,2 @@
+# Empty dependencies file for lemma52_fines.
+# This may be replaced when dependencies are built.

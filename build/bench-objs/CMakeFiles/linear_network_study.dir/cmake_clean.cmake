@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/linear_network_study"
+  "../bench/linear_network_study.pdb"
+  "CMakeFiles/linear_network_study.dir/linear_network_study.cpp.o"
+  "CMakeFiles/linear_network_study.dir/linear_network_study.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_network_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/multiround_ablation"
+  "../bench/multiround_ablation.pdb"
+  "CMakeFiles/multiround_ablation.dir/multiround_ablation.cpp.o"
+  "CMakeFiles/multiround_ablation.dir/multiround_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiround_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

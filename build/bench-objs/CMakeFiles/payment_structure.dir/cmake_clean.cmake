@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/payment_structure"
+  "../bench/payment_structure.pdb"
+  "CMakeFiles/payment_structure.dir/payment_structure.cpp.o"
+  "CMakeFiles/payment_structure.dir/payment_structure.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payment_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

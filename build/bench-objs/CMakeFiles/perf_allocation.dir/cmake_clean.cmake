@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_allocation"
+  "../bench/perf_allocation.pdb"
+  "CMakeFiles/perf_allocation.dir/perf_allocation.cpp.o"
+  "CMakeFiles/perf_allocation.dir/perf_allocation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

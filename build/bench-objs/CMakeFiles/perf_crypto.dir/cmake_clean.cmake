@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_crypto"
+  "../bench/perf_crypto.pdb"
+  "CMakeFiles/perf_crypto.dir/perf_crypto.cpp.o"
+  "CMakeFiles/perf_crypto.dir/perf_crypto.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/protocol_overhead"
+  "../bench/protocol_overhead.pdb"
+  "CMakeFiles/protocol_overhead.dir/protocol_overhead.cpp.o"
+  "CMakeFiles/protocol_overhead.dir/protocol_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/star_mechanism_study"
+  "../bench/star_mechanism_study.pdb"
+  "CMakeFiles/star_mechanism_study.dir/star_mechanism_study.cpp.o"
+  "CMakeFiles/star_mechanism_study.dir/star_mechanism_study.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_mechanism_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/star_sequencing"
+  "../bench/star_sequencing.pdb"
+  "CMakeFiles/star_sequencing.dir/star_sequencing.cpp.o"
+  "CMakeFiles/star_sequencing.dir/star_sequencing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_sequencing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

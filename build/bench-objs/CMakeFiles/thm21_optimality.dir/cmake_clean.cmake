@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/thm21_optimality"
+  "../bench/thm21_optimality.pdb"
+  "CMakeFiles/thm21_optimality.dir/thm21_optimality.cpp.o"
+  "CMakeFiles/thm21_optimality.dir/thm21_optimality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm21_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

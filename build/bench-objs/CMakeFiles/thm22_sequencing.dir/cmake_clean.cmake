@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/thm22_sequencing"
+  "../bench/thm22_sequencing.pdb"
+  "CMakeFiles/thm22_sequencing.dir/thm22_sequencing.cpp.o"
+  "CMakeFiles/thm22_sequencing.dir/thm22_sequencing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm22_sequencing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for thm22_sequencing.
+# This may be replaced when dependencies are built.

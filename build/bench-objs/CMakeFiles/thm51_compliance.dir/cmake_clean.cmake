@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/thm51_compliance"
+  "../bench/thm51_compliance.pdb"
+  "CMakeFiles/thm51_compliance.dir/thm51_compliance.cpp.o"
+  "CMakeFiles/thm51_compliance.dir/thm51_compliance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm51_compliance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

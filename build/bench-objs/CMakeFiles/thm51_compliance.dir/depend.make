@@ -1,0 +1,2 @@
+# Empty dependencies file for thm51_compliance.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/thm52_strategyproofness"
+  "../bench/thm52_strategyproofness.pdb"
+  "CMakeFiles/thm52_strategyproofness.dir/thm52_strategyproofness.cpp.o"
+  "CMakeFiles/thm52_strategyproofness.dir/thm52_strategyproofness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm52_strategyproofness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for thm52_strategyproofness.
+# This may be replaced when dependencies are built.

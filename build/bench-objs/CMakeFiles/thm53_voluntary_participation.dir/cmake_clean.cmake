@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/thm53_voluntary_participation"
+  "../bench/thm53_voluntary_participation.pdb"
+  "CMakeFiles/thm53_voluntary_participation.dir/thm53_voluntary_participation.cpp.o"
+  "CMakeFiles/thm53_voluntary_participation.dir/thm53_voluntary_participation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm53_voluntary_participation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for thm53_voluntary_participation.
+# This may be replaced when dependencies are built.

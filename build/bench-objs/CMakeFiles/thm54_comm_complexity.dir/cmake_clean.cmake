@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/thm54_comm_complexity"
+  "../bench/thm54_comm_complexity.pdb"
+  "CMakeFiles/thm54_comm_complexity.dir/thm54_comm_complexity.cpp.o"
+  "CMakeFiles/thm54_comm_complexity.dir/thm54_comm_complexity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm54_comm_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

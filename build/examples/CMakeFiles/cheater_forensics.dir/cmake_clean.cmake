@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheater_forensics.dir/cheater_forensics.cpp.o"
+  "CMakeFiles/cheater_forensics.dir/cheater_forensics.cpp.o.d"
+  "cheater_forensics"
+  "cheater_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheater_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsbl_cli.dir/dlsbl_cli.cpp.o"
+  "CMakeFiles/dlsbl_cli.dir/dlsbl_cli.cpp.o.d"
+  "dlsbl_cli"
+  "dlsbl_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsbl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_marketplace.dir/grid_marketplace.cpp.o"
+  "CMakeFiles/grid_marketplace.dir/grid_marketplace.cpp.o.d"
+  "grid_marketplace"
+  "grid_marketplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_marketplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

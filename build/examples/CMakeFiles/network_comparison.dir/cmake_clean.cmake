@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_comparison.dir/network_comparison.cpp.o"
+  "CMakeFiles/network_comparison.dir/network_comparison.cpp.o.d"
+  "network_comparison"
+  "network_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

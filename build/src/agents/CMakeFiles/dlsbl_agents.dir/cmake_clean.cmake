@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsbl_agents.dir/zoo.cpp.o"
+  "CMakeFiles/dlsbl_agents.dir/zoo.cpp.o.d"
+  "libdlsbl_agents.a"
+  "libdlsbl_agents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsbl_agents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdlsbl_agents.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsbl_baseline.dir/obedient.cpp.o"
+  "CMakeFiles/dlsbl_baseline.dir/obedient.cpp.o.d"
+  "libdlsbl_baseline.a"
+  "libdlsbl_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsbl_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/dlsbl_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/dlsbl_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/lamport.cpp" "src/crypto/CMakeFiles/dlsbl_crypto.dir/lamport.cpp.o" "gcc" "src/crypto/CMakeFiles/dlsbl_crypto.dir/lamport.cpp.o.d"
+  "/root/repo/src/crypto/merkle.cpp" "src/crypto/CMakeFiles/dlsbl_crypto.dir/merkle.cpp.o" "gcc" "src/crypto/CMakeFiles/dlsbl_crypto.dir/merkle.cpp.o.d"
+  "/root/repo/src/crypto/mss.cpp" "src/crypto/CMakeFiles/dlsbl_crypto.dir/mss.cpp.o" "gcc" "src/crypto/CMakeFiles/dlsbl_crypto.dir/mss.cpp.o.d"
+  "/root/repo/src/crypto/pki.cpp" "src/crypto/CMakeFiles/dlsbl_crypto.dir/pki.cpp.o" "gcc" "src/crypto/CMakeFiles/dlsbl_crypto.dir/pki.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/dlsbl_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/dlsbl_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/wots.cpp" "src/crypto/CMakeFiles/dlsbl_crypto.dir/wots.cpp.o" "gcc" "src/crypto/CMakeFiles/dlsbl_crypto.dir/wots.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dlsbl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsbl_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/dlsbl_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/dlsbl_crypto.dir/lamport.cpp.o"
+  "CMakeFiles/dlsbl_crypto.dir/lamport.cpp.o.d"
+  "CMakeFiles/dlsbl_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/dlsbl_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/dlsbl_crypto.dir/mss.cpp.o"
+  "CMakeFiles/dlsbl_crypto.dir/mss.cpp.o.d"
+  "CMakeFiles/dlsbl_crypto.dir/pki.cpp.o"
+  "CMakeFiles/dlsbl_crypto.dir/pki.cpp.o.d"
+  "CMakeFiles/dlsbl_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/dlsbl_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/dlsbl_crypto.dir/wots.cpp.o"
+  "CMakeFiles/dlsbl_crypto.dir/wots.cpp.o.d"
+  "libdlsbl_crypto.a"
+  "libdlsbl_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsbl_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

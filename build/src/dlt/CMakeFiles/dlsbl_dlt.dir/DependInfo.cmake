@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dlt/analysis.cpp" "src/dlt/CMakeFiles/dlsbl_dlt.dir/analysis.cpp.o" "gcc" "src/dlt/CMakeFiles/dlsbl_dlt.dir/analysis.cpp.o.d"
+  "/root/repo/src/dlt/closed_form.cpp" "src/dlt/CMakeFiles/dlsbl_dlt.dir/closed_form.cpp.o" "gcc" "src/dlt/CMakeFiles/dlsbl_dlt.dir/closed_form.cpp.o.d"
+  "/root/repo/src/dlt/finish_time.cpp" "src/dlt/CMakeFiles/dlsbl_dlt.dir/finish_time.cpp.o" "gcc" "src/dlt/CMakeFiles/dlsbl_dlt.dir/finish_time.cpp.o.d"
+  "/root/repo/src/dlt/gantt.cpp" "src/dlt/CMakeFiles/dlsbl_dlt.dir/gantt.cpp.o" "gcc" "src/dlt/CMakeFiles/dlsbl_dlt.dir/gantt.cpp.o.d"
+  "/root/repo/src/dlt/linear.cpp" "src/dlt/CMakeFiles/dlsbl_dlt.dir/linear.cpp.o" "gcc" "src/dlt/CMakeFiles/dlsbl_dlt.dir/linear.cpp.o.d"
+  "/root/repo/src/dlt/linear_solver.cpp" "src/dlt/CMakeFiles/dlsbl_dlt.dir/linear_solver.cpp.o" "gcc" "src/dlt/CMakeFiles/dlsbl_dlt.dir/linear_solver.cpp.o.d"
+  "/root/repo/src/dlt/multiround.cpp" "src/dlt/CMakeFiles/dlsbl_dlt.dir/multiround.cpp.o" "gcc" "src/dlt/CMakeFiles/dlsbl_dlt.dir/multiround.cpp.o.d"
+  "/root/repo/src/dlt/optimality.cpp" "src/dlt/CMakeFiles/dlsbl_dlt.dir/optimality.cpp.o" "gcc" "src/dlt/CMakeFiles/dlsbl_dlt.dir/optimality.cpp.o.d"
+  "/root/repo/src/dlt/sequencing.cpp" "src/dlt/CMakeFiles/dlsbl_dlt.dir/sequencing.cpp.o" "gcc" "src/dlt/CMakeFiles/dlsbl_dlt.dir/sequencing.cpp.o.d"
+  "/root/repo/src/dlt/star.cpp" "src/dlt/CMakeFiles/dlsbl_dlt.dir/star.cpp.o" "gcc" "src/dlt/CMakeFiles/dlsbl_dlt.dir/star.cpp.o.d"
+  "/root/repo/src/dlt/types.cpp" "src/dlt/CMakeFiles/dlsbl_dlt.dir/types.cpp.o" "gcc" "src/dlt/CMakeFiles/dlsbl_dlt.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dlsbl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsbl_dlt.dir/analysis.cpp.o"
+  "CMakeFiles/dlsbl_dlt.dir/analysis.cpp.o.d"
+  "CMakeFiles/dlsbl_dlt.dir/closed_form.cpp.o"
+  "CMakeFiles/dlsbl_dlt.dir/closed_form.cpp.o.d"
+  "CMakeFiles/dlsbl_dlt.dir/finish_time.cpp.o"
+  "CMakeFiles/dlsbl_dlt.dir/finish_time.cpp.o.d"
+  "CMakeFiles/dlsbl_dlt.dir/gantt.cpp.o"
+  "CMakeFiles/dlsbl_dlt.dir/gantt.cpp.o.d"
+  "CMakeFiles/dlsbl_dlt.dir/linear.cpp.o"
+  "CMakeFiles/dlsbl_dlt.dir/linear.cpp.o.d"
+  "CMakeFiles/dlsbl_dlt.dir/linear_solver.cpp.o"
+  "CMakeFiles/dlsbl_dlt.dir/linear_solver.cpp.o.d"
+  "CMakeFiles/dlsbl_dlt.dir/multiround.cpp.o"
+  "CMakeFiles/dlsbl_dlt.dir/multiround.cpp.o.d"
+  "CMakeFiles/dlsbl_dlt.dir/optimality.cpp.o"
+  "CMakeFiles/dlsbl_dlt.dir/optimality.cpp.o.d"
+  "CMakeFiles/dlsbl_dlt.dir/sequencing.cpp.o"
+  "CMakeFiles/dlsbl_dlt.dir/sequencing.cpp.o.d"
+  "CMakeFiles/dlsbl_dlt.dir/star.cpp.o"
+  "CMakeFiles/dlsbl_dlt.dir/star.cpp.o.d"
+  "CMakeFiles/dlsbl_dlt.dir/types.cpp.o"
+  "CMakeFiles/dlsbl_dlt.dir/types.cpp.o.d"
+  "libdlsbl_dlt.a"
+  "libdlsbl_dlt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsbl_dlt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dlsbl_dlt.
+# This may be replaced when dependencies are built.

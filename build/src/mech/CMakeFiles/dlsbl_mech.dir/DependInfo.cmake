@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mech/cp_auction.cpp" "src/mech/CMakeFiles/dlsbl_mech.dir/cp_auction.cpp.o" "gcc" "src/mech/CMakeFiles/dlsbl_mech.dir/cp_auction.cpp.o.d"
+  "/root/repo/src/mech/dls_bl.cpp" "src/mech/CMakeFiles/dlsbl_mech.dir/dls_bl.cpp.o" "gcc" "src/mech/CMakeFiles/dlsbl_mech.dir/dls_bl.cpp.o.d"
+  "/root/repo/src/mech/dynamics.cpp" "src/mech/CMakeFiles/dlsbl_mech.dir/dynamics.cpp.o" "gcc" "src/mech/CMakeFiles/dlsbl_mech.dir/dynamics.cpp.o.d"
+  "/root/repo/src/mech/properties.cpp" "src/mech/CMakeFiles/dlsbl_mech.dir/properties.cpp.o" "gcc" "src/mech/CMakeFiles/dlsbl_mech.dir/properties.cpp.o.d"
+  "/root/repo/src/mech/star_mechanism.cpp" "src/mech/CMakeFiles/dlsbl_mech.dir/star_mechanism.cpp.o" "gcc" "src/mech/CMakeFiles/dlsbl_mech.dir/star_mechanism.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dlt/CMakeFiles/dlsbl_dlt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dlsbl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsbl_mech.dir/cp_auction.cpp.o"
+  "CMakeFiles/dlsbl_mech.dir/cp_auction.cpp.o.d"
+  "CMakeFiles/dlsbl_mech.dir/dls_bl.cpp.o"
+  "CMakeFiles/dlsbl_mech.dir/dls_bl.cpp.o.d"
+  "CMakeFiles/dlsbl_mech.dir/dynamics.cpp.o"
+  "CMakeFiles/dlsbl_mech.dir/dynamics.cpp.o.d"
+  "CMakeFiles/dlsbl_mech.dir/properties.cpp.o"
+  "CMakeFiles/dlsbl_mech.dir/properties.cpp.o.d"
+  "CMakeFiles/dlsbl_mech.dir/star_mechanism.cpp.o"
+  "CMakeFiles/dlsbl_mech.dir/star_mechanism.cpp.o.d"
+  "libdlsbl_mech.a"
+  "libdlsbl_mech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsbl_mech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dlsbl_mech.
+# This may be replaced when dependencies are built.

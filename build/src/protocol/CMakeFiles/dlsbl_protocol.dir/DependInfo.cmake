@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/blocks.cpp" "src/protocol/CMakeFiles/dlsbl_protocol.dir/blocks.cpp.o" "gcc" "src/protocol/CMakeFiles/dlsbl_protocol.dir/blocks.cpp.o.d"
+  "/root/repo/src/protocol/context.cpp" "src/protocol/CMakeFiles/dlsbl_protocol.dir/context.cpp.o" "gcc" "src/protocol/CMakeFiles/dlsbl_protocol.dir/context.cpp.o.d"
+  "/root/repo/src/protocol/ledger.cpp" "src/protocol/CMakeFiles/dlsbl_protocol.dir/ledger.cpp.o" "gcc" "src/protocol/CMakeFiles/dlsbl_protocol.dir/ledger.cpp.o.d"
+  "/root/repo/src/protocol/marketplace.cpp" "src/protocol/CMakeFiles/dlsbl_protocol.dir/marketplace.cpp.o" "gcc" "src/protocol/CMakeFiles/dlsbl_protocol.dir/marketplace.cpp.o.d"
+  "/root/repo/src/protocol/messages.cpp" "src/protocol/CMakeFiles/dlsbl_protocol.dir/messages.cpp.o" "gcc" "src/protocol/CMakeFiles/dlsbl_protocol.dir/messages.cpp.o.d"
+  "/root/repo/src/protocol/meter.cpp" "src/protocol/CMakeFiles/dlsbl_protocol.dir/meter.cpp.o" "gcc" "src/protocol/CMakeFiles/dlsbl_protocol.dir/meter.cpp.o.d"
+  "/root/repo/src/protocol/node.cpp" "src/protocol/CMakeFiles/dlsbl_protocol.dir/node.cpp.o" "gcc" "src/protocol/CMakeFiles/dlsbl_protocol.dir/node.cpp.o.d"
+  "/root/repo/src/protocol/referee.cpp" "src/protocol/CMakeFiles/dlsbl_protocol.dir/referee.cpp.o" "gcc" "src/protocol/CMakeFiles/dlsbl_protocol.dir/referee.cpp.o.d"
+  "/root/repo/src/protocol/runner.cpp" "src/protocol/CMakeFiles/dlsbl_protocol.dir/runner.cpp.o" "gcc" "src/protocol/CMakeFiles/dlsbl_protocol.dir/runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dlsbl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mech/CMakeFiles/dlsbl_mech.dir/DependInfo.cmake"
+  "/root/repo/build/src/dlt/CMakeFiles/dlsbl_dlt.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dlsbl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dlsbl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

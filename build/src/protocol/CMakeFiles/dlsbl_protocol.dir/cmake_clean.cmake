@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsbl_protocol.dir/blocks.cpp.o"
+  "CMakeFiles/dlsbl_protocol.dir/blocks.cpp.o.d"
+  "CMakeFiles/dlsbl_protocol.dir/context.cpp.o"
+  "CMakeFiles/dlsbl_protocol.dir/context.cpp.o.d"
+  "CMakeFiles/dlsbl_protocol.dir/ledger.cpp.o"
+  "CMakeFiles/dlsbl_protocol.dir/ledger.cpp.o.d"
+  "CMakeFiles/dlsbl_protocol.dir/marketplace.cpp.o"
+  "CMakeFiles/dlsbl_protocol.dir/marketplace.cpp.o.d"
+  "CMakeFiles/dlsbl_protocol.dir/messages.cpp.o"
+  "CMakeFiles/dlsbl_protocol.dir/messages.cpp.o.d"
+  "CMakeFiles/dlsbl_protocol.dir/meter.cpp.o"
+  "CMakeFiles/dlsbl_protocol.dir/meter.cpp.o.d"
+  "CMakeFiles/dlsbl_protocol.dir/node.cpp.o"
+  "CMakeFiles/dlsbl_protocol.dir/node.cpp.o.d"
+  "CMakeFiles/dlsbl_protocol.dir/referee.cpp.o"
+  "CMakeFiles/dlsbl_protocol.dir/referee.cpp.o.d"
+  "CMakeFiles/dlsbl_protocol.dir/runner.cpp.o"
+  "CMakeFiles/dlsbl_protocol.dir/runner.cpp.o.d"
+  "libdlsbl_protocol.a"
+  "libdlsbl_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsbl_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

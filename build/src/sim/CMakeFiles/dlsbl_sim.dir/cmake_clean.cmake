@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsbl_sim.dir/kernel.cpp.o"
+  "CMakeFiles/dlsbl_sim.dir/kernel.cpp.o.d"
+  "CMakeFiles/dlsbl_sim.dir/metrics.cpp.o"
+  "CMakeFiles/dlsbl_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/dlsbl_sim.dir/network.cpp.o"
+  "CMakeFiles/dlsbl_sim.dir/network.cpp.o.d"
+  "CMakeFiles/dlsbl_sim.dir/trace.cpp.o"
+  "CMakeFiles/dlsbl_sim.dir/trace.cpp.o.d"
+  "libdlsbl_sim.a"
+  "libdlsbl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsbl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/bigint.cpp" "src/util/CMakeFiles/dlsbl_util.dir/bigint.cpp.o" "gcc" "src/util/CMakeFiles/dlsbl_util.dir/bigint.cpp.o.d"
+  "/root/repo/src/util/bytes.cpp" "src/util/CMakeFiles/dlsbl_util.dir/bytes.cpp.o" "gcc" "src/util/CMakeFiles/dlsbl_util.dir/bytes.cpp.o.d"
+  "/root/repo/src/util/chart.cpp" "src/util/CMakeFiles/dlsbl_util.dir/chart.cpp.o" "gcc" "src/util/CMakeFiles/dlsbl_util.dir/chart.cpp.o.d"
+  "/root/repo/src/util/rational.cpp" "src/util/CMakeFiles/dlsbl_util.dir/rational.cpp.o" "gcc" "src/util/CMakeFiles/dlsbl_util.dir/rational.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/dlsbl_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/dlsbl_util.dir/rng.cpp.o.d"
+  "/root/repo/src/util/statistics.cpp" "src/util/CMakeFiles/dlsbl_util.dir/statistics.cpp.o" "gcc" "src/util/CMakeFiles/dlsbl_util.dir/statistics.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/dlsbl_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/dlsbl_util.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsbl_util.dir/bigint.cpp.o"
+  "CMakeFiles/dlsbl_util.dir/bigint.cpp.o.d"
+  "CMakeFiles/dlsbl_util.dir/bytes.cpp.o"
+  "CMakeFiles/dlsbl_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/dlsbl_util.dir/chart.cpp.o"
+  "CMakeFiles/dlsbl_util.dir/chart.cpp.o.d"
+  "CMakeFiles/dlsbl_util.dir/rational.cpp.o"
+  "CMakeFiles/dlsbl_util.dir/rational.cpp.o.d"
+  "CMakeFiles/dlsbl_util.dir/rng.cpp.o"
+  "CMakeFiles/dlsbl_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dlsbl_util.dir/statistics.cpp.o"
+  "CMakeFiles/dlsbl_util.dir/statistics.cpp.o.d"
+  "CMakeFiles/dlsbl_util.dir/table.cpp.o"
+  "CMakeFiles/dlsbl_util.dir/table.cpp.o.d"
+  "libdlsbl_util.a"
+  "libdlsbl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsbl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dlt_analysis.dir/test_dlt_analysis.cpp.o"
+  "CMakeFiles/test_dlt_analysis.dir/test_dlt_analysis.cpp.o.d"
+  "test_dlt_analysis"
+  "test_dlt_analysis.pdb"
+  "test_dlt_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dlt_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

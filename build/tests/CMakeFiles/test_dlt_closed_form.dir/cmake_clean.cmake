@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dlt_closed_form.dir/test_dlt_closed_form.cpp.o"
+  "CMakeFiles/test_dlt_closed_form.dir/test_dlt_closed_form.cpp.o.d"
+  "test_dlt_closed_form"
+  "test_dlt_closed_form.pdb"
+  "test_dlt_closed_form[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dlt_closed_form.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dlt_exact.dir/test_dlt_exact.cpp.o"
+  "CMakeFiles/test_dlt_exact.dir/test_dlt_exact.cpp.o.d"
+  "test_dlt_exact"
+  "test_dlt_exact.pdb"
+  "test_dlt_exact[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dlt_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dlt_gantt.dir/test_dlt_gantt.cpp.o"
+  "CMakeFiles/test_dlt_gantt.dir/test_dlt_gantt.cpp.o.d"
+  "test_dlt_gantt"
+  "test_dlt_gantt.pdb"
+  "test_dlt_gantt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dlt_gantt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

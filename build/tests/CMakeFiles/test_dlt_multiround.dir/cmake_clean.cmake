@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dlt_multiround.dir/test_dlt_multiround.cpp.o"
+  "CMakeFiles/test_dlt_multiround.dir/test_dlt_multiround.cpp.o.d"
+  "test_dlt_multiround"
+  "test_dlt_multiround.pdb"
+  "test_dlt_multiround[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dlt_multiround.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

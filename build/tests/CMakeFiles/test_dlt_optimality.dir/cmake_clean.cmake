@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dlt_optimality.dir/test_dlt_optimality.cpp.o"
+  "CMakeFiles/test_dlt_optimality.dir/test_dlt_optimality.cpp.o.d"
+  "test_dlt_optimality"
+  "test_dlt_optimality.pdb"
+  "test_dlt_optimality[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dlt_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dlt_solver.dir/test_dlt_solver.cpp.o"
+  "CMakeFiles/test_dlt_solver.dir/test_dlt_solver.cpp.o.d"
+  "test_dlt_solver"
+  "test_dlt_solver.pdb"
+  "test_dlt_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dlt_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dlt_star.dir/test_dlt_star.cpp.o"
+  "CMakeFiles/test_dlt_star.dir/test_dlt_star.cpp.o.d"
+  "test_dlt_star"
+  "test_dlt_star.pdb"
+  "test_dlt_star[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dlt_star.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

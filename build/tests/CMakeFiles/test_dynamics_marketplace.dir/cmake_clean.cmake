@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamics_marketplace.dir/test_dynamics_marketplace.cpp.o"
+  "CMakeFiles/test_dynamics_marketplace.dir/test_dynamics_marketplace.cpp.o.d"
+  "test_dynamics_marketplace"
+  "test_dynamics_marketplace.pdb"
+  "test_dynamics_marketplace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamics_marketplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exact_mechanism.dir/test_exact_mechanism.cpp.o"
+  "CMakeFiles/test_exact_mechanism.dir/test_exact_mechanism.cpp.o.d"
+  "test_exact_mechanism"
+  "test_exact_mechanism.pdb"
+  "test_exact_mechanism[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exact_mechanism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

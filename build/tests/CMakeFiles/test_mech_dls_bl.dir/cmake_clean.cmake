@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mech_dls_bl.dir/test_mech_dls_bl.cpp.o"
+  "CMakeFiles/test_mech_dls_bl.dir/test_mech_dls_bl.cpp.o.d"
+  "test_mech_dls_bl"
+  "test_mech_dls_bl.pdb"
+  "test_mech_dls_bl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mech_dls_bl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mech_properties.dir/test_mech_properties.cpp.o"
+  "CMakeFiles/test_mech_properties.dir/test_mech_properties.cpp.o.d"
+  "test_mech_properties"
+  "test_mech_properties.pdb"
+  "test_mech_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mech_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

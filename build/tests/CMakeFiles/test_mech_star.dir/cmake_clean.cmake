@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mech_star.dir/test_mech_star.cpp.o"
+  "CMakeFiles/test_mech_star.dir/test_mech_star.cpp.o.d"
+  "test_mech_star"
+  "test_mech_star.pdb"
+  "test_mech_star[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mech_star.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

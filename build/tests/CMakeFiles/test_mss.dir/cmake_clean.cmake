@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mss.dir/test_mss.cpp.o"
+  "CMakeFiles/test_mss.dir/test_mss.cpp.o.d"
+  "test_mss"
+  "test_mss.pdb"
+  "test_mss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

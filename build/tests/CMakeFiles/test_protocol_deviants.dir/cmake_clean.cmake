@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_deviants.dir/test_protocol_deviants.cpp.o"
+  "CMakeFiles/test_protocol_deviants.dir/test_protocol_deviants.cpp.o.d"
+  "test_protocol_deviants"
+  "test_protocol_deviants.pdb"
+  "test_protocol_deviants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_deviants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

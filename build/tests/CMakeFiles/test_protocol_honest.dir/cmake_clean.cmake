@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_honest.dir/test_protocol_honest.cpp.o"
+  "CMakeFiles/test_protocol_honest.dir/test_protocol_honest.cpp.o.d"
+  "test_protocol_honest"
+  "test_protocol_honest.pdb"
+  "test_protocol_honest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_honest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

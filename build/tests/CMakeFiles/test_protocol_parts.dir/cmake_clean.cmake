@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_parts.dir/test_protocol_parts.cpp.o"
+  "CMakeFiles/test_protocol_parts.dir/test_protocol_parts.cpp.o.d"
+  "test_protocol_parts"
+  "test_protocol_parts.pdb"
+  "test_protocol_parts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_parts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

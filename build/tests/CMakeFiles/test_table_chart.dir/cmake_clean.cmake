@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table_chart.dir/test_table_chart.cpp.o"
+  "CMakeFiles/test_table_chart.dir/test_table_chart.cpp.o.d"
+  "test_table_chart"
+  "test_table_chart.pdb"
+  "test_table_chart[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table_chart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

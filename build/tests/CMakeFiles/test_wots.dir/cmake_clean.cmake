@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wots.dir/test_wots.cpp.o"
+  "CMakeFiles/test_wots.dir/test_wots.cpp.o.d"
+  "test_wots"
+  "test_wots.pdb"
+  "test_wots[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
