@@ -9,15 +9,29 @@
 #include <cstdio>
 #include <string>
 
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+
 namespace dlsbl::bench {
 
 class Report {
  public:
     explicit Report(std::string title) {
+        manifest_.set("bench", title);
         std::printf("\n==============================================================\n");
         std::printf("%s\n", title.c_str());
         std::printf("==============================================================\n");
     }
+
+    // Prints the run manifest — config echo, git describe, and a snapshot of
+    // the process-global metrics registry — as one greppable JSON line.
+    ~Report() {
+        std::printf("RUN_MANIFEST %s\n",
+                    manifest_.to_json(&obs::MetricsRegistry::global()).c_str());
+    }
+
+    // Benches annotate the manifest with their config (seed, m, trials, ...).
+    [[nodiscard]] obs::RunManifest& manifest() noexcept { return manifest_; }
 
     void section(const std::string& heading) { std::printf("\n--- %s ---\n", heading.c_str()); }
 
@@ -33,6 +47,7 @@ class Report {
     [[nodiscard]] int exit_code() const noexcept { return failed_ ? 1 : 0; }
 
  private:
+    obs::RunManifest manifest_;
     bool failed_ = false;
 };
 

@@ -43,6 +43,7 @@ int main() {
     bench::Report report("E22 (extension): wall-clock overhead of the mechanism");
 
     const std::vector<std::size_t> sizes{4, 8, 16, 32, 64};
+    report.manifest().set_uint("m_max", sizes.back());
     const std::vector<double> costs{1e-7, 1e-6, 1e-5};
 
     report.section("makespan inflation vs fleet size and control-byte cost");

@@ -10,6 +10,7 @@ using namespace dlsbl;
 
 int main() {
     bench::Report report("E7: Theorems 3.2/5.3 — voluntary participation");
+    report.manifest().set_uint("seed", 7).set_uint("protocol_seed_base", 100);
 
     report.section("mechanism level: truthful utilities over random instances");
     util::Xoshiro256 rng{7};

@@ -14,8 +14,11 @@ using namespace dlsbl;
 
 int main() {
     bench::Report report("E10: Theorem 5.4 — communication complexity Θ(m²)");
+    report.manifest().set("kind", "NCP-FE").set_num("z", 0.2).set_uint(
+        "seed", protocol::ProtocolConfig{}.seed);
 
     const std::vector<std::size_t> sizes{4, 8, 16, 32, 64, 128, 256, 512};
+    report.manifest().set_uint("m_max", sizes.back());
     // The power-law fit uses only m >= 64: below that the constant envelope
     // overhead per message (signature, names) dilutes the quadratic term.
     const std::size_t fit_from = 64;

@@ -1,15 +1,48 @@
 // Cheater forensics: runs one protocol execution per deviant strategy and
 // prints the referee's case file — the accusation, the evidence checks, the
 // verdict, and where the money went — by replaying the signed-message trace.
+//
+// Usage:
+//   cheater_forensics [--log-level off|error|warn|info|debug]
+//                     [--trace-out <prefix>] [--metrics-out <prefix>]
+//
+// --trace-out / --metrics-out are prefixes: each case writes
+// <prefix><case>.json (Chrome trace-event, open in chrome://tracing or
+// Perfetto) / <prefix><case>.txt (Prometheus-style metrics).
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
 
 #include "agents/zoo.hpp"
+#include "obs/catapult.hpp"
+#include "obs/event.hpp"
 #include "protocol/runner.hpp"
 #include "util/table.hpp"
 
 using namespace dlsbl;
 
 namespace {
+
+std::string g_trace_prefix;
+std::string g_metrics_prefix;
+
+[[noreturn]] void usage() {
+    std::fprintf(stderr,
+                 "usage: cheater_forensics [--log-level off|error|warn|info|debug]\n"
+                 "                         [--trace-out PREFIX]   one Chrome-trace JSON "
+                 "per case\n"
+                 "                         [--metrics-out PREFIX] one metrics dump per "
+                 "case\n");
+    std::exit(2);
+}
+
+// "strategy (as P3, NCP-FE)" -> "strategy_P3_NCP-FE", safe in a filename.
+std::string case_slug(const protocol::Strategy& strategy, std::size_t slot,
+                      dlt::NetworkKind kind) {
+    return strategy.name + "_P" + std::to_string(slot + 1) + "_" +
+           std::string(dlt::to_string(kind));
+}
 
 void investigate(const protocol::Strategy& strategy, std::size_t slot,
                  dlt::NetworkKind kind) {
@@ -25,7 +58,16 @@ void investigate(const protocol::Strategy& strategy, std::size_t slot,
     std::printf("\n=== case: %s (as P%zu, %s) ===\n", strategy.name.c_str(), slot + 1,
                 dlt::to_string(kind));
 
-    const auto outcome = protocol::run_protocol(config, [](const auto& internals) {
+    const std::string slug = case_slug(strategy, slot, kind);
+    const auto outcome = protocol::run_protocol(config, [&](const auto& internals) {
+        if (!g_trace_prefix.empty()) {
+            obs::write_catapult_file(g_trace_prefix + slug + ".json",
+                                     internals.context.network().trace());
+        }
+        if (!g_metrics_prefix.empty()) {
+            std::ofstream out(g_metrics_prefix + slug + ".txt");
+            if (out) out << internals.context.metrics_registry().prometheus_text();
+        }
         // Replay the referee's verdict lines from the network trace.
         for (const auto& event :
              internals.context.network().trace().filter(sim::TraceKind::kVerdict)) {
@@ -51,7 +93,27 @@ void investigate(const protocol::Strategy& strategy, std::size_t slot,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    obs::install_logger_bridge();
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) usage();
+            return argv[++i];
+        };
+        if (arg == "--log-level") {
+            util::LogLevel level;
+            if (!obs::parse_log_level(next(), level)) usage();
+            obs::set_log_level(level);
+        } else if (arg == "--trace-out") {
+            g_trace_prefix = next();
+        } else if (arg == "--metrics-out") {
+            g_metrics_prefix = next();
+        } else {
+            usage();
+        }
+    }
+
     std::printf("DLS-BL-NCP forensics: one run per deviant strategy.\n");
     std::printf("Honest control run first:\n");
     investigate(agents::truthful(), 2, dlt::NetworkKind::kNcpFE);

@@ -4,6 +4,8 @@
 //   dlsbl_cli [--kind fe|nfe] [--z <double>] [--w <w1,w2,...>]
 //             [--strategy <index>:<name>]... [--blocks N] [--latency L]
 //             [--fine F] [--seed S] [--trace]
+//             [--log-level off|error|warn|info|debug] [--jsonl-out <file.jsonl>]
+//             [--trace-out <file.json>] [--metrics-out <file.txt>] [--profile]
 //
 // Strategy names: truthful, underbidder, overbidder, slow_executor,
 // masked_overbidder, inconsistent_bidder, short_shipping_lo,
@@ -20,7 +22,12 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+
 #include "agents/zoo.hpp"
+#include "obs/catapult.hpp"
+#include "obs/event.hpp"
+#include "obs/profiler.hpp"
 #include "protocol/runner.hpp"
 #include "util/table.hpp"
 
@@ -75,7 +82,13 @@ std::vector<double> parse_doubles(const std::string& csv) {
         stderr,
         "usage: dlsbl_cli [--kind fe|nfe] [--z Z] [--w w1,w2,...]\n"
         "                 [--strategy i:name]... [--blocks N] [--latency L]\n"
-        "                 [--fine F] [--seed S] [--trace]\n");
+        "                 [--fine F] [--seed S] [--trace]\n"
+        "                 [--log-level off|error|warn|info|debug]\n"
+        "                 [--jsonl-out FILE]   structured JSONL event log\n"
+        "                 [--trace-out FILE]   Chrome trace-event JSON\n"
+        "                                      (open in chrome://tracing or Perfetto)\n"
+        "                 [--metrics-out FILE] Prometheus-style metrics dump\n"
+        "                 [--profile]          wall-clock scope profile on stderr\n");
     std::exit(2);
 }
 
@@ -89,7 +102,11 @@ int main(int argc, char** argv) {
     config.block_count = 1200;
     config.signature_algorithm = crypto::SignatureAlgorithm::kFast;
     bool show_trace = false;
+    bool profile = false;
+    std::string jsonl_out, trace_out, metrics_out;
     std::vector<std::pair<std::size_t, std::string>> strategy_args;
+
+    obs::install_logger_bridge();
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -128,6 +145,18 @@ int main(int argc, char** argv) {
             config.seed = std::strtoull(next().c_str(), nullptr, 10);
         } else if (arg == "--trace") {
             show_trace = true;
+        } else if (arg == "--log-level") {
+            util::LogLevel level;
+            if (!obs::parse_log_level(next(), level)) usage();
+            obs::set_log_level(level);
+        } else if (arg == "--jsonl-out") {
+            jsonl_out = next();
+        } else if (arg == "--trace-out") {
+            trace_out = next();
+        } else if (arg == "--metrics-out") {
+            metrics_out = next();
+        } else if (arg == "--profile") {
+            profile = true;
         } else if (arg == "--help" || arg == "-h") {
             usage();
         } else {
@@ -145,11 +174,36 @@ int main(int argc, char** argv) {
         config.strategies[index] = strategy_by_name(name);
     }
 
+    std::shared_ptr<obs::JsonlSink> jsonl_sink;
+    if (!jsonl_out.empty()) {
+        jsonl_sink = std::make_shared<obs::JsonlSink>(jsonl_out);
+        if (!jsonl_sink->ok()) {
+            std::fprintf(stderr, "cannot open '%s' for writing\n", jsonl_out.c_str());
+            return 2;
+        }
+        obs::EventLog::instance().add_sink(jsonl_sink);
+    }
+    if (profile) obs::Profiler::instance().set_enabled(true);
+
     std::string trace_dump;
     const auto outcome =
         protocol::run_protocol(config, [&](const protocol::RunInternals& internals) {
             if (show_trace) trace_dump = internals.context.network().trace().render();
+            if (!trace_out.empty() &&
+                !obs::write_catapult_file(trace_out, internals.context.network().trace())) {
+                std::fprintf(stderr, "cannot open '%s' for writing\n", trace_out.c_str());
+            }
+            if (!metrics_out.empty()) {
+                std::ofstream out(metrics_out);
+                if (out) {
+                    out << internals.context.metrics_registry().prometheus_text();
+                } else {
+                    std::fprintf(stderr, "cannot open '%s' for writing\n",
+                                 metrics_out.c_str());
+                }
+            }
         });
+    obs::EventLog::instance().flush();
 
     std::printf("kind=%s z=%.4g m=%zu blocks=%zu F=%.4g\n", dlt::to_string(config.kind),
                 config.z, config.true_w.size(), config.block_count,
@@ -178,5 +232,9 @@ int main(int argc, char** argv) {
     }
     std::printf("%s", table.render().c_str());
     if (show_trace) std::printf("\n--- event trace ---\n%s", trace_dump.c_str());
+    if (profile) {
+        std::fprintf(stderr, "\n--- wall-clock profile ---\n%s",
+                     obs::Profiler::instance().report().c_str());
+    }
     return 0;
 }

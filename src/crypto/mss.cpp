@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "crypto/hmac.hpp"
+#include "obs/profiler.hpp"
 
 namespace dlsbl::crypto {
 
@@ -50,6 +51,7 @@ Digest MssKeyPair::leaf_seed(std::size_t index) const {
 
 MssKeyPair::MssKeyPair(const Digest& seed, unsigned height, OtsScheme scheme)
     : seed_(seed), scheme_(scheme) {
+    OBS_SCOPE("mss_keygen");
     if (height > 16) throw std::invalid_argument("MssKeyPair: height too large");
     leaf_count_ = std::size_t{1} << height;
     std::vector<Digest> leaf_digests;
@@ -67,6 +69,7 @@ MssKeyPair::MssKeyPair(const Digest& seed, unsigned height, OtsScheme scheme)
 }
 
 MssSignature MssKeyPair::sign(std::span<const std::uint8_t> message) {
+    OBS_SCOPE("mss_sign");
     if (next_leaf_ >= leaf_count_) {
         throw std::length_error("MssKeyPair: one-time keys exhausted");
     }
@@ -87,6 +90,7 @@ MssSignature MssKeyPair::sign(std::span<const std::uint8_t> message) {
 
 bool MssKeyPair::verify(const Digest& public_key, std::span<const std::uint8_t> message,
                         const MssSignature& signature) {
+    OBS_SCOPE("mss_verify");
     bool ots_ok = false;
     if (signature.scheme == OtsScheme::kLamport) {
         const auto ots = LamportSignature::deserialize(signature.ots);

@@ -1,6 +1,7 @@
 #include "crypto/wots.hpp"
 
 #include "crypto/hmac.hpp"
+#include "obs/profiler.hpp"
 
 namespace dlsbl::crypto {
 
@@ -66,6 +67,7 @@ std::array<unsigned, WotsKeyPair::kChains> WotsKeyPair::digits_for(
 }
 
 WotsKeyPair::Signature WotsKeyPair::sign(std::span<const std::uint8_t> message) const {
+    OBS_SCOPE("wots_sign");
     const auto digits = digits_for(message);
     Signature sig;
     for (std::size_t i = 0; i < kChains; ++i) {
@@ -76,6 +78,7 @@ WotsKeyPair::Signature WotsKeyPair::sign(std::span<const std::uint8_t> message) 
 
 bool WotsKeyPair::verify(const Digest& public_key, std::span<const std::uint8_t> message,
                          const Signature& signature) {
+    OBS_SCOPE("wots_verify");
     const auto digits = digits_for(message);
     Sha256 acc;
     for (std::size_t i = 0; i < kChains; ++i) {

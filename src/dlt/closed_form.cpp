@@ -1,8 +1,11 @@
 #include "dlt/closed_form.hpp"
 
+#include "obs/profiler.hpp"
+
 namespace dlsbl::dlt {
 
 LoadAllocation optimal_allocation(const ProblemInstance& instance) {
+    OBS_SCOPE("allocation_solve");
     instance.validate();
     return optimal_allocation_generic<double>(
         instance.kind, std::span<const double>(instance.w), instance.z);

@@ -3,10 +3,13 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/profiler.hpp"
+
 namespace dlsbl::dlt {
 
 std::vector<double> solve_linear_system(std::vector<double> a, std::vector<double> b,
                                         std::size_t n) {
+    OBS_SCOPE("linear_solve");
     if (a.size() != n * n || b.size() != n) {
         throw std::invalid_argument("solve_linear_system: dimension mismatch");
     }
@@ -40,6 +43,7 @@ std::vector<double> solve_linear_system(std::vector<double> a, std::vector<doubl
 }
 
 LoadAllocation optimal_allocation_by_solver(const ProblemInstance& instance) {
+    OBS_SCOPE("allocation_solve_lp");
     instance.validate();
     const std::size_t m = instance.processor_count();
     if (m == 1) return {1.0};

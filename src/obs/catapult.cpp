@@ -1,0 +1,126 @@
+#include "obs/catapult.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace dlsbl::obs {
+
+namespace {
+
+class TrackTable {
+ public:
+    // Fixed tracks first so the viewer shows protocol + bus on top.
+    TrackTable() {
+        id_of("protocol");
+        id_of("BUS");
+    }
+
+    std::uint32_t id_of(const std::string& lane) {
+        const auto it = ids_.find(lane);
+        if (it != ids_.end()) return it->second;
+        const auto id = static_cast<std::uint32_t>(order_.size());
+        ids_.emplace(lane, id);
+        order_.push_back(lane);
+        return id;
+    }
+
+    [[nodiscard]] const std::vector<std::string>& order() const noexcept {
+        return order_;
+    }
+
+ private:
+    std::map<std::string, std::uint32_t> ids_;
+    std::vector<std::string> order_;
+};
+
+}  // namespace
+
+std::string catapult_from_trace(const sim::TraceRecorder& trace,
+                                const CatapultOptions& options) {
+    TrackTable tracks;
+    // Register every actor in first-appearance order (deterministic: the
+    // trace itself is deterministic) so tids are stable across runs.
+    for (const auto& event : trace.events()) {
+        if (!event.actor.empty()) tracks.id_of(event.actor);
+    }
+    const auto bars = sim::gantt_from_trace(trace);
+    for (const auto& bar : bars) tracks.id_of(bar.lane);
+
+    std::string events;
+    bool first = true;
+    auto push = [&](const std::string& body) {
+        if (!first) events += ',';
+        first = false;
+        events += "\n{" + body + '}';
+    };
+    auto common = [&](const char* name, const char* cat, const char* ph,
+                      std::uint32_t tid, double ts) {
+        return "\"name\":" + json_escape(name) + ",\"cat\":\"" + cat +
+               "\",\"ph\":\"" + ph + "\",\"pid\":0,\"tid\":" + std::to_string(tid) +
+               ",\"ts\":" + json_number(ts * options.time_scale);
+    };
+
+    // Metadata: name the process and each track.
+    push("\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":" +
+         json_escape(options.process_name) + '}');
+    for (std::uint32_t tid = 0; tid < tracks.order().size(); ++tid) {
+        push("\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" +
+             std::to_string(tid) +
+             ",\"args\":{\"name\":" + json_escape(tracks.order()[tid]) + '}');
+    }
+
+    // Interval events: the Gantt bars (compute spans per processor, load
+    // transfers on the BUS lane), boundaries identical to gantt_from_trace.
+    for (const auto& bar : bars) {
+        const bool is_bus = bar.glyph == '-';
+        std::string body = common(is_bus ? "load-transfer" : "compute",
+                                  is_bus ? "bus" : "compute", "X",
+                                  tracks.id_of(bar.lane), bar.start);
+        body += ",\"dur\":" + json_number((bar.end - bar.start) * options.time_scale);
+        push(body);
+    }
+
+    // Instant events: messages, verdicts, phase changes, notes.
+    for (const auto& event : trace.events()) {
+        switch (event.kind) {
+            case sim::TraceKind::kMessageSent:
+            case sim::TraceKind::kMessageDelivered:
+            case sim::TraceKind::kVerdict:
+            case sim::TraceKind::kNote: {
+                std::string body = common(sim::to_string(event.kind), "event", "i",
+                                          tracks.id_of(event.actor), event.time);
+                body += ",\"s\":\"t\",\"args\":{\"detail\":" +
+                        json_escape(event.detail) + '}';
+                push(body);
+                break;
+            }
+            case sim::TraceKind::kPhaseChange: {
+                // Global instants on the protocol track, named by the phase.
+                std::string body =
+                    common(event.detail.c_str(), "phase", "i", tracks.id_of("protocol"),
+                           event.time);
+                body += ",\"s\":\"g\",\"args\":{}";
+                push(body);
+                break;
+            }
+            default:
+                break;  // transfer/compute boundaries already covered by bars
+        }
+    }
+
+    return "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[" + events + "\n]}\n";
+}
+
+bool write_catapult_file(const std::string& path, const sim::TraceRecorder& trace,
+                         const CatapultOptions& options) {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out.good()) return false;
+    out << catapult_from_trace(trace, options);
+    return out.good();
+}
+
+}  // namespace dlsbl::obs

@@ -1,0 +1,171 @@
+#include "obs/event.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json.hpp"
+
+namespace dlsbl::obs {
+
+const char* level_tag(LogLevel level) noexcept {
+    switch (level) {
+        case LogLevel::Error: return "error";
+        case LogLevel::Warn: return "warn";
+        case LogLevel::Info: return "info";
+        case LogLevel::Debug: return "debug";
+        default: return "off";
+    }
+}
+
+Event::Event(LogLevel level, std::string component, std::string name)
+    : level_(level), component_(std::move(component)), name_(std::move(name)) {}
+
+Event& Event::str(std::string key, std::string value) {
+    fields_.push_back(Field{std::move(key), std::move(value), /*is_literal=*/false});
+    return *this;
+}
+
+Event& Event::num(std::string key, double value) {
+    fields_.push_back(Field{std::move(key), json_number(value), /*is_literal=*/true});
+    return *this;
+}
+
+Event& Event::uint(std::string key, std::uint64_t value) {
+    fields_.push_back(Field{std::move(key), std::to_string(value), /*is_literal=*/true});
+    return *this;
+}
+
+Event& Event::boolean(std::string key, bool value) {
+    fields_.push_back(
+        Field{std::move(key), value ? "true" : "false", /*is_literal=*/true});
+    return *this;
+}
+
+Event& Event::time(double sim_time) {
+    has_time_ = true;
+    sim_time_ = sim_time;
+    return *this;
+}
+
+std::string Event::to_json() const {
+    std::string out = "{\"v\":" + std::to_string(kSchemaVersion);
+    out += ",\"level\":\"";
+    out += level_tag(level_);
+    out += "\",\"component\":" + json_escape(component_);
+    out += ",\"event\":" + json_escape(name_);
+    if (has_time_) out += ",\"t\":" + json_number(sim_time_);
+    for (const auto& field : fields_) {
+        out += ',' + json_escape(field.key) + ':';
+        out += field.is_literal ? field.value : json_escape(field.value);
+    }
+    out += '}';
+    return out;
+}
+
+void StderrSink::emit(const Event& event) {
+    std::string body;
+    // Legacy text logs arrive as a single "message" field; print them
+    // exactly as util::Logger used to.
+    if (event.name() == "log" && event.fields().size() == 1 &&
+        event.fields()[0].key == "message") {
+        body = event.fields()[0].value;
+    } else {
+        body = event.name();
+        if (event.has_time()) body += " t=" + json_number(event.sim_time());
+        for (const auto& field : event.fields()) {
+            body += ' ' + field.key + '=' + field.value;
+        }
+    }
+    std::fprintf(stderr, "[%s] %s: %s\n", util::Logger::name(event.level()),
+                 event.component().c_str(), body.c_str());
+}
+
+JsonlSink::JsonlSink(std::ostream& out) : out_(&out) {}
+
+JsonlSink::JsonlSink(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path, std::ios::trunc)) {
+    out_ = owned_.get();
+}
+
+JsonlSink::~JsonlSink() = default;
+
+bool JsonlSink::ok() const noexcept { return out_ != nullptr && out_->good(); }
+
+void JsonlSink::emit(const Event& event) { *out_ << event.to_json() << '\n'; }
+
+void JsonlSink::flush() { out_->flush(); }
+
+EventLog::EventLog() { sinks_.push_back(std::make_shared<StderrSink>()); }
+
+EventLog& EventLog::instance() {
+    static EventLog log;
+    return log;
+}
+
+void EventLog::emit(const Event& event) {
+    if (!enabled(event.level())) return;
+    for (const auto& sink : sinks_) sink->emit(event);
+}
+
+void EventLog::flush() {
+    for (const auto& sink : sinks_) sink->flush();
+}
+
+void EventLog::add_sink(std::shared_ptr<EventSink> sink) {
+    sinks_.push_back(std::move(sink));
+}
+
+void EventLog::remove_sink(const std::shared_ptr<EventSink>& sink) {
+    sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+}
+
+void EventLog::reset() {
+    sinks_.clear();
+    sinks_.push_back(std::make_shared<StderrSink>());
+    level_ = LogLevel::Warn;
+}
+
+namespace {
+
+void logger_backend(LogLevel level, std::string_view component,
+                    std::string_view message) {
+    Event event(level, std::string(component), "log");
+    event.str("message", std::string(message));
+    EventLog::instance().emit(event);
+}
+
+}  // namespace
+
+void install_logger_bridge() {
+    util::Logger::instance().set_backend(&logger_backend);
+    // The EventLog gate replaces the Logger's own; let everything through so
+    // a message is filtered exactly once.
+    util::Logger::instance().set_level(LogLevel::Debug);
+}
+
+void set_log_level(LogLevel level) {
+    EventLog::instance().set_level(level);
+    if (util::Logger::instance().backend() == nullptr) {
+        util::Logger::instance().set_level(level);
+    }
+}
+
+bool parse_log_level(std::string_view text, LogLevel& out) {
+    if (text == "off") {
+        out = LogLevel::Off;
+    } else if (text == "error") {
+        out = LogLevel::Error;
+    } else if (text == "warn") {
+        out = LogLevel::Warn;
+    } else if (text == "info") {
+        out = LogLevel::Info;
+    } else if (text == "debug") {
+        out = LogLevel::Debug;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+}  // namespace dlsbl::obs

@@ -1,0 +1,144 @@
+// Structured event log: one Event = one machine-readable record of something
+// that happened during a run (a phase transition, a referee verdict, a free
+// text log line), fanned out to any number of sinks.
+//
+// Sinks:
+//   * StderrSink — prints the same "[LEVEL] component: ..." lines the legacy
+//     util::Logger printed, so default behaviour is unchanged;
+//   * JsonlSink — one schema-versioned JSON object per line, with
+//     deterministic field order (v, level, component, event, t, then fields
+//     in insertion order), so identical runs write byte-identical files.
+//
+// Events never carry wall-clock time — only simulated time, passed
+// explicitly — which is what makes the JSONL artifact reproducible.
+//
+// install_logger_bridge() re-routes the legacy util::Logger through the
+// event log, so `--log-level` and sink selection apply to every message in
+// the codebase, old and new.
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace dlsbl::obs {
+
+using util::LogLevel;
+
+// Lower-case level tag used in JSONL output ("error", "warn", ...).
+const char* level_tag(LogLevel level) noexcept;
+
+class Event {
+ public:
+    struct Field {
+        std::string key;
+        std::string value;
+        // true: `value` is already a JSON literal (number/bool), emitted
+        // as-is; false: `value` is raw bytes, JSON-escaped by JsonlSink.
+        bool is_literal = false;
+    };
+
+    Event(LogLevel level, std::string component, std::string name);
+
+    Event& str(std::string key, std::string value);
+    Event& num(std::string key, double value);
+    Event& uint(std::string key, std::uint64_t value);
+    Event& boolean(std::string key, bool value);
+    // Simulated time in seconds; emitted as field "t".
+    Event& time(double sim_time);
+
+    [[nodiscard]] LogLevel level() const noexcept { return level_; }
+    [[nodiscard]] const std::string& component() const noexcept { return component_; }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] bool has_time() const noexcept { return has_time_; }
+    [[nodiscard]] double sim_time() const noexcept { return sim_time_; }
+    [[nodiscard]] const std::vector<Field>& fields() const noexcept { return fields_; }
+
+    // The JSONL rendering (no trailing newline). Schema: version field "v"
+    // first; bump kSchemaVersion when the layout changes.
+    static constexpr int kSchemaVersion = 1;
+    [[nodiscard]] std::string to_json() const;
+
+ private:
+    LogLevel level_;
+    std::string component_;
+    std::string name_;
+    bool has_time_ = false;
+    double sim_time_ = 0.0;
+    std::vector<Field> fields_;
+};
+
+class EventSink {
+ public:
+    virtual ~EventSink() = default;
+    virtual void emit(const Event& event) = 0;
+    virtual void flush() {}
+};
+
+// Replicates the legacy util::Logger line format on stderr; structured
+// fields are appended as "key=value" pairs.
+class StderrSink final : public EventSink {
+ public:
+    void emit(const Event& event) override;
+};
+
+// One JSON object per line on a caller-owned stream (tests) or an owned
+// file (CLIs).
+class JsonlSink final : public EventSink {
+ public:
+    explicit JsonlSink(std::ostream& out);      // caller keeps `out` alive
+    explicit JsonlSink(const std::string& path);  // opens/truncates `path`
+    ~JsonlSink() override;
+
+    void emit(const Event& event) override;
+    void flush() override;
+
+    [[nodiscard]] bool ok() const noexcept;  // file opened successfully
+
+ private:
+    std::ostream* out_;
+    std::unique_ptr<std::ostream> owned_;
+};
+
+// Process-wide fan-out with a single level gate.
+class EventLog {
+ public:
+    static EventLog& instance();
+
+    void set_level(LogLevel level) noexcept { level_ = level; }
+    [[nodiscard]] LogLevel level() const noexcept { return level_; }
+    [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+        return static_cast<int>(level) <= static_cast<int>(level_);
+    }
+
+    void emit(const Event& event);
+    void flush();
+
+    void add_sink(std::shared_ptr<EventSink> sink);
+    void remove_sink(const std::shared_ptr<EventSink>& sink);
+    // Back to the default state: one StderrSink, level Warn. Tests use this.
+    void reset();
+
+ private:
+    EventLog();
+
+    LogLevel level_ = LogLevel::Warn;
+    std::vector<std::shared_ptr<EventSink>> sinks_;
+};
+
+// Routes util::Logger through EventLog::instance(). Idempotent. After this,
+// legacy log_debug()/log_info() calls reach every installed sink (the
+// default StderrSink preserves their old formatting).
+void install_logger_bridge();
+
+// Sets the level on both the legacy Logger and the EventLog, so
+// `--log-level` behaves identically for old and new call sites.
+void set_log_level(LogLevel level);
+
+// Parses "off|error|warn|info|debug" (case-sensitive); false on no match.
+bool parse_log_level(std::string_view text, LogLevel& out);
+
+}  // namespace dlsbl::obs

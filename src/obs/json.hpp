@@ -1,0 +1,54 @@
+// Minimal JSON support for the observability layer.
+//
+// Two halves:
+//   * emission — json_escape() turns arbitrary bytes (including embedded
+//     quotes, backslashes, control characters and non-UTF8 payloads) into a
+//     valid double-quoted JSON string literal, and json_number() formats a
+//     double with the shortest representation that round-trips through
+//     strtod, so identical runs emit byte-identical artifacts;
+//   * consumption — a small recursive-descent parser producing a JsonValue
+//     DOM. It exists so tests can assert that every JSONL line and every
+//     catapult export re-parses, without taking a third-party dependency.
+//
+// Bytes >= 0x80 are escaped as \u00XX (latin-1 mapping) rather than passed
+// through, which keeps the output valid JSON even for non-UTF8 input; the
+// parser decodes \u00XX back to the original byte, so escape+parse is an
+// identity on arbitrary byte strings.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dlsbl::obs {
+
+// Arbitrary bytes -> JSON string literal, quotes included.
+std::string json_escape(std::string_view raw);
+
+// Shortest decimal representation of `value` that strtod parses back to the
+// same double. Non-finite values (JSON has no inf/nan) become "null".
+std::string json_number(double value);
+
+class JsonValue {
+ public:
+    enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Kind kind = Kind::kNull;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;  // raw bytes (\u00XX decoded to single bytes)
+    std::vector<JsonValue> array;
+    // Insertion order preserved — field order is part of our schema.
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    // Object member lookup; nullptr when absent or not an object.
+    [[nodiscard]] const JsonValue* find(std::string_view key) const;
+};
+
+// Parses `text` as exactly one JSON value (surrounding whitespace allowed);
+// nullopt on any syntax error or trailing garbage.
+std::optional<JsonValue> json_parse(std::string_view text);
+
+}  // namespace dlsbl::obs

@@ -1,0 +1,43 @@
+// RunManifest: a self-describing JSON record stamped onto run artifacts.
+//
+// Every bench Report emits one as its final line (see bench/common.hpp), so
+// a captured BENCH_*.json trajectory carries the provenance needed to
+// compare perf numbers across PRs: schema version, git describe, build
+// type, the bench's config echo (seed, sizes, ...) and a snapshot of the
+// metrics registry.
+//
+// Field order is emission order (schema fields first, then user fields in
+// insertion order, metrics last), so manifests diff cleanly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace dlsbl::obs {
+
+class RunManifest {
+ public:
+    static constexpr int kSchemaVersion = 1;
+
+    // Compile-time stamped `git describe --always --dirty` (or "unknown").
+    static const char* git_describe() noexcept;
+    // CMAKE_BUILD_TYPE the binary was built with (or "unknown").
+    static const char* build_type() noexcept;
+
+    RunManifest& set(std::string key, std::string value);
+    RunManifest& set_num(std::string key, double value);
+    RunManifest& set_uint(std::string key, std::uint64_t value);
+
+    // `metrics` (when given) is embedded as a "metrics" object snapshot.
+    [[nodiscard]] std::string to_json(const MetricsRegistry* metrics = nullptr) const;
+
+ private:
+    // (key, literal-or-raw, is_literal) — mirrors Event::Field.
+    std::vector<std::pair<std::string, std::pair<std::string, bool>>> fields_;
+};
+
+}  // namespace dlsbl::obs

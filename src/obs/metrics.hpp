@@ -1,0 +1,104 @@
+// Metrics registry: counters, gauges and fixed-bucket histograms with
+// Prometheus-style text export and a JSON snapshot (embedded in the
+// RunManifest).
+//
+// Two usage patterns:
+//   * per-run — protocol::RunContext owns a registry, so one run's referee
+//     counters and re-hosted NetworkMetrics phase counters can be asserted
+//     and dumped in isolation;
+//   * process-wide — MetricsRegistry::global() accumulates across runs
+//     (bench manifests snapshot it).
+//
+// Export order is lexicographic in (metric name, label set), so two
+// identical runs produce byte-identical dumps. Instruments live behind
+// node-based maps: references returned by counter()/gauge()/histogram()
+// stay valid for the registry's lifetime.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dlsbl::obs {
+
+// Ordered key=value pairs, rendered Prometheus-style: {k1="v1",k2="v2"}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+    void inc(std::uint64_t delta = 1) noexcept { value_ += delta; }
+    [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+    std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+    void set(double value) noexcept { value_ = value; }
+    void add(double delta) noexcept { value_ += delta; }
+    [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+    double value_ = 0.0;
+};
+
+class Histogram {
+ public:
+    // `upper_bounds` must be strictly increasing; an implicit +Inf bucket is
+    // appended.
+    explicit Histogram(std::vector<double> upper_bounds);
+
+    void observe(double value);
+
+    [[nodiscard]] const std::vector<double>& upper_bounds() const noexcept {
+        return upper_bounds_;
+    }
+    // Cumulative count per bound (Prometheus "le" semantics), +Inf last.
+    [[nodiscard]] std::vector<std::uint64_t> cumulative_counts() const;
+    [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+    [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+    std::vector<double> upper_bounds_;
+    std::vector<std::uint64_t> bucket_counts_;  // per-bucket, +Inf last
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+    // Process-wide instance (benches, profiler summaries).
+    static MetricsRegistry& global();
+
+    // Returns the instrument for (name, labels), creating it on first use.
+    Counter& counter(const std::string& name, const Labels& labels = {});
+    Gauge& gauge(const std::string& name, const Labels& labels = {});
+    // `upper_bounds` is used only on first creation of (name, labels).
+    Histogram& histogram(const std::string& name, std::vector<double> upper_bounds,
+                         const Labels& labels = {});
+
+    // Optional HELP text attached to a metric name.
+    void set_help(const std::string& name, std::string help);
+
+    // Prometheus text exposition format; deterministic ordering.
+    [[nodiscard]] std::string prometheus_text() const;
+
+    // Flat JSON object {"name{labels}": value, ...}; histograms contribute
+    // _count and _sum entries. Deterministic ordering.
+    [[nodiscard]] std::string json_snapshot() const;
+
+    void clear();
+
+ private:
+    static std::string render_labels(const Labels& labels);
+
+    std::map<std::string, std::map<std::string, Counter>> counters_;
+    std::map<std::string, std::map<std::string, Gauge>> gauges_;
+    std::map<std::string, std::map<std::string, Histogram>> histograms_;
+    std::map<std::string, std::string> help_;
+};
+
+}  // namespace dlsbl::obs

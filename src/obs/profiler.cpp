@@ -1,0 +1,93 @@
+#include "obs/profiler.hpp"
+
+#include <cstdio>
+
+namespace dlsbl::obs {
+
+Profiler::Profiler() { nodes_.push_back(Node{"<root>", 0, {}, 0, 0}); }
+
+Profiler& Profiler::instance() {
+    static Profiler profiler;
+    return profiler;
+}
+
+void Profiler::reset() {
+    nodes_.clear();
+    nodes_.push_back(Node{"<root>", 0, {}, 0, 0});
+    current_ = 0;
+}
+
+std::size_t Profiler::enter(const char* name) {
+    for (const std::size_t child : nodes_[current_].children) {
+        if (nodes_[child].name == name) {
+            current_ = child;
+            return child;
+        }
+    }
+    const std::size_t index = nodes_.size();
+    nodes_.push_back(Node{name, current_, {}, 0, 0});
+    nodes_[current_].children.push_back(index);
+    current_ = index;
+    return index;
+}
+
+void Profiler::leave(std::size_t node_index, std::uint64_t elapsed_ns) {
+    Node& node = nodes_[node_index];
+    node.ns += elapsed_ns;
+    node.calls += 1;
+    current_ = node.parent;
+}
+
+std::uint64_t Profiler::total_ns(const std::string& name) const {
+    std::uint64_t total = 0;
+    for (const auto& node : nodes_) {
+        if (node.name == name) total += node.ns;
+    }
+    return total;
+}
+
+std::uint64_t Profiler::total_calls(const std::string& name) const {
+    std::uint64_t total = 0;
+    for (const auto& node : nodes_) {
+        if (node.name == name) total += node.calls;
+    }
+    return total;
+}
+
+void Profiler::report_node(std::string& out, std::size_t index, int depth) const {
+    const Node& node = nodes_[index];
+    if (index != 0) {
+        const Node& parent = nodes_[node.parent];
+        double parent_ns = static_cast<double>(parent.ns);
+        // Top-level scopes have the synthetic root (ns == 0) as parent; use
+        // the sum of top-level times instead so shares still add up.
+        if (node.parent == 0) {
+            parent_ns = 0.0;
+            for (const std::size_t child : nodes_[0].children) {
+                parent_ns += static_cast<double>(nodes_[child].ns);
+            }
+        }
+        const double pct = parent_ns > 0.0
+                               ? 100.0 * static_cast<double>(node.ns) / parent_ns
+                               : 100.0;
+        char line[192];
+        std::snprintf(line, sizeof(line), "%*s%-*s %10.3f ms %9llu calls %6.1f%%\n",
+                      2 * depth, "", 32 - 2 * depth, node.name.c_str(),
+                      static_cast<double>(node.ns) / 1e6,
+                      static_cast<unsigned long long>(node.calls), pct);
+        out += line;
+    }
+    for (const std::size_t child : node.children) {
+        report_node(out, child, index == 0 ? 0 : depth + 1);
+    }
+}
+
+std::string Profiler::report() const {
+    std::string out;
+    if (nodes_[0].children.empty()) return "profiler: no scopes recorded\n";
+    out += "scope                                  inclusive       calls  of parent\n";
+    report_node(out, 0, 0);
+    return out;
+}
+
+}  // namespace dlsbl::obs

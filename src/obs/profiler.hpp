@@ -1,0 +1,101 @@
+// Scoped wall-clock profiler.
+//
+//     OBS_SCOPE("allocation_solve");
+//
+// opens a RAII scope attributed to the current position in the scope tree;
+// nested scopes build a hierarchy (protocol_run -> sim_event_loop ->
+// allocation_solve -> linear_solve). Disabled (the default) a scope costs
+// one predicted branch, so the hooks stay compiled into the hot paths —
+// the DLT solver, the hash-based signing paths, the sim event loop —
+// without taxing them.
+//
+// The report is wall-clock and therefore intentionally *not* part of the
+// deterministic run artifacts (JSONL / catapult / metrics); it is a human
+// diagnostic printed on demand.
+//
+// Single-threaded by design, like the simulator it instruments.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dlsbl::obs {
+
+class Profiler {
+ public:
+    static Profiler& instance();
+
+    void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+    [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+    // Drops all recorded scopes (keeps the enabled flag).
+    void reset();
+
+    // Hierarchical text report: one line per scope-tree node with call
+    // count, inclusive wall time and share of the parent's time. Children
+    // are ordered by first entry, which is deterministic for a
+    // deterministic program even though the times are not.
+    [[nodiscard]] std::string report() const;
+
+    // Total inclusive nanoseconds recorded for `name` anywhere in the tree
+    // (tests use this to assert a scope actually ran).
+    [[nodiscard]] std::uint64_t total_ns(const std::string& name) const;
+    [[nodiscard]] std::uint64_t total_calls(const std::string& name) const;
+
+    // --- internal interface used by ScopedTimer ------------------------------
+    std::size_t enter(const char* name);
+    void leave(std::size_t node_index, std::uint64_t elapsed_ns);
+
+ private:
+    struct Node {
+        std::string name;
+        std::size_t parent = 0;
+        std::vector<std::size_t> children;
+        std::uint64_t ns = 0;
+        std::uint64_t calls = 0;
+    };
+
+    Profiler();
+    void report_node(std::string& out, std::size_t index, int depth) const;
+
+    bool enabled_ = false;
+    std::vector<Node> nodes_;   // nodes_[0] is the synthetic root
+    std::size_t current_ = 0;
+};
+
+class ScopedTimer {
+ public:
+    explicit ScopedTimer(const char* name) {
+        auto& profiler = Profiler::instance();
+        if (!profiler.enabled()) return;
+        active_ = true;
+        node_ = profiler.enter(name);
+        start_ = std::chrono::steady_clock::now();
+    }
+
+    ~ScopedTimer() {
+        if (!active_) return;
+        const auto elapsed = std::chrono::steady_clock::now() - start_;
+        Profiler::instance().leave(
+            node_, static_cast<std::uint64_t>(
+                       std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                           .count()));
+    }
+
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+    bool active_ = false;
+    std::size_t node_ = 0;
+    std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dlsbl::obs
+
+#define DLSBL_OBS_CONCAT_INNER(a, b) a##b
+#define DLSBL_OBS_CONCAT(a, b) DLSBL_OBS_CONCAT_INNER(a, b)
+#define OBS_SCOPE(name) \
+    ::dlsbl::obs::ScopedTimer DLSBL_OBS_CONCAT(obs_scope_, __LINE__)(name)

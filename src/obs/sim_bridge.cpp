@@ -1,0 +1,21 @@
+#include "obs/sim_bridge.hpp"
+
+namespace dlsbl::obs {
+
+void export_network_metrics(const sim::NetworkMetrics& network,
+                            MetricsRegistry& registry) {
+    registry.set_help(kControlMessagesMetric,
+                      "Control messages sent, by protocol phase (Theorem 5.4 "
+                      "communication-complexity accounting).");
+    registry.set_help(kControlBytesMetric,
+                      "Control message bytes sent, by protocol phase.");
+    for (const auto& [phase, counters] : network.by_phase()) {
+        const Labels labels{{"phase", phase}};
+        registry.counter(kControlMessagesMetric, labels).inc(counters.messages);
+        registry.counter(kControlBytesMetric, labels).inc(counters.bytes);
+    }
+    registry.counter(kLoadTransfersMetric).inc(network.load_transfers());
+    registry.gauge(kLoadUnitsMetric).add(network.load_units_moved());
+}
+
+}  // namespace dlsbl::obs

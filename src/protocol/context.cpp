@@ -2,7 +2,9 @@
 
 #include <stdexcept>
 
+#include "obs/event.hpp"
 #include "protocol/referee.hpp"
+#include "util/logging.hpp"
 
 namespace dlsbl::protocol {
 
@@ -48,7 +50,9 @@ RunContext::RunContext(sim::Simulator& simulator, sim::Network& network,
     config_.validate();
     names_.reserve(config_.true_w.size());
     for (std::size_t i = 0; i < config_.true_w.size(); ++i) {
-        names_.push_back("P" + std::to_string(i + 1));
+        std::string name = "P";
+        name += std::to_string(i + 1);
+        names_.push_back(std::move(name));
     }
     lo_name_ = names_[dlt::load_origin_index(config_.kind, names_.size())];
     ledger_.open_account(user_name_);
@@ -68,6 +72,13 @@ void RunContext::set_phase(Phase phase) {
     network_.metrics().set_phase(to_string(phase));
     network_.trace().record(simulator_.now(), sim::TraceKind::kPhaseChange, "protocol",
                             to_string(phase));
+    util::log_debug("protocol", std::string("phase -> ") + to_string(phase));
+    auto& events = obs::EventLog::instance();
+    if (events.enabled(obs::LogLevel::Debug)) {
+        events.emit(obs::Event(obs::LogLevel::Debug, "protocol", "phase_change")
+                        .time(simulator_.now())
+                        .str("phase", to_string(phase)));
+    }
 }
 
 void RunContext::mark_terminated(const std::string& reason) {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "crypto/pki.hpp"
+#include "obs/metrics.hpp"
 #include "protocol/blocks.hpp"
 #include "protocol/config.hpp"
 #include "protocol/ledger.hpp"
@@ -61,6 +62,11 @@ class RunContext {
     [[nodiscard]] const DataSet& dataset() const noexcept { return dataset_; }
     [[nodiscard]] Ledger& ledger() noexcept { return ledger_; }
     [[nodiscard]] MeterBank& meters() noexcept { return meters_; }
+    // Per-run metrics: referee counters plus the post-run NetworkMetrics
+    // export land here, isolated from other runs in the same process.
+    [[nodiscard]] obs::MetricsRegistry& metrics_registry() noexcept {
+        return metrics_registry_;
+    }
 
     // --- phase & termination -------------------------------------------------
     [[nodiscard]] Phase phase() const noexcept { return phase_; }
@@ -106,6 +112,7 @@ class RunContext {
     DataSet dataset_;
     Ledger ledger_;
     MeterBank meters_;
+    obs::MetricsRegistry metrics_registry_;
 
     std::vector<std::string> names_;
     std::string referee_name_ = "referee";

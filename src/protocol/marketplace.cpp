@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/logging.hpp"
+
 namespace dlsbl::protocol {
 
 void MarketConfig::validate() const {
@@ -61,6 +63,11 @@ MarketReport run_marketplace(const MarketConfig& config) {
         run.z = rng.uniform(0.05, 0.8 * min_w);
 
         const auto outcome = run_protocol(run);
+        util::log_debug("marketplace",
+                        "job " + std::to_string(job) + ": kind=" +
+                            std::string(dlt::to_string(run.kind)) +
+                            " terminated=" + (outcome.terminated_early ? "yes" : "no") +
+                            " user_paid=" + std::to_string(outcome.user_paid));
         ++report.jobs_run;
         if (outcome.terminated_early) ++report.jobs_terminated;
         report.total_user_spend += outcome.user_paid;

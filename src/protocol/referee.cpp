@@ -5,10 +5,44 @@
 
 #include "dlt/closed_form.hpp"
 #include "mech/dls_bl.hpp"
+#include "obs/event.hpp"
+#include "util/logging.hpp"
 
 namespace dlsbl::protocol {
 
+// Referee metric names (per-run registry; tests assert against these).
+namespace {
+constexpr const char* kFinesMetric = "dlsbl_referee_fines_total";
+constexpr const char* kFinesAmountMetric = "dlsbl_referee_fines_amount";
+constexpr const char* kDisputesOpenedMetric = "dlsbl_referee_disputes_opened_total";
+constexpr const char* kDisputesResolvedMetric = "dlsbl_referee_disputes_resolved_total";
+constexpr const char* kAccusationsMetric = "dlsbl_referee_accusations_total";
+}  // namespace
+
 Referee::Referee(RunContext& context) : Process(context.referee_name()), ctx_(context) {}
+
+void Referee::count_dispute_opened(const char* kind) {
+    open_dispute_kind_ = kind;
+    ctx_.metrics_registry()
+        .counter(kDisputesOpenedMetric, {{"kind", kind}})
+        .inc();
+}
+
+void Referee::count_dispute_resolved() {
+    if (open_dispute_kind_ == nullptr) return;
+    ctx_.metrics_registry()
+        .counter(kDisputesResolvedMetric, {{"kind", open_dispute_kind_}})
+        .inc();
+    open_dispute_kind_ = nullptr;
+}
+
+void Referee::count_accusation(const char* type, bool substantiated) {
+    ctx_.metrics_registry()
+        .counter(kAccusationsMetric,
+                 {{"type", type},
+                  {"verdict", substantiated ? "substantiated" : "unfounded"}})
+        .inc();
+}
 
 void Referee::on_message(const sim::Envelope& envelope) {
     if (ctx_.terminated()) return;
@@ -63,6 +97,7 @@ void Referee::handle_double_bid_accusation(const sim::Envelope& envelope) {
         substantiated = first && second && first->processor == accused &&
                         second->processor == accused;
     }
+    count_accusation("double-bid", substantiated);
     if (substantiated) {
         issue_verdict({accused}, "double-bid by " + accused, /*terminate=*/true);
     } else {
@@ -82,6 +117,7 @@ void Referee::handle_alloc_complaint(const sim::Envelope& envelope) {
 
     open_complaint_ = std::move(*complaint);
     stage_ = DisputeStage::kAllocAwaitingBidVectors;
+    count_dispute_opened("allocation");
     bid_vector_responses_.clear();
     bid_vector_expected_ = {ctx_.load_origin(), open_complaint_->complainant};
     // "Processors P_lo and P_i submit their vector of bids" (§4).
@@ -184,6 +220,7 @@ void Referee::adjudicate_alloc_complaint() {
 
     if (invalid > 0) {
         // "the load unit integrity check failed" -> P_lo fined.
+        count_accusation("allocation", /*substantiated=*/true);
         issue_verdict({lo}, "load-unit integrity failure by " + lo, /*terminate=*/true);
         return;
     }
@@ -194,6 +231,7 @@ void Referee::adjudicate_alloc_complaint() {
         for (const auto& block : complaint.held_blocks) {
             if (DataSet::verify_block(ctx_.dataset().root(), block)) ++authentic_held;
         }
+        count_accusation("allocation", authentic_held > expected);
         if (authentic_held > expected) {
             issue_verdict({lo}, "over-shipment by " + lo, /*terminate=*/true);
         } else {
@@ -220,6 +258,7 @@ void Referee::adjudicate_alloc_complaint() {
     }
     // valid == expected: the bus shows a correct assignment; the claim is
     // unfounded -> complainant fined.
+    count_accusation("allocation", /*substantiated=*/false);
     issue_verdict({complainant}, "unfounded allocation complaint by " + complainant,
                   /*terminate=*/true);
 }
@@ -230,12 +269,14 @@ void Referee::handle_mediate_blocks(const sim::Envelope& envelope) {
     const auto batch = LoadBatch::deserialize(envelope.payload);
     const std::string& lo = ctx_.load_origin();
     if (!batch) {
+        count_accusation("allocation", /*substantiated=*/true);
         issue_verdict({lo}, "malformed mediation response by " + lo, /*terminate=*/true);
         return;
     }
     for (const auto& block : batch->blocks) {
         if (!DataSet::verify_block(ctx_.dataset().root(), block)) {
             // "load unit integrity fails, P_lo is fined"
+            count_accusation("allocation", /*substantiated=*/true);
             issue_verdict({lo}, "mediated block integrity failure by " + lo,
                           /*terminate=*/true);
             return;
@@ -243,6 +284,7 @@ void Referee::handle_mediate_blocks(const sim::Envelope& envelope) {
     }
     // The LO produced authentic blocks it had verifiably not shipped (bus
     // record): the short assignment is substantiated.
+    count_accusation("allocation", /*substantiated=*/true);
     issue_verdict({lo}, "short-shipment by " + lo, /*terminate=*/true);
 }
 
@@ -251,6 +293,7 @@ void Referee::handle_mediate_refuse(const sim::Envelope& envelope) {
     if (envelope.from != ctx_.load_origin()) return;
     // "If P_lo refuses to transmit the correct number of load units ...
     // P_lo is fined."
+    count_accusation("allocation", /*substantiated=*/true);
     issue_verdict({ctx_.load_origin()}, "mediation refused by " + ctx_.load_origin(),
                   /*terminate=*/true);
 }
@@ -331,6 +374,7 @@ void Referee::evaluate_payments() {
         return;
     }
     stage_ = DisputeStage::kPaymentAwaitingBidVectors;
+    count_dispute_opened("payment");
     bid_vector_responses_.clear();
     bid_vector_expected_.clear();
     for (const auto& processor : ctx_.processor_names()) {
@@ -395,6 +439,7 @@ void Referee::recompute_and_settle() {
 void Referee::settle(const std::vector<double>& payments) {
     settled_ = true;
     settled_payments_ = payments;
+    count_dispute_resolved();  // no-op when no dispute was open
     ctx_.set_phase(Phase::kDone);
     for (std::size_t i = 0; i < payments.size(); ++i) {
         ctx_.ledger().transfer(ctx_.user_name(), ctx_.processor_names()[i], payments[i],
@@ -418,6 +463,31 @@ void Referee::issue_verdict(const std::set<std::string>& deviants,
     const double fine = ctx_.fine_amount();
     ctx_.network().trace().record(ctx_.simulator().now(), sim::TraceKind::kVerdict, name(),
                                   reason + " fine=" + std::to_string(fine));
+
+    auto& registry = ctx_.metrics_registry();
+    registry.counter(kFinesMetric).inc(deviants.size());
+    registry.gauge(kFinesAmountMetric)
+        .add(fine * static_cast<double>(deviants.size()));
+    count_dispute_resolved();  // no-op when the verdict needed no dispute
+
+    util::log_debug("referee", "verdict: " + reason +
+                                   " deviants=" + std::to_string(deviants.size()) +
+                                   " fine=" + std::to_string(fine) +
+                                   (terminate ? " (terminating)" : ""));
+    auto& events = obs::EventLog::instance();
+    if (events.enabled(obs::LogLevel::Debug)) {
+        std::string deviant_list;
+        for (const auto& deviant : deviants) {
+            if (!deviant_list.empty()) deviant_list += ",";
+            deviant_list += deviant;
+        }
+        events.emit(obs::Event(obs::LogLevel::Debug, "referee", "verdict")
+                        .time(ctx_.simulator().now())
+                        .str("reason", reason)
+                        .str("deviants", deviant_list)
+                        .num("fine", fine)
+                        .boolean("terminate", terminate));
+    }
 
     double pool = 0.0;
     for (const auto& deviant : deviants) {

@@ -84,6 +84,12 @@ class Referee final : public sim::Process {
     // pre-payment phases) terminates the protocol.
     void issue_verdict(const std::set<std::string>& deviants, const std::string& reason,
                        bool terminate);
+
+    // Observability: dispute lifecycle + adjudicated-accusation counters on
+    // the run's metrics registry (obs::MetricsRegistry).
+    void count_dispute_opened(const char* kind);
+    void count_dispute_resolved();
+    void count_accusation(const char* type, bool substantiated);
     // Pays α_i w̃_i (= φ_i) to the commenced non-deviants, splits the
     // remaining pool, once every commenced meter has stopped.
     void finalize_termination_payouts();
@@ -98,6 +104,7 @@ class Referee final : public sim::Process {
     std::map<std::string, double> compensations_;
 
     DisputeStage stage_ = DisputeStage::kNone;
+    const char* open_dispute_kind_ = nullptr;  // non-null while a dispute is open
     std::optional<AllocComplaintBody> open_complaint_;
     std::map<std::string, BidVectorBody> bid_vector_responses_;
     std::set<std::string> bid_vector_expected_;

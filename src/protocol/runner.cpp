@@ -2,12 +2,23 @@
 
 #include <memory>
 
+#include "obs/event.hpp"
+#include "obs/profiler.hpp"
+#include "obs/sim_bridge.hpp"
+#include "util/logging.hpp"
+
 namespace dlsbl::protocol {
 
 ProtocolOutcome run_protocol(const ProtocolConfig& config, const RunObserver& observer) {
+    OBS_SCOPE("protocol_run");
     ProtocolConfig cfg = config;
     cfg.validate();
     if (cfg.strategies.empty()) cfg.strategies.assign(cfg.true_w.size(), Strategy{});
+
+    util::log_debug("runner", "run start: kind=" + std::string(dlt::to_string(cfg.kind)) +
+                                  " m=" + std::to_string(cfg.true_w.size()) +
+                                  " blocks=" + std::to_string(cfg.block_count) +
+                                  " seed=" + std::to_string(cfg.seed));
 
     sim::Simulator simulator;
     sim::Network network(simulator, cfg.z, cfg.control_latency,
@@ -39,7 +50,10 @@ ProtocolOutcome run_protocol(const ProtocolConfig& config, const RunObserver& ob
     }
 
     network.start();
-    simulator.run();
+    {
+        OBS_SCOPE("sim_event_loop");
+        simulator.run();
+    }
 
     // ---- outcome extraction -------------------------------------------------
     ProtocolOutcome outcome;
@@ -100,6 +114,35 @@ ProtocolOutcome run_protocol(const ProtocolConfig& config, const RunObserver& ob
             p.bonus = p.payment - p.compensation;
         }
         outcome.processors.push_back(std::move(p));
+    }
+
+    // Re-host the network's per-phase accounting onto the run's registry so
+    // one dump carries the Theorem 5.4 counters next to the referee's.
+    obs::export_network_metrics(network.metrics(), context.metrics_registry());
+
+    // Process-wide aggregates (bench RunManifests snapshot these).
+    auto& global = obs::MetricsRegistry::global();
+    global.counter("dlsbl_runs_total").inc();
+    if (outcome.terminated_early) global.counter("dlsbl_runs_terminated_total").inc();
+    global.counter("dlsbl_control_messages_total").inc(outcome.control_messages);
+    global.counter("dlsbl_control_bytes_total").inc(outcome.control_bytes);
+
+    util::log_debug("runner",
+                    outcome.terminated_early
+                        ? "run terminated: " + outcome.termination_reason
+                        : "run settled: makespan=" + std::to_string(outcome.makespan));
+    auto& events = obs::EventLog::instance();
+    if (events.enabled(obs::LogLevel::Debug)) {
+        events.emit(obs::Event(obs::LogLevel::Debug, "runner", "run_summary")
+                        .time(simulator.now())
+                        .str("kind", dlt::to_string(cfg.kind))
+                        .uint("m", cfg.true_w.size())
+                        .uint("seed", cfg.seed)
+                        .boolean("terminated", outcome.terminated_early)
+                        .num("makespan", outcome.makespan)
+                        .num("user_paid", outcome.user_paid)
+                        .uint("control_messages", outcome.control_messages)
+                        .uint("control_bytes", outcome.control_bytes));
     }
 
     if (observer) {

@@ -1,5 +1,6 @@
 #include "sim/trace.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace dlsbl::sim {
@@ -46,6 +47,12 @@ std::vector<util::GanttBar> gantt_from_trace(const TraceRecorder& trace) {
     // transfers never interleave).
     std::vector<const TraceEvent*> open_transfers;
     std::vector<std::pair<std::string, double>> open_computes;  // actor -> start
+    // Horizon for unmatched starts (truncated/terminated runs record a
+    // start whose end never fired): the latest time anywhere in the trace.
+    // Note trace times are not monotone — transfer starts are stamped with
+    // their (future) bus-grant time — so scan rather than take back().
+    double horizon = 0.0;
+    for (const auto& event : trace.events()) horizon = std::max(horizon, event.time);
     for (const auto& event : trace.events()) {
         switch (event.kind) {
             case TraceKind::kLoadTransferStart:
@@ -76,6 +83,15 @@ std::vector<util::GanttBar> gantt_from_trace(const TraceRecorder& trace) {
             default:
                 break;
         }
+    }
+    // Tolerate truncated traces: an activity that started but never ended
+    // is drawn up to the trace horizon instead of being dropped.
+    for (const TraceEvent* start : open_transfers) {
+        bars.push_back(
+            util::GanttBar{"BUS", start->time, std::max(start->time, horizon), '-'});
+    }
+    for (const auto& [actor, start] : open_computes) {
+        bars.push_back(util::GanttBar{actor, start, std::max(start, horizon), '#'});
     }
     return bars;
 }

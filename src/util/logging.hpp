@@ -3,6 +3,12 @@
 // The protocol runner logs phase transitions and referee verdicts at Debug;
 // benches run with the logger silenced (Level::Off) so their stdout is the
 // experiment artifact and nothing else.
+//
+// By default messages go straight to stderr. A backend hook lets the
+// observability layer (obs::install_logger_bridge) re-route every message
+// through its EventSink fan-out, so the same call sites feed the stderr
+// sink and the structured JSONL sink without the util layer depending on
+// obs.
 #pragma once
 
 #include <cstdio>
@@ -15,6 +21,10 @@ enum class LogLevel { Off = 0, Error = 1, Warn = 2, Info = 3, Debug = 4 };
 
 class Logger {
  public:
+    // Receives every message that passes the level gate.
+    using Backend = void (*)(LogLevel, std::string_view component,
+                             std::string_view message);
+
     static Logger& instance() {
         static Logger logger;
         return logger;
@@ -23,14 +33,23 @@ class Logger {
     void set_level(LogLevel level) noexcept { level_ = level; }
     [[nodiscard]] LogLevel level() const noexcept { return level_; }
 
+    // nullptr restores the default stderr output.
+    void set_backend(Backend hook) noexcept { backend_ = hook; }
+    [[nodiscard]] Backend backend() const noexcept { return backend_; }
+
     void log(LogLevel level, std::string_view component, std::string_view message) const {
         if (static_cast<int>(level) > static_cast<int>(level_)) return;
+        if (backend_ != nullptr) {
+            backend_(level, component, message);
+            return;
+        }
         std::fprintf(stderr, "[%s] %.*s: %.*s\n", name(level),
                      static_cast<int>(component.size()), component.data(),
                      static_cast<int>(message.size()), message.data());
     }
 
- private:
+    // Fixed-width tag used by the stderr output format ("[DEBUG] comp: msg");
+    // shared with obs::StderrSink so both print identical lines.
     static const char* name(LogLevel level) noexcept {
         switch (level) {
             case LogLevel::Error: return "ERROR";
@@ -41,7 +60,9 @@ class Logger {
         }
     }
 
+ private:
     LogLevel level_ = LogLevel::Warn;
+    Backend backend_ = nullptr;
 };
 
 inline void log_error(std::string_view component, std::string_view message) {

@@ -1,0 +1,253 @@
+// Acceptance tests for the observability layer wired through a full
+// protocol run (ISSUE: one honest run with the JSONL sink, profiler and
+// catapult export active must produce artifacts that (a) re-parse line by
+// line, (b) match the Gantt reconstruction exactly, and (c) agree with
+// NetworkMetrics::by_phase()).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "agents/zoo.hpp"
+#include "crypto/mss.hpp"
+#include "obs/catapult.hpp"
+#include "obs/event.hpp"
+#include "obs/json.hpp"
+#include "obs/profiler.hpp"
+#include "obs/sim_bridge.hpp"
+#include "protocol/runner.hpp"
+#include "util/chart.hpp"
+
+namespace dlsbl {
+namespace {
+
+protocol::ProtocolConfig honest_config() {
+    protocol::ProtocolConfig config;
+    config.kind = dlt::NetworkKind::kNcpFE;
+    config.z = 0.25;
+    config.true_w = {1.0, 2.0, 1.5, 0.8};
+    config.block_count = 800;
+    config.signature_algorithm = crypto::SignatureAlgorithm::kFast;
+    return config;
+}
+
+struct RunArtifacts {
+    std::string jsonl;
+    std::string catapult;
+    std::string metrics;
+    std::vector<util::GanttBar> bars;
+    std::map<std::string, sim::PhaseCounters> by_phase;
+    bool settled = false;
+};
+
+// One honest run with every observability surface active.
+RunArtifacts run_with_observability() {
+    auto& log = obs::EventLog::instance();
+    log.reset();
+    std::ostringstream jsonl_stream;
+    auto sink = std::make_shared<obs::JsonlSink>(jsonl_stream);
+    log.add_sink(sink);
+    log.set_level(util::LogLevel::Debug);
+
+    auto& profiler = obs::Profiler::instance();
+    profiler.reset();
+    profiler.set_enabled(true);
+
+    RunArtifacts artifacts;
+    const auto outcome = protocol::run_protocol(
+        honest_config(), [&](const protocol::RunInternals& internals) {
+            const auto& trace = internals.context.network().trace();
+            artifacts.catapult = obs::catapult_from_trace(trace);
+            artifacts.bars = sim::gantt_from_trace(trace);
+            artifacts.metrics = internals.context.metrics_registry().prometheus_text();
+            artifacts.by_phase = internals.context.network().metrics().by_phase();
+        });
+    artifacts.settled = !outcome.terminated_early;
+
+    profiler.set_enabled(false);
+    log.flush();
+    log.reset();
+    artifacts.jsonl = jsonl_stream.str();
+    return artifacts;
+}
+
+TEST(ObsProtocol, JsonlRoundTripsLineByLine) {
+    const auto artifacts = run_with_observability();
+    ASSERT_TRUE(artifacts.settled);
+    ASSERT_FALSE(artifacts.jsonl.empty());
+
+    std::size_t lines = 0;
+    std::istringstream in(artifacts.jsonl);
+    for (std::string line; std::getline(in, line);) {
+        ++lines;
+        const auto doc = obs::json_parse(line);
+        ASSERT_TRUE(doc.has_value()) << "line " << lines << ": " << line;
+        ASSERT_EQ(doc->kind, obs::JsonValue::Kind::kObject);
+        // Schema version is the first field of every record.
+        ASSERT_FALSE(doc->object.empty());
+        EXPECT_EQ(doc->object[0].first, "v");
+        EXPECT_DOUBLE_EQ(doc->object[0].second.number, obs::Event::kSchemaVersion);
+        ASSERT_NE(doc->find("component"), nullptr);
+        ASSERT_NE(doc->find("event"), nullptr);
+    }
+    // Phase transitions alone give several debug events.
+    EXPECT_GE(lines, 5u);
+    EXPECT_NE(artifacts.jsonl.find("\"event\":\"phase_change\""), std::string::npos);
+    EXPECT_NE(artifacts.jsonl.find("\"event\":\"run_summary\""), std::string::npos);
+}
+
+TEST(ObsProtocol, CatapultSpansMatchGanttBarsExactly) {
+    const auto artifacts = run_with_observability();
+    const auto doc = obs::json_parse(artifacts.catapult);
+    ASSERT_TRUE(doc.has_value());
+    const auto* events = doc->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+
+    // tid -> lane name from the metadata events.
+    std::map<double, std::string> lane_of;
+    for (const auto& event : events->array) {
+        if (event.find("ph")->string == "M" &&
+            event.find("name")->string == "thread_name") {
+            lane_of[event.find("tid")->number] = event.find("args")->find("name")->string;
+        }
+    }
+
+    // Every "X" event must equal one Gantt bar: same lane, ts == start,
+    // ts + dur == end (exact — both sides come through json_number).
+    std::vector<util::GanttBar> remaining = artifacts.bars;
+    std::size_t spans = 0;
+    for (const auto& event : events->array) {
+        if (event.find("ph")->string != "X") continue;
+        ++spans;
+        const std::string& lane = lane_of.at(event.find("tid")->number);
+        const double start = event.find("ts")->number / 1e6;
+        const double end = start + event.find("dur")->number / 1e6;
+        bool matched = false;
+        for (auto it = remaining.begin(); it != remaining.end(); ++it) {
+            if (it->lane == lane && it->start == start && it->end == end) {
+                remaining.erase(it);
+                matched = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(matched) << lane << " [" << start << ", " << end << "]";
+    }
+    EXPECT_EQ(spans, artifacts.bars.size());
+    EXPECT_TRUE(remaining.empty());
+    EXPECT_GE(spans, 4u);  // 3 transfers + >= 1 compute span in the honest run
+}
+
+TEST(ObsProtocol, MetricsDumpEqualsNetworkByPhase) {
+    const auto artifacts = run_with_observability();
+    ASSERT_FALSE(artifacts.by_phase.empty());
+
+    for (const auto& [phase, counters] : artifacts.by_phase) {
+        const std::string messages_series = std::string(obs::kControlMessagesMetric) +
+                                            "{phase=\"" + phase + "\"} " +
+                                            std::to_string(counters.messages);
+        const std::string bytes_series = std::string(obs::kControlBytesMetric) +
+                                         "{phase=\"" + phase + "\"} " +
+                                         std::to_string(counters.bytes);
+        EXPECT_NE(artifacts.metrics.find(messages_series), std::string::npos)
+            << "missing: " << messages_series << "\n" << artifacts.metrics;
+        EXPECT_NE(artifacts.metrics.find(bytes_series), std::string::npos)
+            << "missing: " << bytes_series << "\n" << artifacts.metrics;
+    }
+}
+
+TEST(ObsProtocol, ProfilerSawTheWiredScopes) {
+    const auto artifacts = run_with_observability();
+    ASSERT_TRUE(artifacts.settled);
+    auto& profiler = obs::Profiler::instance();
+    // run_with_observability leaves the recorded tree in place (reset is at
+    // the *start* of the next run).
+    EXPECT_EQ(profiler.total_calls("protocol_run"), 1u);
+    EXPECT_EQ(profiler.total_calls("sim_event_loop"), 1u);
+    EXPECT_GE(profiler.total_calls("allocation_solve"), 1u);
+    profiler.reset();
+
+    // The hash-based signature scopes only fire under the MSS algorithm
+    // (honest_config uses kFast); exercise them directly.
+    profiler.set_enabled(true);
+    {
+        crypto::Digest seed{};
+        crypto::MssKeyPair keys(seed, /*height=*/2, crypto::OtsScheme::kWots);
+        const std::uint8_t message[] = {1, 2, 3};
+        const auto signature = keys.sign(message);
+        EXPECT_TRUE(crypto::MssKeyPair::verify(keys.public_key(), message, signature));
+    }
+    profiler.set_enabled(false);
+    EXPECT_EQ(profiler.total_calls("mss_keygen"), 1u);
+    EXPECT_EQ(profiler.total_calls("mss_sign"), 1u);
+    EXPECT_EQ(profiler.total_calls("mss_verify"), 1u);
+    EXPECT_GE(profiler.total_calls("wots_sign"), 1u);
+    profiler.reset();
+}
+
+TEST(ObsProtocol, IdenticalSeedsProduceByteIdenticalArtifacts) {
+    const auto first = run_with_observability();
+    const auto second = run_with_observability();
+    EXPECT_EQ(first.jsonl, second.jsonl);
+    EXPECT_EQ(first.catapult, second.catapult);
+    EXPECT_EQ(first.metrics, second.metrics);
+}
+
+TEST(ObsProtocol, RefereeCountersStayZeroInHonestRuns) {
+    std::string metrics;
+    protocol::run_protocol(honest_config(),
+                           [&](const protocol::RunInternals& internals) {
+                               metrics =
+                                   internals.context.metrics_registry().prometheus_text();
+                           });
+    // The referee is passive when nobody cheats: no fines, no disputes.
+    EXPECT_EQ(metrics.find("dlsbl_referee_fines_total"), std::string::npos);
+    EXPECT_EQ(metrics.find("dlsbl_referee_disputes_opened_total"), std::string::npos);
+}
+
+TEST(ObsProtocol, RefereeCountersRecordCheatersVerdict) {
+    auto config = honest_config();
+    config.strategies.assign(config.true_w.size(), agents::truthful());
+    config.strategies[1] = agents::payment_cheater();
+
+    std::string metrics;
+    const auto outcome = protocol::run_protocol(
+        config, [&](const protocol::RunInternals& internals) {
+            metrics = internals.context.metrics_registry().prometheus_text();
+        });
+    ASSERT_FALSE(outcome.terminated_early);  // payment verdicts do not abort
+
+    EXPECT_NE(metrics.find("dlsbl_referee_fines_total 1"), std::string::npos)
+        << metrics;
+    EXPECT_NE(
+        metrics.find("dlsbl_referee_disputes_opened_total{kind=\"payment\"} 1"),
+        std::string::npos)
+        << metrics;
+    EXPECT_NE(
+        metrics.find("dlsbl_referee_disputes_resolved_total{kind=\"payment\"} 1"),
+        std::string::npos)
+        << metrics;
+}
+
+TEST(ObsProtocol, RefereeCountersRecordUnfoundedAccusation) {
+    auto config = honest_config();
+    config.strategies.assign(config.true_w.size(), agents::truthful());
+    config.strategies[2] = agents::false_accuser();
+
+    std::string metrics;
+    protocol::run_protocol(config, [&](const protocol::RunInternals& internals) {
+        metrics = internals.context.metrics_registry().prometheus_text();
+    });
+    EXPECT_NE(metrics.find("dlsbl_referee_accusations_total{type=\"double-bid\","
+                           "verdict=\"unfounded\"} 1"),
+              std::string::npos)
+        << metrics;
+    EXPECT_NE(metrics.find("dlsbl_referee_fines_total 1"), std::string::npos)
+        << metrics;
+}
+
+}  // namespace
+}  // namespace dlsbl
