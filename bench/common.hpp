@@ -4,11 +4,16 @@
 // followed by explicit PASS/FAIL verdict lines for its shape criteria, and
 // exits non-zero if any verdict failed — so `for b in build/bench/*; do $b;
 // done` doubles as an experiment regression suite.
+// Sweep-style benches run their independent protocol/DLT instances through
+// exec::RunExecutor: `<bench> --jobs 8` (or DLSBL_JOBS=8) fans the sweep out
+// across cores while keeping stdout and the RUN_MANIFEST byte-identical to a
+// serial run — see parallel_options() / run_parallel().
 #pragma once
 
 #include <cstdio>
 #include <string>
 
+#include "exec/executor.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 
@@ -50,6 +55,27 @@ class Report {
     obs::RunManifest manifest_;
     bool failed_ = false;
 };
+
+// Executor options for a bench: --jobs N / -j N on the command line beats
+// the DLSBL_JOBS environment variable beats serial. Benches annotate their
+// manifest with the root seed but NOT the job count — the artifact is
+// byte-identical across job counts, so recording it would be a lie about
+// what influenced the output.
+inline exec::ExecutorOptions parallel_options(int argc, char** argv,
+                                              std::uint64_t root_seed) {
+    exec::ExecutorOptions options;
+    options.jobs = exec::RunExecutor::jobs_from_args(argc, argv, 1);
+    options.root_seed = root_seed;
+    return options;
+}
+
+// One-shot deterministic parallel map over [0, count) (see
+// exec::RunExecutor::map for the contract).
+template <typename Fn>
+auto run_parallel(const exec::ExecutorOptions& options, std::size_t count, Fn&& body) {
+    exec::RunExecutor executor(options);
+    return executor.map(count, std::forward<Fn>(body));
+}
 
 inline std::string fmt(const char* format, double a) {
     char buf[128];

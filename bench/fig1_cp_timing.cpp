@@ -1,6 +1,7 @@
 // E1: Figure 1 — bus network with control processor (CP).
 #include "bench/figure_common.hpp"
 
-int main() {
-    return dlsbl::bench::run_figure_bench(dlsbl::dlt::NetworkKind::kCP, "Figure 1");
+int main(int argc, char** argv) {
+    return dlsbl::bench::run_figure_bench(dlsbl::dlt::NetworkKind::kCP, "Figure 1",
+                                          argc, argv);
 }

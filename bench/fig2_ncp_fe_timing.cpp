@@ -1,6 +1,7 @@
 // E2: Figure 2 — bus network without control processor, LO with front end.
 #include "bench/figure_common.hpp"
 
-int main() {
-    return dlsbl::bench::run_figure_bench(dlsbl::dlt::NetworkKind::kNcpFE, "Figure 2");
+int main(int argc, char** argv) {
+    return dlsbl::bench::run_figure_bench(dlsbl::dlt::NetworkKind::kNcpFE, "Figure 2",
+                                          argc, argv);
 }

@@ -1,6 +1,7 @@
 // E3: Figure 3 — bus network without control processor, LO without front end.
 #include "bench/figure_common.hpp"
 
-int main() {
-    return dlsbl::bench::run_figure_bench(dlsbl::dlt::NetworkKind::kNcpNFE, "Figure 3");
+int main(int argc, char** argv) {
+    return dlsbl::bench::run_figure_bench(dlsbl::dlt::NetworkKind::kNcpNFE, "Figure 3",
+                                          argc, argv);
 }

@@ -20,9 +20,11 @@
 
 namespace dlsbl::bench {
 
-inline int run_figure_bench(dlt::NetworkKind kind, const std::string& figure_name) {
+inline int run_figure_bench(dlt::NetworkKind kind, const std::string& figure_name,
+                            int argc = 0, char** argv = nullptr) {
     Report report("Reproduction of " + figure_name + " — " +
                   std::string(dlt::to_string(kind)) + " timing diagram");
+    const auto exec_options = parallel_options(argc, argv, /*root_seed=*/1);
 
     dlt::ProblemInstance instance;
     instance.kind = kind;
@@ -89,12 +91,19 @@ inline int run_figure_bench(dlt::NetworkKind kind, const std::string& figure_nam
         config.true_w = instance.w;
         config.block_count = 6000;
         config.signature_algorithm = crypto::SignatureAlgorithm::kFast;
+        // The single simulated run still goes through the executor so the
+        // figure benches exercise the same submission path as the sweeps
+        // (and inherit its event-capture determinism under --jobs).
         std::string simulated_figure;
-        const auto outcome = protocol::run_protocol(
-            config, [&](const protocol::RunInternals& internals) {
-                simulated_figure = util::render_gantt(
-                    sim::gantt_from_trace(internals.context.network().trace()), {});
-            });
+        const auto outcome =
+            run_parallel(exec_options, 1, [&](exec::RunSlot&) {
+                return protocol::run_protocol(
+                    config, [&](const protocol::RunInternals& internals) {
+                        simulated_figure = util::render_gantt(
+                            sim::gantt_from_trace(internals.context.network().trace()),
+                            {});
+                    });
+            }).front();
 
         report.section("simulated execution (rebuilt from the event trace)");
         report.text(simulated_figure);

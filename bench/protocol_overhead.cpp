@@ -7,6 +7,9 @@
 // inflation the mechanism itself causes, versus fleet size and per-byte
 // cost. Shape: overhead grows ~quadratically with m — negligible for small
 // fleets, the dominant term once m² messaging rivals the job size.
+//
+// The (m, cost) grid of simulations is independent, so it goes through
+// exec::RunExecutor (`--jobs N` / DLSBL_JOBS) with order-merged results.
 #include "bench/common.hpp"
 #include "dlt/finish_time.hpp"
 #include "protocol/runner.hpp"
@@ -31,32 +34,40 @@ double simulated_makespan(std::size_t m, double seconds_per_byte) {
     return protocol::run_protocol(config).makespan;
 }
 
-// Makespan inflation caused purely by the mechanism's control traffic:
-// same run, same block granularity, cost on vs off.
-double overhead_fraction(std::size_t m, double seconds_per_byte) {
-    return simulated_makespan(m, seconds_per_byte) / simulated_makespan(m, 0.0) - 1.0;
-}
-
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     bench::Report report("E22 (extension): wall-clock overhead of the mechanism");
+    const auto options = bench::parallel_options(argc, argv, /*root_seed=*/22);
 
     const std::vector<std::size_t> sizes{4, 8, 16, 32, 64};
     report.manifest().set_uint("m_max", sizes.back());
-    const std::vector<double> costs{1e-7, 1e-6, 1e-5};
+    // Cost 0 is the denominator of every overhead fraction, so it is part of
+    // the simulated grid rather than a separate run.
+    const std::vector<double> costs{0.0, 1e-7, 1e-6, 1e-5};
+
+    const auto makespans =
+        bench::run_parallel(options, sizes.size() * costs.size(), [&](exec::RunSlot& slot) {
+            const std::size_t m = sizes[slot.index() / costs.size()];
+            const double cost = costs[slot.index() % costs.size()];
+            return simulated_makespan(m, cost);
+        });
+    auto overhead_at = [&](std::size_t size_index, std::size_t cost_index) {
+        const double base = makespans[size_index * costs.size()];  // cost 0
+        return makespans[size_index * costs.size() + cost_index] / base - 1.0;
+    };
 
     report.section("makespan inflation vs fleet size and control-byte cost");
     util::Table table({"m", "cost 1e-7 s/B", "cost 1e-6 s/B", "cost 1e-5 s/B"});
     table.set_precision(4);
     std::vector<double> ms, overheads;
-    for (std::size_t m : sizes) {
-        std::vector<double> row{static_cast<double>(m)};
-        for (double cost : costs) {
-            const double overhead = overhead_fraction(m, cost);
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+        std::vector<double> row{static_cast<double>(sizes[s])};
+        for (std::size_t c = 1; c < costs.size(); ++c) {
+            const double overhead = overhead_at(s, c);
             row.push_back(overhead);
-            if (cost == 1e-5) {
-                ms.push_back(static_cast<double>(m));
+            if (costs[c] == 1e-5) {
+                ms.push_back(static_cast<double>(sizes[s]));
                 overheads.push_back(std::max(overhead, 1e-12));
             }
         }
@@ -70,8 +81,8 @@ int main() {
                 "); below the traffic's m^1.86 because control bytes partially "
                 "hide under computation");
 
-    const double small_fleet = overhead_fraction(4, 1e-6);
-    const double zero_cost = overhead_fraction(16, 0.0);
+    const double small_fleet = overhead_at(0, 2);   // m=4, 1e-6 s/B
+    const double zero_cost = overhead_at(2, 0);     // m=16, cost 0
     const double big_fleet = overheads.back();
 
     report.section("verdicts");

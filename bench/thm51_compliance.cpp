@@ -3,7 +3,10 @@
 //
 // For each offense of §4 (i)-(v) this runs the full protocol with one
 // deviant and reports the deviant's utility against its utility under
-// honest play in the same instance.
+// honest play in the same instance. The per-deviant runs are independent,
+// so they are submitted to exec::RunExecutor (`--jobs N` / DLSBL_JOBS) and
+// read back in submission order — the report is byte-identical at any job
+// count.
 #include "agents/zoo.hpp"
 #include "bench/common.hpp"
 #include "protocol/runner.hpp"
@@ -24,10 +27,17 @@ protocol::ProtocolConfig make_config(dlt::NetworkKind kind) {
     return config;
 }
 
+struct DeviantCase {
+    protocol::Strategy strategy;
+    std::size_t slot = 0;
+    const char* role = "";
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     bench::Report report("E8: Theorem 5.1 — faithful execution maximizes utility");
+    const auto options = bench::parallel_options(argc, argv, /*root_seed=*/8);
 
     bool all_fined = true;
     bool all_dominated = true;
@@ -41,30 +51,36 @@ int main() {
         // A non-LO slot for worker deviations.
         const std::size_t worker_index = (lo_index == 0) ? 2 : 1;
 
+        std::vector<DeviantCase> cases;
+        for (const auto& strategy : agents::worker_deviants()) {
+            cases.push_back({strategy, worker_index, "worker"});
+        }
+        for (const auto& strategy : agents::lo_deviants()) {
+            cases.push_back({strategy, lo_index, "load-origin"});
+        }
+
+        // One full protocol run per deviant, fanned out across the pool.
+        const auto outcomes =
+            bench::run_parallel(options, cases.size(), [&](exec::RunSlot& slot) {
+                auto config = make_config(kind);
+                config.strategies[cases[slot.index()].slot] =
+                    cases[slot.index()].strategy;
+                return protocol::run_protocol(config);
+            });
+
         util::Table table({"strategy", "role", "fined?", "deviant U", "honest U",
                            "loss from deviating"});
         table.set_precision(5);
-
-        auto run_case = [&](const protocol::Strategy& strategy, std::size_t slot,
-                            const char* role) {
-            auto config = make_config(kind);
-            config.strategies[slot] = strategy;
-            const auto outcome = protocol::run_protocol(config);
-            const auto& deviant = outcome.processors[slot];
-            const double honest_u = honest.processors[slot].utility();
+        for (std::size_t i = 0; i < cases.size(); ++i) {
+            const auto& deviant = outcomes[i].processors[cases[i].slot];
+            const double honest_u = honest.processors[cases[i].slot].utility();
             if (!deviant.fined) all_fined = false;
             if (deviant.utility() >= honest_u) all_dominated = false;
-            table.add_row({strategy.name, role, deviant.fined ? "yes" : "NO",
+            table.add_row({cases[i].strategy.name, cases[i].role,
+                           deviant.fined ? "yes" : "NO",
                            util::Table::format_double(deviant.utility(), 5),
                            util::Table::format_double(honest_u, 5),
                            util::Table::format_double(honest_u - deviant.utility(), 5)});
-        };
-
-        for (const auto& strategy : agents::worker_deviants()) {
-            run_case(strategy, worker_index, "worker");
-        }
-        for (const auto& strategy : agents::lo_deviants()) {
-            run_case(strategy, lo_index, "load-origin");
         }
         report.text(table.render());
     }

@@ -3,9 +3,14 @@
 // Usage:
 //   dlsbl_cli [--kind fe|nfe] [--z <double>] [--w <w1,w2,...>]
 //             [--strategy <index>:<name>]... [--blocks N] [--latency L]
-//             [--fine F] [--seed S] [--trace]
+//             [--fine F] [--seed S] [--trace] [--repeat N] [--jobs N]
 //             [--log-level off|error|warn|info|debug] [--jsonl-out <file.jsonl>]
 //             [--trace-out <file.json>] [--metrics-out <file.txt>] [--profile]
+//
+// --repeat N runs N independent instances whose seeds derive from --seed
+// (util::derive_seed), submitted through exec::RunExecutor; --jobs N (or
+// DLSBL_JOBS) sets the worker count. Output — including the JSONL event
+// log — is byte-identical for any --jobs value.
 //
 // Strategy names: truthful, underbidder, overbidder, slow_executor,
 // masked_overbidder, inconsistent_bidder, short_shipping_lo,
@@ -25,6 +30,7 @@
 #include <fstream>
 
 #include "agents/zoo.hpp"
+#include "exec/executor.hpp"
 #include "obs/catapult.hpp"
 #include "obs/event.hpp"
 #include "obs/profiler.hpp"
@@ -83,6 +89,8 @@ std::vector<double> parse_doubles(const std::string& csv) {
         "usage: dlsbl_cli [--kind fe|nfe] [--z Z] [--w w1,w2,...]\n"
         "                 [--strategy i:name]... [--blocks N] [--latency L]\n"
         "                 [--fine F] [--seed S] [--trace]\n"
+        "                 [--repeat N]         run N seed-derived instances\n"
+        "                 [--jobs N]           executor workers (or DLSBL_JOBS)\n"
         "                 [--log-level off|error|warn|info|debug]\n"
         "                 [--jsonl-out FILE]   structured JSONL event log\n"
         "                 [--trace-out FILE]   Chrome trace-event JSON\n"
@@ -103,6 +111,8 @@ int main(int argc, char** argv) {
     config.signature_algorithm = crypto::SignatureAlgorithm::kFast;
     bool show_trace = false;
     bool profile = false;
+    std::size_t repeat = 1;
+    std::size_t jobs = exec::RunExecutor::jobs_from_args(0, nullptr, 1);
     std::string jsonl_out, trace_out, metrics_out;
     std::vector<std::pair<std::size_t, std::string>> strategy_args;
 
@@ -145,6 +155,11 @@ int main(int argc, char** argv) {
             config.seed = std::strtoull(next().c_str(), nullptr, 10);
         } else if (arg == "--trace") {
             show_trace = true;
+        } else if (arg == "--repeat") {
+            repeat = static_cast<std::size_t>(std::strtoul(next().c_str(), nullptr, 10));
+            if (repeat == 0) repeat = 1;
+        } else if (arg == "--jobs" || arg == "-j") {
+            jobs = static_cast<std::size_t>(std::strtoul(next().c_str(), nullptr, 10));
         } else if (arg == "--log-level") {
             util::LogLevel level;
             if (!obs::parse_log_level(next(), level)) usage();
@@ -185,26 +200,43 @@ int main(int argc, char** argv) {
     }
     if (profile) obs::Profiler::instance().set_enabled(true);
 
+    // All runs — even a single one — go through the executor so the CLI
+    // exercises the same submission path as the sweeps. With --repeat N,
+    // run i gets seed derive_seed(--seed, i); the trace/metrics artifacts
+    // describe run 0 to keep their single-run meaning.
+    exec::ExecutorOptions exec_options;
+    exec_options.jobs = jobs;
+    exec_options.root_seed = config.seed;
+    exec::RunExecutor executor(exec_options);
+
     std::string trace_dump;
-    const auto outcome =
-        protocol::run_protocol(config, [&](const protocol::RunInternals& internals) {
-            if (show_trace) trace_dump = internals.context.network().trace().render();
-            if (!trace_out.empty() &&
-                !obs::write_catapult_file(trace_out, internals.context.network().trace())) {
-                std::fprintf(stderr, "cannot open '%s' for writing\n", trace_out.c_str());
-            }
-            if (!metrics_out.empty()) {
-                std::ofstream out(metrics_out);
-                if (out) {
-                    out << internals.context.metrics_registry().prometheus_text();
-                } else {
+    const auto outcomes = executor.map(repeat, [&](exec::RunSlot& slot) {
+        auto run_config = config;
+        run_config.seed = (repeat == 1) ? config.seed : slot.seed();
+        return protocol::run_protocol(
+            run_config, [&](const protocol::RunInternals& internals) {
+                if (slot.index() != 0) return;
+                if (show_trace) trace_dump = internals.context.network().trace().render();
+                if (!trace_out.empty() &&
+                    !obs::write_catapult_file(trace_out,
+                                              internals.context.network().trace())) {
                     std::fprintf(stderr, "cannot open '%s' for writing\n",
-                                 metrics_out.c_str());
+                                 trace_out.c_str());
                 }
-            }
-        });
+                if (!metrics_out.empty()) {
+                    std::ofstream out(metrics_out);
+                    if (out) {
+                        out << internals.context.metrics_registry().prometheus_text();
+                    } else {
+                        std::fprintf(stderr, "cannot open '%s' for writing\n",
+                                     metrics_out.c_str());
+                    }
+                }
+            });
+    });
     obs::EventLog::instance().flush();
 
+    const auto& outcome = outcomes.front();
     std::printf("kind=%s z=%.4g m=%zu blocks=%zu F=%.4g\n", dlt::to_string(config.kind),
                 config.z, config.true_w.size(), config.block_count,
                 outcome.fine_amount);
@@ -216,21 +248,35 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(outcome.control_messages),
                 static_cast<unsigned long long>(outcome.control_bytes));
 
-    util::Table table({"proc", "strategy", "true w", "bid", "alpha", "payment",
-                       "fines", "rewards", "utility"});
-    table.set_precision(4);
-    for (std::size_t i = 0; i < outcome.processors.size(); ++i) {
-        const auto& p = outcome.processors[i];
-        table.add_row({p.name, config.strategies[i].name,
-                       util::Table::format_double(p.true_w, 4),
-                       util::Table::format_double(p.bid, 4),
-                       util::Table::format_double(p.alpha, 4),
-                       util::Table::format_double(p.payment, 4),
-                       util::Table::format_double(p.fines, 4),
-                       util::Table::format_double(p.rewards, 4),
-                       util::Table::format_double(p.utility(), 4)});
+    if (repeat == 1) {
+        util::Table table({"proc", "strategy", "true w", "bid", "alpha", "payment",
+                           "fines", "rewards", "utility"});
+        table.set_precision(4);
+        for (std::size_t i = 0; i < outcome.processors.size(); ++i) {
+            const auto& p = outcome.processors[i];
+            table.add_row({p.name, config.strategies[i].name,
+                           util::Table::format_double(p.true_w, 4),
+                           util::Table::format_double(p.bid, 4),
+                           util::Table::format_double(p.alpha, 4),
+                           util::Table::format_double(p.payment, 4),
+                           util::Table::format_double(p.fines, 4),
+                           util::Table::format_double(p.rewards, 4),
+                           util::Table::format_double(p.utility(), 4)});
+        }
+        std::printf("%s", table.render().c_str());
+    } else {
+        util::Table table({"run", "seed", "result", "makespan", "user paid"});
+        table.set_precision(6);
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            const auto& o = outcomes[i];
+            table.add_row({std::to_string(i),
+                           std::to_string(util::derive_seed(config.seed, i)),
+                           o.terminated_early ? o.termination_reason : "settled",
+                           util::Table::format_double(o.makespan, 6),
+                           util::Table::format_double(o.user_paid, 6)});
+        }
+        std::printf("%s", table.render().c_str());
     }
-    std::printf("%s", table.render().c_str());
     if (show_trace) std::printf("\n--- event trace ---\n%s", trace_dump.c_str());
     if (profile) {
         std::fprintf(stderr, "\n--- wall-clock profile ---\n%s",

@@ -47,47 +47,12 @@ LoadAllocation optimal_allocation_by_solver(const ProblemInstance& instance) {
     instance.validate();
     const std::size_t m = instance.processor_count();
     if (m == 1) return {1.0};
-    const double z = instance.z;
-    const auto& w = instance.w;
 
-    // Row-major coefficients of T_i(α) as linear functions of α.
-    // coeff[i][j] = ∂T_i/∂α_j, assembled directly from eqs (1)-(3).
-    std::vector<double> coeff(m * m, 0.0);
-    switch (instance.kind) {
-        case NetworkKind::kCP:
-            for (std::size_t i = 0; i < m; ++i) {
-                for (std::size_t j = 0; j <= i; ++j) coeff[i * m + j] = z;
-                coeff[i * m + i] += w[i];
-            }
-            break;
-        case NetworkKind::kNcpFE:
-            coeff[0] = w[0];
-            for (std::size_t i = 1; i < m; ++i) {
-                for (std::size_t j = 1; j <= i; ++j) coeff[i * m + j] = z;
-                coeff[i * m + i] += w[i];
-            }
-            break;
-        case NetworkKind::kNcpNFE:
-            for (std::size_t i = 0; i + 1 < m; ++i) {
-                for (std::size_t j = 0; j <= i; ++j) coeff[i * m + j] = z;
-                coeff[i * m + i] += w[i];
-            }
-            for (std::size_t j = 0; j + 1 < m; ++j) coeff[(m - 1) * m + j] = z;
-            coeff[(m - 1) * m + (m - 1)] += w[m - 1];
-            break;
-    }
-
-    // System: rows 0..m-2 encode T_i - T_{i+1} = 0; row m-1 encodes Σ α = 1.
-    std::vector<double> a(m * m, 0.0);
-    std::vector<double> b(m, 0.0);
-    for (std::size_t i = 0; i + 1 < m; ++i) {
-        for (std::size_t j = 0; j < m; ++j) {
-            a[i * m + j] = coeff[i * m + j] - coeff[(i + 1) * m + j];
-        }
-    }
-    for (std::size_t j = 0; j < m; ++j) a[(m - 1) * m + j] = 1.0;
-    b[m - 1] = 1.0;
-
+    // Shared with the exact path: same assembly, magnitude-pivoting solve.
+    std::vector<double> a, b;
+    equal_finish_system_generic<double>(instance.kind,
+                                        std::span<const double>(instance.w),
+                                        instance.z, a, b);
     return solve_linear_system(std::move(a), std::move(b), m);
 }
 

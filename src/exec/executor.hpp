@@ -1,0 +1,116 @@
+// Deterministic parallel execution of independent protocol / DLT runs.
+//
+//     exec::RunExecutor pool({.jobs = 8, .root_seed = 42});
+//     auto rows = pool.map(n, [&](exec::RunSlot& slot) {
+//         auto config = make_config(slot.seed());
+//         return protocol::run_protocol(config).makespan;
+//     });
+//
+// Determinism contract (the point of this class):
+//   * every run's seed is util::derive_seed(root_seed, index) — a pure
+//     function of the root seed and the run's submission index, never of
+//     which worker picked the task up;
+//   * every run's obs events are captured in a per-run EventBuffer
+//     (EventLog::set_thread_buffer) and replayed through the process sinks
+//     in submission order after the batch, so JSONL artifacts are
+//     byte-identical at --jobs 1 and --jobs 64;
+//   * every run gets a private MetricsRegistry (RunSlot::metrics()) that is
+//     merged into MetricsRegistry::global() in submission order once the
+//     batch completes (run_protocol's own global counters are commutative
+//     atomic increments, so totals are schedule-independent too);
+//   * map() returns results indexed by submission order.
+//
+// Scheduling is work-stealing: tasks are dealt round-robin onto per-worker
+// deques; a worker drains its own deque from the front and steals from the
+// back of its neighbours' when empty, so a handful of slow runs (large m,
+// hash-heavy signatures) cannot idle the rest of the pool.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace dlsbl::exec {
+
+struct ExecutorOptions {
+    // Worker threads; 0 = one per hardware thread, 1 = run inline on the
+    // calling thread (no threads spawned — handy under a debugger).
+    std::size_t jobs = 1;
+    // Root of the per-run seed derivation.
+    std::uint64_t root_seed = 1;
+    // When false, runs emit straight to the process sinks (interleaved,
+    // nondeterministic order under jobs > 1). Leave on unless you are
+    // debugging and want to watch events live.
+    bool capture_events = true;
+};
+
+// Everything one run is allowed to touch: its identity (submission index),
+// its derived seed, and a private metrics registry merged into the global
+// one in submission order.
+class RunSlot {
+ public:
+    RunSlot(std::size_t index, std::uint64_t seed) : index_(index), seed_(seed) {}
+
+    [[nodiscard]] std::size_t index() const noexcept { return index_; }
+    [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+    // Fresh generator seeded for this run (independent across runs).
+    [[nodiscard]] util::Xoshiro256 rng() const noexcept {
+        return util::Xoshiro256{seed_};
+    }
+    [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+
+ private:
+    std::size_t index_;
+    std::uint64_t seed_;
+    obs::MetricsRegistry metrics_;
+};
+
+class RunExecutor {
+ public:
+    explicit RunExecutor(ExecutorOptions options = {});
+
+    // Effective worker count (>= 1; the jobs=0 default is resolved here).
+    [[nodiscard]] std::size_t jobs() const noexcept { return jobs_; }
+    [[nodiscard]] std::uint64_t root_seed() const noexcept { return options_.root_seed; }
+
+    // Parses "--jobs N" / "-j N" out of argv (removing nothing; unknown
+    // arguments are ignored) and falls back to the DLSBL_JOBS environment
+    // variable, then to `fallback`. Shared by benches and the CLI.
+    static std::size_t jobs_from_args(int argc, char** argv, std::size_t fallback = 1);
+
+    // Runs body(slot) for every index in [0, count) and returns the results
+    // in submission order. The callable may return void (use for_each) or
+    // any move-constructible value.
+    template <typename Fn>
+    auto map(std::size_t count, Fn&& body)
+        -> std::vector<std::invoke_result_t<Fn&, RunSlot&>> {
+        using R = std::invoke_result_t<Fn&, RunSlot&>;
+        static_assert(!std::is_void_v<R>, "use for_each for void bodies");
+        std::vector<std::optional<R>> staged(count);
+        run_tasks(count, [&](RunSlot& slot) { staged[slot.index()] = body(slot); });
+        std::vector<R> results;
+        results.reserve(count);
+        for (auto& value : staged) results.push_back(std::move(*value));
+        return results;
+    }
+
+    template <typename Fn>
+    void for_each(std::size_t count, Fn&& body) {
+        run_tasks(count, std::function<void(RunSlot&)>(std::forward<Fn>(body)));
+    }
+
+ private:
+    void run_tasks(std::size_t count, const std::function<void(RunSlot&)>& body);
+
+    ExecutorOptions options_;
+    std::size_t jobs_;
+};
+
+}  // namespace dlsbl::exec

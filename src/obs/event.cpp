@@ -103,27 +103,63 @@ EventLog& EventLog::instance() {
     return log;
 }
 
+namespace {
+// Per-thread capture target (exec::RunExecutor installs one per run).
+thread_local EventBuffer* t_event_buffer = nullptr;
+}  // namespace
+
+EventBuffer* EventLog::set_thread_buffer(EventBuffer* buffer) noexcept {
+    EventBuffer* previous = t_event_buffer;
+    t_event_buffer = buffer;
+    return previous;
+}
+
+EventBuffer* EventLog::thread_buffer() noexcept { return t_event_buffer; }
+
 void EventLog::emit(const Event& event) {
     if (!enabled(event.level())) return;
+    if (t_event_buffer != nullptr) {
+        t_event_buffer->append(event);
+        return;
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
     for (const auto& sink : sinks_) sink->emit(event);
 }
 
+void EventLog::replay(const EventBuffer& buffer) {
+    if (buffer.empty()) return;
+    // A nested capture scope (executor inside an executor task) forwards the
+    // replayed events into the enclosing buffer instead of the sinks.
+    if (t_event_buffer != nullptr) {
+        for (const auto& event : buffer.events()) t_event_buffer->append(event);
+        return;
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& event : buffer.events()) {
+        for (const auto& sink : sinks_) sink->emit(event);
+    }
+}
+
 void EventLog::flush() {
+    const std::lock_guard<std::mutex> lock(mutex_);
     for (const auto& sink : sinks_) sink->flush();
 }
 
 void EventLog::add_sink(std::shared_ptr<EventSink> sink) {
+    const std::lock_guard<std::mutex> lock(mutex_);
     sinks_.push_back(std::move(sink));
 }
 
 void EventLog::remove_sink(const std::shared_ptr<EventSink>& sink) {
+    const std::lock_guard<std::mutex> lock(mutex_);
     sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
 }
 
 void EventLog::reset() {
+    const std::lock_guard<std::mutex> lock(mutex_);
     sinks_.clear();
     sinks_.push_back(std::make_shared<StderrSink>());
-    level_ = LogLevel::Warn;
+    level_.store(LogLevel::Warn, std::memory_order_relaxed);
 }
 
 namespace {

@@ -15,9 +15,20 @@
 // install_logger_bridge() re-routes the legacy util::Logger through the
 // event log, so `--log-level` and sink selection apply to every message in
 // the codebase, old and new.
+//
+// Thread safety: the sink list is mutex-guarded and the level gate is
+// atomic, so concurrent emitters never race; the fan-out itself is
+// serialized under the same mutex so two threads' events cannot interleave
+// inside one sink. For *deterministic* interleaving, a thread can install an
+// EventBuffer (set_thread_buffer) that captures its events locally; the
+// exec::RunExecutor gives every run such a buffer and replays them through
+// the real sinks in submission order, which is what makes the JSONL artifact
+// byte-identical regardless of --jobs.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -103,15 +114,31 @@ class JsonlSink final : public EventSink {
     std::unique_ptr<std::ostream> owned_;
 };
 
+// Ordered capture of one thread's events (see EventLog::set_thread_buffer).
+class EventBuffer {
+ public:
+    void append(Event event) { events_.push_back(std::move(event)); }
+    [[nodiscard]] const std::vector<Event>& events() const noexcept { return events_; }
+    [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+    void clear() { events_.clear(); }
+
+ private:
+    std::vector<Event> events_;
+};
+
 // Process-wide fan-out with a single level gate.
 class EventLog {
  public:
     static EventLog& instance();
 
-    void set_level(LogLevel level) noexcept { level_ = level; }
-    [[nodiscard]] LogLevel level() const noexcept { return level_; }
+    void set_level(LogLevel level) noexcept {
+        level_.store(level, std::memory_order_relaxed);
+    }
+    [[nodiscard]] LogLevel level() const noexcept {
+        return level_.load(std::memory_order_relaxed);
+    }
     [[nodiscard]] bool enabled(LogLevel level) const noexcept {
-        return static_cast<int>(level) <= static_cast<int>(level_);
+        return static_cast<int>(level) <= static_cast<int>(this->level());
     }
 
     void emit(const Event& event);
@@ -122,10 +149,22 @@ class EventLog {
     // Back to the default state: one StderrSink, level Warn. Tests use this.
     void reset();
 
+    // Redirects this thread's emits (after the level gate) into `buffer`
+    // instead of the sinks; nullptr restores normal fan-out. Returns the
+    // previously installed buffer so scopes can nest.
+    static EventBuffer* set_thread_buffer(EventBuffer* buffer) noexcept;
+    [[nodiscard]] static EventBuffer* thread_buffer() noexcept;
+
+    // Fans `buffer`'s events out to the sinks (no second level gate — they
+    // already passed it when captured), preserving their order atomically
+    // with respect to concurrent emitters.
+    void replay(const EventBuffer& buffer);
+
  private:
     EventLog();
 
-    LogLevel level_ = LogLevel::Warn;
+    std::atomic<LogLevel> level_{LogLevel::Warn};
+    std::mutex mutex_;  // guards sinks_ and serializes fan-out
     std::vector<std::shared_ptr<EventSink>> sinks_;
 };
 

@@ -24,12 +24,14 @@ void Histogram::observe(double value) {
             break;
         }
     }
+    const std::lock_guard<std::mutex> lock(mutex_);
     ++bucket_counts_[bucket];
     ++count_;
     sum_ += value;
 }
 
 std::vector<std::uint64_t> Histogram::cumulative_counts() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
     std::vector<std::uint64_t> out(bucket_counts_.size());
     std::uint64_t running = 0;
     for (std::size_t i = 0; i < bucket_counts_.size(); ++i) {
@@ -37,6 +39,31 @@ std::vector<std::uint64_t> Histogram::cumulative_counts() const {
         out[i] = running;
     }
     return out;
+}
+
+std::uint64_t Histogram::count() const noexcept {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+}
+
+double Histogram::sum() const noexcept {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return sum_;
+}
+
+void Histogram::merge_from(const Histogram& other) {
+    if (other.upper_bounds_ != upper_bounds_) {
+        throw std::invalid_argument("Histogram::merge_from: bucket bounds differ");
+    }
+    // Lock ordering: merge_from is only called registry-to-registry with the
+    // source quiescent (the run finished), so other's lock is uncontended.
+    const std::lock_guard<std::mutex> other_lock(other.mutex_);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < bucket_counts_.size(); ++i) {
+        bucket_counts_[i] += other.bucket_counts_[i];
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
 }
 
 MetricsRegistry& MetricsRegistry::global() {
@@ -58,28 +85,33 @@ std::string MetricsRegistry::render_labels(const Labels& labels) {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name, const Labels& labels) {
+    const std::lock_guard<std::mutex> lock(mutex_);
     return counters_[name][render_labels(labels)];
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+    const std::lock_guard<std::mutex> lock(mutex_);
     return gauges_[name][render_labels(labels)];
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> upper_bounds,
                                       const Labels& labels) {
+    const std::lock_guard<std::mutex> lock(mutex_);
     auto& by_labels = histograms_[name];
     const std::string key = render_labels(labels);
     const auto it = by_labels.find(key);
     if (it != by_labels.end()) return it->second;
-    return by_labels.emplace(key, Histogram(std::move(upper_bounds))).first->second;
+    return by_labels.try_emplace(key, std::move(upper_bounds)).first->second;
 }
 
 void MetricsRegistry::set_help(const std::string& name, std::string help) {
+    const std::lock_guard<std::mutex> lock(mutex_);
     help_[name] = std::move(help);
 }
 
 std::string MetricsRegistry::prometheus_text() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
     std::string out;
     auto header = [&](const std::string& name, const char* type) {
         if (const auto it = help_.find(name); it != help_.end()) {
@@ -123,6 +155,7 @@ std::string MetricsRegistry::prometheus_text() const {
 }
 
 std::string MetricsRegistry::json_snapshot() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
     std::string out = "{";
     bool first = true;
     auto emit = [&](const std::string& key, const std::string& literal) {
@@ -150,7 +183,37 @@ std::string MetricsRegistry::json_snapshot() const {
     return out;
 }
 
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+    if (&other == this) return;
+    const std::lock_guard<std::mutex> other_lock(other.mutex_);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, series] : other.counters_) {
+        for (const auto& [labels, counter] : series) {
+            counters_[name][labels].inc(counter.value());
+        }
+    }
+    for (const auto& [name, series] : other.gauges_) {
+        for (const auto& [labels, gauge] : series) {
+            gauges_[name][labels].add(gauge.value());
+        }
+    }
+    for (const auto& [name, series] : other.histograms_) {
+        for (const auto& [labels, histogram] : series) {
+            auto& by_labels = histograms_[name];
+            const auto it = by_labels.find(labels);
+            if (it == by_labels.end()) {
+                by_labels.try_emplace(labels, histogram.upper_bounds())
+                    .first->second.merge_from(histogram);
+            } else {
+                it->second.merge_from(histogram);
+            }
+        }
+    }
+    for (const auto& [name, help] : other.help_) help_.emplace(name, help);
+}
+
 void MetricsRegistry::clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
     counters_.clear();
     gauges_.clear();
     histograms_.clear();

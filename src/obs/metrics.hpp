@@ -13,10 +13,19 @@
 // identical runs produce byte-identical dumps. Instruments live behind
 // node-based maps: references returned by counter()/gauge()/histogram()
 // stay valid for the registry's lifetime.
+//
+// Thread safety: instrument lookup/creation and the export/clear/merge
+// paths are guarded by an internal mutex; Counter and Gauge updates are
+// lock-free atomics and Histogram::observe takes a per-histogram lock, so
+// concurrent runs (exec::RunExecutor workers) may hammer the global
+// registry without data races. Counter increments commute, which is what
+// keeps the global snapshot deterministic regardless of --jobs.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -28,21 +37,32 @@ using Labels = std::vector<std::pair<std::string, std::string>>;
 
 class Counter {
  public:
-    void inc(std::uint64_t delta = 1) noexcept { value_ += delta; }
-    [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+    void inc(std::uint64_t delta = 1) noexcept {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
 
  private:
-    std::uint64_t value_ = 0;
+    std::atomic<std::uint64_t> value_{0};
 };
 
 class Gauge {
  public:
-    void set(double value) noexcept { value_ = value; }
-    void add(double delta) noexcept { value_ += delta; }
-    [[nodiscard]] double value() const noexcept { return value_; }
+    void set(double value) noexcept { value_.store(value, std::memory_order_relaxed); }
+    void add(double delta) noexcept {
+        double current = value_.load(std::memory_order_relaxed);
+        while (!value_.compare_exchange_weak(current, current + delta,
+                                             std::memory_order_relaxed)) {
+        }
+    }
+    [[nodiscard]] double value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
 
  private:
-    double value_ = 0.0;
+    std::atomic<double> value_{0.0};
 };
 
 class Histogram {
@@ -58,11 +78,16 @@ class Histogram {
     }
     // Cumulative count per bound (Prometheus "le" semantics), +Inf last.
     [[nodiscard]] std::vector<std::uint64_t> cumulative_counts() const;
-    [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
-    [[nodiscard]] double sum() const noexcept { return sum_; }
+    [[nodiscard]] std::uint64_t count() const noexcept;
+    [[nodiscard]] double sum() const noexcept;
+
+    // Adds `other`'s observations bucket-by-bucket (bounds must match; used
+    // by MetricsRegistry::merge_from).
+    void merge_from(const Histogram& other);
 
  private:
     std::vector<double> upper_bounds_;
+    mutable std::mutex mutex_;                  // guards the mutable tallies
     std::vector<std::uint64_t> bucket_counts_;  // per-bucket, +Inf last
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
@@ -90,11 +115,19 @@ class MetricsRegistry {
     // _count and _sum entries. Deterministic ordering.
     [[nodiscard]] std::string json_snapshot() const;
 
+    // Accumulates every instrument of `other` into this registry (counters
+    // add, gauges add, histograms merge bucket-wise when bounds agree and
+    // are adopted wholesale when the instrument is new here). The executor
+    // merges per-run registries into the global one in submission order, so
+    // the merged snapshot is independent of scheduling.
+    void merge_from(const MetricsRegistry& other);
+
     void clear();
 
  private:
     static std::string render_labels(const Labels& labels);
 
+    mutable std::mutex mutex_;  // guards map structure + help text
     std::map<std::string, std::map<std::string, Counter>> counters_;
     std::map<std::string, std::map<std::string, Gauge>> gauges_;
     std::map<std::string, std::map<std::string, Histogram>> histograms_;

@@ -11,34 +11,55 @@ Profiler& Profiler::instance() {
     return profiler;
 }
 
+namespace {
+// Per-thread cursor into the shared scope tree. The generation stamp lets
+// reset() invalidate every thread's cursor without coordinating with them.
+struct ThreadCursor {
+    std::size_t current = 0;
+    std::uint64_t generation = 0;
+};
+thread_local ThreadCursor t_cursor;
+}  // namespace
+
 void Profiler::reset() {
+    const std::lock_guard<std::mutex> lock(mutex_);
     nodes_.clear();
     nodes_.push_back(Node{"<root>", 0, {}, 0, 0});
-    current_ = 0;
+    ++generation_;
 }
 
 std::size_t Profiler::enter(const char* name) {
-    for (const std::size_t child : nodes_[current_].children) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (t_cursor.generation != generation_) {
+        t_cursor.current = 0;
+        t_cursor.generation = generation_;
+    }
+    for (const std::size_t child : nodes_[t_cursor.current].children) {
         if (nodes_[child].name == name) {
-            current_ = child;
+            t_cursor.current = child;
             return child;
         }
     }
     const std::size_t index = nodes_.size();
-    nodes_.push_back(Node{name, current_, {}, 0, 0});
-    nodes_[current_].children.push_back(index);
-    current_ = index;
+    nodes_.push_back(Node{name, t_cursor.current, {}, 0, 0});
+    nodes_[t_cursor.current].children.push_back(index);
+    t_cursor.current = index;
     return index;
 }
 
 void Profiler::leave(std::size_t node_index, std::uint64_t elapsed_ns) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // A reset() between enter and leave invalidates the node index; drop the
+    // sample rather than write into a rebuilt tree.
+    if (t_cursor.generation != generation_ || node_index >= nodes_.size()) return;
     Node& node = nodes_[node_index];
     node.ns += elapsed_ns;
     node.calls += 1;
-    current_ = node.parent;
+    t_cursor.current = node.parent;
 }
 
 std::uint64_t Profiler::total_ns(const std::string& name) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
     std::uint64_t total = 0;
     for (const auto& node : nodes_) {
         if (node.name == name) total += node.ns;
@@ -47,6 +68,7 @@ std::uint64_t Profiler::total_ns(const std::string& name) const {
 }
 
 std::uint64_t Profiler::total_calls(const std::string& name) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
     std::uint64_t total = 0;
     for (const auto& node : nodes_) {
         if (node.name == name) total += node.calls;
@@ -83,6 +105,7 @@ void Profiler::report_node(std::string& out, std::size_t index, int depth) const
 }
 
 std::string Profiler::report() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
     std::string out;
     if (nodes_[0].children.empty()) return "profiler: no scopes recorded\n";
     out += "scope                                  inclusive       calls  of parent\n";

@@ -13,11 +13,16 @@
 // deterministic run artifacts (JSONL / catapult / metrics); it is a human
 // diagnostic printed on demand.
 //
-// Single-threaded by design, like the simulator it instruments.
+// Thread-aware: each thread keeps its own cursor into the scope tree
+// (nested scopes on one thread build a hierarchy as before); the tree
+// itself is mutex-guarded, so exec::RunExecutor workers can profile
+// concurrently — their scope counts simply aggregate into shared nodes.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -27,8 +32,12 @@ class Profiler {
  public:
     static Profiler& instance();
 
-    void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
-    [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+    void set_enabled(bool enabled) noexcept {
+        enabled_.store(enabled, std::memory_order_relaxed);
+    }
+    [[nodiscard]] bool enabled() const noexcept {
+        return enabled_.load(std::memory_order_relaxed);
+    }
 
     // Drops all recorded scopes (keeps the enabled flag).
     void reset();
@@ -60,9 +69,11 @@ class Profiler {
     Profiler();
     void report_node(std::string& out, std::size_t index, int depth) const;
 
-    bool enabled_ = false;
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mutex_;  // guards nodes_ and generation_
     std::vector<Node> nodes_;   // nodes_[0] is the synthetic root
-    std::size_t current_ = 0;
+    // Bumped by reset() so stale per-thread cursors re-anchor at the root.
+    std::uint64_t generation_ = 0;
 };
 
 class ScopedTimer {

@@ -9,8 +9,12 @@
 // through its EventSink fan-out, so the same call sites feed the stderr
 // sink and the structured JSONL sink without the util layer depending on
 // obs.
+// The level gate and backend hook are atomics so concurrent protocol runs
+// (exec::RunExecutor workers) can log while another thread re-configures the
+// logger without a data race; message formatting itself is per-call local.
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <string>
 #include <string_view>
@@ -30,17 +34,25 @@ class Logger {
         return logger;
     }
 
-    void set_level(LogLevel level) noexcept { level_ = level; }
-    [[nodiscard]] LogLevel level() const noexcept { return level_; }
+    void set_level(LogLevel level) noexcept {
+        level_.store(level, std::memory_order_relaxed);
+    }
+    [[nodiscard]] LogLevel level() const noexcept {
+        return level_.load(std::memory_order_relaxed);
+    }
 
     // nullptr restores the default stderr output.
-    void set_backend(Backend hook) noexcept { backend_ = hook; }
-    [[nodiscard]] Backend backend() const noexcept { return backend_; }
+    void set_backend(Backend hook) noexcept {
+        backend_.store(hook, std::memory_order_release);
+    }
+    [[nodiscard]] Backend backend() const noexcept {
+        return backend_.load(std::memory_order_acquire);
+    }
 
     void log(LogLevel level, std::string_view component, std::string_view message) const {
-        if (static_cast<int>(level) > static_cast<int>(level_)) return;
-        if (backend_ != nullptr) {
-            backend_(level, component, message);
+        if (static_cast<int>(level) > static_cast<int>(this->level())) return;
+        if (const Backend hook = backend(); hook != nullptr) {
+            hook(level, component, message);
             return;
         }
         std::fprintf(stderr, "[%s] %.*s: %.*s\n", name(level),
@@ -61,8 +73,8 @@ class Logger {
     }
 
  private:
-    LogLevel level_ = LogLevel::Warn;
-    Backend backend_ = nullptr;
+    std::atomic<LogLevel> level_{LogLevel::Warn};
+    std::atomic<Backend> backend_{nullptr};
 };
 
 inline void log_error(std::string_view component, std::string_view message) {

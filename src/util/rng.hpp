@@ -21,6 +21,20 @@ constexpr std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
     return z ^ (z >> 31);
 }
 
+// Seed of independent stream `stream` derived from `root_seed`. Streams are
+// decorrelated by two splitmix64 rounds with the stream index folded in
+// between, so (root, i) and (root, j) give unrelated generators for i != j,
+// and the same (root, stream) pair always gives the same seed — the basis of
+// the exec::RunExecutor determinism contract (per-run results depend only on
+// the root seed and the run's submission index, never on thread scheduling).
+constexpr std::uint64_t derive_seed(std::uint64_t root_seed,
+                                    std::uint64_t stream) noexcept {
+    std::uint64_t state = root_seed;
+    const std::uint64_t mixed_root = splitmix64_next(state);
+    state = mixed_root ^ (stream * 0xbf58476d1ce4e5b9ull);
+    return splitmix64_next(state);
+}
+
 class Xoshiro256 {
  public:
     using result_type = std::uint64_t;

@@ -3,6 +3,8 @@
 // feed the referee or its peers anything at all.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "crypto/lamport.hpp"
 #include "crypto/merkle.hpp"
 #include "crypto/mss.hpp"
@@ -96,6 +98,155 @@ TEST(FuzzCodecs, TruncatedValidEncodingsRejected) {
         const auto parsed = protocol::MeterVectorBody::deserialize(
             std::span<const std::uint8_t>(wire.data(), cut));
         EXPECT_FALSE(parsed.has_value()) << "cut at " << cut;
+    }
+}
+
+TEST(FuzzCodecs, TruncatedSignedMessagesRejectedOrUnverifiable) {
+    // Every prefix of a valid signed-message encoding must either fail to
+    // parse or fail verification — no truncation can yield a different
+    // accepted message.
+    crypto::Pki pki;
+    auto signer =
+        crypto::make_registered_signer(pki, "P2", 7, crypto::SignatureAlgorithm::kFast);
+    protocol::PaymentBody payment{3, "P2", {2.75, 1.25}};
+    const auto msg = crypto::sign_message(*signer, "P2", payment.serialize());
+    const util::Bytes wire = msg.serialize();
+    for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+        const auto parsed = crypto::SignedMessage::deserialize(
+            std::span<const std::uint8_t>(wire.data(), cut));
+        if (parsed.has_value()) {
+            EXPECT_FALSE(parsed->verify(pki) && parsed->payload == msg.payload)
+                << "truncation at " << cut << " still verifies the original payload";
+        }
+    }
+}
+
+TEST(FuzzCodecs, FieldSwappedSignedMessagesNeverVerify) {
+    // Splicing fields between two independently valid signed messages — the
+    // classic signature-transplant attack — must always fail verification:
+    // a signature binds (signer, payload) and covers the identity, so no
+    // recombination is valid.
+    crypto::Pki pki;
+    auto signer1 =
+        crypto::make_registered_signer(pki, "P1", 7, crypto::SignatureAlgorithm::kFast);
+    auto signer2 =
+        crypto::make_registered_signer(pki, "P2", 7, crypto::SignatureAlgorithm::kFast);
+    protocol::BidBody bid1{1, "P1", 1.5};
+    protocol::BidBody bid2{1, "P2", 2.5};
+    const auto msg1 = crypto::sign_message(*signer1, "P1", bid1.serialize());
+    const auto msg2 = crypto::sign_message(*signer2, "P2", bid2.serialize());
+    ASSERT_TRUE(msg1.verify(pki));
+    ASSERT_TRUE(msg2.verify(pki));
+
+    // Every proper hybrid of the two messages (at least one field taken from
+    // the other message) must be rejected.
+    for (int mask = 1; mask < 7; ++mask) {
+        crypto::SignedMessage hybrid = msg1;
+        if (mask & 1) hybrid.signer = msg2.signer;
+        if (mask & 2) hybrid.payload = msg2.payload;
+        if (mask & 4) hybrid.signature = msg2.signature;
+        // mask == 7 is msg2 itself; everything else is a forgery.
+        if (mask == 7) continue;
+        EXPECT_FALSE(hybrid.verify(pki)) << "hybrid mask " << mask << " verified";
+        // The forgery must also survive a serialize/deserialize round trip
+        // without crashing, and stay rejected.
+        const auto reparsed = crypto::SignedMessage::deserialize(hybrid.serialize());
+        ASSERT_TRUE(reparsed.has_value());
+        EXPECT_FALSE(reparsed->verify(pki)) << "reparsed hybrid mask " << mask;
+    }
+}
+
+TEST(FuzzCodecs, MutatedMerkleSignedMessagesNeverVerify) {
+    // Same mutation sweep as the kFast variant but over the hash-based
+    // (Merkle/MSS) signature path, whose verifier walks attacker-controlled
+    // tree proofs — it must reject without crashing on every mutant.
+    crypto::Pki pki;
+    auto signer =
+        crypto::make_registered_signer(pki, "P3", 4, crypto::SignatureAlgorithm::kMerkle);
+    protocol::TerminateBody body{"offense (iii)", {"P2"}};
+    const auto msg = crypto::sign_message(*signer, "P3", body.serialize());
+    ASSERT_TRUE(msg.verify(pki));
+    const util::Bytes wire = msg.serialize();
+
+    util::Xoshiro256 rng{123};
+    int accepted_mutants = 0;
+    for (int trial = 0; trial < 300; ++trial) {
+        util::Bytes mutated = wire;
+        const std::size_t flips = 1 + rng.uniform_int(0, 3);
+        for (std::size_t f = 0; f < flips; ++f) {
+            const std::size_t pos =
+                static_cast<std::size_t>(rng.uniform_int(0, mutated.size() - 1));
+            mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.uniform_int(0, 254));
+        }
+        if (mutated == wire) continue;
+        const auto parsed = crypto::SignedMessage::deserialize(mutated);
+        if (parsed && parsed->verify(pki) && parsed->payload == msg.payload &&
+            parsed->signer == msg.signer) {
+            ++accepted_mutants;
+        }
+    }
+    EXPECT_EQ(accepted_mutants, 0);
+}
+
+TEST(FuzzCodecs, StructuredMutationsOfBodiesHandledGracefully) {
+    // Structured mutations of a valid MeterVectorBody encoding: byte flips,
+    // chunk deletions, chunk duplications and length-prefix-style splices.
+    // The decoder may accept or reject, but an accepted mutant must
+    // round-trip and never crash downstream serialization.
+    protocol::MeterVectorBody body;
+    body.job_id = 11;
+    body.phis = {{"P1", 0.2}, {"P2", 0.4}, {"P3", 0.6}, {"P4", 0.8}};
+    const util::Bytes wire = body.serialize();
+
+    util::Xoshiro256 rng{321};
+    for (int trial = 0; trial < 1500; ++trial) {
+        util::Bytes mutated = wire;
+        switch (rng.uniform_int(0, 3)) {
+            case 0: {  // flip
+                const std::size_t pos =
+                    static_cast<std::size_t>(rng.uniform_int(0, mutated.size() - 1));
+                mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.uniform_int(0, 254));
+                break;
+            }
+            case 1: {  // delete a chunk
+                const std::size_t start =
+                    static_cast<std::size_t>(rng.uniform_int(0, mutated.size() - 1));
+                const std::size_t len = static_cast<std::size_t>(
+                    rng.uniform_int(1, mutated.size() - start));
+                mutated.erase(mutated.begin() + static_cast<std::ptrdiff_t>(start),
+                              mutated.begin() + static_cast<std::ptrdiff_t>(start + len));
+                break;
+            }
+            case 2: {  // duplicate a chunk
+                const std::size_t start =
+                    static_cast<std::size_t>(rng.uniform_int(0, mutated.size() - 1));
+                const std::size_t len = static_cast<std::size_t>(
+                    rng.uniform_int(1, std::min<std::size_t>(16, mutated.size() - start)));
+                util::Bytes chunk(mutated.begin() + static_cast<std::ptrdiff_t>(start),
+                                  mutated.begin() +
+                                      static_cast<std::ptrdiff_t>(start + len));
+                mutated.insert(mutated.begin() + static_cast<std::ptrdiff_t>(start),
+                               chunk.begin(), chunk.end());
+                break;
+            }
+            default: {  // splice the tail of a second valid encoding
+                protocol::MeterVectorBody other;
+                other.job_id = 12;
+                other.phis = {{"P9", 0.9}};
+                const util::Bytes donor = other.serialize();
+                const std::size_t cut = static_cast<std::size_t>(
+                    rng.uniform_int(0, std::min(mutated.size(), donor.size()) - 1));
+                mutated.resize(cut);
+                mutated.insert(mutated.end(), donor.begin() + static_cast<std::ptrdiff_t>(
+                                                  std::min(cut, donor.size())),
+                               donor.end());
+                break;
+            }
+        }
+        const auto parsed = protocol::MeterVectorBody::deserialize(mutated);
+        if (parsed.has_value()) {
+            (void)parsed->serialize();
+        }
     }
 }
 
