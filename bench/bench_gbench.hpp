@@ -1,0 +1,63 @@
+// Google-benchmark integration for the BENCH_*.json artifacts: a console
+// reporter that also captures every per-iteration run so the bench's main()
+// can compute derived metrics (speedup ratios) and emit the JSON document
+// from bench/bench_json.hpp. Kept separate from bench_json.hpp so Report
+// style experiment binaries can emit JSON without linking the benchmark
+// library.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.hpp"
+
+namespace dlsbl::bench {
+
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+    void ReportRuns(const std::vector<Run>& report) override {
+        benchmark::ConsoleReporter::ReportRuns(report);
+        for (const auto& run : report) {
+            if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+            JsonResult result;
+            result.name = run.benchmark_name();
+            result.iterations = static_cast<std::uint64_t>(run.iterations);
+            const auto iterations = static_cast<double>(std::max<std::int64_t>(
+                run.iterations, 1));
+            result.real_time_s = run.real_accumulated_time / iterations;
+            result.cpu_time_s = run.cpu_accumulated_time / iterations;
+            results_.push_back(std::move(result));
+        }
+    }
+
+    [[nodiscard]] const std::vector<JsonResult>& results() const noexcept {
+        return results_;
+    }
+
+    // Per-iteration wall time of a captured benchmark, or 0 when absent —
+    // derived-metric helpers divide through this, so missing benchmarks
+    // (e.g. filtered out on the command line) yield a 0 ratio rather than a
+    // crash.
+    [[nodiscard]] double real_time_s(const std::string& name) const noexcept {
+        for (const auto& result : results_) {
+            if (result.name == name) return result.real_time_s;
+        }
+        return 0.0;
+    }
+
+ private:
+    std::vector<JsonResult> results_;
+};
+
+// Ratio helper for derived speedups; 0 when either side is missing.
+inline double speedup(const CaptureReporter& reporter, const std::string& baseline,
+                      const std::string& contender) noexcept {
+    const double base = reporter.real_time_s(baseline);
+    const double cont = reporter.real_time_s(contender);
+    if (base <= 0.0 || cont <= 0.0) return 0.0;
+    return base / cont;
+}
+
+}  // namespace dlsbl::bench

@@ -1,0 +1,102 @@
+// Machine-readable bench artifacts.
+//
+// Every perf binary accepts `--json-out PATH` (or `--json-out=PATH`) and, in
+// addition to its normal console output, writes one JSON document:
+//
+//   {"manifest": {...RunManifest: schema, git describe, build type, env...},
+//    "results": [{"name": ..., "iterations": N,
+//                 "real_time_s": ..., "cpu_time_s": ...}, ...],
+//    "derived": {"sha256_4096_speedup": 3.1, ...}}
+//
+// `manifest` carries provenance, `results` the raw per-benchmark timings,
+// `derived` the headline comparisons (e.g. SIMD-over-scalar speedups) so a
+// trajectory of BENCH_*.json files diffs meaningfully across commits.
+//
+// This header is benchmark-library-agnostic on purpose: Report-style
+// experiment binaries (bench/common.hpp) use it too. Google-benchmark
+// integration (the capturing reporter) lives in bench/bench_gbench.hpp.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
+
+namespace dlsbl::bench {
+
+struct JsonResult {
+    std::string name;
+    std::uint64_t iterations = 1;
+    double real_time_s = 0.0;  // per-iteration wall time
+    double cpu_time_s = 0.0;   // per-iteration CPU time
+};
+
+// Removes `--json-out PATH` / `--json-out=PATH` from argv (so the remaining
+// flags can go to benchmark::Initialize or the bench's own parser) and
+// returns the path when present.
+inline std::optional<std::string> json_out_from_args(int* argc, char** argv) {
+    std::optional<std::string> path;
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--json-out" && i + 1 < *argc) {
+            path = argv[++i];
+        } else if (arg.rfind("--json-out=", 0) == 0) {
+            path = std::string(arg.substr(std::strlen("--json-out=")));
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    *argc = out;
+    argv[*argc] = nullptr;
+    return path;
+}
+
+inline std::string bench_json_document(const obs::RunManifest& manifest,
+                                       const std::vector<JsonResult>& results,
+                                       const std::map<std::string, double>& derived) {
+    std::string doc = "{\"manifest\":" + manifest.to_json() + ",\"results\":[";
+    bool first = true;
+    for (const auto& result : results) {
+        if (!first) doc += ',';
+        first = false;
+        doc += "{\"name\":" + obs::json_escape(result.name) +
+               ",\"iterations\":" + std::to_string(result.iterations) +
+               ",\"real_time_s\":" + obs::json_number(result.real_time_s) +
+               ",\"cpu_time_s\":" + obs::json_number(result.cpu_time_s) + '}';
+    }
+    doc += "],\"derived\":{";
+    first = true;
+    for (const auto& [key, value] : derived) {
+        if (!first) doc += ',';
+        first = false;
+        doc += obs::json_escape(key) + ':' + obs::json_number(value);
+    }
+    doc += "}}\n";
+    return doc;
+}
+
+// Writes the document and echoes the path so harness logs record where the
+// artifact landed. Returns false (after a diagnostic) on I/O failure.
+inline bool write_bench_json(const std::string& path, const obs::RunManifest& manifest,
+                             const std::vector<JsonResult>& results,
+                             const std::map<std::string, double>& derived) {
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+        std::fprintf(stderr, "bench: cannot open %s for writing\n", path.c_str());
+        return false;
+    }
+    const std::string doc = bench_json_document(manifest, results, derived);
+    const bool ok = std::fwrite(doc.data(), 1, doc.size(), file) == doc.size();
+    std::fclose(file);
+    if (ok) std::printf("BENCH_JSON %s\n", path.c_str());
+    return ok;
+}
+
+}  // namespace dlsbl::bench

@@ -1,8 +1,15 @@
 // E14: engineering microbenchmarks for the scheduling substrate —
 // closed-form O(m) allocation vs the O(m³) Gaussian-elimination
 // cross-check, finishing-time evaluation, and the exact-rational path.
+//
+// `--json-out PATH` writes a BENCH_allocation.json document (see
+// bench/bench_json.hpp) with the closed-form-over-solver speedup derived.
 #include <benchmark/benchmark.h>
 
+#include <map>
+
+#include "bench/bench_gbench.hpp"
+#include "bench/bench_json.hpp"
 #include "dlt/closed_form.hpp"
 #include "dlt/finish_time.hpp"
 #include "dlt/linear_solver.hpp"
@@ -80,4 +87,21 @@ BENCHMARK(BM_ExactRationalAllocation)->RangeMultiplier(2)->Range(2, 16);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    const auto json_out = bench::json_out_from_args(&argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    bench::CaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    if (!json_out) return 0;
+
+    obs::RunManifest manifest;
+    manifest.set("bench", "perf_allocation (E14)");
+    std::map<std::string, double> derived;
+    derived["closed_form_over_solver_m256"] = bench::speedup(
+        reporter, "BM_GaussianSolverAllocation/256", "BM_ClosedFormAllocation/256");
+    return bench::write_bench_json(*json_out, manifest, reporter.results(), derived)
+               ? 0
+               : 1;
+}

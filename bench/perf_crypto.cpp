@@ -1,8 +1,19 @@
 // E15: engineering microbenchmarks for the cryptographic substrate —
-// SHA-256 throughput, HMAC, Lamport and Merkle signature operations, and
-// full protocol-message signing.
+// SHA-256 throughput per compression backend, the multi-lane batch APIs,
+// HMAC, Lamport/WOTS/Merkle signature operations, MSS keygen across backend
+// and thread-count variants, and full protocol-message signing.
+//
+// `--json-out PATH` additionally writes a BENCH_crypto.json document whose
+// "derived" section records the headline SIMD-over-scalar and parallel-
+// keygen speedups (bench/bench_json.hpp schema).
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <string>
+#include <thread>
+
+#include "bench/bench_gbench.hpp"
+#include "bench/bench_json.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/lamport.hpp"
 #include "crypto/mss.hpp"
@@ -13,14 +24,69 @@ using namespace dlsbl;
 
 namespace {
 
-void BM_Sha256(benchmark::State& state) {
+// Pins the requested compression backend for the duration of one benchmark
+// ("auto" = the dispatch-selected best; "scalar" always exists). Restores
+// dispatch afterwards so later benchmarks see the default.
+class BackendPin {
+ public:
+    BackendPin(benchmark::State& state, const std::string& backend) {
+        if (!crypto::sha256_set_backend(backend)) {
+            state.SkipWithError(("unavailable backend: " + backend).c_str());
+            ok_ = false;
+        }
+    }
+    ~BackendPin() { crypto::sha256_set_backend("auto"); }
+    explicit operator bool() const noexcept { return ok_; }
+
+ private:
+    bool ok_ = true;
+};
+
+void BM_Sha256(benchmark::State& state, const std::string& backend) {
+    BackendPin pin(state, backend);
+    if (!pin) return;
     const util::Bytes data(static_cast<std::size_t>(state.range(0)), 0xa5);
     for (auto _ : state) {
         benchmark::DoNotOptimize(crypto::Sha256::hash(data));
     }
     state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
 }
-BENCHMARK(BM_Sha256)->RangeMultiplier(8)->Range(64, 262144);
+BENCHMARK_CAPTURE(BM_Sha256, scalar, "scalar")->Arg(4096)->Arg(65536)->Arg(262144);
+BENCHMARK_CAPTURE(BM_Sha256, auto, "auto")->Arg(4096)->Arg(65536)->Arg(262144);
+
+// The hash-tree inner loop: n independent 32-byte messages, one compression
+// each — the shape where the interleaved multi-lane schedules pay off.
+void BM_Sha256Hash32Many(benchmark::State& state, const std::string& backend) {
+    BackendPin pin(state, backend);
+    if (!pin) return;
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::vector<crypto::Digest> digests(n, crypto::Sha256::hash("lane"));
+    std::vector<crypto::Digest> out(n);
+    for (auto _ : state) {
+        crypto::Sha256::hash32_many(digests, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0) * 32);
+}
+BENCHMARK_CAPTURE(BM_Sha256Hash32Many, scalar, "scalar")->Arg(1024);
+BENCHMARK_CAPTURE(BM_Sha256Hash32Many, auto, "auto")->Arg(1024);
+
+void BM_Sha256HashPairMany(benchmark::State& state, const std::string& backend) {
+    BackendPin pin(state, backend);
+    if (!pin) return;
+    const auto pairs = static_cast<std::size_t>(state.range(0));
+    std::vector<crypto::Digest> level(2 * pairs, crypto::Sha256::hash("node"));
+    std::vector<crypto::Digest> above(pairs);
+    for (auto _ : state) {
+        crypto::Sha256::hash_pair_many(level, above);
+        benchmark::DoNotOptimize(above.data());
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0) * 64);
+}
+BENCHMARK_CAPTURE(BM_Sha256HashPairMany, scalar, "scalar")->Arg(512);
+BENCHMARK_CAPTURE(BM_Sha256HashPairMany, auto, "auto")->Arg(512);
 
 void BM_HmacSha256(benchmark::State& state) {
     const util::Bytes key(32, 0x42);
@@ -31,6 +97,18 @@ void BM_HmacSha256(benchmark::State& state) {
     state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
 }
 BENCHMARK(BM_HmacSha256)->Range(64, 16384);
+
+// The PRF shape used by keygen: one key, many short messages. The midstate
+// precomputation halves the compressions versus the free function above.
+void BM_HmacMidstate(benchmark::State& state) {
+    const util::Bytes key(32, 0x42);
+    const crypto::HmacSha256 prf(key);
+    const util::Bytes message(9, 0x17);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(prf.mac(message));
+    }
+}
+BENCHMARK(BM_HmacMidstate);
 
 void BM_LamportKeygen(benchmark::State& state) {
     const crypto::Digest seed = crypto::Sha256::hash("bench-seed");
@@ -90,15 +168,22 @@ void BM_WotsVerify(benchmark::State& state) {
 }
 BENCHMARK(BM_WotsVerify);
 
-void BM_MssKeygen(benchmark::State& state) {
+// Backend × job-count grid at height 4 (16 Lamport leaves, the protocol's
+// default key size). scalar_j1 is the pre-overhaul baseline.
+void BM_MssKeygen(benchmark::State& state, const std::string& backend,
+                  std::size_t jobs) {
+    BackendPin pin(state, backend);
+    if (!pin) return;
     const crypto::Digest seed = crypto::Sha256::hash("mss-bench");
     const auto height = static_cast<unsigned>(state.range(0));
     for (auto _ : state) {
-        crypto::MssKeyPair key(seed, height);
+        crypto::MssKeyPair key(seed, height, crypto::OtsScheme::kLamport, jobs);
         benchmark::DoNotOptimize(key.public_key());
     }
 }
-BENCHMARK(BM_MssKeygen)->DenseRange(1, 5, 2);
+BENCHMARK_CAPTURE(BM_MssKeygen, scalar_j1, "scalar", 1)->Arg(4);
+BENCHMARK_CAPTURE(BM_MssKeygen, auto_j1, "auto", 1)->Arg(4);
+BENCHMARK_CAPTURE(BM_MssKeygen, auto_j4, "auto", 4)->Arg(4);
 
 void BM_MssSignVerify(benchmark::State& state) {
     const util::Bytes message = util::to_bytes("payment vector");
@@ -137,6 +222,63 @@ void BM_SignedEnvelopeFast(benchmark::State& state) {
 }
 BENCHMARK(BM_SignedEnvelopeFast);
 
+// Repeated verification of the same signed message — the referee's shape
+// (every processor relays every bid) — with and without the memo cache.
+void BM_PkiVerifyCached(benchmark::State& state, bool cached) {
+    crypto::Pki pki;
+    if (!cached) pki.set_verify_cache_capacity(0);
+    auto signer = crypto::make_registered_signer(pki, "P1", 7,
+                                                 crypto::SignatureAlgorithm::kMerkleWots, 2);
+    const util::Bytes payload = util::to_bytes("bid body bytes");
+    const util::Bytes signature = signer->sign(payload);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pki.verify("P1", payload, signature));
+    }
+}
+BENCHMARK_CAPTURE(BM_PkiVerifyCached, on, true);
+BENCHMARK_CAPTURE(BM_PkiVerifyCached, off, false);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    const auto json_out = bench::json_out_from_args(&argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    bench::CaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    if (!json_out) return 0;
+
+    obs::RunManifest manifest;
+    manifest.set("bench", "perf_crypto (E15)");
+    manifest.set("sha256_backend_auto", std::string(crypto::sha256_backend()));
+    std::string backends;
+    for (const auto& name : crypto::sha256_available_backends()) {
+        if (!backends.empty()) backends += ',';
+        backends += name;
+    }
+    manifest.set("sha256_backends", backends);
+    manifest.set_uint("hardware_concurrency", std::thread::hardware_concurrency());
+
+    std::map<std::string, double> derived;
+    derived["sha256_4096_speedup"] =
+        bench::speedup(reporter, "BM_Sha256/scalar/4096", "BM_Sha256/auto/4096");
+    derived["sha256_65536_speedup"] =
+        bench::speedup(reporter, "BM_Sha256/scalar/65536", "BM_Sha256/auto/65536");
+    derived["sha256_262144_speedup"] =
+        bench::speedup(reporter, "BM_Sha256/scalar/262144", "BM_Sha256/auto/262144");
+    derived["hash32_many_speedup"] = bench::speedup(
+        reporter, "BM_Sha256Hash32Many/scalar/1024", "BM_Sha256Hash32Many/auto/1024");
+    derived["hash_pair_many_speedup"] = bench::speedup(
+        reporter, "BM_Sha256HashPairMany/scalar/512", "BM_Sha256HashPairMany/auto/512");
+    derived["mss_keygen_speedup_auto_j1"] =
+        bench::speedup(reporter, "BM_MssKeygen/scalar_j1/4", "BM_MssKeygen/auto_j1/4");
+    derived["mss_keygen_speedup_auto_j4"] =
+        bench::speedup(reporter, "BM_MssKeygen/scalar_j1/4", "BM_MssKeygen/auto_j4/4");
+    derived["pki_verify_cache_speedup"] =
+        bench::speedup(reporter, "BM_PkiVerifyCached/off", "BM_PkiVerifyCached/on");
+
+    return bench::write_bench_json(*json_out, manifest, reporter.results(), derived)
+               ? 0
+               : 1;
+}

@@ -10,7 +10,19 @@
 //
 // The (m, cost) grid of simulations is independent, so it goes through
 // exec::RunExecutor (`--jobs N` / DLSBL_JOBS) with order-merged results.
+//
+// A second section measures the *host* wall-clock cost of the cryptographic
+// substrate — the one real-time expense the mechanism adds — across SHA-256
+// backends and MSS keygen job counts. `--json-out PATH` writes those
+// timings to a BENCH_*.json document (bench/bench_json.hpp).
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <thread>
+
+#include "bench/bench_json.hpp"
 #include "bench/common.hpp"
+#include "crypto/sha256.hpp"
 #include "dlt/finish_time.hpp"
 #include "protocol/runner.hpp"
 #include "util/statistics.hpp"
@@ -34,9 +46,37 @@ double simulated_makespan(std::size_t m, double seconds_per_byte) {
     return protocol::run_protocol(config).makespan;
 }
 
+// Host wall-clock seconds for one full Merkle-signed protocol run with the
+// given SHA-256 backend and keygen job count (median of `trials`).
+double crypto_wall_seconds(std::string_view backend, std::size_t jobs,
+                           std::size_t trials) {
+    protocol::ProtocolConfig config;
+    config.kind = dlt::NetworkKind::kNcpFE;
+    config.z = 0.2;
+    config.true_w = {1.0, 1.3, 1.1, 1.6, 1.2, 1.05};
+    config.block_count = 96;
+    config.signature_algorithm = crypto::SignatureAlgorithm::kMerkleWots;
+    config.mss_height = 5;
+    config.crypto_keygen_jobs = jobs;
+
+    const std::string saved{crypto::sha256_backend()};
+    crypto::sha256_set_backend(backend);
+    std::vector<double> samples;
+    for (std::size_t t = 0; t < trials; ++t) {
+        const auto start = std::chrono::steady_clock::now();
+        protocol::run_protocol(config);
+        const auto stop = std::chrono::steady_clock::now();
+        samples.push_back(std::chrono::duration<double>(stop - start).count());
+    }
+    crypto::sha256_set_backend(saved);
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+    const auto json_out = bench::json_out_from_args(&argc, argv);
     bench::Report report("E22 (extension): wall-clock overhead of the mechanism");
     const auto options = bench::parallel_options(argc, argv, /*root_seed=*/22);
 
@@ -85,6 +125,24 @@ int main(int argc, char** argv) {
     const double zero_cost = overhead_at(2, 0);     // m=16, cost 0
     const double big_fleet = overheads.back();
 
+    // Host-side cost of the signatures themselves: the same Merkle-signed
+    // run on the scalar baseline, the dispatch-selected SIMD backend, and
+    // SIMD + parallel MSS keygen. Artifacts are byte-identical across all
+    // three (see test_protocol_crypto_identity), so this is pure wall-clock.
+    report.section("crypto substrate wall-clock (host seconds per run)");
+    const std::size_t trials = 3;
+    const std::size_t hw = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+    const double t_scalar = crypto_wall_seconds("scalar", 1, trials);
+    const double t_simd = crypto_wall_seconds("auto", 1, trials);
+    const double t_simd_jobs = crypto_wall_seconds("auto", hw, trials);
+    const std::string best{crypto::sha256_backend()};
+    report.line(bench::fmt("scalar backend, keygen jobs 1 : %.4f s", t_scalar));
+    report.line(best + " backend, keygen jobs 1 : " +
+                bench::fmt2("%.4f s  (speedup %.2fx)", t_simd, t_scalar / t_simd));
+    report.line(best + " backend, keygen jobs " + std::to_string(hw) + " : " +
+                bench::fmt2("%.4f s  (speedup %.2fx)", t_simd_jobs,
+                            t_scalar / t_simd_jobs));
+
     report.section("verdicts");
     report.verdict(std::abs(zero_cost) < 1e-9,
                    "zero-cost control reproduces the paper's timing model exactly");
@@ -93,5 +151,23 @@ int main(int argc, char** argv) {
     report.verdict(fit.slope > 1.0 && big_fleet > 0.2,
                    "overhead grows superlinearly and becomes material (>20%) at m=64, "
                    "1e-5 s/B — the Θ(m²) traffic made visible");
+
+    if (json_out) {
+        obs::RunManifest manifest;
+        manifest.set("bench", "protocol_overhead (E22)");
+        manifest.set("sha256_backend_auto", best);
+        manifest.set_uint("hardware_concurrency", hw);
+        const std::vector<bench::JsonResult> results{
+            {"protocol_run/scalar_j1", trials, t_scalar, 0.0},
+            {"protocol_run/auto_j1", trials, t_simd, 0.0},
+            {"protocol_run/auto_j" + std::to_string(hw), trials, t_simd_jobs, 0.0},
+        };
+        const std::map<std::string, double> derived{
+            {"protocol_crypto_speedup_auto_j1", t_scalar / t_simd},
+            {"protocol_crypto_speedup_auto_jhw", t_scalar / t_simd_jobs},
+            {"overhead_power_law_slope", fit.slope},
+        };
+        if (!bench::write_bench_json(*json_out, manifest, results, derived)) return 1;
+    }
     return report.exit_code();
 }

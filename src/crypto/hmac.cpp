@@ -5,7 +5,7 @@
 
 namespace dlsbl::crypto {
 
-Digest hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8_t> message) {
+HmacSha256::HmacSha256(std::span<const std::uint8_t> key) noexcept {
     constexpr std::size_t kBlock = 64;
     std::array<std::uint8_t, kBlock> key_block{};
     if (key.size() > kBlock) {
@@ -15,22 +15,30 @@ Digest hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8
         std::memcpy(key_block.data(), key.data(), key.size());
     }
 
-    std::array<std::uint8_t, kBlock> ipad{};
-    std::array<std::uint8_t, kBlock> opad{};
+    std::array<std::uint8_t, kBlock> pad{};
     for (std::size_t i = 0; i < kBlock; ++i) {
-        ipad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x36);
-        opad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x5c);
+        pad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x36);
     }
+    inner_.update(std::span<const std::uint8_t>(pad.data(), pad.size()));
+    for (std::size_t i = 0; i < kBlock; ++i) {
+        pad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x5c);
+    }
+    outer_.update(std::span<const std::uint8_t>(pad.data(), pad.size()));
+}
 
-    Sha256 inner;
-    inner.update(std::span<const std::uint8_t>(ipad.data(), ipad.size()));
+Digest HmacSha256::mac(std::span<const std::uint8_t> message) const noexcept {
+    Sha256 inner = inner_;  // midstate copy — no re-hash of the pads
     inner.update(message);
     const Digest inner_digest = inner.finalize();
 
-    Sha256 outer;
-    outer.update(std::span<const std::uint8_t>(opad.data(), opad.size()));
-    outer.update(std::span<const std::uint8_t>(inner_digest.data(), inner_digest.size()));
+    Sha256 outer = outer_;
+    outer.update(
+        std::span<const std::uint8_t>(inner_digest.data(), inner_digest.size()));
     return outer.finalize();
+}
+
+Digest hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8_t> message) {
+    return HmacSha256(key).mac(message);
 }
 
 }  // namespace dlsbl::crypto

@@ -11,6 +11,17 @@ int digest_bit(const Digest& d, std::size_t i) {
     return (d[i / 8] >> (7 - i % 8)) & 1;
 }
 
+// PRF message for secret (index, bit): the ByteWriter encoding
+// u64(index) || u8(bit), built on the stack — same bytes, no allocation.
+Digest prf_secret(const HmacSha256& prf, std::size_t index, int bit) {
+    std::uint8_t msg[9];
+    for (int i = 0; i < 8; ++i) {
+        msg[i] = static_cast<std::uint8_t>(static_cast<std::uint64_t>(index) >> (8 * i));
+    }
+    msg[8] = static_cast<std::uint8_t>(bit);
+    return prf.mac(std::span<const std::uint8_t>(msg, sizeof(msg)));
+}
+
 }  // namespace
 
 util::Bytes LamportSignature::serialize() const {
@@ -41,48 +52,50 @@ std::optional<LamportSignature> LamportSignature::deserialize(
 
 LamportKeyPair::LamportKeyPair(const Digest& seed) : seed_(seed) {
     // pk = H( H(sk[0][0]) || H(sk[0][1]) || ... || H(sk[255][1]) )
-    Sha256 acc;
+    // All 512 secrets come from one HMAC midstate; all 512 hashes go
+    // through the multi-lane batch path.
+    const HmacSha256 prf(std::span<const std::uint8_t>(seed_.data(), seed_.size()));
+    std::array<Digest, 512> secrets;
     for (std::size_t i = 0; i < 256; ++i) {
-        for (int b = 0; b < 2; ++b) {
-            const Digest h = Sha256::hash(
-                std::span<const std::uint8_t>(secret(i, b).data(), 32));
-            acc.update(std::span<const std::uint8_t>(h.data(), h.size()));
-        }
+        for (int b = 0; b < 2; ++b) secrets[2 * i + b] = prf_secret(prf, i, b);
     }
-    public_key_ = acc.finalize();
+    std::array<Digest, 512> hashes;
+    Sha256::hash32_many(secrets, hashes);
+    public_key_ = Sha256::hash(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(hashes.data()), sizeof(hashes)));
 }
 
 Digest LamportKeyPair::secret(std::size_t index, int bit) const {
-    util::ByteWriter w;
-    w.u64(index);
-    w.u8(static_cast<std::uint8_t>(bit));
-    return hmac_sha256(std::span<const std::uint8_t>(seed_.data(), seed_.size()),
-                       std::span<const std::uint8_t>(w.data().data(), w.data().size()));
+    return prf_secret(
+        HmacSha256(std::span<const std::uint8_t>(seed_.data(), seed_.size())), index,
+        bit);
 }
 
 LamportSignature LamportKeyPair::sign(std::span<const std::uint8_t> message) const {
     const Digest md = Sha256::hash(message);
+    const HmacSha256 prf(std::span<const std::uint8_t>(seed_.data(), seed_.size()));
     LamportSignature sig;
+    std::array<Digest, 256> unrevealed;
     for (std::size_t i = 0; i < 256; ++i) {
         const int bit = digest_bit(md, i);
-        sig.revealed[i] = secret(i, bit);
-        sig.counterpart[i] = Sha256::hash(
-            std::span<const std::uint8_t>(secret(i, 1 - bit).data(), 32));
+        sig.revealed[i] = prf_secret(prf, i, bit);
+        unrevealed[i] = prf_secret(prf, i, 1 - bit);
     }
+    Sha256::hash32_many(unrevealed, sig.counterpart);
     return sig;
 }
 
 bool LamportKeyPair::verify(const Digest& public_key, std::span<const std::uint8_t> message,
                             const LamportSignature& signature) {
     const Digest md = Sha256::hash(message);
+    std::array<Digest, 256> revealed_hash;
+    Sha256::hash32_many(signature.revealed, revealed_hash);
     Sha256 acc;
     for (std::size_t i = 0; i < 256; ++i) {
         const int bit = digest_bit(md, i);
-        const Digest revealed_hash = Sha256::hash(
-            std::span<const std::uint8_t>(signature.revealed[i].data(), 32));
         // Rebuild the (H(sk[i][0]), H(sk[i][1])) pair in canonical order.
-        const Digest& h0 = (bit == 0) ? revealed_hash : signature.counterpart[i];
-        const Digest& h1 = (bit == 0) ? signature.counterpart[i] : revealed_hash;
+        const Digest& h0 = (bit == 0) ? revealed_hash[i] : signature.counterpart[i];
+        const Digest& h1 = (bit == 0) ? signature.counterpart[i] : revealed_hash[i];
         acc.update(std::span<const std::uint8_t>(h0.data(), h0.size()));
         acc.update(std::span<const std::uint8_t>(h1.data(), h1.size()));
     }

@@ -38,11 +38,11 @@ MerkleTree::MerkleTree(std::vector<Digest> leaves) : leaf_count_(leaves.size()) 
 
     levels_.push_back(std::move(leaves));
     while (levels_.back().size() > 1) {
+        // Adjacent digests in the level below are exactly the pair inputs,
+        // so the whole level combines in one multi-lane batch.
         const auto& below = levels_.back();
         std::vector<Digest> level(below.size() / 2);
-        for (std::size_t i = 0; i < level.size(); ++i) {
-            level[i] = Sha256::hash_pair(below[2 * i], below[2 * i + 1]);
-        }
+        Sha256::hash_pair_many(below, level);
         levels_.push_back(std::move(level));
     }
 }

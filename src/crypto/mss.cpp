@@ -1,8 +1,10 @@
 #include "crypto/mss.hpp"
 
+#include <cstdlib>
 #include <stdexcept>
 
 #include "crypto/hmac.hpp"
+#include "exec/executor.hpp"
 #include "obs/profiler.hpp"
 
 namespace dlsbl::crypto {
@@ -40,30 +42,69 @@ std::optional<MssSignature> MssSignature::deserialize(std::span<const std::uint8
     }
 }
 
-Digest MssKeyPair::leaf_seed(std::size_t index) const {
-    util::ByteWriter w;
-    w.str("mss-leaf");
-    w.u8(static_cast<std::uint8_t>(scheme_));  // scheme-separated key derivation
-    w.u64(index);
-    return hmac_sha256(std::span<const std::uint8_t>(seed_.data(), seed_.size()),
-                       std::span<const std::uint8_t>(w.data().data(), w.data().size()));
+namespace {
+
+// PRF message for leaf `index`: the ByteWriter encoding
+// str("mss-leaf") || u8(scheme) || u64(index), built on the stack.
+Digest leaf_seed_prf(const HmacSha256& prf, OtsScheme scheme, std::size_t index) {
+    constexpr std::string_view kLabel = "mss-leaf";
+    std::uint8_t msg[8 + kLabel.size() + 1 + 8];
+    std::size_t pos = 0;
+    for (int i = 0; i < 8; ++i) {
+        msg[pos++] = static_cast<std::uint8_t>(
+            static_cast<std::uint64_t>(kLabel.size()) >> (8 * i));
+    }
+    for (char c : kLabel) msg[pos++] = static_cast<std::uint8_t>(c);
+    msg[pos++] = static_cast<std::uint8_t>(scheme);  // scheme-separated derivation
+    for (int i = 0; i < 8; ++i) {
+        msg[pos++] =
+            static_cast<std::uint8_t>(static_cast<std::uint64_t>(index) >> (8 * i));
+    }
+    return prf.mac(std::span<const std::uint8_t>(msg, sizeof(msg)));
 }
 
-MssKeyPair::MssKeyPair(const Digest& seed, unsigned height, OtsScheme scheme)
+std::size_t resolve_keygen_jobs(std::size_t keygen_jobs) {
+    if (keygen_jobs != 0) return keygen_jobs;
+    if (const char* env = std::getenv("DLSBL_CRYPTO_JOBS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed > 0) return static_cast<std::size_t>(parsed);
+    }
+    return 1;
+}
+
+}  // namespace
+
+Digest MssKeyPair::leaf_seed(std::size_t index) const {
+    return leaf_seed_prf(
+        HmacSha256(std::span<const std::uint8_t>(seed_.data(), seed_.size())), scheme_,
+        index);
+}
+
+MssKeyPair::MssKeyPair(const Digest& seed, unsigned height, OtsScheme scheme,
+                       std::size_t keygen_jobs)
     : seed_(seed), scheme_(scheme) {
     OBS_SCOPE("mss_keygen");
     if (height > 16) throw std::invalid_argument("MssKeyPair: height too large");
     leaf_count_ = std::size_t{1} << height;
+    const std::size_t jobs = resolve_keygen_jobs(keygen_jobs);
+    const HmacSha256 prf(std::span<const std::uint8_t>(seed_.data(), seed_.size()));
+
+    // Leaves are mutually independent and RunExecutor::map returns them in
+    // submission order, so the key material is byte-identical at any job
+    // count; jobs=1 runs inline with no threads spawned.
+    exec::RunExecutor pool({.jobs = jobs, .root_seed = 0, .capture_events = true});
     std::vector<Digest> leaf_digests;
     leaf_digests.reserve(leaf_count_);
-    for (std::size_t i = 0; i < leaf_count_; ++i) {
-        if (scheme_ == OtsScheme::kLamport) {
-            lamport_keys_.emplace_back(leaf_seed(i));
-            leaf_digests.push_back(lamport_keys_.back().public_key());
-        } else {
-            wots_keys_.emplace_back(leaf_seed(i));
-            leaf_digests.push_back(wots_keys_.back().public_key());
-        }
+    if (scheme_ == OtsScheme::kLamport) {
+        lamport_keys_ = pool.map(leaf_count_, [&](exec::RunSlot& slot) {
+            return LamportKeyPair(leaf_seed_prf(prf, scheme_, slot.index()));
+        });
+        for (const auto& key : lamport_keys_) leaf_digests.push_back(key.public_key());
+    } else {
+        wots_keys_ = pool.map(leaf_count_, [&](exec::RunSlot& slot) {
+            return WotsKeyPair(leaf_seed_prf(prf, scheme_, slot.index()));
+        });
+        for (const auto& key : wots_keys_) leaf_digests.push_back(key.public_key());
     }
     tree_ = std::make_unique<MerkleTree>(std::move(leaf_digests));
 }

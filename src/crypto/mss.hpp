@@ -48,8 +48,14 @@ class MssKeyPair {
  public:
     // Derives 2^height one-time keys from the seed. Throws std::length_error
     // once all leaves are consumed by sign().
+    //
+    // keygen_jobs controls how many worker threads build the one-time
+    // leaves (via exec::RunExecutor; leaves are independent and returned in
+    // submission order, so keys, signatures, and the Merkle root are
+    // byte-identical at any job count). 1 = inline on the calling thread;
+    // 0 = take the DLSBL_CRYPTO_JOBS environment variable, defaulting to 1.
     MssKeyPair(const Digest& seed, unsigned height,
-               OtsScheme scheme = OtsScheme::kLamport);
+               OtsScheme scheme = OtsScheme::kLamport, std::size_t keygen_jobs = 1);
 
     [[nodiscard]] const Digest& public_key() const noexcept { return tree_->root(); }
     [[nodiscard]] std::size_t capacity() const noexcept { return leaf_count_; }

@@ -21,11 +21,62 @@ const Digest& Pki::public_key_of(const Identity& id) const {
     return it->second.public_key;
 }
 
+namespace {
+
+// Cache key: SHA-256 over the length-framed (id, message, signature)
+// triple. Framing prevents ambiguity between (message, signature) splits;
+// the final field needs no length since the digest input simply ends.
+Digest verify_cache_key(const Identity& id, std::span<const std::uint8_t> message,
+                        std::span<const std::uint8_t> signature) {
+    const auto frame = [](Sha256& h, std::uint64_t len) {
+        std::uint8_t le[8];
+        for (int i = 0; i < 8; ++i) le[i] = static_cast<std::uint8_t>(len >> (8 * i));
+        h.update(std::span<const std::uint8_t>(le, sizeof(le)));
+    };
+    Sha256 h;
+    frame(h, id.size());
+    h.update(std::string_view(id));
+    frame(h, message.size());
+    h.update(message);
+    h.update(signature);
+    return h.finalize();
+}
+
+}  // namespace
+
 bool Pki::verify(const Identity& id, std::span<const std::uint8_t> message,
                  std::span<const std::uint8_t> signature) const {
     auto it = entries_.find(id);
     if (it == entries_.end()) return false;
-    return it->second.verifier(message, signature);
+    if (cache_->capacity == 0) return it->second.verifier(message, signature);
+
+    const Digest key = verify_cache_key(id, message, signature);
+    {
+        const std::lock_guard<std::mutex> lock(cache_->mutex);
+        if (auto hit = cache_->verdicts.find(key); hit != cache_->verdicts.end()) {
+            ++cache_->stats.hits;
+            return hit->second;
+        }
+        ++cache_->stats.misses;
+    }
+    const bool verdict = it->second.verifier(message, signature);
+    {
+        const std::lock_guard<std::mutex> lock(cache_->mutex);
+        if (cache_->verdicts.size() >= cache_->capacity) cache_->verdicts.clear();
+        cache_->verdicts.emplace(key, verdict);
+    }
+    return verdict;
+}
+
+Pki::CacheStats Pki::verify_cache_stats() const {
+    const std::lock_guard<std::mutex> lock(cache_->mutex);
+    return cache_->stats;
+}
+
+void Pki::set_verify_cache_capacity(std::size_t capacity) {
+    const std::lock_guard<std::mutex> lock(cache_->mutex);
+    cache_->capacity = capacity;
+    cache_->verdicts.clear();
 }
 
 namespace {
@@ -39,8 +90,9 @@ Digest seed_digest(const Identity& id, std::uint64_t seed) {
 
 class MssSigner final : public Signer {
  public:
-    MssSigner(const Digest& seed, unsigned height, OtsScheme scheme)
-        : key_(seed, height, scheme) {}
+    MssSigner(const Digest& seed, unsigned height, OtsScheme scheme,
+              std::size_t keygen_jobs)
+        : key_(seed, height, scheme, keygen_jobs) {}
 
     util::Bytes sign(std::span<const std::uint8_t> message) override {
         return key_.sign(message).serialize();
@@ -82,14 +134,15 @@ class FastSigner final : public Signer {
 std::unique_ptr<Signer> make_registered_signer(Pki& pki, const Identity& id,
                                                std::uint64_t seed,
                                                SignatureAlgorithm algorithm,
-                                               unsigned mss_height) {
+                                               unsigned mss_height,
+                                               std::size_t keygen_jobs) {
     const Digest sd = seed_digest(id, seed);
     if (algorithm == SignatureAlgorithm::kMerkle ||
         algorithm == SignatureAlgorithm::kMerkleWots) {
         const OtsScheme scheme = algorithm == SignatureAlgorithm::kMerkle
                                      ? OtsScheme::kLamport
                                      : OtsScheme::kWots;
-        auto signer = std::make_unique<MssSigner>(sd, mss_height, scheme);
+        auto signer = std::make_unique<MssSigner>(sd, mss_height, scheme, keygen_jobs);
         const Digest pk = signer->public_key();
         pki.register_identity(id, pk,
                               [pk](std::span<const std::uint8_t> message,

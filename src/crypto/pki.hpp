@@ -18,7 +18,9 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "crypto/mss.hpp"
 
@@ -53,12 +55,44 @@ class Pki {
 
     [[nodiscard]] std::size_t participant_count() const noexcept { return entries_.size(); }
 
+    // Verification memo cache. Hash-based signature verification is pure,
+    // so (id, message, signature) determines the verdict; the referee
+    // re-checks the same envelopes during dispute replays and payment
+    // validation, and those repeats hit the cache instead of re-running
+    // Lamport/WOTS chains. Keyed by a SHA-256 digest of the length-framed
+    // triple; bounded (the table is flushed when `capacity` entries are
+    // reached); capacity 0 disables caching entirely.
+    struct CacheStats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+    };
+    [[nodiscard]] CacheStats verify_cache_stats() const;
+    void set_verify_cache_capacity(std::size_t capacity);
+
  private:
     struct Entry {
         Digest public_key{};
         VerifyFn verifier;
     };
+    struct DigestHash {
+        std::size_t operator()(const Digest& d) const noexcept {
+            std::size_t v = 0;  // digest bytes are already uniform
+            for (std::size_t i = 0; i < sizeof(v); ++i) {
+                v |= static_cast<std::size_t>(d[i]) << (8 * i);
+            }
+            return v;
+        }
+    };
+    // Behind unique_ptr so Pki stays movable despite the mutex.
+    struct VerifyCache {
+        mutable std::mutex mutex;
+        std::unordered_map<Digest, bool, DigestHash> verdicts;
+        std::size_t capacity = 8192;
+        CacheStats stats;
+    };
+
     std::map<Identity, Entry> entries_;
+    std::unique_ptr<VerifyCache> cache_ = std::make_unique<VerifyCache>();
 };
 
 enum class SignatureAlgorithm {
@@ -68,11 +102,14 @@ enum class SignatureAlgorithm {
 };
 
 // Creates a signer for `id`, derived deterministically from `seed`, and
-// registers its verification key with `pki`.
+// registers its verification key with `pki`. keygen_jobs is forwarded to
+// MssKeyPair (ignored by kFast): worker threads for leaf keygen, 1 =
+// inline, 0 = DLSBL_CRYPTO_JOBS env. Keys are identical at any job count.
 std::unique_ptr<Signer> make_registered_signer(Pki& pki, const Identity& id,
                                                std::uint64_t seed,
                                                SignatureAlgorithm algorithm,
-                                               unsigned mss_height = 4);
+                                               unsigned mss_height = 4,
+                                               std::size_t keygen_jobs = 1);
 
 // A message plus its signature: S_β(m) in the paper's notation.
 struct SignedMessage {

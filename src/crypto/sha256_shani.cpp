@@ -1,0 +1,185 @@
+// SHA-256 compression via the Intel SHA extensions (SHA-NI).
+//
+// One `sha256rnds2` instruction retires two rounds, and the message
+// schedule is maintained with `sha256msg1`/`sha256msg2`, so a block costs
+// ~40 instructions instead of ~300 — the fastest single-stream tier by far.
+// The round-group structure follows the canonical public-domain x86
+// intrinsics implementation; correctness is pinned by the FIPS 180-4
+// known-answer vectors in tests/test_sha256_kat.cpp.
+//
+// Built with a per-function target attribute (plus per-file -msha via
+// CMake where supported), so the file also compiles in builds without
+// -msha — e.g. the sanitizer test targets that glob src/**.cpp. Runtime
+// CPU detection lives in sha256.cpp; this file only reports whether the
+// kernel was compiled in.
+#include "crypto/sha256_compress.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define DLSBL_SHA256_SHANI_KERNEL 1
+#include <immintrin.h>
+#endif
+
+namespace dlsbl::crypto::detail {
+
+#ifdef DLSBL_SHA256_SHANI_KERNEL
+
+namespace {
+
+__attribute__((target("sha,sse4.1"))) void compress_shani(std::uint32_t* state,
+                                                          const std::uint8_t* data,
+                                                          std::size_t nblocks) {
+    const __m128i kByteShuffle =
+        _mm_set_epi64x(0x0c0d0e0f08090a0bll, 0x0405060700010203ll);
+    const std::uint32_t* K = kSha256Round;
+
+    __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+    __m128i state1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+
+    tmp = _mm_shuffle_epi32(tmp, 0xB1);        // CDAB
+    state1 = _mm_shuffle_epi32(state1, 0x1B);  // EFGH
+    __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);  // ABEF
+    state1 = _mm_blend_epi16(state1, tmp, 0xF0);       // CDGH
+
+    __m128i msg, msg0, msg1, msg2, msg3;
+
+// Four rounds driven by the schedule words in M, keyed from kSha256Round[k].
+#define DLSBL_QROUND(M, k)                                                        \
+    msg = _mm_add_epi32((M),                                                      \
+                        _mm_loadu_si128(reinterpret_cast<const __m128i*>(&K[k]))); \
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);                          \
+    msg = _mm_shuffle_epi32(msg, 0x0E);                                           \
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg)
+
+// Schedule expansion: W[next] += alignr(cur, prev); W[next] = msg2(W[next], cur).
+#define DLSBL_EXPAND(next, cur, prev)                              \
+    (next) = _mm_add_epi32((next), _mm_alignr_epi8((cur), (prev), 4)); \
+    (next) = _mm_sha256msg2_epu32((next), (cur))
+
+    while (nblocks > 0) {
+        const __m128i abef_save = state0;
+        const __m128i cdgh_save = state1;
+
+        // Rounds 0-3
+        msg0 = _mm_shuffle_epi8(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 0)), kByteShuffle);
+        DLSBL_QROUND(msg0, 0);
+
+        // Rounds 4-7
+        msg1 = _mm_shuffle_epi8(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16)), kByteShuffle);
+        DLSBL_QROUND(msg1, 4);
+        msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+        // Rounds 8-11
+        msg2 = _mm_shuffle_epi8(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32)), kByteShuffle);
+        DLSBL_QROUND(msg2, 8);
+        msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+        // Rounds 12-15
+        msg3 = _mm_shuffle_epi8(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48)), kByteShuffle);
+        DLSBL_QROUND(msg3, 12);
+        DLSBL_EXPAND(msg0, msg3, msg2);
+        msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+        // Rounds 16-19
+        DLSBL_QROUND(msg0, 16);
+        DLSBL_EXPAND(msg1, msg0, msg3);
+        msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+        // Rounds 20-23
+        DLSBL_QROUND(msg1, 20);
+        DLSBL_EXPAND(msg2, msg1, msg0);
+        msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+        // Rounds 24-27
+        DLSBL_QROUND(msg2, 24);
+        DLSBL_EXPAND(msg3, msg2, msg1);
+        msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+        // Rounds 28-31
+        DLSBL_QROUND(msg3, 28);
+        DLSBL_EXPAND(msg0, msg3, msg2);
+        msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+        // Rounds 32-35
+        DLSBL_QROUND(msg0, 32);
+        DLSBL_EXPAND(msg1, msg0, msg3);
+        msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+        // Rounds 36-39
+        DLSBL_QROUND(msg1, 36);
+        DLSBL_EXPAND(msg2, msg1, msg0);
+        msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+        // Rounds 40-43
+        DLSBL_QROUND(msg2, 40);
+        DLSBL_EXPAND(msg3, msg2, msg1);
+        msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+        // Rounds 44-47
+        DLSBL_QROUND(msg3, 44);
+        DLSBL_EXPAND(msg0, msg3, msg2);
+        msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+        // Rounds 48-51
+        DLSBL_QROUND(msg0, 48);
+        DLSBL_EXPAND(msg1, msg0, msg3);
+        msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+        // Rounds 52-55
+        DLSBL_QROUND(msg1, 52);
+        DLSBL_EXPAND(msg2, msg1, msg0);
+
+        // Rounds 56-59
+        DLSBL_QROUND(msg2, 56);
+        DLSBL_EXPAND(msg3, msg2, msg1);
+
+        // Rounds 60-63
+        DLSBL_QROUND(msg3, 60);
+
+        state0 = _mm_add_epi32(state0, abef_save);
+        state1 = _mm_add_epi32(state1, cdgh_save);
+
+        data += 64;
+        --nblocks;
+    }
+
+#undef DLSBL_QROUND
+#undef DLSBL_EXPAND
+
+    tmp = _mm_shuffle_epi32(state0, 0x1B);       // FEBA
+    state1 = _mm_shuffle_epi32(state1, 0xB1);    // DCHG
+    state0 = _mm_blend_epi16(tmp, state1, 0xF0); // DCBA
+    state1 = _mm_alignr_epi8(state1, tmp, 8);    // EFGH
+
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+// SHA-NI is already bound on the hash units, not the schedule, so
+// independent lanes gain nothing from interleaving — a plain loop over the
+// single-stream kernel is the fastest formulation.
+__attribute__((target("sha,sse4.1"))) void compress_lanes_shani(
+    std::uint32_t* states, const std::uint8_t* blocks, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+        compress_shani(states + 8 * i, blocks + 64 * i, 1);
+    }
+}
+
+}  // namespace
+
+const Sha256Backend* sha256_shani_backend() {
+    static constexpr Sha256Backend backend{"shani", &compress_shani,
+                                           &compress_lanes_shani};
+    return &backend;
+}
+
+#else  // !DLSBL_SHA256_SHANI_KERNEL
+
+const Sha256Backend* sha256_shani_backend() { return nullptr; }
+
+#endif
+
+}  // namespace dlsbl::crypto::detail

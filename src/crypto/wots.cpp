@@ -5,6 +5,52 @@
 
 namespace dlsbl::crypto {
 
+namespace {
+
+// Advance chain i by steps[i] hash applications, all chains in lockstep:
+// each round batches every still-active chain through the multi-lane
+// hasher. Bit-identical to calling chain() per chain.
+void chain_many(std::array<Digest, WotsKeyPair::kChains>& values,
+                const std::array<unsigned, WotsKeyPair::kChains>& steps) {
+    std::array<Digest, WotsKeyPair::kChains> batch;
+    std::array<std::size_t, WotsKeyPair::kChains> index{};
+    for (unsigned step = 0;; ++step) {
+        std::size_t live = 0;
+        for (std::size_t i = 0; i < WotsKeyPair::kChains; ++i) {
+            if (steps[i] > step) {
+                batch[live] = values[i];
+                index[live] = i;
+                ++live;
+            }
+        }
+        if (live == 0) break;
+        Sha256::hash32_many(std::span<const Digest>(batch.data(), live),
+                            std::span<Digest>(batch.data(), live));
+        for (std::size_t k = 0; k < live; ++k) values[index[k]] = batch[k];
+    }
+}
+
+// PRF message for chain `index`: the ByteWriter encoding
+// str("wots-chain") || u64(index), built on the stack — same bytes, no
+// allocation. str() writes u64 length then the characters.
+Digest prf_secret(const HmacSha256& prf, std::size_t index) {
+    constexpr std::string_view kLabel = "wots-chain";
+    std::uint8_t msg[8 + kLabel.size() + 8];
+    std::size_t pos = 0;
+    for (int i = 0; i < 8; ++i) {
+        msg[pos++] = static_cast<std::uint8_t>(
+            static_cast<std::uint64_t>(kLabel.size()) >> (8 * i));
+    }
+    for (char c : kLabel) msg[pos++] = static_cast<std::uint8_t>(c);
+    for (int i = 0; i < 8; ++i) {
+        msg[pos++] =
+            static_cast<std::uint8_t>(static_cast<std::uint64_t>(index) >> (8 * i));
+    }
+    return prf.mac(std::span<const std::uint8_t>(msg, sizeof(msg)));
+}
+
+}  // namespace
+
 util::Bytes WotsKeyPair::Signature::serialize() const {
     util::Bytes out;
     out.reserve(kChains * 32);
@@ -32,20 +78,19 @@ Digest WotsKeyPair::chain(Digest value, unsigned steps) {
 }
 
 Digest WotsKeyPair::secret(std::size_t index) const {
-    util::ByteWriter w;
-    w.str("wots-chain");
-    w.u64(index);
-    return hmac_sha256(std::span<const std::uint8_t>(seed_.data(), seed_.size()),
-                       std::span<const std::uint8_t>(w.data().data(), w.data().size()));
+    return prf_secret(
+        HmacSha256(std::span<const std::uint8_t>(seed_.data(), seed_.size())), index);
 }
 
 WotsKeyPair::WotsKeyPair(const Digest& seed) : seed_(seed) {
-    Sha256 acc;
-    for (std::size_t i = 0; i < kChains; ++i) {
-        const Digest end = chain(secret(i), kChainLength);
-        acc.update(std::span<const std::uint8_t>(end.data(), end.size()));
-    }
-    public_key_ = acc.finalize();
+    const HmacSha256 prf(std::span<const std::uint8_t>(seed_.data(), seed_.size()));
+    std::array<Digest, kChains> ends;
+    for (std::size_t i = 0; i < kChains; ++i) ends[i] = prf_secret(prf, i);
+    std::array<unsigned, kChains> steps;
+    steps.fill(kChainLength);
+    chain_many(ends, steps);
+    public_key_ = Sha256::hash(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(ends.data()), sizeof(ends)));
 }
 
 std::array<unsigned, WotsKeyPair::kChains> WotsKeyPair::digits_for(
@@ -69,10 +114,10 @@ std::array<unsigned, WotsKeyPair::kChains> WotsKeyPair::digits_for(
 WotsKeyPair::Signature WotsKeyPair::sign(std::span<const std::uint8_t> message) const {
     OBS_SCOPE("wots_sign");
     const auto digits = digits_for(message);
+    const HmacSha256 prf(std::span<const std::uint8_t>(seed_.data(), seed_.size()));
     Signature sig;
-    for (std::size_t i = 0; i < kChains; ++i) {
-        sig.values[i] = chain(secret(i), digits[i]);
-    }
+    for (std::size_t i = 0; i < kChains; ++i) sig.values[i] = prf_secret(prf, i);
+    chain_many(sig.values, digits);
     return sig;
 }
 
@@ -80,12 +125,13 @@ bool WotsKeyPair::verify(const Digest& public_key, std::span<const std::uint8_t>
                          const Signature& signature) {
     OBS_SCOPE("wots_verify");
     const auto digits = digits_for(message);
-    Sha256 acc;
-    for (std::size_t i = 0; i < kChains; ++i) {
-        const Digest end = chain(signature.values[i], kChainLength - digits[i]);
-        acc.update(std::span<const std::uint8_t>(end.data(), end.size()));
-    }
-    return acc.finalize() == public_key;
+    std::array<unsigned, kChains> remaining;
+    for (std::size_t i = 0; i < kChains; ++i) remaining[i] = kChainLength - digits[i];
+    std::array<Digest, kChains> ends = signature.values;
+    chain_many(ends, remaining);
+    return Sha256::hash(std::span<const std::uint8_t>(
+               reinterpret_cast<const std::uint8_t*>(ends.data()), sizeof(ends))) ==
+           public_key;
 }
 
 }  // namespace dlsbl::crypto

@@ -57,6 +57,10 @@ struct ProtocolConfig {
     double control_seconds_per_byte = 0.0;
     crypto::SignatureAlgorithm signature_algorithm = crypto::SignatureAlgorithm::kMerkle;
     unsigned mss_height = 4;        // 16 signatures per participant
+    // Worker threads for MSS keygen (one-time leaves are independent; keys
+    // are byte-identical at any job count). 1 = inline; 0 = take the
+    // DLSBL_CRYPTO_JOBS environment variable, defaulting to 1.
+    std::size_t crypto_keygen_jobs = 1;
     std::uint64_t seed = 1;
 
     [[nodiscard]] std::size_t processor_count() const noexcept { return true_w.size(); }

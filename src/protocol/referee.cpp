@@ -17,6 +17,7 @@ constexpr const char* kFinesAmountMetric = "dlsbl_referee_fines_amount";
 constexpr const char* kDisputesOpenedMetric = "dlsbl_referee_disputes_opened_total";
 constexpr const char* kDisputesResolvedMetric = "dlsbl_referee_disputes_resolved_total";
 constexpr const char* kAccusationsMetric = "dlsbl_referee_accusations_total";
+constexpr const char* kVerifyCacheMetric = "dlsbl_referee_verify_cache_total";
 }  // namespace
 
 Referee::Referee(RunContext& context) : Process(context.referee_name()), ctx_(context) {}
@@ -153,6 +154,10 @@ void Referee::handle_bid_vector_response(const sim::Envelope& envelope) {
 
 std::set<std::string> Referee::validate_bid_vectors() {
     std::set<std::string> deviants;
+    // The same signed bid appears in every submitter's vector, so most of
+    // the entry.verify() calls below are repeats — the Pki verification
+    // cache absorbs them. Record hit/miss deltas for observability.
+    const crypto::Pki::CacheStats cache_before = ctx_.pki().verify_cache_stats();
     // value_of[processor] -> (payload bytes, bid) from the first valid entry.
     std::map<std::string, std::pair<util::Bytes, double>> canonical;
     for (const auto& [submitter, body] : bid_vector_responses_) {
@@ -178,6 +183,12 @@ std::set<std::string> Referee::validate_bid_vectors() {
             }
         }
     }
+    const crypto::Pki::CacheStats cache_after = ctx_.pki().verify_cache_stats();
+    auto& registry = ctx_.metrics_registry();
+    registry.counter(kVerifyCacheMetric, {{"outcome", "hit"}})
+        .inc(cache_after.hits - cache_before.hits);
+    registry.counter(kVerifyCacheMetric, {{"outcome", "miss"}})
+        .inc(cache_after.misses - cache_before.misses);
     if (deviants.empty()) {
         // A submission must cover every processor to be usable.
         for (const auto& [submitter, body] : bid_vector_responses_) {

@@ -31,11 +31,11 @@ ProtocolOutcome run_protocol(const ProtocolConfig& config, const RunObserver& ob
     for (std::size_t i = 0; i < context.processor_count(); ++i) {
         signers.push_back(crypto::make_registered_signer(
             context.pki(), context.processor_names()[i], cfg.seed * 1000 + i,
-            cfg.signature_algorithm, cfg.mss_height));
+            cfg.signature_algorithm, cfg.mss_height, cfg.crypto_keygen_jobs));
     }
     auto user_signer = crypto::make_registered_signer(
         context.pki(), context.user_name(), cfg.seed * 1000 + 999,
-        cfg.signature_algorithm, cfg.mss_height);
+        cfg.signature_algorithm, cfg.mss_height, cfg.crypto_keygen_jobs);
 
     Referee referee(context);
     network.attach(referee);

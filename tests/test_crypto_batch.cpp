@@ -1,0 +1,243 @@
+// Byte-identity properties of the batched crypto hot paths.
+//
+// The contract under test: multi-lane hashing, batched chain expansion,
+// HMAC midstates, parallel MSS keygen, and the Pki verification cache are
+// pure throughput changes — every key, signature, digest, and verdict is
+// byte-identical to the scalar single-threaded path.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "crypto/hmac.hpp"
+#include "crypto/lamport.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/mss.hpp"
+#include "crypto/pki.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/wots.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace dlsbl::crypto {
+namespace {
+
+class BackendGuard {
+ public:
+    BackendGuard() : saved_(sha256_backend()) {}
+    ~BackendGuard() { sha256_set_backend(saved_); }
+    BackendGuard(const BackendGuard&) = delete;
+    BackendGuard& operator=(const BackendGuard&) = delete;
+
+ private:
+    std::string saved_;
+};
+
+Digest test_seed(std::uint64_t n) {
+    util::ByteWriter w;
+    w.str("batch-test-seed");
+    w.u64(n);
+    return Sha256::hash(std::span<const std::uint8_t>(w.data().data(), w.data().size()));
+}
+
+// 1024 random inputs of mixed lengths (0..~4200 bytes, dense around the
+// padding boundaries): hash_many must equal the scalar one-shot per input,
+// on every backend.
+TEST(CryptoBatch, HashManyMatchesScalarOnRandomInputs) {
+    util::Xoshiro256 rng{0xba7c4u};
+    std::vector<util::Bytes> inputs;
+    inputs.reserve(1024);
+    for (int i = 0; i < 1024; ++i) {
+        std::size_t length;
+        if (i % 4 == 0) {
+            length = static_cast<std::size_t>(rng.uniform_int(48, 72));  // pad boundary
+        } else if (i % 4 == 1) {
+            length = static_cast<std::size_t>(rng.uniform_int(0, 16));
+        } else if (i % 4 == 2) {
+            length = static_cast<std::size_t>(rng.uniform_int(100, 400));
+        } else {
+            length = static_cast<std::size_t>(rng.uniform_int(1000, 4200));
+        }
+        util::Bytes data(length);
+        for (auto& byte : data) {
+            byte = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+        }
+        inputs.push_back(std::move(data));
+    }
+
+    std::vector<Digest> reference(inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        reference[i] = Sha256::hash(inputs[i]);
+    }
+
+    BackendGuard guard;
+    for (const auto& backend : sha256_available_backends()) {
+        ASSERT_TRUE(sha256_set_backend(backend));
+        std::vector<Digest> batched(inputs.size());
+        Sha256::hash_many(inputs, batched);
+        for (std::size_t i = 0; i < inputs.size(); ++i) {
+            ASSERT_EQ(batched[i], reference[i])
+                << "backend=" << backend << " index=" << i
+                << " len=" << inputs[i].size();
+        }
+    }
+}
+
+TEST(CryptoBatch, Hash32ManyAndPairManyMatchScalar) {
+    util::Xoshiro256 rng{0x5eedu};
+    std::vector<Digest> digests(257);  // odd size: exercises lane remainders
+    for (auto& d : digests) {
+        for (auto& byte : d) byte = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+
+    BackendGuard guard;
+    for (const auto& backend : sha256_available_backends()) {
+        ASSERT_TRUE(sha256_set_backend(backend));
+
+        std::vector<Digest> out(digests.size());
+        Sha256::hash32_many(digests, out);
+        for (std::size_t i = 0; i < digests.size(); ++i) {
+            ASSERT_EQ(out[i], Sha256::hash(std::span<const std::uint8_t>(
+                                  digests[i].data(), digests[i].size())))
+                << "backend=" << backend << " index=" << i;
+        }
+
+        const std::size_t pair_count = digests.size() / 2;
+        std::vector<Digest> combined(pair_count);
+        Sha256::hash_pair_many(
+            std::span<const Digest>(digests.data(), 2 * pair_count), combined);
+        for (std::size_t i = 0; i < pair_count; ++i) {
+            ASSERT_EQ(combined[i], Sha256::hash_pair(digests[2 * i], digests[2 * i + 1]))
+                << "backend=" << backend << " index=" << i;
+        }
+
+        // In-place hash32_many (the WOTS chain step shape).
+        std::vector<Digest> chained = digests;
+        Sha256::hash32_many(chained, chained);
+        for (std::size_t i = 0; i < digests.size(); ++i) {
+            ASSERT_EQ(chained[i], out[i]) << "backend=" << backend << " index=" << i;
+        }
+    }
+}
+
+// Lamport/WOTS/Merkle artifacts must not depend on the backend.
+TEST(CryptoBatch, SignatureSchemesIdenticalAcrossBackends) {
+    const Digest seed = test_seed(1);
+    const util::Bytes message = util::to_bytes("the batched message");
+
+    ASSERT_TRUE(sha256_set_backend("scalar"));
+    const LamportKeyPair lamport_ref(seed);
+    const auto lamport_sig_ref = lamport_ref.sign(message).serialize();
+    const WotsKeyPair wots_ref(seed);
+    const auto wots_sig_ref = wots_ref.sign(message).serialize();
+    std::vector<Digest> leaves;
+    for (std::uint64_t i = 0; i < 5; ++i) leaves.push_back(test_seed(100 + i));
+    const MerkleTree tree_ref(leaves);
+    sha256_set_backend("auto");
+
+    BackendGuard guard;
+    for (const auto& backend : sha256_available_backends()) {
+        ASSERT_TRUE(sha256_set_backend(backend));
+        const LamportKeyPair lamport(seed);
+        EXPECT_EQ(lamport.public_key(), lamport_ref.public_key()) << backend;
+        EXPECT_EQ(lamport.sign(message).serialize(), lamport_sig_ref) << backend;
+        EXPECT_TRUE(LamportKeyPair::verify(lamport.public_key(), message,
+                                           lamport_ref.sign(message)))
+            << backend;
+
+        const WotsKeyPair wots(seed);
+        EXPECT_EQ(wots.public_key(), wots_ref.public_key()) << backend;
+        EXPECT_EQ(wots.sign(message).serialize(), wots_sig_ref) << backend;
+        EXPECT_TRUE(WotsKeyPair::verify(wots.public_key(), message, wots_ref.sign(message)))
+            << backend;
+
+        const MerkleTree tree(leaves);
+        EXPECT_EQ(tree.root(), tree_ref.root()) << backend;
+    }
+}
+
+// MSS keygen must produce identical keys and signatures at any job count
+// (the exec::RunExecutor determinism contract applied to leaf keygen).
+TEST(CryptoBatch, MssKeygenIdenticalAcrossJobCounts) {
+    const Digest seed = test_seed(2);
+    for (const OtsScheme scheme : {OtsScheme::kLamport, OtsScheme::kWots}) {
+        std::vector<util::Bytes> reference_sigs;
+        Digest reference_pk{};
+        for (const std::size_t jobs : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+            MssKeyPair key(seed, /*height=*/3, scheme, jobs);
+            if (jobs == 1) {
+                reference_pk = key.public_key();
+            } else {
+                EXPECT_EQ(key.public_key(), reference_pk)
+                    << "scheme=" << static_cast<int>(scheme) << " jobs=" << jobs;
+            }
+            std::vector<util::Bytes> sigs;
+            for (int m = 0; m < 4; ++m) {
+                const util::Bytes message = util::to_bytes("msg-" + std::to_string(m));
+                sigs.push_back(key.sign(message).serialize());
+                const auto parsed = MssSignature::deserialize(sigs.back());
+                ASSERT_TRUE(parsed.has_value());
+                EXPECT_TRUE(MssKeyPair::verify(key.public_key(), message, *parsed));
+            }
+            if (jobs == 1) {
+                reference_sigs = std::move(sigs);
+            } else {
+                EXPECT_EQ(sigs, reference_sigs)
+                    << "scheme=" << static_cast<int>(scheme) << " jobs=" << jobs;
+            }
+        }
+    }
+}
+
+TEST(CryptoBatch, HmacMidstateMatchesFreeFunction) {
+    util::Xoshiro256 rng{0x4231u};
+    for (int round = 0; round < 50; ++round) {
+        util::Bytes key(static_cast<std::size_t>(rng.uniform_int(0, 100)));
+        for (auto& byte : key) byte = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+        const HmacSha256 prf(key);
+        for (int m = 0; m < 4; ++m) {
+            util::Bytes message(static_cast<std::size_t>(rng.uniform_int(0, 200)));
+            for (auto& byte : message) {
+                byte = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+            }
+            EXPECT_EQ(prf.mac(message), hmac_sha256(key, message))
+                << "round=" << round << " m=" << m;
+        }
+    }
+}
+
+TEST(CryptoBatch, PkiVerifyCacheHitsAndStaysCorrect) {
+    Pki pki;
+    auto signer = make_registered_signer(pki, "P1", 42,
+                                         SignatureAlgorithm::kMerkleWots, 2);
+    const util::Bytes payload = util::to_bytes("payload");
+    const util::Bytes signature = signer->sign(payload);
+
+    const auto before = pki.verify_cache_stats();
+    EXPECT_TRUE(pki.verify("P1", payload, signature));
+    EXPECT_TRUE(pki.verify("P1", payload, signature));
+    EXPECT_TRUE(pki.verify("P1", payload, signature));
+    const auto after = pki.verify_cache_stats();
+    EXPECT_EQ(after.misses - before.misses, 1u);
+    EXPECT_EQ(after.hits - before.hits, 2u);
+
+    // A tampered signature is a distinct key: cached as false, not served
+    // from the genuine entry.
+    util::Bytes tampered = signature;
+    tampered[0] ^= 0x01;
+    EXPECT_FALSE(pki.verify("P1", payload, tampered));
+    EXPECT_FALSE(pki.verify("P1", payload, tampered));
+    const auto tampered_stats = pki.verify_cache_stats();
+    EXPECT_EQ(tampered_stats.misses - after.misses, 1u);
+    EXPECT_EQ(tampered_stats.hits - after.hits, 1u);
+
+    // Capacity 0 disables caching (stats freeze).
+    pki.set_verify_cache_capacity(0);
+    EXPECT_TRUE(pki.verify("P1", payload, signature));
+    const auto disabled = pki.verify_cache_stats();
+    EXPECT_EQ(disabled.hits, tampered_stats.hits);
+    EXPECT_EQ(disabled.misses, tampered_stats.misses);
+}
+
+}  // namespace
+}  // namespace dlsbl::crypto

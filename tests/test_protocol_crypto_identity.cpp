@@ -1,0 +1,117 @@
+// End-to-end byte-identity gate for the crypto fast paths: a fixed-seed
+// protocol run must produce identical traces, public keys, payments, and
+// outcomes whether SHA-256 runs on the scalar backend with inline keygen or
+// on the dispatch-selected SIMD backend with parallel MSS keygen and the
+// verification cache engaged.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "crypto/pki.hpp"
+#include "crypto/sha256.hpp"
+#include "protocol/runner.hpp"
+#include "util/bytes.hpp"
+
+namespace dlsbl {
+namespace {
+
+struct RunArtifacts {
+    std::string trace;
+    std::string public_keys;  // hex, one line per identity
+    std::string money;        // payments/fines/utilities rendered to text
+    bool operator==(const RunArtifacts&) const = default;
+};
+
+RunArtifacts capture_run(const protocol::ProtocolConfig& config) {
+    RunArtifacts artifacts;
+    std::ostringstream keys;
+    const auto outcome =
+        protocol::run_protocol(config, [&](const protocol::RunInternals& internals) {
+            artifacts.trace = internals.context.network().trace().render();
+            const auto& pki = internals.context.pki();
+            for (const auto& name : internals.context.processor_names()) {
+                const auto& pk = pki.public_key_of(name);
+                keys << name << ' '
+                     << util::to_hex(std::span<const std::uint8_t>(pk.data(), pk.size()))
+                     << '\n';
+            }
+            const auto& user_pk = pki.public_key_of(internals.context.user_name());
+            keys << "user "
+                 << util::to_hex(
+                        std::span<const std::uint8_t>(user_pk.data(), user_pk.size()))
+                 << '\n';
+        });
+    artifacts.public_keys = keys.str();
+    std::ostringstream money;
+    money << outcome.fine_amount << ' ' << outcome.makespan << ' ' << outcome.user_paid
+          << ' ' << outcome.control_messages << ' ' << outcome.control_bytes << '\n';
+    for (const auto& p : outcome.processors) {
+        money << p.name << ' ' << p.bid << ' ' << p.alpha << ' ' << p.payment << ' '
+              << p.fines << ' ' << p.rewards << ' ' << p.utility() << '\n';
+    }
+    artifacts.money = money.str();
+    return artifacts;
+}
+
+class ScopedBackend {
+ public:
+    explicit ScopedBackend(std::string_view name) : saved_(crypto::sha256_backend()) {
+        EXPECT_TRUE(crypto::sha256_set_backend(name));
+    }
+    ~ScopedBackend() { crypto::sha256_set_backend(saved_); }
+
+ private:
+    std::string saved_;
+};
+
+protocol::ProtocolConfig identity_config(crypto::SignatureAlgorithm algorithm) {
+    protocol::ProtocolConfig config;
+    config.kind = dlt::NetworkKind::kNcpNFE;
+    config.z = 0.3;
+    config.true_w = {1.0, 2.0, 1.5, 1.2};
+    config.block_count = 600;
+    config.seed = 42;
+    config.signature_algorithm = algorithm;
+    config.mss_height = 3;
+    return config;
+}
+
+TEST(ProtocolCryptoIdentity, ScalarInlineEqualsSimdParallel) {
+    for (const auto algorithm : {crypto::SignatureAlgorithm::kMerkle,
+                                 crypto::SignatureAlgorithm::kMerkleWots}) {
+        auto config = identity_config(algorithm);
+
+        RunArtifacts baseline;
+        {
+            ScopedBackend scalar("scalar");
+            config.crypto_keygen_jobs = 1;
+            baseline = capture_run(config);
+        }
+        ASSERT_FALSE(baseline.trace.empty());
+        ASSERT_FALSE(baseline.public_keys.empty());
+
+        RunArtifacts fast;
+        {
+            ScopedBackend best("auto");
+            config.crypto_keygen_jobs = 8;
+            fast = capture_run(config);
+        }
+
+        EXPECT_EQ(baseline, fast) << "algorithm=" << static_cast<int>(algorithm)
+                                  << " backend=" << crypto::sha256_backend();
+    }
+}
+
+// Repeating the identical run must also be stable against itself (guards
+// against nondeterminism introduced by the verify cache or thread pool).
+TEST(ProtocolCryptoIdentity, RepeatRunsAreStable) {
+    auto config = identity_config(crypto::SignatureAlgorithm::kMerkleWots);
+    config.crypto_keygen_jobs = 4;
+    const auto a = capture_run(config);
+    const auto b = capture_run(config);
+    EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace dlsbl
