@@ -67,6 +67,9 @@ inline int run_figure_bench(dlt::NetworkKind kind, const std::string& figure_nam
                            "distributes everything)");
             break;
         case dlt::NetworkKind::kNcpFE:
+            // A front-end LO starts computing at exactly t=0 in sim time;
+            // this is a structural assertion, not a tolerance check.
+            // DLSBL_LINT_ALLOW(float-equality)
             report.verdict(timelines[0].compute_start == 0.0 &&
                                timelines[0].comm_end == timelines[0].comm_start,
                            "front-end LO P1 computes from t=0 with no inbound transfer");

@@ -42,6 +42,8 @@ int main() {
                 instance.w.assign(m, w);
                 const double t = dlt::optimal_makespan(instance);
                 row.push_back(t);
+                // z is a grid parameter; 0.0 selects the perfect-sharing
+                // special case exactly. DLSBL_LINT_ALLOW(float-equality)
                 if (z == 0.0 && std::abs(t - w / static_cast<double>(m)) > 1e-9) {
                     zero_z_perfect = false;
                 }

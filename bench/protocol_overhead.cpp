@@ -106,7 +106,9 @@ int main(int argc, char** argv) {
         for (std::size_t c = 1; c < costs.size(); ++c) {
             const double overhead = overhead_at(s, c);
             row.push_back(overhead);
-            if (costs[c] == 1e-5) {
+            // Chart the largest control-byte cost (last grid column); an
+            // index test, not float equality against a duplicated literal.
+            if (c + 1 == costs.size()) {
                 ms.push_back(static_cast<double>(sizes[s]));
                 overheads.push_back(std::max(overhead, 1e-12));
             }

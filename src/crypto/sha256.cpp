@@ -60,6 +60,8 @@ const Sha256Backend& pick_auto_backend() noexcept {
 }
 
 const Sha256Backend& initial_backend() noexcept {
+    // Backend override knob; every backend computes identical digests
+    // (test_sha256_kat), so replay is unaffected. DLSBL_LINT_ALLOW(determinism)
     if (const char* env = std::getenv("DLSBL_SHA256_IMPL")) {
         if (const Sha256Backend* b = backend_by_name(env)) return *b;
     }

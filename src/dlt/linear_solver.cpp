@@ -28,6 +28,9 @@ std::vector<double> solve_linear_system(std::vector<double> a, std::vector<doubl
         }
         for (std::size_t row = col + 1; row < n; ++row) {
             const double factor = a[row * n + col] / a[col * n + col];
+            // Structural-zero skip in elimination: only rows whose pivot
+            // coefficient is exactly zero carry no contribution.
+            // DLSBL_LINT_ALLOW(float-equality)
             if (factor == 0.0) continue;
             for (std::size_t k = col; k < n; ++k) a[row * n + k] -= factor * a[col * n + k];
             b[row] -= factor * b[col];

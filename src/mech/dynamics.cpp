@@ -79,6 +79,9 @@ DynamicsResult run_best_response_dynamics(dlt::NetworkKind kind, double z,
     const auto& final_profile = result.factor_history.back();
     result.truthful_fixed_point =
         std::all_of(final_profile.begin(), final_profile.end(),
+                    // Factors are snapped to the literal 1.0 when an agent
+                    // converges, so equality is exact.
+                    // DLSBL_LINT_ALLOW(float-equality)
                     [](double f) { return f == 1.0; });
     return result;
 }

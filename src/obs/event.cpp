@@ -105,6 +105,8 @@ EventLog& EventLog::instance() {
 
 namespace {
 // Per-thread capture target (exec::RunExecutor installs one per run).
+// Deliberately mutable: it IS the per-thread redirection state.
+// DLSBL_LINT_ALLOW(mutable-global)
 thread_local EventBuffer* t_event_buffer = nullptr;
 }  // namespace
 

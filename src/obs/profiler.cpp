@@ -18,6 +18,8 @@ struct ThreadCursor {
     std::size_t current = 0;
     std::uint64_t generation = 0;
 };
+// Deliberately mutable per-thread scope cursor (generation-stamped; see
+// Profiler::reset). DLSBL_LINT_ALLOW(mutable-global)
 thread_local ThreadCursor t_cursor;
 }  // namespace
 

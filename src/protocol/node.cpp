@@ -168,6 +168,8 @@ void ProcessorNode::ship_loads() {
         if (i == index_) continue;
         std::size_t count = block_counts_[i];
         // Offense (ii): mis-sized assignments.
+        // 1.0 is the "ship honestly" sentinel default, never computed.
+        // DLSBL_LINT_ALLOW(float-equality)
         if (strategy_.lo_ship_factor != 1.0) {
             count = static_cast<std::size_t>(
                 std::floor(static_cast<double>(count) * strategy_.lo_ship_factor));

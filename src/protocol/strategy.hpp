@@ -61,6 +61,8 @@ struct Strategy {
     bool report_deviations = true;
 
     [[nodiscard]] bool deviates_from_protocol() const noexcept {
+        // 1.0 is the "no deviation" sentinel default, never computed.
+        // DLSBL_LINT_ALLOW(float-equality)
         return second_bid_factor.has_value() || lo_ship_factor != 1.0 ||
                lo_refuse_mediation || lo_corrupt_blocks || corrupt_payment_vector ||
                contradictory_payment_vectors || tamper_bid_vector || false_accuse ||

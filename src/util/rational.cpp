@@ -38,6 +38,8 @@ Rational Rational::parse(std::string_view text) {
 
 Rational Rational::from_double(double value) {
     if (!std::isfinite(value)) throw std::domain_error("Rational: non-finite double");
+    // Exact zero (either sign) has no frexp decomposition; the comparison
+    // is exact on purpose. DLSBL_LINT_ALLOW(float-equality)
     if (value == 0.0) return Rational{};
     int exp = 0;
     double mant = std::frexp(value, &exp);  // value = mant * 2^exp, |mant| in [0.5, 1)

@@ -12,6 +12,8 @@ double Xoshiro256::normal(double mean, double stddev) noexcept {
         u = uniform(-1.0, 1.0);
         v = uniform(-1.0, 1.0);
         s = u * u + v * v;
+        // Marsaglia polar rejection: s == 0.0 exactly would divide by zero
+        // in the log term below. DLSBL_LINT_ALLOW(float-equality)
     } while (s >= 1.0 || s == 0.0);
     return mean + stddev * u * std::sqrt(-2.0 * std::log(s) / s);
 }

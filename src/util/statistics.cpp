@@ -52,6 +52,8 @@ LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
     }
     const double denom = n * sxx - sx * sx;
     LinearFit fit;
+    // Exact-zero guard before dividing; near-zero denominators are a valid
+    // (ill-conditioned) fit, not an error. DLSBL_LINT_ALLOW(float-equality)
     if (denom == 0.0) throw std::invalid_argument("linear_fit: degenerate x values");
     fit.slope = (n * sxy - sx * sy) / denom;
     fit.intercept = (sy - fit.slope * sx) / n;
@@ -84,6 +86,7 @@ LinearFit power_law_fit(std::span<const double> xs, std::span<const double> ys) 
 double relative_spread(std::span<const double> values) {
     if (values.size() < 2) return 0.0;
     const Summary s = summarize(values);
+    // Division-by-exact-zero guard. DLSBL_LINT_ALLOW(float-equality)
     if (s.mean == 0.0) return 0.0;
     return (s.max - s.min) / std::abs(s.mean);
 }

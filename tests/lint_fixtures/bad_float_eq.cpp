@@ -1,0 +1,8 @@
+// Fixture: float-equality triggers. Never compiled.
+bool checks(double x, double y) {
+    bool a = (x == 1.5);     // float-equality: literal rhs
+    bool b = (0.0 != y);     // float-equality: literal lhs
+    bool c = (x == -2.5e3);  // float-equality: signed literal rhs
+    bool d = (y != 1e-9);    // float-equality: exponent literal
+    return a || b || c || d;
+}

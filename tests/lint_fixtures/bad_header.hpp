@@ -1,0 +1,11 @@
+// Fixture: hygiene triggers — no #pragma once, and `using namespace` at
+// both global and nested-namespace scope. Never compiled.
+#include <string>
+
+using namespace std;  // using-namespace-header: global scope
+
+namespace fixture {
+using namespace std::literals;  // using-namespace-header: namespace scope
+
+inline int add(int a, int b) { return a + b; }
+}  // namespace fixture

@@ -1,0 +1,40 @@
+// Fixture: near-misses that must NOT trigger any rule even under a src/
+// path. Never compiled.
+//
+// Comment mentions of rand(), time(nullptr) and steady_clock::now() are
+// fine — the lexer strips comments before the rules run.
+#include <mutex>
+#include <string>
+
+namespace fixture {
+
+constexpr int kAnswer = 42;              // constexpr global: fine
+const char* const kName = "rand(";       // banned name inside a string: fine
+inline constexpr double kScale = 1.5;    // constexpr: fine
+
+struct Simulator {
+    double now_ = 0.0;
+    [[nodiscard]] double now() const { return now_; }   // member decl: fine
+};
+
+struct Event {
+    Event& time(double t);               // member named `time`: fine
+};
+
+double sample(const Simulator& sim) {
+    return sim.now();                    // member call via '.': fine
+}
+
+bool integer_compare(int x) { return x == 1; }        // int ==: fine
+bool float_order(double x) { return x < 1.5; }        // float <: fine
+
+int guarded(std::mutex& m) {
+    const std::lock_guard<std::mutex> guard(m);       // RAII lock: fine
+    return kAnswer;
+}
+
+std::string brand(const std::string& s) {
+    return s + "time(";                  // banned name in string: fine
+}
+
+}  // namespace fixture

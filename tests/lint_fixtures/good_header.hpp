@@ -1,0 +1,14 @@
+// Fixture: a compliant header — #pragma once after the comment preamble,
+// `using namespace` only inside a function body. Never compiled.
+#pragma once
+
+#include <string>
+
+namespace fixture {
+
+inline std::string literal_demo() {
+    using namespace std::string_literals;  // function scope: fine
+    return "ok"s;
+}
+
+}  // namespace fixture

@@ -1,0 +1,334 @@
+// dlsbl_lint test suite: lexer behaviour, each rule against in-memory and
+// on-disk fixtures (tests/lint_fixtures/), suppression markers, allowlist
+// parsing/matching, JSON output — plus the meta-test that the real tree
+// lints clean with the checked-in allowlist.
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lexer.hpp"
+#include "lint.hpp"
+#include "obs/json.hpp"
+#include "rules.hpp"
+
+namespace lint = dlsbl::lint;
+
+namespace {
+
+// Lints `source` as if it lived at repo-relative `path`, with no allowlist.
+lint::LintResult lint_at(const std::string& path, std::string_view source) {
+    lint::LintResult result;
+    lint::lint_source(path, source, lint::Allowlist{}, &result);
+    return result;
+}
+
+std::vector<std::string> rules_of(const lint::LintResult& result) {
+    std::vector<std::string> rules;
+    rules.reserve(result.findings.size());
+    for (const auto& f : result.findings) rules.push_back(f.rule);
+    return rules;
+}
+
+std::size_t count_rule(const lint::LintResult& result, std::string_view rule) {
+    const std::vector<std::string> rules = rules_of(result);
+    return static_cast<std::size_t>(std::count(rules.begin(), rules.end(), rule));
+}
+
+std::string read_fixture(const std::string& name) {
+    const std::string path =
+        std::string(DLSBL_SOURCE_DIR) + "/tests/lint_fixtures/" + name;
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "missing fixture " << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+// ------------------------------------------------------------------ lexer
+
+TEST(LintLexer, StripsCommentsAndStrings) {
+    const auto lexed = lint::lex(
+        "int x = 1; // rand() time(nullptr)\n"
+        "const char* s = \"rand(\"; /* ::now() */\n");
+    for (const auto& token : lexed.tokens) {
+        if (token.kind == lint::TokenKind::kIdentifier) {
+            EXPECT_NE(token.text, "rand");
+            EXPECT_NE(token.text, "now");
+        }
+    }
+    // The string literal is one token whose text excludes the quotes.
+    const auto it = std::find_if(
+        lexed.tokens.begin(), lexed.tokens.end(), [](const lint::Token& t) {
+            return t.kind == lint::TokenKind::kString;
+        });
+    ASSERT_NE(it, lexed.tokens.end());
+    EXPECT_EQ(it->text, "rand(");
+}
+
+TEST(LintLexer, RawStringsAndCharLiterals) {
+    const auto lexed = lint::lex(
+        "auto s = R\"x(rand() == 1.5)x\";\n"
+        "char c = ')';\n"
+        "int after = 7;\n");
+    ASSERT_GE(lexed.tokens.size(), 3u);
+    const auto str = std::find_if(
+        lexed.tokens.begin(), lexed.tokens.end(), [](const lint::Token& t) {
+            return t.kind == lint::TokenKind::kString;
+        });
+    ASSERT_NE(str, lexed.tokens.end());
+    EXPECT_EQ(str->text, "rand() == 1.5");
+    // Lexing resumes correctly after the raw string and char literal.
+    const auto after = std::find_if(
+        lexed.tokens.begin(), lexed.tokens.end(), [](const lint::Token& t) {
+            return t.text == "after";
+        });
+    EXPECT_NE(after, lexed.tokens.end());
+}
+
+TEST(LintLexer, TracksLineAndColumn) {
+    const auto lexed = lint::lex("int a;\n  double b;\n");
+    ASSERT_GE(lexed.tokens.size(), 5u);
+    EXPECT_EQ(lexed.tokens[0].line, 1u);
+    EXPECT_EQ(lexed.tokens[0].col, 1u);
+    const auto b = std::find_if(
+        lexed.tokens.begin(), lexed.tokens.end(),
+        [](const lint::Token& t) { return t.text == "double"; });
+    ASSERT_NE(b, lexed.tokens.end());
+    EXPECT_EQ(b->line, 2u);
+    EXPECT_EQ(b->col, 3u);
+}
+
+TEST(LintLexer, FloatLiteralClassification) {
+    EXPECT_TRUE(lint::is_float_literal("1.5"));
+    EXPECT_TRUE(lint::is_float_literal("0.0"));
+    EXPECT_TRUE(lint::is_float_literal(".5"));
+    EXPECT_TRUE(lint::is_float_literal("1e9"));
+    EXPECT_TRUE(lint::is_float_literal("2.5e-3"));
+    EXPECT_TRUE(lint::is_float_literal("1.0f"));
+    EXPECT_TRUE(lint::is_float_literal("0x1.8p3"));
+    EXPECT_FALSE(lint::is_float_literal("1"));
+    EXPECT_FALSE(lint::is_float_literal("42u"));
+    EXPECT_FALSE(lint::is_float_literal("0x1E"));  // hex int, not exponent
+    EXPECT_FALSE(lint::is_float_literal("0b101"));
+    EXPECT_FALSE(lint::is_float_literal("1'000'000"));
+}
+
+TEST(LintLexer, CollectsAllowMarkers) {
+    const auto lexed = lint::lex(
+        "int a = f();  // DLSBL_LINT_ALLOW(determinism)\n"
+        "// DLSBL_LINT_ALLOW(float-equality, manual-lock)\n"
+        "int b = g();\n");
+    ASSERT_EQ(lexed.allow.count(1), 1u);
+    EXPECT_EQ(lexed.allow.at(1).count("determinism"), 1u);
+    // The standalone marker covers its own line and the next one.
+    ASSERT_EQ(lexed.allow.count(3), 1u);
+    EXPECT_EQ(lexed.allow.at(3).count("float-equality"), 1u);
+    EXPECT_EQ(lexed.allow.at(3).count("manual-lock"), 1u);
+}
+
+// ------------------------------------------------------------- rules (bad)
+
+TEST(LintRules, DeterminismFixture) {
+    const auto result =
+        lint_at("src/protocol/fixture.cpp", read_fixture("bad_determinism.cpp"));
+    EXPECT_EQ(count_rule(result, lint::kRuleDeterminism), 7u)
+        << "random_device, rand, srand, getenv, ::now, std::time, clock";
+    EXPECT_EQ(result.stats.findings, 7u);
+}
+
+TEST(LintRules, FloatEqualityFixture) {
+    const auto result =
+        lint_at("src/dlt/fixture.cpp", read_fixture("bad_float_eq.cpp"));
+    EXPECT_EQ(count_rule(result, lint::kRuleFloatEquality), 4u);
+}
+
+TEST(LintRules, ManualLockFixture) {
+    const auto result =
+        lint_at("src/protocol/fixture.cpp", read_fixture("bad_locking.cpp"));
+    EXPECT_EQ(count_rule(result, lint::kRuleManualLock), 4u)
+        << "lock, unlock, try_lock, unlock";
+    // The namespace-scope std::mutex is also a mutable global under src/.
+    EXPECT_EQ(count_rule(result, lint::kRuleMutableGlobal), 1u);
+}
+
+TEST(LintRules, CryptoAllocFixture) {
+    const std::string source = read_fixture("bad_crypto_alloc.cpp");
+    const auto in_crypto = lint_at("src/crypto/fixture.cpp", source);
+    EXPECT_EQ(count_rule(in_crypto, lint::kRuleCryptoAlloc), 4u)
+        << "new, malloc, free, delete — but not `= delete`";
+    // The same file outside src/crypto raises no alloc findings.
+    const auto outside = lint_at("src/util/fixture.cpp", source);
+    EXPECT_EQ(count_rule(outside, lint::kRuleCryptoAlloc), 0u);
+}
+
+TEST(LintRules, HeaderHygieneFixture) {
+    const auto result =
+        lint_at("src/util/fixture.hpp", read_fixture("bad_header.hpp"));
+    EXPECT_EQ(count_rule(result, lint::kRulePragmaOnce), 1u);
+    EXPECT_EQ(count_rule(result, lint::kRuleUsingNamespace), 2u)
+        << "global scope and nested-namespace scope";
+}
+
+TEST(LintRules, MutableGlobalFixture) {
+    const auto result =
+        lint_at("src/obs/fixture.cpp", read_fixture("bad_global.cpp"));
+    EXPECT_EQ(count_rule(result, lint::kRuleMutableGlobal), 6u);
+    // Outside src/ the rule does not apply (bench/test drivers keep state).
+    const auto outside = lint_at("bench/fixture.cpp", read_fixture("bad_global.cpp"));
+    EXPECT_EQ(count_rule(outside, lint::kRuleMutableGlobal), 0u);
+}
+
+// ------------------------------------------------------------ rules (good)
+
+TEST(LintRules, GoodFileIsClean) {
+    const auto result =
+        lint_at("src/protocol/fixture.cpp", read_fixture("good_file.cpp"));
+    EXPECT_TRUE(result.findings.empty()) << rules_of(result).size();
+    for (const auto& f : result.findings) {
+        ADD_FAILURE() << f.rule << " at line " << f.line << ": " << f.excerpt;
+    }
+}
+
+TEST(LintRules, GoodHeaderIsClean) {
+    const auto result =
+        lint_at("src/util/fixture.hpp", read_fixture("good_header.hpp"));
+    for (const auto& f : result.findings) {
+        ADD_FAILURE() << f.rule << " at line " << f.line << ": " << f.excerpt;
+    }
+}
+
+TEST(LintRules, CppFilesSkipHeaderOnlyRules) {
+    // `using namespace` and missing #pragma once are header rules only.
+    const auto result =
+        lint_at("src/util/fixture.cpp", "using namespace std;\nint f();\n");
+    EXPECT_EQ(count_rule(result, lint::kRuleUsingNamespace), 0u);
+    EXPECT_EQ(count_rule(result, lint::kRulePragmaOnce), 0u);
+}
+
+// ------------------------------------------------------------ suppression
+
+TEST(LintSuppression, InlineMarkersSilenceFindings) {
+    const auto result =
+        lint_at("src/util/fixture.cpp", read_fixture("suppressed.cpp"));
+    EXPECT_TRUE(result.findings.empty());
+    EXPECT_EQ(result.stats.suppressed, 4u)
+        << "getenv x3 plus the float-equality on the multi-rule line";
+}
+
+TEST(LintSuppression, MarkerForWrongRuleDoesNotSilence) {
+    const auto result = lint_at(
+        "src/util/fixture.cpp",
+        "int f() { return rand(); }  // DLSBL_LINT_ALLOW(float-equality)\n");
+    EXPECT_EQ(count_rule(result, lint::kRuleDeterminism), 1u);
+    EXPECT_EQ(result.stats.suppressed, 0u);
+}
+
+TEST(LintSuppression, WildcardMarkerSilencesEverything) {
+    const auto result = lint_at(
+        "src/util/fixture.cpp",
+        "int f() { return rand(); }  // DLSBL_LINT_ALLOW(*)\n");
+    EXPECT_TRUE(result.findings.empty());
+    EXPECT_EQ(result.stats.suppressed, 1u);
+}
+
+// -------------------------------------------------------------- allowlist
+
+TEST(LintAllowlist, ParsesEntriesAndRejectsMalformed) {
+    const auto list = lint::parse_allowlist(
+        "# comment\n"
+        "\n"
+        "determinism src/obs/* wall clocks are the obs layer's job\n"
+        "* tests/lint_fixtures/* deliberately broken\n"
+        "bogus-rule src/* nope\n"
+        "determinism src/only_two_fields\n");
+    ASSERT_EQ(list.entries.size(), 2u);
+    EXPECT_EQ(list.entries[0].rule, "determinism");
+    EXPECT_EQ(list.entries[0].glob, "src/obs/*");
+    EXPECT_EQ(list.entries[1].rule, "*");
+    ASSERT_EQ(list.errors.size(), 2u);
+    EXPECT_NE(list.errors[0].find("unknown rule id"), std::string::npos);
+    EXPECT_NE(list.errors[1].find("expected"), std::string::npos);
+}
+
+TEST(LintAllowlist, GlobMatching) {
+    EXPECT_TRUE(lint::glob_match("src/obs/*", "src/obs/profiler.hpp"));
+    EXPECT_TRUE(lint::glob_match("src/*", "src/crypto/mss.cpp"));
+    EXPECT_TRUE(lint::glob_match("*.hpp", "src/util/rng.hpp"));
+    EXPECT_TRUE(lint::glob_match("src/???.cpp", "src/abc.cpp"));
+    EXPECT_FALSE(lint::glob_match("src/obs/*", "src/util/rng.hpp"));
+    EXPECT_FALSE(lint::glob_match("src/???.cpp", "src/abcd.cpp"));
+    EXPECT_FALSE(lint::glob_match("bench/*", "src/bench_not.cpp"));
+}
+
+TEST(LintAllowlist, EntriesSilenceMatchingFindings) {
+    const auto list = lint::parse_allowlist(
+        "determinism src/obs/* obs layer measures wall-clock by design\n");
+    ASSERT_TRUE(list.errors.empty());
+    lint::LintResult obs_result;
+    lint::lint_source("src/obs/fixture.cpp", "int f() { return rand(); }\n",
+                      list, &obs_result);
+    EXPECT_TRUE(obs_result.findings.empty());
+    EXPECT_EQ(obs_result.stats.allowlisted, 1u);
+    // Same violation outside the glob still fires.
+    lint::LintResult util_result;
+    lint::lint_source("src/util/fixture.cpp", "int f() { return rand(); }\n",
+                      list, &util_result);
+    EXPECT_EQ(util_result.stats.findings, 1u);
+}
+
+// ------------------------------------------------------------------- JSON
+
+TEST(LintJson, ReportRoundTrips) {
+    const auto result =
+        lint_at("src/dlt/fixture.cpp", read_fixture("bad_float_eq.cpp"));
+    const std::string doc = lint::report_json(result);
+    const auto parsed = dlsbl::obs::json_parse(doc);
+    ASSERT_TRUE(parsed.has_value()) << doc;
+    const auto* manifest = parsed->find("manifest");
+    ASSERT_NE(manifest, nullptr);
+    ASSERT_NE(manifest->find("generator"), nullptr);
+    EXPECT_EQ(manifest->find("generator")->string, "dlsbl_lint");
+    EXPECT_NE(manifest->find("git"), nullptr);
+    const auto* findings = parsed->find("findings");
+    ASSERT_NE(findings, nullptr);
+    EXPECT_EQ(findings->array.size(), result.findings.size());
+    ASSERT_FALSE(findings->array.empty());
+    const auto& first = findings->array.front();
+    EXPECT_EQ(first.find("rule")->string, lint::kRuleFloatEquality);
+    EXPECT_EQ(first.find("file")->string, "src/dlt/fixture.cpp");
+    const auto* summary = parsed->find("summary");
+    ASSERT_NE(summary, nullptr);
+    EXPECT_EQ(summary->find("findings")->number,
+              static_cast<double>(result.stats.findings));
+}
+
+// -------------------------------------------------------------- meta-test
+
+// The real tree must lint clean with the checked-in allowlist — the same
+// invocation `ctest -L lint` runs, executed in-process.
+TEST(LintTree, RepositoryLintsClean) {
+    const std::string root = DLSBL_SOURCE_DIR;
+    std::ifstream allow_in(root + "/tools/lint/dlsbl_lint.allow",
+                           std::ios::binary);
+    ASSERT_TRUE(allow_in.good());
+    std::ostringstream buffer;
+    buffer << allow_in.rdbuf();
+    const auto allowlist = lint::parse_allowlist(buffer.str());
+    EXPECT_TRUE(allowlist.errors.empty())
+        << "allowlist has malformed entries; first: "
+        << (allowlist.errors.empty() ? "" : allowlist.errors.front());
+    const auto result = lint::lint_tree(
+        root, {"src", "tests", "bench", "examples", "tools"}, allowlist);
+    for (const auto& f : result.findings) {
+        ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
+                      << f.message << "\n    | " << f.excerpt;
+    }
+    EXPECT_GT(result.stats.files, 150u) << "tree walk found too few files";
+}
+
+}  // namespace

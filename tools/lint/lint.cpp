@@ -1,0 +1,249 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
+
+namespace dlsbl::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix) {
+    return s.substr(0, prefix.size()) == prefix;
+}
+
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix) {
+    return s.size() >= suffix.size() &&
+           s.substr(s.size() - suffix.size()) == suffix;
+}
+
+[[nodiscard]] bool known_rule(std::string_view rule) {
+    if (rule == "*") return true;
+    const auto& ids = all_rule_ids();
+    return std::find(ids.begin(), ids.end(), rule) != ids.end();
+}
+
+void sort_findings(std::vector<Finding>* findings) {
+    std::sort(findings->begin(), findings->end(),
+              [](const Finding& a, const Finding& b) {
+                  if (a.file != b.file) return a.file < b.file;
+                  if (a.line != b.line) return a.line < b.line;
+                  if (a.col != b.col) return a.col < b.col;
+                  return a.rule < b.rule;
+              });
+}
+
+}  // namespace
+
+Allowlist parse_allowlist(std::string_view text) {
+    Allowlist list;
+    std::size_t line_no = 0;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t end = std::min(text.find('\n', start), text.size());
+        std::string_view line = text.substr(start, end - start);
+        start = end + 1;
+        ++line_no;
+        while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) {
+            line.remove_prefix(1);
+        }
+        while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+            line.remove_suffix(1);
+        }
+        if (line.empty() || line.front() == '#') continue;
+
+        const std::size_t sp1 = line.find(' ');
+        const std::size_t sp2 =
+            sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+        if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+            list.errors.push_back("allowlist line " + std::to_string(line_no) +
+                                  ": expected 'rule path-glob justification'");
+            continue;
+        }
+        AllowEntry entry;
+        entry.rule = std::string(line.substr(0, sp1));
+        entry.glob = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+        std::string_view just = line.substr(sp2 + 1);
+        while (!just.empty() && just.front() == ' ') just.remove_prefix(1);
+        entry.justification = std::string(just);
+        entry.line = line_no;
+        if (!known_rule(entry.rule)) {
+            list.errors.push_back("allowlist line " + std::to_string(line_no) +
+                                  ": unknown rule id '" + entry.rule + "'");
+            continue;
+        }
+        if (entry.justification.empty()) {
+            list.errors.push_back("allowlist line " + std::to_string(line_no) +
+                                  ": missing justification");
+            continue;
+        }
+        list.entries.push_back(std::move(entry));
+    }
+    return list;
+}
+
+bool glob_match(std::string_view glob, std::string_view path) {
+    // Iterative '*' backtracking; '?' matches one character.
+    std::size_t g = 0, p = 0;
+    std::size_t star = std::string_view::npos, mark = 0;
+    while (p < path.size()) {
+        if (g < glob.size() && (glob[g] == path[p] || glob[g] == '?')) {
+            ++g;
+            ++p;
+        } else if (g < glob.size() && glob[g] == '*') {
+            star = g++;
+            mark = p;
+        } else if (star != std::string_view::npos) {
+            g = star + 1;
+            p = ++mark;
+        } else {
+            return false;
+        }
+    }
+    while (g < glob.size() && glob[g] == '*') ++g;
+    return g == glob.size();
+}
+
+FileInfo file_info_for(std::string path) {
+    std::replace(path.begin(), path.end(), '\\', '/');
+    FileInfo info;
+    info.is_header = ends_with(path, ".hpp") || ends_with(path, ".h");
+    info.in_crypto = starts_with(path, "src/crypto/");
+    info.in_src = starts_with(path, "src/");
+    info.path = std::move(path);
+    return info;
+}
+
+bool lintable_path(std::string_view path) {
+    return ends_with(path, ".cpp") || ends_with(path, ".cc") ||
+           ends_with(path, ".cxx") || ends_with(path, ".hpp") ||
+           ends_with(path, ".h");
+}
+
+void lint_source(const std::string& path, std::string_view source,
+                 const Allowlist& allowlist, LintResult* result) {
+    const FileInfo info = file_info_for(path);
+    const LexedFile lexed = lex(source);
+    std::vector<Finding> raw;
+    run_rules(info, lexed, &raw);
+    ++result->stats.files;
+
+    for (Finding& finding : raw) {
+        const auto allow_it = lexed.allow.find(finding.line);
+        if (allow_it != lexed.allow.end() &&
+            (allow_it->second.count(finding.rule) > 0 ||
+             allow_it->second.count("*") > 0)) {
+            ++result->stats.suppressed;
+            continue;
+        }
+        const AllowEntry* matched = nullptr;
+        for (const AllowEntry& entry : allowlist.entries) {
+            if ((entry.rule == "*" || entry.rule == finding.rule) &&
+                glob_match(entry.glob, finding.file)) {
+                matched = &entry;
+                break;
+            }
+        }
+        if (matched != nullptr) {
+            ++matched->hits;
+            ++result->stats.allowlisted;
+            continue;
+        }
+        ++result->stats.findings;
+        result->findings.push_back(std::move(finding));
+    }
+}
+
+LintResult lint_tree(const std::string& repo_root,
+                     const std::vector<std::string>& roots,
+                     const Allowlist& allowlist) {
+    LintResult result;
+    std::vector<std::string> files;
+    for (const std::string& root : roots) {
+        const fs::path abs = fs::path(repo_root) / root;
+        std::error_code ec;
+        if (fs::is_regular_file(abs, ec)) {
+            if (lintable_path(root)) files.push_back(root);
+            continue;
+        }
+        if (!fs::is_directory(abs, ec)) {
+            result.findings.push_back(Finding{
+                "io-error", root, 0, 0, "no such file or directory", ""});
+            ++result.stats.findings;
+            continue;
+        }
+        for (auto it = fs::recursive_directory_iterator(abs, ec);
+             !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+            if (!it->is_regular_file(ec)) continue;
+            std::string rel =
+                (fs::path(root) / fs::relative(it->path(), abs, ec)).string();
+            std::replace(rel.begin(), rel.end(), '\\', '/');
+            if (lintable_path(rel)) files.push_back(std::move(rel));
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    for (const std::string& file : files) {
+        std::ifstream in(fs::path(repo_root) / file, std::ios::binary);
+        if (!in) {
+            result.findings.push_back(
+                Finding{"io-error", file, 0, 0, "cannot read file", ""});
+            ++result.stats.findings;
+            continue;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        const std::string source = buffer.str();
+        lint_source(file, source, allowlist, &result);
+    }
+    sort_findings(&result.findings);
+    return result;
+}
+
+bool print_report(const LintResult& result, std::ostream& os) {
+    for (const Finding& f : result.findings) {
+        os << f.file << ':' << f.line << ':' << f.col << ": [" << f.rule
+           << "] " << f.message << '\n';
+        if (!f.excerpt.empty()) os << "    | " << f.excerpt << '\n';
+    }
+    os << "dlsbl_lint: " << result.stats.findings << " finding"
+       << (result.stats.findings == 1 ? "" : "s") << " across "
+       << result.stats.files << " files (" << result.stats.suppressed
+       << " suppressed inline, " << result.stats.allowlisted
+       << " allowlisted)\n";
+    return result.stats.findings == 0;
+}
+
+std::string report_json(const LintResult& result) {
+    // v/tool/git/build are auto-emitted by RunManifest; "generator" marks
+    // which binary wrote the artifact.
+    obs::RunManifest manifest;
+    manifest.set("generator", "dlsbl_lint");
+    std::string doc = "{\"manifest\":" + manifest.to_json() + ",\"findings\":[";
+    bool first = true;
+    for (const Finding& f : result.findings) {
+        if (!first) doc += ',';
+        first = false;
+        doc += "{\"file\":" + obs::json_escape(f.file) +
+               ",\"line\":" + std::to_string(f.line) +
+               ",\"col\":" + std::to_string(f.col) +
+               ",\"rule\":" + obs::json_escape(f.rule) +
+               ",\"message\":" + obs::json_escape(f.message) +
+               ",\"excerpt\":" + obs::json_escape(f.excerpt) + '}';
+    }
+    doc += "],\"summary\":{\"files\":" + std::to_string(result.stats.files) +
+           ",\"findings\":" + std::to_string(result.stats.findings) +
+           ",\"suppressed\":" + std::to_string(result.stats.suppressed) +
+           ",\"allowlisted\":" + std::to_string(result.stats.allowlisted) +
+           "}}\n";
+    return doc;
+}
+
+}  // namespace dlsbl::lint

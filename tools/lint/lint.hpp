@@ -1,0 +1,75 @@
+// Driver layer for dlsbl_lint: tree walking, suppression filtering,
+// allowlist handling, and report/JSON emission. Kept as a library so
+// tests/test_lint.cpp can drive every piece in-memory.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace dlsbl::lint {
+
+// One `rule path-glob justification` line from the allowlist file.
+// Globs use '*' (matches any run of characters, '/' included) and '?';
+// everything after the glob is the mandatory human justification.
+struct AllowEntry {
+    std::string rule;  // a rule id, or "*"
+    std::string glob;
+    std::string justification;
+    std::size_t line = 0;   // in the allowlist file, for diagnostics
+    mutable std::size_t hits = 0;  // findings matched (unused-entry report)
+};
+
+struct Allowlist {
+    std::vector<AllowEntry> entries;
+    std::vector<std::string> errors;  // malformed lines / unknown rule ids
+};
+
+// Parses allowlist text. Comment lines start with '#'; blank lines ignored.
+[[nodiscard]] Allowlist parse_allowlist(std::string_view text);
+
+// '*'/'?' glob match over the whole string (no implicit anchoring needed —
+// patterns are written against repo-relative forward-slash paths).
+[[nodiscard]] bool glob_match(std::string_view glob, std::string_view path);
+
+struct LintStats {
+    std::size_t files = 0;
+    std::size_t findings = 0;     // surviving (reported) findings
+    std::size_t suppressed = 0;   // silenced by DLSBL_LINT_ALLOW markers
+    std::size_t allowlisted = 0;  // silenced by allowlist entries
+};
+
+struct LintResult {
+    std::vector<Finding> findings;  // post-filtering, file/line ordered
+    LintStats stats;
+};
+
+// Builds the per-file rule scoping flags from a repo-relative path.
+[[nodiscard]] FileInfo file_info_for(std::string path);
+
+// Lints one in-memory file (repo-relative `path` chooses rule scope),
+// applying ALLOW markers and the allowlist; appends into `result`.
+void lint_source(const std::string& path, std::string_view source,
+                 const Allowlist& allowlist, LintResult* result);
+
+// True for extensions dlsbl_lint scans (.cpp/.cc/.cxx/.hpp/.h).
+[[nodiscard]] bool lintable_path(std::string_view path);
+
+// Walks `roots` (files or directories, repo-relative to `repo_root`),
+// lints every lintable file in deterministic (sorted) order. I/O errors
+// are reported as findings under rule "io-error" so they fail the run.
+[[nodiscard]] LintResult lint_tree(const std::string& repo_root,
+                                   const std::vector<std::string>& roots,
+                                   const Allowlist& allowlist);
+
+// Text report: one "path:line:col: [rule] message" block per finding plus
+// a summary line. Returns stats.findings == 0.
+bool print_report(const LintResult& result, std::ostream& os);
+
+// Machine-readable document following the bench_json.hpp conventions:
+// {"manifest": {...}, "findings": [...], "summary": {...}}.
+[[nodiscard]] std::string report_json(const LintResult& result);
+
+}  // namespace dlsbl::lint

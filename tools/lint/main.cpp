@@ -1,0 +1,115 @@
+// dlsbl_lint — project-invariant static analyzer (see rules.hpp).
+//
+// Usage:
+//   dlsbl_lint [--root DIR] [--allow FILE] [--json-out PATH]
+//              [--list-rules] [paths...]
+//
+// Paths are repo-relative files or directories (default: src tests bench
+// examples). Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--root DIR] [--allow FILE] [--json-out PATH] "
+                 "[--list-rules] [paths...]\n",
+                 argv0);
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string root = ".";
+    std::string allow_path = "tools/lint/dlsbl_lint.allow";
+    bool allow_path_explicit = false;
+    std::string json_out;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (arg == "--allow" && i + 1 < argc) {
+            allow_path = argv[++i];
+            allow_path_explicit = true;
+        } else if (arg == "--json-out" && i + 1 < argc) {
+            json_out = argv[++i];
+        } else if (arg.rfind("--json-out=", 0) == 0) {
+            json_out = std::string(arg.substr(std::strlen("--json-out=")));
+        } else if (arg == "--list-rules") {
+            for (const std::string& id : dlsbl::lint::all_rule_ids()) {
+                std::printf("%s\n", id.c_str());
+            }
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg.front() == '-') {
+            std::fprintf(stderr, "dlsbl_lint: unknown option '%s'\n", argv[i]);
+            return usage(argv[0]);
+        } else {
+            paths.emplace_back(arg);
+        }
+    }
+    if (paths.empty()) paths = {"src", "tests", "bench", "examples"};
+
+    dlsbl::lint::Allowlist allowlist;
+    {
+        // path-append so an absolute --allow path is used as-is
+        std::ifstream in(std::filesystem::path(root) / allow_path,
+                         std::ios::binary);
+        if (in) {
+            std::ostringstream buffer;
+            buffer << in.rdbuf();
+            allowlist = dlsbl::lint::parse_allowlist(buffer.str());
+        } else if (allow_path_explicit) {
+            std::fprintf(stderr, "dlsbl_lint: cannot read allowlist %s\n",
+                         allow_path.c_str());
+            return 2;
+        }
+    }
+    if (!allowlist.errors.empty()) {
+        for (const std::string& error : allowlist.errors) {
+            std::fprintf(stderr, "dlsbl_lint: %s\n", error.c_str());
+        }
+        return 2;
+    }
+
+    const dlsbl::lint::LintResult result =
+        dlsbl::lint::lint_tree(root, paths, allowlist);
+    const bool clean = dlsbl::lint::print_report(result, std::cout);
+
+    // Unused allowlist entries are stale suppressions: surface them (but a
+    // clean tree still passes — entries may cover optional build configs).
+    for (const dlsbl::lint::AllowEntry& entry : allowlist.entries) {
+        if (entry.hits == 0) {
+            std::fprintf(stderr,
+                         "dlsbl_lint: note: allowlist line %zu (%s %s) "
+                         "matched nothing\n",
+                         entry.line, entry.rule.c_str(), entry.glob.c_str());
+        }
+    }
+
+    if (!json_out.empty()) {
+        std::ofstream out(json_out, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "dlsbl_lint: cannot open %s for writing\n",
+                         json_out.c_str());
+            return 2;
+        }
+        out << dlsbl::lint::report_json(result);
+        std::printf("LINT_JSON %s\n", json_out.c_str());
+    }
+    return clean ? 0 : 1;
+}

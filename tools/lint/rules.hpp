@@ -1,0 +1,65 @@
+// The dlsbl-specific invariants enforced by dlsbl_lint.
+//
+// Rule groups (see README "Static analysis" for the full table):
+//   D determinism      — no wall clocks / libc randomness / environment
+//                        reads outside the allowlisted observability and
+//                        driver layers; byte-identical replay (PR 2/3)
+//                        depends on this.
+//   X exactness        — no ==/!= against floating-point literals; the DLT
+//                        proofs are exact-rational, so float equality is
+//                        either a bug or needs an explicit justification.
+//   L locking/alloc    — mutexes are held via lock_guard/scoped_lock RAII
+//                        only, and src/crypto hot paths never call
+//                        new/delete/malloc (the batch API contract).
+//   H hygiene          — #pragma once in every header, no `using namespace`
+//                        at namespace scope in headers, no non-constexpr
+//                        mutable globals in src/.
+//
+// Every rule is token-stream based (lexer.hpp) and intentionally
+// heuristic: it trades full type resolution for zero build-graph coupling.
+// Where a heuristic has a known blind spot it is documented at the rule
+// implementation, and the fixture suite (tests/lint_fixtures/) pins both
+// the catches and the permitted near-misses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace dlsbl::lint {
+
+// Stable rule identifiers (used in findings, ALLOW markers, allowlist).
+inline constexpr const char* kRuleDeterminism = "determinism";
+inline constexpr const char* kRuleFloatEquality = "float-equality";
+inline constexpr const char* kRuleManualLock = "manual-lock";
+inline constexpr const char* kRuleCryptoAlloc = "crypto-alloc";
+inline constexpr const char* kRulePragmaOnce = "pragma-once";
+inline constexpr const char* kRuleUsingNamespace = "using-namespace-header";
+inline constexpr const char* kRuleMutableGlobal = "mutable-global";
+
+// All rule ids, for --list-rules and allowlist validation.
+[[nodiscard]] const std::vector<std::string>& all_rule_ids();
+
+struct Finding {
+    std::string rule;
+    std::string file;     // repo-relative path, forward slashes
+    std::size_t line = 0;
+    std::size_t col = 0;
+    std::string message;
+    std::string excerpt;  // the offending source line, whitespace-trimmed
+};
+
+struct FileInfo {
+    std::string path;        // repo-relative, forward slashes
+    bool is_header = false;  // .hpp / .h
+    bool in_crypto = false;  // under src/crypto/ (L alloc rule scope)
+    bool in_src = false;     // under src/ (H mutable-global rule scope)
+};
+
+// Runs every rule over one lexed file and appends raw findings (before
+// suppression/allowlist filtering, which lint.cpp applies).
+void run_rules(const FileInfo& info, const LexedFile& lexed,
+               std::vector<Finding>* out);
+
+}  // namespace dlsbl::lint
