@@ -11,9 +11,13 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <string>
 
 #include "exec/executor.hpp"
+#include "obs/exporter.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 
@@ -75,6 +79,31 @@ template <typename Fn>
 auto run_parallel(const exec::ExecutorOptions& options, std::size_t count, Fn&& body) {
     exec::RunExecutor executor(options);
     return executor.map(count, std::forward<Fn>(body));
+}
+
+// Live telemetry opt-in for long-running benches: `--metrics-port P` starts
+// an HTTP exporter on 127.0.0.1:P (0 = ephemeral, printed on stderr) for the
+// bench's lifetime; pass the returned exporter into parallel_options()'s
+// result (options.exporter = e.get()) so in-flight runs appear on /metrics.
+// Returns nullptr when the flag is absent or the bind fails — purely
+// observational, so the bench proceeds either way.
+inline std::unique_ptr<obs::MetricsExporter> metrics_exporter_from_args(int argc,
+                                                                        char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--metrics-port") != 0) continue;
+        obs::ExporterOptions options;
+        options.port =
+            static_cast<std::uint16_t>(std::strtoul(argv[i + 1], nullptr, 10));
+        auto exporter = std::make_unique<obs::MetricsExporter>(options);
+        if (!exporter->start()) {
+            std::fprintf(stderr, "bench: cannot bind metrics port %s\n", argv[i + 1]);
+            return nullptr;
+        }
+        std::fprintf(stderr, "metrics: http://127.0.0.1:%u/metrics\n",
+                     static_cast<unsigned>(exporter->port()));
+        return exporter;
+    }
+    return nullptr;
 }
 
 inline std::string fmt(const char* format, double a) {

@@ -77,8 +77,12 @@ double crypto_wall_seconds(std::string_view backend, std::size_t jobs,
 
 int main(int argc, char** argv) {
     const auto json_out = bench::json_out_from_args(&argc, argv);
+    // `--metrics-port P` serves live /metrics (global + in-flight per-run
+    // registries) for the duration of the bench; no effect on artifacts.
+    const auto exporter = bench::metrics_exporter_from_args(argc, argv);
     bench::Report report("E22 (extension): wall-clock overhead of the mechanism");
-    const auto options = bench::parallel_options(argc, argv, /*root_seed=*/22);
+    auto options = bench::parallel_options(argc, argv, /*root_seed=*/22);
+    options.exporter = exporter.get();
 
     const std::vector<std::size_t> sizes{4, 8, 16, 32, 64};
     report.manifest().set_uint("m_max", sizes.back());

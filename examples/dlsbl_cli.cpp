@@ -24,6 +24,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,8 @@
 #include "exec/executor.hpp"
 #include "obs/catapult.hpp"
 #include "obs/event.hpp"
+#include "obs/exporter.hpp"
+#include "obs/manifest.hpp"
 #include "obs/profiler.hpp"
 #include "protocol/runner.hpp"
 #include "util/table.hpp"
@@ -96,6 +99,9 @@ std::vector<double> parse_doubles(const std::string& csv) {
         "                 [--trace-out FILE]   Chrome trace-event JSON\n"
         "                                      (open in chrome://tracing or Perfetto)\n"
         "                 [--metrics-out FILE] Prometheus-style metrics dump\n"
+        "                 [--metrics-port P]   serve /metrics, /healthz, /runs on\n"
+        "                                      127.0.0.1:P while running (0 = pick\n"
+        "                                      an ephemeral port, printed on stderr)\n"
         "                 [--profile]          wall-clock scope profile on stderr\n");
     std::exit(2);
 }
@@ -111,6 +117,8 @@ int main(int argc, char** argv) {
     config.signature_algorithm = crypto::SignatureAlgorithm::kFast;
     bool show_trace = false;
     bool profile = false;
+    bool metrics_port_set = false;
+    long metrics_port = 0;
     std::size_t repeat = 1;
     std::size_t jobs = exec::RunExecutor::jobs_from_args(0, nullptr, 1);
     std::string jsonl_out, trace_out, metrics_out;
@@ -170,6 +178,10 @@ int main(int argc, char** argv) {
             trace_out = next();
         } else if (arg == "--metrics-out") {
             metrics_out = next();
+        } else if (arg == "--metrics-port") {
+            metrics_port_set = true;
+            metrics_port = std::strtol(next().c_str(), nullptr, 10);
+            if (metrics_port < 0 || metrics_port > 65535) usage();
         } else if (arg == "--profile") {
             profile = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -204,9 +216,34 @@ int main(int argc, char** argv) {
     // exercises the same submission path as the sweeps. With --repeat N,
     // run i gets seed derive_seed(--seed, i); the trace/metrics artifacts
     // describe run 0 to keep their single-run meaning.
+    // Live telemetry: serve /metrics, /healthz and /runs for the lifetime of
+    // the batch. Ephemeral ports (--metrics-port 0) are printed so scrapers
+    // can find them.
+    std::unique_ptr<obs::MetricsExporter> exporter;
+    if (metrics_port_set) {
+        obs::ExporterOptions exporter_options;
+        exporter_options.port = static_cast<std::uint16_t>(metrics_port);
+        exporter = std::make_unique<obs::MetricsExporter>(exporter_options);
+        if (!exporter->start()) {
+            std::fprintf(stderr, "cannot bind metrics port %ld\n", metrics_port);
+            return 2;
+        }
+        std::fprintf(stderr, "metrics: http://127.0.0.1:%u/metrics\n",
+                     static_cast<unsigned>(exporter->port()));
+        obs::RunManifest manifest;
+        manifest.set("tool", "dlsbl_cli")
+            .set("kind", dlt::to_string(config.kind))
+            .set_uint("m", config.true_w.size())
+            .set_uint("blocks", config.block_count)
+            .set_uint("seed", config.seed)
+            .set_uint("repeat", repeat);
+        exporter->record_run_manifest("cli", manifest.to_json());
+    }
+
     exec::ExecutorOptions exec_options;
     exec_options.jobs = jobs;
     exec_options.root_seed = config.seed;
+    exec_options.exporter = exporter.get();
     exec::RunExecutor executor(exec_options);
 
     std::string trace_dump;
@@ -215,6 +252,11 @@ int main(int argc, char** argv) {
         run_config.seed = (repeat == 1) ? config.seed : slot.seed();
         return protocol::run_protocol(
             run_config, [&](const protocol::RunInternals& internals) {
+                // Fold the run's protocol counters and makespan histogram
+                // into the slot: live scrapes label them per run, and the
+                // executor's submission-order merge lands them in the
+                // global registry deterministically.
+                slot.metrics().merge_from(internals.context.metrics_registry());
                 if (slot.index() != 0) return;
                 if (show_trace) trace_dump = internals.context.network().trace().render();
                 if (!trace_out.empty() &&

@@ -88,12 +88,27 @@ void RunExecutor::run_tasks(std::size_t count,
     auto run_one = [&](std::size_t task) {
         obs::EventBuffer* capture = options_.capture_events ? &buffers[task] : nullptr;
         obs::EventBuffer* previous = obs::EventLog::set_thread_buffer(capture);
+        const std::string run_name = "run-" + std::to_string(task);
+        // Liveness stamps: a scrape that lands while the body is still
+        // executing sees a per-run series even before the body publishes
+        // anything into the slot registry. Gauges add under merge, so the
+        // resets keep the global dlsbl_run_active at zero after the batch.
+        auto& slot_metrics = slots[task]->metrics();
+        slot_metrics.counter("dlsbl_run_started").inc();
+        slot_metrics.gauge("dlsbl_run_active").set(1.0);
+        if (options_.exporter != nullptr) {
+            options_.exporter->attach_run(run_name, &slot_metrics);
+        }
         try {
             body(*slots[task]);
         } catch (...) {
+            slot_metrics.gauge("dlsbl_run_active").set(0.0);
+            if (options_.exporter != nullptr) options_.exporter->detach_run(run_name);
             obs::EventLog::set_thread_buffer(previous);
             throw;
         }
+        slot_metrics.gauge("dlsbl_run_active").set(0.0);
+        if (options_.exporter != nullptr) options_.exporter->detach_run(run_name);
         obs::EventLog::set_thread_buffer(previous);
     };
 

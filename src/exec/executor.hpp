@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "obs/event.hpp"
+#include "obs/exporter.hpp"
 #include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
@@ -49,6 +50,12 @@ struct ExecutorOptions {
     // nondeterministic order under jobs > 1). Leave on unless you are
     // debugging and want to watch events live.
     bool capture_events = true;
+    // Optional live-telemetry hook: each run's private registry is attached
+    // to the exporter as "run-<index>" while the run executes (and detached
+    // before the registry dies), so a concurrent /metrics scrape sees
+    // per-run counters mid-batch. Purely observational — artifacts stay
+    // byte-identical with or without it. Must outlive the executor calls.
+    obs::MetricsExporter* exporter = nullptr;
 };
 
 // Everything one run is allowed to touch: its identity (submission index),

@@ -84,6 +84,23 @@ std::string catapult_from_trace(const sim::TraceRecorder& trace,
         push(body);
     }
 
+    // Causal spans: the first trace record carrying each span id anchors it
+    // to a (track, timestamp); span names come from the kSpanBegin detail.
+    struct SpanAnchor {
+        std::uint32_t tid = 0;
+        double time = 0.0;
+        std::string name;
+    };
+    std::map<std::uint64_t, SpanAnchor> anchors;
+    for (const auto& event : trace.events()) {
+        if (event.span_id == 0 || anchors.contains(event.span_id)) continue;
+        SpanAnchor anchor;
+        anchor.tid = tracks.id_of(event.actor.empty() ? "protocol" : event.actor);
+        anchor.time = event.time;
+        if (event.kind == sim::TraceKind::kSpanBegin) anchor.name = event.detail;
+        anchors.emplace(event.span_id, anchor);
+    }
+
     // Instant events: messages, verdicts, phase changes, notes.
     for (const auto& event : trace.events()) {
         switch (event.kind) {
@@ -107,9 +124,62 @@ std::string catapult_from_trace(const sim::TraceRecorder& trace,
                 push(body);
                 break;
             }
+            case sim::TraceKind::kSpanBegin:
+            case sim::TraceKind::kSpanEnd: {
+                // Async begin/end pair keyed by span id: the viewer nests
+                // them by id, so run > phase > per-processor spans stack.
+                const bool begin = event.kind == sim::TraceKind::kSpanBegin;
+                const auto anchor = anchors.find(event.span_id);
+                const std::string name =
+                    (anchor != anchors.end() && !anchor->second.name.empty())
+                        ? anchor->second.name
+                        : ("span-" + std::to_string(event.span_id));
+                const std::uint32_t tid = anchor != anchors.end()
+                                              ? anchor->second.tid
+                                              : tracks.id_of("protocol");
+                std::string body =
+                    common(name.c_str(), "span", begin ? "b" : "e", tid, event.time);
+                body += ",\"id\":" + std::to_string(event.span_id);
+                if (begin) {
+                    body += ",\"args\":{\"parent\":" + std::to_string(event.parent_id) +
+                            '}';
+                }
+                push(body);
+                break;
+            }
             default:
                 break;  // transfer/compute boundaries already covered by bars
         }
+    }
+
+    // Flow arrows: wherever a record's span parents on (or equals) a span
+    // anchored on a *different* track, draw source -> destination — bus
+    // deliveries land on the receiver's track, compute chains on verify
+    // spans, fines on disputes. One unique id per arrow.
+    std::uint64_t edge_id = 0;
+    for (const auto& event : trace.events()) {
+        const std::uint64_t link =
+            event.kind == sim::TraceKind::kMessageDelivered ||
+                    event.kind == sim::TraceKind::kLoadTransferEnd
+                ? event.span_id    // delivery record carries the sender's span
+                : event.parent_id; // everything else links via its parent
+        if (link == 0) continue;
+        const auto anchor = anchors.find(link);
+        if (anchor == anchors.end()) continue;
+        const std::uint32_t dst_tid =
+            tracks.id_of(event.actor.empty() ? "protocol" : event.actor);
+        if (anchor->second.tid == dst_tid) continue;  // same-track: nesting shows it
+        const std::string flow_name =
+            anchor->second.name.empty() ? "causal" : anchor->second.name;
+        ++edge_id;
+        std::string src = common(flow_name.c_str(), "flow", "s", anchor->second.tid,
+                                 anchor->second.time);
+        src += ",\"id\":" + std::to_string(edge_id);
+        push(src);
+        std::string dst =
+            common(flow_name.c_str(), "flow", "f", dst_tid, event.time);
+        dst += ",\"bp\":\"e\",\"id\":" + std::to_string(edge_id);
+        push(dst);
     }
 
     return "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[" + events + "\n]}\n";

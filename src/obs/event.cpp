@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 
 #include "obs/json.hpp"
@@ -48,6 +49,11 @@ Event& Event::time(double sim_time) {
     return *this;
 }
 
+Event& Event::span(const SpanContext& span) {
+    span_ = span;
+    return *this;
+}
+
 std::string Event::to_json() const {
     std::string out = "{\"v\":" + std::to_string(kSchemaVersion);
     out += ",\"level\":\"";
@@ -55,6 +61,11 @@ std::string Event::to_json() const {
     out += "\",\"component\":" + json_escape(component_);
     out += ",\"event\":" + json_escape(name_);
     if (has_time_) out += ",\"t\":" + json_number(sim_time_);
+    if (span_.valid()) {
+        out += ",\"trace\":" + std::to_string(span_.trace_id);
+        out += ",\"span\":" + std::to_string(span_.span_id);
+        if (span_.parent_id != 0) out += ",\"parent\":" + std::to_string(span_.parent_id);
+    }
     for (const auto& field : fields_) {
         out += ',' + json_escape(field.key) + ':';
         out += field.is_literal ? field.value : json_escape(field.value);
@@ -73,6 +84,12 @@ void StderrSink::emit(const Event& event) {
     } else {
         body = event.name();
         if (event.has_time()) body += " t=" + json_number(event.sim_time());
+        if (event.has_span()) {
+            body += " span=" + std::to_string(event.span_context().span_id);
+            if (event.span_context().parent_id != 0) {
+                body += " parent=" + std::to_string(event.span_context().parent_id);
+            }
+        }
         for (const auto& field : event.fields()) {
             body += ' ' + field.key + '=' + field.value;
         }
@@ -88,7 +105,12 @@ JsonlSink::JsonlSink(const std::string& path)
     out_ = owned_.get();
 }
 
-JsonlSink::~JsonlSink() = default;
+// RAII half of the durability story: normal destruction flushes whatever
+// the atexit handler has not already pushed out (caller-owned streams are
+// flushed too — JsonlSink never destroys a stream it does not own).
+JsonlSink::~JsonlSink() {
+    if (out_ != nullptr) out_->flush();
+}
 
 bool JsonlSink::ok() const noexcept { return out_ != nullptr && out_->good(); }
 
@@ -100,6 +122,15 @@ EventLog::EventLog() { sinks_.push_back(std::make_shared<StderrSink>()); }
 
 EventLog& EventLog::instance() {
     static EventLog log;
+    // Durability: a bench that exits through std::exit (or a harness that
+    // kills it right after) must not leave a JsonlSink's last lines sitting
+    // in a stream buffer. Registered *after* `log` is constructed, so the
+    // handler runs before the log's own destruction on normal exit.
+    static const bool flush_registered = [] {
+        std::atexit([] { EventLog::instance().flush(); });
+        return true;
+    }();
+    (void)flush_registered;
     return log;
 }
 

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "util/logging.hpp"
 
 namespace dlsbl::obs {
@@ -60,17 +61,23 @@ class Event {
     Event& boolean(std::string key, bool value);
     // Simulated time in seconds; emitted as field "t".
     Event& time(double sim_time);
+    // Causal identity: emitted as fields "trace", "span" and (when the span
+    // has a parent) "parent", right after "t". See obs/span.hpp.
+    Event& span(const SpanContext& span);
 
     [[nodiscard]] LogLevel level() const noexcept { return level_; }
     [[nodiscard]] const std::string& component() const noexcept { return component_; }
     [[nodiscard]] const std::string& name() const noexcept { return name_; }
     [[nodiscard]] bool has_time() const noexcept { return has_time_; }
     [[nodiscard]] double sim_time() const noexcept { return sim_time_; }
+    [[nodiscard]] bool has_span() const noexcept { return span_.valid(); }
+    [[nodiscard]] const SpanContext& span_context() const noexcept { return span_; }
     [[nodiscard]] const std::vector<Field>& fields() const noexcept { return fields_; }
 
     // The JSONL rendering (no trailing newline). Schema: version field "v"
     // first; bump kSchemaVersion when the layout changes.
-    static constexpr int kSchemaVersion = 1;
+    // v2: optional causal-span fields "trace"/"span"/"parent" after "t".
+    static constexpr int kSchemaVersion = 2;
     [[nodiscard]] std::string to_json() const;
 
  private:
@@ -79,6 +86,7 @@ class Event {
     std::string name_;
     bool has_time_ = false;
     double sim_time_ = 0.0;
+    SpanContext span_;
     std::vector<Field> fields_;
 };
 

@@ -1,0 +1,250 @@
+#include "obs/exporter.hpp"
+
+#include <chrono>
+#include <cstring>
+
+#include "obs/json.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DLSBL_EXPORTER_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define DLSBL_EXPORTER_HAVE_SOCKETS 0
+#endif
+
+namespace dlsbl::obs {
+
+namespace {
+
+// Wall-clock is allowed here (see the header's determinism note): uptime is
+// live telemetry, never a run artifact.
+double monotonic_seconds() {
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration<double>(now).count();
+}
+
+std::string http_response(const char* status, const char* content_type,
+                          const std::string& body) {
+    std::string out = "HTTP/1.1 ";
+    out += status;
+    out += "\r\nContent-Type: ";
+    out += content_type;
+    out += "\r\nContent-Length: " + std::to_string(body.size());
+    out += "\r\nConnection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+constexpr const char* kPrometheusType = "text/plain; version=0.0.4; charset=utf-8";
+
+}  // namespace
+
+MetricsExporter::MetricsExporter(ExporterOptions options)
+    : options_(std::move(options)) {}
+
+MetricsExporter::~MetricsExporter() { stop(); }
+
+bool MetricsExporter::start() {
+#if DLSBL_EXPORTER_HAVE_SOCKETS
+    if (running_) return true;
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return false;
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.port);
+    if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 16) != 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+    port_ = ntohs(bound.sin_port);
+    start_monotonic_ = monotonic_seconds();
+    stop_requested_ = false;
+    running_ = true;
+    thread_ = std::thread([this] { serve(); });
+    return true;
+#else
+    return false;  // no socket backend on this platform
+#endif
+}
+
+void MetricsExporter::stop() {
+#if DLSBL_EXPORTER_HAVE_SOCKETS
+    if (!running_) return;
+    stop_requested_ = true;
+    if (thread_.joinable()) thread_.join();
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+    running_ = false;
+#endif
+}
+
+void MetricsExporter::attach_run(const std::string& name,
+                                 const MetricsRegistry* registry) {
+    const std::lock_guard<std::mutex> lock(runs_mutex_);
+    RunEntry& entry = runs_[name];
+    entry.registry = registry;
+    entry.active = registry != nullptr;
+}
+
+void MetricsExporter::detach_run(const std::string& name) {
+    const std::lock_guard<std::mutex> lock(runs_mutex_);
+    const auto it = runs_.find(name);
+    if (it == runs_.end()) return;
+    it->second.registry = nullptr;
+    it->second.active = false;
+}
+
+void MetricsExporter::record_run_manifest(const std::string& name,
+                                          std::string manifest_json) {
+    const std::lock_guard<std::mutex> lock(runs_mutex_);
+    runs_[name].manifest_json = std::move(manifest_json);
+}
+
+std::string MetricsExporter::render_metrics() const {
+    const double begin = monotonic_seconds();
+    self_.set_help("dlsbl_exporter_uptime_seconds",
+                   "Seconds since the exporter started");
+    self_.gauge("dlsbl_exporter_uptime_seconds")
+        .set(monotonic_seconds() - start_monotonic_);
+
+    MetricsRegistry::PrometheusOptions plain;
+    plain.quantiles = options_.quantiles;
+    std::string global_text = MetricsRegistry::global().prometheus_text(plain);
+
+    // Per-run registries, in name order (std::map) so the body layout is
+    // stable across scrapes.
+    std::string runs_text;
+    {
+        const std::lock_guard<std::mutex> lock(runs_mutex_);
+        for (const auto& [name, entry] : runs_) {
+            if (entry.registry == nullptr) continue;
+            MetricsRegistry::PrometheusOptions labelled;
+            labelled.quantiles = options_.quantiles;
+            labelled.extra_labels = {{"run", name}};
+            runs_text += entry.registry->prometheus_text(labelled);
+        }
+    }
+
+    // Observe the render cost before serializing self_, so even the first
+    // scrape of an otherwise idle process carries a histogram (and its
+    // quantile rows). Host-clock data stays inside this private registry;
+    // it is never merged into deterministic snapshots.
+    self_.set_help("dlsbl_exporter_render_seconds",
+                   "Time spent rendering the global and per-run sections");
+    self_.histogram("dlsbl_exporter_render_seconds",
+                    {1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0})
+        .observe(monotonic_seconds() - begin);
+
+    return global_text + self_.prometheus_text(plain) + runs_text;
+}
+
+std::string MetricsExporter::render_runs() const {
+    const std::lock_guard<std::mutex> lock(runs_mutex_);
+    std::string out = "{\"runs\":[";
+    bool first = true;
+    for (const auto& [name, entry] : runs_) {
+        if (!first) out += ',';
+        first = false;
+        out += "{\"name\":" + json_escape(name);
+        out += ",\"active\":";
+        out += entry.active ? "true" : "false";
+        if (!entry.manifest_json.empty()) {
+            out += ",\"manifest\":" + entry.manifest_json;
+        }
+        out += '}';
+    }
+    out += "]}\n";
+    return out;
+}
+
+void MetricsExporter::serve() {
+#if DLSBL_EXPORTER_HAVE_SOCKETS
+    while (!stop_requested_) {
+        pollfd pfd{};
+        pfd.fd = listen_fd_;
+        pfd.events = POLLIN;
+        const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+        if (ready <= 0) continue;  // timeout or signal: re-check stop flag
+        const int client = ::accept(listen_fd_, nullptr, nullptr);
+        if (client < 0) continue;
+        handle_client(client);
+        ::close(client);
+    }
+#endif
+}
+
+void MetricsExporter::handle_client(int client_fd) {
+#if DLSBL_EXPORTER_HAVE_SOCKETS
+    // One short request; scrape clients send the whole header at once, so a
+    // single bounded read (with a poll guard) is enough.
+    char buffer[4096];
+    pollfd pfd{};
+    pfd.fd = client_fd;
+    pfd.events = POLLIN;
+    if (::poll(&pfd, 1, /*timeout_ms=*/1000) <= 0) return;
+    const ssize_t got = ::recv(client_fd, buffer, sizeof(buffer) - 1, 0);
+    if (got <= 0) return;
+    buffer[got] = '\0';
+
+    // Request line: METHOD SP PATH SP VERSION.
+    const char* path_start = std::strchr(buffer, ' ');
+    std::string path;
+    if (path_start != nullptr) {
+        const char* path_end = std::strchr(path_start + 1, ' ');
+        if (path_end != nullptr) path.assign(path_start + 1, path_end);
+    }
+    const bool is_get = std::strncmp(buffer, "GET ", 4) == 0;
+
+    std::string response;
+    if (!is_get) {
+        response = http_response("405 Method Not Allowed", "text/plain",
+                                 "method not allowed\n");
+    } else if (path == "/metrics") {
+        self_.counter("dlsbl_exporter_scrapes_total", {{"path", "/metrics"}}).inc();
+        response = http_response("200 OK", kPrometheusType, render_metrics());
+    } else if (path == "/healthz") {
+        self_.counter("dlsbl_exporter_scrapes_total", {{"path", "/healthz"}}).inc();
+        response = http_response("200 OK", "text/plain", "ok\n");
+    } else if (path == "/runs") {
+        self_.counter("dlsbl_exporter_scrapes_total", {{"path", "/runs"}}).inc();
+        response = http_response("200 OK", "application/json", render_runs());
+    } else {
+        response = http_response("404 Not Found", "text/plain", "not found\n");
+    }
+
+    std::size_t sent = 0;
+    while (sent < response.size()) {
+        const ssize_t n =
+            ::send(client_fd, response.data() + sent, response.size() - sent, 0);
+        if (n <= 0) break;
+        sent += static_cast<std::size_t>(n);
+    }
+#else
+    (void)client_fd;
+#endif
+}
+
+}  // namespace dlsbl::obs

@@ -1,0 +1,110 @@
+// Live telemetry: a small threaded HTTP server exposing the process's
+// metrics registries in Prometheus text exposition format.
+//
+// Endpoints:
+//   * /metrics — the global MetricsRegistry, the exporter's own meta
+//     registry, and every attached per-run registry (rendered with a
+//     run="<name>" label), each snapshotted under its registry lock so a
+//     scrape never observes a torn update;
+//   * /healthz — liveness probe ("ok");
+//   * /runs    — JSON index of every run attached so far (active flag +
+//     the run's manifest when one was recorded).
+//
+// The server is deliberately dependency-free: raw POSIX sockets, one
+// accept-loop thread (::poll with a short timeout so stop() is prompt),
+// requests handled inline — a scrape endpoint does not need concurrency.
+// Wall-clock use (uptime gauge) and socket syscalls are confined to this
+// pair of files and never feed run artifacts, so the determinism contract
+// of the obs layer (byte-identical JSONL/manifests) is untouched; the
+// exporter keeps its own counters in a private registry for the same
+// reason.
+//
+// Lifecycle: construct with options, start() binds/listens/spawns the
+// thread (port 0 picks an ephemeral port — read the real one back with
+// port()), stop() joins; the destructor stops. attach_run()/detach_run()
+// may race with scrapes — the run table has its own mutex — but an
+// attached registry must outlive its attachment (detach before the
+// registry dies; exec::RunExecutor does exactly that).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace dlsbl::obs {
+
+struct ExporterOptions {
+    std::uint16_t port = 0;                 // 0 = kernel-assigned ephemeral port
+    std::string bind_address = "127.0.0.1"; // scrape endpoints default to loopback
+    // Histogram quantiles rendered as summary-style lines on /metrics.
+    std::vector<double> quantiles = {0.5, 0.95, 0.99};
+};
+
+class MetricsExporter {
+ public:
+    explicit MetricsExporter(ExporterOptions options = {});
+    ~MetricsExporter();
+
+    MetricsExporter(const MetricsExporter&) = delete;
+    MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+    // Binds, listens and spawns the accept loop. False (with the listening
+    // socket closed) if the port is taken or sockets are unavailable.
+    bool start();
+    // Stops the accept loop and joins the thread. Idempotent.
+    void stop();
+
+    [[nodiscard]] bool running() const noexcept { return running_; }
+    // The bound port (meaningful after a successful start()).
+    [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+    // --- run index -----------------------------------------------------------
+    // Registers `registry` under `name`; /metrics renders it with a
+    // run="<name>" label until detach_run. Re-attaching a name reactivates it.
+    void attach_run(const std::string& name, const MetricsRegistry* registry);
+    // Marks the run inactive and forgets its registry pointer (safe to call
+    // before destroying the registry). The run stays listed in /runs.
+    void detach_run(const std::string& name);
+    // Attaches a manifest JSON document to the run's /runs entry.
+    void record_run_manifest(const std::string& name, std::string manifest_json);
+
+    // --- response bodies -----------------------------------------------------
+    // Public so exposition-format tests can assert on exact bytes without a
+    // socket. These are what the HTTP handlers serve.
+    [[nodiscard]] std::string render_metrics() const;
+    [[nodiscard]] std::string render_runs() const;
+
+ private:
+    struct RunEntry {
+        const MetricsRegistry* registry = nullptr;  // null once detached
+        bool active = false;
+        std::string manifest_json;  // empty = none recorded
+    };
+
+    void serve();
+    void handle_client(int client_fd);
+
+    ExporterOptions options_;
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stop_requested_{false};
+    std::thread thread_;
+
+    mutable std::mutex runs_mutex_;              // guards runs_
+    std::map<std::string, RunEntry> runs_;
+
+    // The exporter's own meta metrics (scrape counts, uptime). Private so
+    // the global registry — snapshotted into deterministic RunManifests —
+    // never picks up scrape-dependent values.
+    mutable MetricsRegistry self_;
+    double start_monotonic_ = 0.0;  // seconds; set by start()
+};
+
+}  // namespace dlsbl::obs

@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "obs/json.hpp"
@@ -26,6 +27,8 @@ void Histogram::observe(double value) {
     }
     const std::lock_guard<std::mutex> lock(mutex_);
     ++bucket_counts_[bucket];
+    if (count_ == 0 || value < min_) min_ = value;
+    if (count_ == 0 || value > max_) max_ = value;
     ++count_;
     sum_ += value;
 }
@@ -51,6 +54,39 @@ double Histogram::sum() const noexcept {
     return sum_;
 }
 
+double Histogram::min() const noexcept {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return min_;
+}
+
+double Histogram::max() const noexcept {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return max_;
+}
+
+double Histogram::quantile(double q) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (count_ == 0) return 0.0;
+    if (q <= 0.0) return min_;
+    if (q > 1.0) q = 1.0;
+    const double rank = q * static_cast<double>(count_);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < bucket_counts_.size(); ++i) {
+        const std::uint64_t below = cumulative;
+        cumulative += bucket_counts_[i];
+        if (static_cast<double>(cumulative) < rank) continue;
+        if (i == upper_bounds_.size()) return max_;  // rank fell in +Inf
+        const double upper = std::min(upper_bounds_[i], max_);
+        const double lower =
+            i == 0 ? min_ : std::max(upper_bounds_[i - 1], min_);
+        if (bucket_counts_[i] == 0) return std::min(upper, max_);
+        const double fraction =
+            (rank - static_cast<double>(below)) / static_cast<double>(bucket_counts_[i]);
+        return lower + (upper - lower) * fraction;
+    }
+    return max_;
+}
+
 void Histogram::merge_from(const Histogram& other) {
     if (other.upper_bounds_ != upper_bounds_) {
         throw std::invalid_argument("Histogram::merge_from: bucket bounds differ");
@@ -61,6 +97,10 @@ void Histogram::merge_from(const Histogram& other) {
     const std::lock_guard<std::mutex> lock(mutex_);
     for (std::size_t i = 0; i < bucket_counts_.size(); ++i) {
         bucket_counts_[i] += other.bucket_counts_[i];
+    }
+    if (other.count_ > 0) {
+        if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+        if (count_ == 0 || other.max_ > max_) max_ = other.max_;
     }
     count_ += other.count_;
     sum_ += other.sum_;
@@ -111,6 +151,21 @@ void MetricsRegistry::set_help(const std::string& name, std::string help) {
 }
 
 std::string MetricsRegistry::prometheus_text() const {
+    return prometheus_text(PrometheusOptions{});
+}
+
+std::string MetricsRegistry::prometheus_text(const PrometheusOptions& options) const {
+    const std::string extra = render_labels(options.extra_labels);
+    // Splices `more` (already rendered, or a raw k="v" fragment) into an
+    // existing rendered label set.
+    auto splice = [](const std::string& labels, const std::string& fragment) {
+        if (fragment.empty()) return labels;
+        if (labels.empty()) return "{" + fragment + '}';
+        return labels.substr(0, labels.size() - 1) + ',' + fragment + '}';
+    };
+    const std::string extra_fragment =
+        extra.empty() ? std::string() : extra.substr(1, extra.size() - 2);
+
     const std::lock_guard<std::mutex> lock(mutex_);
     std::string out;
     auto header = [&](const std::string& name, const char* type) {
@@ -122,33 +177,38 @@ std::string MetricsRegistry::prometheus_text() const {
     for (const auto& [name, series] : counters_) {
         header(name, "counter");
         for (const auto& [labels, counter] : series) {
-            out += name + labels + ' ' + std::to_string(counter.value()) + '\n';
+            out += name + splice(labels, extra_fragment) + ' ' +
+                   std::to_string(counter.value()) + '\n';
         }
     }
     for (const auto& [name, series] : gauges_) {
         header(name, "gauge");
         for (const auto& [labels, gauge] : series) {
-            out += name + labels + ' ' + json_number(gauge.value()) + '\n';
+            out += name + splice(labels, extra_fragment) + ' ' +
+                   json_number(gauge.value()) + '\n';
         }
     }
     for (const auto& [name, series] : histograms_) {
         header(name, "histogram");
         for (const auto& [labels, histogram] : series) {
+            const std::string base = splice(labels, extra_fragment);
             const auto cumulative = histogram.cumulative_counts();
             const auto& bounds = histogram.upper_bounds();
             for (std::size_t i = 0; i < cumulative.size(); ++i) {
                 const std::string le =
                     i < bounds.size() ? json_number(bounds[i]) : std::string("+Inf");
-                std::string labelled = labels.empty()
-                                           ? "{le=\"" + le + "\"}"
-                                           : labels.substr(0, labels.size() - 1) +
-                                                 ",le=\"" + le + "\"}";
-                out += name + "_bucket" + labelled + ' ' +
+                out += name + "_bucket" + splice(base, "le=\"" + le + "\"") + ' ' +
                        std::to_string(cumulative[i]) + '\n';
             }
-            out += name + "_sum" + labels + ' ' + json_number(histogram.sum()) + '\n';
-            out += name + "_count" + labels + ' ' + std::to_string(histogram.count()) +
+            out += name + "_sum" + base + ' ' + json_number(histogram.sum()) + '\n';
+            out += name + "_count" + base + ' ' + std::to_string(histogram.count()) +
                    '\n';
+            // Summary-style convenience lines (scrape dashboards want p95
+            // without a histogram_quantile() recording rule).
+            for (const double q : options.quantiles) {
+                out += name + splice(base, "quantile=\"" + json_number(q) + "\"") +
+                       ' ' + json_number(histogram.quantile(q)) + '\n';
+            }
         }
     }
     return out;

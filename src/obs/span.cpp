@@ -1,0 +1,46 @@
+#include "obs/span.hpp"
+
+#include "obs/event.hpp"
+
+namespace dlsbl::obs {
+
+SpanContext SpanBook::open(const std::string& name, const std::string& actor,
+                           double sim_time, std::uint64_t parent_id) {
+    const SpanContext span{trace_id_, ++next_id_, parent_id};
+    if (trace_ != nullptr) {
+        trace_->record(sim_time, sim::TraceKind::kSpanBegin, actor, name,
+                       span.span_id, span.parent_id);
+    }
+    auto& events = EventLog::instance();
+    if (events.enabled(LogLevel::Debug)) {
+        events.emit(Event(LogLevel::Debug, "span", "span_begin")
+                        .time(sim_time)
+                        .str("name", name)
+                        .str("actor", actor)
+                        .span(span));
+    }
+    return span;
+}
+
+void SpanBook::close(const SpanContext& span, double sim_time) {
+    if (!span.valid()) return;
+    if (trace_ != nullptr) {
+        trace_->record(sim_time, sim::TraceKind::kSpanEnd, std::string(), std::string(),
+                       span.span_id, span.parent_id);
+    }
+    auto& events = EventLog::instance();
+    if (events.enabled(LogLevel::Debug)) {
+        events.emit(Event(LogLevel::Debug, "span", "span_end")
+                        .time(sim_time)
+                        .span(span));
+    }
+}
+
+SpanContext SpanBook::instant(const std::string& name, const std::string& actor,
+                              double sim_time, std::uint64_t parent_id) {
+    const SpanContext span = open(name, actor, sim_time, parent_id);
+    close(span, sim_time);
+    return span;
+}
+
+}  // namespace dlsbl::obs

@@ -1,0 +1,71 @@
+// Causal spans: a per-run tree of named intervals linking everything that
+// happens inside one protocol execution.
+//
+//   * trace_id — one per run, derived from the run's seed, so the id is
+//     deterministic and two runs' spans never collide in a shared JSONL log;
+//   * span_id  — allocated sequentially in protocol order (the discrete-event
+//     sim makes that order deterministic), so identical runs produce
+//     identical span graphs byte-for-byte;
+//   * parent_id — the causal parent: run -> phase -> per-processor
+//     message/verify/compute/fine spans. Message sends carry their span id in
+//     the sim::Envelope, so a *receiver's* spans parent on the *sender's* —
+//     that cross-processor edge is what the catapult exporter renders as
+//     flow arrows.
+//
+// SpanBook mirrors every open/close into two existing export paths:
+//   * the obs EventLog (events "span_begin"/"span_end", Debug level) —
+//     reaches JSONL sinks, so `--jsonl-out` + `--log-level debug` captures
+//     the full span graph;
+//   * the run's sim::TraceRecorder (kSpanBegin/kSpanEnd records) — reaches
+//     the Chrome-trace exporter, which draws spans as nestable async events
+//     plus cross-track flow arrows.
+//
+// Span ids are allocated even when the Debug gate is closed, so turning
+// logging on or off never changes the ids (and therefore never changes any
+// other artifact).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace dlsbl::obs {
+
+struct SpanContext {
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
+    std::uint64_t parent_id = 0;  // 0 = root
+
+    [[nodiscard]] bool valid() const noexcept { return span_id != 0; }
+};
+
+class SpanBook {
+ public:
+    // `trace` (optional) receives kSpanBegin/kSpanEnd mirror records; it
+    // must outlive the book.
+    explicit SpanBook(std::uint64_t trace_id, sim::TraceRecorder* trace = nullptr)
+        : trace_id_(trace_id), trace_(trace) {}
+
+    [[nodiscard]] std::uint64_t trace_id() const noexcept { return trace_id_; }
+    // Number of spans opened so far (tests assert determinism with this).
+    [[nodiscard]] std::uint64_t opened() const noexcept { return next_id_; }
+
+    // Opens a span at simulated time `sim_time`, attributed to `actor`
+    // (process name; used as the catapult track). parent_id 0 = root span.
+    SpanContext open(const std::string& name, const std::string& actor,
+                     double sim_time, std::uint64_t parent_id = 0);
+
+    void close(const SpanContext& span, double sim_time);
+
+    // open+close at one instant — message sends, verdicts, fines.
+    SpanContext instant(const std::string& name, const std::string& actor,
+                        double sim_time, std::uint64_t parent_id = 0);
+
+ private:
+    std::uint64_t trace_id_;
+    std::uint64_t next_id_ = 0;
+    sim::TraceRecorder* trace_;
+};
+
+}  // namespace dlsbl::obs

@@ -5,6 +5,7 @@
 #include "obs/event.hpp"
 #include "protocol/referee.hpp"
 #include "util/logging.hpp"
+#include "util/rng.hpp"
 
 namespace dlsbl::protocol {
 
@@ -46,8 +47,12 @@ RunContext::RunContext(sim::Simulator& simulator, sim::Network& network,
       network_(network),
       config_(std::move(config)),
       dataset_(config_.seed, config_.block_count),
+      // Trace id: seed-derived (stream index 0x5a9 is arbitrary but fixed),
+      // so the span graph is deterministic and unique per run seed.
+      spans_(util::derive_seed(config_.seed, 0x5a9), &network.trace()),
       job_id_(config_.seed) {
     config_.validate();
+    run_span_ = spans_.open("run", "protocol", simulator_.now());
     names_.reserve(config_.true_w.size());
     for (std::size_t i = 0; i < config_.true_w.size(); ++i) {
         std::string name = "P";
@@ -72,13 +77,26 @@ void RunContext::set_phase(Phase phase) {
     network_.metrics().set_phase(to_string(phase));
     network_.trace().record(simulator_.now(), sim::TraceKind::kPhaseChange, "protocol",
                             to_string(phase));
+    // Phase spans tile the run span: close the previous phase, open the new
+    // one. Every per-processor span parents on the phase in force.
+    spans_.close(phase_span_, simulator_.now());
+    phase_span_ = spans_.open(std::string("phase:") + to_string(phase), "protocol",
+                              simulator_.now(), run_span_.span_id);
     util::log_debug("protocol", std::string("phase -> ") + to_string(phase));
     auto& events = obs::EventLog::instance();
     if (events.enabled(obs::LogLevel::Debug)) {
         events.emit(obs::Event(obs::LogLevel::Debug, "protocol", "phase_change")
                         .time(simulator_.now())
+                        .span(phase_span_)
                         .str("phase", to_string(phase)));
     }
+}
+
+void RunContext::close_run_span() {
+    spans_.close(phase_span_, simulator_.now());
+    phase_span_ = obs::SpanContext{};
+    spans_.close(run_span_, simulator_.now());
+    run_span_ = obs::SpanContext{};
 }
 
 void RunContext::mark_terminated(const std::string& reason) {
@@ -94,7 +112,7 @@ void RunContext::post_fine(double predicted_compensation_sum) {
 }
 
 void RunContext::ship_load(const std::string& from, const std::string& to,
-                           LoadBatch batch) {
+                           LoadBatch batch, std::uint64_t span_id) {
     // The bus witness: record exactly what crosses the shared medium.
     auto& record = shipped_[to];
     for (const auto& block : batch.blocks) {
@@ -108,7 +126,7 @@ void RunContext::ship_load(const std::string& from, const std::string& to,
     const double units =
         static_cast<double>(batch.blocks.size()) / static_cast<double>(config_.block_count);
     network_.transfer_load(from, to, units, to_wire(MsgType::kLoadDelivery),
-                           batch.serialize());
+                           batch.serialize(), span_id);
 }
 
 const ShippedRecord* RunContext::shipped_to(const std::string& to) const {
@@ -122,19 +140,26 @@ double RunContext::clamp_rate(const std::string& who, double requested) const {
 }
 
 void RunContext::execute_load(const std::string& who, std::size_t block_count, double rate,
-                              std::function<void()> done) {
+                              std::function<void()> done, std::uint64_t parent_span) {
     const double clamped = clamp_rate(who, rate);
     const double units =
         static_cast<double>(block_count) / static_cast<double>(config_.block_count);
     const double duration = units * clamped;
     meters_.start(who, simulator_.now());
+    const obs::SpanContext compute_span = spans_.open(
+        "compute", who, simulator_.now(),
+        parent_span != 0 ? parent_span : phase_span_.span_id);
     network_.trace().record(simulator_.now(), sim::TraceKind::kComputeStart, who,
                             "blocks=" + std::to_string(block_count) +
-                                " rate=" + std::to_string(clamped));
-    simulator_.schedule_after(duration, [this, who, done = std::move(done)] {
+                                " rate=" + std::to_string(clamped),
+                            compute_span.span_id, compute_span.parent_id);
+    simulator_.schedule_after(duration, [this, who, compute_span,
+                                         done = std::move(done)] {
         meters_.stop(who, simulator_.now());
         last_compute_end_ = std::max(last_compute_end_, simulator_.now());
-        network_.trace().record(simulator_.now(), sim::TraceKind::kComputeEnd, who, "");
+        network_.trace().record(simulator_.now(), sim::TraceKind::kComputeEnd, who, "",
+                                compute_span.span_id, compute_span.parent_id);
+        spans_.close(compute_span, simulator_.now());
         if (done) done();
         ++finished_workers_;
         if (referee_ == nullptr) return;

@@ -20,6 +20,7 @@
 
 #include "crypto/pki.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "protocol/blocks.hpp"
 #include "protocol/config.hpp"
 #include "protocol/ledger.hpp"
@@ -68,6 +69,17 @@ class RunContext {
         return metrics_registry_;
     }
 
+    // --- causal spans (obs/span.hpp) -----------------------------------------
+    // One span tree per run: run -> phase -> per-processor message / verify /
+    // compute / fine spans. The run span opens with the context; the runner
+    // closes it (close_run_span) once the event loop quiesces.
+    [[nodiscard]] obs::SpanBook& spans() noexcept { return spans_; }
+    [[nodiscard]] const obs::SpanContext& run_span() const noexcept { return run_span_; }
+    [[nodiscard]] const obs::SpanContext& phase_span() const noexcept {
+        return phase_span_;
+    }
+    void close_run_span();
+
     // --- phase & termination -------------------------------------------------
     [[nodiscard]] Phase phase() const noexcept { return phase_; }
     void set_phase(Phase phase);
@@ -85,16 +97,19 @@ class RunContext {
 
     // --- tamper-proof load path ----------------------------------------------
     // The LO ships blocks to `to` through the one-port bus; the bus witness
-    // records counts and integrity.
-    void ship_load(const std::string& from, const std::string& to, LoadBatch batch);
+    // records counts and integrity. `span_id` (optional) stamps the sender's
+    // causal span onto the transfer.
+    void ship_load(const std::string& from, const std::string& to, LoadBatch batch,
+                   std::uint64_t span_id = 0);
     [[nodiscard]] const ShippedRecord* shipped_to(const std::string& to) const;
 
     // Runs `block_count` blocks at per-unit time `rate` on behalf of `who`;
     // rate is clamped to >= the processor's true w (you cannot compute
     // faster than your hardware). Fires `done` when execution completes and
-    // the meter has been stopped.
+    // the meter has been stopped. The compute interval gets its own span,
+    // parented on `parent_span` (0 = the current phase span).
     void execute_load(const std::string& who, std::size_t block_count, double rate,
-                      std::function<void()> done);
+                      std::function<void()> done, std::uint64_t parent_span = 0);
     [[nodiscard]] double clamp_rate(const std::string& who, double requested) const;
 
     // Called by execute_load completion; when every expected processor has
@@ -113,6 +128,9 @@ class RunContext {
     Ledger ledger_;
     MeterBank meters_;
     obs::MetricsRegistry metrics_registry_;
+    obs::SpanBook spans_;
+    obs::SpanContext run_span_;
+    obs::SpanContext phase_span_;
 
     std::vector<std::string> names_;
     std::string referee_name_ = "referee";

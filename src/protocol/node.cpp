@@ -46,7 +46,12 @@ void ProcessorNode::broadcast_bid(double value) {
         bid_values_[name()] = value;
         maybe_finish_bidding();
     }
-    ctx_.network().broadcast(name(), to_wire(MsgType::kBid), signed_msg.serialize());
+    // Causal anchor: the broadcast's bus records carry this span, so every
+    // receiver's handling links back to the sender's bidding activity.
+    const obs::SpanContext bid_span = ctx_.spans().instant(
+        "msg:bid", name(), ctx_.simulator().now(), ctx_.phase_span().span_id);
+    ctx_.network().broadcast(name(), to_wire(MsgType::kBid), signed_msg.serialize(),
+                             bid_span.span_id);
 }
 
 void ProcessorNode::on_message(const sim::Envelope& envelope) {
@@ -187,7 +192,11 @@ void ProcessorNode::ship_loads() {
             if (strategy_.lo_corrupt_blocks) block.payload_digest[0] ^= 0xff;
             batch.blocks.push_back(std::move(block));
         }
-        ctx_.ship_load(name(), ctx_.processor_names()[i], std::move(batch));
+        const obs::SpanContext ship_span = ctx_.spans().instant(
+            "ship:" + ctx_.processor_names()[i], name(), ctx_.simulator().now(),
+            ctx_.phase_span().span_id);
+        ctx_.ship_load(name(), ctx_.processor_names()[i], std::move(batch),
+                       ship_span.span_id);
     }
 
     // The LO's own share never crosses the bus.
@@ -207,6 +216,11 @@ void ProcessorNode::ship_loads() {
 void ProcessorNode::handle_load_delivery(const sim::Envelope& envelope) {
     const auto batch = LoadBatch::deserialize(envelope.payload);
     if (!batch) return;
+    // Verification parents on the delivery's ship span when it carried one,
+    // so the catapult view shows LO ship -> bus transfer -> receiver verify.
+    const obs::SpanContext verify_span = ctx_.spans().open(
+        "verify_blocks", name(), ctx_.simulator().now(),
+        envelope.span_id != 0 ? envelope.span_id : ctx_.phase_span().span_id);
     std::size_t valid = 0;
     std::size_t invalid = 0;
     for (const auto& block : batch->blocks) {
@@ -218,6 +232,8 @@ void ProcessorNode::handle_load_delivery(const sim::Envelope& envelope) {
         }
     }
     valid_received_ += valid;
+    ctx_.spans().close(verify_span, ctx_.simulator().now());
+    compute_parent_span_ = verify_span.span_id;
 
     const std::size_t expected = blocks_assigned_;
     if (strategy_.false_short_claim && !complaint_filed_) {
@@ -270,7 +286,7 @@ void ProcessorNode::begin_processing(std::size_t blocks) {
     if (processing_started_ || ctx_.terminated()) return;
     processing_started_ = true;
     if (ctx_.phase() == Phase::kAllocating) ctx_.set_phase(Phase::kProcessing);
-    ctx_.execute_load(name(), blocks, exec_rate_, [] {});
+    ctx_.execute_load(name(), blocks, exec_rate_, [] {}, compute_parent_span_);
 }
 
 void ProcessorNode::handle_meter_broadcast(const sim::Envelope& envelope) {
@@ -307,8 +323,12 @@ void ProcessorNode::handle_meter_broadcast(const sim::Envelope& envelope) {
         body_out.processor = name();
         body_out.payments = std::move(q);
         const auto signed_msg = crypto::sign_message(*signer_, name(), body_out.serialize());
+        // Payment submission parents on the meter broadcast that prompted it.
+        const obs::SpanContext pay_span = ctx_.spans().instant(
+            "msg:payment_vector", name(), ctx_.simulator().now(),
+            envelope.span_id != 0 ? envelope.span_id : ctx_.phase_span().span_id);
         ctx_.network().send(name(), ctx_.referee_name(), to_wire(MsgType::kPaymentVector),
-                            signed_msg.serialize());
+                            signed_msg.serialize(), pay_span.span_id);
     };
 
     if (strategy_.contradictory_payment_vectors) {

@@ -79,6 +79,9 @@ class ProcessorNode final : public sim::Process {
     std::vector<Block> held_blocks_;
     bool processing_started_ = false;
     bool complaint_filed_ = false;
+    // Causal parent for the compute span: the verify span of the delivery
+    // that triggered processing (0 = parent on the phase span instead).
+    std::uint64_t compute_parent_span_ = 0;
 
     std::vector<double> payment_vector_;
     bool settled_ = false;

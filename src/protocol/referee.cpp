@@ -27,6 +27,10 @@ void Referee::count_dispute_opened(const char* kind) {
     ctx_.metrics_registry()
         .counter(kDisputesOpenedMetric, {{"kind", kind}})
         .inc();
+    // Disputes can straddle phase changes, so the span parents on the run.
+    dispute_span_ = ctx_.spans().open(std::string("dispute:") + kind, name(),
+                                      ctx_.simulator().now(),
+                                      ctx_.run_span().span_id);
 }
 
 void Referee::count_dispute_resolved() {
@@ -35,6 +39,8 @@ void Referee::count_dispute_resolved() {
         .counter(kDisputesResolvedMetric, {{"kind", open_dispute_kind_}})
         .inc();
     open_dispute_kind_ = nullptr;
+    ctx_.spans().close(dispute_span_, ctx_.simulator().now());
+    dispute_span_ = obs::SpanContext{};
 }
 
 void Referee::count_accusation(const char* type, bool substantiated) {
@@ -153,6 +159,9 @@ void Referee::handle_bid_vector_response(const sim::Envelope& envelope) {
 }
 
 std::set<std::string> Referee::validate_bid_vectors() {
+    const obs::SpanContext verify_span = ctx_.spans().open(
+        "verify:bid_vectors", name(), ctx_.simulator().now(),
+        dispute_span_.valid() ? dispute_span_.span_id : ctx_.phase_span().span_id);
     std::set<std::string> deviants;
     // The same signed bid appears in every submitter's vector, so most of
     // the entry.verify() calls below are repeats — the Pki verification
@@ -205,6 +214,7 @@ std::set<std::string> Referee::validate_bid_vectors() {
             for (const auto& name : bid_vector_expected_) deviants.insert(name);
         }
     }
+    ctx_.spans().close(verify_span, ctx_.simulator().now());
     return deviants;
 }
 
@@ -322,7 +332,11 @@ void Referee::on_all_meters_done() {
             body.phis.emplace_back(processor, ctx_.meters().elapsed(processor));
         }
     }
-    ctx_.network().broadcast(name(), to_wire(MsgType::kMeterBroadcast), body.serialize());
+    const obs::SpanContext meter_span = ctx_.spans().instant(
+        "msg:meter_broadcast", name(), ctx_.simulator().now(),
+        ctx_.phase_span().span_id);
+    ctx_.network().broadcast(name(), to_wire(MsgType::kMeterBroadcast), body.serialize(),
+                             meter_span.span_id);
 }
 
 void Referee::handle_payment_vector(const sim::Envelope& envelope) {
@@ -350,6 +364,9 @@ void Referee::handle_payment_vector(const sim::Envelope& envelope) {
 
 void Referee::evaluate_payments() {
     if (settled_ || verdict_issued_ || ctx_.terminated()) return;
+    const obs::SpanContext verify_span = ctx_.spans().instant(
+        "verify:payments", name(), ctx_.simulator().now(), ctx_.phase_span().span_id);
+    (void)verify_span;
 
     // Contradictory submissions (§4: "If there are multiple contradictory
     // messages from P_i, the referee fines it").
@@ -479,6 +496,10 @@ void Referee::issue_verdict(const std::set<std::string>& deviants,
     registry.counter(kFinesMetric).inc(deviants.size());
     registry.gauge(kFinesAmountMetric)
         .add(fine * static_cast<double>(deviants.size()));
+    // Fine spans parent on the dispute that produced the verdict (captured
+    // before resolution closes it; phase span for dispute-free verdicts).
+    const std::uint64_t fine_parent =
+        dispute_span_.valid() ? dispute_span_.span_id : ctx_.phase_span().span_id;
     count_dispute_resolved();  // no-op when the verdict needed no dispute
 
     util::log_debug("referee", "verdict: " + reason +
@@ -502,6 +523,9 @@ void Referee::issue_verdict(const std::set<std::string>& deviants,
 
     double pool = 0.0;
     for (const auto& deviant : deviants) {
+        // One instant span per fined processor.
+        ctx_.spans().instant("fine:" + deviant, name(), ctx_.simulator().now(),
+                             fine_parent);
         ctx_.ledger().transfer(deviant, name(), fine, "fine: " + reason);
         fines_[deviant] += fine;
         pool += fine;

@@ -105,6 +105,9 @@ class Referee final : public sim::Process {
 
     DisputeStage stage_ = DisputeStage::kNone;
     const char* open_dispute_kind_ = nullptr;  // non-null while a dispute is open
+    // Causal span covering the open dispute (opened with the dispute
+    // counter, closed on resolution); invalid while no dispute is open.
+    obs::SpanContext dispute_span_;
     std::optional<AllocComplaintBody> open_complaint_;
     std::map<std::string, BidVectorBody> bid_vector_responses_;
     std::set<std::string> bid_vector_expected_;

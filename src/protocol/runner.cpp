@@ -54,6 +54,9 @@ ProtocolOutcome run_protocol(const ProtocolConfig& config, const RunObserver& ob
         OBS_SCOPE("sim_event_loop");
         simulator.run();
     }
+    // The event loop has quiesced: close the phase and run spans so the
+    // causal tree is well-formed in the trace/JSONL artifacts.
+    context.close_run_span();
 
     // ---- outcome extraction -------------------------------------------------
     ProtocolOutcome outcome;
@@ -119,6 +122,16 @@ ProtocolOutcome run_protocol(const ProtocolConfig& config, const RunObserver& ob
     // Re-host the network's per-phase accounting onto the run's registry so
     // one dump carries the Theorem 5.4 counters next to the referee's.
     obs::export_network_metrics(network.metrics(), context.metrics_registry());
+
+    // Sim-time makespan distribution. The value comes off the event clock,
+    // not the host clock, so the histogram stays deterministic per seed and
+    // upstream merges keep snapshots byte-identical at any --jobs.
+    context.metrics_registry().set_help("dlsbl_run_makespan_seconds",
+                                        "Sim-time makespan per protocol run");
+    context.metrics_registry()
+        .histogram("dlsbl_run_makespan_seconds",
+                   {0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0})
+        .observe(outcome.makespan);
 
     // Process-wide aggregates (bench RunManifests snapshot these).
     auto& global = obs::MetricsRegistry::global();

@@ -55,28 +55,32 @@ void Network::deliver(Envelope envelope) {
         throw std::logic_error("Network: message to unknown process: " + envelope.to);
     }
     trace_.record(simulator_.now(), TraceKind::kMessageDelivered, envelope.to,
-                  "from=" + envelope.from + " type=" + std::to_string(envelope.type));
+                  "from=" + envelope.from + " type=" + std::to_string(envelope.type),
+                  envelope.span_id);
     it->second->on_message(envelope);
 }
 
 void Network::send(const std::string& from, const std::string& to, std::uint32_t type,
-                   util::Bytes payload) {
+                   util::Bytes payload, std::uint64_t span_id) {
     if (!processes_.contains(to)) {
         throw std::logic_error("Network: unknown recipient: " + to);
     }
     metrics_.count_control(payload.size());
     trace_.record(simulator_.now(), TraceKind::kMessageSent, from,
                   "to=" + to + " type=" + std::to_string(type) +
-                      " bytes=" + std::to_string(payload.size()));
-    Envelope envelope{from, to, type, std::move(payload), simulator_.now()};
+                      " bytes=" + std::to_string(payload.size()),
+                  span_id);
+    Envelope envelope{from, to, type, std::move(payload), simulator_.now(), span_id};
     dispatch_control(std::move(envelope));
 }
 
-void Network::broadcast(const std::string& from, std::uint32_t type, util::Bytes payload) {
+void Network::broadcast(const std::string& from, std::uint32_t type, util::Bytes payload,
+                        std::uint64_t span_id) {
     metrics_.count_control(payload.size());
     trace_.record(simulator_.now(), TraceKind::kMessageSent, from,
                   "to=* type=" + std::to_string(type) +
-                      " bytes=" + std::to_string(payload.size()));
+                      " bytes=" + std::to_string(payload.size()),
+                  span_id);
     // Atomic broadcast: one bus transmission, simultaneous delivery to all.
     const double occupancy = control_occupancy(payload.size());
     double deliver_at = simulator_.now() + control_latency_;
@@ -87,14 +91,15 @@ void Network::broadcast(const std::string& from, std::uint32_t type, util::Bytes
     }
     for (const auto& [name, process] : processes_) {
         if (name == from) continue;
-        Envelope envelope{from, name, type, payload, simulator_.now()};
+        Envelope envelope{from, name, type, payload, simulator_.now(), span_id};
         simulator_.schedule_at(
             deliver_at, [this, e = std::move(envelope)]() mutable { deliver(std::move(e)); });
     }
 }
 
 void Network::transfer_load(const std::string& from, const std::string& to, double units,
-                            std::uint32_t type, util::Bytes payload) {
+                            std::uint32_t type, util::Bytes payload,
+                            std::uint64_t span_id) {
     if (!processes_.contains(to)) {
         throw std::logic_error("Network: unknown recipient: " + to);
     }
@@ -104,12 +109,13 @@ void Network::transfer_load(const std::string& from, const std::string& to, doub
     bus_busy_until_ = end;
     metrics_.count_load_transfer(units);
     trace_.record(start, TraceKind::kLoadTransferStart, from,
-                  "to=" + to + " units=" + std::to_string(units));
-    Envelope envelope{from, to, type, std::move(payload), simulator_.now()};
+                  "to=" + to + " units=" + std::to_string(units), span_id);
+    Envelope envelope{from, to, type, std::move(payload), simulator_.now(), span_id};
     simulator_.schedule_at(end, [this, to_name = to, from_name = from, units,
                                  e = std::move(envelope)]() mutable {
         trace_.record(simulator_.now(), TraceKind::kLoadTransferEnd, from_name,
-                      "to=" + to_name + " units=" + std::to_string(units));
+                      "to=" + to_name + " units=" + std::to_string(units),
+                      e.span_id);
         deliver(std::move(e));
     });
 }

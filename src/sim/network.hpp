@@ -30,6 +30,10 @@ struct Envelope {
     std::uint32_t type = 0;    // protocol-defined discriminator
     util::Bytes payload;
     double sent_at = 0.0;
+    // Causal span of the send (0 = untracked). Receivers parent their own
+    // spans/events on it, which is what links cross-processor causality in
+    // the JSONL and Chrome-trace exports.
+    std::uint64_t span_id = 0;
 };
 
 class Process {
@@ -68,17 +72,21 @@ class Network {
     void start();
 
     // Reliable unicast; counted in the communication-complexity metrics.
+    // `span_id` (optional) stamps the send's causal span onto the trace
+    // records and the delivered envelope.
     void send(const std::string& from, const std::string& to, std::uint32_t type,
-              util::Bytes payload);
+              util::Bytes payload, std::uint64_t span_id = 0);
 
     // Atomic reliable broadcast: every process except the sender receives
     // the identical payload. Counted once (one bus transmission).
-    void broadcast(const std::string& from, std::uint32_t type, util::Bytes payload);
+    void broadcast(const std::string& from, std::uint32_t type, util::Bytes payload,
+                   std::uint64_t span_id = 0);
 
     // A load transfer of `units` load: waits for the bus, holds it for
     // units * z, then delivers the payload (the block batch) to `to`.
     void transfer_load(const std::string& from, const std::string& to, double units,
-                       std::uint32_t type, util::Bytes payload);
+                       std::uint32_t type, util::Bytes payload,
+                       std::uint64_t span_id = 0);
 
     // Simulated time at which the bus next becomes free.
     [[nodiscard]] double bus_free_at() const noexcept { return bus_busy_until_; }

@@ -16,13 +16,17 @@ const char* to_string(TraceKind kind) noexcept {
         case TraceKind::kPhaseChange: return "phase";
         case TraceKind::kVerdict: return "verdict";
         case TraceKind::kNote: return "note";
+        case TraceKind::kSpanBegin: return "span-begin";
+        case TraceKind::kSpanEnd: return "span-end";
     }
     return "?";
 }
 
 void TraceRecorder::record(double time, TraceKind kind, std::string actor,
-                           std::string detail) {
-    events_.push_back(TraceEvent{time, kind, std::move(actor), std::move(detail)});
+                           std::string detail, std::uint64_t span_id,
+                           std::uint64_t parent_id) {
+    events_.push_back(TraceEvent{time, kind, std::move(actor), std::move(detail),
+                                 span_id, parent_id});
 }
 
 std::vector<TraceEvent> TraceRecorder::filter(TraceKind kind) const {

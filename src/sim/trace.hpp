@@ -6,6 +6,7 @@
 // model — agreement between the two is itself a test.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,8 @@ enum class TraceKind {
     kPhaseChange,
     kVerdict,      // referee decisions: fines, rewards, terminations
     kNote,
+    kSpanBegin,    // causal span opened (detail = span name)
+    kSpanEnd,      // causal span closed
 };
 
 const char* to_string(TraceKind kind) noexcept;
@@ -32,11 +35,17 @@ struct TraceEvent {
     TraceKind kind = TraceKind::kNote;
     std::string actor;    // process name
     std::string detail;   // free-form, machine-greppable "key=value ..." text
+    // Causal identity (0 = none): `span_id` is the span this event belongs
+    // to, `parent_id` its causal parent. Sim stores them as opaque integers;
+    // the obs layer (SpanBook / catapult exporter) gives them meaning.
+    std::uint64_t span_id = 0;
+    std::uint64_t parent_id = 0;
 };
 
 class TraceRecorder {
  public:
-    void record(double time, TraceKind kind, std::string actor, std::string detail);
+    void record(double time, TraceKind kind, std::string actor, std::string detail,
+                std::uint64_t span_id = 0, std::uint64_t parent_id = 0);
 
     [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept { return events_; }
 

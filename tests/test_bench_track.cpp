@@ -1,0 +1,210 @@
+// bench_track comparison logic (tools/bench/track.hpp): normalization,
+// noise band, baseline round-trip, median-of-N seeding. Everything runs
+// in-memory on hand-built artifacts — the ctest bench_regress gate drives
+// the CLI on real BENCH_*.json files.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "track.hpp"
+
+namespace dlsbl {
+namespace {
+
+tools::BenchArtifact make_artifact(const std::string& id,
+                                   std::map<std::string, double> results) {
+    tools::BenchArtifact artifact;
+    artifact.bench_id = id;
+    artifact.path = "BENCH_" + id + ".json";
+    artifact.git_describe = "v-test";
+    artifact.results = std::move(results);
+    return artifact;
+}
+
+tools::BaselineStore store_of(std::vector<tools::BenchArtifact> artifacts) {
+    tools::BaselineStore store;
+    for (auto& artifact : artifacts) {
+        store.benches[artifact.bench_id] = std::move(artifact);
+    }
+    return store;
+}
+
+TEST(BenchTrack, BenchIdFromPathStripsAffixes) {
+    EXPECT_EQ(tools::bench_id_from_path("build/BENCH_crypto.json"), "crypto");
+    EXPECT_EQ(tools::bench_id_from_path("BENCH_allocation.json"), "allocation");
+    EXPECT_EQ(tools::bench_id_from_path("/a/b\\c/BENCH_x.json"), "x");
+    EXPECT_EQ(tools::bench_id_from_path("other.json"), "other");
+    EXPECT_EQ(tools::bench_id_from_path("noext"), "noext");
+}
+
+TEST(BenchTrack, IdenticalArtifactsReportZeroRegressions) {
+    const auto artifact =
+        make_artifact("crypto", {{"sha", 1.0}, {"mss", 4.0}, {"wots", 0.5}});
+    const auto store = store_of({artifact});
+    const auto report = tools::compare_against_baselines(store, {artifact});
+    EXPECT_EQ(report.regressions, 0u);
+    EXPECT_EQ(report.improvements, 0u);
+    ASSERT_EQ(report.deltas.size(), 3u);
+    for (const auto& delta : report.deltas) {
+        EXPECT_EQ(delta.status, tools::DeltaStatus::kOk);
+        EXPECT_DOUBLE_EQ(delta.ratio, 1.0);
+    }
+}
+
+TEST(BenchTrack, UniformMachineSpeedChangeIsInvisible) {
+    const auto baseline =
+        make_artifact("crypto", {{"sha", 1.0}, {"mss", 4.0}, {"wots", 0.5}});
+    // A host 3x slower scales every time uniformly: normalization cancels it.
+    auto slower = baseline;
+    for (auto& [name, value] : slower.results) value *= 3.0;
+    const auto report =
+        tools::compare_against_baselines(store_of({baseline}), {slower});
+    EXPECT_EQ(report.regressions, 0u);
+    EXPECT_EQ(report.improvements, 0u);
+}
+
+TEST(BenchTrack, InjectedTwoXSlowdownRegresses) {
+    // Mirrors the ISSUE acceptance criterion: halving one baseline entry
+    // (equivalently, the current run being 2x slower on that benchmark)
+    // must trip the gate at the default 0.75 band.
+    const auto current = make_artifact(
+        "crypto", {{"sha", 1.0}, {"mss", 4.0}, {"wots", 0.5}, {"merkle", 2.0}});
+    auto baseline = current;
+    baseline.results["mss"] = 2.0;  // current is 2x the baseline
+    const auto report =
+        tools::compare_against_baselines(store_of({baseline}), {current});
+    ASSERT_EQ(report.regressions, 1u);
+    bool found = false;
+    for (const auto& delta : report.deltas) {
+        if (delta.name != "mss") continue;
+        found = true;
+        EXPECT_EQ(delta.status, tools::DeltaStatus::kRegression);
+        EXPECT_GT(delta.ratio, 1.75);  // past the default 0.75 band
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(BenchTrack, SymmetricSpeedupReportsImprovement) {
+    const auto baseline = make_artifact(
+        "alloc", {{"solve", 8.0}, {"verify", 1.0}, {"chart", 1.0}, {"rank", 1.0}});
+    auto current = baseline;
+    current.results["solve"] = 2.0;  // 4x faster
+    const auto report =
+        tools::compare_against_baselines(store_of({baseline}), {current});
+    EXPECT_EQ(report.regressions, 0u);
+    EXPECT_GE(report.improvements, 1u);
+}
+
+TEST(BenchTrack, SmallJitterStaysInsideTheBand) {
+    const auto baseline =
+        make_artifact("crypto", {{"sha", 1.0}, {"mss", 4.0}, {"wots", 0.5}});
+    auto noisy = baseline;
+    noisy.results["sha"] *= 1.3;   // 30% wobble on one entry
+    noisy.results["wots"] *= 0.8;  // and -20% on another
+    const auto report =
+        tools::compare_against_baselines(store_of({baseline}), {noisy});
+    EXPECT_EQ(report.regressions, 0u) << report.render_text();
+}
+
+TEST(BenchTrack, AddedAndRemovedNamesAreInformational) {
+    const auto baseline =
+        make_artifact("crypto", {{"sha", 1.0}, {"mss", 4.0}, {"gone", 2.0}});
+    const auto current =
+        make_artifact("crypto", {{"sha", 1.0}, {"mss", 4.0}, {"fresh", 9.0}});
+    const auto report =
+        tools::compare_against_baselines(store_of({baseline}), {current});
+    EXPECT_EQ(report.regressions, 0u);
+    bool saw_added = false;
+    bool saw_removed = false;
+    for (const auto& delta : report.deltas) {
+        if (delta.name == "fresh") {
+            saw_added = delta.status == tools::DeltaStatus::kAdded;
+        }
+        if (delta.name == "gone") {
+            saw_removed = delta.status == tools::DeltaStatus::kRemoved;
+        }
+    }
+    EXPECT_TRUE(saw_added);
+    EXPECT_TRUE(saw_removed);
+}
+
+TEST(BenchTrack, UnknownBenchIsSkippedWithNote) {
+    const auto store = store_of({make_artifact("crypto", {{"sha", 1.0}})});
+    const auto report = tools::compare_against_baselines(
+        store, {make_artifact("novel", {{"x", 1.0}})});
+    EXPECT_EQ(report.regressions, 0u);
+    EXPECT_TRUE(report.deltas.empty());
+    ASSERT_EQ(report.notes.size(), 1u);
+    EXPECT_NE(report.notes[0].find("novel"), std::string::npos);
+}
+
+TEST(BenchTrack, BaselineStoreRoundTripsThroughJson) {
+    tools::BaselineStore store;
+    store.relative_band = 0.6;
+    auto artifact = make_artifact("crypto", {{"sha", 0.001}, {"mss", 0.25}});
+    artifact.derived["speedup"] = 3.5;
+    store.benches["crypto"] = artifact;
+
+    const auto parsed = tools::BaselineStore::from_json(store.to_json());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_DOUBLE_EQ(parsed->relative_band, 0.6);
+    ASSERT_EQ(parsed->benches.size(), 1u);
+    const auto& got = parsed->benches.at("crypto");
+    EXPECT_EQ(got.git_describe, "v-test");
+    EXPECT_DOUBLE_EQ(got.results.at("sha"), 0.001);
+    EXPECT_DOUBLE_EQ(got.results.at("mss"), 0.25);
+    EXPECT_DOUBLE_EQ(got.derived.at("speedup"), 3.5);
+    // And the serialized form is valid JSON at all.
+    EXPECT_TRUE(obs::json_parse(store.to_json()).has_value());
+}
+
+TEST(BenchTrack, MedianMergeCollapsesRepeatedRuns) {
+    const auto run1 = make_artifact("crypto", {{"sha", 1.0}, {"mss", 10.0}});
+    const auto run2 = make_artifact("crypto", {{"sha", 3.0}, {"mss", 2.0}});
+    const auto run3 = make_artifact("crypto", {{"sha", 2.0}});
+    const auto other = make_artifact("alloc", {{"solve", 5.0}});
+    const auto merged = tools::median_merge({run1, run2, run3, other});
+    ASSERT_EQ(merged.size(), 2u);
+    EXPECT_EQ(merged[0].bench_id, "crypto");  // first-appearance order
+    EXPECT_DOUBLE_EQ(merged[0].results.at("sha"), 2.0);   // median of 1,2,3
+    EXPECT_DOUBLE_EQ(merged[0].results.at("mss"), 10.0);  // median of 2,10 = upper
+    EXPECT_EQ(merged[0].path, "BENCH_crypto.json");
+    EXPECT_EQ(merged[1].bench_id, "alloc");
+    EXPECT_DOUBLE_EQ(merged[1].results.at("solve"), 5.0);
+}
+
+TEST(BenchTrack, ReportSerializesAndSummarizes) {
+    const auto baseline =
+        make_artifact("crypto", {{"sha", 1.0}, {"mss", 4.0}, {"wots", 0.5}});
+    auto current = baseline;
+    current.results["mss"] = 40.0;
+    const auto report =
+        tools::compare_against_baselines(store_of({baseline}), {current});
+    ASSERT_GE(report.regressions, 1u);
+    EXPECT_NE(report.render_text().find("REGRESSION"), std::string::npos);
+    EXPECT_NE(report.render_text().find("regression(s)"), std::string::npos);
+
+    const auto doc = obs::json_parse(report.to_json());
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("regressions")->number,
+              static_cast<double>(report.regressions));
+    EXPECT_EQ(doc->find("deltas")->array.size(), report.deltas.size());
+}
+
+TEST(BenchTrack, TrajectoryLineIsOneJsonObject) {
+    const auto artifact = make_artifact("crypto", {{"sha", 2.0}, {"mss", 8.0}});
+    const std::string line = tools::trajectory_line(artifact);
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.back(), '\n');
+    const auto doc = obs::json_parse(line);
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("bench")->string, "crypto");
+    EXPECT_EQ(doc->find("git")->string, "v-test");
+    EXPECT_DOUBLE_EQ(doc->find("geomean_s")->number, 4.0);  // sqrt(2*8)
+    EXPECT_DOUBLE_EQ(doc->find("results")->find("sha")->number, 2.0);
+}
+
+}  // namespace
+}  // namespace dlsbl

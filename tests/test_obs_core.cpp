@@ -131,6 +131,73 @@ TEST(ObsMetrics, HistogramBuckets) {
     EXPECT_THROW(obs::Histogram({1.0, 1.0}), std::invalid_argument);
 }
 
+TEST(ObsMetrics, HistogramTracksMinAndMax) {
+    obs::Histogram h({1.0, 10.0});
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);  // empty
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+    h.observe(4.0);
+    h.observe(0.25);
+    h.observe(7.5);
+    EXPECT_DOUBLE_EQ(h.min(), 0.25);
+    EXPECT_DOUBLE_EQ(h.max(), 7.5);
+}
+
+TEST(ObsMetrics, HistogramQuantileInterpolatesExactly) {
+    // Two observations in one bucket: the interpolation endpoints are the
+    // observed min (lower edge of the first bucket) and the observed max
+    // (bucket bound clipped to max), so every value is exactly computable.
+    obs::Histogram h({10.0});
+    h.observe(2.0);
+    h.observe(4.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.0);    // q<=0 -> min
+    EXPECT_DOUBLE_EQ(h.quantile(-3.0), 2.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);    // rank 1 of 2: halfway
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);    // rank 2 of 2: max
+    EXPECT_DOUBLE_EQ(h.quantile(7.0), 4.0);    // q>1 clamps
+
+    // One observation per bucket: rank q*count lands on exact bucket edges.
+    obs::Histogram spread({1.0, 2.0, 3.0, 4.0});
+    spread.observe(0.5);
+    spread.observe(1.5);
+    spread.observe(2.5);
+    spread.observe(3.5);
+    EXPECT_DOUBLE_EQ(spread.p50(), 2.0);  // rank 2 -> upper edge of bucket le=2
+    // rank 3.96 -> bucket le=4: lower 3, upper min(4, max)=3.5, fraction 0.96.
+    EXPECT_DOUBLE_EQ(spread.p99(), 3.0 + 0.5 * 0.96);
+    EXPECT_DOUBLE_EQ(spread.quantile(0.25), 0.5 + 0.5 * 1.0);  // within bucket 0
+}
+
+TEST(ObsMetrics, HistogramQuantileEdgeCases) {
+    obs::Histogram empty({1.0});
+    EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(empty.p95(), 0.0);
+
+    // Single observation: every quantile is that value.
+    obs::Histogram one({1.0, 100.0});
+    one.observe(42.0);
+    EXPECT_DOUBLE_EQ(one.p50(), 42.0);
+    EXPECT_DOUBLE_EQ(one.p95(), 42.0);
+    EXPECT_DOUBLE_EQ(one.p99(), 42.0);
+
+    // Rank falling in the +Inf bucket returns the observed max, never Inf.
+    obs::Histogram overflow({1.0});
+    overflow.observe(0.5);
+    overflow.observe(5.0);
+    EXPECT_DOUBLE_EQ(overflow.p95(), 5.0);
+    EXPECT_DOUBLE_EQ(overflow.quantile(1.0), 5.0);
+}
+
+TEST(ObsMetrics, HistogramMergePreservesMinMaxAndQuantiles) {
+    obs::Histogram a({10.0});
+    obs::Histogram b({10.0});
+    a.observe(2.0);
+    b.observe(4.0);
+    a.merge_from(b);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 4.0);
+    EXPECT_DOUBLE_EQ(a.quantile(0.5), 3.0);  // same as observing both directly
+}
+
 TEST(ObsMetrics, ExportIsDeterministic) {
     auto fill = [](obs::MetricsRegistry& registry) {
         registry.counter("b_metric", {{"k", "2"}}).inc();

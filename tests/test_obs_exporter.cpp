@@ -1,0 +1,297 @@
+// MetricsExporter tests: Prometheus exposition-format conformance of the
+// rendered bodies (socketless, exact bytes) plus an end-to-end scrape of a
+// live ephemeral port over a raw client socket.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/exporter.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DLSBL_TEST_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define DLSBL_TEST_HAVE_SOCKETS 0
+#endif
+
+namespace dlsbl {
+namespace {
+
+// ---- exposition-format conformance ------------------------------------------
+
+// Checks one exposition body against the text-format grammar: every line is
+// either a `# HELP`/`# TYPE` comment or `name{labels} value` with a valid
+// metric name and a parseable number.
+void expect_valid_exposition(const std::string& body) {
+    std::istringstream in(body);
+    std::size_t line_no = 0;
+    for (std::string line; std::getline(in, line);) {
+        ++line_no;
+        SCOPED_TRACE("line " + std::to_string(line_no) + ": " + line);
+        ASSERT_FALSE(line.empty());
+        if (line[0] == '#') {
+            EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0);
+            continue;
+        }
+        // Metric name: [a-zA-Z_:][a-zA-Z0-9_:]*
+        std::size_t i = 0;
+        ASSERT_TRUE(std::isalpha(static_cast<unsigned char>(line[0])) ||
+                    line[0] == '_' || line[0] == ':');
+        while (i < line.size() &&
+               (std::isalnum(static_cast<unsigned char>(line[i])) || line[i] == '_' ||
+                line[i] == ':')) {
+            ++i;
+        }
+        ASSERT_LT(i, line.size());
+        if (line[i] == '{') {
+            const std::size_t close = line.find('}', i);
+            ASSERT_NE(close, std::string::npos);
+            i = close + 1;
+        }
+        ASSERT_LT(i, line.size());
+        ASSERT_EQ(line[i], ' ');
+        const std::string value = line.substr(i + 1);
+        ASSERT_FALSE(value.empty());
+        if (value != "+Inf" && value != "-Inf" && value != "NaN") {
+            std::size_t parsed = 0;
+            EXPECT_NO_THROW({
+                (void)std::stod(value, &parsed);
+                EXPECT_EQ(parsed, value.size());
+            });
+        }
+    }
+}
+
+// MetricsRegistry owns a mutex (not movable), so tests fill one in place.
+void fill_sample(obs::MetricsRegistry& registry) {
+    registry.set_help("requests_total", "Requests observed");
+    registry.counter("requests_total").inc(3);
+    registry.counter("requests_total", {{"phase", "Bidding"}}).inc(5);
+    registry.gauge("temperature").set(21.5);
+    auto& h = registry.histogram("latency_seconds", {0.1, 1.0});
+    h.observe(0.05);
+    h.observe(0.5);
+    h.observe(2.0);
+}
+
+TEST(ObsExporterFormat, DefaultOptionsMatchLegacyRendering) {
+    obs::MetricsRegistry registry;
+    fill_sample(registry);
+    EXPECT_EQ(registry.prometheus_text(),
+              registry.prometheus_text(obs::MetricsRegistry::PrometheusOptions{}));
+}
+
+TEST(ObsExporterFormat, BodyConformsToExpositionGrammar) {
+    obs::MetricsRegistry registry;
+    fill_sample(registry);
+    obs::MetricsRegistry::PrometheusOptions options;
+    options.quantiles = {0.5, 0.95};
+    options.extra_labels = {{"run", "run-7"}};
+    const std::string body = registry.prometheus_text(options);
+    expect_valid_exposition(body);
+
+    // HELP precedes TYPE, TYPE precedes the series.
+    const auto help = body.find("# HELP requests_total Requests observed");
+    const auto type = body.find("# TYPE requests_total counter");
+    const auto series = body.find("requests_total{run=\"run-7\"} 3");
+    ASSERT_NE(help, std::string::npos) << body;
+    ASSERT_NE(type, std::string::npos);
+    ASSERT_NE(series, std::string::npos);
+    EXPECT_LT(help, type);
+    EXPECT_LT(type, series);
+}
+
+TEST(ObsExporterFormat, ExtraLabelsSpliceIntoExistingLabelSets) {
+    obs::MetricsRegistry registry;
+    fill_sample(registry);
+    obs::MetricsRegistry::PrometheusOptions options;
+    options.extra_labels = {{"run", "run-7"}};
+    const std::string body = registry.prometheus_text(options);
+    // Unlabeled series gains the label set; labeled series appends.
+    EXPECT_NE(body.find("requests_total{run=\"run-7\"} 3"), std::string::npos) << body;
+    EXPECT_NE(body.find("requests_total{phase=\"Bidding\",run=\"run-7\"} 5"),
+              std::string::npos);
+    EXPECT_NE(body.find("latency_seconds_bucket{run=\"run-7\",le=\"0.1\"} 1"),
+              std::string::npos);
+}
+
+TEST(ObsExporterFormat, QuantileLinesFollowHistogramSeries) {
+    obs::MetricsRegistry registry;
+    fill_sample(registry);
+    obs::MetricsRegistry::PrometheusOptions options;
+    options.quantiles = {0.5, 0.99};
+    const std::string body = registry.prometheus_text(options);
+    const auto count_pos = body.find("latency_seconds_count 3");
+    const auto p50_pos = body.find("latency_seconds{quantile=\"0.5\"} ");
+    const auto p99_pos = body.find("latency_seconds{quantile=\"0.99\"} ");
+    ASSERT_NE(count_pos, std::string::npos) << body;
+    ASSERT_NE(p50_pos, std::string::npos);
+    ASSERT_NE(p99_pos, std::string::npos);
+    EXPECT_LT(count_pos, p50_pos);
+    EXPECT_LT(p50_pos, p99_pos);
+}
+
+TEST(ObsExporterFormat, LabelValuesEscapeQuotesAndBackslashes) {
+    obs::MetricsRegistry registry;
+    registry.counter("weird_total", {{"path", "a\"b\\c\n"}}).inc();
+    const std::string body = registry.prometheus_text();
+    EXPECT_NE(body.find("weird_total{path=\"a\\\"b\\\\c\\n\"} 1"), std::string::npos)
+        << body;
+    expect_valid_exposition(body);
+}
+
+// ---- exporter bodies (socketless) -------------------------------------------
+
+TEST(ObsExporter, RenderMetricsIncludesSelfGlobalAndAttachedRuns) {
+    obs::MetricsExporter exporter;
+    obs::MetricsRegistry run_registry;
+    fill_sample(run_registry);
+    exporter.attach_run("sweep-3", &run_registry);
+
+    const std::string body = exporter.render_metrics();
+    expect_valid_exposition(body);
+    EXPECT_NE(body.find("dlsbl_exporter_uptime_seconds"), std::string::npos) << body;
+    EXPECT_NE(body.find("requests_total{run=\"sweep-3\"} 3"), std::string::npos);
+    // Default quantile set renders on attached histograms.
+    EXPECT_NE(body.find("latency_seconds{run=\"sweep-3\",quantile=\"0.95\"} "),
+              std::string::npos);
+
+    // Detaching removes the series but keeps the run listed in /runs.
+    exporter.detach_run("sweep-3");
+    EXPECT_EQ(exporter.render_metrics().find("run=\"sweep-3\""), std::string::npos);
+}
+
+TEST(ObsExporter, RenderRunsIsValidJsonWithManifestAndActiveFlag) {
+    obs::MetricsExporter exporter;
+    obs::MetricsRegistry run_registry;
+    fill_sample(run_registry);
+    exporter.attach_run("sweep-3", &run_registry);
+    exporter.record_run_manifest("sweep-3", "{\"tool\":\"test\",\"seed\":42}");
+    exporter.detach_run("sweep-3");
+    exporter.attach_run("sweep-4", &run_registry);
+
+    const std::string body = exporter.render_runs();
+    const auto doc = obs::json_parse(body);
+    ASSERT_TRUE(doc.has_value()) << body;
+    const auto* runs = doc->find("runs");
+    ASSERT_NE(runs, nullptr);
+    ASSERT_EQ(runs->array.size(), 2u);
+    EXPECT_EQ(runs->array[0].find("name")->string, "sweep-3");
+    EXPECT_FALSE(runs->array[0].find("active")->boolean);
+    ASSERT_NE(runs->array[0].find("manifest"), nullptr);
+    EXPECT_EQ(runs->array[0].find("manifest")->find("seed")->number, 42.0);
+    EXPECT_TRUE(runs->array[1].find("active")->boolean);
+}
+
+// ---- end-to-end over a live socket ------------------------------------------
+
+#if DLSBL_TEST_HAVE_SOCKETS
+
+// Minimal scrape client: connect to loopback, send one request, read until
+// the server closes (Connection: close).
+std::string http_get(std::uint16_t port, const std::string& request) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return {};
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    std::string out;
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) {
+        (void)::send(fd, request.data(), request.size(), 0);
+        char buffer[4096];
+        for (;;) {
+            const ssize_t got = ::recv(fd, buffer, sizeof(buffer), 0);
+            if (got <= 0) break;
+            out.append(buffer, static_cast<std::size_t>(got));
+        }
+    }
+    ::close(fd);
+    return out;
+}
+
+TEST(ObsExporterLive, ServesMetricsHealthzAndRunsOnEphemeralPort) {
+    obs::MetricsExporter exporter;  // port 0 = ephemeral
+    obs::MetricsRegistry run_registry;
+    fill_sample(run_registry);
+    exporter.attach_run("run-0", &run_registry);
+    ASSERT_TRUE(exporter.start());
+    ASSERT_TRUE(exporter.running());
+    ASSERT_GT(exporter.port(), 0);
+
+    const std::string metrics =
+        http_get(exporter.port(), "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+    EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos) << metrics;
+    EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+    EXPECT_NE(metrics.find("requests_total{run=\"run-0\"} 3"), std::string::npos);
+    EXPECT_NE(metrics.find("latency_seconds{run=\"run-0\",quantile=\"0.99\"} "),
+              std::string::npos);
+
+    const std::string health =
+        http_get(exporter.port(), "GET /healthz HTTP/1.1\r\n\r\n");
+    EXPECT_NE(health.find("200 OK"), std::string::npos);
+    EXPECT_NE(health.find("ok"), std::string::npos);
+
+    const std::string runs = http_get(exporter.port(), "GET /runs HTTP/1.1\r\n\r\n");
+    EXPECT_NE(runs.find("200 OK"), std::string::npos);
+    EXPECT_NE(runs.find("\"name\":\"run-0\""), std::string::npos);
+
+    EXPECT_NE(http_get(exporter.port(), "GET /nope HTTP/1.1\r\n\r\n")
+                  .find("404 Not Found"),
+              std::string::npos);
+    EXPECT_NE(http_get(exporter.port(), "POST /metrics HTTP/1.1\r\n\r\n")
+                  .find("405 Method Not Allowed"),
+              std::string::npos);
+
+    // The second scrape sees the first one's self-telemetry.
+    const std::string again =
+        http_get(exporter.port(), "GET /metrics HTTP/1.1\r\n\r\n");
+    EXPECT_NE(again.find("dlsbl_exporter_scrapes_total{path=\"/metrics\"}"),
+              std::string::npos);
+
+    exporter.stop();
+    EXPECT_FALSE(exporter.running());
+}
+
+TEST(ObsExporterLive, StartStopIsIdempotentAndRestartable) {
+    obs::MetricsExporter exporter;
+    ASSERT_TRUE(exporter.start());
+    EXPECT_TRUE(exporter.start());  // already running: no-op success
+    const std::uint16_t first_port = exporter.port();
+    EXPECT_GT(first_port, 0);
+    exporter.stop();
+    exporter.stop();  // idempotent
+    ASSERT_TRUE(exporter.start());
+    EXPECT_NE(http_get(exporter.port(), "GET /healthz HTTP/1.1\r\n\r\n").find("ok"),
+              std::string::npos);
+}
+
+TEST(ObsExporterLive, ConcurrentScrapesAndRunChurn) {
+    // Exercised under TSan via the sanitized test variant: scrapes race
+    // attach/detach and the run table mutex must keep them clean.
+    obs::MetricsExporter exporter;
+    ASSERT_TRUE(exporter.start());
+    obs::MetricsRegistry run_registry;
+    fill_sample(run_registry);
+    for (int i = 0; i < 8; ++i) {
+        const std::string name = "churn-" + std::to_string(i);
+        exporter.attach_run(name, &run_registry);
+        const std::string body =
+            http_get(exporter.port(), "GET /metrics HTTP/1.1\r\n\r\n");
+        EXPECT_NE(body.find("run=\"" + name + "\""), std::string::npos);
+        exporter.detach_run(name);
+    }
+}
+
+#endif  // DLSBL_TEST_HAVE_SOCKETS
+
+}  // namespace
+}  // namespace dlsbl

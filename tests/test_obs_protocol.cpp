@@ -8,6 +8,7 @@
 #include <cmath>
 #include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -194,6 +195,92 @@ TEST(ObsProtocol, IdenticalSeedsProduceByteIdenticalArtifacts) {
     EXPECT_EQ(first.jsonl, second.jsonl);
     EXPECT_EQ(first.catapult, second.catapult);
     EXPECT_EQ(first.metrics, second.metrics);
+}
+
+TEST(ObsProtocol, JsonlCarriesCausalSpanFields) {
+    const auto artifacts = run_with_observability();
+    ASSERT_TRUE(artifacts.settled);
+
+    // Collect the span graph from the JSONL: every record's optional
+    // trace/span/parent fields (schema v2).
+    std::set<double> traces;
+    std::set<double> spans;
+    std::set<double> parents;
+    std::size_t span_begins = 0;
+    std::istringstream in(artifacts.jsonl);
+    for (std::string line; std::getline(in, line);) {
+        const auto doc = obs::json_parse(line);
+        ASSERT_TRUE(doc.has_value());
+        const auto* trace = doc->find("trace");
+        const auto* span = doc->find("span");
+        if (span != nullptr) {
+            ASSERT_NE(trace, nullptr) << line;  // span implies trace
+            traces.insert(trace->number);
+            spans.insert(span->number);
+            EXPECT_GT(span->number, 0.0);
+        }
+        if (const auto* parent = doc->find("parent"); parent != nullptr) {
+            ASSERT_NE(span, nullptr) << line;  // parent implies span
+            parents.insert(parent->number);
+        }
+        if (const auto* event = doc->find("event");
+            event != nullptr && event->string == "span_begin") {
+            ++span_begins;
+        }
+    }
+    // One run = one trace id; a real span tree underneath.
+    EXPECT_EQ(traces.size(), 1u);
+    EXPECT_GE(span_begins, 8u) << "run + phases + per-processor spans";
+    // Causal closure: every referenced parent is itself a known span.
+    for (const double parent : parents) {
+        EXPECT_TRUE(spans.contains(parent)) << "dangling parent " << parent;
+    }
+    // The tree includes the protocol-level span names.
+    for (const char* name :
+         {"\"name\":\"run\"", "\"name\":\"phase:Bidding\"", "\"name\":\"msg:bid\"",
+          "\"name\":\"verify_blocks\"", "\"name\":\"compute\""}) {
+        EXPECT_NE(artifacts.jsonl.find(name), std::string::npos) << name;
+    }
+}
+
+TEST(ObsProtocol, CatapultRendersSpanTreeAndCrossTrackFlows) {
+    const auto artifacts = run_with_observability();
+    const auto doc = obs::json_parse(artifacts.catapult);
+    ASSERT_TRUE(doc.has_value());
+    const auto* events = doc->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+
+    std::map<double, std::size_t> async_begin;  // span id -> count
+    std::map<double, std::size_t> async_end;
+    std::map<double, std::vector<const obs::JsonValue*>> flows;  // edge id
+    for (const auto& event : events->array) {
+        const std::string& ph = event.find("ph")->string;
+        if (ph == "b") ++async_begin[event.find("id")->number];
+        if (ph == "e") ++async_end[event.find("id")->number];
+        if (ph == "s" || ph == "f") {
+            flows[event.find("id")->number].push_back(&event);
+        }
+    }
+    // Every async span opens and closes exactly once per id.
+    ASSERT_GE(async_begin.size(), 8u);
+    EXPECT_EQ(async_begin.size(), async_end.size());
+    for (const auto& [id, count] : async_begin) {
+        EXPECT_EQ(count, 1u) << "span " << id;
+        EXPECT_EQ(async_end[id], 1u) << "span " << id;
+    }
+    // Flow arrows come in s/f pairs that cross tracks (that is their job:
+    // sender's ship span -> receiver's verification/compute work).
+    ASSERT_FALSE(flows.empty());
+    std::size_t cross_track = 0;
+    for (const auto& [id, pair] : flows) {
+        ASSERT_EQ(pair.size(), 2u) << "edge " << id;
+        EXPECT_EQ(pair[0]->find("ph")->string, "s");
+        EXPECT_EQ(pair[1]->find("ph")->string, "f");
+        if (pair[0]->find("tid")->number != pair[1]->find("tid")->number) {
+            ++cross_track;
+        }
+    }
+    EXPECT_GE(cross_track, 3u);  // at least the three load shipments
 }
 
 TEST(ObsProtocol, RefereeCountersStayZeroInHonestRuns) {

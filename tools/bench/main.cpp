@@ -1,0 +1,136 @@
+// bench_track CLI — compare BENCH_*.json artifacts against checked-in
+// baselines, maintain the baselines, and append to a perf trajectory.
+//
+// Usage:
+//   bench_track [--baselines FILE] [--gate] [--update-baselines]
+//               [--report-out FILE] [--trajectory FILE] BENCH_*.json...
+//
+//   --baselines FILE    baseline store (default: bench/baselines.json
+//                       relative to the current directory)
+//   --gate              exit 1 when any regression is found (ctest's
+//                       bench-regress label runs with this)
+//   --update-baselines  re-seed the store from the given artifacts instead
+//                       of comparing (prints the path written)
+//   --report-out FILE   write the comparison report as JSON
+//   --trajectory FILE   append one JSONL line per artifact (git describe +
+//                       raw times) — a growing perf history
+//
+// See track.hpp for the normalization model (geomean-relative, wide band)
+// that makes the gate meaningful across machines of different speeds.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "track.hpp"
+
+using namespace dlsbl;
+
+namespace {
+
+[[noreturn]] void usage() {
+    std::fprintf(stderr,
+                 "usage: bench_track [--baselines FILE] [--gate] [--update-baselines]\n"
+                 "                   [--report-out FILE] [--trajectory FILE]\n"
+                 "                   BENCH_*.json...\n");
+    std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string baselines_path = "bench/baselines.json";
+    std::string report_out;
+    std::string trajectory_path;
+    bool gate = false;
+    bool update = false;
+    std::vector<std::string> inputs;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) usage();
+            return argv[++i];
+        };
+        if (arg == "--baselines") {
+            baselines_path = next();
+        } else if (arg == "--gate") {
+            gate = true;
+        } else if (arg == "--update-baselines") {
+            update = true;
+        } else if (arg == "--report-out") {
+            report_out = next();
+        } else if (arg == "--trajectory") {
+            trajectory_path = next();
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "bench_track: unknown flag '%s'\n", arg.c_str());
+            usage();
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+    if (inputs.empty()) usage();
+
+    std::vector<tools::BenchArtifact> artifacts;
+    for (const auto& path : inputs) {
+        auto artifact = tools::load_bench_artifact(path);
+        if (!artifact) return 2;
+        artifacts.push_back(std::move(*artifact));
+    }
+
+    if (update) {
+        // Preserve the band (and any benches not re-seeded) from the
+        // existing store.
+        tools::BaselineStore store;
+        if (auto existing = tools::BaselineStore::load(baselines_path)) {
+            store = std::move(*existing);
+        }
+        for (const auto& merged : tools::median_merge(artifacts)) {
+            store.benches[merged.bench_id] = merged;
+        }
+        if (!store.save(baselines_path)) {
+            std::fprintf(stderr, "bench_track: cannot write %s\n",
+                         baselines_path.c_str());
+            return 2;
+        }
+        std::printf("bench_track: baselines written to %s (%zu bench(es))\n",
+                    baselines_path.c_str(), store.benches.size());
+        return 0;
+    }
+
+    const auto store = tools::BaselineStore::load(baselines_path);
+    if (!store) {
+        std::fprintf(stderr,
+                     "bench_track: cannot load baselines from %s "
+                     "(seed with --update-baselines)\n",
+                     baselines_path.c_str());
+        return 2;
+    }
+
+    const auto report = tools::compare_against_baselines(*store, artifacts);
+    std::printf("%s", report.render_text().c_str());
+
+    if (!report_out.empty()) {
+        std::ofstream out(report_out, std::ios::trunc | std::ios::binary);
+        if (!out.good()) {
+            std::fprintf(stderr, "bench_track: cannot write %s\n", report_out.c_str());
+            return 2;
+        }
+        out << report.to_json();
+    }
+    if (!trajectory_path.empty()) {
+        std::ofstream out(trajectory_path, std::ios::app | std::ios::binary);
+        if (!out.good()) {
+            std::fprintf(stderr, "bench_track: cannot append to %s\n",
+                         trajectory_path.c_str());
+            return 2;
+        }
+        for (const auto& artifact : artifacts) out << tools::trajectory_line(artifact);
+    }
+
+    if (gate && report.regressions > 0) return 1;
+    return 0;
+}

@@ -1,0 +1,394 @@
+#include "track.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace dlsbl::tools {
+
+namespace {
+
+std::optional<std::string> read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) return std::nullopt;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+// Geometric mean of the values of `results` restricted to `names`; 0 when
+// the restriction is empty or any value is non-positive (degenerate file).
+double geomean_over(const std::map<std::string, double>& results,
+                    const std::vector<std::string>& names) {
+    if (names.empty()) return 0.0;
+    double log_sum = 0.0;
+    for (const auto& name : names) {
+        const double value = results.at(name);
+        if (!(value > 0.0)) return 0.0;
+        log_sum += std::log(value);
+    }
+    return std::exp(log_sum / static_cast<double>(names.size()));
+}
+
+}  // namespace
+
+std::string bench_id_from_path(const std::string& path) {
+    std::string base = path;
+    const std::size_t slash = base.find_last_of("/\\");
+    if (slash != std::string::npos) base = base.substr(slash + 1);
+    if (base.rfind("BENCH_", 0) == 0) base = base.substr(6);
+    if (base.size() > 5 && base.substr(base.size() - 5) == ".json") {
+        base = base.substr(0, base.size() - 5);
+    }
+    return base;
+}
+
+std::optional<BenchArtifact> load_bench_artifact(const std::string& path) {
+    const auto text = read_file(path);
+    if (!text) {
+        std::fprintf(stderr, "bench_track: cannot read %s\n", path.c_str());
+        return std::nullopt;
+    }
+    const auto doc = obs::json_parse(*text);
+    if (!doc || doc->kind != obs::JsonValue::Kind::kObject) {
+        std::fprintf(stderr, "bench_track: %s is not a JSON object\n", path.c_str());
+        return std::nullopt;
+    }
+    const obs::JsonValue* results = doc->find("results");
+    if (results == nullptr || results->kind != obs::JsonValue::Kind::kArray) {
+        std::fprintf(stderr, "bench_track: %s has no results array\n", path.c_str());
+        return std::nullopt;
+    }
+
+    BenchArtifact artifact;
+    artifact.path = path;
+    artifact.bench_id = bench_id_from_path(path);
+    artifact.git_describe = "unknown";
+    if (const obs::JsonValue* manifest = doc->find("manifest");
+        manifest != nullptr && manifest->kind == obs::JsonValue::Kind::kObject) {
+        if (const obs::JsonValue* git = manifest->find("git");
+            git != nullptr && git->kind == obs::JsonValue::Kind::kString) {
+            artifact.git_describe = git->string;
+        }
+    }
+
+    // Repeated names (a bench appending several samples) collapse to the
+    // median — the noise-tolerant representative.
+    std::map<std::string, std::vector<double>> samples;
+    for (const auto& entry : results->array) {
+        if (entry.kind != obs::JsonValue::Kind::kObject) continue;
+        const obs::JsonValue* name = entry.find("name");
+        const obs::JsonValue* real_time = entry.find("real_time_s");
+        if (name == nullptr || name->kind != obs::JsonValue::Kind::kString) continue;
+        if (real_time == nullptr || real_time->kind != obs::JsonValue::Kind::kNumber) {
+            continue;
+        }
+        samples[name->string].push_back(real_time->number);
+    }
+    for (auto& [name, values] : samples) {
+        std::sort(values.begin(), values.end());
+        artifact.results[name] = values[values.size() / 2];
+    }
+
+    if (const obs::JsonValue* derived = doc->find("derived");
+        derived != nullptr && derived->kind == obs::JsonValue::Kind::kObject) {
+        for (const auto& [key, value] : derived->object) {
+            if (value.kind == obs::JsonValue::Kind::kNumber) {
+                artifact.derived[key] = value.number;
+            }
+        }
+    }
+    return artifact;
+}
+
+std::vector<BenchArtifact> median_merge(const std::vector<BenchArtifact>& artifacts) {
+    std::vector<BenchArtifact> merged;
+    std::map<std::string, std::size_t> index;                       // id -> slot
+    std::map<std::string, std::map<std::string, std::vector<double>>> samples;
+    for (const auto& artifact : artifacts) {
+        auto [it, inserted] = index.emplace(artifact.bench_id, merged.size());
+        if (inserted) merged.push_back(artifact);
+        BenchArtifact& slot = merged[it->second];
+        // Last artifact in the group wins provenance + derived metrics; the
+        // stored source drops the build-dir prefix.
+        slot.git_describe = artifact.git_describe;
+        slot.derived = artifact.derived;
+        slot.path = "BENCH_" + artifact.bench_id + ".json";
+        for (const auto& [name, value] : artifact.results) {
+            samples[artifact.bench_id][name].push_back(value);
+        }
+    }
+    for (auto& slot : merged) {
+        slot.results.clear();
+        for (auto& [name, values] : samples[slot.bench_id]) {
+            std::sort(values.begin(), values.end());
+            slot.results[name] = values[values.size() / 2];
+        }
+    }
+    return merged;
+}
+
+std::string BaselineStore::to_json() const {
+    std::string out = "{\"version\":" + std::to_string(kSchemaVersion);
+    out += ",\"relative_band\":" + obs::json_number(relative_band);
+    out += ",\"benches\":{";
+    bool first_bench = true;
+    for (const auto& [id, artifact] : benches) {
+        if (!first_bench) out += ',';
+        first_bench = false;
+        out += obs::json_escape(id) + ":{\"source\":" + obs::json_escape(artifact.path);
+        out += ",\"git\":" + obs::json_escape(artifact.git_describe);
+        out += ",\"results\":{";
+        bool first = true;
+        for (const auto& [name, value] : artifact.results) {
+            if (!first) out += ',';
+            first = false;
+            out += obs::json_escape(name) + ':' + obs::json_number(value);
+        }
+        out += "},\"derived\":{";
+        first = true;
+        for (const auto& [name, value] : artifact.derived) {
+            if (!first) out += ',';
+            first = false;
+            out += obs::json_escape(name) + ':' + obs::json_number(value);
+        }
+        out += "}}";
+    }
+    out += "}}\n";
+    return out;
+}
+
+std::optional<BaselineStore> BaselineStore::from_json(const std::string& text) {
+    const auto doc = obs::json_parse(text);
+    if (!doc || doc->kind != obs::JsonValue::Kind::kObject) return std::nullopt;
+    BaselineStore store;
+    if (const obs::JsonValue* band = doc->find("relative_band");
+        band != nullptr && band->kind == obs::JsonValue::Kind::kNumber) {
+        store.relative_band = band->number;
+    }
+    const obs::JsonValue* benches = doc->find("benches");
+    if (benches == nullptr || benches->kind != obs::JsonValue::Kind::kObject) {
+        return store;  // empty store is valid
+    }
+    for (const auto& [id, entry] : benches->object) {
+        if (entry.kind != obs::JsonValue::Kind::kObject) return std::nullopt;
+        BenchArtifact artifact;
+        artifact.bench_id = id;
+        if (const obs::JsonValue* source = entry.find("source");
+            source != nullptr && source->kind == obs::JsonValue::Kind::kString) {
+            artifact.path = source->string;
+        }
+        if (const obs::JsonValue* git = entry.find("git");
+            git != nullptr && git->kind == obs::JsonValue::Kind::kString) {
+            artifact.git_describe = git->string;
+        }
+        if (const obs::JsonValue* results = entry.find("results");
+            results != nullptr && results->kind == obs::JsonValue::Kind::kObject) {
+            for (const auto& [name, value] : results->object) {
+                if (value.kind != obs::JsonValue::Kind::kNumber) return std::nullopt;
+                artifact.results[name] = value.number;
+            }
+        }
+        if (const obs::JsonValue* derived = entry.find("derived");
+            derived != nullptr && derived->kind == obs::JsonValue::Kind::kObject) {
+            for (const auto& [name, value] : derived->object) {
+                if (value.kind == obs::JsonValue::Kind::kNumber) {
+                    artifact.derived[name] = value.number;
+                }
+            }
+        }
+        store.benches.emplace(id, std::move(artifact));
+    }
+    return store;
+}
+
+std::optional<BaselineStore> BaselineStore::load(const std::string& path) {
+    const auto text = read_file(path);
+    if (!text) return std::nullopt;
+    return from_json(*text);
+}
+
+bool BaselineStore::save(const std::string& path) const {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    if (!out.good()) return false;
+    out << to_json();
+    return out.good();
+}
+
+const char* to_string(DeltaStatus status) noexcept {
+    switch (status) {
+        case DeltaStatus::kOk: return "ok";
+        case DeltaStatus::kRegression: return "REGRESSION";
+        case DeltaStatus::kImprovement: return "improvement";
+        case DeltaStatus::kAdded: return "added";
+        case DeltaStatus::kRemoved: return "removed";
+    }
+    return "?";
+}
+
+CompareReport compare_against_baselines(const BaselineStore& store,
+                                        const std::vector<BenchArtifact>& artifacts) {
+    CompareReport report;
+    const double fail_above = 1.0 + store.relative_band;
+    for (const auto& artifact : artifacts) {
+        const auto baseline_it = store.benches.find(artifact.bench_id);
+        if (baseline_it == store.benches.end()) {
+            report.notes.push_back("no baseline for bench '" + artifact.bench_id +
+                                   "' (" + artifact.path + "): skipped");
+            continue;
+        }
+        const BenchArtifact& baseline = baseline_it->second;
+
+        // The host speed factor is the median per-name time ratio over the
+        // shared names: a uniformly different machine cancels exactly, and
+        // (unlike a mean) one regressed outlier cannot drag the normalizer.
+        std::vector<std::string> shared;
+        std::vector<double> ratios;
+        for (const auto& [name, value] : artifact.results) {
+            const auto base = baseline.results.find(name);
+            if (base == baseline.results.end()) continue;
+            if (!(value > 0.0) || !(base->second > 0.0)) continue;
+            shared.push_back(name);
+            ratios.push_back(value / base->second);
+        }
+        if (shared.empty()) {
+            report.notes.push_back("bench '" + artifact.bench_id +
+                                   "': no comparable results, skipped");
+            continue;
+        }
+        std::vector<double> sorted = ratios;
+        std::sort(sorted.begin(), sorted.end());
+        const double speed = sorted.size() % 2 == 1
+                                 ? sorted[sorted.size() / 2]
+                                 : 0.5 * (sorted[sorted.size() / 2 - 1] +
+                                          sorted[sorted.size() / 2]);
+
+        for (std::size_t i = 0; i < shared.size(); ++i) {
+            const std::string& name = shared[i];
+            BenchDelta delta;
+            delta.bench_id = artifact.bench_id;
+            delta.name = name;
+            delta.baseline_s = baseline.results.at(name);
+            delta.current_s = artifact.results.at(name);
+            delta.speed = speed;
+            delta.ratio = ratios[i] / speed;
+            if (delta.ratio > fail_above) {
+                delta.status = DeltaStatus::kRegression;
+                ++report.regressions;
+            } else if (delta.ratio < 1.0 / fail_above) {
+                delta.status = DeltaStatus::kImprovement;
+                ++report.improvements;
+            }
+            report.deltas.push_back(std::move(delta));
+        }
+        for (const auto& [name, value] : artifact.results) {
+            if (baseline.results.contains(name)) continue;
+            BenchDelta delta;
+            delta.bench_id = artifact.bench_id;
+            delta.name = name;
+            delta.status = DeltaStatus::kAdded;
+            report.deltas.push_back(std::move(delta));
+        }
+        for (const auto& [name, value] : baseline.results) {
+            if (artifact.results.contains(name)) continue;
+            BenchDelta delta;
+            delta.bench_id = artifact.bench_id;
+            delta.name = name;
+            delta.status = DeltaStatus::kRemoved;
+            report.deltas.push_back(std::move(delta));
+        }
+
+        // Derived headline metrics: informational only (speedup ratios are
+        // already relative, but they mix machine features — AVX width, core
+        // count — so they never gate).
+        for (const auto& [name, value] : artifact.derived) {
+            const auto base = baseline.derived.find(name);
+            if (base == baseline.derived.end() || !(base->second > 0.0)) continue;
+            const double shift = value / base->second;
+            if (shift > fail_above || shift < 1.0 / fail_above) {
+                report.notes.push_back(
+                    "derived '" + artifact.bench_id + "/" + name + "' shifted " +
+                    obs::json_number(shift) + "x (informational)");
+            }
+        }
+    }
+    return report;
+}
+
+std::string CompareReport::render_text() const {
+    std::string out;
+    for (const auto& delta : deltas) {
+        if (delta.status == DeltaStatus::kOk) continue;  // keep the report legible
+        char line[256];
+        if (delta.status == DeltaStatus::kAdded || delta.status == DeltaStatus::kRemoved) {
+            std::snprintf(line, sizeof(line), "%-11s %s/%s\n", to_string(delta.status),
+                          delta.bench_id.c_str(), delta.name.c_str());
+        } else {
+            std::snprintf(line, sizeof(line),
+                          "%-11s %s/%s  %.4gs -> %.4gs  (%.2fx normalized, "
+                          "host speed %.2fx)\n",
+                          to_string(delta.status), delta.bench_id.c_str(),
+                          delta.name.c_str(), delta.baseline_s, delta.current_s,
+                          delta.ratio, delta.speed);
+        }
+        out += line;
+    }
+    for (const auto& note : notes) out += "note: " + note + '\n';
+    char summary[160];
+    std::snprintf(summary, sizeof(summary),
+                  "bench_track: %zu compared, %zu regression(s), %zu improvement(s)\n",
+                  deltas.size(), regressions, improvements);
+    out += summary;
+    return out;
+}
+
+std::string CompareReport::to_json() const {
+    std::string out = "{\"regressions\":" + std::to_string(regressions);
+    out += ",\"improvements\":" + std::to_string(improvements);
+    out += ",\"deltas\":[";
+    bool first = true;
+    for (const auto& delta : deltas) {
+        if (!first) out += ',';
+        first = false;
+        out += "{\"bench\":" + obs::json_escape(delta.bench_id);
+        out += ",\"name\":" + obs::json_escape(delta.name);
+        out += ",\"status\":" + obs::json_escape(to_string(delta.status));
+        out += ",\"baseline_s\":" + obs::json_number(delta.baseline_s);
+        out += ",\"current_s\":" + obs::json_number(delta.current_s);
+        out += ",\"speed\":" + obs::json_number(delta.speed);
+        out += ",\"ratio\":" + obs::json_number(delta.ratio) + '}';
+    }
+    out += "],\"notes\":[";
+    first = true;
+    for (const auto& note : notes) {
+        if (!first) out += ',';
+        first = false;
+        out += obs::json_escape(note);
+    }
+    out += "]}\n";
+    return out;
+}
+
+std::string trajectory_line(const BenchArtifact& artifact) {
+    std::string out = "{\"bench\":" + obs::json_escape(artifact.bench_id);
+    out += ",\"git\":" + obs::json_escape(artifact.git_describe);
+    std::vector<std::string> names;
+    names.reserve(artifact.results.size());
+    for (const auto& [name, value] : artifact.results) names.push_back(name);
+    out += ",\"geomean_s\":" + obs::json_number(geomean_over(artifact.results, names));
+    out += ",\"results\":{";
+    bool first = true;
+    for (const auto& [name, value] : artifact.results) {
+        if (!first) out += ',';
+        first = false;
+        out += obs::json_escape(name) + ':' + obs::json_number(value);
+    }
+    out += "}}\n";
+    return out;
+}
+
+}  // namespace dlsbl::tools

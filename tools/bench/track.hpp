@@ -1,0 +1,107 @@
+// bench_track: noise-tolerant perf-regression tracking over BENCH_*.json
+// artifacts (bench/bench_json.hpp schema).
+//
+// The comparison is machine-independent by construction: the host's speed
+// factor is estimated as the *median* of the per-benchmark time ratios
+// (current/baseline over the names shared with the baseline), and each
+// benchmark gates on its ratio normalized by that factor:
+//
+//     (cur_i / base_i) / median_j(cur_j / base_j) > 1 + relative_band
+//
+// A uniformly faster or slower host moves every ratio equally and cancels
+// exactly; and because the median is robust, one genuinely regressed
+// benchmark cannot drag the normalizer with it (a geometric-mean
+// normalizer would absorb 1/n of the slowdown and dilute the signal).
+// The default band (0.75) is wide enough that scheduler jitter on a loaded
+// CI host passes, while a genuine 2x slowdown of any single benchmark
+// fails. Comparing a file against itself is exactly ratio 1.0 everywhere —
+// zero regressions, which is what the bench-regress ctest asserts first.
+//
+// Everything here is clock-free and deterministic: provenance comes from
+// the git describe already stamped into each artifact's manifest, never
+// from the wall clock, so re-running bench_track on identical inputs
+// writes identical reports.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dlsbl::tools {
+
+// One BENCH_*.json artifact, reduced to what the tracker needs.
+struct BenchArtifact {
+    std::string path;
+    std::string bench_id;      // "crypto" from .../BENCH_crypto.json
+    std::string git_describe;  // from the embedded manifest ("unknown" if absent)
+    // name -> per-iteration real time in seconds. Multiple samples of the
+    // same name (repeated runs appended to one file) collapse to the median.
+    std::map<std::string, double> results;
+    // Headline derived metrics (speedups); tracked but never gated.
+    std::map<std::string, double> derived;
+};
+
+// Derives the bench id from a path: basename, minus a "BENCH_" prefix and a
+// ".json" suffix when present ("out/BENCH_crypto.json" -> "crypto").
+std::string bench_id_from_path(const std::string& path);
+
+// Parses one artifact; nullopt (with a stderr diagnostic) when the file is
+// unreadable or not a bench_json document.
+std::optional<BenchArtifact> load_bench_artifact(const std::string& path);
+
+// Groups artifacts by bench id and collapses each benchmark name to its
+// median across the group — seeding baselines from N independent sample
+// runs ("median-of-N") instead of one noisy measurement. Derived metrics
+// and provenance come from the group's last artifact; the stored source
+// path is the canonical basename. Group order follows first appearance.
+std::vector<BenchArtifact> median_merge(const std::vector<BenchArtifact>& artifacts);
+
+// The checked-in baseline store (bench/baselines.json).
+struct BaselineStore {
+    static constexpr int kSchemaVersion = 1;
+    double relative_band = 0.75;
+    // bench id -> artifact snapshot (raw times; normalization happens at
+    // comparison time so the stored numbers stay human-meaningful).
+    std::map<std::string, BenchArtifact> benches;
+
+    [[nodiscard]] std::string to_json() const;
+    static std::optional<BaselineStore> from_json(const std::string& text);
+    static std::optional<BaselineStore> load(const std::string& path);
+    [[nodiscard]] bool save(const std::string& path) const;
+};
+
+enum class DeltaStatus { kOk, kRegression, kImprovement, kAdded, kRemoved };
+
+const char* to_string(DeltaStatus status) noexcept;
+
+struct BenchDelta {
+    std::string bench_id;
+    std::string name;
+    DeltaStatus status = DeltaStatus::kOk;
+    double baseline_s = 0.0;  // raw baseline per-iteration seconds
+    double current_s = 0.0;   // raw current per-iteration seconds
+    double speed = 1.0;       // host speed factor: median_j(cur_j / base_j)
+    double ratio = 1.0;       // (current_s / baseline_s) / speed
+};
+
+struct CompareReport {
+    std::vector<BenchDelta> deltas;       // deterministic (bench, name) order
+    std::size_t regressions = 0;
+    std::size_t improvements = 0;
+    std::vector<std::string> notes;       // skipped benches, derived shifts, ...
+
+    [[nodiscard]] std::string render_text() const;
+    [[nodiscard]] std::string to_json() const;
+};
+
+// Compares artifacts against the store. Artifacts whose bench id has no
+// baseline are noted, not gated (a new bench cannot regress).
+CompareReport compare_against_baselines(const BaselineStore& store,
+                                        const std::vector<BenchArtifact>& artifacts);
+
+// One JSONL trajectory line per artifact (append-mode artifact: a growing
+// perf history keyed by git describe, plot-ready).
+std::string trajectory_line(const BenchArtifact& artifact);
+
+}  // namespace dlsbl::tools

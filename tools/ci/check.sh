@@ -50,6 +50,13 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 step "ctest"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+step "bench-regress (perf gate)"
+# The full ctest above already ran the bench-smoke suites (writing fresh
+# BENCH_*.json into the build dir) and the bench_regress gate; re-running
+# the label here surfaces the tracker's report in its own stage so a perf
+# regression is legible in CI logs, not buried in the ctest summary.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L bench-regress
+
 step "dlsbl_lint"
 "$BUILD_DIR/tools/lint/dlsbl_lint" --root "$REPO_ROOT" \
     src tests bench examples tools
