@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common.hpp"
 #include "obs/json.hpp"
 #include "obs/manifest.hpp"
 
@@ -42,19 +43,12 @@ struct JsonResult {
 // returns the path when present.
 inline std::optional<std::string> json_out_from_args(int* argc, char** argv) {
     std::optional<std::string> path;
-    int out = 1;
-    for (int i = 1; i < *argc; ++i) {
-        const std::string_view arg = argv[i];
-        if (arg == "--json-out" && i + 1 < *argc) {
-            path = argv[++i];
-        } else if (arg.rfind("--json-out=", 0) == 0) {
-            path = std::string(arg.substr(std::strlen("--json-out=")));
-        } else {
-            argv[out++] = argv[i];
-        }
-    }
-    *argc = out;
-    argv[*argc] = nullptr;
+    ArgSpec spec;
+    spec.option("--json-out", [&path](const std::string& value) {
+        path = value;
+        return true;
+    });
+    spec.consume(argc, argv);
     return path;
 }
 

@@ -13,8 +13,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "exec/executor.hpp"
 #include "obs/exporter.hpp"
@@ -22,6 +25,120 @@
 #include "obs/metrics.hpp"
 
 namespace dlsbl::bench {
+
+// Declarative CLI flag table shared by every bench and example binary — the
+// one place that knows `--name value` vs `--name=value`, aliases, and how to
+// strip recognized flags out of argv. Register handlers, then either
+// consume() (recognized flags are removed so the rest can go to another
+// parser, e.g. benchmark::Initialize) or scan() (read-only pass).
+//
+//   bench::ArgSpec spec;
+//   spec.option("--jobs", [&](const std::string& v) { jobs = parse(v); return true; })
+//       .alias("-j", "--jobs")
+//       .flag("--trace", [&] { show_trace = true; });
+//   if (!spec.scan(argc, argv)) usage();
+class ArgSpec {
+ public:
+    // A value-carrying option; the handler returns false to reject the value.
+    using Handler = std::function<bool(const std::string&)>;
+
+    ArgSpec& option(std::string name, Handler on_value) {
+        entries_[std::move(name)] = Entry{true, std::move(on_value)};
+        return *this;
+    }
+
+    // A bare switch.
+    ArgSpec& flag(std::string name, std::function<void()> on_seen) {
+        entries_[std::move(name)] = Entry{false, [fn = std::move(on_seen)](
+                                                     const std::string&) {
+                                              fn();
+                                              return true;
+                                          }};
+        return *this;
+    }
+
+    // Secondary spelling (e.g. "-j" for "--jobs").
+    ArgSpec& alias(std::string name, const std::string& canonical) {
+        entries_[std::move(name)] = entries_.at(canonical);
+        return *this;
+    }
+
+    // Removes every recognized flag (and its value) from argv, leaving
+    // unrecognized arguments in place for the caller. Returns false on a
+    // missing or rejected value — error() says which flag.
+    bool consume(int* argc, char** argv) { return parse(argc, argv, true); }
+
+    // Read-only pass over the full argv; unrecognized arguments are ignored.
+    bool scan(int argc, char** argv) { return parse(&argc, argv, false); }
+
+    // Like scan(), but unrecognized `-`-prefixed arguments fail the parse —
+    // for binaries that own their whole command line (e.g. dlsbl_cli).
+    bool scan_strict(int argc, char** argv) {
+        strict_ = true;
+        const bool ok = parse(&argc, argv, false);
+        strict_ = false;
+        return ok;
+    }
+
+    [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+ private:
+    struct Entry {
+        bool wants_value = false;
+        Handler handler;
+    };
+
+    bool parse(int* argc, char** argv, bool remove) {
+        error_.clear();
+        int out = 1;
+        bool ok = true;
+        for (int i = 1; i < *argc; ++i) {
+            const std::string_view arg = argv[i];
+            std::string name(arg);
+            std::string value;
+            bool has_inline_value = false;
+            if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+                name = std::string(arg.substr(0, eq));
+                value = std::string(arg.substr(eq + 1));
+                has_inline_value = true;
+            }
+            const auto it = entries_.find(name);
+            if (it == entries_.end()) {
+                if (strict_ && !arg.empty() && arg.front() == '-') {
+                    error_ = "unknown argument '" + std::string(arg) + "'";
+                    ok = false;
+                }
+                if (remove) argv[out] = argv[i];
+                ++out;
+                continue;
+            }
+            const Entry& entry = it->second;
+            if (entry.wants_value && !has_inline_value) {
+                if (i + 1 >= *argc) {
+                    error_ = name + ": missing value";
+                    ok = false;
+                    if (remove) argv[out] = argv[i];
+                    ++out;
+                    continue;
+                }
+                value = argv[++i];
+            }
+            if (!entry.handler(value)) {
+                error_ = name + ": bad value '" + value + "'";
+                ok = false;
+            }
+        }
+        if (remove) {
+            *argc = out;
+            argv[*argc] = nullptr;
+        }
+        return ok;
+    }
+
+    std::map<std::string, Entry> entries_;
+    std::string error_;
+    bool strict_ = false;
+};
 
 class Report {
  public:
@@ -68,7 +185,19 @@ class Report {
 inline exec::ExecutorOptions parallel_options(int argc, char** argv,
                                               std::uint64_t root_seed) {
     exec::ExecutorOptions options;
-    options.jobs = exec::RunExecutor::jobs_from_args(argc, argv, 1);
+    options.jobs = 1;
+    // Explicit operator knob for worker count; artifacts are byte-identical
+    // at any value, so this cannot break replay. DLSBL_LINT_ALLOW(determinism)
+    if (const char* env = std::getenv("DLSBL_JOBS"); env != nullptr && *env != '\0') {
+        options.jobs = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+    }
+    ArgSpec spec;
+    spec.option("--jobs", [&options](const std::string& value) {
+        options.jobs = static_cast<std::size_t>(std::strtoul(value.c_str(), nullptr, 10));
+        return true;
+    });
+    spec.alias("-j", "--jobs");
+    spec.scan(argc, argv);
     options.root_seed = root_seed;
     return options;
 }
@@ -89,21 +218,23 @@ auto run_parallel(const exec::ExecutorOptions& options, std::size_t count, Fn&& 
 // observational, so the bench proceeds either way.
 inline std::unique_ptr<obs::MetricsExporter> metrics_exporter_from_args(int argc,
                                                                         char** argv) {
-    for (int i = 1; i + 1 < argc; ++i) {
-        if (std::strcmp(argv[i], "--metrics-port") != 0) continue;
+    std::unique_ptr<obs::MetricsExporter> exporter;
+    ArgSpec spec;
+    spec.option("--metrics-port", [&exporter](const std::string& value) {
         obs::ExporterOptions options;
-        options.port =
-            static_cast<std::uint16_t>(std::strtoul(argv[i + 1], nullptr, 10));
-        auto exporter = std::make_unique<obs::MetricsExporter>(options);
-        if (!exporter->start()) {
-            std::fprintf(stderr, "bench: cannot bind metrics port %s\n", argv[i + 1]);
-            return nullptr;
+        options.port = static_cast<std::uint16_t>(std::strtoul(value.c_str(), nullptr, 10));
+        auto candidate = std::make_unique<obs::MetricsExporter>(options);
+        if (!candidate->start()) {
+            std::fprintf(stderr, "bench: cannot bind metrics port %s\n", value.c_str());
+            return true;  // purely observational: the bench proceeds anyway
         }
         std::fprintf(stderr, "metrics: http://127.0.0.1:%u/metrics\n",
-                     static_cast<unsigned>(exporter->port()));
-        return exporter;
-    }
-    return nullptr;
+                     static_cast<unsigned>(candidate->port()));
+        exporter = std::move(candidate);
+        return true;
+    });
+    spec.scan(argc, argv);
+    return exporter;
 }
 
 inline std::string fmt(const char* format, double a) {

@@ -15,6 +15,7 @@
 #include "dlt/closed_form.hpp"
 #include "dlt/finish_time.hpp"
 #include "dlt/gantt.hpp"
+#include "protocol/detail/run_internals.hpp"
 #include "protocol/runner.hpp"
 #include "util/table.hpp"
 
@@ -103,7 +104,7 @@ inline int run_figure_bench(dlt::NetworkKind kind, const std::string& figure_nam
                 return protocol::run_protocol(
                     config, [&](const protocol::RunInternals& internals) {
                         simulated_figure = util::render_gantt(
-                            sim::gantt_from_trace(internals.context.network().trace()),
+                            sim::gantt_from_trace(internals.trace()),
                             {});
                     });
             }).front();

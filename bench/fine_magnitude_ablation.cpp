@@ -10,6 +10,7 @@
 //      the prescribed compensations.
 #include "agents/zoo.hpp"
 #include "bench/common.hpp"
+#include "protocol/detail/run_internals.hpp"
 #include "protocol/runner.hpp"
 #include "util/table.hpp"
 

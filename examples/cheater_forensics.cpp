@@ -17,6 +17,7 @@
 #include "agents/zoo.hpp"
 #include "obs/catapult.hpp"
 #include "obs/event.hpp"
+#include "protocol/detail/run_internals.hpp"
 #include "protocol/runner.hpp"
 #include "util/table.hpp"
 
@@ -62,7 +63,7 @@ void investigate(const protocol::Strategy& strategy, std::size_t slot,
     const auto outcome = protocol::run_protocol(config, [&](const auto& internals) {
         if (!g_trace_prefix.empty()) {
             obs::write_catapult_file(g_trace_prefix + slug + ".json",
-                                     internals.context.network().trace());
+                                     internals.trace());
         }
         if (!g_metrics_prefix.empty()) {
             std::ofstream out(g_metrics_prefix + slug + ".txt");
@@ -70,7 +71,7 @@ void investigate(const protocol::Strategy& strategy, std::size_t slot,
         }
         // Replay the referee's verdict lines from the network trace.
         for (const auto& event :
-             internals.context.network().trace().filter(sim::TraceKind::kVerdict)) {
+             internals.trace().filter(sim::TraceKind::kVerdict)) {
             std::printf("  t=%.6f  referee: %s\n", event.time, event.detail.c_str());
         }
         // And the money movements.

@@ -4,8 +4,9 @@
 //   dlsbl_cli [--kind fe|nfe] [--z <double>] [--w <w1,w2,...>]
 //             [--strategy <index>:<name>]... [--blocks N] [--latency L]
 //             [--fine F] [--seed S] [--trace] [--repeat N] [--jobs N]
-//             [--log-level off|error|warn|info|debug] [--jsonl-out <file.jsonl>]
-//             [--trace-out <file.json>] [--metrics-out <file.txt>] [--profile]
+//             [--driver sim|bus] [--log-level off|error|warn|info|debug]
+//             [--jsonl-out <file.jsonl>] [--trace-out <file.json>]
+//             [--metrics-out <file.txt>] [--profile]
 //
 // --repeat N runs N independent instances whose seeds derive from --seed
 // (util::derive_seed), submitted through exec::RunExecutor; --jobs N (or
@@ -31,12 +32,14 @@
 #include <fstream>
 
 #include "agents/zoo.hpp"
+#include "bench/common.hpp"
 #include "exec/executor.hpp"
 #include "obs/catapult.hpp"
 #include "obs/event.hpp"
 #include "obs/exporter.hpp"
 #include "obs/manifest.hpp"
 #include "obs/profiler.hpp"
+#include "protocol/detail/run_internals.hpp"
 #include "protocol/runner.hpp"
 #include "util/table.hpp"
 
@@ -92,6 +95,10 @@ std::vector<double> parse_doubles(const std::string& csv) {
         "usage: dlsbl_cli [--kind fe|nfe] [--z Z] [--w w1,w2,...]\n"
         "                 [--strategy i:name]... [--blocks N] [--latency L]\n"
         "                 [--fine F] [--seed S] [--trace]\n"
+        "                 [--driver sim|bus]    protocol driver: discrete-event\n"
+        "                                      sim (default) or the in-process\n"
+        "                                      message bus — artifacts are\n"
+        "                                      byte-identical either way\n"
         "                 [--repeat N]         run N seed-derived instances\n"
         "                 [--jobs N]           executor workers (or DLSBL_JOBS)\n"
         "                 [--log-level off|error|warn|info|debug]\n"
@@ -115,6 +122,7 @@ int main(int argc, char** argv) {
     config.true_w = {1.0, 2.0, 1.5, 0.8};
     config.block_count = 1200;
     config.signature_algorithm = crypto::SignatureAlgorithm::kFast;
+    protocol::DriverKind driver = protocol::DriverKind::kSim;
     bool show_trace = false;
     bool profile = false;
     bool metrics_port_set = false;
@@ -126,70 +134,102 @@ int main(int argc, char** argv) {
 
     obs::install_logger_bridge();
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> std::string {
-            if (i + 1 >= argc) usage();
-            return argv[++i];
-        };
-        if (arg == "--kind") {
-            const std::string kind = next();
-            if (kind == "fe") {
-                config.kind = dlt::NetworkKind::kNcpFE;
-            } else if (kind == "nfe") {
-                config.kind = dlt::NetworkKind::kNcpNFE;
-            } else {
-                usage();
-            }
-        } else if (arg == "--z") {
-            config.z = std::strtod(next().c_str(), nullptr);
-        } else if (arg == "--w") {
-            config.true_w = parse_doubles(next());
-        } else if (arg == "--strategy") {
-            const std::string spec = next();
-            const std::size_t colon = spec.find(':');
-            if (colon == std::string::npos) usage();
-            strategy_args.emplace_back(
-                static_cast<std::size_t>(std::strtoul(spec.c_str(), nullptr, 10)),
-                spec.substr(colon + 1));
-        } else if (arg == "--blocks") {
-            config.block_count =
-                static_cast<std::size_t>(std::strtoul(next().c_str(), nullptr, 10));
-        } else if (arg == "--latency") {
-            config.control_latency = std::strtod(next().c_str(), nullptr);
-        } else if (arg == "--fine") {
-            config.fine_policy.fixed_fine = std::strtod(next().c_str(), nullptr);
-        } else if (arg == "--seed") {
-            config.seed = std::strtoull(next().c_str(), nullptr, 10);
-        } else if (arg == "--trace") {
-            show_trace = true;
-        } else if (arg == "--repeat") {
-            repeat = static_cast<std::size_t>(std::strtoul(next().c_str(), nullptr, 10));
-            if (repeat == 0) repeat = 1;
-        } else if (arg == "--jobs" || arg == "-j") {
-            jobs = static_cast<std::size_t>(std::strtoul(next().c_str(), nullptr, 10));
-        } else if (arg == "--log-level") {
-            util::LogLevel level;
-            if (!obs::parse_log_level(next(), level)) usage();
-            obs::set_log_level(level);
-        } else if (arg == "--jsonl-out") {
-            jsonl_out = next();
-        } else if (arg == "--trace-out") {
-            trace_out = next();
-        } else if (arg == "--metrics-out") {
-            metrics_out = next();
-        } else if (arg == "--metrics-port") {
-            metrics_port_set = true;
-            metrics_port = std::strtol(next().c_str(), nullptr, 10);
-            if (metrics_port < 0 || metrics_port > 65535) usage();
-        } else if (arg == "--profile") {
-            profile = true;
-        } else if (arg == "--help" || arg == "-h") {
-            usage();
+    // Declarative flag table (bench::ArgSpec) — the same parser every bench
+    // binary uses for its shared flags.
+    bench::ArgSpec spec;
+    spec.option("--kind", [&](const std::string& value) {
+        if (value == "fe") {
+            config.kind = dlt::NetworkKind::kNcpFE;
+        } else if (value == "nfe") {
+            config.kind = dlt::NetworkKind::kNcpNFE;
         } else {
-            std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
-            usage();
+            return false;
         }
+        return true;
+    });
+    spec.option("--z", [&](const std::string& value) {
+        config.z = std::strtod(value.c_str(), nullptr);
+        return true;
+    });
+    spec.option("--w", [&](const std::string& value) {
+        config.true_w = parse_doubles(value);
+        return !config.true_w.empty();
+    });
+    spec.option("--strategy", [&](const std::string& value) {
+        const std::size_t colon = value.find(':');
+        if (colon == std::string::npos) return false;
+        strategy_args.emplace_back(
+            static_cast<std::size_t>(std::strtoul(value.c_str(), nullptr, 10)),
+            value.substr(colon + 1));
+        return true;
+    });
+    spec.option("--blocks", [&](const std::string& value) {
+        config.block_count =
+            static_cast<std::size_t>(std::strtoul(value.c_str(), nullptr, 10));
+        return true;
+    });
+    spec.option("--latency", [&](const std::string& value) {
+        config.control_latency = std::strtod(value.c_str(), nullptr);
+        return true;
+    });
+    spec.option("--fine", [&](const std::string& value) {
+        config.fine_policy.fixed_fine = std::strtod(value.c_str(), nullptr);
+        return true;
+    });
+    spec.option("--seed", [&](const std::string& value) {
+        config.seed = std::strtoull(value.c_str(), nullptr, 10);
+        return true;
+    });
+    spec.option("--driver", [&](const std::string& value) {
+        if (value == "sim") {
+            driver = protocol::DriverKind::kSim;
+        } else if (value == "bus") {
+            driver = protocol::DriverKind::kBus;
+        } else {
+            return false;
+        }
+        return true;
+    });
+    spec.flag("--trace", [&] { show_trace = true; });
+    spec.option("--repeat", [&](const std::string& value) {
+        repeat = static_cast<std::size_t>(std::strtoul(value.c_str(), nullptr, 10));
+        if (repeat == 0) repeat = 1;
+        return true;
+    });
+    spec.option("--jobs", [&](const std::string& value) {
+        jobs = static_cast<std::size_t>(std::strtoul(value.c_str(), nullptr, 10));
+        return true;
+    });
+    spec.alias("-j", "--jobs");
+    spec.option("--log-level", [&](const std::string& value) {
+        util::LogLevel level;
+        if (!obs::parse_log_level(value, level)) return false;
+        obs::set_log_level(level);
+        return true;
+    });
+    spec.option("--jsonl-out", [&](const std::string& value) {
+        jsonl_out = value;
+        return true;
+    });
+    spec.option("--trace-out", [&](const std::string& value) {
+        trace_out = value;
+        return true;
+    });
+    spec.option("--metrics-out", [&](const std::string& value) {
+        metrics_out = value;
+        return true;
+    });
+    spec.option("--metrics-port", [&](const std::string& value) {
+        metrics_port_set = true;
+        metrics_port = std::strtol(value.c_str(), nullptr, 10);
+        return metrics_port >= 0 && metrics_port <= 65535;
+    });
+    spec.flag("--profile", [&] { profile = true; });
+    spec.flag("--help", [] { usage(); });
+    spec.alias("-h", "--help");
+    if (!spec.scan_strict(argc, argv)) {
+        std::fprintf(stderr, "%s\n", spec.error().c_str());
+        usage();
     }
 
     config.strategies.assign(config.true_w.size(), agents::truthful());
@@ -251,17 +291,18 @@ int main(int argc, char** argv) {
         auto run_config = config;
         run_config.seed = (repeat == 1) ? config.seed : slot.seed();
         return protocol::run_protocol(
-            run_config, [&](const protocol::RunInternals& internals) {
+            protocol::RunRequest{run_config, driver},
+            [&](const protocol::RunInternals& internals) {
                 // Fold the run's protocol counters and makespan histogram
                 // into the slot: live scrapes label them per run, and the
                 // executor's submission-order merge lands them in the
                 // global registry deterministically.
                 slot.metrics().merge_from(internals.context.metrics_registry());
                 if (slot.index() != 0) return;
-                if (show_trace) trace_dump = internals.context.network().trace().render();
+                if (show_trace) trace_dump = internals.trace().render();
                 if (!trace_out.empty() &&
                     !obs::write_catapult_file(trace_out,
-                                              internals.context.network().trace())) {
+                                              internals.trace())) {
                     std::fprintf(stderr, "cannot open '%s' for writing\n",
                                  trace_out.c_str());
                 }

@@ -7,8 +7,12 @@
 // snapshots and a uniform namespace next to the referee counters.
 #pragma once
 
+#include <string>
+
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/metrics.hpp"
+#include "sim/trace.hpp"
 
 namespace dlsbl::obs {
 
@@ -22,5 +26,31 @@ inline constexpr const char* kLoadUnitsMetric = "dlsbl_load_units_moved";
 // byte counters (label phase="...") plus load-transfer totals.
 void export_network_metrics(const sim::NetworkMetrics& network,
                             MetricsRegistry& registry);
+
+// SpanSink that mirrors span begin/end records into a sim::TraceRecorder,
+// preserving the exact record shapes the catapult exporter expects:
+// kSpanBegin carries actor+name, kSpanEnd carries empty strings (the begin
+// record already names the span). Both drivers use this so span artifacts
+// stay byte-identical across transports.
+class TraceSpanSink final : public SpanSink {
+ public:
+    explicit TraceSpanSink(sim::TraceRecorder& trace) : trace_(trace) {}
+
+    void span_begin(double time, const std::string& actor,
+                    const std::string& name, std::uint64_t span_id,
+                    std::uint64_t parent_id) override {
+        trace_.record(time, sim::TraceKind::kSpanBegin, actor, name, span_id,
+                      parent_id);
+    }
+
+    void span_end(double time, std::uint64_t span_id,
+                  std::uint64_t parent_id) override {
+        trace_.record(time, sim::TraceKind::kSpanEnd, std::string(),
+                      std::string(), span_id, parent_id);
+    }
+
+ private:
+    sim::TraceRecorder& trace_;
+};
 
 }  // namespace dlsbl::obs

@@ -7,9 +7,8 @@ namespace dlsbl::obs {
 SpanContext SpanBook::open(const std::string& name, const std::string& actor,
                            double sim_time, std::uint64_t parent_id) {
     const SpanContext span{trace_id_, ++next_id_, parent_id};
-    if (trace_ != nullptr) {
-        trace_->record(sim_time, sim::TraceKind::kSpanBegin, actor, name,
-                       span.span_id, span.parent_id);
+    if (sink_ != nullptr) {
+        sink_->span_begin(sim_time, actor, name, span.span_id, span.parent_id);
     }
     auto& events = EventLog::instance();
     if (events.enabled(LogLevel::Debug)) {
@@ -24,9 +23,8 @@ SpanContext SpanBook::open(const std::string& name, const std::string& actor,
 
 void SpanBook::close(const SpanContext& span, double sim_time) {
     if (!span.valid()) return;
-    if (trace_ != nullptr) {
-        trace_->record(sim_time, sim::TraceKind::kSpanEnd, std::string(), std::string(),
-                       span.span_id, span.parent_id);
+    if (sink_ != nullptr) {
+        sink_->span_end(sim_time, span.span_id, span.parent_id);
     }
     auto& events = EventLog::instance();
     if (events.enabled(LogLevel::Debug)) {

@@ -3,22 +3,23 @@
 //
 //   * trace_id — one per run, derived from the run's seed, so the id is
 //     deterministic and two runs' spans never collide in a shared JSONL log;
-//   * span_id  — allocated sequentially in protocol order (the discrete-event
-//     sim makes that order deterministic), so identical runs produce
-//     identical span graphs byte-for-byte;
+//   * span_id  — allocated sequentially in protocol order (the deterministic
+//     event ordering of whichever driver runs the protocol makes that order
+//     reproducible), so identical runs produce identical span graphs
+//     byte-for-byte;
 //   * parent_id — the causal parent: run -> phase -> per-processor
-//     message/verify/compute/fine spans. Message sends carry their span id in
-//     the sim::Envelope, so a *receiver's* spans parent on the *sender's* —
-//     that cross-processor edge is what the catapult exporter renders as
-//     flow arrows.
+//     message/verify/compute/fine spans. Message sends carry their span id on
+//     the wire, so a *receiver's* spans parent on the *sender's* — that
+//     cross-processor edge is what the catapult exporter renders as flow
+//     arrows.
 //
-// SpanBook mirrors every open/close into two existing export paths:
+// SpanBook mirrors every open/close into two export paths:
 //   * the obs EventLog (events "span_begin"/"span_end", Debug level) —
 //     reaches JSONL sinks, so `--jsonl-out` + `--log-level debug` captures
 //     the full span graph;
-//   * the run's sim::TraceRecorder (kSpanBegin/kSpanEnd records) — reaches
-//     the Chrome-trace exporter, which draws spans as nestable async events
-//     plus cross-track flow arrows.
+//   * an optional SpanSink — transports plug in their own mirror (the sim
+//     and bus drivers both forward into a sim::TraceRecorder via
+//     obs::TraceSpanSink), which reaches the Chrome-trace exporter.
 //
 // Span ids are allocated even when the Debug gate is closed, so turning
 // logging on or off never changes the ids (and therefore never changes any
@@ -27,8 +28,6 @@
 
 #include <cstdint>
 #include <string>
-
-#include "sim/trace.hpp"
 
 namespace dlsbl::obs {
 
@@ -40,12 +39,24 @@ struct SpanContext {
     [[nodiscard]] bool valid() const noexcept { return span_id != 0; }
 };
 
+// Receives span open/close mirrors from a SpanBook. Implementations decide
+// where they land (trace recorder, external collector, nothing).
+class SpanSink {
+ public:
+    virtual ~SpanSink() = default;
+    virtual void span_begin(double time, const std::string& actor,
+                            const std::string& name, std::uint64_t span_id,
+                            std::uint64_t parent_id) = 0;
+    virtual void span_end(double time, std::uint64_t span_id,
+                          std::uint64_t parent_id) = 0;
+};
+
 class SpanBook {
  public:
-    // `trace` (optional) receives kSpanBegin/kSpanEnd mirror records; it
-    // must outlive the book.
-    explicit SpanBook(std::uint64_t trace_id, sim::TraceRecorder* trace = nullptr)
-        : trace_id_(trace_id), trace_(trace) {}
+    // `sink` (optional) receives span begin/end mirror records; it must
+    // outlive the book.
+    explicit SpanBook(std::uint64_t trace_id, SpanSink* sink = nullptr)
+        : trace_id_(trace_id), sink_(sink) {}
 
     [[nodiscard]] std::uint64_t trace_id() const noexcept { return trace_id_; }
     // Number of spans opened so far (tests assert determinism with this).
@@ -65,7 +76,7 @@ class SpanBook {
  private:
     std::uint64_t trace_id_;
     std::uint64_t next_id_ = 0;
-    sim::TraceRecorder* trace_;
+    SpanSink* sink_;
 };
 
 }  // namespace dlsbl::obs

@@ -41,18 +41,17 @@ void ProtocolConfig::validate() const {
     }
 }
 
-RunContext::RunContext(sim::Simulator& simulator, sim::Network& network,
-                       ProtocolConfig config)
-    : simulator_(simulator),
-      network_(network),
+RunContext::RunContext(Clock& clock, Transport& transport, ProtocolConfig config)
+    : clock_(clock),
+      transport_(transport),
       config_(std::move(config)),
       dataset_(config_.seed, config_.block_count),
       // Trace id: seed-derived (stream index 0x5a9 is arbitrary but fixed),
       // so the span graph is deterministic and unique per run seed.
-      spans_(util::derive_seed(config_.seed, 0x5a9), &network.trace()),
+      spans_(util::derive_seed(config_.seed, 0x5a9), transport.span_sink()),
       job_id_(config_.seed) {
     config_.validate();
-    run_span_ = spans_.open("run", "protocol", simulator_.now());
+    run_span_ = spans_.open("run", "protocol", clock_.now());
     names_.reserve(config_.true_w.size());
     for (std::size_t i = 0; i < config_.true_w.size(); ++i) {
         std::string name = "P";
@@ -74,28 +73,26 @@ std::size_t RunContext::index_of(const std::string& name) const {
 
 void RunContext::set_phase(Phase phase) {
     phase_ = phase;
-    network_.metrics().set_phase(to_string(phase));
-    network_.trace().record(simulator_.now(), sim::TraceKind::kPhaseChange, "protocol",
-                            to_string(phase));
+    transport_.note_phase(clock_.now(), to_string(phase));
     // Phase spans tile the run span: close the previous phase, open the new
     // one. Every per-processor span parents on the phase in force.
-    spans_.close(phase_span_, simulator_.now());
+    spans_.close(phase_span_, clock_.now());
     phase_span_ = spans_.open(std::string("phase:") + to_string(phase), "protocol",
-                              simulator_.now(), run_span_.span_id);
+                              clock_.now(), run_span_.span_id);
     util::log_debug("protocol", std::string("phase -> ") + to_string(phase));
     auto& events = obs::EventLog::instance();
     if (events.enabled(obs::LogLevel::Debug)) {
         events.emit(obs::Event(obs::LogLevel::Debug, "protocol", "phase_change")
-                        .time(simulator_.now())
+                        .time(clock_.now())
                         .span(phase_span_)
                         .str("phase", to_string(phase)));
     }
 }
 
 void RunContext::close_run_span() {
-    spans_.close(phase_span_, simulator_.now());
+    spans_.close(phase_span_, clock_.now());
     phase_span_ = obs::SpanContext{};
-    spans_.close(run_span_, simulator_.now());
+    spans_.close(run_span_, clock_.now());
     run_span_ = obs::SpanContext{};
 }
 
@@ -125,8 +122,8 @@ void RunContext::ship_load(const std::string& from, const std::string& to,
     }
     const double units =
         static_cast<double>(batch.blocks.size()) / static_cast<double>(config_.block_count);
-    network_.transfer_load(from, to, units, to_wire(MsgType::kLoadDelivery),
-                           batch.serialize(), span_id);
+    transport_.transfer_load(from, to, units, to_wire(MsgType::kLoadDelivery),
+                             batch.serialize(), span_id);
 }
 
 const ShippedRecord* RunContext::shipped_to(const std::string& to) const {
@@ -145,21 +142,20 @@ void RunContext::execute_load(const std::string& who, std::size_t block_count, d
     const double units =
         static_cast<double>(block_count) / static_cast<double>(config_.block_count);
     const double duration = units * clamped;
-    meters_.start(who, simulator_.now());
+    meters_.start(who, clock_.now());
     const obs::SpanContext compute_span = spans_.open(
-        "compute", who, simulator_.now(),
+        "compute", who, clock_.now(),
         parent_span != 0 ? parent_span : phase_span_.span_id);
-    network_.trace().record(simulator_.now(), sim::TraceKind::kComputeStart, who,
-                            "blocks=" + std::to_string(block_count) +
-                                " rate=" + std::to_string(clamped),
-                            compute_span.span_id, compute_span.parent_id);
-    simulator_.schedule_after(duration, [this, who, compute_span,
-                                         done = std::move(done)] {
-        meters_.stop(who, simulator_.now());
-        last_compute_end_ = std::max(last_compute_end_, simulator_.now());
-        network_.trace().record(simulator_.now(), sim::TraceKind::kComputeEnd, who, "",
-                                compute_span.span_id, compute_span.parent_id);
-        spans_.close(compute_span, simulator_.now());
+    transport_.note_compute_start(clock_.now(), who,
+                                  "blocks=" + std::to_string(block_count) +
+                                      " rate=" + std::to_string(clamped),
+                                  compute_span.span_id, compute_span.parent_id);
+    clock_.call_after(duration, [this, who, compute_span, done = std::move(done)] {
+        meters_.stop(who, clock_.now());
+        last_compute_end_ = std::max(last_compute_end_, clock_.now());
+        transport_.note_compute_end(clock_.now(), who, compute_span.span_id,
+                                    compute_span.parent_id);
+        spans_.close(compute_span, clock_.now());
         if (done) done();
         ++finished_workers_;
         if (referee_ == nullptr) return;
@@ -168,8 +164,8 @@ void RunContext::execute_load(const std::string& who, std::size_t block_count, d
             // α_i w̃_i compensation payout.
             referee_->on_meter_stopped(who);
         } else if (expected_workers_ > 0 && finished_workers_ == expected_workers_) {
-            Referee* referee = referee_;
-            simulator_.schedule_after(0.0, [referee] { referee->on_all_meters_done(); });
+            RefereeCore* referee = referee_;
+            clock_.call_after(0.0, [referee] { referee->on_all_meters_done(); });
         }
     });
 }

@@ -10,6 +10,10 @@
 //     actually shipped (ship_load() writes it). This implements the paper's
 //     assumption that "the network and communication protocols are
 //     tamper-proof" and lets the referee resolve the α̃_i < α_i cases of §4.
+//
+// The context is part of the sans-I/O core: it reaches the outside world
+// only through the protocol::Clock / protocol::Transport pair a driver
+// provides (see protocol/endpoint.hpp) — never through a transport directly.
 #pragma once
 
 #include <functional>
@@ -23,15 +27,15 @@
 #include "obs/span.hpp"
 #include "protocol/blocks.hpp"
 #include "protocol/config.hpp"
+#include "protocol/endpoint.hpp"
 #include "protocol/ledger.hpp"
 #include "protocol/messages.hpp"
 #include "protocol/meter.hpp"
 #include "protocol/outcome.hpp"
-#include "sim/network.hpp"
 
 namespace dlsbl::protocol {
 
-class Referee;
+class RefereeCore;
 
 struct ShippedRecord {
     std::size_t valid_blocks = 0;    // authentic blocks observed on the bus
@@ -41,7 +45,7 @@ struct ShippedRecord {
 
 class RunContext {
  public:
-    RunContext(sim::Simulator& simulator, sim::Network& network, ProtocolConfig config);
+    RunContext(Clock& clock, Transport& transport, ProtocolConfig config);
 
     // --- identity / configuration -----------------------------------------
     [[nodiscard]] const ProtocolConfig& config() const noexcept { return config_; }
@@ -57,13 +61,13 @@ class RunContext {
     [[nodiscard]] std::size_t index_of(const std::string& name) const;
 
     // --- subsystems ---------------------------------------------------------
-    [[nodiscard]] sim::Simulator& simulator() noexcept { return simulator_; }
-    [[nodiscard]] sim::Network& network() noexcept { return network_; }
+    [[nodiscard]] Clock& clock() noexcept { return clock_; }
+    [[nodiscard]] Transport& transport() noexcept { return transport_; }
     [[nodiscard]] crypto::Pki& pki() noexcept { return pki_; }
     [[nodiscard]] const DataSet& dataset() const noexcept { return dataset_; }
     [[nodiscard]] Ledger& ledger() noexcept { return ledger_; }
     [[nodiscard]] MeterBank& meters() noexcept { return meters_; }
-    // Per-run metrics: referee counters plus the post-run NetworkMetrics
+    // Per-run metrics: referee counters plus the post-run network-accounting
     // export land here, isolated from other runs in the same process.
     [[nodiscard]] obs::MetricsRegistry& metrics_registry() noexcept {
         return metrics_registry_;
@@ -114,14 +118,14 @@ class RunContext {
 
     // Called by execute_load completion; when every expected processor has
     // finished, notifies the referee (meter collection, §4).
-    void set_referee(Referee& referee) { referee_ = &referee; }
+    void set_referee(RefereeCore& referee) { referee_ = &referee; }
     void set_expected_workers(std::size_t count) { expected_workers_ = count; }
 
     [[nodiscard]] double last_compute_end() const noexcept { return last_compute_end_; }
 
  private:
-    sim::Simulator& simulator_;
-    sim::Network& network_;
+    Clock& clock_;
+    Transport& transport_;
     ProtocolConfig config_;
     crypto::Pki pki_;
     DataSet dataset_;
@@ -145,7 +149,7 @@ class RunContext {
     double fine_amount_ = 0.0;
 
     std::map<std::string, ShippedRecord> shipped_;
-    Referee* referee_ = nullptr;
+    RefereeCore* referee_ = nullptr;
     std::size_t expected_workers_ = 0;
     std::size_t finished_workers_ = 0;
     double last_compute_end_ = 0.0;

@@ -1,0 +1,19 @@
+// Definition of protocol::RunArtifacts (forward-declared in the sans-I/O
+// endpoint.hpp): the post-run artifact handles a Driver exposes. Lives in
+// detail/ because it names sim:: types — the trace recorder and the network
+// metrics are deliberately shared across drivers so the catapult/gantt and
+// Prometheus exports stay byte-identical regardless of transport.
+#pragma once
+
+#include "protocol/endpoint.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
+
+namespace dlsbl::protocol {
+
+struct RunArtifacts {
+    sim::TraceRecorder& trace;
+    sim::NetworkMetrics& metrics;
+};
+
+}  // namespace dlsbl::protocol

@@ -1,0 +1,35 @@
+#include "protocol/dispatch.hpp"
+
+#include "util/logging.hpp"
+
+namespace dlsbl::protocol {
+
+void MessageDispatcher::on(MsgType type, Handler handler) {
+    handlers_[to_wire(type)] = std::move(handler);
+}
+
+void MessageDispatcher::ignore(MsgType type) {
+    handlers_[to_wire(type)] = Handler{};
+}
+
+void MessageDispatcher::dispatch(const Endpoint& endpoint, const WireMessage& message,
+                                 obs::MetricsRegistry& registry) const {
+    const auto it = handlers_.find(message.type);
+    if (it == handlers_.end()) {
+        // Unknown wire type: identical policy on every endpoint — log, drop,
+        // count. (All MsgType kinds are registered by both endpoints, so
+        // this only fires for values outside the enum.)
+        util::log_debug("protocol", endpoint.name() + ": dropping unknown message type " +
+                                        std::to_string(message.type) + " from " +
+                                        message.from);
+        registry
+            .counter(kUnknownMessagesMetric,
+                     {{"endpoint", endpoint.name()},
+                      {"type", std::to_string(message.type)}})
+            .inc();
+        return;
+    }
+    if (it->second) it->second(message);
+}
+
+}  // namespace dlsbl::protocol

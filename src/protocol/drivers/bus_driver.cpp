@@ -1,0 +1,223 @@
+#include "protocol/drivers/bus_driver.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/profiler.hpp"
+#include "protocol/detail/artifacts.hpp"
+#include "protocol/drivers/drivers.hpp"
+
+namespace dlsbl::protocol {
+
+namespace {
+// Runaway guard, mirroring the discrete-event kernel's default budget: a
+// correct protocol run terminates long before this.
+constexpr std::uint64_t kMaxEvents = 10'000'000;
+}  // namespace
+
+BusDriver::BusDriver(double z, double control_latency, double control_seconds_per_byte)
+    : z_(z),
+      control_latency_(control_latency),
+      control_seconds_per_byte_(control_seconds_per_byte),
+      span_sink_(trace_) {
+    if (z < 0.0 || control_latency < 0.0 || control_seconds_per_byte < 0.0) {
+        throw std::invalid_argument("BusDriver: negative timing parameter");
+    }
+}
+
+// ---- event loop -------------------------------------------------------------
+
+void BusDriver::schedule(double time, std::function<void()> fn) {
+    if (!std::isfinite(time)) throw std::invalid_argument("BusDriver: non-finite time");
+    if (time < now_) throw std::invalid_argument("BusDriver: scheduling into the past");
+    if (!fn) throw std::invalid_argument("BusDriver: empty callback");
+    wheel_.schedule(time, next_seq_++, std::move(fn));
+}
+
+void BusDriver::call_at(double time, std::function<void()> fn) {
+    schedule(time, std::move(fn));
+}
+
+void BusDriver::call_after(double delay, std::function<void()> fn) {
+    schedule(now_ + delay, std::move(fn));
+}
+
+void BusDriver::run() {
+    OBS_SCOPE("bus_event_loop");
+    while (!wheel_.empty()) {
+        DeadlineWheel::Entry entry = wheel_.pop_earliest();
+        now_ = entry.time;
+        ++fired_;
+        entry.fn();
+        if (fired_ > kMaxEvents) {
+            throw std::runtime_error("BusDriver: event budget exceeded (runaway run?)");
+        }
+    }
+}
+
+// ---- endpoints and mailboxes ------------------------------------------------
+
+void BusDriver::attach(Endpoint& endpoint) {
+    auto mailbox = std::make_unique<Mailbox>();
+    mailbox->endpoint = &endpoint;
+    const auto [it, inserted] = endpoints_.emplace(endpoint.name(), std::move(mailbox));
+    (void)it;
+    if (!inserted) {
+        throw std::invalid_argument("BusDriver: duplicate endpoint name: " +
+                                    endpoint.name());
+    }
+}
+
+void BusDriver::start() {
+    for (auto& [name, mailbox] : endpoints_) {
+        Endpoint* endpoint = mailbox->endpoint;
+        schedule(now_, [endpoint] { endpoint->on_start(); });
+    }
+}
+
+void BusDriver::drain(Mailbox& mailbox) {
+    while (auto message = mailbox.ring.pop()) {
+        mailbox.endpoint->on_message(*message);
+    }
+}
+
+void BusDriver::deliver(WireMessage message) {
+    const auto it = endpoints_.find(message.to);
+    if (it == endpoints_.end()) {
+        throw std::logic_error("BusDriver: message to unknown endpoint: " + message.to);
+    }
+    trace_.record(now_, sim::TraceKind::kMessageDelivered, message.to,
+                  "from=" + message.from + " type=" + std::to_string(message.type),
+                  message.span_id);
+    Mailbox& mailbox = *it->second;
+    if (!mailbox.ring.push(std::move(message))) {
+        throw std::runtime_error("BusDriver: mailbox overflow for " + it->first);
+    }
+    // Single-threaded loop: the consumer runs right behind the producer, so
+    // the mailbox drains at depth one. A threaded dlsbld moves this drain
+    // onto the endpoint's own thread.
+    drain(mailbox);
+}
+
+// ---- one-port bus semantics (sim::Network formulas) -------------------------
+
+void BusDriver::dispatch_control(WireMessage message) {
+    const double occupancy = control_occupancy(message.payload.size());
+    double deliver_at = now_ + control_latency_;
+    if (occupancy > 0.0) {
+        // Bandwidth-charged: the message holds the one-port bus like a load
+        // transfer does.
+        const double start = std::max(now_, bus_busy_until_);
+        bus_busy_until_ = start + occupancy;
+        deliver_at = bus_busy_until_ + control_latency_;
+    }
+    schedule(deliver_at,
+             [this, m = std::move(message)]() mutable { deliver(std::move(m)); });
+}
+
+void BusDriver::unicast(const std::string& from, const std::string& to,
+                        std::uint32_t type, util::Bytes payload, std::uint64_t span_id) {
+    if (!endpoints_.contains(to)) {
+        throw std::logic_error("BusDriver: unknown recipient: " + to);
+    }
+    metrics_.count_control(payload.size());
+    trace_.record(now_, sim::TraceKind::kMessageSent, from,
+                  "to=" + to + " type=" + std::to_string(type) +
+                      " bytes=" + std::to_string(payload.size()),
+                  span_id);
+    dispatch_control(WireMessage{from, to, type, std::move(payload), now_, span_id});
+}
+
+void BusDriver::broadcast(const std::string& from, std::uint32_t type,
+                          util::Bytes payload, std::uint64_t span_id) {
+    metrics_.count_control(payload.size());
+    trace_.record(now_, sim::TraceKind::kMessageSent, from,
+                  "to=* type=" + std::to_string(type) +
+                      " bytes=" + std::to_string(payload.size()),
+                  span_id);
+    // Atomic broadcast: one bus transmission, simultaneous delivery to all.
+    const double occupancy = control_occupancy(payload.size());
+    double deliver_at = now_ + control_latency_;
+    if (occupancy > 0.0) {
+        const double start = std::max(now_, bus_busy_until_);
+        bus_busy_until_ = start + occupancy;
+        deliver_at = bus_busy_until_ + control_latency_;
+    }
+    for (const auto& [name, mailbox] : endpoints_) {
+        if (name == from) continue;
+        WireMessage message{from, name, type, payload, now_, span_id};
+        schedule(deliver_at,
+                 [this, m = std::move(message)]() mutable { deliver(std::move(m)); });
+    }
+}
+
+void BusDriver::transfer_load(const std::string& from, const std::string& to,
+                              double units, std::uint32_t type, util::Bytes payload,
+                              std::uint64_t span_id) {
+    if (!endpoints_.contains(to)) {
+        throw std::logic_error("BusDriver: unknown recipient: " + to);
+    }
+    if (units < 0.0) throw std::invalid_argument("BusDriver: negative load transfer");
+    const double start = std::max(now_, bus_busy_until_);
+    const double end = start + units * z_;
+    bus_busy_until_ = end;
+    metrics_.count_load_transfer(units);
+    trace_.record(start, sim::TraceKind::kLoadTransferStart, from,
+                  "to=" + to + " units=" + std::to_string(units), span_id);
+    WireMessage message{from, to, type, std::move(payload), now_, span_id};
+    schedule(end, [this, to_name = to, from_name = from, units,
+                   m = std::move(message)]() mutable {
+        trace_.record(now_, sim::TraceKind::kLoadTransferEnd, from_name,
+                      "to=" + to_name + " units=" + std::to_string(units), m.span_id);
+        deliver(std::move(m));
+    });
+}
+
+// ---- artifact side-channel --------------------------------------------------
+
+void BusDriver::note_phase(double time, const std::string& phase) {
+    metrics_.set_phase(phase);
+    trace_.record(time, sim::TraceKind::kPhaseChange, "protocol", phase);
+}
+
+void BusDriver::note_verdict(double time, const std::string& actor,
+                             const std::string& detail) {
+    trace_.record(time, sim::TraceKind::kVerdict, actor, detail);
+}
+
+void BusDriver::note_compute_start(double time, const std::string& actor,
+                                   const std::string& detail, std::uint64_t span_id,
+                                   std::uint64_t parent_id) {
+    trace_.record(time, sim::TraceKind::kComputeStart, actor, detail, span_id, parent_id);
+}
+
+void BusDriver::note_compute_end(double time, const std::string& actor,
+                                 std::uint64_t span_id, std::uint64_t parent_id) {
+    trace_.record(time, sim::TraceKind::kComputeEnd, actor, "", span_id, parent_id);
+}
+
+// ---- accounting -------------------------------------------------------------
+
+TransportStats BusDriver::stats() {
+    TransportStats stats;
+    stats.control_messages = metrics_.control_messages();
+    stats.control_bytes = metrics_.control_bytes();
+    for (const auto& [phase, counters] : metrics_.by_phase()) {
+        stats.bytes_by_phase.emplace_back(phase, counters.bytes);
+    }
+    return stats;
+}
+
+void BusDriver::finalize_metrics(obs::MetricsRegistry& registry) {
+    obs::export_network_metrics(metrics_, registry);
+}
+
+RunArtifacts BusDriver::artifacts() { return RunArtifacts{trace_, metrics_}; }
+
+std::unique_ptr<Driver> make_bus_driver(double z, double control_latency,
+                                        double control_seconds_per_byte) {
+    return std::make_unique<BusDriver>(z, control_latency, control_seconds_per_byte);
+}
+
+}  // namespace dlsbl::protocol

@@ -1,0 +1,109 @@
+// protocol::BusDriver — in-process async message bus for the sans-I/O cores.
+//
+// Runs the protocol wall-clock-free on logical time: endpoints exchange
+// messages through mutex-free SPSC mailboxes (spsc_ring.hpp), and every
+// timed action — timer requests, control deliveries, load-transfer
+// completions — is an entry in a deadline wheel (deadline_wheel.hpp)
+// ordered by (logical time, global sequence). No sim::Simulator, no
+// sim::Process, no threads yet: this is the seed of the dlsbld scheduling
+// service, where the mailboxes become the per-connection queues.
+//
+// Bus semantics replicate the paper's one-port model (§2) with the exact
+// formulas of sim::Network — control latency, optional per-byte bandwidth
+// occupancy, FIFO load transfers via bus_free_at — and the driver keeps its
+// own sim::TraceRecorder / sim::NetworkMetrics so every artifact (trace,
+// catapult, Prometheus text, JSONL spans) is byte-identical with the sim
+// driver for a fixed config. The fixed-seed equivalence suite gates this.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "obs/sim_bridge.hpp"
+#include "protocol/drivers/deadline_wheel.hpp"
+#include "protocol/drivers/spsc_ring.hpp"
+#include "protocol/endpoint.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
+
+namespace dlsbl::protocol {
+
+class BusDriver final : public Driver, public Clock, public Transport {
+ public:
+    BusDriver(double z, double control_latency, double control_seconds_per_byte);
+
+    // --- Clock --------------------------------------------------------------
+    [[nodiscard]] double now() const override { return now_; }
+    void call_at(double time, std::function<void()> fn) override;
+    void call_after(double delay, std::function<void()> fn) override;
+
+    // --- Transport ----------------------------------------------------------
+    void unicast(const std::string& from, const std::string& to, std::uint32_t type,
+                 util::Bytes payload, std::uint64_t span_id) override;
+    void broadcast(const std::string& from, std::uint32_t type, util::Bytes payload,
+                   std::uint64_t span_id) override;
+    void transfer_load(const std::string& from, const std::string& to, double units,
+                       std::uint32_t type, util::Bytes payload,
+                       std::uint64_t span_id) override;
+    [[nodiscard]] double bus_free_at() const override { return bus_busy_until_; }
+
+    void note_phase(double time, const std::string& phase) override;
+    void note_verdict(double time, const std::string& actor,
+                      const std::string& detail) override;
+    void note_compute_start(double time, const std::string& actor,
+                            const std::string& detail, std::uint64_t span_id,
+                            std::uint64_t parent_id) override;
+    void note_compute_end(double time, const std::string& actor, std::uint64_t span_id,
+                          std::uint64_t parent_id) override;
+    [[nodiscard]] obs::SpanSink* span_sink() override { return &span_sink_; }
+
+    // --- Driver -------------------------------------------------------------
+    [[nodiscard]] Clock& clock() override { return *this; }
+    [[nodiscard]] Transport& transport() override { return *this; }
+    void attach(Endpoint& endpoint) override;
+    void start() override;
+    void run() override;
+    [[nodiscard]] TransportStats stats() override;
+    void finalize_metrics(obs::MetricsRegistry& registry) override;
+    [[nodiscard]] RunArtifacts artifacts() override;
+
+    [[nodiscard]] std::uint64_t events_fired() const noexcept { return fired_; }
+
+ private:
+    // An endpoint plus its SPSC mailbox (heap-hosted: the ring is a large
+    // fixed array and the map must be able to rehome cheaply).
+    struct Mailbox {
+        Endpoint* endpoint = nullptr;
+        SpscRing<WireMessage> ring;
+    };
+
+    // All timed work funnels through here: assigns the global sequence
+    // number at schedule time (the ordering byte-identity depends on).
+    void schedule(double time, std::function<void()> fn);
+    [[nodiscard]] double control_occupancy(std::size_t bytes) const noexcept {
+        return control_seconds_per_byte_ * static_cast<double>(bytes);
+    }
+    // Computes the delivery time honoring bandwidth occupancy + latency and
+    // schedules the delivery.
+    void dispatch_control(WireMessage message);
+    // Fires at delivery time: trace record, mailbox push, immediate drain.
+    void deliver(WireMessage message);
+    void drain(Mailbox& mailbox);
+
+    double z_;
+    double control_latency_;
+    double control_seconds_per_byte_;
+    double now_ = 0.0;
+    double bus_busy_until_ = 0.0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t fired_ = 0;
+    DeadlineWheel wheel_;
+    std::map<std::string, std::unique_ptr<Mailbox>> endpoints_;
+    sim::TraceRecorder trace_;
+    sim::NetworkMetrics metrics_;
+    obs::TraceSpanSink span_sink_;
+};
+
+}  // namespace dlsbl::protocol

@@ -1,0 +1,75 @@
+// Calendar-queue deadline wheel: the timer structure of protocol::BusDriver.
+//
+// Entries hash into coarse time buckets (floor(time / tick), kept sorted in
+// a map); popping scans only the earliest non-empty bucket for the minimal
+// (time, seq) entry. With the protocol's event horizon of a few dozen
+// logical seconds the bucket count stays tiny while insertion is O(log
+// buckets) and pops touch one short vector. Sequence numbers are assigned
+// by the caller at schedule time and break timestamp ties, giving the same
+// total event order as the discrete-event kernel's (time, seq) heap — the
+// property artifact byte-identity across drivers rests on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace dlsbl::protocol {
+
+class DeadlineWheel {
+ public:
+    using Callback = std::function<void()>;
+
+    struct Entry {
+        double time = 0.0;
+        std::uint64_t seq = 0;
+        Callback fn;
+    };
+
+    // `tick`: bucket width in logical seconds.
+    explicit DeadlineWheel(double tick = 0.25) : tick_(tick) {}
+
+    void schedule(double time, std::uint64_t seq, Callback fn) {
+        buckets_[bucket_of(time)].push_back(Entry{time, seq, std::move(fn)});
+        ++size_;
+    }
+
+    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+    // Removes and returns the earliest entry by (time, seq). Precondition:
+    // !empty(). Bucketing by floor is monotone in time, so the earliest
+    // non-empty bucket always holds the global minimum.
+    Entry pop_earliest() {
+        const auto bucket = buckets_.begin();
+        auto& entries = bucket->second;
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < entries.size(); ++i) {
+            if (entries[i].time < entries[best].time ||
+                (!(entries[best].time < entries[i].time) &&
+                 entries[i].seq < entries[best].seq)) {
+                best = i;
+            }
+        }
+        Entry entry = std::move(entries[best]);
+        entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(best));
+        if (entries.empty()) buckets_.erase(bucket);
+        --size_;
+        return entry;
+    }
+
+ private:
+    [[nodiscard]] std::uint64_t bucket_of(double time) const {
+        return static_cast<std::uint64_t>(time / tick_);
+    }
+
+    double tick_;
+    std::size_t size_ = 0;
+    // bucket index -> unordered entries (scanned on pop).
+    std::map<std::uint64_t, std::vector<Entry>> buckets_;
+};
+
+}  // namespace dlsbl::protocol

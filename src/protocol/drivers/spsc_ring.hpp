@@ -1,0 +1,64 @@
+// Fixed-capacity, mutex-free single-producer/single-consumer ring buffer —
+// the per-endpoint mailbox of protocol::BusDriver.
+//
+// Producer and consumer each own one cursor; the only sharing is an
+// acquire/release handoff on the cursors, so no locks and no allocation on
+// the push/pop path. Within the current single-threaded bus loop the
+// producer (the delivery event) and consumer (the drain that follows it)
+// run back-to-back, which keeps occupancy at one message; the SPSC
+// discipline is what lets a future dlsbld move endpoints onto their own
+// threads without touching this type.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+namespace dlsbl::protocol {
+
+template <typename T, std::size_t Capacity = 1024>
+class SpscRing {
+    static_assert(Capacity > 0 && (Capacity & (Capacity - 1)) == 0,
+                  "SpscRing capacity must be a power of two");
+
+ public:
+    // Producer side. Returns false when the ring is full (caller decides the
+    // overflow policy).
+    bool push(T value) {
+        const std::size_t head = head_.load(std::memory_order_relaxed);
+        const std::size_t tail = tail_.load(std::memory_order_acquire);
+        if (head - tail == Capacity) return false;
+        slots_[head & (Capacity - 1)] = std::move(value);
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    // Consumer side. Empty ring -> nullopt.
+    std::optional<T> pop() {
+        const std::size_t tail = tail_.load(std::memory_order_relaxed);
+        const std::size_t head = head_.load(std::memory_order_acquire);
+        if (tail == head) return std::nullopt;
+        std::optional<T> value(std::move(slots_[tail & (Capacity - 1)]));
+        tail_.store(tail + 1, std::memory_order_release);
+        return value;
+    }
+
+    [[nodiscard]] bool empty() const {
+        return head_.load(std::memory_order_acquire) ==
+               tail_.load(std::memory_order_acquire);
+    }
+
+    [[nodiscard]] std::size_t size() const {
+        return head_.load(std::memory_order_acquire) -
+               tail_.load(std::memory_order_acquire);
+    }
+
+ private:
+    std::array<T, Capacity> slots_{};
+    std::atomic<std::size_t> head_{0};
+    std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace dlsbl::protocol

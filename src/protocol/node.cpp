@@ -9,9 +9,9 @@
 
 namespace dlsbl::protocol {
 
-ProcessorNode::ProcessorNode(RunContext& context, std::size_t index,
-                             std::unique_ptr<crypto::Signer> signer, Strategy strategy)
-    : Process(context.processor_names()[index]),
+NodeCore::NodeCore(RunContext& context, std::size_t index,
+                   std::unique_ptr<crypto::Signer> signer, Strategy strategy)
+    : Endpoint(context.processor_names()[index]),
       ctx_(context),
       index_(index),
       true_w_(context.config().true_w[index]),
@@ -20,11 +20,34 @@ ProcessorNode::ProcessorNode(RunContext& context, std::size_t index,
     bid_ = strategy_.bid_factor * true_w_;
     // Physical constraint enforced again by the context at execution time.
     exec_rate_ = std::max(true_w_, strategy_.exec_factor * true_w_);
+    register_handlers();
 }
 
-bool ProcessorNode::is_load_origin() const { return name() == ctx_.load_origin(); }
+void NodeCore::register_handlers() {
+    dispatch_.on(MsgType::kBid, [this](const WireMessage& m) { handle_bid(m); });
+    dispatch_.on(MsgType::kLoadDelivery,
+                 [this](const WireMessage& m) { handle_load_delivery(m); });
+    dispatch_.on(MsgType::kMeterBroadcast,
+                 [this](const WireMessage& m) { handle_meter_broadcast(m); });
+    dispatch_.on(MsgType::kBidVectorRequest,
+                 [this](const WireMessage&) { handle_bid_vector_request(); });
+    dispatch_.on(MsgType::kMediateRequest,
+                 [this](const WireMessage& m) { handle_mediate_request(m); });
+    // Referee verdict: stop participating.
+    dispatch_.ignore(MsgType::kTerminate);
+    dispatch_.on(MsgType::kSettled, [this](const WireMessage&) { settled_ = true; });
+    // Referee-bound message kinds: known, deliberately ignored.
+    dispatch_.ignore(MsgType::kAccuseDoubleBid);
+    dispatch_.ignore(MsgType::kAllocComplaint);
+    dispatch_.ignore(MsgType::kBidVectorResponse);
+    dispatch_.ignore(MsgType::kMediateBlocks);
+    dispatch_.ignore(MsgType::kMediateRefuse);
+    dispatch_.ignore(MsgType::kPaymentVector);
+}
 
-void ProcessorNode::on_start() {
+bool NodeCore::is_load_origin() const { return name() == ctx_.load_origin(); }
+
+void NodeCore::on_start() {
     if (ctx_.phase() == Phase::kInit) ctx_.set_phase(Phase::kBidding);
     broadcast_bid(bid_);
     if (strategy_.second_bid_factor.has_value()) {
@@ -34,7 +57,7 @@ void ProcessorNode::on_start() {
     }
 }
 
-void ProcessorNode::broadcast_bid(double value) {
+void NodeCore::broadcast_bid(double value) {
     BidBody body;
     body.job_id = ctx_.job_id();
     body.processor = name();
@@ -49,70 +72,47 @@ void ProcessorNode::broadcast_bid(double value) {
     // Causal anchor: the broadcast's bus records carry this span, so every
     // receiver's handling links back to the sender's bidding activity.
     const obs::SpanContext bid_span = ctx_.spans().instant(
-        "msg:bid", name(), ctx_.simulator().now(), ctx_.phase_span().span_id);
-    ctx_.network().broadcast(name(), to_wire(MsgType::kBid), signed_msg.serialize(),
-                             bid_span.span_id);
+        "msg:bid", name(), ctx_.clock().now(), ctx_.phase_span().span_id);
+    ctx_.transport().broadcast(name(), to_wire(MsgType::kBid), signed_msg.serialize(),
+                               bid_span.span_id);
 }
 
-void ProcessorNode::on_message(const sim::Envelope& envelope) {
-    if (ctx_.terminated() && envelope.type != to_wire(MsgType::kTerminate)) return;
-    switch (static_cast<MsgType>(envelope.type)) {
-        case MsgType::kBid:
-            handle_bid(envelope);
-            break;
-        case MsgType::kLoadDelivery:
-            handle_load_delivery(envelope);
-            break;
-        case MsgType::kMeterBroadcast:
-            handle_meter_broadcast(envelope);
-            break;
-        case MsgType::kBidVectorRequest:
-            handle_bid_vector_request();
-            break;
-        case MsgType::kMediateRequest:
-            handle_mediate_request(envelope);
-            break;
-        case MsgType::kTerminate:
-            // Referee verdict: stop participating.
-            break;
-        case MsgType::kSettled:
-            settled_ = true;
-            break;
-        default:
-            break;  // processor ignores referee-bound message kinds
-    }
+void NodeCore::on_message(const WireMessage& message) {
+    if (ctx_.terminated() && message.type != to_wire(MsgType::kTerminate)) return;
+    dispatch_.dispatch(*this, message, ctx_.metrics_registry());
 }
 
-void ProcessorNode::handle_bid(const sim::Envelope& envelope) {
-    const auto signed_msg = crypto::SignedMessage::deserialize(envelope.payload);
+void NodeCore::handle_bid(const WireMessage& message) {
+    const auto signed_msg = crypto::SignedMessage::deserialize(message.payload);
     if (!signed_msg) return;  // malformed: discarded (§4 Bidding)
-    if (signed_msg->signer != envelope.from) return;
+    if (signed_msg->signer != message.from) return;
     if (!signed_msg->verify(ctx_.pki())) return;  // fails verification: discarded
     const auto body = BidBody::deserialize(signed_msg->payload);
-    if (!body || body->processor != envelope.from || body->job_id != ctx_.job_id()) return;
+    if (!body || body->processor != message.from || body->job_id != ctx_.job_id()) return;
 
-    const auto existing = first_bids_.find(envelope.from);
+    const auto existing = first_bids_.find(message.from);
     if (existing != first_bids_.end()) {
         if (existing->second.payload == signed_msg->payload) return;  // duplicate copy
         // Offense (i): two authenticated, different bids from one sender.
         if (strategy_.report_deviations && !accused_double_bid_) {
             accused_double_bid_ = true;
             DoubleBidEvidence evidence;
-            evidence.accused = envelope.from;
+            evidence.accused = message.from;
             evidence.first = existing->second;
             evidence.second = *signed_msg;
-            ctx_.network().send(name(), ctx_.referee_name(),
-                                to_wire(MsgType::kAccuseDoubleBid), evidence.serialize());
+            ctx_.transport().unicast(name(), ctx_.referee_name(),
+                                     to_wire(MsgType::kAccuseDoubleBid),
+                                     evidence.serialize());
         }
         return;
     }
-    first_bids_.emplace(envelope.from, *signed_msg);
-    bid_values_[envelope.from] = body->bid;
+    first_bids_.emplace(message.from, *signed_msg);
+    bid_values_[message.from] = body->bid;
     maybe_false_accuse(*signed_msg);
     maybe_finish_bidding();
 }
 
-void ProcessorNode::maybe_false_accuse(const crypto::SignedMessage& genuine) {
+void NodeCore::maybe_false_accuse(const crypto::SignedMessage& genuine) {
     if (!strategy_.false_accuse || false_accused_) return;
     false_accused_ = true;
     // Offense (v): fabricate a "second bid" by mutating the genuine payload.
@@ -127,11 +127,11 @@ void ProcessorNode::maybe_false_accuse(const crypto::SignedMessage& genuine) {
     evidence.accused = genuine.signer;
     evidence.first = genuine;
     evidence.second = forged;
-    ctx_.network().send(name(), ctx_.referee_name(), to_wire(MsgType::kAccuseDoubleBid),
-                        evidence.serialize());
+    ctx_.transport().unicast(name(), ctx_.referee_name(),
+                             to_wire(MsgType::kAccuseDoubleBid), evidence.serialize());
 }
 
-void ProcessorNode::maybe_finish_bidding() {
+void NodeCore::maybe_finish_bidding() {
     if (bidding_finished_ || bid_values_.size() != ctx_.processor_count()) return;
     bidding_finished_ = true;
 
@@ -162,7 +162,7 @@ void ProcessorNode::maybe_finish_bidding() {
     }
 }
 
-void ProcessorNode::ship_loads() {
+void NodeCore::ship_loads() {
     // Assignment of concrete block ids: contiguous ranges in processor
     // order — deterministic, so every party can reconstruct it.
     std::vector<std::size_t> start(ctx_.processor_count(), 0);
@@ -193,7 +193,7 @@ void ProcessorNode::ship_loads() {
             batch.blocks.push_back(std::move(block));
         }
         const obs::SpanContext ship_span = ctx_.spans().instant(
-            "ship:" + ctx_.processor_names()[i], name(), ctx_.simulator().now(),
+            "ship:" + ctx_.processor_names()[i], name(), ctx_.clock().now(),
             ctx_.phase_span().span_id);
         ctx_.ship_load(name(), ctx_.processor_names()[i], std::move(batch),
                        ship_span.span_id);
@@ -206,21 +206,21 @@ void ProcessorNode::ship_loads() {
     } else {
         // No front end (Figure 3): computation starts only after the last
         // outbound transfer releases the one-port bus.
-        const double free_at = ctx_.network().bus_free_at();
-        ctx_.simulator().schedule_at(free_at, [this] {
+        const double free_at = ctx_.transport().bus_free_at();
+        ctx_.clock().call_at(free_at, [this] {
             if (!ctx_.terminated()) begin_processing(block_counts_[index_]);
         });
     }
 }
 
-void ProcessorNode::handle_load_delivery(const sim::Envelope& envelope) {
-    const auto batch = LoadBatch::deserialize(envelope.payload);
+void NodeCore::handle_load_delivery(const WireMessage& message) {
+    const auto batch = LoadBatch::deserialize(message.payload);
     if (!batch) return;
     // Verification parents on the delivery's ship span when it carried one,
     // so the catapult view shows LO ship -> bus transfer -> receiver verify.
     const obs::SpanContext verify_span = ctx_.spans().open(
-        "verify_blocks", name(), ctx_.simulator().now(),
-        envelope.span_id != 0 ? envelope.span_id : ctx_.phase_span().span_id);
+        "verify_blocks", name(), ctx_.clock().now(),
+        message.span_id != 0 ? message.span_id : ctx_.phase_span().span_id);
     std::size_t valid = 0;
     std::size_t invalid = 0;
     for (const auto& block : batch->blocks) {
@@ -232,7 +232,7 @@ void ProcessorNode::handle_load_delivery(const sim::Envelope& envelope) {
         }
     }
     valid_received_ += valid;
-    ctx_.spans().close(verify_span, ctx_.simulator().now());
+    ctx_.spans().close(verify_span, ctx_.clock().now());
     compute_parent_span_ = verify_span.span_id;
 
     const std::size_t expected = blocks_assigned_;
@@ -268,8 +268,8 @@ void ProcessorNode::handle_load_delivery(const sim::Envelope& envelope) {
     }
 }
 
-void ProcessorNode::file_complaint(AllocComplaintKind kind, std::size_t expected,
-                                   std::size_t received, std::vector<Block> held) {
+void NodeCore::file_complaint(AllocComplaintKind kind, std::size_t expected,
+                              std::size_t received, std::vector<Block> held) {
     if (complaint_filed_) return;
     complaint_filed_ = true;
     AllocComplaintBody body;
@@ -278,20 +278,20 @@ void ProcessorNode::file_complaint(AllocComplaintKind kind, std::size_t expected
     body.expected_blocks = expected;
     body.received_blocks = received;
     body.held_blocks = std::move(held);
-    ctx_.network().send(name(), ctx_.referee_name(), to_wire(MsgType::kAllocComplaint),
-                        body.serialize());
+    ctx_.transport().unicast(name(), ctx_.referee_name(),
+                             to_wire(MsgType::kAllocComplaint), body.serialize());
 }
 
-void ProcessorNode::begin_processing(std::size_t blocks) {
+void NodeCore::begin_processing(std::size_t blocks) {
     if (processing_started_ || ctx_.terminated()) return;
     processing_started_ = true;
     if (ctx_.phase() == Phase::kAllocating) ctx_.set_phase(Phase::kProcessing);
     ctx_.execute_load(name(), blocks, exec_rate_, [] {}, compute_parent_span_);
 }
 
-void ProcessorNode::handle_meter_broadcast(const sim::Envelope& envelope) {
-    const auto body = MeterVectorBody::deserialize(envelope.payload);
-    if (!body || envelope.from != ctx_.referee_name()) return;
+void NodeCore::handle_meter_broadcast(const WireMessage& message) {
+    const auto body = MeterVectorBody::deserialize(message.payload);
+    if (!body || message.from != ctx_.referee_name()) return;
 
     // w̃_j = φ_j / α_j (§4 Computing Payments) — with block-granular loads,
     // α_j is the fraction actually assigned, blocks_j / block_count.
@@ -325,10 +325,11 @@ void ProcessorNode::handle_meter_broadcast(const sim::Envelope& envelope) {
         const auto signed_msg = crypto::sign_message(*signer_, name(), body_out.serialize());
         // Payment submission parents on the meter broadcast that prompted it.
         const obs::SpanContext pay_span = ctx_.spans().instant(
-            "msg:payment_vector", name(), ctx_.simulator().now(),
-            envelope.span_id != 0 ? envelope.span_id : ctx_.phase_span().span_id);
-        ctx_.network().send(name(), ctx_.referee_name(), to_wire(MsgType::kPaymentVector),
-                            signed_msg.serialize(), pay_span.span_id);
+            "msg:payment_vector", name(), ctx_.clock().now(),
+            message.span_id != 0 ? message.span_id : ctx_.phase_span().span_id);
+        ctx_.transport().unicast(name(), ctx_.referee_name(),
+                                 to_wire(MsgType::kPaymentVector), signed_msg.serialize(),
+                                 pay_span.span_id);
     };
 
     if (strategy_.contradictory_payment_vectors) {
@@ -349,7 +350,7 @@ void ProcessorNode::handle_meter_broadcast(const sim::Envelope& envelope) {
     submit(payment_vector_);
 }
 
-void ProcessorNode::handle_bid_vector_request() {
+void NodeCore::handle_bid_vector_request() {
     BidVectorBody body;
     body.submitter = name();
     for (const auto& pname : ctx_.processor_names()) {
@@ -368,18 +369,18 @@ void ProcessorNode::handle_bid_vector_request() {
         }
         body.bids.push_back(std::move(entry));
     }
-    ctx_.network().send(name(), ctx_.referee_name(), to_wire(MsgType::kBidVectorResponse),
-                        body.serialize());
+    ctx_.transport().unicast(name(), ctx_.referee_name(),
+                             to_wire(MsgType::kBidVectorResponse), body.serialize());
 }
 
-void ProcessorNode::handle_mediate_request(const sim::Envelope& envelope) {
-    const auto request = MediateRequestBody::deserialize(envelope.payload);
+void NodeCore::handle_mediate_request(const WireMessage& message) {
+    const auto request = MediateRequestBody::deserialize(message.payload);
     if (!request || !is_load_origin()) return;
     if (strategy_.lo_refuse_mediation) {
         util::ByteWriter w;
         w.str(name());
-        ctx_.network().send(name(), ctx_.referee_name(), to_wire(MsgType::kMediateRefuse),
-                            w.take());
+        ctx_.transport().unicast(name(), ctx_.referee_name(),
+                                 to_wire(MsgType::kMediateRefuse), w.take());
         return;
     }
     LoadBatch batch;
@@ -389,8 +390,8 @@ void ProcessorNode::handle_mediate_request(const sim::Envelope& envelope) {
         if (strategy_.lo_corrupt_blocks) block.payload_digest[0] ^= 0xff;
         batch.blocks.push_back(std::move(block));
     }
-    ctx_.network().send(name(), ctx_.referee_name(), to_wire(MsgType::kMediateBlocks),
-                        batch.serialize());
+    ctx_.transport().unicast(name(), ctx_.referee_name(),
+                             to_wire(MsgType::kMediateBlocks), batch.serialize());
 }
 
 }  // namespace dlsbl::protocol

@@ -6,6 +6,10 @@
 // payment-vector computation. Every prescribed step has a deviation hook
 // driven by the node's Strategy (see protocol/strategy.hpp); the honest
 // strategy follows the mechanism exactly.
+//
+// NodeCore is a sans-I/O state machine: it reaches the world only through
+// the context's Clock/Transport pair and receives input as WireMessages —
+// no transport types appear here, so any driver can host it.
 #pragma once
 
 #include <map>
@@ -16,17 +20,18 @@
 #include <vector>
 
 #include "protocol/context.hpp"
-#include "sim/network.hpp"
+#include "protocol/dispatch.hpp"
+#include "protocol/endpoint.hpp"
 
 namespace dlsbl::protocol {
 
-class ProcessorNode final : public sim::Process {
+class NodeCore final : public Endpoint {
  public:
-    ProcessorNode(RunContext& context, std::size_t index,
-                  std::unique_ptr<crypto::Signer> signer, Strategy strategy);
+    NodeCore(RunContext& context, std::size_t index,
+             std::unique_ptr<crypto::Signer> signer, Strategy strategy);
 
     void on_start() override;
-    void on_message(const sim::Envelope& envelope) override;
+    void on_message(const WireMessage& message) override;
 
     // --- inspection (used by the runner's outcome extraction) ---------------
     [[nodiscard]] const Strategy& strategy() const noexcept { return strategy_; }
@@ -41,16 +46,17 @@ class ProcessorNode final : public sim::Process {
     [[nodiscard]] bool settled() const noexcept { return settled_; }
 
  private:
+    void register_handlers();
     [[nodiscard]] bool is_load_origin() const;
     void broadcast_bid(double value);
-    void handle_bid(const sim::Envelope& envelope);
+    void handle_bid(const WireMessage& message);
     void maybe_finish_bidding();
     void ship_loads();
-    void handle_load_delivery(const sim::Envelope& envelope);
+    void handle_load_delivery(const WireMessage& message);
     void begin_processing(std::size_t blocks);
-    void handle_meter_broadcast(const sim::Envelope& envelope);
+    void handle_meter_broadcast(const WireMessage& message);
     void handle_bid_vector_request();
-    void handle_mediate_request(const sim::Envelope& envelope);
+    void handle_mediate_request(const WireMessage& message);
     void file_complaint(AllocComplaintKind kind, std::size_t expected, std::size_t received,
                         std::vector<Block> held);
     void maybe_false_accuse(const crypto::SignedMessage& genuine);
@@ -60,6 +66,7 @@ class ProcessorNode final : public sim::Process {
     double true_w_;
     Strategy strategy_;
     std::unique_ptr<crypto::Signer> signer_;
+    MessageDispatcher dispatch_;
 
     double bid_ = 0.0;
     double exec_rate_ = 0.0;
@@ -86,5 +93,8 @@ class ProcessorNode final : public sim::Process {
     std::vector<double> payment_vector_;
     bool settled_ = false;
 };
+
+// The processor kept its pre-split name in most call sites.
+using ProcessorNode = NodeCore;
 
 }  // namespace dlsbl::protocol

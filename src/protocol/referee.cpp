@@ -20,30 +20,59 @@ constexpr const char* kAccusationsMetric = "dlsbl_referee_accusations_total";
 constexpr const char* kVerifyCacheMetric = "dlsbl_referee_verify_cache_total";
 }  // namespace
 
-Referee::Referee(RunContext& context) : Process(context.referee_name()), ctx_(context) {}
+RefereeCore::RefereeCore(RunContext& context)
+    : Endpoint(context.referee_name()), ctx_(context) {
+    register_handlers();
+}
 
-void Referee::count_dispute_opened(const char* kind) {
+void RefereeCore::register_handlers() {
+    // On a shared bus the referee physically receives bid broadcasts, but it
+    // stays passive: bids are neither stored nor used unless a dispute later
+    // delivers them as signed evidence.
+    dispatch_.ignore(MsgType::kBid);
+    dispatch_.on(MsgType::kAccuseDoubleBid,
+                 [this](const WireMessage& m) { handle_double_bid_accusation(m); });
+    dispatch_.on(MsgType::kAllocComplaint,
+                 [this](const WireMessage& m) { handle_alloc_complaint(m); });
+    dispatch_.on(MsgType::kBidVectorResponse,
+                 [this](const WireMessage& m) { handle_bid_vector_response(m); });
+    dispatch_.on(MsgType::kMediateBlocks,
+                 [this](const WireMessage& m) { handle_mediate_blocks(m); });
+    dispatch_.on(MsgType::kMediateRefuse,
+                 [this](const WireMessage& m) { handle_mediate_refuse(m); });
+    dispatch_.on(MsgType::kPaymentVector,
+                 [this](const WireMessage& m) { handle_payment_vector(m); });
+    // Processor-bound message kinds: known, deliberately ignored.
+    dispatch_.ignore(MsgType::kLoadDelivery);
+    dispatch_.ignore(MsgType::kBidVectorRequest);
+    dispatch_.ignore(MsgType::kMediateRequest);
+    dispatch_.ignore(MsgType::kMeterBroadcast);
+    dispatch_.ignore(MsgType::kTerminate);
+    dispatch_.ignore(MsgType::kSettled);
+}
+
+void RefereeCore::count_dispute_opened(const char* kind) {
     open_dispute_kind_ = kind;
     ctx_.metrics_registry()
         .counter(kDisputesOpenedMetric, {{"kind", kind}})
         .inc();
     // Disputes can straddle phase changes, so the span parents on the run.
     dispute_span_ = ctx_.spans().open(std::string("dispute:") + kind, name(),
-                                      ctx_.simulator().now(),
+                                      ctx_.clock().now(),
                                       ctx_.run_span().span_id);
 }
 
-void Referee::count_dispute_resolved() {
+void RefereeCore::count_dispute_resolved() {
     if (open_dispute_kind_ == nullptr) return;
     ctx_.metrics_registry()
         .counter(kDisputesResolvedMetric, {{"kind", open_dispute_kind_}})
         .inc();
     open_dispute_kind_ = nullptr;
-    ctx_.spans().close(dispute_span_, ctx_.simulator().now());
+    ctx_.spans().close(dispute_span_, ctx_.clock().now());
     dispute_span_ = obs::SpanContext{};
 }
 
-void Referee::count_accusation(const char* type, bool substantiated) {
+void RefereeCore::count_accusation(const char* type, bool substantiated) {
     ctx_.metrics_registry()
         .counter(kAccusationsMetric,
                  {{"type", type},
@@ -51,44 +80,18 @@ void Referee::count_accusation(const char* type, bool substantiated) {
         .inc();
 }
 
-void Referee::on_message(const sim::Envelope& envelope) {
+void RefereeCore::on_message(const WireMessage& message) {
     if (ctx_.terminated()) return;
-    switch (static_cast<MsgType>(envelope.type)) {
-        case MsgType::kBid:
-            // On a shared bus the referee physically receives broadcasts,
-            // but it stays passive: bids are neither stored nor used unless
-            // a dispute later delivers them as signed evidence.
-            break;
-        case MsgType::kAccuseDoubleBid:
-            handle_double_bid_accusation(envelope);
-            break;
-        case MsgType::kAllocComplaint:
-            handle_alloc_complaint(envelope);
-            break;
-        case MsgType::kBidVectorResponse:
-            handle_bid_vector_response(envelope);
-            break;
-        case MsgType::kMediateBlocks:
-            handle_mediate_blocks(envelope);
-            break;
-        case MsgType::kMediateRefuse:
-            handle_mediate_refuse(envelope);
-            break;
-        case MsgType::kPaymentVector:
-            handle_payment_vector(envelope);
-            break;
-        default:
-            break;
-    }
+    dispatch_.dispatch(*this, message, ctx_.metrics_registry());
 }
 
 // ---- offense (i): inconsistent bids ---------------------------------------
 
-void Referee::handle_double_bid_accusation(const sim::Envelope& envelope) {
+void RefereeCore::handle_double_bid_accusation(const WireMessage& message) {
     if (verdict_issued_) return;
-    const auto evidence = DoubleBidEvidence::deserialize(envelope.payload);
+    const auto evidence = DoubleBidEvidence::deserialize(message.payload);
     if (!evidence) return;
-    const std::string& accuser = envelope.from;
+    const std::string& accuser = message.from;
     const std::string& accused = evidence->accused;
 
     // Substantiated iff: both messages carry valid signatures of `accused`,
@@ -116,11 +119,11 @@ void Referee::handle_double_bid_accusation(const sim::Envelope& envelope) {
 
 // ---- offense (ii): incorrect load assignments ------------------------------
 
-void Referee::handle_alloc_complaint(const sim::Envelope& envelope) {
+void RefereeCore::handle_alloc_complaint(const WireMessage& message) {
     if (verdict_issued_ || stage_ != DisputeStage::kNone) return;
-    auto complaint = AllocComplaintBody::deserialize(envelope.payload);
-    if (!complaint || complaint->complainant != envelope.from) return;
-    if (envelope.from == ctx_.load_origin()) return;  // the LO cannot complain about itself
+    auto complaint = AllocComplaintBody::deserialize(message.payload);
+    if (!complaint || complaint->complainant != message.from) return;
+    if (message.from == ctx_.load_origin()) return;  // the LO cannot complain about itself
 
     open_complaint_ = std::move(*complaint);
     stage_ = DisputeStage::kAllocAwaitingBidVectors;
@@ -129,19 +132,19 @@ void Referee::handle_alloc_complaint(const sim::Envelope& envelope) {
     bid_vector_expected_ = {ctx_.load_origin(), open_complaint_->complainant};
     // "Processors P_lo and P_i submit their vector of bids" (§4).
     for (const auto& target : bid_vector_expected_) {
-        ctx_.network().send(name(), target, to_wire(MsgType::kBidVectorRequest), {});
+        ctx_.transport().unicast(name(), target, to_wire(MsgType::kBidVectorRequest), {});
     }
 }
 
-void Referee::handle_bid_vector_response(const sim::Envelope& envelope) {
+void RefereeCore::handle_bid_vector_response(const WireMessage& message) {
     if (stage_ != DisputeStage::kAllocAwaitingBidVectors &&
         stage_ != DisputeStage::kPaymentAwaitingBidVectors) {
         return;
     }
-    auto body = BidVectorBody::deserialize(envelope.payload);
-    if (!body || body->submitter != envelope.from) return;
-    if (!bid_vector_expected_.contains(envelope.from)) return;
-    bid_vector_responses_[envelope.from] = std::move(*body);
+    auto body = BidVectorBody::deserialize(message.payload);
+    if (!body || body->submitter != message.from) return;
+    if (!bid_vector_expected_.contains(message.from)) return;
+    bid_vector_responses_[message.from] = std::move(*body);
     if (bid_vector_responses_.size() != bid_vector_expected_.size()) return;
 
     const std::set<std::string> deviants = validate_bid_vectors();
@@ -158,9 +161,9 @@ void Referee::handle_bid_vector_response(const sim::Envelope& envelope) {
     }
 }
 
-std::set<std::string> Referee::validate_bid_vectors() {
+std::set<std::string> RefereeCore::validate_bid_vectors() {
     const obs::SpanContext verify_span = ctx_.spans().open(
-        "verify:bid_vectors", name(), ctx_.simulator().now(),
+        "verify:bid_vectors", name(), ctx_.clock().now(),
         dispute_span_.valid() ? dispute_span_.span_id : ctx_.phase_span().span_id);
     std::set<std::string> deviants;
     // The same signed bid appears in every submitter's vector, so most of
@@ -214,11 +217,11 @@ std::set<std::string> Referee::validate_bid_vectors() {
             for (const auto& name : bid_vector_expected_) deviants.insert(name);
         }
     }
-    ctx_.spans().close(verify_span, ctx_.simulator().now());
+    ctx_.spans().close(verify_span, ctx_.clock().now());
     return deviants;
 }
 
-void Referee::adjudicate_alloc_complaint() {
+void RefereeCore::adjudicate_alloc_complaint() {
     const auto& complaint = *open_complaint_;
     const std::string& lo = ctx_.load_origin();
     const std::string& complainant = complaint.complainant;
@@ -273,8 +276,8 @@ void Referee::adjudicate_alloc_complaint() {
         for (std::size_t k = valid; k < expected; ++k) {
             request.block_ids.push_back((start + k) % ctx_.config().block_count);
         }
-        ctx_.network().send(name(), ctx_.load_origin(), to_wire(MsgType::kMediateRequest),
-                            request.serialize());
+        ctx_.transport().unicast(name(), ctx_.load_origin(),
+                                 to_wire(MsgType::kMediateRequest), request.serialize());
         return;
     }
     // valid == expected: the bus shows a correct assignment; the claim is
@@ -284,10 +287,10 @@ void Referee::adjudicate_alloc_complaint() {
                   /*terminate=*/true);
 }
 
-void Referee::handle_mediate_blocks(const sim::Envelope& envelope) {
+void RefereeCore::handle_mediate_blocks(const WireMessage& message) {
     if (stage_ != DisputeStage::kAllocAwaitingMediation) return;
-    if (envelope.from != ctx_.load_origin()) return;
-    const auto batch = LoadBatch::deserialize(envelope.payload);
+    if (message.from != ctx_.load_origin()) return;
+    const auto batch = LoadBatch::deserialize(message.payload);
     const std::string& lo = ctx_.load_origin();
     if (!batch) {
         count_accusation("allocation", /*substantiated=*/true);
@@ -309,9 +312,9 @@ void Referee::handle_mediate_blocks(const sim::Envelope& envelope) {
     issue_verdict({lo}, "short-shipment by " + lo, /*terminate=*/true);
 }
 
-void Referee::handle_mediate_refuse(const sim::Envelope& envelope) {
+void RefereeCore::handle_mediate_refuse(const WireMessage& message) {
     if (stage_ != DisputeStage::kAllocAwaitingMediation) return;
-    if (envelope.from != ctx_.load_origin()) return;
+    if (message.from != ctx_.load_origin()) return;
     // "If P_lo refuses to transmit the correct number of load units ...
     // P_lo is fined."
     count_accusation("allocation", /*substantiated=*/true);
@@ -321,7 +324,7 @@ void Referee::handle_mediate_refuse(const sim::Envelope& envelope) {
 
 // ---- meters and payments ----------------------------------------------------
 
-void Referee::on_all_meters_done() {
+void RefereeCore::on_all_meters_done() {
     if (ctx_.terminated() || meters_broadcast_) return;
     meters_broadcast_ = true;
     ctx_.set_phase(Phase::kPayments);
@@ -333,39 +336,39 @@ void Referee::on_all_meters_done() {
         }
     }
     const obs::SpanContext meter_span = ctx_.spans().instant(
-        "msg:meter_broadcast", name(), ctx_.simulator().now(),
+        "msg:meter_broadcast", name(), ctx_.clock().now(),
         ctx_.phase_span().span_id);
-    ctx_.network().broadcast(name(), to_wire(MsgType::kMeterBroadcast), body.serialize(),
-                             meter_span.span_id);
+    ctx_.transport().broadcast(name(), to_wire(MsgType::kMeterBroadcast), body.serialize(),
+                               meter_span.span_id);
 }
 
-void Referee::handle_payment_vector(const sim::Envelope& envelope) {
+void RefereeCore::handle_payment_vector(const WireMessage& message) {
     if (settled_ || verdict_issued_) return;
-    const auto signed_msg = crypto::SignedMessage::deserialize(envelope.payload);
-    if (!signed_msg || signed_msg->signer != envelope.from ||
+    const auto signed_msg = crypto::SignedMessage::deserialize(message.payload);
+    if (!signed_msg || signed_msg->signer != message.from ||
         !signed_msg->verify(ctx_.pki())) {
         return;  // unauthenticated submissions are discarded
     }
     const auto body = PaymentBody::deserialize(signed_msg->payload);
-    if (!body || body->processor != envelope.from || body->job_id != ctx_.job_id()) return;
+    if (!body || body->processor != message.from || body->job_id != ctx_.job_id()) return;
     if (body->payments.size() != ctx_.processor_count()) return;
 
-    payment_payloads_[envelope.from].push_back(signed_msg->payload);
-    payment_values_[envelope.from] = body->payments;
+    payment_payloads_[message.from].push_back(signed_msg->payload);
+    payment_values_[message.from] = body->payments;
 
     if (payment_payloads_.size() == ctx_.processor_count() &&
         !payment_evaluation_scheduled_) {
         // Defer one event so same-timestamp contradictory submissions are
         // all in before judging.
         payment_evaluation_scheduled_ = true;
-        ctx_.simulator().schedule_after(0.0, [this] { evaluate_payments(); });
+        ctx_.clock().call_after(0.0, [this] { evaluate_payments(); });
     }
 }
 
-void Referee::evaluate_payments() {
+void RefereeCore::evaluate_payments() {
     if (settled_ || verdict_issued_ || ctx_.terminated()) return;
     const obs::SpanContext verify_span = ctx_.spans().instant(
-        "verify:payments", name(), ctx_.simulator().now(), ctx_.phase_span().span_id);
+        "verify:payments", name(), ctx_.clock().now(), ctx_.phase_span().span_id);
     (void)verify_span;
 
     // Contradictory submissions (§4: "If there are multiple contradictory
@@ -407,11 +410,12 @@ void Referee::evaluate_payments() {
     bid_vector_expected_.clear();
     for (const auto& processor : ctx_.processor_names()) {
         bid_vector_expected_.insert(processor);
-        ctx_.network().send(name(), processor, to_wire(MsgType::kBidVectorRequest), {});
+        ctx_.transport().unicast(name(), processor, to_wire(MsgType::kBidVectorRequest),
+                                 {});
     }
 }
 
-std::vector<double> Referee::execution_values() const {
+std::vector<double> RefereeCore::execution_values() const {
     const std::size_t m = ctx_.processor_count();
     std::vector<double> bids(m);
     for (std::size_t i = 0; i < m; ++i) {
@@ -434,7 +438,7 @@ std::vector<double> Referee::execution_values() const {
     return exec;
 }
 
-void Referee::recompute_and_settle() {
+void RefereeCore::recompute_and_settle() {
     const std::size_t m = ctx_.processor_count();
     std::vector<double> bids(m);
     for (std::size_t i = 0; i < m; ++i) {
@@ -464,7 +468,7 @@ void Referee::recompute_and_settle() {
     settle(breakdown.payment);
 }
 
-void Referee::settle(const std::vector<double>& payments) {
+void RefereeCore::settle(const std::vector<double>& payments) {
     settled_ = true;
     settled_payments_ = payments;
     count_dispute_resolved();  // no-op when no dispute was open
@@ -476,20 +480,20 @@ void Referee::settle(const std::vector<double>& payments) {
     }
     util::ByteWriter w;
     w.str("settled");
-    ctx_.network().broadcast(name(), to_wire(MsgType::kSettled), w.take());
+    ctx_.transport().broadcast(name(), to_wire(MsgType::kSettled), w.take());
 }
 
 // ---- fines -----------------------------------------------------------------
 
-void Referee::issue_verdict(const std::set<std::string>& deviants,
-                            const std::string& reason, bool terminate) {
+void RefereeCore::issue_verdict(const std::set<std::string>& deviants,
+                                const std::string& reason, bool terminate) {
     if (deviants.empty()) throw std::logic_error("Referee: verdict without deviants");
     if (!ctx_.fine_posted()) {
         throw std::logic_error("Referee: verdict before the fine F was posted");
     }
     if (terminate) verdict_issued_ = true;
     const double fine = ctx_.fine_amount();
-    ctx_.network().trace().record(ctx_.simulator().now(), sim::TraceKind::kVerdict, name(),
+    ctx_.transport().note_verdict(ctx_.clock().now(), name(),
                                   reason + " fine=" + std::to_string(fine));
 
     auto& registry = ctx_.metrics_registry();
@@ -514,7 +518,7 @@ void Referee::issue_verdict(const std::set<std::string>& deviants,
             deviant_list += deviant;
         }
         events.emit(obs::Event(obs::LogLevel::Debug, "referee", "verdict")
-                        .time(ctx_.simulator().now())
+                        .time(ctx_.clock().now())
                         .str("reason", reason)
                         .str("deviants", deviant_list)
                         .num("fine", fine)
@@ -524,7 +528,7 @@ void Referee::issue_verdict(const std::set<std::string>& deviants,
     double pool = 0.0;
     for (const auto& deviant : deviants) {
         // One instant span per fined processor.
-        ctx_.spans().instant("fine:" + deviant, name(), ctx_.simulator().now(),
+        ctx_.spans().instant("fine:" + deviant, name(), ctx_.clock().now(),
                              fine_parent);
         ctx_.ledger().transfer(deviant, name(), fine, "fine: " + reason);
         fines_[deviant] += fine;
@@ -552,7 +556,7 @@ void Referee::issue_verdict(const std::set<std::string>& deviants,
     TerminateBody body;
     body.reason = reason;
     body.fined.assign(deviants.begin(), deviants.end());
-    ctx_.network().broadcast(name(), to_wire(MsgType::kTerminate), body.serialize());
+    ctx_.transport().broadcast(name(), to_wire(MsgType::kTerminate), body.serialize());
 
     // Terminating verdict: §4 pays α_i w̃_i — the metered execution time
     // φ_i — to every non-deviant that commenced work, then splits the
@@ -572,13 +576,13 @@ void Referee::issue_verdict(const std::set<std::string>& deviants,
     if (pending_termination_->awaiting.empty()) finalize_termination_payouts();
 }
 
-void Referee::on_meter_stopped(const std::string& processor) {
+void RefereeCore::on_meter_stopped(const std::string& processor) {
     if (!pending_termination_) return;
     pending_termination_->awaiting.erase(processor);
     if (pending_termination_->awaiting.empty()) finalize_termination_payouts();
 }
 
-void Referee::finalize_termination_payouts() {
+void RefereeCore::finalize_termination_payouts() {
     PendingTermination pending = std::move(*pending_termination_);
     pending_termination_.reset();
 

@@ -4,14 +4,23 @@
 
 #include "obs/event.hpp"
 #include "obs/profiler.hpp"
-#include "obs/sim_bridge.hpp"
+#include "protocol/detail/run_internals.hpp"
+#include "protocol/drivers/drivers.hpp"
 #include "util/logging.hpp"
 
 namespace dlsbl::protocol {
 
-ProtocolOutcome run_protocol(const ProtocolConfig& config, const RunObserver& observer) {
+const char* to_string(DriverKind kind) noexcept {
+    switch (kind) {
+        case DriverKind::kSim: return "sim";
+        case DriverKind::kBus: return "bus";
+    }
+    return "?";
+}
+
+ProtocolOutcome run_protocol(const RunRequest& request, const RunObserver& observer) {
     OBS_SCOPE("protocol_run");
-    ProtocolConfig cfg = config;
+    ProtocolConfig cfg = request.config;
     cfg.validate();
     if (cfg.strategies.empty()) cfg.strategies.assign(cfg.true_w.size(), Strategy{});
 
@@ -20,10 +29,11 @@ ProtocolOutcome run_protocol(const ProtocolConfig& config, const RunObserver& ob
                                   " blocks=" + std::to_string(cfg.block_count) +
                                   " seed=" + std::to_string(cfg.seed));
 
-    sim::Simulator simulator;
-    sim::Network network(simulator, cfg.z, cfg.control_latency,
-                         cfg.control_seconds_per_byte);
-    RunContext context(simulator, network, cfg);
+    std::unique_ptr<Driver> driver =
+        request.driver == DriverKind::kBus
+            ? make_bus_driver(cfg.z, cfg.control_latency, cfg.control_seconds_per_byte)
+            : make_sim_driver(cfg.z, cfg.control_latency, cfg.control_seconds_per_byte);
+    RunContext context(driver->clock(), driver->transport(), cfg);
 
     // Initialization (§4): every participant registers a key with the PKI.
     // The user also registers (it signs the data-set commitment).
@@ -37,28 +47,26 @@ ProtocolOutcome run_protocol(const ProtocolConfig& config, const RunObserver& ob
         context.pki(), context.user_name(), cfg.seed * 1000 + 999,
         cfg.signature_algorithm, cfg.mss_height, cfg.crypto_keygen_jobs);
 
-    Referee referee(context);
-    network.attach(referee);
+    RefereeCore referee(context);
+    driver->attach(referee);
     context.set_referee(referee);
     context.set_expected_workers(context.processor_count());
 
-    std::vector<std::unique_ptr<ProcessorNode>> nodes;
+    std::vector<std::unique_ptr<NodeCore>> nodes;
     for (std::size_t i = 0; i < context.processor_count(); ++i) {
-        nodes.push_back(std::make_unique<ProcessorNode>(
+        nodes.push_back(std::make_unique<NodeCore>(
             context, i, std::move(signers[i]), cfg.strategies[i]));
-        network.attach(*nodes.back());
+        driver->attach(*nodes.back());
     }
 
-    network.start();
-    {
-        OBS_SCOPE("sim_event_loop");
-        simulator.run();
-    }
+    driver->start();
+    driver->run();
     // The event loop has quiesced: close the phase and run spans so the
     // causal tree is well-formed in the trace/JSONL artifacts.
     context.close_run_span();
 
     // ---- outcome extraction -------------------------------------------------
+    const TransportStats transport_stats = driver->stats();
     ProtocolOutcome outcome;
     outcome.terminated_early = context.terminated();
     outcome.termination_reason = context.termination_reason();
@@ -66,16 +74,14 @@ ProtocolOutcome run_protocol(const ProtocolConfig& config, const RunObserver& ob
     outcome.fine_amount = context.fine_amount();
     outcome.makespan = context.last_compute_end();
     outcome.user_paid = referee.user_paid();
-    outcome.control_messages = network.metrics().control_messages();
-    outcome.control_bytes = network.metrics().control_bytes();
-    for (const auto& [phase, counters] : network.metrics().by_phase()) {
-        outcome.bytes_by_phase.emplace_back(phase, counters.bytes);
-    }
+    outcome.control_messages = transport_stats.control_messages;
+    outcome.control_bytes = transport_stats.control_bytes;
+    outcome.bytes_by_phase = transport_stats.bytes_by_phase;
 
     const auto& settled = referee.settled_payments();
     for (std::size_t i = 0; i < context.processor_count(); ++i) {
         const auto& name = context.processor_names()[i];
-        const ProcessorNode& node = *nodes[i];
+        const NodeCore& node = *nodes[i];
         ProcessorOutcome p;
         p.name = name;
         p.true_w = cfg.true_w[i];
@@ -119,9 +125,9 @@ ProtocolOutcome run_protocol(const ProtocolConfig& config, const RunObserver& ob
         outcome.processors.push_back(std::move(p));
     }
 
-    // Re-host the network's per-phase accounting onto the run's registry so
-    // one dump carries the Theorem 5.4 counters next to the referee's.
-    obs::export_network_metrics(network.metrics(), context.metrics_registry());
+    // Re-host the transport's per-phase accounting onto the run's registry
+    // so one dump carries the Theorem 5.4 counters next to the referee's.
+    driver->finalize_metrics(context.metrics_registry());
 
     // Sim-time makespan distribution. The value comes off the event clock,
     // not the host clock, so the histogram stays deterministic per seed and
@@ -147,7 +153,7 @@ ProtocolOutcome run_protocol(const ProtocolConfig& config, const RunObserver& ob
     auto& events = obs::EventLog::instance();
     if (events.enabled(obs::LogLevel::Debug)) {
         events.emit(obs::Event(obs::LogLevel::Debug, "runner", "run_summary")
-                        .time(simulator.now())
+                        .time(driver->clock().now())
                         .str("kind", dlt::to_string(cfg.kind))
                         .uint("m", cfg.true_w.size())
                         .uint("seed", cfg.seed)
@@ -159,10 +165,22 @@ ProtocolOutcome run_protocol(const ProtocolConfig& config, const RunObserver& ob
     }
 
     if (observer) {
-        RunInternals internals{context, referee, nodes};
+        RunInternals internals{context, referee, nodes, driver->artifacts()};
         observer(internals);
     }
     return outcome;
+}
+
+ProtocolOutcome run_protocol(const ProtocolConfig& config, const RunObserver& observer) {
+    return run_protocol(RunRequest{config, DriverKind::kSim}, observer);
+}
+
+ProtocolOutcome run_protocol(const RunRequest& request) {
+    return run_protocol(request, RunObserver{});
+}
+
+ProtocolOutcome run_protocol(const ProtocolConfig& config) {
+    return run_protocol(RunRequest{config, DriverKind::kSim}, RunObserver{});
 }
 
 }  // namespace dlsbl::protocol

@@ -6,30 +6,37 @@
 //   config.true_w = {1.0, 2.0, 1.5};
 //   ProtocolOutcome outcome = run_protocol(config);
 //
-// Builds the simulator, network, PKI, user data set, processor nodes and
-// referee, runs the event loop to quiescence, and extracts the outcome
-// (allocations, payments, fines, utilities, communication metrics).
+// Builds the driver (transport + clock), PKI, user data set, processor
+// cores and referee core, runs the event loop to quiescence, and extracts
+// the outcome (allocations, payments, fines, utilities, communication
+// metrics).
+//
+// The minimal surface here — RunRequest in, ProtocolOutcome out — is what
+// services (dlsbld) embed. Tests and forensics tooling that need the wired
+// internals use protocol/detail/run_internals.hpp instead.
 #pragma once
 
-#include <functional>
-
-#include "protocol/context.hpp"
-#include "protocol/node.hpp"
+#include "protocol/config.hpp"
 #include "protocol/outcome.hpp"
-#include "protocol/referee.hpp"
 
 namespace dlsbl::protocol {
 
-// Optional observer invoked after the run with full access to the wired-up
-// internals (trace, ledger history, referee state) before they are torn
-// down. Used by tests and the forensics example.
-struct RunInternals {
-    RunContext& context;
-    Referee& referee;
-    const std::vector<std::unique_ptr<ProcessorNode>>& nodes;
+// Which transport hosts the cores. Artifacts (ProtocolOutcome, ledger,
+// JSONL, trace, metrics) are byte-identical across drivers for a fixed
+// config — the fixed-seed equivalence suite gates on it.
+enum class DriverKind {
+    kSim,  // discrete-event simulator (sim::Simulator + sim::Network)
+    kBus,  // in-process async message bus (SPSC mailboxes + deadline wheel)
 };
-using RunObserver = std::function<void(const RunInternals&)>;
 
-ProtocolOutcome run_protocol(const ProtocolConfig& config, const RunObserver& observer = {});
+const char* to_string(DriverKind kind) noexcept;
+
+struct RunRequest {
+    ProtocolConfig config;
+    DriverKind driver = DriverKind::kSim;
+};
+
+ProtocolOutcome run_protocol(const ProtocolConfig& config);
+ProtocolOutcome run_protocol(const RunRequest& request);
 
 }  // namespace dlsbl::protocol

@@ -1,0 +1,16 @@
+// Fixture: layering breaches that rule A must flag when the file is linted
+// under a protocol-core path (src/protocol/*.cpp). Never compiled.
+#include "sim/kernel.hpp"
+#include "sim/network.hpp"
+
+namespace fixture {
+
+double peek(const sim::Simulator& simulator) {
+    return simulator.now();
+}
+
+void hook(sim::Network& network) {
+    (void)network;
+}
+
+}  // namespace fixture

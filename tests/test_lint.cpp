@@ -183,6 +183,29 @@ TEST(LintRules, MutableGlobalFixture) {
     EXPECT_EQ(count_rule(outside, lint::kRuleMutableGlobal), 0u);
 }
 
+TEST(LintRules, LayeringFixture) {
+    const std::string source = read_fixture("layering_bad.cpp");
+    const auto in_core = lint_at("src/protocol/fixture.cpp", source);
+    EXPECT_EQ(count_rule(in_core, lint::kRuleLayering), 4u)
+        << "two sim/ includes plus sim::Simulator and sim::Network";
+    // Drivers and the detail layer are the adaptation points — exempt.
+    const auto in_drivers = lint_at("src/protocol/drivers/fixture.cpp", source);
+    EXPECT_EQ(count_rule(in_drivers, lint::kRuleLayering), 0u);
+    const auto in_detail = lint_at("src/protocol/detail/fixture.hpp", source);
+    EXPECT_EQ(count_rule(in_detail, lint::kRuleLayering), 0u);
+    // Outside src/protocol/ the rule does not apply at all.
+    const auto outside = lint_at("src/obs/fixture.cpp", source);
+    EXPECT_EQ(count_rule(outside, lint::kRuleLayering), 0u);
+}
+
+TEST(LintRules, LayeringNearMissesPass) {
+    const auto result =
+        lint_at("src/protocol/fixture.cpp", read_fixture("layering_good.cpp"));
+    for (const auto& f : result.findings) {
+        ADD_FAILURE() << f.rule << " at line " << f.line << ": " << f.excerpt;
+    }
+}
+
 // ------------------------------------------------------------ rules (good)
 
 TEST(LintRules, GoodFileIsClean) {

@@ -11,6 +11,7 @@
 #include "obs/catapult.hpp"
 #include "obs/event.hpp"
 #include "obs/json.hpp"
+#include "protocol/detail/run_internals.hpp"
 #include "protocol/runner.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -45,7 +46,7 @@ TEST(TraceDeterminism, IdenticalRunsIdenticalTraces) {
     auto capture = [&config] {
         std::string rendered;
         protocol::run_protocol(config, [&](const protocol::RunInternals& internals) {
-            rendered = internals.context.network().trace().render();
+            rendered = internals.trace().render();
         });
         return rendered;
     };
@@ -66,7 +67,7 @@ TEST(TraceDeterminism, InstanceChangesTrace) {
     auto capture = [&config] {
         std::string rendered;
         protocol::run_protocol(config, [&](const protocol::RunInternals& internals) {
-            rendered = internals.context.network().trace().render();
+            rendered = internals.trace().render();
         });
         return rendered;
     };
@@ -96,7 +97,7 @@ TEST(TraceDeterminism, IdenticalSeedsIdenticalJsonlAndCatapult) {
         log.set_level(util::LogLevel::Debug);
         std::string catapult;
         protocol::run_protocol(config, [&](const protocol::RunInternals& internals) {
-            catapult = obs::catapult_from_trace(internals.context.network().trace());
+            catapult = obs::catapult_from_trace(internals.trace());
         });
         log.flush();
         log.reset();

@@ -20,6 +20,7 @@
 #include "obs/json.hpp"
 #include "obs/profiler.hpp"
 #include "obs/sim_bridge.hpp"
+#include "protocol/detail/run_internals.hpp"
 #include "protocol/runner.hpp"
 #include "util/chart.hpp"
 
@@ -61,11 +62,11 @@ RunArtifacts run_with_observability() {
     RunArtifacts artifacts;
     const auto outcome = protocol::run_protocol(
         honest_config(), [&](const protocol::RunInternals& internals) {
-            const auto& trace = internals.context.network().trace();
+            const auto& trace = internals.trace();
             artifacts.catapult = obs::catapult_from_trace(trace);
             artifacts.bars = sim::gantt_from_trace(trace);
             artifacts.metrics = internals.context.metrics_registry().prometheus_text();
-            artifacts.by_phase = internals.context.network().metrics().by_phase();
+            artifacts.by_phase = internals.network_metrics().by_phase();
         });
     artifacts.settled = !outcome.terminated_early;
 

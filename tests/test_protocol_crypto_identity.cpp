@@ -10,6 +10,7 @@
 
 #include "crypto/pki.hpp"
 #include "crypto/sha256.hpp"
+#include "protocol/detail/run_internals.hpp"
 #include "protocol/runner.hpp"
 #include "util/bytes.hpp"
 
@@ -28,7 +29,7 @@ RunArtifacts capture_run(const protocol::ProtocolConfig& config) {
     std::ostringstream keys;
     const auto outcome =
         protocol::run_protocol(config, [&](const protocol::RunInternals& internals) {
-            artifacts.trace = internals.context.network().trace().render();
+            artifacts.trace = internals.trace().render();
             const auto& pki = internals.context.pki();
             for (const auto& name : internals.context.processor_names()) {
                 const auto& pk = pki.public_key_of(name);

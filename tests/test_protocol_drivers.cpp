@@ -1,0 +1,256 @@
+// Fixed-seed equivalence between the two protocol drivers.
+//
+// The sans-I/O cores (NodeCore / RefereeCore) must behave identically no
+// matter which driver hosts them: the discrete-event sim adapter and the
+// in-process BusDriver have to produce byte-identical artifacts — outcome,
+// fines ledger, JSONL event log, rendered trace, catapult export, per-run
+// metrics — for a fixed config, across honest and cheating agent zoos, and
+// at any executor --jobs value.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "agents/zoo.hpp"
+#include "exec/executor.hpp"
+#include "obs/catapult.hpp"
+#include "obs/event.hpp"
+#include "obs/metrics.hpp"
+#include "protocol/detail/run_internals.hpp"
+#include "protocol/drivers/deadline_wheel.hpp"
+#include "protocol/drivers/spsc_ring.hpp"
+#include "protocol/runner.hpp"
+
+namespace dlsbl::protocol {
+namespace {
+
+ProtocolConfig base_config(dlt::NetworkKind kind) {
+    ProtocolConfig config;
+    config.kind = kind;
+    config.z = 0.25;
+    config.true_w = {1.0, 2.0, 1.5, 0.8};
+    config.block_count = 1200;
+    config.seed = 42;
+    config.signature_algorithm = crypto::SignatureAlgorithm::kFast;
+    config.strategies.assign(config.true_w.size(), agents::truthful());
+    return config;
+}
+
+// Deterministic rendering of everything an outcome carries; two runs agree
+// iff their renderings agree byte-for-byte.
+std::string render_outcome(const ProtocolOutcome& outcome) {
+    std::ostringstream out;
+    out.precision(17);
+    out << "terminated=" << outcome.terminated_early
+        << " reason=" << outcome.termination_reason
+        << " ended_in=" << to_string(outcome.ended_in)
+        << " fine=" << outcome.fine_amount << " makespan=" << outcome.makespan
+        << " user_paid=" << outcome.user_paid
+        << " msgs=" << outcome.control_messages
+        << " bytes=" << outcome.control_bytes << "\n";
+    for (const auto& [phase, bytes] : outcome.bytes_by_phase) {
+        out << "phase " << phase << " bytes=" << bytes << "\n";
+    }
+    for (const auto& p : outcome.processors) {
+        out << p.name << " w=" << p.true_w << " bid=" << p.bid
+            << " rate=" << p.exec_rate << " alpha=" << p.alpha
+            << " assigned=" << p.blocks_assigned
+            << " received=" << p.blocks_received << " phi=" << p.phi
+            << " commenced=" << p.commenced_work << " comp=" << p.compensation
+            << " bonus=" << p.bonus << " payment=" << p.payment
+            << " fines=" << p.fines << " rewards=" << p.rewards
+            << " fined=" << p.fined << " cost=" << p.work_cost << "\n";
+    }
+    return out.str();
+}
+
+std::string render_ledger(const Ledger& ledger) {
+    std::ostringstream out;
+    out.precision(17);
+    for (const auto& entry : ledger.history()) {
+        out << entry.from << " -> " << entry.to << " " << entry.amount << " ("
+            << entry.memo << ")\n";
+    }
+    return out.str();
+}
+
+// Every byte-identity artifact from one run under the requested driver.
+struct RunCapture {
+    std::string outcome;
+    std::string ledger;
+    std::string jsonl;
+    std::string trace;
+    std::string catapult;
+    std::string run_metrics;
+};
+
+RunCapture capture(const ProtocolConfig& config, DriverKind kind) {
+    auto& log = obs::EventLog::instance();
+    log.reset();
+    std::ostringstream jsonl;
+    log.add_sink(std::make_shared<obs::JsonlSink>(jsonl));
+    log.set_level(util::LogLevel::Debug);
+
+    RunCapture capture;
+    const auto outcome =
+        run_protocol(RunRequest{config, kind}, [&](const RunInternals& internals) {
+            capture.ledger = render_ledger(internals.context.ledger());
+            capture.trace = internals.trace().render();
+            capture.catapult = obs::catapult_from_trace(internals.trace());
+            capture.run_metrics = internals.context.metrics_registry().prometheus_text();
+        });
+    log.flush();
+    log.reset();
+    capture.outcome = render_outcome(outcome);
+    capture.jsonl = jsonl.str();
+    return capture;
+}
+
+void expect_equivalent(const ProtocolConfig& config, const std::string& label) {
+    const RunCapture sim = capture(config, DriverKind::kSim);
+    const RunCapture bus = capture(config, DriverKind::kBus);
+    EXPECT_FALSE(sim.outcome.empty()) << label;
+    EXPECT_FALSE(sim.trace.empty()) << label;
+    EXPECT_FALSE(sim.jsonl.empty()) << label;
+    EXPECT_EQ(sim.outcome, bus.outcome) << label;
+    EXPECT_EQ(sim.ledger, bus.ledger) << label;
+    EXPECT_EQ(sim.jsonl, bus.jsonl) << label;
+    EXPECT_EQ(sim.trace, bus.trace) << label;
+    EXPECT_EQ(sim.catapult, bus.catapult) << label;
+    EXPECT_EQ(sim.run_metrics, bus.run_metrics) << label;
+}
+
+TEST(DriverEquivalence, HonestRunsMatchByteForByte) {
+    for (const auto kind : {dlt::NetworkKind::kNcpFE, dlt::NetworkKind::kNcpNFE}) {
+        expect_equivalent(base_config(kind), dlt::to_string(kind));
+    }
+}
+
+TEST(DriverEquivalence, BandwidthChargedControlPlaneMatches) {
+    auto config = base_config(dlt::NetworkKind::kNcpFE);
+    config.control_latency = 0.002;
+    config.control_seconds_per_byte = 1e-5;
+    expect_equivalent(config, "bandwidth-charged");
+}
+
+TEST(DriverEquivalence, WorkerDeviantZooMatches) {
+    for (const auto kind : {dlt::NetworkKind::kNcpFE, dlt::NetworkKind::kNcpNFE}) {
+        const auto deviants = agents::worker_deviants();
+        for (std::size_t i = 0; i < deviants.size(); ++i) {
+            auto config = base_config(kind);
+            config.strategies[2] = deviants[i];
+            expect_equivalent(config, std::string(dlt::to_string(kind)) +
+                                          " worker_deviant#" + std::to_string(i));
+        }
+    }
+}
+
+TEST(DriverEquivalence, LoDeviantZooMatches) {
+    const auto deviants = agents::lo_deviants();
+    for (std::size_t i = 0; i < deviants.size(); ++i) {
+        auto config = base_config(dlt::NetworkKind::kNcpFE);
+        config.strategies[0] = deviants[i];
+        expect_equivalent(config, "lo_deviant#" + std::to_string(i));
+    }
+}
+
+TEST(DriverEquivalence, SeedsChangeArtifactsConsistently) {
+    // Different seed -> different signed bytes, but sim and bus must track
+    // each other exactly for every seed.
+    for (const std::uint64_t seed : {1ull, 7ull, 1234ull}) {
+        auto config = base_config(dlt::NetworkKind::kNcpNFE);
+        config.seed = seed;
+        expect_equivalent(config, "seed=" + std::to_string(seed));
+    }
+}
+
+// The BusDriver must be jobs-invariant under the run executor exactly like
+// the sim driver: merged batch artifacts are byte-identical at any pool
+// width.
+TEST(DriverEquivalence, BusDriverJobsInvariantUnderExecutor) {
+    auto run_batch = [](std::size_t jobs) {
+        obs::EventLog::instance().reset();
+        obs::MetricsRegistry::global().clear();
+        std::ostringstream jsonl;
+        auto& log = obs::EventLog::instance();
+        log.add_sink(std::make_shared<obs::JsonlSink>(jsonl));
+        log.set_level(util::LogLevel::Debug);
+
+        exec::RunExecutor pool({.jobs = jobs, .root_seed = 0xD15Bull});
+        const auto outcomes = pool.map(6, [&](exec::RunSlot& slot) {
+            auto config = base_config(slot.index() % 2 == 0
+                                          ? dlt::NetworkKind::kNcpFE
+                                          : dlt::NetworkKind::kNcpNFE);
+            config.block_count = 240;
+            config.seed = slot.seed();
+            return run_protocol(RunRequest{config, DriverKind::kBus});
+        });
+        log.flush();
+        log.reset();
+        std::string rendered = jsonl.str();
+        rendered += obs::MetricsRegistry::global().prometheus_text();
+        for (const auto& outcome : outcomes) rendered += render_outcome(outcome);
+        obs::MetricsRegistry::global().clear();
+        return rendered;
+    };
+    const std::string one = run_batch(1);
+    const std::string two = run_batch(2);
+    const std::string eight = run_batch(8);
+    EXPECT_FALSE(one.empty());
+    EXPECT_EQ(one, two);
+    EXPECT_EQ(one, eight);
+}
+
+TEST(RunnerApi, DriverKindNamesAreStable) {
+    EXPECT_STREQ(to_string(DriverKind::kSim), "sim");
+    EXPECT_STREQ(to_string(DriverKind::kBus), "bus");
+}
+
+// ---- BusDriver building blocks ---------------------------------------------
+
+TEST(SpscRing, PushPopFifoAndCapacity) {
+    SpscRing<int, 4> ring;
+    EXPECT_TRUE(ring.empty());
+    EXPECT_FALSE(ring.pop().has_value());
+    for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.push(i));
+    EXPECT_FALSE(ring.push(99));  // full
+    EXPECT_EQ(ring.size(), 4u);
+    for (int i = 0; i < 4; ++i) {
+        const auto value = ring.pop();
+        ASSERT_TRUE(value.has_value());
+        EXPECT_EQ(*value, i);
+    }
+    EXPECT_TRUE(ring.empty());
+    // Wrap-around keeps FIFO order.
+    for (int round = 0; round < 10; ++round) {
+        EXPECT_TRUE(ring.push(round));
+        EXPECT_EQ(ring.pop().value(), round);
+    }
+}
+
+TEST(DeadlineWheel, PopsInTimeThenSeqOrder) {
+    DeadlineWheel wheel;
+    std::vector<int> order;
+    // Same bucket, out-of-order insertion; ties broken by seq.
+    wheel.schedule(0.20, 3, [&] { order.push_back(3); });
+    wheel.schedule(0.10, 1, [&] { order.push_back(1); });
+    wheel.schedule(0.10, 2, [&] { order.push_back(2); });
+    wheel.schedule(5.00, 0, [&] { order.push_back(4); });  // later bucket
+    while (!wheel.empty()) wheel.pop_earliest().fn();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(DeadlineWheel, BucketBoundaryKeepsGlobalOrder) {
+    DeadlineWheel wheel(0.25);
+    std::vector<int> order;
+    wheel.schedule(0.2499999, 2, [&] { order.push_back(1); });
+    wheel.schedule(0.25, 1, [&] { order.push_back(2); });  // next bucket
+    wheel.schedule(0.75, 3, [&] { order.push_back(3); });
+    while (!wheel.empty()) wheel.pop_earliest().fn();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace dlsbl::protocol

@@ -1,6 +1,7 @@
 // End-to-end tests of DLS-BL-NCP with every processor honest: the protocol
 // must reproduce the analytic DLT schedule and the DLS-BL payments, levy no
 // fines, keep the referee passive, and conserve money.
+#include "protocol/detail/run_internals.hpp"
 #include "protocol/runner.hpp"
 
 #include <gtest/gtest.h>

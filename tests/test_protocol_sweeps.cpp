@@ -7,6 +7,7 @@
 
 #include "agents/zoo.hpp"
 #include "mech/properties.hpp"
+#include "protocol/detail/run_internals.hpp"
 #include "protocol/runner.hpp"
 
 namespace dlsbl::protocol {

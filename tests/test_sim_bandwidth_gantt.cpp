@@ -1,6 +1,7 @@
 // Bandwidth-charged control messages + trace-derived Gantt timelines.
 #include <gtest/gtest.h>
 
+#include "protocol/detail/run_internals.hpp"
 #include "protocol/runner.hpp"
 #include "dlt/finish_time.hpp"
 #include "sim/network.hpp"
@@ -104,7 +105,7 @@ TEST(TraceGantt, ProtocolRunProducesRenderableTimeline) {
 
     std::vector<util::GanttBar> bars;
     protocol::run_protocol(config, [&](const protocol::RunInternals& internals) {
-        bars = gantt_from_trace(internals.context.network().trace());
+        bars = gantt_from_trace(internals.trace());
     });
     // m-1 transfers on the BUS lane + m compute bars.
     std::size_t bus = 0, compute = 0;

@@ -372,13 +372,44 @@ void rule_scoped(const FileInfo& info, const LexedFile& lexed,
     }
 }
 
+// ------------------------------------------------------ A · architecture
+
+// The sans-I/O protocol core must stay transport- and time-agnostic: state
+// machines see logical time through protocol::Clock and the wire through
+// protocol::Transport, so the same cores run under the discrete-event sim
+// adapter and the BusDriver. Any `#include "sim/..."` or `sim::` token in
+// core files is a layering breach. Comments are stripped by the lexer, so
+// prose mentions of the sim layer stay legal.
+void rule_layering(const FileInfo& info, const LexedFile& lexed,
+                   std::vector<Finding>* out) {
+    if (!info.in_protocol_core) return;
+    const auto& toks = lexed.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token& t = toks[i];
+        if (t.kind == TokenKind::kString && is_ident(prev(toks, i), "include") &&
+            sv(t.text).substr(0, 4) == "sim/") {
+            report(info, lexed, t, kRuleLayering,
+                   "sans-I/O protocol core includes \"" + t.text +
+                       "\" (sim/ belongs to protocol/drivers/ and "
+                       "protocol/detail/)",
+                   out);
+        } else if (t.kind == TokenKind::kIdentifier && t.text == "sim" &&
+                   is_punct(next(toks, i), "::")) {
+            report(info, lexed, t, kRuleLayering,
+                   "sans-I/O protocol core names 'sim::' (time and transport "
+                   "reach the core only via protocol::Clock/Transport)",
+                   out);
+        }
+    }
+}
+
 }  // namespace
 
 const std::vector<std::string>& all_rule_ids() {
     static const std::vector<std::string> kIds = {
         kRuleDeterminism,   kRuleFloatEquality, kRuleManualLock,
         kRuleCryptoAlloc,   kRulePragmaOnce,    kRuleUsingNamespace,
-        kRuleMutableGlobal,
+        kRuleMutableGlobal, kRuleLayering,
     };
     return kIds;
 }
@@ -390,6 +421,7 @@ void run_rules(const FileInfo& info, const LexedFile& lexed,
     rule_locking_alloc(info, lexed, out);
     rule_pragma_once(info, lexed, out);
     rule_scoped(info, lexed, out);
+    rule_layering(info, lexed, out);
 }
 
 }  // namespace dlsbl::lint

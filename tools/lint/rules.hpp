@@ -14,6 +14,10 @@
 //   H hygiene          — #pragma once in every header, no `using namespace`
 //                        at namespace scope in headers, no non-constexpr
 //                        mutable globals in src/.
+//   A architecture     — the sans-I/O protocol core (src/protocol/ minus
+//                        drivers/ and detail/) never names the sim layer;
+//                        time and transport reach it only through the
+//                        protocol::Clock / protocol::Transport interfaces.
 //
 // Every rule is token-stream based (lexer.hpp) and intentionally
 // heuristic: it trades full type resolution for zero build-graph coupling.
@@ -37,6 +41,7 @@ inline constexpr const char* kRuleCryptoAlloc = "crypto-alloc";
 inline constexpr const char* kRulePragmaOnce = "pragma-once";
 inline constexpr const char* kRuleUsingNamespace = "using-namespace-header";
 inline constexpr const char* kRuleMutableGlobal = "mutable-global";
+inline constexpr const char* kRuleLayering = "layering";
 
 // All rule ids, for --list-rules and allowlist validation.
 [[nodiscard]] const std::vector<std::string>& all_rule_ids();
@@ -55,6 +60,8 @@ struct FileInfo {
     bool is_header = false;  // .hpp / .h
     bool in_crypto = false;  // under src/crypto/ (L alloc rule scope)
     bool in_src = false;     // under src/ (H mutable-global rule scope)
+    // Under src/protocol/ excluding drivers/ and detail/ (A layering scope).
+    bool in_protocol_core = false;
 };
 
 // Runs every rule over one lexed file and appends raw findings (before
