@@ -95,6 +95,9 @@ std::vector<double> parse_doubles(const std::string& csv) {
         "usage: dlsbl_cli [--kind fe|nfe] [--z Z] [--w w1,w2,...]\n"
         "                 [--strategy i:name]... [--blocks N] [--latency L]\n"
         "                 [--fine F] [--seed S] [--trace]\n"
+        "                 [--churn-plan SPEC]  fault-injection plan, e.g.\n"
+        "                                      'crash:P3@0.1;restart:P3@0.5;\n"
+        "                                      loss:P2@0.2-0.4;delay:P1@0-0.1+0.05'\n"
         "                 [--driver sim|bus]    protocol driver: discrete-event\n"
         "                                      sim (default) or the in-process\n"
         "                                      message bus — artifacts are\n"
@@ -178,6 +181,12 @@ int main(int argc, char** argv) {
     });
     spec.option("--seed", [&](const std::string& value) {
         config.seed = std::strtoull(value.c_str(), nullptr, 10);
+        return true;
+    });
+    spec.option("--churn-plan", [&](const std::string& value) {
+        const auto plan = protocol::ChurnPlan::parse(value);
+        if (!plan) return false;
+        config.churn_plan = *plan;
         return true;
     });
     spec.option("--driver", [&](const std::string& value) {

@@ -110,6 +110,13 @@ Strategy false_short_claimer() {
     return s;
 }
 
+Strategy junk_spammer(std::size_t frames) {
+    Strategy s;
+    s.name = "junk_spammer";
+    s.junk_frames = frames;
+    return s;
+}
+
 Strategy silent_observer() {
     Strategy s;
     s.name = "silent_observer";
@@ -118,6 +125,9 @@ Strategy silent_observer() {
 }
 
 std::vector<Strategy> worker_deviants() {
+    // junk_spammer is deliberately absent: unknown-type noise is dropped and
+    // counted, not fined, so it doesn't belong in the "every deviant is
+    // fined" sweeps. Tests reference it directly.
     return {
         inconsistent_bidder(), payment_cheater(),     contradictory_payer(),
         false_accuser(),       false_short_claimer(), bid_vector_tamperer(),

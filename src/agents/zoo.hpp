@@ -44,6 +44,7 @@ Strategy contradictory_payer();         // two different signed payment vectors
 Strategy bid_vector_tamperer();         // re-signs its own altered bid entry
 Strategy false_accuser();               // fabricated double-bid evidence
 Strategy false_short_claimer();         // lies about missing load units
+Strategy junk_spammer(std::size_t frames = 3);  // unknown-type frame noise
 
 // --- monitoring variants --------------------------------------------------------
 Strategy silent_observer();             // honest but never reports deviations

@@ -107,7 +107,8 @@ std::string catapult_from_trace(const sim::TraceRecorder& trace,
             case sim::TraceKind::kMessageSent:
             case sim::TraceKind::kMessageDelivered:
             case sim::TraceKind::kVerdict:
-            case sim::TraceKind::kNote: {
+            case sim::TraceKind::kNote:
+            case sim::TraceKind::kChurn: {
                 std::string body = common(sim::to_string(event.kind), "event", "i",
                                           tracks.id_of(event.actor), event.time);
                 body += ",\"s\":\"t\",\"args\":{\"detail\":" +

@@ -7,6 +7,7 @@
 
 #include "crypto/pki.hpp"
 #include "dlt/types.hpp"
+#include "protocol/churn.hpp"
 #include "protocol/strategy.hpp"
 
 namespace dlsbl::protocol {
@@ -62,6 +63,10 @@ struct ProtocolConfig {
     // DLSBL_CRYPTO_JOBS environment variable, defaulting to 1.
     std::size_t crypto_keygen_jobs = 1;
     std::uint64_t seed = 1;
+    // Fault-injection plan (crashes, restarts, loss/delay windows). The
+    // default (empty) plan disables every churn code path, keeping static
+    // runs bit-identical with or without this feature compiled in.
+    ChurnPlan churn_plan;
 
     [[nodiscard]] std::size_t processor_count() const noexcept { return true_w.size(); }
 

@@ -39,6 +39,36 @@ void ProtocolConfig::validate() const {
     if (control_latency < 0.0) {
         throw std::invalid_argument("ProtocolConfig: negative control latency");
     }
+    if (churn_plan.enabled()) {
+        churn_plan.validate();
+        const auto known = [&](const std::string& name) {
+            for (std::size_t i = 0; i < true_w.size(); ++i) {
+                if (name == "P" + std::to_string(i + 1)) return true;
+            }
+            return false;
+        };
+        for (const auto& event : churn_plan.events) {
+            if (!known(event.processor)) {
+                throw std::invalid_argument("ProtocolConfig: churn plan names unknown "
+                                            "processor " +
+                                            event.processor);
+            }
+        }
+        for (const auto& loss : churn_plan.losses) {
+            if (!known(loss.processor)) {
+                throw std::invalid_argument("ProtocolConfig: churn plan names unknown "
+                                            "processor " +
+                                            loss.processor);
+            }
+        }
+        for (const auto& delay : churn_plan.delays) {
+            if (!known(delay.processor)) {
+                throw std::invalid_argument("ProtocolConfig: churn plan names unknown "
+                                            "processor " +
+                                            delay.processor);
+            }
+        }
+    }
 }
 
 RunContext::RunContext(Clock& clock, Transport& transport, ProtocolConfig config)
@@ -62,6 +92,22 @@ RunContext::RunContext(Clock& clock, Transport& transport, ProtocolConfig config
     ledger_.open_account(user_name_);
     ledger_.open_account(referee_name_);
     for (const auto& name : names_) ledger_.open_account(name);
+
+    // Churn marks: every planned availability event gets a trace record, a
+    // metric and an instant span at its injection time, on both drivers.
+    if (config_.churn_plan.enabled()) {
+        for (const auto& event : config_.churn_plan.events) {
+            clock_.call_at(event.time, [this, event] {
+                transport_.note_churn(clock_.now(), event.processor,
+                                      std::string("event=") + to_string(event.kind));
+                metrics_registry_
+                    .counter("dlsbl_churn_events_total", {{"kind", to_string(event.kind)}})
+                    .inc();
+                spans_.instant(std::string("churn:") + to_string(event.kind),
+                               event.processor, clock_.now(), run_span_.span_id);
+            });
+        }
+    }
 }
 
 std::size_t RunContext::index_of(const std::string& name) const {
@@ -136,13 +182,31 @@ double RunContext::clamp_rate(const std::string& who, double requested) const {
     return std::max(true_w, requested);
 }
 
+void RunContext::adjust_expected_workers(std::ptrdiff_t delta) {
+    expected_workers_ = static_cast<std::size_t>(
+        static_cast<std::ptrdiff_t>(expected_workers_) + delta);
+}
+
 void RunContext::execute_load(const std::string& who, std::size_t block_count, double rate,
                               std::function<void()> done, std::uint64_t parent_span) {
     const double clamped = clamp_rate(who, rate);
     const double units =
         static_cast<double>(block_count) / static_cast<double>(config_.block_count);
     const double duration = units * clamped;
-    meters_.start(who, clock_.now());
+    if (config_.churn_plan.enabled() && config_.churn_plan.down(who, clock_.now())) {
+        // A crashed processor cannot start computing; the referee's
+        // watchdogs notice the meter never ran.
+        transport_.note_churn(clock_.now(), who,
+                              "execute-suppressed blocks=" + std::to_string(block_count));
+        return;
+    }
+    // Reallocated extras reopen the meter; the first execution is still
+    // strictly one-shot (a double start without churn is a protocol bug).
+    if (config_.churn_plan.enabled() && meters_.started(who)) {
+        meters_.resume(who, clock_.now());
+    } else {
+        meters_.start(who, clock_.now());
+    }
     const obs::SpanContext compute_span = spans_.open(
         "compute", who, clock_.now(),
         parent_span != 0 ? parent_span : phase_span_.span_id);
@@ -150,6 +214,40 @@ void RunContext::execute_load(const std::string& who, std::size_t block_count, d
                                   "blocks=" + std::to_string(block_count) +
                                       " rate=" + std::to_string(clamped),
                                   compute_span.span_id, compute_span.parent_id);
+    const auto crash = config_.churn_plan.enabled()
+                           ? config_.churn_plan.first_crash_in(who, clock_.now(),
+                                                               clock_.now() + duration)
+                           : std::nullopt;
+    if (crash.has_value()) {
+        // The meter stops at the crash instant; the blocks completed by then
+        // are what the dead processor gets paid for, the rest goes back to
+        // the referee for reallocation.
+        const double started = clock_.now();
+        clock_.call_at(*crash, [this, who, compute_span, block_count, duration, started] {
+            meters_.stop(who, clock_.now());
+            last_compute_end_ = std::max(last_compute_end_, clock_.now());
+            transport_.note_compute_end(clock_.now(), who, compute_span.span_id,
+                                        compute_span.parent_id);
+            spans_.close(compute_span, clock_.now());
+            const double fraction =
+                duration > 0.0 ? (clock_.now() - started) / duration : 1.0;
+            const auto blocks_done = static_cast<std::size_t>(
+                static_cast<double>(block_count) * fraction);
+            transport_.note_churn(clock_.now(), who,
+                                  "compute-interrupted blocks_done=" +
+                                      std::to_string(blocks_done) +
+                                      " of=" + std::to_string(block_count));
+            metrics_registry_.counter("dlsbl_churn_meters_lost_total").inc();
+            ++finished_workers_;
+            if (referee_ == nullptr) return;
+            if (terminated_) {
+                referee_->on_meter_stopped(who);
+            } else {
+                referee_->on_meter_lost(who, block_count, blocks_done);
+            }
+        });
+        return;
+    }
     clock_.call_after(duration, [this, who, compute_span, done = std::move(done)] {
         meters_.stop(who, clock_.now());
         last_compute_end_ = std::max(last_compute_end_, clock_.now());

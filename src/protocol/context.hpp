@@ -121,6 +121,20 @@ class RunContext {
     void set_referee(RefereeCore& referee) { referee_ = &referee; }
     void set_expected_workers(std::size_t count) { expected_workers_ = count; }
 
+    // --- churn (DESIGN.md "Churn model") -------------------------------------
+    [[nodiscard]] bool churn_enabled() const noexcept {
+        return config_.churn_plan.enabled();
+    }
+    // The referee adjusts the quorum when it excludes dead bidders (-k) or
+    // reallocates blocks onto survivors (+extras).
+    void adjust_expected_workers(std::ptrdiff_t delta);
+    [[nodiscard]] std::size_t expected_workers() const noexcept {
+        return expected_workers_;
+    }
+    [[nodiscard]] std::size_t finished_workers() const noexcept {
+        return finished_workers_;
+    }
+
     [[nodiscard]] double last_compute_end() const noexcept { return last_compute_end_; }
 
  private:

@@ -16,10 +16,12 @@ namespace {
 constexpr std::uint64_t kMaxEvents = 10'000'000;
 }  // namespace
 
-BusDriver::BusDriver(double z, double control_latency, double control_seconds_per_byte)
+BusDriver::BusDriver(double z, double control_latency, double control_seconds_per_byte,
+                     ChurnPlan churn_plan)
     : z_(z),
       control_latency_(control_latency),
       control_seconds_per_byte_(control_seconds_per_byte),
+      churn_plan_(std::move(churn_plan)),
       span_sink_(trace_) {
     if (z < 0.0 || control_latency < 0.0 || control_seconds_per_byte < 0.0) {
         throw std::invalid_argument("BusDriver: negative timing parameter");
@@ -82,10 +84,31 @@ void BusDriver::drain(Mailbox& mailbox) {
     }
 }
 
-void BusDriver::deliver(WireMessage message) {
+void BusDriver::deliver(WireMessage message, bool redelivery) {
     const auto it = endpoints_.find(message.to);
     if (it == endpoints_.end()) {
         throw std::logic_error("BusDriver: message to unknown endpoint: " + message.to);
+    }
+    if (churn_plan_.enabled()) {
+        // Ruled and recorded exactly like sim::Network::deliver, so cut and
+        // delayed frames leave byte-identical traces on either transport.
+        const DeliveryRuling ruling = churn_ruling(
+            churn_plan_, message.from, message.to, message.type, message.sent_at, now_,
+            redelivery);
+        if (ruling.action == ChurnAction::kDrop) {
+            ++cut_;
+            trace_.record(now_, sim::TraceKind::kChurn, message.to, ruling.note,
+                          message.span_id);
+            return;
+        }
+        if (ruling.action == ChurnAction::kDelay) {
+            ++delayed_;
+            trace_.record(now_, sim::TraceKind::kChurn, message.to, ruling.note,
+                          message.span_id);
+            schedule(now_ + ruling.delay,
+                     [this, m = std::move(message)]() mutable { deliver(std::move(m), true); });
+            return;
+        }
     }
     trace_.record(now_, sim::TraceKind::kMessageDelivered, message.to,
                   "from=" + message.from + " type=" + std::to_string(message.type),
@@ -197,6 +220,11 @@ void BusDriver::note_compute_end(double time, const std::string& actor,
     trace_.record(time, sim::TraceKind::kComputeEnd, actor, "", span_id, parent_id);
 }
 
+void BusDriver::note_churn(double time, const std::string& actor,
+                           const std::string& detail) {
+    trace_.record(time, sim::TraceKind::kChurn, actor, detail);
+}
+
 // ---- accounting -------------------------------------------------------------
 
 TransportStats BusDriver::stats() {
@@ -211,13 +239,22 @@ TransportStats BusDriver::stats() {
 
 void BusDriver::finalize_metrics(obs::MetricsRegistry& registry) {
     obs::export_network_metrics(metrics_, registry);
+    if (churn_plan_.enabled()) {
+        // Register both actions even at zero so churn runs always render the
+        // counters (identically on either driver).
+        registry.counter("dlsbl_churn_messages_total", {{"action", "cut"}}).inc(cut_);
+        registry.counter("dlsbl_churn_messages_total", {{"action", "delayed"}})
+            .inc(delayed_);
+    }
 }
 
 RunArtifacts BusDriver::artifacts() { return RunArtifacts{trace_, metrics_}; }
 
 std::unique_ptr<Driver> make_bus_driver(double z, double control_latency,
-                                        double control_seconds_per_byte) {
-    return std::make_unique<BusDriver>(z, control_latency, control_seconds_per_byte);
+                                        double control_seconds_per_byte,
+                                        ChurnPlan churn_plan) {
+    return std::make_unique<BusDriver>(z, control_latency, control_seconds_per_byte,
+                                       std::move(churn_plan));
 }
 
 }  // namespace dlsbl::protocol

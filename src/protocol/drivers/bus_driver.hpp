@@ -22,6 +22,7 @@
 #include <string>
 
 #include "obs/sim_bridge.hpp"
+#include "protocol/churn.hpp"
 #include "protocol/drivers/deadline_wheel.hpp"
 #include "protocol/drivers/spsc_ring.hpp"
 #include "protocol/endpoint.hpp"
@@ -32,7 +33,8 @@ namespace dlsbl::protocol {
 
 class BusDriver final : public Driver, public Clock, public Transport {
  public:
-    BusDriver(double z, double control_latency, double control_seconds_per_byte);
+    BusDriver(double z, double control_latency, double control_seconds_per_byte,
+              ChurnPlan churn_plan = {});
 
     // --- Clock --------------------------------------------------------------
     [[nodiscard]] double now() const override { return now_; }
@@ -57,6 +59,8 @@ class BusDriver final : public Driver, public Clock, public Transport {
                             std::uint64_t parent_id) override;
     void note_compute_end(double time, const std::string& actor, std::uint64_t span_id,
                           std::uint64_t parent_id) override;
+    void note_churn(double time, const std::string& actor,
+                    const std::string& detail) override;
     [[nodiscard]] obs::SpanSink* span_sink() override { return &span_sink_; }
 
     // --- Driver -------------------------------------------------------------
@@ -88,13 +92,17 @@ class BusDriver final : public Driver, public Clock, public Transport {
     // Computes the delivery time honoring bandwidth occupancy + latency and
     // schedules the delivery.
     void dispatch_control(WireMessage message);
-    // Fires at delivery time: trace record, mailbox push, immediate drain.
-    void deliver(WireMessage message);
+    // Fires at delivery time: churn ruling, trace record, mailbox push,
+    // immediate drain. `redelivery` marks the second leg of a delayed frame.
+    void deliver(WireMessage message, bool redelivery = false);
     void drain(Mailbox& mailbox);
 
     double z_;
     double control_latency_;
     double control_seconds_per_byte_;
+    ChurnPlan churn_plan_;
+    std::uint64_t cut_ = 0;
+    std::uint64_t delayed_ = 0;
     double now_ = 0.0;
     double bus_busy_until_ = 0.0;
     std::uint64_t next_seq_ = 0;

@@ -16,6 +16,7 @@
 
 #include <memory>
 
+#include "protocol/churn.hpp"
 #include "protocol/endpoint.hpp"
 
 namespace dlsbl::protocol {
@@ -23,9 +24,14 @@ namespace dlsbl::protocol {
 // `z`: bus seconds per unit load; `control_latency`: constant delivery
 // latency for control messages; `control_seconds_per_byte`: when > 0,
 // control messages are charged bandwidth and occupy the bus (bench E22).
+// `churn_plan`: fault-injection plan; both drivers rule every delivery
+// through churn_ruling() so cut/delayed frames are byte-identical across
+// transports. The default (empty) plan makes delivery unconditional.
 std::unique_ptr<Driver> make_sim_driver(double z, double control_latency,
-                                        double control_seconds_per_byte);
+                                        double control_seconds_per_byte,
+                                        ChurnPlan churn_plan = {});
 std::unique_ptr<Driver> make_bus_driver(double z, double control_latency,
-                                        double control_seconds_per_byte);
+                                        double control_seconds_per_byte,
+                                        ChurnPlan churn_plan = {});
 
 }  // namespace dlsbl::protocol

@@ -39,9 +39,37 @@ class EndpointProcess final : public sim::Process {
 
 class SimDriver final : public Driver, public Clock, public Transport {
  public:
-    SimDriver(double z, double control_latency, double control_seconds_per_byte)
+    SimDriver(double z, double control_latency, double control_seconds_per_byte,
+              ChurnPlan churn_plan)
         : network_(simulator_, z, control_latency, control_seconds_per_byte),
-          span_sink_(network_.trace()) {}
+          span_sink_(network_.trace()),
+          churn_plan_(std::move(churn_plan)) {
+        if (churn_plan_.enabled()) {
+            network_.set_delivery_interceptor(
+                [this](const sim::Envelope& envelope, double now, bool redelivery) {
+                    const DeliveryRuling ruling =
+                        churn_ruling(churn_plan_, envelope.from, envelope.to,
+                                     envelope.type, envelope.sent_at, now, redelivery);
+                    sim::Network::DeliveryRuling out;
+                    out.delay = ruling.delay;
+                    out.note = ruling.note;
+                    switch (ruling.action) {
+                        case ChurnAction::kDrop:
+                            out.action = sim::Network::DeliveryAction::kDrop;
+                            ++cut_;
+                            break;
+                        case ChurnAction::kDelay:
+                            out.action = sim::Network::DeliveryAction::kDelay;
+                            ++delayed_;
+                            break;
+                        case ChurnAction::kDeliver:
+                            out.action = sim::Network::DeliveryAction::kDeliver;
+                            break;
+                    }
+                    return out;
+                });
+        }
+    }
 
     // --- Clock --------------------------------------------------------------
     [[nodiscard]] double now() const override { return simulator_.now(); }
@@ -87,6 +115,10 @@ class SimDriver final : public Driver, public Clock, public Transport {
         network_.trace().record(time, sim::TraceKind::kComputeEnd, actor, "", span_id,
                                 parent_id);
     }
+    void note_churn(double time, const std::string& actor,
+                    const std::string& detail) override {
+        network_.trace().record(time, sim::TraceKind::kChurn, actor, detail);
+    }
     [[nodiscard]] obs::SpanSink* span_sink() override { return &span_sink_; }
 
     // --- Driver -------------------------------------------------------------
@@ -117,6 +149,13 @@ class SimDriver final : public Driver, public Clock, public Transport {
 
     void finalize_metrics(obs::MetricsRegistry& registry) override {
         obs::export_network_metrics(network_.metrics(), registry);
+        if (churn_plan_.enabled()) {
+            // Register both actions even at zero so churn runs always render
+            // the counters (identically on either driver).
+            registry.counter("dlsbl_churn_messages_total", {{"action", "cut"}}).inc(cut_);
+            registry.counter("dlsbl_churn_messages_total", {{"action", "delayed"}})
+                .inc(delayed_);
+        }
     }
 
     [[nodiscard]] RunArtifacts artifacts() override {
@@ -127,14 +166,19 @@ class SimDriver final : public Driver, public Clock, public Transport {
     sim::Simulator simulator_;
     sim::Network network_;
     obs::TraceSpanSink span_sink_;
+    ChurnPlan churn_plan_;
+    std::uint64_t cut_ = 0;
+    std::uint64_t delayed_ = 0;
     std::vector<std::unique_ptr<EndpointProcess>> adapters_;
 };
 
 }  // namespace
 
 std::unique_ptr<Driver> make_sim_driver(double z, double control_latency,
-                                        double control_seconds_per_byte) {
-    return std::make_unique<SimDriver>(z, control_latency, control_seconds_per_byte);
+                                        double control_seconds_per_byte,
+                                        ChurnPlan churn_plan) {
+    return std::make_unique<SimDriver>(z, control_latency, control_seconds_per_byte,
+                                       std::move(churn_plan));
 }
 
 }  // namespace dlsbl::protocol

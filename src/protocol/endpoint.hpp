@@ -109,6 +109,16 @@ class Transport {
     virtual void note_compute_end(double time, const std::string& actor,
                                   std::uint64_t span_id,
                                   std::uint64_t parent_id) = 0;
+    // Fault-injection mark (crash/restart events, suppressed executions,
+    // reallocations). Default no-op so transports without a churn concept
+    // need not care; both shipped drivers mirror it into the trace as a
+    // TraceKind::kChurn event.
+    virtual void note_churn(double time, const std::string& actor,
+                            const std::string& detail) {
+        (void)time;
+        (void)actor;
+        (void)detail;
+    }
     // Sink the run's SpanBook mirrors into (may be null: spans then exist
     // only in the JSONL event log).
     [[nodiscard]] virtual obs::SpanSink* span_sink() = 0;

@@ -267,4 +267,63 @@ std::optional<TerminateBody> TerminateBody::deserialize(std::span<const std::uin
     });
 }
 
+util::Bytes ExcludeBody::serialize() const {
+    util::ByteWriter w;
+    w.str("exclude");
+    w.u64(job_id);
+    w.u64(excluded.size());
+    for (const auto& name : excluded) w.str(name);
+    return w.take();
+}
+
+std::optional<ExcludeBody> ExcludeBody::deserialize(std::span<const std::uint8_t> data) {
+    return parse_guard([&]() -> std::optional<ExcludeBody> {
+        util::ByteReader r(data);
+        if (r.str() != "exclude") return std::nullopt;
+        ExcludeBody body;
+        body.job_id = r.u64();
+        const std::uint64_t n = r.u64();
+        if (n > 1 << 20) return std::nullopt;
+        body.excluded.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i) body.excluded.push_back(r.str());
+        if (!r.exhausted()) return std::nullopt;
+        return body;
+    });
+}
+
+util::Bytes ReallocBody::serialize() const {
+    util::ByteWriter w;
+    w.str("realloc");
+    w.u64(job_id);
+    w.str(dead);
+    w.u64(dead_final);
+    w.u64(extras.size());
+    for (const auto& [name, count] : extras) {
+        w.str(name);
+        w.u64(count);
+    }
+    return w.take();
+}
+
+std::optional<ReallocBody> ReallocBody::deserialize(std::span<const std::uint8_t> data) {
+    return parse_guard([&]() -> std::optional<ReallocBody> {
+        util::ByteReader r(data);
+        if (r.str() != "realloc") return std::nullopt;
+        ReallocBody body;
+        body.job_id = r.u64();
+        body.dead = r.str();
+        body.dead_final = r.u64();
+        const std::uint64_t n = r.u64();
+        if (n > 1 << 20) return std::nullopt;
+        body.extras.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            std::string name = r.str();
+            const std::uint64_t count = r.u64();
+            body.extras.emplace_back(std::move(name), count);
+        }
+        if (!r.exhausted()) return std::nullopt;
+        return body;
+    });
+}
+
 }  // namespace dlsbl::protocol

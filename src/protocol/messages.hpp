@@ -32,6 +32,12 @@ enum class MsgType : std::uint32_t {
     kPaymentVector,       // P_i -> referee: S_Pi(P_i, Q)
     kTerminate,           // referee -> all: protocol aborted, fines levied
     kSettled,             // referee -> all: payments forwarded to the user
+    // Churn extensions (DESIGN.md "Churn model"): not in the paper, which
+    // assumes a static bus. Both are referee broadcasts, unsigned like
+    // kMeterBroadcast (nodes trust `from == referee`).
+    kExclude,             // referee -> all: bid-deadline exclusions
+    kRealloc,             // referee -> all: dead processor's remaining blocks
+                          //                 redistributed over the survivors
 };
 
 constexpr std::uint32_t to_wire(MsgType type) noexcept {
@@ -129,6 +135,30 @@ struct TerminateBody {
 
     [[nodiscard]] util::Bytes serialize() const;
     static std::optional<TerminateBody> deserialize(std::span<const std::uint8_t> data);
+};
+
+// Processors whose bids were still missing at the churn bid deadline; the
+// round proceeds over the remaining bidders.
+struct ExcludeBody {
+    std::uint64_t job_id = 0;
+    std::vector<std::string> excluded;
+
+    [[nodiscard]] util::Bytes serialize() const;
+    static std::optional<ExcludeBody> deserialize(std::span<const std::uint8_t> data);
+};
+
+// A dead processor's undone blocks, reassigned over the survivors via the
+// NCP-NFE closed form. `dead_final` is how many blocks the dead processor's
+// meter proved before the crash; `extras` lists (survivor, extra blocks) in
+// processor-index order — the load origin re-ships exactly these.
+struct ReallocBody {
+    std::uint64_t job_id = 0;
+    std::string dead;
+    std::uint64_t dead_final = 0;
+    std::vector<std::pair<std::string, std::uint64_t>> extras;
+
+    [[nodiscard]] util::Bytes serialize() const;
+    static std::optional<ReallocBody> deserialize(std::span<const std::uint8_t> data);
 };
 
 }  // namespace dlsbl::protocol

@@ -4,22 +4,34 @@ namespace dlsbl::protocol {
 
 void MeterBank::start(const std::string& processor, double time) {
     auto& span = spans_[processor];
-    if (span.running || span.done) {
+    if (span.running > 0 || span.ever_done) {
         throw std::logic_error("MeterBank: double start for " + processor);
     }
-    span.start = time;
-    span.running = true;
+    span.first_start = time;
+    span.sum_starts += time;
+    span.running = 1;
+}
+
+void MeterBank::resume(const std::string& processor, double time) {
+    auto it = spans_.find(processor);
+    if (it == spans_.end()) {
+        throw std::logic_error("MeterBank: resume without start for " + processor);
+    }
+    it->second.sum_starts += time;
+    ++it->second.running;
 }
 
 void MeterBank::stop(const std::string& processor, double time) {
     auto it = spans_.find(processor);
-    if (it == spans_.end() || !it->second.running) {
+    if (it == spans_.end() || it->second.running == 0) {
         throw std::logic_error("MeterBank: stop without start for " + processor);
     }
-    it->second.stop = time;
-    it->second.running = false;
-    it->second.done = true;
-    ++finished_;
+    it->second.sum_stops += time;
+    --it->second.running;
+    if (it->second.running == 0 && !it->second.ever_done) {
+        it->second.ever_done = true;
+        ++finished_;
+    }
 }
 
 bool MeterBank::started(const std::string& processor) const {
@@ -28,21 +40,21 @@ bool MeterBank::started(const std::string& processor) const {
 
 bool MeterBank::finished(const std::string& processor) const {
     const auto it = spans_.find(processor);
-    return it != spans_.end() && it->second.done;
+    return it != spans_.end() && it->second.ever_done && it->second.running == 0;
 }
 
 double MeterBank::elapsed(const std::string& processor) const {
     const auto it = spans_.find(processor);
-    if (it == spans_.end() || !it->second.done) {
+    if (it == spans_.end() || !it->second.ever_done || it->second.running > 0) {
         throw std::logic_error("MeterBank: no finished span for " + processor);
     }
-    return it->second.stop - it->second.start;
+    return it->second.sum_stops - it->second.sum_starts;
 }
 
 double MeterBank::started_at(const std::string& processor) const {
     const auto it = spans_.find(processor);
     if (it == spans_.end()) throw std::logic_error("MeterBank: no span for " + processor);
-    return it->second.start;
+    return it->second.first_start;
 }
 
 }  // namespace dlsbl::protocol

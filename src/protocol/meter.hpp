@@ -8,6 +8,11 @@
 // the simulation kernel (the runner's compute-completion events), never by
 // the agent code, so a strategic processor cannot misreport φ_i — it can
 // only *actually* run slower, which the meter then faithfully records.
+//
+// start() is one-shot per processor (a second start is a protocol bug and
+// throws). Churn reallocation legitimately hands a survivor a second batch,
+// so resume() reopens the meter and φ_i accumulates across segments; the
+// meter reads as finished() only while no segment is open.
 #pragma once
 
 #include <map>
@@ -20,6 +25,11 @@ namespace dlsbl::protocol {
 class MeterBank {
  public:
     void start(const std::string& processor, double time);
+    // Reopens an existing meter for an extra (reallocated) batch. Segments
+    // may overlap — a survivor can receive its extra while still computing
+    // its primary batch — and φ then sums the per-batch durations, the
+    // block-work time a per-batch meter would report.
+    void resume(const std::string& processor, double time);
     void stop(const std::string& processor, double time);
 
     [[nodiscard]] bool started(const std::string& processor) const;
@@ -33,10 +43,11 @@ class MeterBank {
 
  private:
     struct Span {
-        double start = 0.0;
-        double stop = 0.0;
-        bool running = false;
-        bool done = false;
+        double first_start = 0.0;
+        double sum_starts = 0.0;  // Σ segment starts
+        double sum_stops = 0.0;   // Σ segment stops; φ = sum_stops - sum_starts
+        int running = 0;          // open segments
+        bool ever_done = false;   // at least one segment completed
     };
     std::map<std::string, Span> spans_;
     std::size_t finished_ = 0;

@@ -8,6 +8,11 @@
 #include "util/logging.hpp"
 
 namespace dlsbl::protocol {
+namespace {
+// Deliberately outside the MsgType range: junk-spammer noise that every
+// conforming endpoint must drop (and count on the unknown-messages metric).
+constexpr std::uint32_t kJunkWireType = 9999;
+}  // namespace
 
 NodeCore::NodeCore(RunContext& context, std::size_t index,
                    std::unique_ptr<crypto::Signer> signer, Strategy strategy)
@@ -33,6 +38,9 @@ void NodeCore::register_handlers() {
                  [this](const WireMessage&) { handle_bid_vector_request(); });
     dispatch_.on(MsgType::kMediateRequest,
                  [this](const WireMessage& m) { handle_mediate_request(m); });
+    // Churn rulings (no-ops outside churn mode: the handlers check).
+    dispatch_.on(MsgType::kExclude, [this](const WireMessage& m) { handle_exclude(m); });
+    dispatch_.on(MsgType::kRealloc, [this](const WireMessage& m) { handle_realloc(m); });
     // Referee verdict: stop participating.
     dispatch_.ignore(MsgType::kTerminate);
     dispatch_.on(MsgType::kSettled, [this](const WireMessage&) { settled_ = true; });
@@ -55,6 +63,23 @@ void NodeCore::on_start() {
         // broadcast assumption everyone receives both.
         broadcast_bid(*strategy_.second_bid_factor * true_w_);
     }
+    for (std::size_t k = 0; k < strategy_.junk_frames; ++k) {
+        ctx_.transport().broadcast(name(), kJunkWireType, util::Bytes{0x6a, 0x6b});
+    }
+    if (ctx_.churn_enabled()) {
+        for (const double t : ctx_.config().churn_plan.stale_rejoin_times(name())) {
+            ctx_.clock().call_at(t, [this] {
+                // A stale rejoin replays the stored signed bid verbatim: a
+                // fresh signature would be a *different* payload (one-time
+                // signature keys) and read as offense (i). Peers dedup the
+                // identical copy; the referee's first-bid-wins rule too.
+                if (ctx_.terminated() || bid_payload_.empty()) return;
+                ctx_.transport().note_churn(ctx_.clock().now(), name(),
+                                            "stale-rejoin replay=bid");
+                ctx_.transport().broadcast(name(), to_wire(MsgType::kBid), bid_payload_);
+            });
+        }
+    }
 }
 
 void NodeCore::broadcast_bid(double value) {
@@ -63,6 +88,7 @@ void NodeCore::broadcast_bid(double value) {
     body.processor = name();
     body.bid = value;
     const auto signed_msg = crypto::sign_message(*signer_, name(), body.serialize());
+    if (bid_payload_.empty()) bid_payload_ = signed_msg.serialize();
     // The node records its own (first) bid the same way it records peers'.
     if (!first_bids_.contains(name())) {
         first_bids_.emplace(name(), signed_msg);
@@ -132,23 +158,44 @@ void NodeCore::maybe_false_accuse(const crypto::SignedMessage& genuine) {
 }
 
 void NodeCore::maybe_finish_bidding() {
-    if (bidding_finished_ || bid_values_.size() != ctx_.processor_count()) return;
+    if (bidding_finished_) return;
+    // Under churn the referee may have excluded dead bidders (kExclude); the
+    // round then closes over the survivors. Outside churn (or before any
+    // exclusion) this is the original all-m gate.
+    std::vector<std::string> active;
+    for (const auto& pname : ctx_.processor_names()) {
+        if (!excluded_.contains(pname)) active.push_back(pname);
+    }
+    for (const auto& pname : active) {
+        if (!bid_values_.contains(pname)) return;
+    }
+    if (!exclude_received_ && bid_values_.size() != ctx_.processor_count()) return;
     bidding_finished_ = true;
 
-    // Everyone computes the allocation locally (Algorithm 2.1 or 2.2).
-    std::vector<double> bids(ctx_.processor_count());
-    for (std::size_t i = 0; i < bids.size(); ++i) {
-        bids[i] = bid_values_.at(ctx_.processor_names()[i]);
-    }
+    // Everyone computes the allocation locally (Algorithm 2.1 or 2.2), over
+    // the active set, scattered back to full-size vectors (zeros for the
+    // excluded) so downstream indexing stays uniform.
+    std::vector<double> bids(active.size());
+    for (std::size_t j = 0; j < active.size(); ++j) bids[j] = bid_values_.at(active[j]);
     dlt::ProblemInstance instance{ctx_.config().kind, ctx_.config().z, bids};
-    alpha_ = dlt::optimal_allocation(instance);
-    block_counts_ = DataSet::blocks_for_allocation(ctx_.config().block_count, alpha_);
+    const auto sub_alpha = dlt::optimal_allocation(instance);
+    const auto sub_counts =
+        DataSet::blocks_for_allocation(ctx_.config().block_count, sub_alpha);
+    alpha_.assign(ctx_.processor_count(), 0.0);
+    block_counts_.assign(ctx_.processor_count(), 0);
+    for (std::size_t j = 0; j < active.size(); ++j) {
+        const std::size_t i = ctx_.index_of(active[j]);
+        alpha_[i] = sub_alpha[j];
+        block_counts_[i] = sub_counts[j];
+    }
     blocks_assigned_ = block_counts_[index_];
 
     // F becomes public the moment bids are public (§4: "All parties are
     // aware of the magnitude of F").
     double predicted_compensation = 0.0;
-    for (std::size_t i = 0; i < bids.size(); ++i) predicted_compensation += alpha_[i] * bids[i];
+    for (std::size_t j = 0; j < bids.size(); ++j) {
+        predicted_compensation += sub_alpha[j] * bids[j];
+    }
     ctx_.post_fine(predicted_compensation);
 
     if (ctx_.phase() == Phase::kBidding) ctx_.set_phase(Phase::kAllocating);
@@ -214,6 +261,30 @@ void NodeCore::ship_loads() {
 }
 
 void NodeCore::handle_load_delivery(const WireMessage& message) {
+    if (ctx_.churn_enabled() && processing_started_ && extra_pending_ > 0) {
+        // A churn reallocation: the LO shipped part of the dead processor's
+        // undone range. Verified and executed as a second meter segment,
+        // accounted separately from the primary assignment.
+        const auto extra_batch = LoadBatch::deserialize(message.payload);
+        if (!extra_batch) return;
+        const obs::SpanContext verify_span = ctx_.spans().open(
+            "verify_blocks", name(), ctx_.clock().now(),
+            message.span_id != 0 ? message.span_id : ctx_.phase_span().span_id);
+        std::size_t valid = 0;
+        for (const auto& block : extra_batch->blocks) {
+            if (DataSet::verify_block(ctx_.dataset().root(), block)) {
+                ++valid;
+                held_blocks_.push_back(block);
+            }
+        }
+        ctx_.spans().close(verify_span, ctx_.clock().now());
+        extra_received_ += valid;
+        extra_pending_ = 0;
+        if (valid > 0) {
+            ctx_.execute_load(name(), valid, exec_rate_, [] {}, verify_span.span_id);
+        }
+        return;
+    }
     const auto batch = LoadBatch::deserialize(message.payload);
     if (!batch) return;
     // Verification parents on the delivery's ship span when it carried one,
@@ -293,29 +364,41 @@ void NodeCore::handle_meter_broadcast(const WireMessage& message) {
     const auto body = MeterVectorBody::deserialize(message.payload);
     if (!body || message.from != ctx_.referee_name()) return;
 
-    // w̃_j = φ_j / α_j (§4 Computing Payments) — with block-granular loads,
-    // α_j is the fraction actually assigned, blocks_j / block_count.
-    const std::size_t m = ctx_.processor_count();
-    std::vector<double> exec(m);
-    std::map<std::string, double> phi;
-    for (const auto& [processor, value] : body->phis) phi[processor] = value;
-    for (std::size_t j = 0; j < m; ++j) {
-        const auto& pname = ctx_.processor_names()[j];
-        const double fraction = static_cast<double>(block_counts_[j]) /
-                                static_cast<double>(ctx_.config().block_count);
-        if (fraction > 0.0 && phi.contains(pname)) {
-            exec[j] = phi[pname] / fraction;
-        } else {
-            // Zero-block degenerate share: fall back to the bid.
-            exec[j] = bid_values_.at(pname);
+    if (ctx_.churn_enabled()) {
+        // At most one submission (the referee retransmits for peers whose
+        // first copy fell into a loss window), and only from a node that
+        // actually followed the round to this point.
+        if (payment_submitted_ || excluded_self_ || !bidding_finished_) return;
+        payment_submitted_ = true;
+        payment_vector_ = churn_payment_vector(*body);
+    } else {
+        // w̃_j = φ_j / α_j (§4 Computing Payments) — with block-granular
+        // loads, α_j is the fraction actually assigned, blocks_j /
+        // block_count.
+        const std::size_t m = ctx_.processor_count();
+        std::vector<double> exec(m);
+        std::map<std::string, double> phi;
+        for (const auto& [processor, value] : body->phis) phi[processor] = value;
+        for (std::size_t j = 0; j < m; ++j) {
+            const auto& pname = ctx_.processor_names()[j];
+            const double fraction = static_cast<double>(block_counts_[j]) /
+                                    static_cast<double>(ctx_.config().block_count);
+            if (fraction > 0.0 && phi.contains(pname)) {
+                exec[j] = phi[pname] / fraction;
+            } else {
+                // Zero-block degenerate share: fall back to the bid.
+                exec[j] = bid_values_.at(pname);
+            }
         }
-    }
 
-    std::vector<double> bids(m);
-    for (std::size_t j = 0; j < m; ++j) bids[j] = bid_values_.at(ctx_.processor_names()[j]);
-    const mech::DlsBl mechanism(ctx_.config().kind, ctx_.config().z, bids);
-    const auto breakdown = mechanism.payments(std::span<const double>(exec));
-    payment_vector_ = breakdown.payment;
+        std::vector<double> bids(m);
+        for (std::size_t j = 0; j < m; ++j) {
+            bids[j] = bid_values_.at(ctx_.processor_names()[j]);
+        }
+        const mech::DlsBl mechanism(ctx_.config().kind, ctx_.config().z, bids);
+        const auto breakdown = mechanism.payments(std::span<const double>(exec));
+        payment_vector_ = breakdown.payment;
+    }
 
     auto submit = [&](std::vector<double> q) {
         PaymentBody body_out;
@@ -392,6 +475,101 @@ void NodeCore::handle_mediate_request(const WireMessage& message) {
     }
     ctx_.transport().unicast(name(), ctx_.referee_name(),
                              to_wire(MsgType::kMediateBlocks), batch.serialize());
+}
+
+// ---- churn handling (DESIGN.md "Churn model") -------------------------------
+
+void NodeCore::handle_exclude(const WireMessage& message) {
+    if (!ctx_.churn_enabled() || message.from != ctx_.referee_name()) return;
+    const auto body = ExcludeBody::deserialize(message.payload);
+    if (!body || body->job_id != ctx_.job_id()) return;
+    exclude_received_ = true;
+    for (const auto& pname : body->excluded) excluded_.insert(pname);
+    if (excluded_.contains(name())) {
+        // We restarted after missing the bid deadline: the round went on
+        // without us. Halt — no meter, no payment vector.
+        excluded_self_ = true;
+        bidding_finished_ = true;
+        return;
+    }
+    maybe_finish_bidding();
+}
+
+void NodeCore::handle_realloc(const WireMessage& message) {
+    if (!ctx_.churn_enabled() || message.from != ctx_.referee_name()) return;
+    const auto body = ReallocBody::deserialize(message.payload);
+    if (!body || body->job_id != ctx_.job_id()) return;
+    if (excluded_self_ || !bidding_finished_) return;
+    realloc_dead_ = body->dead;
+    realloc_dead_final_ = body->dead_final;
+    realloc_extras_ = body->extras;
+
+    std::uint64_t mine = 0;
+    for (const auto& [pname, count] : realloc_extras_) {
+        if (pname == name()) mine = count;
+    }
+    if (is_load_origin()) {
+        // Re-derive the dead processor's contiguous block range (same
+        // prefix-sum rule as ship_loads) and ship its undone suffix,
+        // partitioned over the extras in message order.
+        std::vector<std::size_t> start(ctx_.processor_count(), 0);
+        for (std::size_t i = 1; i < block_counts_.size(); ++i) {
+            start[i] = start[i - 1] + block_counts_[i - 1];
+        }
+        const std::size_t dead_start = start[ctx_.index_of(body->dead)];
+        std::uint64_t offset = body->dead_final;
+        for (const auto& [pname, count] : realloc_extras_) {
+            if (pname == name()) {
+                offset += count;
+                continue;  // the LO's own share never crosses the bus
+            }
+            LoadBatch batch;
+            batch.origin = name();
+            batch.blocks.reserve(count);
+            for (std::uint64_t k = 0; k < count; ++k) {
+                const std::uint64_t id =
+                    (dead_start + offset + k) % ctx_.config().block_count;
+                batch.blocks.push_back(ctx_.dataset().block(id));
+            }
+            offset += count;
+            const obs::SpanContext ship_span = ctx_.spans().instant(
+                "ship-extra:" + pname, name(), ctx_.clock().now(),
+                message.span_id != 0 ? message.span_id : ctx_.phase_span().span_id);
+            ctx_.ship_load(name(), pname, std::move(batch), ship_span.span_id);
+        }
+        if (mine > 0) {
+            extra_received_ += mine;
+            ctx_.execute_load(name(), static_cast<std::size_t>(mine), exec_rate_, [] {},
+                              compute_parent_span_);
+        }
+    } else if (mine > 0) {
+        extra_pending_ = static_cast<std::size_t>(mine);
+    }
+}
+
+std::vector<double> NodeCore::churn_payment_vector(const MeterVectorBody& body) {
+    // Same inputs, same function, same vector as the referee's canonical
+    // settlement — any diverging submission is offense (iii).
+    ChurnSettlementInputs inputs;
+    inputs.kind = ctx_.config().kind;
+    inputs.z = ctx_.config().z;
+    inputs.block_count = ctx_.config().block_count;
+    inputs.names = ctx_.processor_names();
+    inputs.excluded = excluded_;
+    for (const auto& pname : ctx_.processor_names()) {
+        if (excluded_.contains(pname)) continue;
+        inputs.bids[pname] = bid_values_.at(pname);
+        std::size_t final_count = block_counts_[ctx_.index_of(pname)];
+        if (pname == realloc_dead_) {
+            final_count = static_cast<std::size_t>(realloc_dead_final_);
+        }
+        inputs.final_counts[pname] = final_count;
+    }
+    for (const auto& [pname, count] : realloc_extras_) {
+        inputs.final_counts[pname] += static_cast<std::size_t>(count);
+    }
+    for (const auto& [processor, value] : body.phis) inputs.phis[processor] = value;
+    return churn_settlement_payments(inputs);
 }
 
 }  // namespace dlsbl::protocol

@@ -44,6 +44,10 @@ class NodeCore final : public Endpoint {
         return payment_vector_;
     }
     [[nodiscard]] bool settled() const noexcept { return settled_; }
+    // Blocks received via a churn reallocation (0 outside churn mode).
+    [[nodiscard]] std::size_t blocks_extra() const noexcept { return extra_received_; }
+    // Excluded at the churn bid deadline (a crashed-then-restarted bidder).
+    [[nodiscard]] bool excluded_self() const noexcept { return excluded_self_; }
 
  private:
     void register_handlers();
@@ -55,6 +59,11 @@ class NodeCore final : public Endpoint {
     void handle_load_delivery(const WireMessage& message);
     void begin_processing(std::size_t blocks);
     void handle_meter_broadcast(const WireMessage& message);
+    void handle_exclude(const WireMessage& message);
+    void handle_realloc(const WireMessage& message);
+    // Canonical settlement over the surviving bidders (churn mode's
+    // replacement for the mech::DlsBl payment computation).
+    [[nodiscard]] std::vector<double> churn_payment_vector(const MeterVectorBody& body);
     void handle_bid_vector_request();
     void handle_mediate_request(const WireMessage& message);
     void file_complaint(AllocComplaintKind kind, std::size_t expected, std::size_t received,
@@ -92,6 +101,18 @@ class NodeCore final : public Endpoint {
 
     std::vector<double> payment_vector_;
     bool settled_ = false;
+
+    // --- churn state (untouched outside churn mode) --------------------------
+    util::Bytes bid_payload_;            // first signed bid, stored for stale replay
+    std::set<std::string> excluded_;     // referee's bid-deadline exclusions
+    bool exclude_received_ = false;
+    bool excluded_self_ = false;
+    std::size_t extra_pending_ = 0;      // reallocated blocks awaiting delivery
+    std::size_t extra_received_ = 0;
+    std::string realloc_dead_;
+    std::uint64_t realloc_dead_final_ = 0;
+    std::vector<std::pair<std::string, std::uint64_t>> realloc_extras_;
+    bool payment_submitted_ = false;
 };
 
 // The processor kept its pre-split name in most call sites.

@@ -27,6 +27,8 @@ struct ProcessorOutcome {
     double alpha = 0.0;           // closed-form fraction from the bid vector
     std::size_t blocks_assigned = 0;
     std::size_t blocks_received = 0;
+    std::size_t blocks_extra = 0;  // churn reallocation grants (0 otherwise)
+    bool excluded = false;         // dropped at the churn bid deadline
     double phi = 0.0;             // meter reading (0 if never ran)
     bool commenced_work = false;
 
@@ -59,6 +61,11 @@ struct ProtocolOutcome {
     std::uint64_t control_messages = 0;
     std::uint64_t control_bytes = 0;
     std::vector<std::pair<std::string, std::uint64_t>> bytes_by_phase;
+
+    // Churn rulings (empty/zero outside churn mode).
+    std::vector<std::string> churn_excluded;
+    std::string churn_dead;                 // reallocated-away processor
+    std::size_t churn_realloc_blocks = 0;
 
     [[nodiscard]] const ProcessorOutcome& processor(const std::string& name) const {
         for (const auto& p : processors) {

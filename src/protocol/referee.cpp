@@ -23,13 +23,24 @@ constexpr const char* kVerifyCacheMetric = "dlsbl_referee_verify_cache_total";
 RefereeCore::RefereeCore(RunContext& context)
     : Endpoint(context.referee_name()), ctx_(context) {
     register_handlers();
+    if (ctx_.churn_enabled()) {
+        ctx_.clock().call_at(ctx_.config().churn_plan.policy.bid_timeout,
+                             [this] { check_bids(); });
+    }
 }
 
 void RefereeCore::register_handlers() {
     // On a shared bus the referee physically receives bid broadcasts, but it
     // stays passive: bids are neither stored nor used unless a dispute later
-    // delivers them as signed evidence.
-    dispatch_.ignore(MsgType::kBid);
+    // delivers them as signed evidence. Under churn that passivity is
+    // untenable — only a party that records who actually bid can exclude a
+    // crashed bidder — so the plan being non-empty switches the handler on.
+    if (ctx_.churn_enabled()) {
+        dispatch_.on(MsgType::kBid,
+                     [this](const WireMessage& m) { handle_churn_bid(m); });
+    } else {
+        dispatch_.ignore(MsgType::kBid);
+    }
     dispatch_.on(MsgType::kAccuseDoubleBid,
                  [this](const WireMessage& m) { handle_double_bid_accusation(m); });
     dispatch_.on(MsgType::kAllocComplaint,
@@ -49,6 +60,8 @@ void RefereeCore::register_handlers() {
     dispatch_.ignore(MsgType::kMeterBroadcast);
     dispatch_.ignore(MsgType::kTerminate);
     dispatch_.ignore(MsgType::kSettled);
+    dispatch_.ignore(MsgType::kExclude);
+    dispatch_.ignore(MsgType::kRealloc);
 }
 
 void RefereeCore::count_dispute_opened(const char* kind) {
@@ -326,6 +339,12 @@ void RefereeCore::handle_mediate_refuse(const WireMessage& message) {
 
 void RefereeCore::on_all_meters_done() {
     if (ctx_.terminated() || meters_broadcast_) return;
+    if (ctx_.churn_enabled()) {
+        // Crash adjudications may still be pending or reallocated extras
+        // still executing; the churn gate decides when the φ vector is ready.
+        maybe_finish_meters();
+        return;
+    }
     meters_broadcast_ = true;
     ctx_.set_phase(Phase::kPayments);
     MeterVectorBody body;
@@ -356,8 +375,11 @@ void RefereeCore::handle_payment_vector(const WireMessage& message) {
     payment_payloads_[message.from].push_back(signed_msg->payload);
     payment_values_[message.from] = body->payments;
 
-    if (payment_payloads_.size() == ctx_.processor_count() &&
-        !payment_evaluation_scheduled_) {
+    // Under churn dead bidders never submit; the payment deadline settles
+    // without them, but a full set of active submissions settles early.
+    const std::size_t quorum =
+        ctx_.churn_enabled() ? churn_active_count() : ctx_.processor_count();
+    if (payment_payloads_.size() == quorum && !payment_evaluation_scheduled_) {
         // Defer one event so same-timestamp contradictory submissions are
         // all in before judging.
         payment_evaluation_scheduled_ = true;
@@ -367,6 +389,12 @@ void RefereeCore::handle_payment_vector(const WireMessage& message) {
 
 void RefereeCore::evaluate_payments() {
     if (settled_ || verdict_issued_ || ctx_.terminated()) return;
+    if (ctx_.churn_enabled()) {
+        // The referee recorded the bids itself: no bid-vector dispute is
+        // needed, it settles on the canonical churn vector directly.
+        churn_evaluate_payments();
+        return;
+    }
     const obs::SpanContext verify_span = ctx_.spans().instant(
         "verify:payments", name(), ctx_.clock().now(), ctx_.phase_span().span_id);
     (void)verify_span;
@@ -610,6 +638,288 @@ void RefereeCore::finalize_termination_payouts() {
             rewards_[processor] += share;
         }
     }
+}
+
+// ---- churn machinery (DESIGN.md "Churn model") ------------------------------
+
+void RefereeCore::handle_churn_bid(const WireMessage& message) {
+    const auto signed_msg = crypto::SignedMessage::deserialize(message.payload);
+    if (!signed_msg || signed_msg->signer != message.from) return;
+    if (!signed_msg->verify(ctx_.pki())) return;
+    const auto body = BidBody::deserialize(signed_msg->payload);
+    if (!body || body->processor != message.from || body->job_id != ctx_.job_id()) return;
+    // First bid wins: a stale rejoin replaying the identical signed bid is
+    // benign, and a genuinely different second bid is offense (i) — the
+    // peers' accusation path handles that, not the churn recorder.
+    if (churn_bids_.contains(message.from)) return;
+    churn_bids_[message.from] = body->bid;
+    if (!churn_bids_complete_ && churn_bids_.size() == ctx_.processor_count()) {
+        complete_churn_bidding();
+    }
+}
+
+void RefereeCore::complete_churn_bidding() {
+    churn_bids_complete_ = true;
+    std::vector<std::string> active;
+    std::vector<double> bids;
+    for (const auto& processor : ctx_.processor_names()) {
+        if (churn_excluded_.contains(processor)) continue;
+        active.push_back(processor);
+        bids.push_back(churn_bids_.at(processor));
+    }
+    dlt::ProblemInstance instance{ctx_.config().kind, ctx_.config().z, bids};
+    const auto alpha = dlt::optimal_allocation(instance);
+    const auto counts = DataSet::blocks_for_allocation(ctx_.config().block_count, alpha);
+    churn_counts_.assign(ctx_.processor_count(), 0);
+    for (std::size_t j = 0; j < active.size(); ++j) {
+        churn_counts_[ctx_.index_of(active[j])] = counts[j];
+    }
+    if (!churn_watchdog_scheduled_) {
+        churn_watchdog_scheduled_ = true;
+        ctx_.clock().call_after(ctx_.config().churn_plan.policy.processing_grace,
+                                [this] { check_processing(); });
+    }
+}
+
+void RefereeCore::check_bids() {
+    if (ctx_.terminated() || churn_bids_complete_) return;
+    std::vector<std::string> missing;
+    for (const auto& processor : ctx_.processor_names()) {
+        if (!churn_bids_.contains(processor)) missing.push_back(processor);
+    }
+    if (missing.empty()) {
+        complete_churn_bidding();
+        return;
+    }
+    for (const auto& processor : missing) churn_excluded_.insert(processor);
+    if (churn_excluded_.contains(ctx_.load_origin())) {
+        churn_terminate("load origin excluded at bid deadline");
+        return;
+    }
+    if (churn_active_count() < 2) {
+        churn_terminate("fewer than two active bidders");
+        return;
+    }
+    ctx_.metrics_registry().counter("dlsbl_churn_exclusions_total").inc(missing.size());
+    for (const auto& processor : missing) {
+        ctx_.transport().note_churn(ctx_.clock().now(), processor,
+                                    "excluded reason=bid-timeout");
+        ctx_.spans().instant("churn:exclude", processor, ctx_.clock().now(),
+                             ctx_.run_span().span_id);
+    }
+    ctx_.adjust_expected_workers(-static_cast<std::ptrdiff_t>(missing.size()));
+    ExcludeBody body;
+    body.job_id = ctx_.job_id();
+    body.excluded = missing;  // processor-index order
+    ctx_.transport().broadcast(name(), to_wire(MsgType::kExclude), body.serialize());
+    complete_churn_bidding();
+}
+
+void RefereeCore::check_processing() {
+    if (ctx_.terminated() || settled_ || meters_broadcast_) return;
+    std::vector<std::string> unstarted;
+    for (std::size_t i = 0; i < ctx_.processor_count(); ++i) {
+        const auto& processor = ctx_.processor_names()[i];
+        if (churn_excluded_.contains(processor) || processor == churn_dead_) continue;
+        if (churn_counts_[i] > 0 && !ctx_.meters().started(processor)) {
+            unstarted.push_back(processor);
+        }
+    }
+    if (unstarted.empty()) return;
+    if (unstarted.size() > 1 || realloc_done_) {
+        churn_terminate("multiple processors failed");
+        return;
+    }
+    const std::string dead = unstarted.front();
+    if (dead == ctx_.load_origin()) {
+        churn_terminate("load origin never started processing");
+        return;
+    }
+    // The dead assignee will never report a completion.
+    ctx_.adjust_expected_workers(-1);
+    ctx_.metrics_registry().counter("dlsbl_churn_meters_lost_total").inc();
+    do_reallocate(dead, churn_counts_[ctx_.index_of(dead)], 0);
+    maybe_finish_meters();
+}
+
+void RefereeCore::on_meter_lost(const std::string& processor, std::size_t exec_blocks,
+                                std::size_t blocks_done) {
+    if (ctx_.terminated() || settled_) return;
+    ++pending_adjudications_;
+    ctx_.clock().call_after(
+        ctx_.config().churn_plan.policy.detection_timeout,
+        [this, processor, exec_blocks, blocks_done] {
+            --pending_adjudications_;
+            if (ctx_.terminated() || settled_) return;
+            if (processor == ctx_.load_origin()) {
+                // Nobody else holds the data set: the round cannot recover.
+                churn_terminate("load origin crashed");
+                return;
+            }
+            if (realloc_done_) {
+                churn_terminate("multiple processors failed");
+                return;
+            }
+            do_reallocate(processor, exec_blocks, blocks_done);
+            maybe_finish_meters();
+        });
+}
+
+void RefereeCore::do_reallocate(const std::string& dead, std::size_t exec_blocks,
+                                std::size_t blocks_done) {
+    realloc_done_ = true;
+    churn_dead_ = dead;
+    const std::size_t dead_index = ctx_.index_of(dead);
+    const std::size_t assigned = churn_counts_[dead_index];
+    // A deviant LO can make exec diverge from the prescription; clamp so the
+    // reallocated range stays inside the dead processor's assignment.
+    const std::size_t remaining = std::min(exec_blocks - blocks_done, assigned);
+    churn_dead_final_ = assigned - remaining;
+    churn_counts_[dead_index] = assigned - remaining;
+    churn_realloc_blocks_ = remaining;
+
+    std::vector<std::string> survivors;
+    std::vector<double> bids;
+    for (const auto& processor : ctx_.processor_names()) {
+        if (churn_excluded_.contains(processor) || processor == dead) continue;
+        survivors.push_back(processor);
+        bids.push_back(churn_bids_.at(processor));
+    }
+    if (survivors.empty()) {
+        churn_terminate("no survivors for reallocation");
+        return;
+    }
+
+    ReallocBody body;
+    body.job_id = ctx_.job_id();
+    body.dead = dead;
+    body.dead_final = churn_dead_final_;
+    if (remaining > 0) {
+        std::vector<std::size_t> extra_counts;
+        if (survivors.size() == 1) {
+            extra_counts.assign(1, remaining);
+        } else {
+            // The NCP-NFE closed form over the survivors' bids: the extra
+            // batch is received and then computed with no front end, the
+            // Figure 3 pattern, regardless of the run's primary kind.
+            dlt::ProblemInstance instance{dlt::NetworkKind::kNcpNFE, ctx_.config().z,
+                                          bids};
+            const auto alpha = dlt::optimal_allocation(instance);
+            extra_counts = DataSet::blocks_for_allocation(remaining, alpha);
+        }
+        std::ptrdiff_t granted = 0;
+        for (std::size_t j = 0; j < survivors.size(); ++j) {
+            if (extra_counts[j] == 0) continue;
+            body.extras.emplace_back(survivors[j], extra_counts[j]);
+            churn_counts_[ctx_.index_of(survivors[j])] += extra_counts[j];
+            ++granted;
+        }
+        // Every granted extra produces exactly one more execution completion.
+        ctx_.adjust_expected_workers(granted);
+    }
+    auto& registry = ctx_.metrics_registry();
+    registry.counter("dlsbl_churn_reallocations_total").inc();
+    registry.counter("dlsbl_churn_realloc_blocks_total").inc(remaining);
+    ctx_.transport().note_churn(ctx_.clock().now(), name(),
+                                "realloc dead=" + dead +
+                                    " final=" + std::to_string(churn_dead_final_) +
+                                    " remaining=" + std::to_string(remaining) +
+                                    " extras=" + std::to_string(body.extras.size()));
+    ctx_.spans().instant("churn:realloc", name(), ctx_.clock().now(),
+                         ctx_.run_span().span_id);
+    ctx_.transport().broadcast(name(), to_wire(MsgType::kRealloc), body.serialize());
+}
+
+void RefereeCore::maybe_finish_meters() {
+    if (ctx_.terminated() || meters_broadcast_ || verdict_issued_) return;
+    if (!churn_bids_complete_ || pending_adjudications_ > 0) return;
+    if (ctx_.expected_workers() == 0 ||
+        ctx_.finished_workers() != ctx_.expected_workers()) {
+        return;
+    }
+    meters_broadcast_ = true;
+    ctx_.set_phase(Phase::kPayments);
+    MeterVectorBody body;
+    body.job_id = ctx_.job_id();
+    for (const auto& processor : ctx_.processor_names()) {
+        if (ctx_.meters().finished(processor)) {
+            body.phis.emplace_back(processor, ctx_.meters().elapsed(processor));
+        }
+    }
+    churn_meter_payload_ = body.serialize();
+    const obs::SpanContext meter_span = ctx_.spans().instant(
+        "msg:meter_broadcast", name(), ctx_.clock().now(), ctx_.phase_span().span_id);
+    ctx_.transport().broadcast(name(), to_wire(MsgType::kMeterBroadcast),
+                               churn_meter_payload_, meter_span.span_id);
+    const double timeout = ctx_.config().churn_plan.policy.payment_timeout;
+    ctx_.clock().call_after(timeout, [this] {
+        if (settled_ || ctx_.terminated() || verdict_issued_) return;
+        // Submissions are missing: retransmit for nodes whose first copy
+        // fell into a loss window (submitters dedup on their side).
+        ctx_.transport().note_churn(ctx_.clock().now(), name(), "meter-retransmit");
+        ctx_.transport().broadcast(name(), to_wire(MsgType::kMeterBroadcast),
+                                   churn_meter_payload_);
+    });
+    if (!churn_settle_scheduled_) {
+        churn_settle_scheduled_ = true;
+        ctx_.clock().call_after(2.0 * timeout, [this] {
+            if (settled_ || ctx_.terminated()) return;
+            churn_evaluate_payments();
+        });
+    }
+}
+
+void RefereeCore::churn_evaluate_payments() {
+    if (settled_ || ctx_.terminated()) return;
+    ChurnSettlementInputs inputs;
+    inputs.kind = ctx_.config().kind;
+    inputs.z = ctx_.config().z;
+    inputs.block_count = ctx_.config().block_count;
+    inputs.names = ctx_.processor_names();
+    inputs.excluded = churn_excluded_;
+    inputs.bids = churn_bids_;
+    for (std::size_t i = 0; i < ctx_.processor_count(); ++i) {
+        const auto& processor = ctx_.processor_names()[i];
+        if (churn_excluded_.contains(processor)) continue;
+        inputs.final_counts[processor] = churn_counts_[i];
+    }
+    for (const auto& processor : ctx_.processor_names()) {
+        if (ctx_.meters().finished(processor)) {
+            inputs.phis[processor] = ctx_.meters().elapsed(processor);
+        }
+    }
+    const std::vector<double> canonical = churn_settlement_payments(inputs);
+
+    // Submitted vectors that disagree with the canonical settlement are
+    // offense (iii); missing submissions (dead processors) are not fined —
+    // death is not an offense.
+    std::set<std::string> wrong;
+    for (const auto& [submitter, payloads] : payment_payloads_) {
+        bool contradictory = false;
+        for (std::size_t i = 1; i < payloads.size(); ++i) {
+            if (payloads[i] != payloads[0]) contradictory = true;
+        }
+        if (contradictory || payment_values_.at(submitter) != canonical) {
+            wrong.insert(submitter);
+        }
+    }
+    if (!wrong.empty()) {
+        issue_verdict(wrong, "incorrect payment vector(s) under churn",
+                      /*terminate=*/false);
+    }
+    settle(canonical);
+}
+
+void RefereeCore::churn_terminate(const std::string& reason) {
+    if (ctx_.terminated() || settled_) return;
+    ctx_.metrics_registry().counter("dlsbl_churn_terminations_total").inc();
+    ctx_.transport().note_churn(ctx_.clock().now(), name(), "terminate reason=" + reason);
+    ctx_.spans().instant("churn:terminate", name(), ctx_.clock().now(),
+                         ctx_.run_span().span_id);
+    ctx_.mark_terminated("churn: " + reason);
+    TerminateBody body;
+    body.reason = "churn: " + reason;
+    ctx_.transport().broadcast(name(), to_wire(MsgType::kTerminate), body.serialize());
 }
 
 }  // namespace dlsbl::protocol

@@ -39,6 +39,13 @@ class RefereeCore final : public Endpoint {
     // which is exactly the metered time φ_i — known only once they finish.
     void on_meter_stopped(const std::string& processor);
 
+    // Invoked by the context when a crash interrupts an execution: the
+    // tamper-proof meter stopped with `blocks_done` of `exec_blocks` proved.
+    // The referee adjudicates after the plan's detection timeout and
+    // reallocates the undone blocks over the survivors (churn mode only).
+    void on_meter_lost(const std::string& processor, std::size_t exec_blocks,
+                       std::size_t blocks_done);
+
     // --- inspection ----------------------------------------------------------
     [[nodiscard]] const std::map<std::string, double>& fines() const noexcept {
         return fines_;
@@ -58,6 +65,14 @@ class RefereeCore final : public Endpoint {
     // disclosure) — lets tests assert referee passivity in honest runs.
     [[nodiscard]] const std::map<std::string, double>& learned_bids() const noexcept {
         return verified_bids_;
+    }
+    // Churn rulings (empty/zero outside churn mode).
+    [[nodiscard]] const std::set<std::string>& churn_excluded() const noexcept {
+        return churn_excluded_;
+    }
+    [[nodiscard]] const std::string& churn_dead() const noexcept { return churn_dead_; }
+    [[nodiscard]] std::size_t churn_realloc_blocks() const noexcept {
+        return churn_realloc_blocks_;
     }
 
  private:
@@ -101,6 +116,31 @@ class RefereeCore final : public Endpoint {
 
     [[nodiscard]] std::vector<double> execution_values() const;
 
+    // --- churn machinery (DESIGN.md "Churn model"; only when the run's
+    // --- churn plan is non-empty) --------------------------------------------
+    // Under churn the referee drops its §4 passivity for bids: a crashed
+    // bidder can only be detected by someone who records who actually bid.
+    void handle_churn_bid(const WireMessage& message);
+    // Fixes the active bidder set, computes the prescribed block counts and
+    // arms the processing watchdog.
+    void complete_churn_bidding();
+    void check_bids();        // bid_timeout watchdog -> exclusions
+    void check_processing();  // processing_grace watchdog -> unstarted assignees
+    // Redistributes the dead processor's undone blocks over the survivors
+    // via the NCP-NFE closed form; broadcasts kRealloc. One per run.
+    void do_reallocate(const std::string& dead, std::size_t exec_blocks,
+                       std::size_t blocks_done);
+    // Meter broadcast gate: waits for every expected execution AND for all
+    // pending crash adjudications before publishing the φ vector.
+    void maybe_finish_meters();
+    void churn_evaluate_payments();  // canonical settlement + mismatch fines
+    // Unrecoverable churn (dead LO, < 2 active bidders): stop the round with
+    // no fines and no payouts — death is not an offense.
+    void churn_terminate(const std::string& reason);
+    [[nodiscard]] std::size_t churn_active_count() const noexcept {
+        return ctx_.processor_count() - churn_excluded_.size();
+    }
+
     RunContext& ctx_;
     MessageDispatcher dispatch_;
 
@@ -127,6 +167,20 @@ class RefereeCore final : public Endpoint {
     bool settled_ = false;
     std::vector<double> settled_payments_;
     double user_paid_ = 0.0;
+
+    // Churn state (untouched outside churn mode).
+    std::map<std::string, double> churn_bids_;      // first valid bid per sender
+    std::set<std::string> churn_excluded_;          // missing at the bid deadline
+    std::vector<std::size_t> churn_counts_;         // prescribed blocks, full size
+    bool churn_bids_complete_ = false;
+    bool churn_watchdog_scheduled_ = false;
+    std::size_t pending_adjudications_ = 0;
+    bool realloc_done_ = false;
+    std::string churn_dead_;
+    std::uint64_t churn_dead_final_ = 0;
+    std::size_t churn_realloc_blocks_ = 0;
+    util::Bytes churn_meter_payload_;               // stored for retransmission
+    bool churn_settle_scheduled_ = false;
 
     // Terminating-verdict payout state.
     struct PendingTermination {

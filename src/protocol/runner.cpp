@@ -31,8 +31,10 @@ ProtocolOutcome run_protocol(const RunRequest& request, const RunObserver& obser
 
     std::unique_ptr<Driver> driver =
         request.driver == DriverKind::kBus
-            ? make_bus_driver(cfg.z, cfg.control_latency, cfg.control_seconds_per_byte)
-            : make_sim_driver(cfg.z, cfg.control_latency, cfg.control_seconds_per_byte);
+            ? make_bus_driver(cfg.z, cfg.control_latency, cfg.control_seconds_per_byte,
+                              cfg.churn_plan)
+            : make_sim_driver(cfg.z, cfg.control_latency, cfg.control_seconds_per_byte,
+                              cfg.churn_plan);
     RunContext context(driver->clock(), driver->transport(), cfg);
 
     // Initialization (§4): every participant registers a key with the PKI.
@@ -77,6 +79,10 @@ ProtocolOutcome run_protocol(const RunRequest& request, const RunObserver& obser
     outcome.control_messages = transport_stats.control_messages;
     outcome.control_bytes = transport_stats.control_bytes;
     outcome.bytes_by_phase = transport_stats.bytes_by_phase;
+    outcome.churn_excluded.assign(referee.churn_excluded().begin(),
+                                  referee.churn_excluded().end());
+    outcome.churn_dead = referee.churn_dead();
+    outcome.churn_realloc_blocks = referee.churn_realloc_blocks();
 
     const auto& settled = referee.settled_payments();
     for (std::size_t i = 0; i < context.processor_count(); ++i) {
@@ -90,6 +96,10 @@ ProtocolOutcome run_protocol(const RunRequest& request, const RunObserver& obser
         p.blocks_assigned = node.blocks_assigned();
         p.blocks_received =
             (name == context.load_origin()) ? node.blocks_assigned() : node.blocks_received();
+        p.blocks_extra = node.blocks_extra();
+        // A crashed bidder never hears the kExclude broadcast, so its own
+        // flag can stay false; the referee's ruling is authoritative.
+        p.excluded = node.excluded_self() || referee.churn_excluded().contains(name);
         if (!node.allocation().empty()) p.alpha = node.allocation()[i];
         p.commenced_work = context.meters().started(name);
         if (context.meters().finished(name)) p.phi = context.meters().elapsed(name);
@@ -109,9 +119,17 @@ ProtocolOutcome run_protocol(const RunRequest& request, const RunObserver& obser
         // Actual cost: the fraction of the unit load this node really ran,
         // at its realized rate (only if it ran).
         if (p.commenced_work) {
-            const std::size_t executed =
+            // Reallocation extras are real executed work too; a crashed
+            // processor's cost reflects only its meter-proved fraction.
+            std::size_t executed =
                 (name == context.load_origin()) ? node.blocks_assigned()
                                                 : node.blocks_received();
+            executed += node.blocks_extra();
+            if (name == referee.churn_dead()) {
+                executed = referee.churn_realloc_blocks() <= executed
+                               ? executed - referee.churn_realloc_blocks()
+                               : 0;
+            }
             p.work_cost = (static_cast<double>(executed) /
                            static_cast<double>(cfg.block_count)) *
                           p.exec_rate;

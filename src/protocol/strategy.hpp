@@ -54,6 +54,9 @@ struct Strategy {
     bool false_accuse = false;
     // (ii-d) as a worker: falsely claim the load origin short-shipped.
     bool false_short_claim = false;
+    // Broadcast this many frames of an unknown message type at start-up —
+    // protocol noise every conforming endpoint must drop (and count).
+    std::size_t junk_frames = 0;
 
     // Monitoring behaviour: an agent may choose not to report deviations it
     // observes (the mechanism rewards reporting; this knob lets benches show
@@ -66,7 +69,7 @@ struct Strategy {
         return second_bid_factor.has_value() || lo_ship_factor != 1.0 ||
                lo_refuse_mediation || lo_corrupt_blocks || corrupt_payment_vector ||
                contradictory_payment_vectors || tamper_bid_vector || false_accuse ||
-               false_short_claim;
+               false_short_claim || junk_frames > 0;
     }
 };
 

@@ -49,10 +49,26 @@ void Network::start() {
     }
 }
 
-void Network::deliver(Envelope envelope) {
+void Network::deliver(Envelope envelope, bool redelivery) {
     const auto it = processes_.find(envelope.to);
     if (it == processes_.end()) {
         throw std::logic_error("Network: message to unknown process: " + envelope.to);
+    }
+    if (interceptor_) {
+        const DeliveryRuling ruling = interceptor_(envelope, simulator_.now(), redelivery);
+        if (ruling.action == DeliveryAction::kDrop) {
+            trace_.record(simulator_.now(), TraceKind::kChurn, envelope.to, ruling.note,
+                          envelope.span_id);
+            return;
+        }
+        if (ruling.action == DeliveryAction::kDelay) {
+            trace_.record(simulator_.now(), TraceKind::kChurn, envelope.to, ruling.note,
+                          envelope.span_id);
+            simulator_.schedule_after(ruling.delay, [this, e = std::move(envelope)]() mutable {
+                deliver(std::move(e), true);
+            });
+            return;
+        }
     }
     trace_.record(simulator_.now(), TraceKind::kMessageDelivered, envelope.to,
                   "from=" + envelope.from + " type=" + std::to_string(envelope.type),

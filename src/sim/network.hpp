@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 
@@ -96,8 +97,25 @@ class Network {
     [[nodiscard]] TraceRecorder& trace() noexcept { return trace_; }
     [[nodiscard]] double unit_comm_time() const noexcept { return z_; }
 
+    // Fault-injection hook consulted on every delivery attempt (the network
+    // itself stays protocol-agnostic: the interceptor owner interprets the
+    // availability plan). kDrop suppresses delivery; kDelay reschedules it
+    // `delay` later with redelivery=true (a redelivery is never re-delayed).
+    // Either outcome records a TraceKind::kChurn event carrying `note`.
+    enum class DeliveryAction { kDeliver, kDrop, kDelay };
+    struct DeliveryRuling {
+        DeliveryAction action = DeliveryAction::kDeliver;
+        double delay = 0.0;
+        std::string note;
+    };
+    using DeliveryInterceptor =
+        std::function<DeliveryRuling(const Envelope&, double now, bool redelivery)>;
+    void set_delivery_interceptor(DeliveryInterceptor interceptor) {
+        interceptor_ = std::move(interceptor);
+    }
+
  private:
-    void deliver(Envelope envelope);
+    void deliver(Envelope envelope, bool redelivery = false);
     // Time the bus is held for a control message of `bytes` (0 when the
     // bandwidth model is off).
     [[nodiscard]] double control_occupancy(std::size_t bytes) const noexcept {
@@ -115,6 +133,7 @@ class Network {
     std::map<std::string, Process*> processes_;
     NetworkMetrics metrics_;
     TraceRecorder trace_;
+    DeliveryInterceptor interceptor_;
 };
 
 }  // namespace dlsbl::sim

@@ -18,6 +18,7 @@ const char* to_string(TraceKind kind) noexcept {
         case TraceKind::kNote: return "note";
         case TraceKind::kSpanBegin: return "span-begin";
         case TraceKind::kSpanEnd: return "span-end";
+        case TraceKind::kChurn: return "churn";
     }
     return "?";
 }

@@ -26,6 +26,7 @@ enum class TraceKind {
     kNote,
     kSpanBegin,    // causal span opened (detail = span name)
     kSpanEnd,      // causal span closed
+    kChurn,        // fault injection: crash/restart marks, cut/delayed frames
 };
 
 const char* to_string(TraceKind kind) noexcept;

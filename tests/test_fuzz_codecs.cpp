@@ -4,13 +4,22 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
 
+#include "agents/zoo.hpp"
 #include "crypto/lamport.hpp"
 #include "crypto/merkle.hpp"
 #include "crypto/mss.hpp"
 #include "crypto/pki.hpp"
+#include "obs/metrics.hpp"
 #include "protocol/blocks.hpp"
+#include "protocol/churn.hpp"
+#include "protocol/detail/run_internals.hpp"
+#include "protocol/dispatch.hpp"
 #include "protocol/messages.hpp"
+#include "protocol/runner.hpp"
 #include "util/rng.hpp"
 
 namespace dlsbl {
@@ -247,6 +256,199 @@ TEST(FuzzCodecs, StructuredMutationsOfBodiesHandledGracefully) {
         if (parsed.has_value()) {
             (void)parsed->serialize();
         }
+    }
+}
+
+// ---- churn-plan and churn-message codecs ------------------------------------
+
+TEST(FuzzCodecs, ChurnPlan) { fuzz_decoder<protocol::ChurnPlan>(15, 3000, 512); }
+TEST(FuzzCodecs, ExcludeBody) { fuzz_decoder<protocol::ExcludeBody>(16, 3000, 256); }
+TEST(FuzzCodecs, ReallocBody) { fuzz_decoder<protocol::ReallocBody>(17, 3000, 256); }
+
+protocol::ChurnPlan rich_plan() {
+    protocol::ChurnPlan plan;
+    plan.events = {{"P3", 0.1, protocol::ChurnEventKind::kCrash},
+                   {"P3", 0.5, protocol::ChurnEventKind::kRestart},
+                   {"P2", 0.2, protocol::ChurnEventKind::kCrash},
+                   {"P2", 0.9, protocol::ChurnEventKind::kRestartStale}};
+    plan.losses = {{"P1", 0.2, 0.4}, {"P4", 0.0, 0.05}};
+    plan.delays = {{"P1", 0.0, 0.1, 0.05}};
+    plan.policy = {0.4, 0.04, 2.0, 0.2};
+    return plan;
+}
+
+TEST(FuzzCodecs, ChurnPlanStructuredMutationsHandledGracefully) {
+    // Same structured-mutation sweep as the wire bodies: flips, chunk
+    // deletions, duplications and cross-encoding splices of a valid plan
+    // encoding. The decoder may accept or reject; an accepted mutant must
+    // re-serialize canonically (encode(decode(x)) is a fixed point).
+    const util::Bytes wire = rich_plan().serialize();
+    protocol::ChurnPlan donor_plan;
+    donor_plan.events = {{"P9", 3.0, protocol::ChurnEventKind::kCrash}};
+    const util::Bytes donor = donor_plan.serialize();
+
+    util::Xoshiro256 rng{654};
+    for (int trial = 0; trial < 2000; ++trial) {
+        util::Bytes mutated = wire;
+        switch (rng.uniform_int(0, 3)) {
+            case 0: {  // flip
+                const std::size_t pos =
+                    static_cast<std::size_t>(rng.uniform_int(0, mutated.size() - 1));
+                mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.uniform_int(0, 254));
+                break;
+            }
+            case 1: {  // delete a chunk
+                const std::size_t start =
+                    static_cast<std::size_t>(rng.uniform_int(0, mutated.size() - 1));
+                const std::size_t len = static_cast<std::size_t>(
+                    rng.uniform_int(1, mutated.size() - start));
+                mutated.erase(mutated.begin() + static_cast<std::ptrdiff_t>(start),
+                              mutated.begin() + static_cast<std::ptrdiff_t>(start + len));
+                break;
+            }
+            case 2: {  // duplicate a chunk
+                const std::size_t start =
+                    static_cast<std::size_t>(rng.uniform_int(0, mutated.size() - 1));
+                const std::size_t len = static_cast<std::size_t>(
+                    rng.uniform_int(1, std::min<std::size_t>(16, mutated.size() - start)));
+                util::Bytes chunk(mutated.begin() + static_cast<std::ptrdiff_t>(start),
+                                  mutated.begin() +
+                                      static_cast<std::ptrdiff_t>(start + len));
+                mutated.insert(mutated.begin() + static_cast<std::ptrdiff_t>(start),
+                               chunk.begin(), chunk.end());
+                break;
+            }
+            default: {  // splice the tail of a second valid encoding
+                const std::size_t cut = static_cast<std::size_t>(
+                    rng.uniform_int(0, std::min(mutated.size(), donor.size()) - 1));
+                mutated.resize(cut);
+                mutated.insert(mutated.end(),
+                               donor.begin() + static_cast<std::ptrdiff_t>(
+                                                   std::min(cut, donor.size())),
+                               donor.end());
+                break;
+            }
+        }
+        const auto parsed = protocol::ChurnPlan::deserialize(mutated);
+        if (parsed.has_value()) {
+            const util::Bytes first = parsed->serialize();
+            const auto reparsed = protocol::ChurnPlan::deserialize(first);
+            ASSERT_TRUE(reparsed.has_value());
+            EXPECT_EQ(reparsed->serialize(), first);
+        }
+    }
+}
+
+TEST(FuzzCodecs, ChurnPlanSpecRoundTripsAndSurvivesGarbage) {
+    const protocol::ChurnPlan plan = rich_plan();
+    const auto parsed = protocol::ChurnPlan::parse(plan.spec());
+    ASSERT_TRUE(parsed.has_value()) << plan.spec();
+    EXPECT_EQ(parsed->serialize(), plan.serialize());
+
+    // Corrupted spec text must never crash the parser; accepted text must
+    // round-trip through spec() again.
+    const std::string spec = plan.spec();
+    util::Xoshiro256 rng{777};
+    for (int trial = 0; trial < 2000; ++trial) {
+        std::string mutated = spec;
+        const int op = static_cast<int>(rng.uniform_int(0, 2));
+        const std::size_t pos =
+            static_cast<std::size_t>(rng.uniform_int(0, mutated.size() - 1));
+        if (op == 0) {
+            mutated[pos] = static_cast<char>(rng.uniform_int(32, 126));
+        } else if (op == 1) {
+            mutated.erase(pos, 1 + static_cast<std::size_t>(rng.uniform_int(0, 5)));
+        } else {
+            mutated.insert(pos, std::string(1, static_cast<char>(rng.uniform_int(32, 126))));
+        }
+        const auto reparsed = protocol::ChurnPlan::parse(mutated);
+        if (reparsed.has_value()) {
+            const auto again = protocol::ChurnPlan::parse(reparsed->spec());
+            ASSERT_TRUE(again.has_value());
+            EXPECT_EQ(again->serialize(), reparsed->serialize());
+        }
+    }
+    // Pure garbage.
+    for (int trial = 0; trial < 500; ++trial) {
+        std::string junk(static_cast<std::size_t>(rng.uniform_int(0, 64)), '\0');
+        for (auto& c : junk) c = static_cast<char>(rng.uniform_int(0, 255));
+        (void)protocol::ChurnPlan::parse(junk);
+    }
+}
+
+TEST(FuzzCodecs, PartialMeterSettlementNeverCrashes) {
+    // Mid-run churn hands the settlement partial information: meters missing
+    // for dead processors, counts missing for excluded ones, arbitrary
+    // subsets thereof. The canonical settlement must stay total: full-size
+    // vector, zeros for the excluded, no throw for any subset combination.
+    util::Xoshiro256 rng{888};
+    const std::vector<std::string> names = {"P1", "P2", "P3", "P4"};
+    for (int trial = 0; trial < 2000; ++trial) {
+        protocol::ChurnSettlementInputs inputs;
+        inputs.kind = trial % 2 == 0 ? dlt::NetworkKind::kNcpFE
+                                     : dlt::NetworkKind::kNcpNFE;
+        inputs.z = rng.uniform(0.05, 0.5);
+        inputs.block_count = 120;
+        inputs.names = names;
+        for (const auto& name : names) {
+            if (rng.uniform() < 0.25) inputs.excluded.insert(name);
+        }
+        for (const auto& name : names) {
+            if (inputs.excluded.contains(name)) continue;
+            if (rng.uniform() < 0.9) inputs.bids[name] = rng.uniform(0.5, 3.0);
+            if (rng.uniform() < 0.8) {
+                inputs.final_counts[name] =
+                    static_cast<std::size_t>(rng.uniform_int(0, 120));
+            }
+            if (rng.uniform() < 0.7) inputs.phis[name] = rng.uniform(0.0, 2.0);
+        }
+        const auto payments = protocol::churn_settlement_payments(inputs);
+        ASSERT_EQ(payments.size(), names.size());
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            if (inputs.excluded.contains(names[i])) {
+                EXPECT_EQ(payments[i], 0.0) << names[i];
+            }
+            EXPECT_TRUE(std::isfinite(payments[i])) << names[i];
+        }
+    }
+}
+
+TEST(FuzzCodecs, UnknownFrameFloodIsDroppedAndCounted) {
+    // A junk-spamming processor broadcasts frames with a wire type outside
+    // the MsgType enum. Every receiving endpoint (each peer and the referee)
+    // must drop every frame through the one shared dispatcher policy and
+    // count it — and the run's economics must be untouched.
+    protocol::ProtocolConfig config;
+    config.kind = dlt::NetworkKind::kNcpFE;
+    config.z = 0.25;
+    config.true_w = {1.0, 2.0, 1.5, 0.8};
+    config.block_count = 240;
+    config.seed = 42;
+    config.signature_algorithm = crypto::SignatureAlgorithm::kFast;
+    config.strategies.assign(config.true_w.size(), agents::truthful());
+    constexpr std::size_t kFrames = 3;
+    config.strategies[1] = agents::junk_spammer(kFrames);
+
+    std::map<std::string, std::uint64_t> dropped;
+    const auto outcome = protocol::run_protocol(
+        config, [&](const protocol::RunInternals& internals) {
+            auto& registry = internals.context.metrics_registry();
+            for (const char* endpoint : {"P1", "P3", "P4", "referee"}) {
+                dropped[endpoint] =
+                    registry
+                        .counter(protocol::kUnknownMessagesMetric,
+                                 {{"endpoint", endpoint}, {"type", "9999"}})
+                        .value();
+            }
+        });
+
+    // Junk is noise, not an offense: the run settles exactly like an honest
+    // one and nobody is fined.
+    EXPECT_FALSE(outcome.terminated_early);
+    EXPECT_EQ(outcome.fined_count(), 0u);
+    // Every endpoint except the sender saw and dropped every frame.
+    for (const auto& [endpoint, count] : dropped) {
+        EXPECT_EQ(count, kFrames) << endpoint;
     }
 }
 

@@ -1,0 +1,321 @@
+// Churn / fault-injection scenarios (DESIGN.md "Churn model").
+//
+// Each scenario drives a fixed-seed run through a ChurnPlan and checks two
+// things: (1) the protocol-level response — bid-deadline exclusion, the
+// processing watchdog, NCP-NFE reallocation of a dead processor's remaining
+// blocks, pro-rata settlement, or termination when the load origin dies —
+// and (2) byte-identity between the sim adapter and the BusDriver for the
+// full artifact set (outcome, ledger, JSONL, trace, catapult, metrics).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "agents/zoo.hpp"
+#include "obs/catapult.hpp"
+#include "obs/event.hpp"
+#include "protocol/detail/run_internals.hpp"
+#include "protocol/runner.hpp"
+
+namespace dlsbl::protocol {
+namespace {
+
+ProtocolConfig base_config(dlt::NetworkKind kind = dlt::NetworkKind::kNcpFE) {
+    ProtocolConfig config;
+    config.kind = kind;
+    config.z = 0.25;
+    config.true_w = {1.0, 2.0, 1.5, 0.8};
+    config.block_count = 240;
+    config.seed = 42;
+    config.signature_algorithm = crypto::SignatureAlgorithm::kFast;
+    config.strategies.assign(config.true_w.size(), agents::truthful());
+    return config;
+}
+
+// Outcome rendering including the churn fields, so a sim/bus divergence in
+// any ruling shows up as a byte difference here, not just in the trace.
+std::string render_outcome(const ProtocolOutcome& outcome) {
+    std::ostringstream out;
+    out.precision(17);
+    out << "terminated=" << outcome.terminated_early
+        << " reason=" << outcome.termination_reason
+        << " ended_in=" << to_string(outcome.ended_in)
+        << " fine=" << outcome.fine_amount << " makespan=" << outcome.makespan
+        << " user_paid=" << outcome.user_paid
+        << " msgs=" << outcome.control_messages
+        << " bytes=" << outcome.control_bytes
+        << " dead=" << outcome.churn_dead
+        << " realloc=" << outcome.churn_realloc_blocks << "\n";
+    out << "excluded=";
+    for (const auto& name : outcome.churn_excluded) out << name << ",";
+    out << "\n";
+    for (const auto& p : outcome.processors) {
+        out << p.name << " bid=" << p.bid << " alpha=" << p.alpha
+            << " assigned=" << p.blocks_assigned
+            << " received=" << p.blocks_received << " extra=" << p.blocks_extra
+            << " excluded=" << p.excluded << " phi=" << p.phi
+            << " commenced=" << p.commenced_work << " payment=" << p.payment
+            << " fines=" << p.fines << " rewards=" << p.rewards
+            << " fined=" << p.fined << " cost=" << p.work_cost << "\n";
+    }
+    return out.str();
+}
+
+std::string render_ledger(const Ledger& ledger) {
+    std::ostringstream out;
+    out.precision(17);
+    for (const auto& entry : ledger.history()) {
+        out << entry.from << " -> " << entry.to << " " << entry.amount << " ("
+            << entry.memo << ")\n";
+    }
+    return out.str();
+}
+
+struct RunCapture {
+    ProtocolOutcome result;
+    std::string outcome;
+    std::string ledger;
+    std::string jsonl;
+    std::string trace;
+    std::string catapult;
+    std::string run_metrics;
+};
+
+RunCapture capture(const ProtocolConfig& config, DriverKind kind) {
+    auto& log = obs::EventLog::instance();
+    log.reset();
+    std::ostringstream jsonl;
+    log.add_sink(std::make_shared<obs::JsonlSink>(jsonl));
+    log.set_level(util::LogLevel::Debug);
+
+    RunCapture capture;
+    capture.result =
+        run_protocol(RunRequest{config, kind}, [&](const RunInternals& internals) {
+            capture.ledger = render_ledger(internals.context.ledger());
+            capture.trace = internals.trace().render();
+            capture.catapult = obs::catapult_from_trace(internals.trace());
+            capture.run_metrics = internals.context.metrics_registry().prometheus_text();
+        });
+    log.flush();
+    log.reset();
+    capture.outcome = render_outcome(capture.result);
+    capture.jsonl = jsonl.str();
+    return capture;
+}
+
+// Runs the config under both drivers, asserts artifact byte-identity, and
+// returns the sim capture for scenario-level assertions.
+RunCapture expect_equivalent(const ProtocolConfig& config, const std::string& label) {
+    RunCapture sim = capture(config, DriverKind::kSim);
+    const RunCapture bus = capture(config, DriverKind::kBus);
+    EXPECT_FALSE(sim.outcome.empty()) << label;
+    EXPECT_FALSE(sim.trace.empty()) << label;
+    EXPECT_FALSE(sim.jsonl.empty()) << label;
+    EXPECT_EQ(sim.outcome, bus.outcome) << label;
+    EXPECT_EQ(sim.ledger, bus.ledger) << label;
+    EXPECT_EQ(sim.jsonl, bus.jsonl) << label;
+    EXPECT_EQ(sim.trace, bus.trace) << label;
+    EXPECT_EQ(sim.catapult, bus.catapult) << label;
+    EXPECT_EQ(sim.run_metrics, bus.run_metrics) << label;
+    return sim;
+}
+
+// ---- crash before bidding: bid-deadline exclusion ---------------------------
+
+TEST(ChurnScenarios, CrashBeforeBidExcludesAndRunSettles) {
+    auto config = base_config();
+    config.churn_plan.events = {{"P3", 0.0, ChurnEventKind::kCrash}};
+    const auto run = expect_equivalent(config, "crash-before-bid");
+    const auto& outcome = run.result;
+
+    ASSERT_EQ(outcome.churn_excluded, std::vector<std::string>{"P3"});
+    EXPECT_TRUE(outcome.processor("P3").excluded);
+    EXPECT_FALSE(outcome.terminated_early);
+    EXPECT_EQ(outcome.ended_in, Phase::kDone);
+    // Exclusion is not an offense: no fines anywhere, and the excluded
+    // processor simply earns nothing.
+    EXPECT_EQ(outcome.fined_count(), 0u);
+    EXPECT_EQ(outcome.processor("P3").payment, 0.0);
+    EXPECT_EQ(outcome.processor("P3").blocks_assigned, 0u);
+    // The survivors split the whole load and all get paid.
+    std::size_t assigned = 0;
+    for (const auto& p : outcome.processors) assigned += p.blocks_assigned;
+    EXPECT_EQ(assigned, config.block_count);
+    for (const auto& p : outcome.processors) {
+        if (p.name == "P3") continue;
+        EXPECT_GT(p.payment, 0.0) << p.name;
+    }
+    EXPECT_GT(outcome.user_paid, 0.0);
+    EXPECT_NE(run.run_metrics.find("dlsbl_churn_exclusions_total"), std::string::npos);
+}
+
+// ---- crash mid-transfer: the load never arrives; watchdog reallocates -------
+
+TEST(ChurnScenarios, CrashMidTransferTriggersWatchdogReallocation) {
+    auto config = base_config();
+    // P2 bids at t=0 (healthy), then dies before the LO's shipment reaches
+    // it. The referee's processing watchdog notices the unstarted assignee
+    // and reallocates every one of its blocks.
+    config.churn_plan.events = {{"P2", 0.02, ChurnEventKind::kCrash}};
+    config.churn_plan.policy.processing_grace = 0.8;
+    const auto run = expect_equivalent(config, "crash-mid-transfer");
+    const auto& outcome = run.result;
+
+    EXPECT_FALSE(outcome.terminated_early);
+    EXPECT_TRUE(outcome.churn_excluded.empty());
+    EXPECT_EQ(outcome.churn_dead, "P2");
+    const auto& dead = outcome.processor("P2");
+    EXPECT_FALSE(dead.commenced_work);
+    EXPECT_EQ(outcome.churn_realloc_blocks, dead.blocks_assigned);
+    EXPECT_GT(outcome.churn_realloc_blocks, 0u);
+    // Everything granted away was really executed by a survivor.
+    std::size_t extras = 0;
+    for (const auto& p : outcome.processors) extras += p.blocks_extra;
+    EXPECT_EQ(extras, outcome.churn_realloc_blocks);
+    // The dead processor proved no work, so it is paid nothing — but it is
+    // not fined either (death is not an offense).
+    EXPECT_EQ(dead.payment, 0.0);
+    EXPECT_EQ(outcome.fined_count(), 0u);
+    EXPECT_NE(run.run_metrics.find("dlsbl_churn_reallocations_total"), std::string::npos);
+}
+
+// ---- crash mid-compute: meter lost; remaining blocks reallocated ------------
+
+TEST(ChurnScenarios, CrashMidComputeReallocatesRemainingBlocks) {
+    auto config = base_config();
+    config.churn_plan.events = {{"P4", 0.35, ChurnEventKind::kCrash}};
+    const auto run = expect_equivalent(config, "crash-mid-compute");
+    const auto& outcome = run.result;
+
+    EXPECT_FALSE(outcome.terminated_early);
+    EXPECT_EQ(outcome.churn_dead, "P4");
+    const auto& dead = outcome.processor("P4");
+    // It had commenced, so only the *remaining* blocks move.
+    EXPECT_TRUE(dead.commenced_work);
+    EXPECT_GT(outcome.churn_realloc_blocks, 0u);
+    EXPECT_LT(outcome.churn_realloc_blocks, dead.blocks_assigned);
+    std::size_t extras = 0;
+    for (const auto& p : outcome.processors) extras += p.blocks_extra;
+    EXPECT_EQ(extras, outcome.churn_realloc_blocks);
+    // Pro-rata settlement: the dead processor keeps pay for the meter-proved
+    // prefix, strictly less than its full-assignment pay would have been.
+    EXPECT_GT(dead.payment, 0.0);
+    const auto honest = capture(base_config(), DriverKind::kSim).result;
+    EXPECT_LT(dead.payment, honest.processor("P4").payment);
+    EXPECT_EQ(outcome.fined_count(), 0u);
+}
+
+// ---- crash after compute: payment never submitted; deadline settlement ------
+
+TEST(ChurnScenarios, SilentAfterComputeStillSettlesAtDeadline) {
+    auto config = base_config();
+    // P3 computes its full share, then a loss window swallows the meter
+    // broadcast and its retransmit. The referee settles canonically at the
+    // payment deadline; full work means full pay, and silence is no offense.
+    config.churn_plan.losses = {{"P3", 0.4, 5.0}};
+    const auto run = expect_equivalent(config, "silent-after-compute");
+    const auto& outcome = run.result;
+
+    EXPECT_FALSE(outcome.terminated_early);
+    EXPECT_TRUE(outcome.churn_excluded.empty());
+    EXPECT_TRUE(outcome.churn_dead.empty());
+    EXPECT_TRUE(outcome.processor("P3").commenced_work);
+    EXPECT_GT(outcome.processor("P3").payment, 0.0);
+    EXPECT_EQ(outcome.fined_count(), 0u);
+    EXPECT_GT(outcome.user_paid, 0.0);
+    // Identical bids and block division -> identical settled payments to the
+    // static run, just reached via the deadline path.
+    const auto honest = capture(base_config(), DriverKind::kSim).result;
+    for (const auto& p : outcome.processors) {
+        EXPECT_DOUBLE_EQ(p.payment, honest.processor(p.name).payment) << p.name;
+    }
+}
+
+// ---- stale rejoin: replayed signed bid is benign ----------------------------
+
+TEST(ChurnScenarios, StaleRejoinReplayIsBenign) {
+    auto config = base_config();
+    config.churn_plan.events = {{"P3", 0.0, ChurnEventKind::kCrash},
+                                {"P3", 0.9, ChurnEventKind::kRestartStale}};
+    const auto run = expect_equivalent(config, "stale-rejoin");
+    const auto& outcome = run.result;
+
+    // The rejoin replays the *identical* signed bid bytes: peers dedup it,
+    // the referee's first-bid-wins recorder ignores it, and crucially nobody
+    // mistakes the replay for offense (i) double-bidding.
+    EXPECT_FALSE(outcome.terminated_early);
+    ASSERT_EQ(outcome.churn_excluded, std::vector<std::string>{"P3"});
+    EXPECT_EQ(outcome.fined_count(), 0u);
+    EXPECT_EQ(outcome.processor("P3").payment, 0.0);
+    EXPECT_GT(outcome.user_paid, 0.0);
+}
+
+// ---- load origin dies: no reallocation possible; clean termination ----------
+
+TEST(ChurnScenarios, LoadOriginCrashTerminatesWithoutFines) {
+    auto config = base_config();  // NCP-FE: P1 is the load origin
+    config.churn_plan.events = {{"P1", 0.01, ChurnEventKind::kCrash}};
+    config.churn_plan.policy.processing_grace = 0.8;
+    const auto run = expect_equivalent(config, "lo-crash");
+    const auto& outcome = run.result;
+
+    EXPECT_TRUE(outcome.terminated_early);
+    EXPECT_NE(outcome.termination_reason.find("churn"), std::string::npos)
+        << outcome.termination_reason;
+    // Death is not an offense: termination carries no fines and no payouts.
+    EXPECT_EQ(outcome.fined_count(), 0u);
+    EXPECT_EQ(outcome.user_paid, 0.0);
+    EXPECT_NE(run.run_metrics.find("dlsbl_churn_terminations_total"), std::string::npos);
+}
+
+// ---- delay window: late delivery, same economics ----------------------------
+
+TEST(ChurnScenarios, DelayWindowOnlyShiftsTimingNotMoney) {
+    auto config = base_config();
+    config.churn_plan.delays = {{"P2", 0.0, 0.1, 0.03}};
+    const auto run = expect_equivalent(config, "delay-window");
+    const auto& outcome = run.result;
+
+    EXPECT_FALSE(outcome.terminated_early);
+    EXPECT_TRUE(outcome.churn_excluded.empty());
+    EXPECT_TRUE(outcome.churn_dead.empty());
+    EXPECT_EQ(outcome.fined_count(), 0u);
+    const auto honest = capture(base_config(), DriverKind::kSim).result;
+    for (const auto& p : outcome.processors) {
+        EXPECT_DOUBLE_EQ(p.payment, honest.processor(p.name).payment) << p.name;
+        EXPECT_EQ(p.blocks_assigned, honest.processor(p.name).blocks_assigned) << p.name;
+    }
+    EXPECT_NE(run.run_metrics.find("dlsbl_churn_messages_total"), std::string::npos);
+}
+
+// ---- churn + deviant: offenses still caught under failures ------------------
+
+TEST(ChurnScenarios, PaymentCheaterStillFinedUnderChurn) {
+    auto config = base_config();
+    config.churn_plan.events = {{"P3", 0.0, ChurnEventKind::kCrash}};
+    config.strategies[1] = agents::payment_cheater();
+    const auto run = expect_equivalent(config, "churn+payment-cheater");
+    const auto& outcome = run.result;
+
+    EXPECT_TRUE(outcome.processor("P2").fined);
+    EXPECT_EQ(outcome.fined_count(), 1u);
+    EXPECT_FALSE(outcome.terminated_early);
+}
+
+// ---- NCP-NFE flavor: exclusion works when the LO is last --------------------
+
+TEST(ChurnScenarios, NfeCrashBeforeBidExcludes) {
+    auto config = base_config(dlt::NetworkKind::kNcpNFE);
+    config.churn_plan.events = {{"P2", 0.0, ChurnEventKind::kCrash}};
+    const auto run = expect_equivalent(config, "nfe-crash-before-bid");
+    const auto& outcome = run.result;
+
+    ASSERT_EQ(outcome.churn_excluded, std::vector<std::string>{"P2"});
+    EXPECT_FALSE(outcome.terminated_early);
+    EXPECT_EQ(outcome.fined_count(), 0u);
+    EXPECT_GT(outcome.user_paid, 0.0);
+}
+
+}  // namespace
+}  // namespace dlsbl::protocol

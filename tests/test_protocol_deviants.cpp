@@ -1,9 +1,13 @@
 // Deviation handling: every offense of §4 must be detected, fined, and
 // strictly unprofitable (Lemmas 5.1/5.2, Theorem 5.1, Corollary 5.1).
 #include "agents/zoo.hpp"
+#include "protocol/detail/run_internals.hpp"
+#include "protocol/dispatch.hpp"
 #include "protocol/runner.hpp"
 
 #include <gtest/gtest.h>
+
+#include <string>
 
 namespace dlsbl::protocol {
 namespace {
@@ -309,6 +313,44 @@ TEST(Deviants, FineExceedsCompensationSum) {
     double compensation_sum = 0.0;
     for (const auto& p : outcome.processors) compensation_sum += p.alpha * p.exec_rate;
     EXPECT_GE(outcome.fine_amount, compensation_sum);
+}
+
+// ---- dispatcher hygiene --------------------------------------------------------
+
+TEST(Deviants, DeviantRunsNeverHitTheUnknownMessagePath) {
+    // Every offense in the zoo abuses *known* message kinds; none may leak a
+    // frame onto the dispatcher's unknown-type drop path. The drop counter
+    // staying unregistered after every deviant run is what guarantees the
+    // shared drop policy cannot perturb deviant-run artifacts — only truly
+    // out-of-enum wire types (e.g. the junk spammer) ever reach it.
+    auto expect_no_drops = [](ProtocolConfig config, const std::string& label) {
+        std::string metrics;
+        run_protocol(config, [&](const RunInternals& internals) {
+            metrics = internals.context.metrics_registry().prometheus_text();
+        });
+        EXPECT_EQ(metrics.find(kUnknownMessagesMetric), std::string::npos) << label;
+    };
+    expect_no_drops(base_config(), "honest");
+    const auto workers = agents::worker_deviants();
+    for (const auto& deviant : workers) {
+        auto config = base_config();
+        config.strategies[2] = deviant;
+        expect_no_drops(config, "worker:" + deviant.name);
+    }
+    for (const auto& deviant : agents::lo_deviants()) {
+        auto config = base_config();
+        config.strategies[0] = deviant;
+        expect_no_drops(config, "lo:" + deviant.name);
+    }
+    // The junk spammer is the counterpoint: its frames DO land on the drop
+    // path and must be counted there.
+    auto config = base_config();
+    config.strategies[1] = agents::junk_spammer(2);
+    std::string metrics;
+    run_protocol(config, [&](const RunInternals& internals) {
+        metrics = internals.context.metrics_registry().prometheus_text();
+    });
+    EXPECT_NE(metrics.find(kUnknownMessagesMetric), std::string::npos);
 }
 
 }  // namespace

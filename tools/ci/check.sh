@@ -50,6 +50,17 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 step "ctest"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+step "churn + property suites"
+# The full ctest above already ran these (they are ordinary registered
+# tests); re-running them as named stages keeps the fault-injection and
+# truthfulness-under-churn verdicts legible in CI logs. The property label
+# selects every randomized sweep; the churn scenario suite pins sim/bus
+# byte-identity for each fault plan, including under the asan./tsan.
+# sanitized variants built above.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
+    -R '(ChurnScenarios|asan\..*ChurnScenarios|tsan\..*ChurnScenarios)'
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -L property
+
 step "bench-regress (perf gate)"
 # The full ctest above already ran the bench-smoke suites (writing fresh
 # BENCH_*.json into the build dir) and the bench_regress gate; re-running
