@@ -8,12 +8,17 @@
 // keygen speedups (bench/bench_json.hpp schema).
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "bench/bench_gbench.hpp"
 #include "bench/bench_json.hpp"
+#include "crypto/batch_verify.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/lamport.hpp"
 #include "crypto/mss.hpp"
@@ -198,6 +203,68 @@ void BM_MssSignVerify(benchmark::State& state) {
 }
 BENCHMARK(BM_MssSignVerify);
 
+// Amortized batch verification: 64 distinct signatures verified in slices
+// of `batch` (batch 0 = the pre-batching eager path, per-item
+// MssSignature::deserialize + MssKeyPair::verify — what the referee ran
+// per envelope before deferred verification). The eager → /32 ratio is the
+// headline batch_verify speedup.
+struct VerifyPool {
+    std::vector<crypto::Digest> roots;
+    std::vector<util::Bytes> messages;
+    std::vector<util::Bytes> signatures;
+    std::vector<crypto::MssVerifyItem> items;
+
+    explicit VerifyPool(crypto::OtsScheme scheme, std::size_t total) {
+        std::vector<crypto::MssKeyPair> keys;
+        keys.reserve(4);
+        for (std::size_t k = 0; k < 4; ++k) {
+            keys.emplace_back(crypto::Sha256::hash("verify-many-" + std::to_string(k)),
+                              /*height=*/4, scheme);
+        }
+        for (const auto& key : keys) roots.push_back(key.public_key());
+        for (std::size_t i = 0; i < total; ++i) {
+            messages.push_back(util::to_bytes("envelope-" + std::to_string(i)));
+            signatures.push_back(keys[i % keys.size()].sign(messages.back()).serialize());
+        }
+        items.resize(total);
+        for (std::size_t i = 0; i < total; ++i) {
+            items[i] = {&roots[i % roots.size()], messages[i], signatures[i]};
+        }
+    }
+};
+
+void BM_MssVerifyMany(benchmark::State& state, crypto::OtsScheme scheme) {
+    const auto batch = static_cast<std::size_t>(state.range(0));
+    constexpr std::size_t kTotal = 64;
+    const VerifyPool pool(scheme, kTotal);
+    std::vector<std::uint8_t> verdicts(kTotal);
+    static_assert(sizeof(bool) == 1);
+    for (auto _ : state) {
+        if (batch == 0) {
+            for (std::size_t i = 0; i < kTotal; ++i) {
+                const auto parsed = crypto::MssSignature::deserialize(pool.signatures[i]);
+                verdicts[i] = parsed.has_value() &&
+                              crypto::MssKeyPair::verify(pool.roots[i % pool.roots.size()],
+                                                         pool.messages[i], *parsed);
+            }
+        } else {
+            for (std::size_t offset = 0; offset < kTotal; offset += batch) {
+                crypto::mss_verify_many(
+                    std::span<const crypto::MssVerifyItem>(pool.items)
+                        .subspan(offset, batch),
+                    reinterpret_cast<bool*>(verdicts.data() + offset));
+            }
+        }
+        benchmark::DoNotOptimize(verdicts.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(kTotal));
+}
+BENCHMARK_CAPTURE(BM_MssVerifyMany, wots, crypto::OtsScheme::kWots)
+    ->Arg(0)->Arg(1)->Arg(8)->Arg(32)->Arg(64);
+BENCHMARK_CAPTURE(BM_MssVerifyMany, lamport, crypto::OtsScheme::kLamport)
+    ->Arg(0)->Arg(32);
+
 void BM_MerkleTreeBuild(benchmark::State& state) {
     std::vector<crypto::Digest> leaves;
     for (int i = 0; i < state.range(0); ++i) {
@@ -277,6 +344,12 @@ int main(int argc, char** argv) {
         bench::speedup(reporter, "BM_MssKeygen/scalar_j1/4", "BM_MssKeygen/auto_j4/4");
     derived["pki_verify_cache_speedup"] =
         bench::speedup(reporter, "BM_PkiVerifyCached/off", "BM_PkiVerifyCached/on");
+    derived["batch_verify_speedup_32"] = bench::speedup(
+        reporter, "BM_MssVerifyMany/wots/0", "BM_MssVerifyMany/wots/32");
+    derived["batch_verify_speedup_64"] = bench::speedup(
+        reporter, "BM_MssVerifyMany/wots/0", "BM_MssVerifyMany/wots/64");
+    derived["batch_verify_speedup_lamport_32"] = bench::speedup(
+        reporter, "BM_MssVerifyMany/lamport/0", "BM_MssVerifyMany/lamport/32");
 
     return bench::write_bench_json(*json_out, manifest, reporter.results(), derived)
                ? 0

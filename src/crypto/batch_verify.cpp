@@ -1,0 +1,439 @@
+#include "crypto/batch_verify.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "crypto/mss.hpp"
+#include "crypto/sha256_compress.hpp"
+#include "crypto/sha256_soa.hpp"
+#include "crypto/wots.hpp"
+#include "obs/profiler.hpp"
+
+namespace dlsbl::crypto {
+
+namespace {
+
+using detail::kSoaLanes;
+using detail::kSoaWords;
+
+inline std::uint32_t load_be32(const std::uint8_t* p) noexcept {
+    return (static_cast<std::uint32_t>(p[0]) << 24) |
+           (static_cast<std::uint32_t>(p[1]) << 16) |
+           (static_cast<std::uint32_t>(p[2]) << 8) | static_cast<std::uint32_t>(p[3]);
+}
+
+inline void store_be32(std::uint8_t* p, std::uint32_t v) noexcept {
+    p[0] = static_cast<std::uint8_t>(v >> 24);
+    p[1] = static_cast<std::uint8_t>(v >> 16);
+    p[2] = static_cast<std::uint8_t>(v >> 8);
+    p[3] = static_cast<std::uint8_t>(v);
+}
+
+// ---------------------------------------------------------------------------
+// Chain scheduler: advance many independent hash chains d <- H(d) with
+// per-chain step counts at full 16-lane density.
+
+struct ChainJob {
+    const std::uint8_t* src = nullptr;  // 32-byte start value
+    std::uint8_t* dst = nullptr;        // 32-byte destination
+    std::uint8_t steps = 0;
+};
+
+inline void soa_load_lane(std::uint32_t* soa, std::size_t lane,
+                          const std::uint8_t* digest) noexcept {
+    for (std::size_t w = 0; w < 8; ++w) {
+        soa[kSoaLanes * w + lane] = load_be32(digest + 4 * w);
+    }
+}
+
+inline void soa_store_lane(const std::uint32_t* soa, std::size_t lane,
+                           std::uint8_t* digest) noexcept {
+    for (std::size_t w = 0; w < 8; ++w) {
+        store_be32(digest + 4 * w, soa[kSoaLanes * w + lane]);
+    }
+}
+
+// Two phases keep lane density near 100% regardless of the step
+// distribution:
+//   A) jobs bucketed by step count; each full group of 16 same-step jobs
+//      advances in lockstep with no masking and no idle lanes;
+//   B) the <16 leftovers of each bucket merge into one descending-sorted
+//      pool drained by lane refill: all lanes advance by the minimum
+//      remaining count, finished lanes store out and reload the next job.
+void run_chain_jobs(std::span<const ChainJob> jobs) {
+    const detail::Sha256SoaEngine& eng = detail::sha256_soa_engine();
+
+    // Counting sort into per-step buckets (descending). Zero-step jobs are
+    // verbatim copies.
+    std::array<std::vector<const ChainJob*>, WotsKeyPair::kChainLength + 1> buckets;
+    for (const ChainJob& job : jobs) {
+        if (job.steps == 0) {
+            if (job.dst != job.src) std::memcpy(job.dst, job.src, 32);
+            continue;
+        }
+        buckets[job.steps].push_back(&job);
+    }
+
+    alignas(64) std::uint32_t soa[kSoaWords] = {};
+    std::vector<const ChainJob*> leftover;
+
+    for (std::size_t s = WotsKeyPair::kChainLength; s >= 1; --s) {
+        const auto& bucket = buckets[s];
+        std::size_t pos = 0;
+        for (; pos + kSoaLanes <= bucket.size(); pos += kSoaLanes) {
+            for (std::size_t l = 0; l < kSoaLanes; ++l) {
+                soa_load_lane(soa, l, bucket[pos + l]->src);
+            }
+            eng.chain16(soa, s);
+            for (std::size_t l = 0; l < kSoaLanes; ++l) {
+                soa_store_lane(soa, l, bucket[pos + l]->dst);
+            }
+        }
+        for (; pos < bucket.size(); ++pos) leftover.push_back(bucket[pos]);
+    }
+    if (leftover.empty()) return;
+
+    // Lane-refill drain. Inactive lanes keep hashing whatever digest they
+    // last held; their output is never read.
+    std::array<unsigned, kSoaLanes> rem{};
+    std::array<std::uint8_t*, kSoaLanes> dst{};
+    std::array<bool, kSoaLanes> alive{};
+    std::size_t next = 0;
+    unsigned active = 0;
+    for (std::size_t l = 0; l < kSoaLanes && next < leftover.size(); ++l, ++next) {
+        soa_load_lane(soa, l, leftover[next]->src);
+        rem[l] = leftover[next]->steps;
+        dst[l] = leftover[next]->dst;
+        alive[l] = true;
+        ++active;
+    }
+    while (active > 0) {
+        unsigned step = ~0u;
+        for (std::size_t l = 0; l < kSoaLanes; ++l) {
+            if (alive[l]) step = std::min(step, rem[l]);
+        }
+        eng.chain16(soa, step);
+        for (std::size_t l = 0; l < kSoaLanes; ++l) {
+            if (!alive[l]) continue;
+            rem[l] -= step;
+            if (rem[l] != 0) continue;
+            soa_store_lane(soa, l, dst[l]);
+            if (next < leftover.size()) {
+                soa_load_lane(soa, l, leftover[next]->src);
+                rem[l] = leftover[next]->steps;
+                dst[l] = leftover[next]->dst;
+                ++next;
+            } else {
+                alive[l] = false;
+                --active;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy signature views. parse_sig accepts exactly the byte strings
+// MssSignature::deserialize (and the nested MerkleProof::deserialize)
+// accepts; everything else yields ok = false, i.e. verdict false.
+
+struct SigView {
+    bool ok = false;
+    OtsScheme scheme = OtsScheme::kLamport;
+    std::uint64_t leaf_index = 0;
+    const std::uint8_t* otpk = nullptr;       // 32 bytes
+    std::span<const std::uint8_t> ots;
+    std::uint64_t path_leaf_index = 0;
+    const std::uint8_t* siblings = nullptr;   // sibling_count * 32 bytes
+    std::size_t sibling_count = 0;
+};
+
+// Little-endian u64, bounds-checked via the caller's remaining count.
+inline std::uint64_t load_le64(const std::uint8_t* p) noexcept {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+SigView parse_sig(std::span<const std::uint8_t> data) noexcept {
+    SigView view;
+    std::size_t pos = 0;
+    const auto need = [&](std::size_t n) { return data.size() - pos >= n; };
+
+    if (!need(1 + 8 + 32)) return view;
+    const std::uint8_t scheme = data[pos++];
+    if (scheme != static_cast<std::uint8_t>(OtsScheme::kLamport) &&
+        scheme != static_cast<std::uint8_t>(OtsScheme::kWots)) {
+        return view;
+    }
+    view.scheme = static_cast<OtsScheme>(scheme);
+    view.leaf_index = load_le64(data.data() + pos);
+    pos += 8;
+    view.otpk = data.data() + pos;
+    pos += 32;
+
+    if (!need(8)) return view;
+    const std::uint64_t ots_len = load_le64(data.data() + pos);
+    pos += 8;
+    if (!need(ots_len)) return view;
+    view.ots = data.subspan(pos, ots_len);
+    pos += ots_len;
+
+    if (!need(8)) return view;
+    const std::uint64_t path_len = load_le64(data.data() + pos);
+    pos += 8;
+    if (!need(path_len) || data.size() - pos != path_len) return view;
+
+    // Nested MerkleProof: u64 leaf_index, u64 count (<= 64), count * 32
+    // sibling bytes, nothing trailing.
+    if (path_len < 16) return view;
+    view.path_leaf_index = load_le64(data.data() + pos);
+    const std::uint64_t count = load_le64(data.data() + pos + 8);
+    if (count > 64 || path_len - 16 != count * 32) return view;
+    view.siblings = data.data() + pos + 16;
+    view.sibling_count = count;
+    view.ok = true;
+    return view;
+}
+
+// Bit i (0 = MSB of byte 0) of a digest — Lamport's digest_bit.
+inline int digest_bit(const Digest& d, std::size_t i) noexcept {
+    return (d[i / 8] >> (7 - i % 8)) & 1;
+}
+
+}  // namespace
+
+namespace detail {
+
+void sha256_streams(const std::uint8_t* const* data, const std::size_t* len,
+                    std::size_t n, Digest* out) {
+    const Sha256SoaEngine& eng = sha256_soa_engine();
+
+    struct Lane {
+        const std::uint8_t* data;
+        std::size_t full_blocks;   // whole 64-byte blocks of raw data
+        std::size_t total_blocks;  // including the padded tail
+        std::uint8_t tail[128];    // 1 or 2 padded final blocks
+    };
+    std::array<Lane, kSoaLanes> lanes;
+    alignas(64) std::uint32_t soa[kSoaWords];
+
+    for (std::size_t base = 0; base < n; base += kSoaLanes) {
+        const std::size_t group = std::min(kSoaLanes, n - base);
+        std::size_t max_blocks = 0;
+        for (std::size_t l = 0; l < group; ++l) {
+            Lane& lane = lanes[l];
+            const std::size_t length = len[base + l];
+            lane.data = data[base + l];
+            lane.full_blocks = length / 64;
+            lane.total_blocks = (length + 72) / 64;
+            const std::size_t rem = length - 64 * lane.full_blocks;
+            const std::size_t tail_bytes = 64 * (lane.total_blocks - lane.full_blocks);
+            std::memset(lane.tail, 0, sizeof(lane.tail));
+            if (rem != 0) std::memcpy(lane.tail, lane.data + 64 * lane.full_blocks, rem);
+            lane.tail[rem] = 0x80;
+            const std::uint64_t bits = static_cast<std::uint64_t>(length) * 8;
+            for (int i = 0; i < 8; ++i) {
+                lane.tail[tail_bytes - 8 + i] = static_cast<std::uint8_t>(bits >> (56 - 8 * i));
+            }
+            max_blocks = std::max(max_blocks, lane.total_blocks);
+        }
+        for (std::size_t w = 0; w < 8; ++w) {
+            for (std::size_t l = 0; l < kSoaLanes; ++l) {
+                soa[kSoaLanes * w + l] = kSha256Init[w];
+            }
+        }
+        const std::uint8_t* blocks[kSoaLanes];
+        for (std::size_t k = 0; k < max_blocks; ++k) {
+            for (std::size_t l = 0; l < kSoaLanes; ++l) {
+                // Finished lanes (and unused lanes past `group`) keep
+                // compressing their tail; the churned state is never read.
+                const Lane& lane = lanes[l < group ? l : 0];
+                if (k < lane.full_blocks) {
+                    blocks[l] = lane.data + 64 * k;
+                } else if (k < lane.total_blocks) {
+                    blocks[l] = lane.tail + 64 * (k - lane.full_blocks);
+                } else {
+                    blocks[l] = lane.tail;
+                }
+            }
+            eng.compress16(soa, blocks);
+            for (std::size_t l = 0; l < group; ++l) {
+                if (lanes[l].total_blocks == k + 1) {
+                    soa_store_lane(soa, l, out[base + l].data());
+                }
+            }
+        }
+    }
+}
+
+}  // namespace detail
+
+void mss_verify_many(std::span<const MssVerifyItem> items, bool* verdicts) {
+    OBS_SCOPE("mss_verify_batch");
+    const std::size_t n = items.size();
+    constexpr std::size_t kWotsSigBytes = WotsKeyPair::kChains * 32;     // 2144
+    constexpr std::size_t kLamportSigBytes = 2 * 256 * 32;               // 16384
+
+    std::vector<SigView> views(n);
+    std::vector<Digest> mds(n);
+    {
+        // Message digests for every parseable signature, 16 streams at a
+        // time (WOTS needs them for digits, Lamport for bit selection).
+        std::vector<const std::uint8_t*> ptrs;
+        std::vector<std::size_t> lens;
+        std::vector<std::size_t> idx;
+        for (std::size_t i = 0; i < n; ++i) {
+            views[i] = parse_sig(items[i].signature);
+            verdicts[i] = false;
+            if (!views[i].ok) continue;
+            const std::size_t want = views[i].scheme == OtsScheme::kWots
+                                         ? kWotsSigBytes
+                                         : kLamportSigBytes;
+            if (views[i].ots.size() != want) {
+                views[i].ok = false;  // OTS deserialize would fail: verdict false
+                continue;
+            }
+            ptrs.push_back(items[i].message.data());
+            lens.push_back(items[i].message.size());
+            idx.push_back(i);
+        }
+        std::vector<Digest> digests(idx.size());
+        detail::sha256_streams(ptrs.data(), lens.data(), idx.size(), digests.data());
+        for (std::size_t k = 0; k < idx.size(); ++k) mds[idx[k]] = digests[k];
+    }
+
+    // One chain job per WOTS chain end / Lamport revealed value, all
+    // signatures pooled through the same scheduler.
+    std::vector<Digest> chain_out;
+    std::vector<std::size_t> chain_base(n, 0);
+    {
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!views[i].ok) continue;
+            chain_base[i] = total;
+            total += views[i].scheme == OtsScheme::kWots ? WotsKeyPair::kChains : 256;
+        }
+        chain_out.resize(total);
+        std::vector<ChainJob> jobs;
+        jobs.reserve(total);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!views[i].ok) continue;
+            std::uint8_t* dst = chain_out[chain_base[i]].data();
+            const std::uint8_t* src = views[i].ots.data();
+            if (views[i].scheme == OtsScheme::kWots) {
+                const Digest& md = mds[i];
+                unsigned checksum = 0;
+                std::array<unsigned, WotsKeyPair::kChains> digits{};
+                for (std::size_t c = 0; c < WotsKeyPair::kDigits; ++c) {
+                    const std::uint8_t byte = md[c / 2];
+                    const unsigned digit = (c % 2 == 0) ? (byte >> 4) : (byte & 0x0f);
+                    digits[c] = digit;
+                    checksum += WotsKeyPair::kChainLength - digit;
+                }
+                digits[WotsKeyPair::kDigits] = (checksum >> 8) & 0x0f;
+                digits[WotsKeyPair::kDigits + 1] = (checksum >> 4) & 0x0f;
+                digits[WotsKeyPair::kDigits + 2] = checksum & 0x0f;
+                for (std::size_t c = 0; c < WotsKeyPair::kChains; ++c) {
+                    jobs.push_back({src + 32 * c, dst + 32 * c,
+                                    static_cast<std::uint8_t>(WotsKeyPair::kChainLength -
+                                                              digits[c])});
+                }
+            } else {
+                for (std::size_t c = 0; c < 256; ++c) {
+                    jobs.push_back({src + 32 * c, dst + 32 * c, 1});
+                }
+            }
+        }
+        run_chain_jobs(jobs);
+    }
+
+    // One-time public key rebuilds. WOTS streams hash the chain ends in
+    // place; Lamport interleaves revealed-hashes with the carried
+    // counterpart hashes in canonical (H(sk[i][0]), H(sk[i][1])) order.
+    std::vector<bool> ots_ok(n, false);
+    {
+        std::vector<util::Bytes> lamport_streams;
+        std::vector<const std::uint8_t*> ptrs;
+        std::vector<std::size_t> lens;
+        std::vector<std::size_t> idx;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!views[i].ok) continue;
+            if (views[i].scheme == OtsScheme::kWots) {
+                ptrs.push_back(chain_out[chain_base[i]].data());
+                lens.push_back(kWotsSigBytes);
+            } else {
+                util::Bytes stream(kLamportSigBytes);
+                const Digest* revealed_hash = &chain_out[chain_base[i]];
+                const std::uint8_t* counterpart = views[i].ots.data() + 256 * 32;
+                for (std::size_t c = 0; c < 256; ++c) {
+                    const int bit = digest_bit(mds[i], c);
+                    const std::uint8_t* h_revealed = revealed_hash[c].data();
+                    const std::uint8_t* h_counter = counterpart + 32 * c;
+                    std::memcpy(stream.data() + 64 * c, bit == 0 ? h_revealed : h_counter, 32);
+                    std::memcpy(stream.data() + 64 * c + 32, bit == 0 ? h_counter : h_revealed, 32);
+                }
+                lamport_streams.push_back(std::move(stream));
+                ptrs.push_back(lamport_streams.back().data());
+                lens.push_back(kLamportSigBytes);
+            }
+            idx.push_back(i);
+        }
+        std::vector<Digest> pk(idx.size());
+        detail::sha256_streams(ptrs.data(), lens.data(), idx.size(), pk.data());
+        for (std::size_t k = 0; k < idx.size(); ++k) {
+            const std::size_t i = idx[k];
+            ots_ok[i] = std::memcmp(pk[k].data(), views[i].otpk, 32) == 0;
+        }
+    }
+
+    // Merkle authentication paths, recomputed level-by-level across all
+    // still-live signatures through the pair hasher.
+    {
+        std::vector<std::size_t> live;
+        std::vector<Digest> node(n);
+        std::vector<std::uint64_t> walk_index(n, 0);
+        std::size_t max_levels = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!ots_ok[i]) continue;
+            if (views[i].path_leaf_index != views[i].leaf_index) continue;
+            live.push_back(i);
+            std::memcpy(node[i].data(), views[i].otpk, 32);
+            walk_index[i] = views[i].path_leaf_index;
+            max_levels = std::max(max_levels, views[i].sibling_count);
+        }
+        std::vector<Digest> pairs;
+        std::vector<Digest> combined;
+        std::vector<std::size_t> level_items;
+        for (std::size_t lvl = 0; lvl < max_levels; ++lvl) {
+            pairs.clear();
+            level_items.clear();
+            for (const std::size_t i : live) {
+                if (views[i].sibling_count <= lvl) continue;
+                Digest sibling;
+                std::memcpy(sibling.data(), views[i].siblings + 32 * lvl, 32);
+                if (walk_index[i] % 2 == 0) {
+                    pairs.push_back(node[i]);
+                    pairs.push_back(sibling);
+                } else {
+                    pairs.push_back(sibling);
+                    pairs.push_back(node[i]);
+                }
+                level_items.push_back(i);
+            }
+            combined.resize(level_items.size());
+            Sha256::hash_pair_many(pairs, combined);
+            for (std::size_t k = 0; k < level_items.size(); ++k) {
+                const std::size_t i = level_items[k];
+                node[i] = combined[k];
+                walk_index[i] /= 2;
+            }
+        }
+        for (const std::size_t i : live) {
+            verdicts[i] = node[i] == *items[i].public_key;
+        }
+    }
+}
+
+}  // namespace dlsbl::crypto

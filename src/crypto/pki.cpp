@@ -1,19 +1,24 @@
 #include "crypto/pki.hpp"
 
+#include <cstring>
 #include <stdexcept>
+#include <unordered_map>
+#include <vector>
 
+#include "crypto/batch_verify.hpp"
 #include "crypto/hmac.hpp"
 
 namespace dlsbl::crypto {
 
-void Pki::register_identity(const Identity& id, Digest public_key, VerifyFn verifier) {
+void Pki::register_identity(const Identity& id, Digest public_key, VerifyFn verifier,
+                            bool mss_batchable) {
     if (entries_.contains(id)) {
         throw std::invalid_argument("Pki: identity already registered: " + id);
     }
-    entries_.emplace(id, Entry{public_key, std::move(verifier)});
+    entries_.emplace(id, Entry{public_key, std::move(verifier), mss_batchable});
 }
 
-bool Pki::is_registered(const Identity& id) const { return entries_.contains(id); }
+bool Pki::is_registered(std::string_view id) const { return entries_.contains(id); }
 
 const Digest& Pki::public_key_of(const Identity& id) const {
     auto it = entries_.find(id);
@@ -26,7 +31,7 @@ namespace {
 // Cache key: SHA-256 over the length-framed (id, message, signature)
 // triple. Framing prevents ambiguity between (message, signature) splits;
 // the final field needs no length since the digest input simply ends.
-Digest verify_cache_key(const Identity& id, std::span<const std::uint8_t> message,
+Digest verify_cache_key(std::string_view id, std::span<const std::uint8_t> message,
                         std::span<const std::uint8_t> signature) {
     const auto frame = [](Sha256& h, std::uint64_t len) {
         std::uint8_t le[8];
@@ -35,7 +40,7 @@ Digest verify_cache_key(const Identity& id, std::span<const std::uint8_t> messag
     };
     Sha256 h;
     frame(h, id.size());
-    h.update(std::string_view(id));
+    h.update(id);
     frame(h, message.size());
     h.update(message);
     h.update(signature);
@@ -44,7 +49,7 @@ Digest verify_cache_key(const Identity& id, std::span<const std::uint8_t> messag
 
 }  // namespace
 
-bool Pki::verify(const Identity& id, std::span<const std::uint8_t> message,
+bool Pki::verify(std::string_view id, std::span<const std::uint8_t> message,
                  std::span<const std::uint8_t> signature) const {
     auto it = entries_.find(id);
     if (it == entries_.end()) return false;
@@ -66,6 +71,135 @@ bool Pki::verify(const Identity& id, std::span<const std::uint8_t> message,
         cache_->verdicts.emplace(key, verdict);
     }
     return verdict;
+}
+
+void Pki::verify_many(std::span<const VerifyRequest> requests, bool* verdicts) const {
+    const std::size_t n = requests.size();
+    std::vector<const Entry*> entries(n, nullptr);
+    for (std::size_t i = 0; i < n; ++i) {
+        verdicts[i] = false;
+        auto it = entries_.find(*requests[i].signer);
+        if (it != entries_.end()) entries[i] = &it->second;
+    }
+
+    // Computes verdicts for the request indices in `idx` (cache untouched):
+    // MSS-batchable entries pool through the amortized engine, opaque
+    // verifiers run their closure.
+    const auto compute = [&](const std::vector<std::size_t>& idx, bool* out) {
+        std::vector<MssVerifyItem> mss_items;
+        std::vector<std::size_t> mss_slots;
+        for (std::size_t k = 0; k < idx.size(); ++k) {
+            const std::size_t i = idx[k];
+            if (entries[i]->mss_batchable) {
+                mss_items.push_back({&entries[i]->public_key, requests[i].message,
+                                     requests[i].signature});
+                mss_slots.push_back(k);
+            } else {
+                out[k] = entries[i]->verifier(requests[i].message, requests[i].signature);
+            }
+        }
+        std::vector<std::uint8_t> mss_verdicts(mss_items.size());
+        static_assert(sizeof(bool) == 1);
+        mss_verify_many(mss_items, reinterpret_cast<bool*>(mss_verdicts.data()));
+        for (std::size_t k = 0; k < mss_slots.size(); ++k) {
+            out[mss_slots[k]] = mss_verdicts[k] != 0;
+        }
+    };
+
+    if (cache_->capacity == 0) {
+        std::vector<std::size_t> idx;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (entries[i]) idx.push_back(i);
+        }
+        std::vector<std::uint8_t> out(idx.size());
+        compute(idx, reinterpret_cast<bool*>(out.data()));
+        for (std::size_t k = 0; k < idx.size(); ++k) verdicts[idx[k]] = out[k] != 0;
+        return;
+    }
+
+    // Cache keys for every registered request, 16 streams at a time. The
+    // framed byte string matches verify_cache_key exactly.
+    std::vector<Digest> keys(n);
+    {
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!entries[i]) continue;
+            total += 16 + requests[i].signer->size() + requests[i].message.size() +
+                     requests[i].signature.size();
+        }
+        std::vector<std::uint8_t> arena(total);
+        std::vector<const std::uint8_t*> ptrs;
+        std::vector<std::size_t> lens;
+        std::vector<std::size_t> idx;
+        std::size_t pos = 0;
+        const auto put_u64 = [&](std::uint64_t v) {
+            for (int b = 0; b < 8; ++b) arena[pos++] = static_cast<std::uint8_t>(v >> (8 * b));
+        };
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!entries[i]) continue;
+            const std::size_t start = pos;
+            put_u64(requests[i].signer->size());
+            std::memcpy(arena.data() + pos, requests[i].signer->data(),
+                        requests[i].signer->size());
+            pos += requests[i].signer->size();
+            put_u64(requests[i].message.size());
+            std::memcpy(arena.data() + pos, requests[i].message.data(),
+                        requests[i].message.size());
+            pos += requests[i].message.size();
+            std::memcpy(arena.data() + pos, requests[i].signature.data(),
+                        requests[i].signature.size());
+            pos += requests[i].signature.size();
+            ptrs.push_back(arena.data() + start);
+            lens.push_back(pos - start);
+            idx.push_back(i);
+        }
+        std::vector<Digest> digests(idx.size());
+        detail::sha256_streams(ptrs.data(), lens.data(), idx.size(), digests.data());
+        for (std::size_t k = 0; k < idx.size(); ++k) keys[idx[k]] = digests[k];
+    }
+
+    // Holding the lock across lookup, compute, and replay keeps the
+    // hit/miss statistics and final cache contents exactly what the
+    // sequential loop would have produced; the verifiers never touch this
+    // cache, so there is no lock-order hazard.
+    const std::lock_guard<std::mutex> lock(cache_->mutex);
+
+    // Unique uncached keys, first-occurrence order.
+    std::unordered_map<Digest, bool, DigestHash> computed;
+    std::vector<std::size_t> to_compute;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!entries[i]) continue;
+        if (cache_->verdicts.contains(keys[i])) continue;
+        if (computed.emplace(keys[i], false).second) to_compute.push_back(i);
+    }
+    std::vector<std::uint8_t> fresh(to_compute.size());
+    compute(to_compute, reinterpret_cast<bool*>(fresh.data()));
+    for (std::size_t k = 0; k < to_compute.size(); ++k) {
+        computed[keys[to_compute[k]]] = fresh[k] != 0;
+    }
+
+    // Sequential replay: hit/miss accounting and flush-at-capacity insert
+    // per request, in order, against the live table.
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!entries[i]) continue;
+        if (auto hit = cache_->verdicts.find(keys[i]); hit != cache_->verdicts.end()) {
+            ++cache_->stats.hits;
+            verdicts[i] = hit->second;
+            continue;
+        }
+        ++cache_->stats.misses;
+        bool verdict;
+        if (auto it = computed.find(keys[i]); it != computed.end()) {
+            verdict = it->second;
+        } else {
+            // Key was cached at lookup time but our own inserts flushed the
+            // table mid-replay; re-verify exactly as the sequential loop would.
+            verdict = entries[i]->verifier(requests[i].message, requests[i].signature);
+        }
+        if (cache_->verdicts.size() >= cache_->capacity) cache_->verdicts.clear();
+        cache_->verdicts.emplace(keys[i], verdict);
+        verdicts[i] = verdict;
+    }
 }
 
 Pki::CacheStats Pki::verify_cache_stats() const {
@@ -149,7 +283,8 @@ std::unique_ptr<Signer> make_registered_signer(Pki& pki, const Identity& id,
                                    std::span<const std::uint8_t> signature) {
                                   auto sig = MssSignature::deserialize(signature);
                                   return sig && MssKeyPair::verify(pk, message, *sig);
-                              });
+                              },
+                              /*mss_batchable=*/true);
         return signer;
     }
     auto signer = std::make_unique<FastSigner>(sd);

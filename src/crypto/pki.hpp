@@ -20,6 +20,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "crypto/mss.hpp"
@@ -44,14 +45,38 @@ class Pki {
                            std::span<const std::uint8_t> signature)>;
 
     // Registers an identity. Re-registering an identity is a protocol
-    // violation and throws.
-    void register_identity(const Identity& id, Digest public_key, VerifyFn verifier);
+    // violation and throws. `mss_batchable` declares that `verifier` is
+    // exactly MssSignature::deserialize + MssKeyPair::verify against
+    // `public_key`, which lets verify_many route the entry through the
+    // amortized batch engine (crypto/batch_verify.hpp) instead of the
+    // opaque closure.
+    void register_identity(const Identity& id, Digest public_key, VerifyFn verifier,
+                           bool mss_batchable = false);
 
-    [[nodiscard]] bool is_registered(const Identity& id) const;
+    [[nodiscard]] bool is_registered(std::string_view id) const;
     [[nodiscard]] const Digest& public_key_of(const Identity& id) const;
 
-    [[nodiscard]] bool verify(const Identity& id, std::span<const std::uint8_t> message,
+    // string_view id: lets zero-copy wire views verify without
+    // materializing an Identity string (the entry map uses transparent
+    // comparison). Semantics and cache keys are identical either way.
+    [[nodiscard]] bool verify(std::string_view id, std::span<const std::uint8_t> message,
                               std::span<const std::uint8_t> signature) const;
+
+    // One element of a verify_many batch. `signer` must outlive the call;
+    // spans are borrowed, not copied.
+    struct VerifyRequest {
+        const Identity* signer = nullptr;
+        std::span<const std::uint8_t> message;
+        std::span<const std::uint8_t> signature;
+    };
+
+    // Verifies a batch; verdicts[i] <- verify(*requests[i].signer, ...).
+    // Observably identical to calling verify() sequentially in request
+    // order — verdicts, cache contents, and hit/miss statistics all
+    // replay the sequential algorithm exactly — but distinct uncached
+    // MSS signatures are checked through the amortized batch engine, and
+    // cache keys are hashed 16 at a time.
+    void verify_many(std::span<const VerifyRequest> requests, bool* verdicts) const;
 
     [[nodiscard]] std::size_t participant_count() const noexcept { return entries_.size(); }
 
@@ -73,6 +98,7 @@ class Pki {
     struct Entry {
         Digest public_key{};
         VerifyFn verifier;
+        bool mss_batchable = false;
     };
     struct DigestHash {
         std::size_t operator()(const Digest& d) const noexcept {
@@ -91,7 +117,8 @@ class Pki {
         CacheStats stats;
     };
 
-    std::map<Identity, Entry> entries_;
+    // Transparent comparator: the string_view lookups above stay heap-free.
+    std::map<Identity, Entry, std::less<>> entries_;
     std::unique_ptr<VerifyCache> cache_ = std::make_unique<VerifyCache>();
 };
 

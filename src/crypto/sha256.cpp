@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "crypto/sha256_compress.hpp"
+#include "crypto/sha256_soa.hpp"
 
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #define DLSBL_SHA256_X86_DISPATCH 1
@@ -360,5 +361,80 @@ void Sha256::hash_many(std::span<const util::Bytes> inputs,
 }
 
 util::Bytes digest_to_bytes(const Digest& d) { return util::Bytes(d.begin(), d.end()); }
+
+// ---------------------------------------------------------------------------
+// SoA engine dispatch (see sha256_soa.hpp). The fallback lives here because
+// it reuses the file-local active_backend() and padding constants.
+
+namespace detail {
+
+namespace {
+
+inline void store_be32(std::uint8_t* p, std::uint32_t v) noexcept {
+    p[0] = static_cast<std::uint8_t>(v >> 24);
+    p[1] = static_cast<std::uint8_t>(v >> 16);
+    p[2] = static_cast<std::uint8_t>(v >> 8);
+    p[3] = static_cast<std::uint8_t>(v);
+}
+
+void soa_chain16_lanes(std::uint32_t* digests, std::size_t steps) {
+    const Sha256Backend& backend = active_backend();
+    alignas(64) std::uint32_t states[kSoaLanes * 8];
+    alignas(64) std::uint8_t blocks[kSoaLanes * 64];
+    for (std::size_t s = 0; s < steps; ++s) {
+        init_states(states, kSoaLanes);
+        for (std::size_t l = 0; l < kSoaLanes; ++l) {
+            for (std::size_t w = 0; w < 8; ++w) {
+                store_be32(blocks + 64 * l + 4 * w, digests[16 * w + l]);
+            }
+            std::memcpy(blocks + 64 * l + 32, kPad32Tail.data(), 32);
+        }
+        backend.compress_lanes(states, blocks, kSoaLanes);
+        for (std::size_t l = 0; l < kSoaLanes; ++l) {
+            for (std::size_t w = 0; w < 8; ++w) {
+                digests[16 * w + l] = states[8 * l + w];
+            }
+        }
+    }
+}
+
+void soa_compress16_lanes(std::uint32_t* states_soa,
+                          const std::uint8_t* const* blocks) {
+    const Sha256Backend& backend = active_backend();
+    alignas(64) std::uint32_t states[kSoaLanes * 8];
+    alignas(64) std::uint8_t lane_blocks[kSoaLanes * 64];
+    for (std::size_t l = 0; l < kSoaLanes; ++l) {
+        for (std::size_t w = 0; w < 8; ++w) {
+            states[8 * l + w] = states_soa[16 * w + l];
+        }
+        std::memcpy(lane_blocks + 64 * l, blocks[l], 64);
+    }
+    backend.compress_lanes(states, lane_blocks, kSoaLanes);
+    for (std::size_t l = 0; l < kSoaLanes; ++l) {
+        for (std::size_t w = 0; w < 8; ++w) {
+            states_soa[16 * w + l] = states[8 * l + w];
+        }
+    }
+}
+
+}  // namespace
+
+const Sha256SoaEngine& sha256_soa_lanes_engine() {
+    static constexpr Sha256SoaEngine engine{"lanes", &soa_chain16_lanes,
+                                            &soa_compress16_lanes};
+    return engine;
+}
+
+const Sha256SoaEngine& sha256_soa_engine() {
+    // A pinned scalar backend (benchmark baselines, determinism tests) must
+    // also pin the batch engine, or "scalar" batch numbers would silently
+    // ride the AVX-512 kernel.
+    if (std::strcmp(active_backend().name, "scalar") != 0) {
+        if (const Sha256SoaEngine* e = sha256_soa512_engine()) return *e;
+    }
+    return sha256_soa_lanes_engine();
+}
+
+}  // namespace detail
 
 }  // namespace dlsbl::crypto

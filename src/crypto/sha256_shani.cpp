@@ -158,12 +158,168 @@ __attribute__((target("sha,sse4.1"))) void compress_shani(std::uint32_t* state,
     _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
 }
 
-// SHA-NI is already bound on the hash units, not the schedule, so
-// independent lanes gain nothing from interleaving — a plain loop over the
-// single-stream kernel is the fastest formulation.
+// Two independent blocks interleaved through one pass of the round
+// schedule. A single stream is bound by the sha256rnds2 dependency chain
+// (each instruction needs the previous state), leaving the hash unit idle
+// most cycles; a second independent chain fills those latency slots. The
+// register budget (7 xmm per stream + shuffle mask) fits the 16-register
+// SSE file, so 2-way is the widest profitable interleave here.
+__attribute__((target("sha,sse4.1"))) void compress_shani_x2(std::uint32_t* state_a,
+                                                             std::uint32_t* state_b,
+                                                             const std::uint8_t* data_a,
+                                                             const std::uint8_t* data_b) {
+    const __m128i kByteShuffle =
+        _mm_set_epi64x(0x0c0d0e0f08090a0bll, 0x0405060700010203ll);
+    const std::uint32_t* K = kSha256Round;
+
+    __m128i tmp_a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state_a[0]));
+    __m128i s1_a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state_a[4]));
+    tmp_a = _mm_shuffle_epi32(tmp_a, 0xB1);
+    s1_a = _mm_shuffle_epi32(s1_a, 0x1B);
+    __m128i s0_a = _mm_alignr_epi8(tmp_a, s1_a, 8);
+    s1_a = _mm_blend_epi16(s1_a, tmp_a, 0xF0);
+
+    __m128i tmp_b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state_b[0]));
+    __m128i s1_b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state_b[4]));
+    tmp_b = _mm_shuffle_epi32(tmp_b, 0xB1);
+    s1_b = _mm_shuffle_epi32(s1_b, 0x1B);
+    __m128i s0_b = _mm_alignr_epi8(tmp_b, s1_b, 8);
+    s1_b = _mm_blend_epi16(s1_b, tmp_b, 0xF0);
+
+    const __m128i abef_a = s0_a, cdgh_a = s1_a;
+    const __m128i abef_b = s0_b, cdgh_b = s1_b;
+
+    __m128i m_a, w0_a, w1_a, w2_a, w3_a;
+    __m128i m_b, w0_b, w1_b, w2_b, w3_b;
+
+// Four rounds of both streams, alternated so the two sha256rnds2 chains
+// overlap in the pipeline.
+#define DLSBL_QROUND2(Ma, Mb, k)                                                   \
+    m_a = _mm_add_epi32((Ma),                                                      \
+                        _mm_loadu_si128(reinterpret_cast<const __m128i*>(&K[k]))); \
+    m_b = _mm_add_epi32((Mb),                                                      \
+                        _mm_loadu_si128(reinterpret_cast<const __m128i*>(&K[k]))); \
+    s1_a = _mm_sha256rnds2_epu32(s1_a, s0_a, m_a);                                 \
+    s1_b = _mm_sha256rnds2_epu32(s1_b, s0_b, m_b);                                 \
+    m_a = _mm_shuffle_epi32(m_a, 0x0E);                                            \
+    m_b = _mm_shuffle_epi32(m_b, 0x0E);                                            \
+    s0_a = _mm_sha256rnds2_epu32(s0_a, s1_a, m_a);                                 \
+    s0_b = _mm_sha256rnds2_epu32(s0_b, s1_b, m_b)
+
+#define DLSBL_EXPAND2(n_a, c_a, p_a, n_b, c_b, p_b)                        \
+    (n_a) = _mm_add_epi32((n_a), _mm_alignr_epi8((c_a), (p_a), 4));        \
+    (n_b) = _mm_add_epi32((n_b), _mm_alignr_epi8((c_b), (p_b), 4));        \
+    (n_a) = _mm_sha256msg2_epu32((n_a), (c_a));                            \
+    (n_b) = _mm_sha256msg2_epu32((n_b), (c_b))
+
+#define DLSBL_MSG1_2(x_a, y_a, x_b, y_b)          \
+    (x_a) = _mm_sha256msg1_epu32((x_a), (y_a));   \
+    (x_b) = _mm_sha256msg1_epu32((x_b), (y_b))
+
+    w0_a = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data_a + 0)), kByteShuffle);
+    w0_b = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data_b + 0)), kByteShuffle);
+    DLSBL_QROUND2(w0_a, w0_b, 0);
+
+    w1_a = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data_a + 16)), kByteShuffle);
+    w1_b = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data_b + 16)), kByteShuffle);
+    DLSBL_QROUND2(w1_a, w1_b, 4);
+    DLSBL_MSG1_2(w0_a, w1_a, w0_b, w1_b);
+
+    w2_a = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data_a + 32)), kByteShuffle);
+    w2_b = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data_b + 32)), kByteShuffle);
+    DLSBL_QROUND2(w2_a, w2_b, 8);
+    DLSBL_MSG1_2(w1_a, w2_a, w1_b, w2_b);
+
+    w3_a = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data_a + 48)), kByteShuffle);
+    w3_b = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data_b + 48)), kByteShuffle);
+    DLSBL_QROUND2(w3_a, w3_b, 12);
+    DLSBL_EXPAND2(w0_a, w3_a, w2_a, w0_b, w3_b, w2_b);
+    DLSBL_MSG1_2(w2_a, w3_a, w2_b, w3_b);
+
+    DLSBL_QROUND2(w0_a, w0_b, 16);
+    DLSBL_EXPAND2(w1_a, w0_a, w3_a, w1_b, w0_b, w3_b);
+    DLSBL_MSG1_2(w3_a, w0_a, w3_b, w0_b);
+
+    DLSBL_QROUND2(w1_a, w1_b, 20);
+    DLSBL_EXPAND2(w2_a, w1_a, w0_a, w2_b, w1_b, w0_b);
+    DLSBL_MSG1_2(w0_a, w1_a, w0_b, w1_b);
+
+    DLSBL_QROUND2(w2_a, w2_b, 24);
+    DLSBL_EXPAND2(w3_a, w2_a, w1_a, w3_b, w2_b, w1_b);
+    DLSBL_MSG1_2(w1_a, w2_a, w1_b, w2_b);
+
+    DLSBL_QROUND2(w3_a, w3_b, 28);
+    DLSBL_EXPAND2(w0_a, w3_a, w2_a, w0_b, w3_b, w2_b);
+    DLSBL_MSG1_2(w2_a, w3_a, w2_b, w3_b);
+
+    DLSBL_QROUND2(w0_a, w0_b, 32);
+    DLSBL_EXPAND2(w1_a, w0_a, w3_a, w1_b, w0_b, w3_b);
+    DLSBL_MSG1_2(w3_a, w0_a, w3_b, w0_b);
+
+    DLSBL_QROUND2(w1_a, w1_b, 36);
+    DLSBL_EXPAND2(w2_a, w1_a, w0_a, w2_b, w1_b, w0_b);
+    DLSBL_MSG1_2(w0_a, w1_a, w0_b, w1_b);
+
+    DLSBL_QROUND2(w2_a, w2_b, 40);
+    DLSBL_EXPAND2(w3_a, w2_a, w1_a, w3_b, w2_b, w1_b);
+    DLSBL_MSG1_2(w1_a, w2_a, w1_b, w2_b);
+
+    DLSBL_QROUND2(w3_a, w3_b, 44);
+    DLSBL_EXPAND2(w0_a, w3_a, w2_a, w0_b, w3_b, w2_b);
+    DLSBL_MSG1_2(w2_a, w3_a, w2_b, w3_b);
+
+    DLSBL_QROUND2(w0_a, w0_b, 48);
+    DLSBL_EXPAND2(w1_a, w0_a, w3_a, w1_b, w0_b, w3_b);
+    DLSBL_MSG1_2(w3_a, w0_a, w3_b, w0_b);
+
+    DLSBL_QROUND2(w1_a, w1_b, 52);
+    DLSBL_EXPAND2(w2_a, w1_a, w0_a, w2_b, w1_b, w0_b);
+
+    DLSBL_QROUND2(w2_a, w2_b, 56);
+    DLSBL_EXPAND2(w3_a, w2_a, w1_a, w3_b, w2_b, w1_b);
+
+    DLSBL_QROUND2(w3_a, w3_b, 60);
+
+#undef DLSBL_QROUND2
+#undef DLSBL_EXPAND2
+#undef DLSBL_MSG1_2
+
+    s0_a = _mm_add_epi32(s0_a, abef_a);
+    s1_a = _mm_add_epi32(s1_a, cdgh_a);
+    s0_b = _mm_add_epi32(s0_b, abef_b);
+    s1_b = _mm_add_epi32(s1_b, cdgh_b);
+
+    tmp_a = _mm_shuffle_epi32(s0_a, 0x1B);
+    s1_a = _mm_shuffle_epi32(s1_a, 0xB1);
+    s0_a = _mm_blend_epi16(tmp_a, s1_a, 0xF0);
+    s1_a = _mm_alignr_epi8(s1_a, tmp_a, 8);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(&state_a[0]), s0_a);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(&state_a[4]), s1_a);
+
+    tmp_b = _mm_shuffle_epi32(s0_b, 0x1B);
+    s1_b = _mm_shuffle_epi32(s1_b, 0xB1);
+    s0_b = _mm_blend_epi16(tmp_b, s1_b, 0xF0);
+    s1_b = _mm_alignr_epi8(s1_b, tmp_b, 8);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(&state_b[0]), s0_b);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(&state_b[4]), s1_b);
+}
+
 __attribute__((target("sha,sse4.1"))) void compress_lanes_shani(
     std::uint32_t* states, const std::uint8_t* blocks, std::size_t n) {
-    for (std::size_t i = 0; i < n; ++i) {
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        compress_shani_x2(states + 8 * i, states + 8 * (i + 1), blocks + 64 * i,
+                          blocks + 64 * (i + 1));
+    }
+    if (i < n) {
         compress_shani(states + 8 * i, blocks + 64 * i, 1);
     }
 }

@@ -58,6 +58,14 @@ struct ProtocolConfig {
     double control_seconds_per_byte = 0.0;
     crypto::SignatureAlgorithm signature_algorithm = crypto::SignatureAlgorithm::kMerkle;
     unsigned mss_height = 4;        // 16 signatures per participant
+    // Signature-verification batch limit for the deferred message paths
+    // (node bid intake, referee churn bids and payment vectors, bid-vector
+    // validation). Non-blocking verifications queue up to this many
+    // envelopes and flush through Pki::verify_many at the first point an
+    // observable action could depend on a verdict; the flush replays
+    // arrival order, so verdicts, fines, and artifacts are byte-identical
+    // to eager verification at any value. <= 1 verifies eagerly.
+    std::size_t verify_batch = 16;
     // Worker threads for MSS keygen (one-time leaves are independent; keys
     // are byte-identical at any job count). 1 = inline; 0 = take the
     // DLSBL_CRYPTO_JOBS environment variable, defaulting to 1.

@@ -4,6 +4,7 @@
 
 #include "obs/event.hpp"
 #include "protocol/referee.hpp"
+#include "protocol/wire.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 
@@ -169,7 +170,7 @@ void RunContext::ship_load(const std::string& from, const std::string& to,
     const double units =
         static_cast<double>(batch.blocks.size()) / static_cast<double>(config_.block_count);
     transport_.transfer_load(from, to, units, to_wire(MsgType::kLoadDelivery),
-                             batch.serialize(), span_id);
+                             wire::flat_encode(batch), span_id);
 }
 
 const ShippedRecord* RunContext::shipped_to(const std::string& to) const {

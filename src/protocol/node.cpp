@@ -5,6 +5,7 @@
 
 #include "dlt/closed_form.hpp"
 #include "mech/dls_bl.hpp"
+#include "protocol/wire.hpp"
 #include "util/logging.hpp"
 
 namespace dlsbl::protocol {
@@ -21,7 +22,8 @@ NodeCore::NodeCore(RunContext& context, std::size_t index,
       index_(index),
       true_w_(context.config().true_w[index]),
       strategy_(std::move(strategy)),
-      signer_(std::move(signer)) {
+      signer_(std::move(signer)),
+      pending_bids_(context.config().verify_batch) {
     bid_ = strategy_.bid_factor * true_w_;
     // Physical constraint enforced again by the context at execution time.
     exec_rate_ = std::max(true_w_, strategy_.exec_factor * true_w_);
@@ -87,8 +89,9 @@ void NodeCore::broadcast_bid(double value) {
     body.job_id = ctx_.job_id();
     body.processor = name();
     body.bid = value;
-    const auto signed_msg = crypto::sign_message(*signer_, name(), body.serialize());
-    if (bid_payload_.empty()) bid_payload_ = signed_msg.serialize();
+    const auto signed_msg = crypto::sign_message(*signer_, name(), wire::flat_encode(body));
+    auto envelope = wire::flat_encode(signed_msg);
+    if (bid_payload_.empty()) bid_payload_ = envelope;
     // The node records its own (first) bid the same way it records peers'.
     if (!first_bids_.contains(name())) {
         first_bids_.emplace(name(), signed_msg);
@@ -99,7 +102,7 @@ void NodeCore::broadcast_bid(double value) {
     // receiver's handling links back to the sender's bidding activity.
     const obs::SpanContext bid_span = ctx_.spans().instant(
         "msg:bid", name(), ctx_.clock().now(), ctx_.phase_span().span_id);
-    ctx_.transport().broadcast(name(), to_wire(MsgType::kBid), signed_msg.serialize(),
+    ctx_.transport().broadcast(name(), to_wire(MsgType::kBid), std::move(envelope),
                                bid_span.span_id);
 }
 
@@ -109,32 +112,79 @@ void NodeCore::on_message(const WireMessage& message) {
 }
 
 void NodeCore::handle_bid(const WireMessage& message) {
-    const auto signed_msg = crypto::SignedMessage::deserialize(message.payload);
-    if (!signed_msg) return;  // malformed: discarded (§4 Bidding)
-    if (signed_msg->signer != message.from) return;
-    if (!signed_msg->verify(ctx_.pki())) return;  // fails verification: discarded
-    const auto body = BidBody::deserialize(signed_msg->payload);
-    if (!body || body->processor != message.from || body->job_id != ctx_.job_id()) return;
+    const auto view = wire::SignedMessageView::parse(message.payload);
+    if (!view) return;  // malformed: discarded (§4 Bidding)
+    if (view->signer != message.from) return;
 
-    const auto existing = first_bids_.find(message.from);
+    // Deferred intake: park the envelope unverified and flush at the first
+    // point an observable could depend on a verdict — a possible conflict
+    // (accusation bytes), a possibly-complete round (allocation / phase
+    // change), or the batch limit. The false-accuse deviation emits on its
+    // very first recorded bid, so that strategy stays eager.
+    if (ctx_.config().verify_batch > 1 && !strategy_.false_accuse) {
+        const bool conflict =
+            pending_bids_.conflicts(message.from, view->payload) ||
+            [&] {
+                const auto existing = first_bids_.find(message.from);
+                return existing != first_bids_.end() &&
+                       !(existing->second.payload.size() == view->payload.size() &&
+                         std::equal(existing->second.payload.begin(),
+                                    existing->second.payload.end(),
+                                    view->payload.begin()));
+            }();
+        pending_bids_.push(message.from, view->to_owned());
+        if (pending_bids_.full() || conflict || bid_set_possibly_complete()) {
+            flush_pending_bids();
+        }
+        return;
+    }
+    apply_bid(message.from, view->to_owned(), view->verify(ctx_.pki()));
+}
+
+bool NodeCore::bid_set_possibly_complete() const {
+    if (bidding_finished_) return true;  // late bids: nothing left to defer for
+    for (const auto& pname : ctx_.processor_names()) {
+        if (excluded_.contains(pname)) continue;
+        if (!bid_values_.contains(pname) && !pending_bids_.has_sender(pname)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void NodeCore::flush_pending_bids() {
+    pending_bids_.flush(ctx_.pki(),
+                        [this](const std::string& from,
+                               const crypto::SignedMessage& envelope, bool verified) {
+                            apply_bid(from, envelope, verified);
+                        });
+}
+
+void NodeCore::apply_bid(const std::string& from, const crypto::SignedMessage& envelope,
+                         bool verified) {
+    if (!verified) return;  // fails verification: discarded
+    const auto body = wire::BidView::parse(envelope.payload);
+    if (!body || body->processor != from || body->job_id != ctx_.job_id()) return;
+
+    const auto existing = first_bids_.find(from);
     if (existing != first_bids_.end()) {
-        if (existing->second.payload == signed_msg->payload) return;  // duplicate copy
+        if (existing->second.payload == envelope.payload) return;  // duplicate copy
         // Offense (i): two authenticated, different bids from one sender.
         if (strategy_.report_deviations && !accused_double_bid_) {
             accused_double_bid_ = true;
             DoubleBidEvidence evidence;
-            evidence.accused = message.from;
+            evidence.accused = from;
             evidence.first = existing->second;
-            evidence.second = *signed_msg;
+            evidence.second = envelope;
             ctx_.transport().unicast(name(), ctx_.referee_name(),
                                      to_wire(MsgType::kAccuseDoubleBid),
-                                     evidence.serialize());
+                                     wire::flat_encode(evidence));
         }
         return;
     }
-    first_bids_.emplace(message.from, *signed_msg);
-    bid_values_[message.from] = body->bid;
-    maybe_false_accuse(*signed_msg);
+    first_bids_.emplace(from, envelope);
+    bid_values_[from] = body->bid;
+    maybe_false_accuse(envelope);
     maybe_finish_bidding();
 }
 
@@ -145,16 +195,19 @@ void NodeCore::maybe_false_accuse(const crypto::SignedMessage& genuine) {
     // The signature no longer matches, so the referee will find the claim
     // unfounded and fine the accuser.
     crypto::SignedMessage forged = genuine;
-    auto body = BidBody::deserialize(forged.payload);
-    if (!body) return;
-    body->bid += 1.0;
-    forged.payload = body->serialize();
+    const auto view = wire::BidView::parse(forged.payload);
+    if (!view) return;
+    BidBody mutated;
+    mutated.job_id = view->job_id;
+    mutated.processor = std::string(view->processor);
+    mutated.bid = view->bid + 1.0;
+    forged.payload = wire::flat_encode(mutated);
     DoubleBidEvidence evidence;
     evidence.accused = genuine.signer;
     evidence.first = genuine;
     evidence.second = forged;
-    ctx_.transport().unicast(name(), ctx_.referee_name(),
-                             to_wire(MsgType::kAccuseDoubleBid), evidence.serialize());
+    ctx_.transport().unicast(name(), ctx_.referee_name(), to_wire(MsgType::kAccuseDoubleBid),
+                             wire::flat_encode(evidence));
 }
 
 void NodeCore::maybe_finish_bidding() {
@@ -261,20 +314,25 @@ void NodeCore::ship_loads() {
 }
 
 void NodeCore::handle_load_delivery(const WireMessage& message) {
+    flush_pending_bids();  // delivery handling reads the allocation state
     if (ctx_.churn_enabled() && processing_started_ && extra_pending_ > 0) {
         // A churn reallocation: the LO shipped part of the dead processor's
         // undone range. Verified and executed as a second meter segment,
         // accounted separately from the primary assignment.
-        const auto extra_batch = LoadBatch::deserialize(message.payload);
+        const auto extra_batch = wire::LoadBatchView::parse(message.payload);
         if (!extra_batch) return;
         const obs::SpanContext verify_span = ctx_.spans().open(
             "verify_blocks", name(), ctx_.clock().now(),
             message.span_id != 0 ? message.span_id : ctx_.phase_span().span_id);
         std::size_t valid = 0;
-        for (const auto& block : extra_batch->blocks) {
+        wire::Cursor extra_blocks = extra_batch->blocks;
+        for (std::uint64_t k = 0; k < extra_batch->block_count; ++k) {
+            const auto block_view = wire::BlockView::next(extra_blocks);
+            if (!block_view) break;  // unreachable: parse() pre-walked the records
+            Block block = block_view->to_owned();
             if (DataSet::verify_block(ctx_.dataset().root(), block)) {
                 ++valid;
-                held_blocks_.push_back(block);
+                held_blocks_.push_back(std::move(block));
             }
         }
         ctx_.spans().close(verify_span, ctx_.clock().now());
@@ -285,7 +343,7 @@ void NodeCore::handle_load_delivery(const WireMessage& message) {
         }
         return;
     }
-    const auto batch = LoadBatch::deserialize(message.payload);
+    const auto batch = wire::LoadBatchView::parse(message.payload);
     if (!batch) return;
     // Verification parents on the delivery's ship span when it carried one,
     // so the catapult view shows LO ship -> bus transfer -> receiver verify.
@@ -294,10 +352,14 @@ void NodeCore::handle_load_delivery(const WireMessage& message) {
         message.span_id != 0 ? message.span_id : ctx_.phase_span().span_id);
     std::size_t valid = 0;
     std::size_t invalid = 0;
-    for (const auto& block : batch->blocks) {
+    wire::Cursor block_records = batch->blocks;
+    for (std::uint64_t k = 0; k < batch->block_count; ++k) {
+        const auto block_view = wire::BlockView::next(block_records);
+        if (!block_view) break;  // unreachable: parse() pre-walked the records
+        Block block = block_view->to_owned();
         if (DataSet::verify_block(ctx_.dataset().root(), block)) {
             ++valid;
-            held_blocks_.push_back(block);
+            held_blocks_.push_back(std::move(block));
         } else {
             ++invalid;
         }
@@ -350,7 +412,7 @@ void NodeCore::file_complaint(AllocComplaintKind kind, std::size_t expected,
     body.received_blocks = received;
     body.held_blocks = std::move(held);
     ctx_.transport().unicast(name(), ctx_.referee_name(),
-                             to_wire(MsgType::kAllocComplaint), body.serialize());
+                             to_wire(MsgType::kAllocComplaint), wire::flat_encode(body));
 }
 
 void NodeCore::begin_processing(std::size_t blocks) {
@@ -361,8 +423,9 @@ void NodeCore::begin_processing(std::size_t blocks) {
 }
 
 void NodeCore::handle_meter_broadcast(const WireMessage& message) {
-    const auto body = MeterVectorBody::deserialize(message.payload);
-    if (!body || message.from != ctx_.referee_name()) return;
+    flush_pending_bids();  // the payment computation reads bid_values_
+    const auto view = wire::MeterVectorView::parse(message.payload);
+    if (!view || message.from != ctx_.referee_name()) return;
 
     if (ctx_.churn_enabled()) {
         // At most one submission (the referee retransmits for peers whose
@@ -370,15 +433,19 @@ void NodeCore::handle_meter_broadcast(const WireMessage& message) {
         // actually followed the round to this point.
         if (payment_submitted_ || excluded_self_ || !bidding_finished_) return;
         payment_submitted_ = true;
-        payment_vector_ = churn_payment_vector(*body);
+        payment_vector_ = churn_payment_vector(*view);
     } else {
         // w̃_j = φ_j / α_j (§4 Computing Payments) — with block-granular
         // loads, α_j is the fraction actually assigned, blocks_j /
         // block_count.
         const std::size_t m = ctx_.processor_count();
         std::vector<double> exec(m);
-        std::map<std::string, double> phi;
-        for (const auto& [processor, value] : body->phis) phi[processor] = value;
+        std::map<std::string, double, std::less<>> phi;
+        wire::Cursor phis = view->phis;
+        for (std::uint64_t k = 0; k < view->phi_count; ++k) {
+            const std::string_view processor = phis.str();
+            phi[std::string(processor)] = phis.f64();
+        }
         for (std::size_t j = 0; j < m; ++j) {
             const auto& pname = ctx_.processor_names()[j];
             const double fraction = static_cast<double>(block_counts_[j]) /
@@ -405,14 +472,15 @@ void NodeCore::handle_meter_broadcast(const WireMessage& message) {
         body_out.job_id = ctx_.job_id();
         body_out.processor = name();
         body_out.payments = std::move(q);
-        const auto signed_msg = crypto::sign_message(*signer_, name(), body_out.serialize());
+        const auto signed_msg =
+            crypto::sign_message(*signer_, name(), wire::flat_encode(body_out));
         // Payment submission parents on the meter broadcast that prompted it.
         const obs::SpanContext pay_span = ctx_.spans().instant(
             "msg:payment_vector", name(), ctx_.clock().now(),
             message.span_id != 0 ? message.span_id : ctx_.phase_span().span_id);
         ctx_.transport().unicast(name(), ctx_.referee_name(),
-                                 to_wire(MsgType::kPaymentVector), signed_msg.serialize(),
-                                 pay_span.span_id);
+                                 to_wire(MsgType::kPaymentVector),
+                                 wire::flat_encode(signed_msg), pay_span.span_id);
     };
 
     if (strategy_.contradictory_payment_vectors) {
@@ -434,6 +502,7 @@ void NodeCore::handle_meter_broadcast(const WireMessage& message) {
 }
 
 void NodeCore::handle_bid_vector_request() {
+    flush_pending_bids();  // the response must reflect every arrived bid
     BidVectorBody body;
     body.submitter = name();
     for (const auto& pname : ctx_.processor_names()) {
@@ -444,20 +513,24 @@ void NodeCore::handle_bid_vector_request() {
             // Offense (iv): alter own bid and re-sign — a *valid* signature
             // over a value inconsistent with what everyone else holds,
             // which the referee exposes as double-signing.
-            auto bid = BidBody::deserialize(entry.payload);
+            const auto bid = wire::BidView::parse(entry.payload);
             if (bid) {
-                bid->bid *= 0.5;
-                entry = crypto::sign_message(*signer_, name(), bid->serialize());
+                BidBody halved;
+                halved.job_id = bid->job_id;
+                halved.processor = std::string(bid->processor);
+                halved.bid = bid->bid * 0.5;
+                entry = crypto::sign_message(*signer_, name(), wire::flat_encode(halved));
             }
         }
         body.bids.push_back(std::move(entry));
     }
     ctx_.transport().unicast(name(), ctx_.referee_name(),
-                             to_wire(MsgType::kBidVectorResponse), body.serialize());
+                             to_wire(MsgType::kBidVectorResponse), wire::flat_encode(body));
 }
 
 void NodeCore::handle_mediate_request(const WireMessage& message) {
-    const auto request = MediateRequestBody::deserialize(message.payload);
+    flush_pending_bids();  // mediation replies are observable emissions
+    const auto request = wire::MediateRequestView::parse(message.payload);
     if (!request || !is_load_origin()) return;
     if (strategy_.lo_refuse_mediation) {
         util::ByteWriter w;
@@ -468,23 +541,29 @@ void NodeCore::handle_mediate_request(const WireMessage& message) {
     }
     LoadBatch batch;
     batch.origin = name();
-    for (std::uint64_t id : request->block_ids) {
+    wire::Cursor ids = request->ids;
+    for (std::uint64_t k = 0; k < request->id_count; ++k) {
+        const std::uint64_t id = ids.u64();
         Block block = ctx_.dataset().block(id % ctx_.config().block_count);
         if (strategy_.lo_corrupt_blocks) block.payload_digest[0] ^= 0xff;
         batch.blocks.push_back(std::move(block));
     }
     ctx_.transport().unicast(name(), ctx_.referee_name(),
-                             to_wire(MsgType::kMediateBlocks), batch.serialize());
+                             to_wire(MsgType::kMediateBlocks), wire::flat_encode(batch));
 }
 
 // ---- churn handling (DESIGN.md "Churn model") -------------------------------
 
 void NodeCore::handle_exclude(const WireMessage& message) {
     if (!ctx_.churn_enabled() || message.from != ctx_.referee_name()) return;
-    const auto body = ExcludeBody::deserialize(message.payload);
+    flush_pending_bids();  // exclusion shrinks the active set the queue gates on
+    const auto body = wire::ExcludeView::parse(message.payload);
     if (!body || body->job_id != ctx_.job_id()) return;
     exclude_received_ = true;
-    for (const auto& pname : body->excluded) excluded_.insert(pname);
+    wire::Cursor excluded_names = body->excluded;
+    for (std::uint64_t k = 0; k < body->excluded_count; ++k) {
+        excluded_.emplace(excluded_names.str());
+    }
     if (excluded_.contains(name())) {
         // We restarted after missing the bid deadline: the round went on
         // without us. Halt — no meter, no payment vector.
@@ -497,12 +576,19 @@ void NodeCore::handle_exclude(const WireMessage& message) {
 
 void NodeCore::handle_realloc(const WireMessage& message) {
     if (!ctx_.churn_enabled() || message.from != ctx_.referee_name()) return;
-    const auto body = ReallocBody::deserialize(message.payload);
+    flush_pending_bids();  // reallocation reads the finished-bidding state
+    const auto body = wire::ReallocView::parse(message.payload);
     if (!body || body->job_id != ctx_.job_id()) return;
     if (excluded_self_ || !bidding_finished_) return;
-    realloc_dead_ = body->dead;
+    realloc_dead_ = std::string(body->dead);
     realloc_dead_final_ = body->dead_final;
-    realloc_extras_ = body->extras;
+    realloc_extras_.clear();
+    wire::Cursor extras = body->extras;
+    for (std::uint64_t k = 0; k < body->extra_count; ++k) {
+        const std::string_view pname = extras.str();
+        const std::uint64_t count = extras.u64();
+        realloc_extras_.emplace_back(std::string(pname), count);
+    }
 
     std::uint64_t mine = 0;
     for (const auto& [pname, count] : realloc_extras_) {
@@ -516,8 +602,8 @@ void NodeCore::handle_realloc(const WireMessage& message) {
         for (std::size_t i = 1; i < block_counts_.size(); ++i) {
             start[i] = start[i - 1] + block_counts_[i - 1];
         }
-        const std::size_t dead_start = start[ctx_.index_of(body->dead)];
-        std::uint64_t offset = body->dead_final;
+        const std::size_t dead_start = start[ctx_.index_of(realloc_dead_)];
+        std::uint64_t offset = realloc_dead_final_;
         for (const auto& [pname, count] : realloc_extras_) {
             if (pname == name()) {
                 offset += count;
@@ -547,7 +633,7 @@ void NodeCore::handle_realloc(const WireMessage& message) {
     }
 }
 
-std::vector<double> NodeCore::churn_payment_vector(const MeterVectorBody& body) {
+std::vector<double> NodeCore::churn_payment_vector(const wire::MeterVectorView& view) {
     // Same inputs, same function, same vector as the referee's canonical
     // settlement — any diverging submission is offense (iii).
     ChurnSettlementInputs inputs;
@@ -568,7 +654,11 @@ std::vector<double> NodeCore::churn_payment_vector(const MeterVectorBody& body) 
     for (const auto& [pname, count] : realloc_extras_) {
         inputs.final_counts[pname] += static_cast<std::size_t>(count);
     }
-    for (const auto& [processor, value] : body.phis) inputs.phis[processor] = value;
+    wire::Cursor phis = view.phis;
+    for (std::uint64_t k = 0; k < view.phi_count; ++k) {
+        const std::string_view processor = phis.str();
+        inputs.phis[std::string(processor)] = phis.f64();
+    }
     return churn_settlement_payments(inputs);
 }
 

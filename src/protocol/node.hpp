@@ -22,6 +22,8 @@
 #include "protocol/context.hpp"
 #include "protocol/dispatch.hpp"
 #include "protocol/endpoint.hpp"
+#include "protocol/verify_queue.hpp"
+#include "protocol/wire.hpp"
 
 namespace dlsbl::protocol {
 
@@ -54,6 +56,16 @@ class NodeCore final : public Endpoint {
     [[nodiscard]] bool is_load_origin() const;
     void broadcast_bid(double value);
     void handle_bid(const WireMessage& message);
+    // Post-verification bid intake (record / dedup / accuse / finish) —
+    // runs eagerly per arrival, or replayed in arrival order by a queue
+    // flush; the two schedules are byte-identical (see verify_queue.hpp).
+    void apply_bid(const std::string& from, const crypto::SignedMessage& envelope,
+                   bool verified);
+    // Conservative structural test: could recording the pending envelopes
+    // complete the active bid set? (Completion is the only verdict-
+    // dependent observable that isn't a conflict.)
+    [[nodiscard]] bool bid_set_possibly_complete() const;
+    void flush_pending_bids();
     void maybe_finish_bidding();
     void ship_loads();
     void handle_load_delivery(const WireMessage& message);
@@ -63,7 +75,8 @@ class NodeCore final : public Endpoint {
     void handle_realloc(const WireMessage& message);
     // Canonical settlement over the surviving bidders (churn mode's
     // replacement for the mech::DlsBl payment computation).
-    [[nodiscard]] std::vector<double> churn_payment_vector(const MeterVectorBody& body);
+    [[nodiscard]] std::vector<double> churn_payment_vector(
+        const wire::MeterVectorView& view);
     void handle_bid_vector_request();
     void handle_mediate_request(const WireMessage& message);
     void file_complaint(AllocComplaintKind kind, std::size_t expected, std::size_t received,
@@ -83,6 +96,9 @@ class NodeCore final : public Endpoint {
     // First valid signed bid per sender, in arrival order; a second,
     // different valid bid from the same sender is offense (i) evidence.
     std::map<std::string, crypto::SignedMessage> first_bids_;
+    // Arrival-order intake queue for deferred bid verification
+    // (config.verify_batch envelopes per Pki::verify_many flush).
+    VerifyQueue pending_bids_;
     std::map<std::string, double> bid_values_;
     bool accused_double_bid_ = false;
     bool false_accused_ = false;

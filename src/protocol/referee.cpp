@@ -21,7 +21,10 @@ constexpr const char* kVerifyCacheMetric = "dlsbl_referee_verify_cache_total";
 }  // namespace
 
 RefereeCore::RefereeCore(RunContext& context)
-    : Endpoint(context.referee_name()), ctx_(context) {
+    : Endpoint(context.referee_name()),
+      ctx_(context),
+      pending_churn_bids_(context.config().verify_batch),
+      pending_payments_(context.config().verify_batch) {
     register_handlers();
     if (ctx_.churn_enabled()) {
         ctx_.clock().call_at(ctx_.config().churn_plan.policy.bid_timeout,
@@ -101,11 +104,12 @@ void RefereeCore::on_message(const WireMessage& message) {
 // ---- offense (i): inconsistent bids ---------------------------------------
 
 void RefereeCore::handle_double_bid_accusation(const WireMessage& message) {
+    flush_deferred();  // verdict bytes must not depend on queued envelopes
     if (verdict_issued_) return;
-    const auto evidence = DoubleBidEvidence::deserialize(message.payload);
+    const auto evidence = wire::DoubleBidEvidenceView::parse(message.payload);
     if (!evidence) return;
     const std::string& accuser = message.from;
-    const std::string& accused = evidence->accused;
+    const std::string accused{evidence->accused};
 
     // Substantiated iff: both messages carry valid signatures of `accused`,
     // both parse as bids of `accused`, and the payloads differ.
@@ -113,10 +117,15 @@ void RefereeCore::handle_double_bid_accusation(const WireMessage& message) {
                              evidence->second.signer == accused &&
                              evidence->first.verify(ctx_.pki()) &&
                              evidence->second.verify(ctx_.pki());
+    const auto payloads_equal = [&] {
+        return evidence->first.payload.size() == evidence->second.payload.size() &&
+               std::equal(evidence->first.payload.begin(), evidence->first.payload.end(),
+                          evidence->second.payload.begin());
+    };
     bool substantiated = false;
-    if (both_signed && evidence->first.payload != evidence->second.payload) {
-        const auto first = BidBody::deserialize(evidence->first.payload);
-        const auto second = BidBody::deserialize(evidence->second.payload);
+    if (both_signed && !payloads_equal()) {
+        const auto first = wire::BidView::parse(evidence->first.payload);
+        const auto second = wire::BidView::parse(evidence->second.payload);
         substantiated = first && second && first->processor == accused &&
                         second->processor == accused;
     }
@@ -133,7 +142,11 @@ void RefereeCore::handle_double_bid_accusation(const WireMessage& message) {
 // ---- offense (ii): incorrect load assignments ------------------------------
 
 void RefereeCore::handle_alloc_complaint(const WireMessage& message) {
+    flush_deferred();  // dispute handling emits observable requests
     if (verdict_issued_ || stage_ != DisputeStage::kNone) return;
+    // Cold dispute path: the complaint's held blocks must outlive this
+    // frame (stored in open_complaint_), so the owning legacy decode is
+    // the right tool here.  DLSBL_LINT_ALLOW(protocol-codec)
     auto complaint = AllocComplaintBody::deserialize(message.payload);
     if (!complaint || complaint->complainant != message.from) return;
     if (message.from == ctx_.load_origin()) return;  // the LO cannot complain about itself
@@ -150,10 +163,13 @@ void RefereeCore::handle_alloc_complaint(const WireMessage& message) {
 }
 
 void RefereeCore::handle_bid_vector_response(const WireMessage& message) {
+    flush_deferred();  // validation below may issue verdicts
     if (stage_ != DisputeStage::kAllocAwaitingBidVectors &&
         stage_ != DisputeStage::kPaymentAwaitingBidVectors) {
         return;
     }
+    // Cold dispute path: responses are stored whole until both arrive, so
+    // the owning legacy decode applies.  DLSBL_LINT_ALLOW(protocol-codec)
     auto body = BidVectorBody::deserialize(message.payload);
     if (!body || body->submitter != message.from) return;
     if (!bid_vector_expected_.contains(message.from)) return;
@@ -183,29 +199,63 @@ std::set<std::string> RefereeCore::validate_bid_vectors() {
     // the entry.verify() calls below are repeats — the Pki verification
     // cache absorbs them. Record hit/miss deltas for observability.
     const crypto::Pki::CacheStats cache_before = ctx_.pki().verify_cache_stats();
-    // value_of[processor] -> (payload bytes, bid) from the first valid entry.
-    std::map<std::string, std::pair<util::Bytes, double>> canonical;
+    // Pass 1: structural screen (parse + binding checks) in the sequential
+    // loop's entry order; entries that pass go to signature verification.
+    // The same signed bid appears in every submitter's vector, so the whole
+    // screen typically holds m distinct signatures submitted m times —
+    // verify_many amortizes the distinct ones through the batch engine and
+    // replays the repeats as cache hits, byte-identical to per-entry
+    // verify() in the same order.
+    struct ScreenedEntry {
+        const std::string* submitter;
+        const crypto::SignedMessage* entry;
+        wire::BidView bid;  // views into entry->payload (stable storage)
+    };
+    std::vector<ScreenedEntry> screened;
     for (const auto& [submitter, body] : bid_vector_responses_) {
         for (const auto& entry : body.bids) {
-            const auto bid = BidBody::deserialize(entry.payload);
-            const bool valid = bid && entry.signer == bid->processor &&
-                               bid->job_id == ctx_.job_id() && entry.verify(ctx_.pki());
-            if (!valid) {
+            const auto bid = wire::BidView::parse(entry.payload);
+            if (bid && entry.signer == bid->processor && bid->job_id == ctx_.job_id()) {
+                screened.push_back({&submitter, &entry, *bid});
+            } else {
                 // Offense (iv): an entry that "fails authentication" —
                 // the submitter altered someone's signed bid.
                 deviants.insert(submitter);
-                continue;
             }
-            auto it = canonical.find(bid->processor);
-            if (it == canonical.end()) {
-                canonical.emplace(bid->processor,
-                                  std::make_pair(entry.payload, bid->bid));
-            } else if (it->second.first != entry.payload) {
-                // Two *valid* signatures by the same processor over different
-                // bids: that processor double-signed (covers a submitter
-                // re-signing its own altered entry).
-                deviants.insert(bid->processor);
-            }
+        }
+    }
+    std::vector<std::uint8_t> verdicts(screened.size());
+    static_assert(sizeof(bool) == 1);
+    if (ctx_.config().verify_batch > 1) {
+        std::vector<crypto::Pki::VerifyRequest> requests(screened.size());
+        for (std::size_t i = 0; i < screened.size(); ++i) {
+            requests[i] = {&screened[i].entry->signer, screened[i].entry->payload,
+                           screened[i].entry->signature};
+        }
+        ctx_.pki().verify_many(requests, reinterpret_cast<bool*>(verdicts.data()));
+    } else {
+        for (std::size_t i = 0; i < screened.size(); ++i) {
+            verdicts[i] = screened[i].entry->verify(ctx_.pki()) ? 1 : 0;
+        }
+    }
+    // Pass 2: canonical-bid dedup over the verified entries, same order.
+    // value_of[processor] -> (payload bytes, bid) from the first valid entry.
+    std::map<std::string, std::pair<util::Bytes, double>, std::less<>> canonical;
+    for (std::size_t i = 0; i < screened.size(); ++i) {
+        const auto& item = screened[i];
+        if (verdicts[i] == 0) {
+            deviants.insert(*item.submitter);
+            continue;
+        }
+        auto it = canonical.find(item.bid.processor);
+        if (it == canonical.end()) {
+            canonical.emplace(std::string(item.bid.processor),
+                              std::make_pair(item.entry->payload, item.bid.bid));
+        } else if (it->second.first != item.entry->payload) {
+            // Two *valid* signatures by the same processor over different
+            // bids: that processor double-signed (covers a submitter
+            // re-signing its own altered entry).
+            deviants.insert(std::string(item.bid.processor));
         }
     }
     const crypto::Pki::CacheStats cache_after = ctx_.pki().verify_cache_stats();
@@ -290,7 +340,8 @@ void RefereeCore::adjudicate_alloc_complaint() {
             request.block_ids.push_back((start + k) % ctx_.config().block_count);
         }
         ctx_.transport().unicast(name(), ctx_.load_origin(),
-                                 to_wire(MsgType::kMediateRequest), request.serialize());
+                                 to_wire(MsgType::kMediateRequest),
+                                 wire::flat_encode(request));
         return;
     }
     // valid == expected: the bus shows a correct assignment; the claim is
@@ -301,17 +352,21 @@ void RefereeCore::adjudicate_alloc_complaint() {
 }
 
 void RefereeCore::handle_mediate_blocks(const WireMessage& message) {
+    flush_deferred();  // every branch below issues a verdict
     if (stage_ != DisputeStage::kAllocAwaitingMediation) return;
     if (message.from != ctx_.load_origin()) return;
-    const auto batch = LoadBatch::deserialize(message.payload);
+    const auto batch = wire::LoadBatchView::parse(message.payload);
     const std::string& lo = ctx_.load_origin();
     if (!batch) {
         count_accusation("allocation", /*substantiated=*/true);
         issue_verdict({lo}, "malformed mediation response by " + lo, /*terminate=*/true);
         return;
     }
-    for (const auto& block : batch->blocks) {
-        if (!DataSet::verify_block(ctx_.dataset().root(), block)) {
+    wire::Cursor block_records = batch->blocks;
+    for (std::uint64_t k = 0; k < batch->block_count; ++k) {
+        const auto block_view = wire::BlockView::next(block_records);
+        if (!block_view || !DataSet::verify_block(ctx_.dataset().root(),
+                                                  block_view->to_owned())) {
             // "load unit integrity fails, P_lo is fined"
             count_accusation("allocation", /*substantiated=*/true);
             issue_verdict({lo}, "mediated block integrity failure by " + lo,
@@ -326,6 +381,7 @@ void RefereeCore::handle_mediate_blocks(const WireMessage& message) {
 }
 
 void RefereeCore::handle_mediate_refuse(const WireMessage& message) {
+    flush_deferred();  // the refusal verdict is observable
     if (stage_ != DisputeStage::kAllocAwaitingMediation) return;
     if (message.from != ctx_.load_origin()) return;
     // "If P_lo refuses to transmit the correct number of load units ...
@@ -338,6 +394,7 @@ void RefereeCore::handle_mediate_refuse(const WireMessage& message) {
 // ---- meters and payments ----------------------------------------------------
 
 void RefereeCore::on_all_meters_done() {
+    flush_deferred();  // the φ broadcast opens the payments phase
     if (ctx_.terminated() || meters_broadcast_) return;
     if (ctx_.churn_enabled()) {
         // Crash adjudications may still be pending or reallocated extras
@@ -357,26 +414,61 @@ void RefereeCore::on_all_meters_done() {
     const obs::SpanContext meter_span = ctx_.spans().instant(
         "msg:meter_broadcast", name(), ctx_.clock().now(),
         ctx_.phase_span().span_id);
-    ctx_.transport().broadcast(name(), to_wire(MsgType::kMeterBroadcast), body.serialize(),
-                               meter_span.span_id);
+    ctx_.transport().broadcast(name(), to_wire(MsgType::kMeterBroadcast),
+                               wire::flat_encode(body), meter_span.span_id);
 }
 
 void RefereeCore::handle_payment_vector(const WireMessage& message) {
     if (settled_ || verdict_issued_) return;
-    const auto signed_msg = crypto::SignedMessage::deserialize(message.payload);
-    if (!signed_msg || signed_msg->signer != message.from ||
-        !signed_msg->verify(ctx_.pki())) {
+    const auto view = wire::SignedMessageView::parse(message.payload);
+    if (!view || view->signer != message.from) return;
+
+    // Deferred intake: submissions accumulate unverified; the flush — at
+    // the possible quorum, the batch limit, or any observable boundary —
+    // replays arrival order, so discards and the evaluation schedule land
+    // exactly where eager verification would put them.
+    if (ctx_.config().verify_batch > 1) {
+        pending_payments_.push(message.from, view->to_owned());
+        if (pending_payments_.full() || payment_quorum_possible()) flush_deferred();
+        return;
+    }
+    if (!view->verify(ctx_.pki())) {
         return;  // unauthenticated submissions are discarded
     }
-    const auto body = PaymentBody::deserialize(signed_msg->payload);
-    if (!body || body->processor != message.from || body->job_id != ctx_.job_id()) return;
-    if (body->payments.size() != ctx_.processor_count()) return;
+    apply_payment(message.from, view->to_owned(), true);
+}
 
-    payment_payloads_[message.from].push_back(signed_msg->payload);
-    payment_values_[message.from] = body->payments;
-
+bool RefereeCore::payment_quorum_possible() const {
     // Under churn dead bidders never submit; the payment deadline settles
     // without them, but a full set of active submissions settles early.
+    const std::size_t quorum =
+        ctx_.churn_enabled() ? churn_active_count() : ctx_.processor_count();
+    std::size_t covered = 0;
+    for (const auto& processor : ctx_.processor_names()) {
+        if (payment_payloads_.contains(processor) ||
+            pending_payments_.has_sender(processor)) {
+            ++covered;
+        }
+    }
+    return covered >= quorum;
+}
+
+void RefereeCore::apply_payment(const std::string& from,
+                                const crypto::SignedMessage& envelope, bool verified) {
+    if (!verified) return;  // unauthenticated submissions are discarded
+    const auto body = wire::PaymentView::parse(envelope.payload);
+    if (!body || body->processor != from || body->job_id != ctx_.job_id()) return;
+    if (body->payment_count != ctx_.processor_count()) return;
+
+    payment_payloads_[from].push_back(envelope.payload);
+    auto& values = payment_values_[from];
+    values.clear();
+    values.reserve(body->payment_count);
+    wire::Cursor payments = body->payments;
+    for (std::uint64_t k = 0; k < body->payment_count; ++k) {
+        values.push_back(payments.f64());
+    }
+
     const std::size_t quorum =
         ctx_.churn_enabled() ? churn_active_count() : ctx_.processor_count();
     if (payment_payloads_.size() == quorum && !payment_evaluation_scheduled_) {
@@ -388,6 +480,7 @@ void RefereeCore::handle_payment_vector(const WireMessage& message) {
 }
 
 void RefereeCore::evaluate_payments() {
+    flush_deferred();  // judge over every submission that has arrived
     if (settled_ || verdict_issued_ || ctx_.terminated()) return;
     if (ctx_.churn_enabled()) {
         // The referee recorded the bids itself: no bid-vector dispute is
@@ -584,7 +677,8 @@ void RefereeCore::issue_verdict(const std::set<std::string>& deviants,
     TerminateBody body;
     body.reason = reason;
     body.fined.assign(deviants.begin(), deviants.end());
-    ctx_.transport().broadcast(name(), to_wire(MsgType::kTerminate), body.serialize());
+    ctx_.transport().broadcast(name(), to_wire(MsgType::kTerminate),
+                               wire::flat_encode(body));
 
     // Terminating verdict: §4 pays α_i w̃_i — the metered execution time
     // φ_i — to every non-deviant that commenced work, then splits the
@@ -605,6 +699,7 @@ void RefereeCore::issue_verdict(const std::set<std::string>& deviants,
 }
 
 void RefereeCore::on_meter_stopped(const std::string& processor) {
+    flush_deferred();  // payouts below must not race queued envelopes
     if (!pending_termination_) return;
     pending_termination_->awaiting.erase(processor);
     if (pending_termination_->awaiting.empty()) finalize_termination_payouts();
@@ -643,19 +738,62 @@ void RefereeCore::finalize_termination_payouts() {
 // ---- churn machinery (DESIGN.md "Churn model") ------------------------------
 
 void RefereeCore::handle_churn_bid(const WireMessage& message) {
-    const auto signed_msg = crypto::SignedMessage::deserialize(message.payload);
-    if (!signed_msg || signed_msg->signer != message.from) return;
-    if (!signed_msg->verify(ctx_.pki())) return;
-    const auto body = BidBody::deserialize(signed_msg->payload);
-    if (!body || body->processor != message.from || body->job_id != ctx_.job_id()) return;
+    const auto view = wire::SignedMessageView::parse(message.payload);
+    if (!view || view->signer != message.from) return;
+    // Deferred intake: the churn recorder is first-bid-wins after
+    // verification and emits nothing until the bidder set is complete, so
+    // only possible completion (or the batch limit) forces a flush.
+    if (ctx_.config().verify_batch > 1) {
+        pending_churn_bids_.push(message.from, view->to_owned());
+        if (pending_churn_bids_.full() || churn_bid_set_possibly_complete()) {
+            flush_deferred();
+        }
+        return;
+    }
+    if (!view->verify(ctx_.pki())) return;
+    apply_churn_bid(message.from, view->to_owned(), true);
+}
+
+bool RefereeCore::churn_bid_set_possibly_complete() const {
+    if (churn_bids_complete_) return true;
+    std::size_t covered = 0;
+    for (const auto& processor : ctx_.processor_names()) {
+        if (churn_bids_.contains(processor) ||
+            pending_churn_bids_.has_sender(processor)) {
+            ++covered;
+        }
+    }
+    return covered == ctx_.processor_count();
+}
+
+void RefereeCore::apply_churn_bid(const std::string& from,
+                                  const crypto::SignedMessage& envelope, bool verified) {
+    if (!verified) return;
+    const auto body = wire::BidView::parse(envelope.payload);
+    if (!body || body->processor != from || body->job_id != ctx_.job_id()) return;
     // First bid wins: a stale rejoin replaying the identical signed bid is
     // benign, and a genuinely different second bid is offense (i) — the
     // peers' accusation path handles that, not the churn recorder.
-    if (churn_bids_.contains(message.from)) return;
-    churn_bids_[message.from] = body->bid;
+    if (churn_bids_.contains(from)) return;
+    churn_bids_[from] = body->bid;
     if (!churn_bids_complete_ && churn_bids_.size() == ctx_.processor_count()) {
         complete_churn_bidding();
     }
+}
+
+void RefereeCore::flush_deferred() {
+    // Churn bids always precede payment vectors in a round, so replaying
+    // the bid queue first preserves global arrival order across queues.
+    pending_churn_bids_.flush(ctx_.pki(), [this](const std::string& from,
+                                                 const crypto::SignedMessage& envelope,
+                                                 bool verified) {
+        apply_churn_bid(from, envelope, verified);
+    });
+    pending_payments_.flush(ctx_.pki(), [this](const std::string& from,
+                                               const crypto::SignedMessage& envelope,
+                                               bool verified) {
+        apply_payment(from, envelope, verified);
+    });
 }
 
 void RefereeCore::complete_churn_bidding() {
@@ -682,6 +820,7 @@ void RefereeCore::complete_churn_bidding() {
 }
 
 void RefereeCore::check_bids() {
+    flush_deferred();  // the deadline ruling depends on who verifiably bid
     if (ctx_.terminated() || churn_bids_complete_) return;
     std::vector<std::string> missing;
     for (const auto& processor : ctx_.processor_names()) {
@@ -711,11 +850,13 @@ void RefereeCore::check_bids() {
     ExcludeBody body;
     body.job_id = ctx_.job_id();
     body.excluded = missing;  // processor-index order
-    ctx_.transport().broadcast(name(), to_wire(MsgType::kExclude), body.serialize());
+    ctx_.transport().broadcast(name(), to_wire(MsgType::kExclude),
+                               wire::flat_encode(body));
     complete_churn_bidding();
 }
 
 void RefereeCore::check_processing() {
+    flush_deferred();  // terminate/realloc rulings are observable
     if (ctx_.terminated() || settled_ || meters_broadcast_) return;
     std::vector<std::string> unstarted;
     for (std::size_t i = 0; i < ctx_.processor_count(); ++i) {
@@ -750,6 +891,7 @@ void RefereeCore::on_meter_lost(const std::string& processor, std::size_t exec_b
         ctx_.config().churn_plan.policy.detection_timeout,
         [this, processor, exec_blocks, blocks_done] {
             --pending_adjudications_;
+            flush_deferred();  // adjudication outcome is observable
             if (ctx_.terminated() || settled_) return;
             if (processor == ctx_.load_origin()) {
                 // Nobody else holds the data set: the round cannot recover.
@@ -827,7 +969,8 @@ void RefereeCore::do_reallocate(const std::string& dead, std::size_t exec_blocks
                                     " extras=" + std::to_string(body.extras.size()));
     ctx_.spans().instant("churn:realloc", name(), ctx_.clock().now(),
                          ctx_.run_span().span_id);
-    ctx_.transport().broadcast(name(), to_wire(MsgType::kRealloc), body.serialize());
+    ctx_.transport().broadcast(name(), to_wire(MsgType::kRealloc),
+                               wire::flat_encode(body));
 }
 
 void RefereeCore::maybe_finish_meters() {
@@ -846,7 +989,7 @@ void RefereeCore::maybe_finish_meters() {
             body.phis.emplace_back(processor, ctx_.meters().elapsed(processor));
         }
     }
-    churn_meter_payload_ = body.serialize();
+    churn_meter_payload_ = wire::flat_encode(body);
     const obs::SpanContext meter_span = ctx_.spans().instant(
         "msg:meter_broadcast", name(), ctx_.clock().now(), ctx_.phase_span().span_id);
     ctx_.transport().broadcast(name(), to_wire(MsgType::kMeterBroadcast),
@@ -870,6 +1013,7 @@ void RefereeCore::maybe_finish_meters() {
 }
 
 void RefereeCore::churn_evaluate_payments() {
+    flush_deferred();  // settle over every submission that has arrived
     if (settled_ || ctx_.terminated()) return;
     ChurnSettlementInputs inputs;
     inputs.kind = ctx_.config().kind;
@@ -919,7 +1063,8 @@ void RefereeCore::churn_terminate(const std::string& reason) {
     ctx_.mark_terminated("churn: " + reason);
     TerminateBody body;
     body.reason = "churn: " + reason;
-    ctx_.transport().broadcast(name(), to_wire(MsgType::kTerminate), body.serialize());
+    ctx_.transport().broadcast(name(), to_wire(MsgType::kTerminate),
+                               wire::flat_encode(body));
 }
 
 }  // namespace dlsbl::protocol

@@ -22,6 +22,8 @@
 #include "protocol/context.hpp"
 #include "protocol/dispatch.hpp"
 #include "protocol/endpoint.hpp"
+#include "protocol/verify_queue.hpp"
+#include "protocol/wire.hpp"
 
 namespace dlsbl::protocol {
 
@@ -91,6 +93,17 @@ class RefereeCore final : public Endpoint {
     void handle_mediate_refuse(const WireMessage& message);
     void handle_payment_vector(const WireMessage& message);
 
+    // Deferred-verification plumbing (see verify_queue.hpp): non-blocking
+    // arrivals (churn bids, payment vectors) park unverified and flush in
+    // arrival order through Pki::verify_many before any observable action.
+    void flush_deferred();
+    void apply_churn_bid(const std::string& from, const crypto::SignedMessage& envelope,
+                         bool verified);
+    void apply_payment(const std::string& from, const crypto::SignedMessage& envelope,
+                       bool verified);
+    [[nodiscard]] bool churn_bid_set_possibly_complete() const;
+    [[nodiscard]] bool payment_quorum_possible() const;
+
     // Validates collected bid vectors: flags entries with bad signatures
     // (offense iv) and double-signed bids; fills verified_bids_ on success.
     // Returns deviants found (empty = clean).
@@ -143,6 +156,9 @@ class RefereeCore final : public Endpoint {
 
     RunContext& ctx_;
     MessageDispatcher dispatch_;
+    // Arrival-order intake queues for deferred signature verification.
+    VerifyQueue pending_churn_bids_;
+    VerifyQueue pending_payments_;
 
     bool verdict_issued_ = false;
     std::map<std::string, double> fines_;

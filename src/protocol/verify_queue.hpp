@@ -1,0 +1,101 @@
+// Deferred signature verification for the non-blocking message paths.
+//
+// §4's bidding and payment rounds verify one envelope per arrival, but no
+// observable action (accusation, phase change, fine, settlement) depends
+// on a verdict until a round boundary: the first m-1 bids just accumulate.
+// VerifyQueue exploits that window — arrivals are parked unverified and
+// flushed through Pki::verify_many, which amortizes WOTS/Lamport chain
+// work across the whole batch (crypto/batch_verify.hpp).
+//
+// Correctness contract: the flush replays the queued envelopes in arrival
+// order against Pki::verify_many, which is itself observably identical to
+// sequential Pki::verify calls (verdicts, cache contents, hit/miss stats).
+// Callers must flush before ANY action whose bytes could depend on a
+// verdict — the endpoint cores do so at every handler entry that reads
+// verdict-derived state, plus the conservative structural triggers
+// (possible bid conflict, possibly-complete round). Under that discipline
+// a run's artifacts are byte-identical at any batch limit; limit <= 1
+// degenerates to eager per-arrival verification.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "crypto/pki.hpp"
+
+namespace dlsbl::protocol {
+
+class VerifyQueue {
+ public:
+    struct Item {
+        std::string from;                // transport-level sender
+        crypto::SignedMessage envelope;  // owned copy; queue outlives the frame
+    };
+
+    explicit VerifyQueue(std::size_t batch_limit) noexcept
+        : limit_(batch_limit == 0 ? 1 : batch_limit) {}
+
+    [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+    [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+    [[nodiscard]] bool full() const noexcept { return items_.size() >= limit_; }
+
+    // Any queued envelope from this transport sender?
+    [[nodiscard]] bool has_sender(const std::string& from) const noexcept {
+        for (const auto& item : items_) {
+            if (item.from == from) return true;
+        }
+        return false;
+    }
+
+    // Would this payload conflict with a queued envelope from the same
+    // sender? (Offense-(i) evidence might be emitted during the replay, so
+    // the caller must flush at this arrival, matching the eager schedule.)
+    [[nodiscard]] bool conflicts(const std::string& from,
+                                 std::span<const std::uint8_t> payload) const noexcept {
+        for (const auto& item : items_) {
+            if (item.from != from) continue;
+            const auto& held = item.envelope.payload;
+            if (held.size() != payload.size() ||
+                !std::equal(held.begin(), held.end(), payload.begin())) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    void push(std::string from, crypto::SignedMessage envelope) {
+        items_.push_back({std::move(from), std::move(envelope)});
+    }
+
+    // Verifies everything queued (one Pki::verify_many batch) and invokes
+    // apply(from, envelope, verified) per item in arrival order. Reentrant
+    // pushes during apply() land in the next batch.
+    template <typename Apply>
+    void flush(const crypto::Pki& pki, Apply&& apply) {
+        if (items_.empty()) return;
+        std::vector<Item> batch;
+        batch.swap(items_);
+        std::vector<crypto::Pki::VerifyRequest> requests(batch.size());
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            requests[i] = {&batch[i].envelope.signer, batch[i].envelope.payload,
+                           batch[i].envelope.signature};
+        }
+        // vector<bool> has no data(); byte-backed verdicts instead.
+        std::vector<std::uint8_t> verdicts(batch.size());
+        static_assert(sizeof(bool) == 1);
+        pki.verify_many(requests, reinterpret_cast<bool*>(verdicts.data()));
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            apply(batch[i].from, batch[i].envelope, verdicts[i] != 0);
+        }
+    }
+
+ private:
+    std::size_t limit_;
+    std::vector<Item> items_;
+};
+
+}  // namespace dlsbl::protocol

@@ -6,9 +6,14 @@
 // byte-identical to the scalar single-threaded path.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
+#include <span>
 #include <string>
+#include <tuple>
 #include <vector>
 
+#include "crypto/batch_verify.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/lamport.hpp"
 #include "crypto/merkle.hpp"
@@ -202,6 +207,171 @@ TEST(CryptoBatch, HmacMidstateMatchesFreeFunction) {
             }
             EXPECT_EQ(prf.mac(message), hmac_sha256(key, message))
                 << "round=" << round << " m=" << m;
+        }
+    }
+}
+
+// mss_verify_many must produce verdict-for-verdict what the eager
+// deserialize + verify pair produces — over honest signatures, corrupted
+// bytes, truncations, wrong keys, wrong messages, and cross-transplants,
+// for both OTS schemes.
+TEST(CryptoBatch, MssVerifyManyMatchesEagerVerdicts) {
+    util::Xoshiro256 rng{0x77AAu};
+    for (const OtsScheme scheme : {OtsScheme::kLamport, OtsScheme::kWots}) {
+        MssKeyPair key_a(test_seed(10), /*height=*/3, scheme);
+        MssKeyPair key_b(test_seed(11), /*height=*/3, scheme);
+        const Digest pk_a = key_a.public_key();
+        const Digest pk_b = key_b.public_key();
+
+        std::vector<util::Bytes> messages;
+        std::vector<util::Bytes> signatures;
+        std::vector<const Digest*> keys;
+        for (int m = 0; m < 6; ++m) {
+            messages.push_back(util::to_bytes("batch-msg-" + std::to_string(m)));
+            signatures.push_back(
+                (m % 2 == 0 ? key_a : key_b).sign(messages.back()).serialize());
+            keys.push_back(m % 2 == 0 ? &pk_a : &pk_b);
+        }
+        // Hostile variants: bit flips, truncation, key/message mismatch.
+        for (int m = 0; m < 6; ++m) {
+            util::Bytes corrupted = signatures[static_cast<std::size_t>(m)];
+            corrupted[static_cast<std::size_t>(
+                rng.uniform_int(0, corrupted.size() - 1))] ^= 0x40;
+            messages.push_back(messages[static_cast<std::size_t>(m)]);
+            signatures.push_back(std::move(corrupted));
+            keys.push_back(keys[static_cast<std::size_t>(m)]);
+        }
+        messages.push_back(messages[0]);
+        signatures.push_back(util::Bytes(signatures[0].begin(),
+                                         signatures[0].begin() + 10));  // truncated
+        keys.push_back(&pk_a);
+        messages.push_back(messages[1]);
+        signatures.push_back(signatures[1]);
+        keys.push_back(&pk_a);  // wrong root for key_b's signature
+        messages.push_back(util::to_bytes("different message"));
+        signatures.push_back(signatures[0]);
+        keys.push_back(&pk_a);  // right key, wrong message
+
+        std::vector<MssVerifyItem> items(signatures.size());
+        for (std::size_t i = 0; i < signatures.size(); ++i) {
+            items[i] = {keys[i], messages[i], signatures[i]};
+        }
+        std::vector<std::uint8_t> verdicts(items.size(), 0xCD);
+        static_assert(sizeof(bool) == 1);
+        mss_verify_many(items, reinterpret_cast<bool*>(verdicts.data()));
+
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            const auto parsed = MssSignature::deserialize(signatures[i]);
+            const bool eager =
+                parsed.has_value() && MssKeyPair::verify(*keys[i], messages[i], *parsed);
+            EXPECT_EQ(verdicts[i] != 0, eager)
+                << "scheme=" << static_cast<int>(scheme) << " item=" << i;
+        }
+        // The honest third must all verify (guards against a vacuous pass).
+        for (std::size_t i = 0; i < 6; ++i) EXPECT_TRUE(verdicts[i] != 0);
+    }
+}
+
+// Pki::verify_many must be observably identical to sequential Pki::verify:
+// same verdicts, same cache content afterwards, same hit/miss statistics —
+// including unknown signers, repeated envelopes, and a mix of batchable
+// (MSS) and closure-backed (kFast) registrations.
+TEST(CryptoBatch, PkiVerifyManyMatchesSequentialVerifyAndStats) {
+    const auto run = [](bool batched) {
+        Pki pki;
+        auto mss_signer = make_registered_signer(pki, "P1", 42,
+                                                 SignatureAlgorithm::kMerkleWots, 3);
+        auto lam_signer =
+            make_registered_signer(pki, "P2", 43, SignatureAlgorithm::kMerkle, 3);
+        auto fast_signer =
+            make_registered_signer(pki, "P3", 44, SignatureAlgorithm::kFast);
+
+        std::vector<std::string> signers;
+        std::vector<util::Bytes> payloads;
+        std::vector<util::Bytes> signatures;
+        const auto add = [&](const std::string& who, Signer& signer,
+                             const std::string& text, bool corrupt) {
+            signers.push_back(who);
+            payloads.push_back(util::to_bytes(text));
+            signatures.push_back(signer.sign(payloads.back()));
+            if (corrupt) signatures.back()[0] ^= 0x01;
+        };
+        add("P1", *mss_signer, "alpha", false);
+        add("P2", *lam_signer, "beta", false);
+        add("P3", *fast_signer, "gamma", false);
+        add("P1", *mss_signer, "delta", true);
+        // Duplicate of item 0: a cache hit on the sequential path, and the
+        // batch path must account it identically.
+        signers.push_back("P1");
+        payloads.push_back(payloads[0]);
+        signatures.push_back(signatures[0]);
+        // Unknown signer: false, no stats movement.
+        signers.push_back("P9");
+        payloads.push_back(util::to_bytes("zeta"));
+        signatures.push_back(signatures[0]);
+
+        std::vector<std::uint8_t> verdicts(signers.size(), 0xCD);
+        static_assert(sizeof(bool) == 1);
+        if (batched) {
+            std::vector<Pki::VerifyRequest> requests(signers.size());
+            for (std::size_t i = 0; i < signers.size(); ++i) {
+                requests[i] = {&signers[i], payloads[i], signatures[i]};
+            }
+            pki.verify_many(requests, reinterpret_cast<bool*>(verdicts.data()));
+        } else {
+            for (std::size_t i = 0; i < signers.size(); ++i) {
+                verdicts[i] = pki.verify(signers[i], payloads[i], signatures[i]) ? 1 : 0;
+            }
+        }
+        const auto stats = pki.verify_cache_stats();
+        return std::tuple(std::vector<bool>(verdicts.begin(), verdicts.end()),
+                          stats.hits, stats.misses);
+    };
+
+    const auto [eager_verdicts, eager_hits, eager_misses] = run(false);
+    const auto [batch_verdicts, batch_hits, batch_misses] = run(true);
+    EXPECT_EQ(eager_verdicts,
+              (std::vector<bool>{true, true, true, false, true, false}));
+    EXPECT_EQ(batch_verdicts, eager_verdicts);
+    EXPECT_EQ(batch_hits, eager_hits);
+    EXPECT_EQ(batch_misses, eager_misses);
+}
+
+// The ragged 16-stream batch hasher must equal Sha256::hash per stream for
+// every mix of lengths (empty, sub-block, block-boundary, multi-block).
+TEST(CryptoBatch, Sha256StreamsMatchesScalarHash) {
+    BackendGuard guard;
+    util::Xoshiro256 rng{0x5EEDu};
+    std::vector<util::Bytes> streams;
+    for (const std::size_t len :
+         {std::size_t{0}, std::size_t{1}, std::size_t{55}, std::size_t{56},
+          std::size_t{63}, std::size_t{64}, std::size_t{65}, std::size_t{119},
+          std::size_t{120}, std::size_t{128}, std::size_t{1000}}) {
+        util::Bytes data(len);
+        for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+        streams.push_back(std::move(data));
+    }
+    // Pad past one SoA group so the leftover lane-refill path runs too.
+    while (streams.size() < 37) {
+        util::Bytes data(static_cast<std::size_t>(rng.uniform_int(0, 300)));
+        for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+        streams.push_back(std::move(data));
+    }
+
+    for (const char* backend : {"scalar", "auto"}) {
+        ASSERT_TRUE(sha256_set_backend(backend));
+        std::vector<const std::uint8_t*> ptrs(streams.size());
+        std::vector<std::size_t> lens(streams.size());
+        for (std::size_t i = 0; i < streams.size(); ++i) {
+            ptrs[i] = streams[i].data();
+            lens[i] = streams[i].size();
+        }
+        std::vector<Digest> out(streams.size());
+        detail::sha256_streams(ptrs.data(), lens.data(), streams.size(), out.data());
+        for (std::size_t i = 0; i < streams.size(); ++i) {
+            EXPECT_EQ(out[i], Sha256::hash(std::span<const std::uint8_t>(
+                                  streams[i].data(), streams[i].size())))
+                << backend << " stream=" << i;
         }
     }
 }

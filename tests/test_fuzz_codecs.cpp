@@ -452,6 +452,277 @@ TEST(FuzzCodecs, UnknownFrameFloodIsDroppedAndCounted) {
     }
 }
 
+// ---- flat wire codec (protocol/wire.hpp) ------------------------------------
+
+namespace wire = protocol::wire;
+
+// Accept-set equivalence under random bytes: the flat view parser accepts
+// exactly what the legacy decoder accepts, and every accepted input is
+// canonical — flat_encode of the legacy decode reproduces the input bytes
+// (so the two codecs cannot drift on anything either of them accepts).
+template <typename Body, typename View>
+void fuzz_flat_equivalence(std::uint64_t seed, std::size_t iterations,
+                           std::size_t max_len) {
+    util::Xoshiro256 rng{seed};
+    for (std::size_t i = 0; i < iterations; ++i) {
+        const util::Bytes data = random_bytes(rng, max_len);
+        const auto legacy = Body::deserialize(data);
+        const auto view = View::parse(data);
+        ASSERT_EQ(legacy.has_value(), view.has_value())
+            << "accept sets diverge on a " << data.size() << "-byte input";
+        if (legacy.has_value()) {
+            EXPECT_EQ(wire::flat_encode(*legacy), data);
+        }
+    }
+}
+
+TEST(FuzzFlatCodec, BidEquivalence) {
+    fuzz_flat_equivalence<protocol::BidBody, wire::BidView>(41, 3000, 128);
+}
+TEST(FuzzFlatCodec, LoadBatchEquivalence) {
+    fuzz_flat_equivalence<protocol::LoadBatch, wire::LoadBatchView>(42, 2000, 512);
+}
+TEST(FuzzFlatCodec, DoubleBidEvidenceEquivalence) {
+    fuzz_flat_equivalence<protocol::DoubleBidEvidence, wire::DoubleBidEvidenceView>(
+        43, 2000, 512);
+}
+TEST(FuzzFlatCodec, AllocComplaintEquivalence) {
+    fuzz_flat_equivalence<protocol::AllocComplaintBody, wire::AllocComplaintView>(
+        44, 2000, 512);
+}
+TEST(FuzzFlatCodec, BidVectorEquivalence) {
+    fuzz_flat_equivalence<protocol::BidVectorBody, wire::BidVectorView>(45, 2000, 512);
+}
+TEST(FuzzFlatCodec, MediateRequestEquivalence) {
+    fuzz_flat_equivalence<protocol::MediateRequestBody, wire::MediateRequestView>(
+        46, 3000, 256);
+}
+TEST(FuzzFlatCodec, MeterVectorEquivalence) {
+    fuzz_flat_equivalence<protocol::MeterVectorBody, wire::MeterVectorView>(47, 3000,
+                                                                            256);
+}
+TEST(FuzzFlatCodec, PaymentEquivalence) {
+    fuzz_flat_equivalence<protocol::PaymentBody, wire::PaymentView>(48, 3000, 256);
+}
+TEST(FuzzFlatCodec, TerminateEquivalence) {
+    fuzz_flat_equivalence<protocol::TerminateBody, wire::TerminateView>(49, 3000, 256);
+}
+TEST(FuzzFlatCodec, ExcludeEquivalence) {
+    fuzz_flat_equivalence<protocol::ExcludeBody, wire::ExcludeView>(50, 3000, 256);
+}
+TEST(FuzzFlatCodec, ReallocEquivalence) {
+    fuzz_flat_equivalence<protocol::ReallocBody, wire::ReallocView>(51, 3000, 256);
+}
+TEST(FuzzFlatCodec, SignedMessageEquivalence) {
+    fuzz_flat_equivalence<crypto::SignedMessage, wire::SignedMessageView>(52, 3000,
+                                                                          512);
+}
+
+// A zoo of representative bodies — honest values plus the deviant shapes
+// the strategy zoo produces (empty vectors, mutated bids, termination
+// verdicts, churn exclusions/reallocations) and codec edge cases (empty
+// strings, zero counts, negative and subnormal doubles).
+std::vector<util::Bytes> body_zoo() {
+    std::vector<util::Bytes> zoo;
+    const auto add = [&zoo](const auto& body, const util::Bytes& legacy) {
+        const util::Bytes flat = wire::flat_encode(body);
+        EXPECT_EQ(flat, legacy) << "flat_encode diverges from serialize()";
+        zoo.push_back(flat);
+    };
+
+    crypto::Pki pki;
+    auto signer =
+        crypto::make_registered_signer(pki, "P1", 7, crypto::SignatureAlgorithm::kFast);
+    protocol::DataSet data(3, 16);
+
+    for (const protocol::BidBody& bid :
+         {protocol::BidBody{1, "P1", 1.5}, protocol::BidBody{0, "", 0.0},
+          protocol::BidBody{~0ull, "P10", -2.5e-308}}) {
+        add(bid, bid.serialize());
+    }
+    protocol::LoadBatch batch;
+    batch.origin = "P1";
+    for (std::size_t i = 0; i < 4; ++i) batch.blocks.push_back(data.block(i));
+    add(batch, batch.serialize());
+    add(protocol::LoadBatch{}, protocol::LoadBatch{}.serialize());
+
+    const auto first = crypto::sign_message(*signer, "P1",
+                                            protocol::BidBody{1, "P1", 1.5}.serialize());
+    const auto second = crypto::sign_message(
+        *signer, "P1", protocol::BidBody{1, "P1", 2.5}.serialize());
+    add(first, first.serialize());
+    protocol::DoubleBidEvidence evidence{"P1", first, second};
+    add(evidence, evidence.serialize());
+
+    protocol::AllocComplaintBody complaint;
+    complaint.kind = protocol::AllocComplaintKind::kOverShipped;
+    complaint.complainant = "P2";
+    complaint.expected_blocks = 5;
+    complaint.received_blocks = 9;
+    complaint.held_blocks = {data.block(5), data.block(6)};
+    add(complaint, complaint.serialize());
+
+    protocol::BidVectorBody vector;
+    vector.submitter = "P1";
+    vector.bids = {first, second};
+    add(vector, vector.serialize());
+
+    protocol::MediateRequestBody mediate{"P3", {0, 7, 15}};
+    add(mediate, mediate.serialize());
+
+    protocol::MeterVectorBody meters;
+    meters.job_id = 9;
+    meters.phis = {{"P1", 0.25}, {"P2", 1e-300}, {"", -0.0}};
+    add(meters, meters.serialize());
+
+    protocol::PaymentBody payment{3, "P2", {2.75, -1.25, 0.0}};
+    add(payment, payment.serialize());
+    add(protocol::PaymentBody{}, protocol::PaymentBody{}.serialize());
+
+    protocol::TerminateBody verdict{"offense (iii)", {"P2", "P4"}};
+    add(verdict, verdict.serialize());
+    protocol::ExcludeBody exclude{7, {"P3"}};
+    add(exclude, exclude.serialize());
+    protocol::ReallocBody realloc_body;
+    realloc_body.job_id = 7;
+    realloc_body.dead = "P2";
+    realloc_body.dead_final = 12;
+    realloc_body.extras = {{"P1", 30}, {"P3", 18}};
+    add(realloc_body, realloc_body.serialize());
+    return zoo;
+}
+
+// One decoder pair over one input: accept/reject parity, and canonical
+// re-encoding parity when accepted.
+template <typename Body, typename View>
+void fuzz_pair_accepts(std::span<const std::uint8_t> data) {
+    const auto legacy = Body::deserialize(data);
+    const auto view = View::parse(data);
+    ASSERT_EQ(legacy.has_value(), view.has_value())
+        << "accept sets diverge on a " << data.size() << "-byte input";
+    if (legacy.has_value()) {
+        EXPECT_EQ(wire::flat_encode(*legacy), util::Bytes(data.begin(), data.end()));
+    }
+}
+
+// The full decoder matrix over one input — every body decoder sees every
+// input, exactly like a hostile peer cross-sending message types.
+void fuzz_decoder_matrix(std::span<const std::uint8_t> data) {
+    fuzz_pair_accepts<protocol::BidBody, wire::BidView>(data);
+    fuzz_pair_accepts<protocol::LoadBatch, wire::LoadBatchView>(data);
+    fuzz_pair_accepts<protocol::DoubleBidEvidence, wire::DoubleBidEvidenceView>(data);
+    fuzz_pair_accepts<protocol::AllocComplaintBody, wire::AllocComplaintView>(data);
+    fuzz_pair_accepts<protocol::BidVectorBody, wire::BidVectorView>(data);
+    fuzz_pair_accepts<protocol::MediateRequestBody, wire::MediateRequestView>(data);
+    fuzz_pair_accepts<protocol::MeterVectorBody, wire::MeterVectorView>(data);
+    fuzz_pair_accepts<protocol::PaymentBody, wire::PaymentView>(data);
+    fuzz_pair_accepts<protocol::TerminateBody, wire::TerminateView>(data);
+    fuzz_pair_accepts<protocol::ExcludeBody, wire::ExcludeView>(data);
+    fuzz_pair_accepts<protocol::ReallocBody, wire::ReallocView>(data);
+    fuzz_pair_accepts<crypto::SignedMessage, wire::SignedMessageView>(data);
+}
+
+TEST(FuzzFlatCodec, EncodersMatchLegacyAcrossBodyZoo) {
+    // body_zoo() itself asserts flat_encode(x) == x.serialize() per body.
+    EXPECT_GT(body_zoo().size(), 15u);
+}
+
+TEST(FuzzFlatCodec, TruncationAndOverLengthRejectedAcrossBodyZoo) {
+    // Every strict prefix and every over-length extension of a valid
+    // encoding runs through the whole decoder matrix: the pair must agree
+    // on accept/reject at every cut (the wire format requires exact
+    // exhaustion, so for the matching type both reject).
+    for (const util::Bytes& wire_bytes : body_zoo()) {
+        for (std::size_t cut = 0; cut < wire_bytes.size(); ++cut) {
+            fuzz_decoder_matrix(std::span<const std::uint8_t>(wire_bytes.data(), cut));
+        }
+        util::Bytes padded = wire_bytes;
+        for (std::uint8_t junk : {std::uint8_t{0}, std::uint8_t{0xff}}) {
+            padded.push_back(junk);
+            fuzz_decoder_matrix(padded);
+        }
+    }
+}
+
+TEST(FuzzFlatCodec, StructuredMutationsKeepAcceptSetsAligned) {
+    // Flips, chunk deletions, duplications and cross-encoding splices over
+    // the whole body zoo: after every mutation each decoder pair must agree,
+    // per type, on accept/reject (crashes and divergence both fail here).
+    const std::vector<util::Bytes> zoo = body_zoo();
+    util::Xoshiro256 rng{4242};
+    for (int trial = 0; trial < 4000; ++trial) {
+        util::Bytes mutated = zoo[static_cast<std::size_t>(
+            rng.uniform_int(0, zoo.size() - 1))];
+        switch (rng.uniform_int(0, 3)) {
+            case 0: {  // flip
+                const std::size_t pos =
+                    static_cast<std::size_t>(rng.uniform_int(0, mutated.size() - 1));
+                mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.uniform_int(0, 254));
+                break;
+            }
+            case 1: {  // truncate
+                mutated.resize(static_cast<std::size_t>(
+                    rng.uniform_int(0, mutated.size() - 1)));
+                break;
+            }
+            case 2: {  // over-length: append junk
+                const std::size_t extra =
+                    static_cast<std::size_t>(rng.uniform_int(1, 16));
+                for (std::size_t k = 0; k < extra; ++k) {
+                    mutated.push_back(
+                        static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+                }
+                break;
+            }
+            default: {  // transplant: splice the tail of another zoo member
+                const util::Bytes& donor = zoo[static_cast<std::size_t>(
+                    rng.uniform_int(0, zoo.size() - 1))];
+                const std::size_t cut = static_cast<std::size_t>(rng.uniform_int(
+                    0, std::min(mutated.size(), donor.size()) - 1));
+                mutated.resize(cut);
+                mutated.insert(mutated.end(),
+                               donor.begin() + static_cast<std::ptrdiff_t>(
+                                                   std::min(cut, donor.size())),
+                               donor.end());
+                break;
+            }
+        }
+        fuzz_decoder_matrix(mutated);
+    }
+}
+
+TEST(FuzzFlatCodec, SignedFieldTransplantsNeverVerify) {
+    // flat_signed recombinations of two valid envelopes — every proper
+    // hybrid of (signer, payload, signature) must parse but fail view
+    // verification, exactly like the legacy transplant sweep above.
+    crypto::Pki pki;
+    auto signer1 =
+        crypto::make_registered_signer(pki, "P1", 7, crypto::SignatureAlgorithm::kFast);
+    auto signer2 =
+        crypto::make_registered_signer(pki, "P2", 7, crypto::SignatureAlgorithm::kFast);
+    const auto msg1 = crypto::sign_message(*signer1, "P1",
+                                           protocol::BidBody{1, "P1", 1.5}.serialize());
+    const auto msg2 = crypto::sign_message(*signer2, "P2",
+                                           protocol::BidBody{1, "P2", 2.5}.serialize());
+    EXPECT_EQ(wire::flat_signed(msg1.signer, msg1.payload, msg1.signature),
+              msg1.serialize());
+    for (int mask = 1; mask < 7; ++mask) {
+        const crypto::SignedMessage& s = (mask & 1) ? msg2 : msg1;
+        const crypto::SignedMessage& p = (mask & 2) ? msg2 : msg1;
+        const crypto::SignedMessage& g = (mask & 4) ? msg2 : msg1;
+        const util::Bytes hybrid = wire::flat_signed(s.signer, p.payload, g.signature);
+        const auto view = wire::SignedMessageView::parse(hybrid);
+        ASSERT_TRUE(view.has_value()) << "hybrid mask " << mask;
+        EXPECT_FALSE(view->verify(pki)) << "hybrid mask " << mask << " verified";
+        // The view round-trips to the same owned envelope the legacy
+        // decoder produces, and that one is rejected too.
+        const auto legacy = crypto::SignedMessage::deserialize(hybrid);
+        ASSERT_TRUE(legacy.has_value());
+        EXPECT_FALSE(legacy->verify(pki));
+        EXPECT_EQ(view->to_owned().serialize(), hybrid);
+    }
+}
+
 TEST(FuzzCodecs, BlockMutationsFailIntegrity) {
     protocol::DataSet data(3, 16);
     const protocol::Block block = data.block(7);

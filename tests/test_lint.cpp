@@ -166,6 +166,31 @@ TEST(LintRules, CryptoAllocFixture) {
     EXPECT_EQ(count_rule(outside, lint::kRuleCryptoAlloc), 0u);
 }
 
+TEST(LintRules, ProtocolCodecFixture) {
+    const std::string source = read_fixture("bad_protocol_codec.cpp");
+    const auto in_core = lint_at("src/protocol/fixture.cpp", source);
+    EXPECT_EQ(count_rule(in_core, lint::kRuleProtocolCodec), 3u)
+        << "body.serialize, msg->serialize, BidBody::deserialize";
+    // Drivers adapt the core to real transports and may re-frame bytes.
+    const auto in_drivers = lint_at("src/protocol/drivers/fixture.cpp", source);
+    EXPECT_EQ(count_rule(in_drivers, lint::kRuleProtocolCodec), 0u);
+    // Outside src/protocol the rule does not apply (crypto has its own
+    // envelope codec; tests/bench exercise both codecs on purpose).
+    const auto outside = lint_at("src/crypto/fixture.cpp", source);
+    EXPECT_EQ(count_rule(outside, lint::kRuleProtocolCodec), 0u);
+}
+
+TEST(LintRules, ProtocolCoreAllocFixture) {
+    // The zero-allocation contract now covers the protocol core too.
+    const std::string source = read_fixture("bad_crypto_alloc.cpp");
+    const auto in_core = lint_at("src/protocol/fixture.cpp", source);
+    EXPECT_EQ(count_rule(in_core, lint::kRuleCryptoAlloc), 4u)
+        << "new, malloc, free, delete — but not `= delete`";
+    // Drivers and detail stay exempt: they bridge to allocating I/O stacks.
+    const auto in_drivers = lint_at("src/protocol/drivers/fixture.cpp", source);
+    EXPECT_EQ(count_rule(in_drivers, lint::kRuleCryptoAlloc), 0u);
+}
+
 TEST(LintRules, HeaderHygieneFixture) {
     const auto result =
         lint_at("src/util/fixture.hpp", read_fixture("bad_header.hpp"));

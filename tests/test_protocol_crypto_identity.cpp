@@ -5,11 +5,16 @@
 // verification cache engaged.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <functional>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "agents/zoo.hpp"
 #include "crypto/pki.hpp"
 #include "crypto/sha256.hpp"
+#include "protocol/churn.hpp"
 #include "protocol/detail/run_internals.hpp"
 #include "protocol/runner.hpp"
 #include "util/bytes.hpp"
@@ -24,11 +29,13 @@ struct RunArtifacts {
     bool operator==(const RunArtifacts&) const = default;
 };
 
-RunArtifacts capture_run(const protocol::ProtocolConfig& config) {
+RunArtifacts capture_run(const protocol::ProtocolConfig& config,
+                         protocol::DriverKind driver = protocol::DriverKind::kSim) {
     RunArtifacts artifacts;
     std::ostringstream keys;
-    const auto outcome =
-        protocol::run_protocol(config, [&](const protocol::RunInternals& internals) {
+    const auto outcome = protocol::run_protocol(
+        protocol::RunRequest{config, driver},
+        [&](const protocol::RunInternals& internals) {
             artifacts.trace = internals.trace().render();
             const auto& pki = internals.context.pki();
             for (const auto& name : internals.context.processor_names()) {
@@ -101,6 +108,51 @@ TEST(ProtocolCryptoIdentity, ScalarInlineEqualsSimdParallel) {
 
         EXPECT_EQ(baseline, fast) << "algorithm=" << static_cast<int>(algorithm)
                                   << " backend=" << crypto::sha256_backend();
+    }
+}
+
+// Deferred batch signature verification must be OBSERVABLY IDENTICAL to
+// eager per-arrival verification: same verdicts at the same sim times, same
+// fines, same artifacts — at any batch size and on either driver. The
+// scenarios pick the paths where a wrong flush point would show: honest
+// accumulation, a payment-phase verdict, a mid-bidding double-bid dispute,
+// and churn (exclusions, reallocation, canonical settlement).
+TEST(ProtocolCryptoIdentity, DeferredBatchVerificationMatchesEager) {
+    struct Scenario {
+        const char* name;
+        std::function<void(protocol::ProtocolConfig&)> tweak;
+    };
+    const std::vector<Scenario> scenarios = {
+        {"honest", [](protocol::ProtocolConfig&) {}},
+        {"payment-cheater",
+         [](protocol::ProtocolConfig& c) { c.strategies[1] = agents::payment_cheater(); }},
+        {"double-bidder",
+         [](protocol::ProtocolConfig& c) { c.strategies[2] = agents::inconsistent_bidder(); }},
+        {"churn-crash",
+         [](protocol::ProtocolConfig& c) {
+             c.churn_plan.events = {{"P3", 0.0, protocol::ChurnEventKind::kCrash}};
+         }},
+    };
+    for (const auto& scenario : scenarios) {
+        auto config = identity_config(crypto::SignatureAlgorithm::kMerkleWots);
+        config.strategies.assign(config.true_w.size(), agents::truthful());
+        scenario.tweak(config);
+
+        config.verify_batch = 1;  // eager baseline
+        const RunArtifacts eager = capture_run(config);
+        ASSERT_FALSE(eager.trace.empty()) << scenario.name;
+
+        for (const std::size_t batch : {std::size_t{16}, std::size_t{64}}) {
+            config.verify_batch = batch;
+            EXPECT_EQ(eager, capture_run(config))
+                << scenario.name << " diverges at verify_batch=" << batch;
+        }
+
+        // Same equivalence on the bus driver (different delivery machinery,
+        // same arrival order for a fixed seed).
+        config.verify_batch = 16;
+        EXPECT_EQ(eager, capture_run(config, protocol::DriverKind::kBus))
+            << scenario.name << " diverges on the bus driver";
     }
 }
 

@@ -16,7 +16,8 @@ gate() {
         --report-out "$BUILD_DIR/bench_regress_report.json" \
         --trajectory "$BUILD_DIR/bench_trajectory.jsonl" \
         "$BUILD_DIR/BENCH_crypto.json" \
-        "$BUILD_DIR/BENCH_allocation.json"
+        "$BUILD_DIR/BENCH_allocation.json" \
+        "$BUILD_DIR/BENCH_protocol_overhead.json"
 }
 
 gate && exit 0
@@ -35,5 +36,7 @@ echo "bench_regress: gate tripped; re-measuring once to rule out host noise" >&2
 "$BUILD_DIR/bench/perf_allocation" --benchmark_min_time=0.001 \
     --benchmark_repetitions=5 \
     --json-out "$BUILD_DIR/BENCH_allocation.json" >/dev/null || exit 2
+"$BUILD_DIR/bench/protocol_overhead" --smoke \
+    --json-out "$BUILD_DIR/BENCH_protocol_overhead.json" >/dev/null || exit 2
 
 gate

@@ -61,6 +61,14 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
     -R '(ChurnScenarios|asan\..*ChurnScenarios|tsan\..*ChurnScenarios)'
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -L property
 
+step "codec fuzz (flat wire smoke)"
+# The full ctest above already ran the whole fuzz suite; this named stage
+# re-runs the flat-codec slice (legacy/flat accept-set parity, encoder
+# byte-identity, mutation and transplant rejection) so a wire-format break
+# is legible in CI logs on its own line.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
+    -R '(FuzzFlatCodec|asan\..*FuzzFlatCodec)'
+
 step "bench-regress (perf gate)"
 # The full ctest above already ran the bench-smoke suites (writing fresh
 # BENCH_*.json into the build dir) and the bench_regress gate; re-running

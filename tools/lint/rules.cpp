@@ -166,21 +166,36 @@ void rule_locking_alloc(const FileInfo& info, const LexedFile& lexed,
                        "std::scoped_lock so every exit path unlocks)",
                    out);
         }
-        if (!info.in_crypto) continue;
+        if (info.in_protocol_core &&
+            (t.text == "serialize" || t.text == "deserialize") &&
+            (is_punct(before, ".") || is_punct(before, "->") ||
+             is_punct(before, "::")) &&
+            is_punct(next(toks, i), "(")) {
+            // Heuristic blind spot: this also fires on the out-of-line
+            // definitions `Body::serialize(...)` inside the legacy codec
+            // implementation files; those files are allowlisted wholesale.
+            report(info, lexed, t, kRuleProtocolCodec,
+                   "per-message legacy codec call in the protocol core "
+                   "(message paths use the zero-copy wire:: views / "
+                   "flat_encode; justify cold-path use inline)",
+                   out);
+        }
+        if (!info.in_crypto && !info.in_protocol_core) continue;
+        const char* scope = info.in_crypto ? "src/crypto" : "the protocol core";
         if (t.text == "new" || t.text == "delete") {
             // `= delete`d members and `operator new/delete` declarations are
             // not allocations (`= new ...` still is).
             if (t.text == "delete" && is_punct(before, "=")) continue;
             if (is_ident(before, "operator")) continue;
             report(info, lexed, t, kRuleCryptoAlloc,
-                   "'" + t.text +
-                       "' in src/crypto (hot paths are zero-allocation; use "
+                   "'" + t.text + "' in " + scope +
+                       " (hot paths are zero-allocation; use "
                        "stack batches or caller-provided buffers)",
                    out);
         } else if (kHeapCalls.count(t.text) > 0 && is_punct(next(toks, i), "(") &&
                    !is_punct(before, ".") && !is_punct(before, "->")) {
             report(info, lexed, t, kRuleCryptoAlloc,
-                   "'" + t.text + "()' in src/crypto (zero-allocation contract)",
+                   "'" + t.text + "()' in " + scope + " (zero-allocation contract)",
                    out);
         }
     }
@@ -408,8 +423,8 @@ void rule_layering(const FileInfo& info, const LexedFile& lexed,
 const std::vector<std::string>& all_rule_ids() {
     static const std::vector<std::string> kIds = {
         kRuleDeterminism,   kRuleFloatEquality, kRuleManualLock,
-        kRuleCryptoAlloc,   kRulePragmaOnce,    kRuleUsingNamespace,
-        kRuleMutableGlobal, kRuleLayering,
+        kRuleCryptoAlloc,   kRuleProtocolCodec, kRulePragmaOnce,
+        kRuleUsingNamespace, kRuleMutableGlobal, kRuleLayering,
     };
     return kIds;
 }

@@ -9,8 +9,12 @@
 //                        proofs are exact-rational, so float equality is
 //                        either a bug or needs an explicit justification.
 //   L locking/alloc    — mutexes are held via lock_guard/scoped_lock RAII
-//                        only, and src/crypto hot paths never call
-//                        new/delete/malloc (the batch API contract).
+//                        only; src/crypto AND the protocol core never call
+//                        new/delete/malloc (the batch API contract); the
+//                        protocol core's message paths use the zero-copy
+//                        wire:: views instead of the per-message legacy
+//                        codec (serialize()/deserialize() allocate a fresh
+//                        buffer per call).
 //   H hygiene          — #pragma once in every header, no `using namespace`
 //                        at namespace scope in headers, no non-constexpr
 //                        mutable globals in src/.
@@ -38,6 +42,7 @@ inline constexpr const char* kRuleDeterminism = "determinism";
 inline constexpr const char* kRuleFloatEquality = "float-equality";
 inline constexpr const char* kRuleManualLock = "manual-lock";
 inline constexpr const char* kRuleCryptoAlloc = "crypto-alloc";
+inline constexpr const char* kRuleProtocolCodec = "protocol-codec";
 inline constexpr const char* kRulePragmaOnce = "pragma-once";
 inline constexpr const char* kRuleUsingNamespace = "using-namespace-header";
 inline constexpr const char* kRuleMutableGlobal = "mutable-global";
@@ -60,7 +65,8 @@ struct FileInfo {
     bool is_header = false;  // .hpp / .h
     bool in_crypto = false;  // under src/crypto/ (L alloc rule scope)
     bool in_src = false;     // under src/ (H mutable-global rule scope)
-    // Under src/protocol/ excluding drivers/ and detail/ (A layering scope).
+    // Under src/protocol/ excluding drivers/ and detail/ (A layering scope
+    // and the L zero-allocation / legacy-codec scope).
     bool in_protocol_core = false;
 };
 
