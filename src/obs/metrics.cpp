@@ -91,10 +91,11 @@ void Histogram::merge_from(const Histogram& other) {
     if (other.upper_bounds_ != upper_bounds_) {
         throw std::invalid_argument("Histogram::merge_from: bucket bounds differ");
     }
-    // Lock ordering: merge_from is only called registry-to-registry with the
-    // source quiescent (the run finished), so other's lock is uncontended.
-    const std::lock_guard<std::mutex> other_lock(other.mutex_);
-    const std::lock_guard<std::mutex> lock(mutex_);
+    // Both sides locked via std::lock's deadlock-avoidance ordering: two
+    // threads merging the same pair in opposite directions must not hold
+    // one mutex each while waiting for the other (analyzer lock-order pass;
+    // pinned by MetricsConcurrency.CrossMergeNoDeadlock).
+    const std::scoped_lock both(other.mutex_, mutex_);
     for (std::size_t i = 0; i < bucket_counts_.size(); ++i) {
         bucket_counts_[i] += other.bucket_counts_[i];
     }
@@ -245,8 +246,9 @@ std::string MetricsRegistry::json_snapshot() const {
 
 void MetricsRegistry::merge_from(const MetricsRegistry& other) {
     if (&other == this) return;
-    const std::lock_guard<std::mutex> other_lock(other.mutex_);
-    const std::lock_guard<std::mutex> lock(mutex_);
+    // See Histogram::merge_from: scoped_lock orders the pair atomically so
+    // concurrent opposite-direction merges cannot deadlock.
+    const std::scoped_lock both(other.mutex_, mutex_);
     for (const auto& [name, series] : other.counters_) {
         for (const auto& [labels, counter] : series) {
             counters_[name][labels].inc(counter.value());

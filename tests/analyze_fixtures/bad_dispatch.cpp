@@ -1,0 +1,24 @@
+// Analyzer fixture (never compiled): a dispatcher registration site that
+// misses one enumerator. FakeMsg has three kinds; wire_handlers registers
+// kPing (handler) and kPong (explicit ignore) but forgets kQuit. Expected:
+// one dispatch-exhaustiveness finding for FakeMsg::kQuit.
+enum class FakeMsg : unsigned char {
+    kPing = 1,
+    kPong = 2,
+    kQuit = 3,
+};
+
+struct FakeDispatcher {
+    template <typename H>
+    void on(FakeMsg type, H handler) {
+        (void)type;
+        (void)handler;
+    }
+    void ignore(FakeMsg type) { (void)type; }
+};
+
+void wire_handlers(FakeDispatcher& d) {
+    d.on(FakeMsg::kPing, 1);
+    d.ignore(FakeMsg::kPong);
+    // FakeMsg::kQuit deliberately unregistered
+}

@@ -1,0 +1,8 @@
+// Analyzer fixture (never compiled): injected as src/util/wallclock.cpp.
+// util is the bottom of the declared module DAG and may depend on nothing,
+// so this include of a protocol header is a layering-dag finding; the pair
+// of headers below it (fake_ring_a/b) include each other, which is an
+// include-cycle finding.
+#include "protocol/fake_wire.hpp"
+
+int util_breaks_layering() { return 1; }

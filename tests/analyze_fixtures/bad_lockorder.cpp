@@ -1,0 +1,35 @@
+// Analyzer fixture (never compiled): two lock-order defects.
+//   1. transfer_ab locks A::mu_ then B::mu_; transfer_ba locks B::mu_ then
+//      A::mu_ -> cycle A::mu_ -> B::mu_ -> A::mu_.
+//   2. Ledger::merge locks other.table_mu_ then table_mu_ sequentially:
+//      same-class double acquisition (the defect src/obs/metrics.cpp had
+//      before std::scoped_lock).
+// Expected: one lock-order cycle finding + one second-acquisition finding.
+#include <mutex>
+
+struct A {
+    std::mutex mu_;
+};
+struct B {
+    std::mutex mu_;
+};
+
+void transfer_ab(A& a, B& b) {
+    const std::lock_guard<std::mutex> la(a.mu_);
+    const std::lock_guard<std::mutex> lb(b.mu_);
+}
+
+void transfer_ba(A& a, B& b) {
+    const std::lock_guard<std::mutex> lb(b.mu_);
+    const std::lock_guard<std::mutex> la(a.mu_);
+}
+
+struct Ledger {
+    std::mutex table_mu_;
+    void merge(const Ledger& other);
+};
+
+void Ledger::merge(const Ledger& other) {
+    const std::lock_guard<std::mutex> theirs(other.table_mu_);
+    const std::lock_guard<std::mutex> ours(table_mu_);
+}

@@ -1,0 +1,21 @@
+// Analyzer fixture (never compiled): determinism taint must flow from a
+// getenv read through two call-graph hops into a protocol-artifact
+// function when the intermediate is NOT sanitized. Injected into the test
+// program as src/protocol/fake_pricing.cpp; expected: one taint-determinism
+// finding on dlsbl::protocol::quote_payment with a three-hop chain.
+#include <cstdlib>
+#include <string>
+
+namespace dlsbl::protocol {
+
+int read_tuning_knob() {
+    const char* env = std::getenv("FAKE_KNOB");  // taint seed
+    return env == nullptr ? 1 : *env - '0';
+}
+
+int scaled_rate() { return 7 * read_tuning_knob(); }
+
+// Protocol artifact: a payment quote must be a pure function of bids.
+int quote_payment(int bid) { return bid * scaled_rate(); }
+
+}  // namespace dlsbl::protocol

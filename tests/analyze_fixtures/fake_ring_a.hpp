@@ -1,0 +1,6 @@
+// Analyzer fixture (never compiled): half of an include cycle with
+// fake_ring_b.hpp (both injected under src/obs/).
+#pragma once
+#include "obs/fake_ring_b.hpp"
+
+inline int ring_a() { return 1; }

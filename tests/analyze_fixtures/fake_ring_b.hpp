@@ -1,0 +1,6 @@
+// Analyzer fixture (never compiled): the other half of the include cycle
+// with fake_ring_a.hpp.
+#pragma once
+#include "obs/fake_ring_a.hpp"
+
+inline int ring_b() { return 2; }

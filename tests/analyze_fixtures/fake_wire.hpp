@@ -1,0 +1,5 @@
+// Analyzer fixture (never compiled): injected as src/protocol/fake_wire.hpp
+// — the layering-dag target bad_layering.cpp illegally includes.
+#pragma once
+
+inline int fake_wire_version() { return 3; }

@@ -1,0 +1,23 @@
+// Analyzer fixture (never compiled): the good twin of bad_dispatch.cpp —
+// every FakeMsg enumerator is either handled or explicitly ignored.
+// Expected: zero dispatch-exhaustiveness findings.
+enum class FakeMsg : unsigned char {
+    kPing = 1,
+    kPong = 2,
+    kQuit = 3,
+};
+
+struct FakeDispatcher {
+    template <typename H>
+    void on(FakeMsg type, H handler) {
+        (void)type;
+        (void)handler;
+    }
+    void ignore(FakeMsg type) { (void)type; }
+};
+
+void wire_handlers(FakeDispatcher& d) {
+    d.on(FakeMsg::kPing, 1);
+    d.ignore(FakeMsg::kPong);
+    d.on(FakeMsg::kQuit, 2);
+}

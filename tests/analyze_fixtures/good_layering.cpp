@@ -1,0 +1,6 @@
+// Analyzer fixture (never compiled): the good twin of bad_layering.cpp.
+// Injected as src/protocol/uses_wire.cpp — protocol including a protocol
+// header is self-dependence, always allowed; zero layering findings.
+#include "protocol/fake_wire.hpp"
+
+int protocol_uses_wire() { return fake_wire_version(); }

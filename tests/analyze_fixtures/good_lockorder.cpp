@@ -1,0 +1,31 @@
+// Analyzer fixture (never compiled): the good twin of bad_lockorder.cpp.
+// Both functions take A::mu_ before B::mu_ (consistent global order), and
+// the same-class pair goes through one std::scoped_lock (std::lock
+// ordering makes the pair atomic). Expected: zero lock-order findings.
+#include <mutex>
+
+struct A {
+    std::mutex mu_;
+};
+struct B {
+    std::mutex mu_;
+};
+
+void transfer_ab(A& a, B& b) {
+    const std::lock_guard<std::mutex> la(a.mu_);
+    const std::lock_guard<std::mutex> lb(b.mu_);
+}
+
+void audit_ab(A& a, B& b) {
+    const std::lock_guard<std::mutex> la(a.mu_);
+    const std::lock_guard<std::mutex> lb(b.mu_);
+}
+
+struct Ledger {
+    std::mutex table_mu_;
+    void merge(const Ledger& other);
+};
+
+void Ledger::merge(const Ledger& other) {
+    const std::scoped_lock both(other.table_mu_, table_mu_);
+}

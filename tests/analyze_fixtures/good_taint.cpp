@@ -1,0 +1,21 @@
+// Analyzer fixture (never compiled): the good twin of bad_taint.cpp. Same
+// call shape, but the knob reader is covered by a `sanitize` fact (its
+// value provably cannot change artifacts), so the taint is cut at the
+// source and zero findings survive.
+#include <cstdlib>
+#include <string>
+
+namespace dlsbl::protocol {
+
+// Sanitized via `sanitize dlsbl::protocol::read_thread_knob` in the test's
+// facts: thread-count knobs change speed, never bytes.
+int read_thread_knob() {
+    const char* env = std::getenv("FAKE_THREADS");
+    return env == nullptr ? 1 : *env - '0';
+}
+
+int worker_count() { return 2 * read_thread_knob(); }
+
+int quote_payment(int bid) { return bid + worker_count() * 0; }
+
+}  // namespace dlsbl::protocol

@@ -11,7 +11,7 @@
 
 #include <gtest/gtest.h>
 
-#include "lexer.hpp"
+#include "common/lexer.hpp"
 #include "lint.hpp"
 #include "obs/json.hpp"
 #include "rules.hpp"
@@ -221,6 +221,31 @@ TEST(LintRules, LayeringFixture) {
     // Outside src/protocol/ the rule does not apply at all.
     const auto outside = lint_at("src/obs/fixture.cpp", source);
     EXPECT_EQ(count_rule(outside, lint::kRuleLayering), 0u);
+}
+
+TEST(LintRules, UnorderedIterationFixture) {
+    const std::string source = read_fixture("bad_unordered_iter.cpp");
+    const auto in_protocol = lint_at("src/protocol/fixture.cpp", source);
+    EXPECT_EQ(count_rule(in_protocol, lint::kRuleUnorderedIter), 4u)
+        << "range-for x2, .begin(), ->cbegin() — but not the .end()/.cend() "
+           "sentinels";
+    // Drivers and detail construct artifacts too: the whole protocol layer
+    // is in scope, unlike the codec/alloc rules.
+    const auto in_drivers = lint_at("src/protocol/drivers/fixture.cpp", source);
+    EXPECT_EQ(count_rule(in_drivers, lint::kRuleUnorderedIter), 4u);
+    const auto in_crypto = lint_at("src/crypto/fixture.cpp", source);
+    EXPECT_EQ(count_rule(in_crypto, lint::kRuleUnorderedIter), 4u);
+    // Outside the artifact-path layers the rule does not apply.
+    const auto outside = lint_at("src/obs/fixture.cpp", source);
+    EXPECT_EQ(count_rule(outside, lint::kRuleUnorderedIter), 0u);
+}
+
+TEST(LintRules, UnorderedIterationNearMissesPass) {
+    const auto result = lint_at("src/protocol/fixture.cpp",
+                                read_fixture("good_unordered_iter.cpp"));
+    for (const auto& f : result.findings) {
+        ADD_FAILURE() << f.rule << " at line " << f.line << ": " << f.excerpt;
+    }
 }
 
 TEST(LintRules, LayeringNearMissesPass) {

@@ -10,6 +10,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/catapult.hpp"
@@ -196,6 +197,37 @@ TEST(ObsMetrics, HistogramMergePreservesMinMaxAndQuantiles) {
     EXPECT_DOUBLE_EQ(a.min(), 2.0);
     EXPECT_DOUBLE_EQ(a.max(), 4.0);
     EXPECT_DOUBLE_EQ(a.quantile(0.5), 3.0);  // same as observing both directly
+}
+
+TEST(MetricsConcurrency, CrossMergeNoDeadlock) {
+    // Regression pin for the analyzer's lock-order finding: merge_from used
+    // to take the two histogram mutexes with sequential lock_guards, so two
+    // threads merging the same pair in opposite directions could each hold
+    // one mutex while waiting for the other. std::scoped_lock acquires both
+    // via std::lock's deadlock-avoidance ordering; this must now terminate.
+    obs::Histogram a({1.0, 10.0});
+    obs::Histogram b({1.0, 10.0});
+    obs::MetricsRegistry ra, rb;
+    ra.counter("shared").inc();
+    rb.counter("shared").inc();
+    constexpr int kRounds = 500;
+    std::thread forward([&] {
+        for (int i = 0; i < kRounds; ++i) {
+            a.observe(0.5);
+            a.merge_from(b);
+            ra.merge_from(rb);
+        }
+    });
+    std::thread backward([&] {
+        for (int i = 0; i < kRounds; ++i) {
+            b.observe(5.0);
+            b.merge_from(a);
+            rb.merge_from(ra);
+        }
+    });
+    forward.join();
+    backward.join();
+    EXPECT_GE(a.count() + b.count(), 2u * kRounds);
 }
 
 TEST(ObsMetrics, ExportIsDeterministic) {

@@ -1,0 +1,85 @@
+// The repo's own analysis configuration: what dlsbl_analyze checks when
+// pointed at this tree. Kept in code (not a config file) so a change to the
+// architecture is a reviewed change to the analyzer gate.
+#include <string>
+#include <vector>
+
+#include "analyze/passes.hpp"
+
+namespace dlsbl::analyze {
+
+AnalyzeConfig default_config() {
+    AnalyzeConfig config;
+
+    // Determinism taint. Protocol artifacts (bids, allocations, payments,
+    // rulings, wire bytes, block hashes) must be pure functions of the
+    // protocol state; the whole library surface below obs is protected.
+    config.taint.protected_prefixes = {
+        "src/protocol/", "src/crypto/", "src/dlt/",
+        "src/mech/",     "src/sim/",    "src/exec/",
+    };
+    // obs renders timestamps and trace spans — direct clock reads there are
+    // its job, and taint only matters when obs values flow back out, which
+    // the facts file handles per-function.
+    config.taint.source_exempt_prefixes = {"src/obs/"};
+
+    // Dispatch exhaustiveness: every MsgType must be registered (on or
+    // ignore) by both dispatcher owners, and every churn event kind must be
+    // adjudicated in churn.cpp.
+    {
+        DispatchCheck msg;
+        msg.enum_name = "MsgType";
+        msg.enum_file = "src/protocol/messages.hpp";
+        msg.sites = {{"node", "src/protocol/node.cpp"},
+                     {"referee", "src/protocol/referee.cpp"}};
+        msg.registration_calls = {"on", "ignore"};
+        config.dispatch.push_back(std::move(msg));
+
+        DispatchCheck churn;
+        churn.enum_name = "ChurnEventKind";
+        churn.enum_file = "src/protocol/churn.hpp";
+        churn.mention_files = {"src/protocol/churn.cpp"};
+        config.dispatch.push_back(std::move(churn));
+    }
+
+    // Declared module DAG. A module may include itself plus the listed
+    // modules; drivers/ and detail/ under protocol are the sanctioned
+    // bridge to the sim/exec runtimes (sans-I/O core stays below them).
+    config.layering.allowed = {
+        {"util", {}},
+        {"sim", {"util"}},
+        {"obs", {"util", "sim"}},
+        {"dlt", {"util", "obs"}},
+        {"exec", {"util", "obs"}},
+        {"crypto", {"util", "obs", "exec"}},
+        {"mech", {"util", "dlt"}},
+        {"protocol", {"util", "obs", "dlt", "crypto", "mech"}},
+        {"agents", {"util", "obs", "dlt", "crypto", "protocol"}},
+        {"baseline", {"util", "dlt"}},
+    };
+    config.layering.exceptions = {
+        {"src/protocol/drivers/", {"sim", "exec"}},
+        {"src/protocol/detail/", {"sim", "exec"}},
+    };
+
+    return config;
+}
+
+std::vector<Finding> run_passes(const Program& program,
+                                const AnalyzeConfig& config) {
+    std::vector<Finding> findings = pass_taint(program, config.taint);
+    std::vector<Finding> more = pass_lock_order(program);
+    findings.insert(findings.end(), more.begin(), more.end());
+    more = pass_dispatch(program, config.dispatch);
+    findings.insert(findings.end(), more.begin(), more.end());
+    more = pass_layering(program, config.layering);
+    findings.insert(findings.end(), more.begin(), more.end());
+    return findings;
+}
+
+std::vector<std::string> all_pass_ids() {
+    return {kPassTaint, kPassLockOrder, kPassDispatch, kPassLayering,
+            kPassIncludeCycle};
+}
+
+}  // namespace dlsbl::analyze

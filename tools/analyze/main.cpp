@@ -1,0 +1,226 @@
+// dlsbl_analyze — whole-program semantic analyzer (see passes.hpp).
+//
+// Usage:
+//   dlsbl_analyze [--root DIR] [--compile-db FILE] [--facts FILE]
+//                 [--json-out PATH] [--sarif-out PATH] [--timings]
+//                 [--list-passes] [paths...]
+//
+// Paths are repo-relative files or directories (default: src). With
+// --compile-db the TU list comes from compile_commands.json instead
+// (filtered to the given paths) and is closed over quoted includes. Exit
+// codes: 0 clean, 1 findings, 2 usage/configuration error.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analyze/passes.hpp"
+#include "analyze/program.hpp"
+#include "analyze/report.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--root DIR] [--compile-db FILE] [--facts FILE] "
+                 "[--json-out PATH] [--sarif-out PATH] [--timings] "
+                 "[--list-passes] [paths...]\n",
+                 argv0);
+    return 2;
+}
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using dlsbl::analyze::Finding;
+
+    std::string root = ".";
+    std::string compile_db;
+    std::string facts_path = "tools/analyze/dlsbl_analyze.facts";
+    bool facts_path_explicit = false;
+    std::string json_out;
+    std::string sarif_out;
+    bool timings = false;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (arg == "--compile-db" && i + 1 < argc) {
+            compile_db = argv[++i];
+        } else if (arg == "--facts" && i + 1 < argc) {
+            facts_path = argv[++i];
+            facts_path_explicit = true;
+        } else if (arg == "--json-out" && i + 1 < argc) {
+            json_out = argv[++i];
+        } else if (arg == "--sarif-out" && i + 1 < argc) {
+            sarif_out = argv[++i];
+        } else if (arg == "--timings") {
+            timings = true;
+        } else if (arg == "--list-passes") {
+            for (const std::string& id : dlsbl::analyze::all_pass_ids()) {
+                std::printf("%s\n", id.c_str());
+            }
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg.front() == '-') {
+            std::fprintf(stderr, "dlsbl_analyze: unknown option '%s'\n",
+                         argv[i]);
+            return usage(argv[0]);
+        } else {
+            paths.emplace_back(arg);
+        }
+    }
+    if (paths.empty()) paths = {"src"};
+
+    dlsbl::analyze::Facts facts;
+    {
+        // path-append so an absolute --facts path is used as-is
+        std::ifstream in(std::filesystem::path(root) / facts_path,
+                         std::ios::binary);
+        if (in) {
+            std::ostringstream buffer;
+            buffer << in.rdbuf();
+            facts = dlsbl::analyze::parse_facts(buffer.str());
+        } else if (facts_path_explicit) {
+            std::fprintf(stderr, "dlsbl_analyze: cannot read facts file %s\n",
+                         facts_path.c_str());
+            return 2;
+        }
+    }
+    if (!facts.errors.empty()) {
+        for (const std::string& error : facts.errors) {
+            std::fprintf(stderr, "dlsbl_analyze: %s\n", error.c_str());
+        }
+        return 2;
+    }
+
+    auto start = std::chrono::steady_clock::now();
+    std::vector<dlsbl::analyze::BuildError> build_errors;
+    std::vector<std::string> roots = paths;
+    if (!compile_db.empty()) {
+        std::string error;
+        std::vector<std::string> files;
+        if (!dlsbl::analyze::compile_db_files(root, compile_db, paths, &files,
+                                              &error)) {
+            std::fprintf(stderr, "dlsbl_analyze: %s\n", error.c_str());
+            return 2;
+        }
+        if (files.empty()) {
+            std::fprintf(stderr,
+                         "dlsbl_analyze: compile database has no entries "
+                         "under the requested paths\n");
+            return 2;
+        }
+        roots = files;
+    }
+    const dlsbl::analyze::Program program =
+        dlsbl::analyze::build_program_tree(root, roots, &build_errors);
+    if (timings) {
+        std::printf("ANALYZE_TIMING parse %.1fms (%zu files)\n",
+                    ms_since(start), program.files.size());
+    }
+
+    std::vector<Finding> findings;
+    for (const dlsbl::analyze::BuildError& e : build_errors) {
+        Finding f;
+        f.pass = e.pass;
+        f.file = e.file;
+        f.message = e.message;
+        findings.push_back(std::move(f));
+    }
+
+    const dlsbl::analyze::AnalyzeConfig base = dlsbl::analyze::default_config();
+    dlsbl::analyze::AnalyzeConfig config = base;
+    config.taint.sanitized = facts.sanitize_globs();
+
+    struct PassRun {
+        const char* name;
+        std::vector<Finding> (*run)(const dlsbl::analyze::Program&,
+                                    const dlsbl::analyze::AnalyzeConfig&);
+    };
+    const PassRun pass_runs[] = {
+        {dlsbl::analyze::kPassTaint,
+         [](const dlsbl::analyze::Program& p,
+            const dlsbl::analyze::AnalyzeConfig& c) {
+             return dlsbl::analyze::pass_taint(p, c.taint);
+         }},
+        {dlsbl::analyze::kPassLockOrder,
+         [](const dlsbl::analyze::Program& p,
+            const dlsbl::analyze::AnalyzeConfig&) {
+             return dlsbl::analyze::pass_lock_order(p);
+         }},
+        {dlsbl::analyze::kPassDispatch,
+         [](const dlsbl::analyze::Program& p,
+            const dlsbl::analyze::AnalyzeConfig& c) {
+             return dlsbl::analyze::pass_dispatch(p, c.dispatch);
+         }},
+        {dlsbl::analyze::kPassLayering,
+         [](const dlsbl::analyze::Program& p,
+            const dlsbl::analyze::AnalyzeConfig& c) {
+             return dlsbl::analyze::pass_layering(p, c.layering);
+         }},
+    };
+    for (const PassRun& pass : pass_runs) {
+        start = std::chrono::steady_clock::now();
+        std::vector<Finding> found = pass.run(program, config);
+        if (timings) {
+            std::printf("ANALYZE_TIMING %s %.1fms (%zu findings)\n", pass.name,
+                        ms_since(start), found.size());
+        }
+        findings.insert(findings.end(),
+                        std::make_move_iterator(found.begin()),
+                        std::make_move_iterator(found.end()));
+    }
+
+    dlsbl::analyze::Filtered filtered =
+        dlsbl::analyze::apply_facts(facts, std::move(findings));
+    const bool clean = dlsbl::analyze::print_report(
+        filtered.kept, filtered.suppressed, program.files.size(), std::cout);
+
+    for (const dlsbl::analyze::FactEntry& entry : facts.entries) {
+        if (entry.hits == 0 && entry.kind != "sanitize") {
+            std::fprintf(stderr,
+                         "dlsbl_analyze: note: facts line %zu (%s %s) "
+                         "matched nothing\n",
+                         entry.line, entry.kind.c_str(), entry.glob.c_str());
+        }
+    }
+
+    if (!json_out.empty()) {
+        std::ofstream out(json_out, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "dlsbl_analyze: cannot open %s for writing\n",
+                         json_out.c_str());
+            return 2;
+        }
+        out << dlsbl::analyze::report_json(filtered.kept, filtered.suppressed,
+                                           program.files.size());
+        std::printf("ANALYZE_JSON %s\n", json_out.c_str());
+    }
+    if (!sarif_out.empty()) {
+        std::ofstream out(sarif_out, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "dlsbl_analyze: cannot open %s for writing\n",
+                         sarif_out.c_str());
+            return 2;
+        }
+        out << dlsbl::analyze::report_sarif(filtered.kept);
+        std::printf("ANALYZE_SARIF %s\n", sarif_out.c_str());
+    }
+    return clean ? 0 : 1;
+}

@@ -1,0 +1,34 @@
+// Subset C++ parser: one lexed token stream -> FileModel.
+//
+// Recognized constructs (everything else is skipped without error):
+//   * quoted #include directives
+//   * namespace blocks (named, nested `a::b`, anonymous, extern "C")
+//   * record definitions (struct/class/union) for member attribution
+//   * enum definitions with enumerator lists
+//   * function/method definitions, including out-of-line `T::f(...)`,
+//     constructors with init lists, operators, and template functions
+//   * inside bodies: call sites (incl. qualified and member calls), RAII
+//     lock acquisitions with the held-lock stack, range-for/begin()
+//     iteration sites, and direct nondeterminism sources
+//   * std::mutex member declarations and standard container declarations
+//
+// Known blind spots (pinned by tests/test_analyze.cpp where observable):
+// type aliases are not chased, lambdas are attributed to their enclosing
+// function, local record definitions inside function bodies fold into the
+// enclosing function, and preprocessor conditionals are taken as written
+// (both branches contribute tokens; unbalanced-brace branches would skew
+// scope tracking — the repo's style keeps braces balanced per branch).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "analyze/model.hpp"
+
+namespace dlsbl::analyze {
+
+// Parses `source` as if it lived at repo-relative `path`. Never throws:
+// unparseable regions degrade to skipped tokens, not errors.
+[[nodiscard]] FileModel parse_file(std::string path, std::string_view source);
+
+}  // namespace dlsbl::analyze

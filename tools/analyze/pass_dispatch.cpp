@@ -1,0 +1,129 @@
+// Dispatch exhaustiveness: enum definitions vs the places obliged to handle
+// every enumerator. Two obligation styles:
+//
+//   * registration sites — each enumerator must appear as the first
+//     argument of a registration call (`on(MsgType::kBid, ...)` /
+//     `ignore(MsgType::kTerminate)`) somewhere in the site file. A MsgType
+//     added to messages.hpp but not wired into both node.cpp and
+//     referee.cpp falls into the unknown-message counter at runtime; this
+//     pass turns that into a build-time finding.
+//   * mention files — each enumerator must be referenced somewhere in the
+//     file (adjudication code built on if/switch rather than a dispatcher,
+//     e.g. churn_ruling over ChurnEventKind).
+#include <algorithm>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "analyze/passes.hpp"
+
+namespace dlsbl::analyze {
+namespace {
+
+const EnumDef* find_enum(const FileModel& file, const std::string& name) {
+    for (const EnumDef& e : file.enums) {
+        if (e.name == name) return &e;
+    }
+    return nullptr;
+}
+
+bool in_list(const std::vector<std::string>& list, const std::string& s) {
+    return std::find(list.begin(), list.end(), s) != list.end();
+}
+
+}  // namespace
+
+std::vector<Finding> pass_dispatch(const Program& program,
+                                   const std::vector<DispatchCheck>& checks) {
+    std::vector<Finding> findings;
+    for (const DispatchCheck& check : checks) {
+        const FileModel* enum_file = program.file(check.enum_file);
+        const EnumDef* def =
+            enum_file != nullptr ? find_enum(*enum_file, check.enum_name)
+                                 : nullptr;
+        if (def == nullptr) {
+            Finding f;
+            f.pass = kPassConfig;
+            f.file = check.enum_file;
+            f.symbol = check.enum_name;
+            f.message = "dispatch check: enum " + check.enum_name +
+                        " not found in " + check.enum_file;
+            findings.push_back(std::move(f));
+            continue;
+        }
+        for (const DispatchSite& site : check.sites) {
+            const FileModel* model = program.file(site.file);
+            if (model == nullptr) {
+                Finding f;
+                f.pass = kPassConfig;
+                f.file = site.file;
+                f.symbol = site.label;
+                f.message = "dispatch site file not in program: " + site.file;
+                findings.push_back(std::move(f));
+                continue;
+            }
+            // Enumerators registered at this site: first args of
+            // registration calls, matched as `Enum::kX` suffixes.
+            std::set<std::string> registered;
+            for (const FunctionDef& fn : model->functions) {
+                for (const CallSite& call : fn.calls) {
+                    if (!in_list(check.registration_calls, call.name)) {
+                        continue;
+                    }
+                    const std::string want = check.enum_name + "::";
+                    const std::size_t pos = call.first_arg.find(want);
+                    if (pos == std::string::npos) continue;
+                    registered.insert(
+                        call.first_arg.substr(pos + want.size()));
+                }
+            }
+            for (const std::string& enumerator : def->enumerators) {
+                if (registered.count(enumerator) > 0) continue;
+                Finding f;
+                f.pass = kPassDispatch;
+                f.file = site.file;
+                f.line = def->line;
+                f.symbol = check.enum_name + "::" + enumerator;
+                f.message = "dispatch site '" + site.label +
+                            "' does not register a handler for " +
+                            check.enum_name + "::" + enumerator +
+                            " (add on(...) or an explicit ignore(...))";
+                findings.push_back(std::move(f));
+            }
+        }
+        for (const std::string& mention_file : check.mention_files) {
+            const FileModel* model = program.file(mention_file);
+            if (model == nullptr) {
+                Finding f;
+                f.pass = kPassConfig;
+                f.file = mention_file;
+                f.message =
+                    "dispatch mention file not in program: " + mention_file;
+                findings.push_back(std::move(f));
+                continue;
+            }
+            for (const std::string& enumerator : def->enumerators) {
+                const std::string ref = check.enum_name + "::" + enumerator;
+                if (model->qualified_refs.count(ref) > 0) continue;
+                Finding f;
+                f.pass = kPassDispatch;
+                f.file = mention_file;
+                f.line = def->line;
+                f.symbol = ref;
+                f.message = mention_file + " never references " + ref +
+                            "; adjudication is not exhaustive over " +
+                            check.enum_name;
+                findings.push_back(std::move(f));
+            }
+        }
+    }
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding& a, const Finding& b) {
+                  return std::tie(a.file, a.symbol) <
+                         std::tie(b.file, b.symbol);
+              });
+    return findings;
+}
+
+}  // namespace dlsbl::analyze

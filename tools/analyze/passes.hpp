@@ -1,0 +1,113 @@
+// The four interprocedural passes of dlsbl_analyze.
+//
+//   taint-determinism   nondeterminism sources (wall clocks, rand*, getenv,
+//                       pointer hashing, unordered iteration) propagated
+//                       through the call graph into protocol-artifact code
+//   lock-order          RAII acquisition graph over all named mutexes with
+//                       cycle detection (incl. same-class double acquisition)
+//   dispatch-exhaustiveness  every MsgType handled at every dispatcher
+//                       registration site; churn event kinds adjudicated
+//   layering-dag        declared module DAG enforced over the real include
+//                       graph, plus file-level include-cycle detection
+//                       (reported as "include-cycle")
+//
+// Each pass is a pure function Program -> findings; suppression via the
+// facts file happens in report.cpp so passes stay side-channel-free.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/model.hpp"
+#include "analyze/program.hpp"
+
+namespace dlsbl::analyze {
+
+struct Finding {
+    std::string pass;    // pass id, doubles as the SARIF ruleId
+    std::string file;    // repo-relative, "" for program-level findings
+    std::size_t line = 0;
+    std::size_t col = 0;
+    std::string symbol;  // qualified function / lock node / enumerator
+    std::string message;
+    std::vector<std::string> notes;  // e.g. the taint call chain
+};
+
+inline constexpr const char* kPassTaint = "taint-determinism";
+inline constexpr const char* kPassLockOrder = "lock-order";
+inline constexpr const char* kPassDispatch = "dispatch-exhaustiveness";
+inline constexpr const char* kPassLayering = "layering-dag";
+inline constexpr const char* kPassIncludeCycle = "include-cycle";
+inline constexpr const char* kPassConfig = "config-error";
+inline constexpr const char* kPassIo = "io-error";
+
+struct TaintConfig {
+    // Functions defined in files under these prefixes are sinks: taint
+    // reaching them is a finding.
+    std::vector<std::string> protected_prefixes;
+    // Files under these prefixes may contain direct sources without being
+    // sources themselves (the render-only observability layer).
+    std::vector<std::string> source_exempt_prefixes;
+    // Qualified-name globs whose taint is cut (justified boundaries from the
+    // facts file); matched with lint::glob_match against fn.qualified.
+    std::vector<std::string> sanitized;
+};
+
+struct DispatchSite {
+    std::string label;  // "node", "referee"
+    std::string file;   // repo-relative file holding the registrations
+};
+
+// One exhaustiveness obligation. With `sites`, every enumerator must appear
+// as the first argument of a registration call (`on(MsgType::kBid, ...)` or
+// `ignore(MsgType::kBid)`) in every site file. With `mention_files`, every
+// enumerator must at least be referenced (switch-style adjudication code).
+struct DispatchCheck {
+    std::string enum_name;
+    std::string enum_file;
+    std::vector<DispatchSite> sites;
+    std::vector<std::string> registration_calls;  // e.g. {"on", "ignore"}
+    std::vector<std::string> mention_files;
+};
+
+struct LayeringException {
+    std::string path_prefix;       // "src/protocol/drivers/"
+    std::set<std::string> extra;   // additional modules those files may use
+};
+
+struct LayeringConfig {
+    // module -> modules it may include. Self-includes are always allowed;
+    // a module absent from the map may include nothing but itself.
+    std::map<std::string, std::set<std::string>> allowed;
+    std::vector<LayeringException> exceptions;
+};
+
+struct AnalyzeConfig {
+    TaintConfig taint;
+    std::vector<DispatchCheck> dispatch;
+    LayeringConfig layering;
+};
+
+// The repo's own architecture: protected protocol surface, the two message
+// dispatch sites, the declared module DAG.
+[[nodiscard]] AnalyzeConfig default_config();
+
+[[nodiscard]] std::vector<Finding> pass_taint(const Program& program,
+                                              const TaintConfig& config);
+[[nodiscard]] std::vector<Finding> pass_lock_order(const Program& program);
+[[nodiscard]] std::vector<Finding> pass_dispatch(
+    const Program& program, const std::vector<DispatchCheck>& checks);
+[[nodiscard]] std::vector<Finding> pass_layering(const Program& program,
+                                                 const LayeringConfig& config);
+
+// All passes in fixed order with the given config.
+[[nodiscard]] std::vector<Finding> run_passes(const Program& program,
+                                              const AnalyzeConfig& config);
+
+// Pass ids in execution order (CLI --list-passes, per-pass timing).
+[[nodiscard]] std::vector<std::string> all_pass_ids();
+
+}  // namespace dlsbl::analyze

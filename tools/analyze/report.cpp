@@ -1,0 +1,177 @@
+#include "analyze/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "lint/lint.hpp"
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
+
+namespace dlsbl::analyze {
+namespace {
+
+bool known_kind(const std::string& kind) {
+    if (kind == "sanitize") return true;
+    const std::vector<std::string> ids = all_pass_ids();
+    return std::find(ids.begin(), ids.end(), kind) != ids.end();
+}
+
+}  // namespace
+
+Facts parse_facts(std::string_view text) {
+    Facts facts;
+    std::size_t line_no = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        const std::size_t eol = text.find('\n', pos);
+        std::string_view line = text.substr(
+            pos, eol == std::string_view::npos ? text.size() - pos
+                                               : eol - pos);
+        pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+        ++line_no;
+        while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) {
+            line.remove_prefix(1);
+        }
+        if (line.empty() || line.front() == '#') continue;
+        std::istringstream in{std::string(line)};
+        FactEntry entry;
+        entry.line = line_no;
+        in >> entry.kind >> entry.glob;
+        std::getline(in, entry.justification);
+        while (!entry.justification.empty() &&
+               entry.justification.front() == ' ') {
+            entry.justification.erase(entry.justification.begin());
+        }
+        if (entry.kind.empty() || entry.glob.empty()) {
+            facts.errors.push_back("facts line " + std::to_string(line_no) +
+                                   ": expected '<kind> <glob> justification'");
+            continue;
+        }
+        if (!known_kind(entry.kind)) {
+            facts.errors.push_back("facts line " + std::to_string(line_no) +
+                                   ": unknown kind '" + entry.kind + "'");
+            continue;
+        }
+        if (entry.justification.empty()) {
+            facts.errors.push_back("facts line " + std::to_string(line_no) +
+                                   ": entry needs a justification");
+            continue;
+        }
+        facts.entries.push_back(std::move(entry));
+    }
+    return facts;
+}
+
+std::vector<std::string> Facts::sanitize_globs() const {
+    std::vector<std::string> globs;
+    for (const FactEntry& e : entries) {
+        if (e.kind == "sanitize") globs.push_back(e.glob);
+    }
+    return globs;
+}
+
+bool Facts::suppresses(const Finding& finding) const {
+    for (const FactEntry& e : entries) {
+        if (e.kind != finding.pass) continue;
+        if (lint::glob_match(e.glob, finding.file) ||
+            (!finding.symbol.empty() &&
+             lint::glob_match(e.glob, finding.symbol))) {
+            ++e.hits;
+            return true;
+        }
+    }
+    return false;
+}
+
+Filtered apply_facts(const Facts& facts, std::vector<Finding> findings) {
+    Filtered out;
+    for (Finding& f : findings) {
+        if (facts.suppresses(f)) {
+            ++out.suppressed;
+        } else {
+            out.kept.push_back(std::move(f));
+        }
+    }
+    return out;
+}
+
+bool print_report(const std::vector<Finding>& findings, std::size_t suppressed,
+                  std::size_t files, std::ostream& out) {
+    for (const Finding& f : findings) {
+        out << f.file;
+        if (f.line != 0) out << ':' << f.line;
+        out << ": [" << f.pass << "] " << f.message << '\n';
+        for (const std::string& note : f.notes) {
+            out << "    note: " << note << '\n';
+        }
+    }
+    out << "dlsbl_analyze: " << files << " files, " << findings.size()
+        << " findings, " << suppressed << " suppressed by facts\n";
+    return findings.empty();
+}
+
+std::string report_json(const std::vector<Finding>& findings,
+                        std::size_t suppressed, std::size_t files) {
+    obs::RunManifest manifest;
+    manifest.set("generator", "dlsbl_analyze");
+    std::string doc =
+        "{\"manifest\":" + manifest.to_json() + ",\"findings\":[";
+    bool first = true;
+    for (const Finding& f : findings) {
+        if (!first) doc += ',';
+        first = false;
+        doc += "{\"pass\":" + obs::json_escape(f.pass) +
+               ",\"file\":" + obs::json_escape(f.file) +
+               ",\"line\":" + std::to_string(f.line) +
+               ",\"col\":" + std::to_string(f.col) +
+               ",\"symbol\":" + obs::json_escape(f.symbol) +
+               ",\"message\":" + obs::json_escape(f.message) + ",\"notes\":[";
+        bool first_note = true;
+        for (const std::string& note : f.notes) {
+            if (!first_note) doc += ',';
+            first_note = false;
+            doc += obs::json_escape(note);
+        }
+        doc += "]}";
+    }
+    doc += "],\"summary\":{\"files\":" + std::to_string(files) +
+           ",\"findings\":" + std::to_string(findings.size()) +
+           ",\"suppressed\":" + std::to_string(suppressed) + "}}\n";
+    return doc;
+}
+
+std::string report_sarif(const std::vector<Finding>& findings) {
+    std::string rules;
+    bool first = true;
+    for (const std::string& id : all_pass_ids()) {
+        if (!first) rules += ',';
+        first = false;
+        rules += "{\"id\":" + obs::json_escape(id) + '}';
+    }
+    std::string results;
+    first = true;
+    for (const Finding& f : findings) {
+        if (!first) results += ',';
+        first = false;
+        results += "{\"ruleId\":" + obs::json_escape(f.pass) +
+                   ",\"level\":\"error\",\"message\":{\"text\":" +
+                   obs::json_escape(f.message) + '}';
+        if (!f.file.empty()) {
+            results +=
+                ",\"locations\":[{\"physicalLocation\":{\"artifactLocation\":"
+                "{\"uri\":" +
+                obs::json_escape(f.file) + "},\"region\":{\"startLine\":" +
+                std::to_string(f.line == 0 ? 1 : f.line) + "}}}]";
+        }
+        results += '}';
+    }
+    return "{\"version\":\"2.1.0\",\"$schema\":\"https://json.schemastore."
+           "org/sarif-2.1.0.json\",\"runs\":[{\"tool\":{\"driver\":{"
+           "\"name\":\"dlsbl_analyze\",\"informationUri\":"
+           "\"https://example.invalid/dlsbl\",\"rules\":[" +
+           rules + "]}},\"results\":[" + results + "]}]}\n";
+}
+
+}  // namespace dlsbl::analyze

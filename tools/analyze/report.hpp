@@ -1,0 +1,71 @@
+// Facts file + reporting for dlsbl_analyze.
+//
+// The facts file (tools/analyze/dlsbl_analyze.facts) is the analyzer's
+// counterpart to the lint allowlist, but entries carry semantics, not just
+// suppression:
+//
+//   sanitize <qualified-name-glob>  <justification...>
+//       cuts determinism taint at matching functions — the nondeterminism
+//       is justified there (seeded RNG wrapper, env tuning knob read once
+//       at startup, render-only obs code) and must not propagate upward;
+//   <pass-id> <file-or-symbol-glob> <justification...>
+//       suppresses findings of that pass whose file OR symbol matches.
+//
+// '#' comments and blank lines are ignored. Unknown kinds are configuration
+// errors (exit 2), and entries that matched nothing are reported as stale.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analyze/passes.hpp"
+
+namespace dlsbl::analyze {
+
+struct FactEntry {
+    std::string kind;  // "sanitize" or a pass id
+    std::string glob;
+    std::string justification;
+    std::size_t line = 0;
+    mutable std::size_t hits = 0;
+};
+
+struct Facts {
+    std::vector<FactEntry> entries;
+    std::vector<std::string> errors;  // malformed / unknown-kind lines
+
+    // Qualified-name globs for the taint pass's sanitize set.
+    [[nodiscard]] std::vector<std::string> sanitize_globs() const;
+
+    // True (and counts the hit) when some entry of the finding's pass
+    // matches its file or symbol.
+    [[nodiscard]] bool suppresses(const Finding& finding) const;
+};
+
+[[nodiscard]] Facts parse_facts(std::string_view text);
+
+// Splits findings into kept/suppressed (order preserved), counting hits.
+struct Filtered {
+    std::vector<Finding> kept;
+    std::size_t suppressed = 0;
+};
+[[nodiscard]] Filtered apply_facts(const Facts& facts,
+                                   std::vector<Finding> findings);
+
+// Human-readable report; returns true when there are no findings.
+bool print_report(const std::vector<Finding>& findings, std::size_t suppressed,
+                  std::size_t files, std::ostream& out);
+
+// JSON artifact, RunManifest-stamped like every other run artifact.
+[[nodiscard]] std::string report_json(const std::vector<Finding>& findings,
+                                      std::size_t suppressed,
+                                      std::size_t files);
+
+// SARIF 2.1.0 (minimal static-analysis interchange: one run, one rule per
+// pass, physical locations).
+[[nodiscard]] std::string report_sarif(const std::vector<Finding>& findings);
+
+}  // namespace dlsbl::analyze

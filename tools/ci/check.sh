@@ -80,6 +80,28 @@ step "dlsbl_lint"
 "$BUILD_DIR/tools/lint/dlsbl_lint" --root "$REPO_ROOT" \
     src tests bench examples tools
 
+step "dlsbl_analyze (whole-program semantic passes)"
+# Gating like dlsbl_lint, but flow-aware: determinism taint through the
+# call graph, lock-order cycles, dispatch exhaustiveness, the layering DAG.
+# The TU list comes from the compile database written above, closed over
+# quoted includes; --timings prints a per-pass wall-clock breakdown and the
+# SARIF artifact lands next to the other build outputs. The analyzer must
+# stay interactive: assert the whole run fits the 10s budget (same bound
+# the analyze.tree ctest enforces via TIMEOUT).
+ANALYZE_START=$(date +%s)
+"$BUILD_DIR/tools/analyze/dlsbl_analyze" --root "$REPO_ROOT" \
+    --compile-db "$BUILD_DIR/compile_commands.json" \
+    --timings \
+    --sarif-out "$BUILD_DIR/dlsbl_analyze.sarif" \
+    --json-out "$BUILD_DIR/dlsbl_analyze.json" \
+    src
+ANALYZE_ELAPSED=$(( $(date +%s) - ANALYZE_START ))
+echo "dlsbl_analyze: ${ANALYZE_ELAPSED}s total (budget 10s)"
+if [[ "$ANALYZE_ELAPSED" -ge 10 ]]; then
+    echo "dlsbl_analyze: exceeded the 10s runtime budget" >&2
+    exit 1
+fi
+
 if [[ "${CLANG_TIDY:-1}" != 0 ]] && command -v clang-tidy >/dev/null 2>&1; then
     step "clang-tidy (advisory)"
     # Library sources only: bench/test TUs drown the output in gtest macro

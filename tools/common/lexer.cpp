@@ -1,10 +1,10 @@
-#include "lexer.hpp"
+#include "common/lexer.hpp"
 
 #include <algorithm>
 #include <array>
 #include <cctype>
 
-namespace dlsbl::lint {
+namespace dlsbl::tool {
 namespace {
 
 [[nodiscard]] bool is_ident_start(char c) {
@@ -298,4 +298,4 @@ LexedFile lex(std::string_view source) {
     return Lexer(source).run();
 }
 
-}  // namespace dlsbl::lint
+}  // namespace dlsbl::tool

@@ -1,11 +1,12 @@
-// Comment/string-aware C++ tokenizer for dlsbl_lint.
+// Comment/string-aware C++ tokenizer shared by the repo tooling
+// (tools/lint/dlsbl_lint and tools/analyze/dlsbl_analyze).
 //
 // This is deliberately NOT a compiler front end (no libclang dependency —
-// the container toolchain has none, and the rules below don't need types).
+// the container toolchain has none, and the consumers don't need types).
 // It produces a flat token stream with comments and literals resolved, which
-// is exactly enough to enforce the project invariants in rules.hpp without
-// false positives from banned names appearing in comments, strings, or
-// macros' documentation.
+// is exactly enough to enforce the project invariants in the lint rules and
+// to feed the analyzer's subset parser without false positives from banned
+// names appearing in comments, strings, or macros' documentation.
 //
 // The lexer also collects `DLSBL_LINT_ALLOW(rule[,rule...])` markers from
 // comments: a marker suppresses the named rules on its own line, and — when
@@ -20,7 +21,7 @@
 #include <string_view>
 #include <vector>
 
-namespace dlsbl::lint {
+namespace dlsbl::tool {
 
 enum class TokenKind {
     kIdentifier,   // identifiers and keywords (keyword_set() tells them apart)
@@ -54,4 +55,4 @@ struct LexedFile {
 // emitted as single-character kPunct tokens so rules still see positions.
 [[nodiscard]] LexedFile lex(std::string_view source);
 
-}  // namespace dlsbl::lint
+}  // namespace dlsbl::tool

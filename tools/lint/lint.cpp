@@ -116,6 +116,7 @@ FileInfo file_info_for(std::string path) {
     info.is_header = ends_with(path, ".hpp") || ends_with(path, ".h");
     info.in_crypto = starts_with(path, "src/crypto/");
     info.in_src = starts_with(path, "src/");
+    info.in_protocol = starts_with(path, "src/protocol/");
     info.in_protocol_core = starts_with(path, "src/protocol/") &&
                             path.find("/drivers/") == std::string::npos &&
                             path.find("/detail/") == std::string::npos;

@@ -387,6 +387,103 @@ void rule_scoped(const FileInfo& info, const LexedFile& lexed,
     }
 }
 
+// -------------------------------------------- U · unordered iteration
+
+// Skips a balanced <...> template-argument group starting at `i` (which
+// must point at '<'); returns the index just past the matching '>'.
+// Treats '>>' as two closers. Gives up (returns `i + 1`) on ';' or EOF so
+// a stray comparison operator cannot swallow the rest of the file.
+[[nodiscard]] std::size_t skip_angles(const std::vector<Token>& toks,
+                                      std::size_t i) {
+    std::size_t depth = 0;
+    const std::size_t begin = i;
+    for (; i < toks.size(); ++i) {
+        const Token& t = toks[i];
+        if (t.kind != TokenKind::kPunct) continue;
+        if (t.text == "<") {
+            ++depth;
+        } else if (t.text == ">") {
+            if (depth == 0 || --depth == 0) return i + 1;
+        } else if (t.text == ">>") {
+            if (depth <= 2) return i + 1;
+            depth -= 2;
+        } else if (t.text == ";") {
+            break;
+        }
+    }
+    return begin + 1;
+}
+
+// Only the begin family: every iteration needs a begin, while a bare
+// `.end()` is usually the sentinel in a legitimate `find() != end()`
+// membership test (e.g. the Pki verify cache), which is order-independent.
+const std::set<sv> kIterationMembers = {"begin", "cbegin", "rbegin", "crbegin"};
+
+// Heuristic: collect every identifier declared in this file with an
+// unordered_map/unordered_set type (members, locals, parameters alike),
+// then flag range-for iteration over — or begin()/end() calls on — those
+// names. Blind spots (documented): aliased types (`using T = unordered_…`)
+// and containers declared in another header; the flow-aware
+// dlsbl_analyze taint pass covers those interprocedurally.
+void rule_unordered_iteration(const FileInfo& info, const LexedFile& lexed,
+                              std::vector<Finding>* out) {
+    if (!info.in_crypto && !info.in_protocol) return;
+    const auto& toks = lexed.tokens;
+
+    std::set<std::string> unordered_names;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token& t = toks[i];
+        if (t.kind != TokenKind::kIdentifier ||
+            (t.text != "unordered_map" && t.text != "unordered_set" &&
+             t.text != "unordered_multimap" && t.text != "unordered_multiset")) {
+            continue;
+        }
+        std::size_t j = i + 1;
+        if (j < toks.size() && is_punct(toks[j], "<")) j = skip_angles(toks, j);
+        // Skip declarator decorations between the type and the name.
+        while (j < toks.size() &&
+               (is_punct(toks[j], "&") || is_punct(toks[j], "*") ||
+                is_ident(toks[j], "const"))) {
+            ++j;
+        }
+        if (j < toks.size() && toks[j].kind == TokenKind::kIdentifier) {
+            unordered_names.insert(toks[j].text);
+        }
+    }
+    if (unordered_names.empty()) return;
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token& t = toks[i];
+        if (t.kind != TokenKind::kIdentifier || unordered_names.count(t.text) == 0) {
+            continue;
+        }
+        const Token& before = prev(toks, i);
+        const Token& after = next(toks, i);
+        // Range-for: `for (... : name)` — the range expression's trailing
+        // identifier directly before the closing paren.
+        if (is_punct(before, ":") && is_punct(after, ")")) {
+            report(info, lexed, t, kRuleUnorderedIter,
+                   "range-for over unordered container '" + t.text +
+                       "' (iteration order is implementation-defined and "
+                       "breaks byte-identical replay; iterate a sorted "
+                       "snapshot or switch to std::map)",
+                   out);
+        }
+        // Iterator loops: `name.begin()`, `name.cend()`, ...
+        if ((is_punct(after, ".") || is_punct(after, "->")) && i + 2 < toks.size() &&
+            toks[i + 2].kind == TokenKind::kIdentifier &&
+            kIterationMembers.count(toks[i + 2].text) > 0 &&
+            i + 3 < toks.size() && is_punct(toks[i + 3], "(")) {
+            report(info, lexed, t, kRuleUnorderedIter,
+                   "'" + t.text + "." + toks[i + 2].text +
+                       "()' iterates an unordered container "
+                       "(implementation-defined order; sort first or use "
+                       "an ordered container)",
+                   out);
+        }
+    }
+}
+
 // ------------------------------------------------------ A · architecture
 
 // The sans-I/O protocol core must stay transport- and time-agnostic: state
@@ -425,6 +522,7 @@ const std::vector<std::string>& all_rule_ids() {
         kRuleDeterminism,   kRuleFloatEquality, kRuleManualLock,
         kRuleCryptoAlloc,   kRuleProtocolCodec, kRulePragmaOnce,
         kRuleUsingNamespace, kRuleMutableGlobal, kRuleLayering,
+        kRuleUnorderedIter,
     };
     return kIds;
 }
@@ -437,6 +535,7 @@ void run_rules(const FileInfo& info, const LexedFile& lexed,
     rule_pragma_once(info, lexed, out);
     rule_scoped(info, lexed, out);
     rule_layering(info, lexed, out);
+    rule_unordered_iteration(info, lexed, out);
 }
 
 }  // namespace dlsbl::lint

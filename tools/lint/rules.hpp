@@ -22,6 +22,13 @@
 //                        drivers/ and detail/) never names the sim layer;
 //                        time and transport reach it only through the
 //                        protocol::Clock / protocol::Transport interfaces.
+//   U unordered        — no direct iteration over unordered_map /
+//                        unordered_set in src/protocol or src/crypto:
+//                        iteration order is implementation-defined, so a
+//                        loop over an unordered container feeding an
+//                        artifact silently voids byte-identical replay.
+//                        (Fast-path complement to dlsbl_analyze's
+//                        flow-aware determinism-taint pass.)
 //
 // Every rule is token-stream based (lexer.hpp) and intentionally
 // heuristic: it trades full type resolution for zero build-graph coupling.
@@ -33,9 +40,18 @@
 #include <string>
 #include <vector>
 
-#include "lexer.hpp"
+#include "common/lexer.hpp"
 
 namespace dlsbl::lint {
+
+// The lexer lives in the shared tools/common layer (dlsbl_analyze reuses
+// it); re-exported here so the rule engine and its tests keep reading as
+// lint-native types.
+using tool::LexedFile;
+using tool::Token;
+using tool::TokenKind;
+using tool::is_float_literal;
+using tool::lex;
 
 // Stable rule identifiers (used in findings, ALLOW markers, allowlist).
 inline constexpr const char* kRuleDeterminism = "determinism";
@@ -47,6 +63,7 @@ inline constexpr const char* kRulePragmaOnce = "pragma-once";
 inline constexpr const char* kRuleUsingNamespace = "using-namespace-header";
 inline constexpr const char* kRuleMutableGlobal = "mutable-global";
 inline constexpr const char* kRuleLayering = "layering";
+inline constexpr const char* kRuleUnorderedIter = "unordered-iteration";
 
 // All rule ids, for --list-rules and allowlist validation.
 [[nodiscard]] const std::vector<std::string>& all_rule_ids();
@@ -65,6 +82,9 @@ struct FileInfo {
     bool is_header = false;  // .hpp / .h
     bool in_crypto = false;  // under src/crypto/ (L alloc rule scope)
     bool in_src = false;     // under src/ (H mutable-global rule scope)
+    // Under src/protocol/ including drivers/ and detail/ (U unordered-
+    // iteration rule scope: everything on an artifact path).
+    bool in_protocol = false;
     // Under src/protocol/ excluding drivers/ and detail/ (A layering scope
     // and the L zero-allocation / legacy-codec scope).
     bool in_protocol_core = false;
